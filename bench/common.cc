@@ -1,0 +1,126 @@
+#include "common.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "util/strings.h"
+
+namespace ptperf::bench {
+
+BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (a == "--seed") {
+      args.seed = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (a == "--scale") {
+      args.scale = std::strtod(next().c_str(), nullptr);
+    } else if (a == "--out") {
+      args.out_dir = next();
+    } else if (a == "--verbose" || a == "-v") {
+      args.verbose = true;
+    } else if (a == "--help" || a == "-h") {
+      std::printf(
+          "options: --seed N  --scale X (workload multiplier)  --out DIR\n");
+      std::exit(0);
+    }
+  }
+  if (args.scale <= 0) args.scale = 1.0;
+  return args;
+}
+
+std::size_t scaled(std::size_t base, double scale, std::size_t min_value) {
+  auto v = static_cast<std::size_t>(static_cast<double>(base) * scale);
+  return std::max(v, min_value);
+}
+
+int scaled_int(int base, double scale, int min_value) {
+  return std::max(static_cast<int>(base * scale), min_value);
+}
+
+void banner(const std::string& id, const std::string& what,
+            const BenchArgs& args) {
+  std::printf("== PTPerf reproduction: %s — %s ==\n", id.c_str(),
+              what.c_str());
+  std::printf("   seed=%llu scale=%.2f\n\n",
+              static_cast<unsigned long long>(args.seed), args.scale);
+}
+
+std::vector<std::string> box_header() {
+  return {"pt", "n", "mean", "min", "q1", "median", "q3", "max", "whisk_hi"};
+}
+
+std::vector<std::string> box_row(const std::string& label,
+                                 const std::vector<double>& xs) {
+  stats::BoxStats b = stats::box_stats(xs);
+  auto f = [](double v) { return util::fmt_double(v, 2); };
+  return {label,      std::to_string(b.n), f(b.mean), f(b.min), f(b.q1),
+          f(b.median), f(b.q3),            f(b.max),  f(b.whisker_high)};
+}
+
+stats::Table pairwise_t_tests(
+    const std::vector<std::pair<std::string, std::vector<double>>>& groups) {
+  stats::Table t({"pair", "ci_lower", "ci_upper", "t_value", "p_value",
+                  "mean_diff", "n"});
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    for (std::size_t j = i + 1; j < groups.size(); ++j) {
+      std::size_t n = std::min(groups[i].second.size(), groups[j].second.size());
+      if (n < 2) continue;
+      std::vector<double> x(groups[i].second.begin(),
+                            groups[i].second.begin() + static_cast<long>(n));
+      std::vector<double> y(groups[j].second.begin(),
+                            groups[j].second.begin() + static_cast<long>(n));
+      stats::PairedTTest r = stats::paired_t_test(x, y);
+      std::string p = r.p_two_sided < 0.001
+                          ? "<.001"
+                          : util::fmt_double(r.p_two_sided, 3);
+      t.add_row({groups[i].first + "-" + groups[j].first,
+                 util::fmt_double(r.ci_low, 3), util::fmt_double(r.ci_high, 3),
+                 util::fmt_double(r.t, 3), p, util::fmt_double(r.mean_diff, 3),
+                 std::to_string(r.n)});
+    }
+  }
+  return t;
+}
+
+stats::Table ecdf_table(
+    const std::vector<std::pair<std::string, std::vector<double>>>& groups,
+    const std::vector<double>& probes, const std::string& value_name) {
+  std::vector<std::string> headers{"pt"};
+  for (double p : probes)
+    headers.push_back("P[" + value_name + "<=" + util::fmt_double(p, 1) + "]");
+  stats::Table t(headers);
+  for (const auto& [label, xs] : groups) {
+    if (xs.empty()) continue;
+    stats::Ecdf ecdf(xs);
+    std::vector<std::string> row{label};
+    for (double p : probes) row.push_back(util::fmt_double(ecdf(p), 3));
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+void emit(const stats::Table& table, const BenchArgs& args,
+          const std::string& name, bool print_text) {
+  if (print_text) std::printf("%s\n", table.to_text().c_str());
+  std::string path = args.out_dir + "/" + name + ".csv";
+  if (!table.write_csv(path)) {
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+  } else if (args.verbose) {
+    std::printf("wrote %s\n", path.c_str());
+  }
+}
+
+std::vector<PtId> figure_pt_order() {
+  // Paper ordering: proxy-layer, tunneling, mimicry, fully encrypted.
+  return {PtId::kMeek,      PtId::kPsiphon,    PtId::kConjure,
+          PtId::kSnowflake, PtId::kCamoufler,  PtId::kDnstt,
+          PtId::kWebTunnel, PtId::kMarionette, PtId::kStegotorus,
+          PtId::kCloak,     PtId::kShadowsocks, PtId::kObfs4};
+}
+
+}  // namespace ptperf::bench

@@ -1,0 +1,61 @@
+// Shared plumbing for the figure/table reproduction binaries: CLI args
+// (--seed, --scale, --sites, --reps, --out), stack creation, and the table
+// renderers every bench uses. Each bench prints the paper's rows to stdout
+// and mirrors them to CSV files under --out (default: cwd).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ptperf/campaign.h"
+#include "stats/descriptive.h"
+#include "stats/table.h"
+#include "stats/ttest.h"
+#include "util/strings.h"
+
+namespace ptperf::bench {
+
+struct BenchArgs {
+  std::uint64_t seed = 1;
+  /// Multiplies workload sizes (sites, reps). 1.0 = the fast defaults
+  /// documented per bench; the paper's full scale is noted in each header.
+  double scale = 1.0;
+  std::string out_dir = ".";
+  bool verbose = false;
+};
+
+BenchArgs parse_args(int argc, char** argv);
+
+/// base * scale, at least `min_value`.
+std::size_t scaled(std::size_t base, double scale, std::size_t min_value = 1);
+int scaled_int(int base, double scale, int min_value = 1);
+
+/// Prints a banner naming the artifact being reproduced.
+void banner(const std::string& id, const std::string& what,
+            const BenchArgs& args);
+
+/// "Tukey row" for one distribution.
+std::vector<std::string> box_row(const std::string& label,
+                                 const std::vector<double>& xs);
+std::vector<std::string> box_header();
+
+/// Runs paired t-tests between every pair of labelled samples (paired by
+/// index; samples are truncated to the common length) and returns the
+/// paper-style table (Tables 3-9 format).
+stats::Table pairwise_t_tests(
+    const std::vector<std::pair<std::string, std::vector<double>>>& groups);
+
+/// ECDF evaluated at fixed probe points.
+stats::Table ecdf_table(
+    const std::vector<std::pair<std::string, std::vector<double>>>& groups,
+    const std::vector<double>& probes, const std::string& value_name);
+
+/// Writes table CSV to <out>/<name>.csv and reports on stdout.
+void emit(const stats::Table& table, const BenchArgs& args,
+          const std::string& name, bool print_text = true);
+
+/// The PT ids evaluated in most figures, paper order (category-grouped).
+std::vector<PtId> figure_pt_order();
+
+}  // namespace ptperf::bench

@@ -1,0 +1,82 @@
+// Reproduces Figure 10a/10b + §5.3: snowflake before and after the
+// September-2022 Iran unrest. 10a's Tor-Metrics user series is replaced by
+// the scenario's load timeline (the simulation's forcing function); 10b
+// compares website access time across the two regimes. Also §5.3's
+// companion check: 5 MB download attempts mostly fail post-surge.
+#include "common.h"
+
+namespace ptperf::bench {
+namespace {
+
+int run(const BenchArgs& args) {
+  banner("Figure 10a/10b / §5.3", "snowflake under the Iran-unrest load",
+         args);
+
+  ScenarioConfig cfg;
+  cfg.seed = args.seed;
+  cfg.tranco_sites = scaled(25, args.scale, 6);
+  cfg.cbl_sites = 0;
+  Scenario scenario(cfg);
+  TransportFactory factory(scenario);
+  CampaignOptions copts;
+  copts.website_reps = 3;
+  Campaign campaign(scenario, copts);
+  auto sites = Campaign::take_sites(scenario.tranco(), cfg.tranco_sites);
+
+  PtStack stack = factory.create(PtId::kSnowflake);
+
+  // -- Figure 10a stand-in: the load forcing function over the timeline.
+  stats::Table timeline({"week", "era", "proxy_load", "proxy_lifetime_s",
+                         "relative_users"});
+  for (int week = 1; week <= 12; ++week) {
+    bool post = week >= 9;  // surge at the end of September
+    timeline.add_row({std::to_string(week), post ? "post-unrest" : "pre",
+                      post ? "0.88" : "0.25", post ? "60" : "600",
+                      post ? "8.0" : "1.0"});
+  }
+  std::printf("-- Figure 10a (stand-in): simulated snowflake load timeline --\n");
+  emit(timeline, args, "fig10a_timeline");
+
+  // -- Figure 10b: pre vs post access times.
+  stack.snowflake->set_overloaded(false);
+  auto pre = campaign.run_website_curl(stack, sites);
+  stack.snowflake->set_overloaded(true);
+  auto post = campaign.run_website_curl(stack, sites);
+
+  std::vector<double> pre_means = per_site_means(pre);
+  std::vector<double> post_means = per_site_means(post);
+  stats::Table boxes(box_header());
+  boxes.add_row(box_row("pre-Sept", pre_means));
+  boxes.add_row(box_row("post-Sept", post_means));
+  std::printf("-- Figure 10b: website access time pre vs post (s) --\n");
+  emit(boxes, args, "fig10b_boxes");
+
+  std::size_t n = std::min(pre_means.size(), post_means.size());
+  if (n >= 2) {
+    std::vector<double> a(pre_means.begin(), pre_means.begin() + static_cast<long>(n));
+    std::vector<double> b(post_means.begin(), post_means.begin() + static_cast<long>(n));
+    auto r = stats::paired_t_test(a, b);
+    std::printf("pre vs post: %s\n", stats::format_t_test(r).c_str());
+    std::printf("(paper: pre M=3.42 vs post M=4.77, t=-10.76, P<.001)\n\n");
+  }
+
+  // -- §5.3 companion: 5 MB downloads post-surge mostly fail.
+  CampaignOptions fopts;
+  fopts.file_reps = scaled_int(5, args.scale, 3);
+  Campaign file_campaign(scenario, fopts);
+  auto file_samples = file_campaign.run_file_downloads(stack, {5u << 20});
+  int complete = 0;
+  for (const FileSample& s : file_samples)
+    if (s.result.success) ++complete;
+  std::printf("-- 5 MB downloads post-surge: %d/%zu complete --\n", complete,
+              file_samples.size());
+  std::printf("(paper: 8 of 10 attempts failed post-September)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ptperf::bench
+
+int main(int argc, char** argv) {
+  return ptperf::bench::run(ptperf::bench::parse_args(argc, argv));
+}

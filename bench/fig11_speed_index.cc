@@ -1,0 +1,76 @@
+// Reproduces Figure 11 + Appendix Tables 8/9: the browsertime speed index
+// for every transport. Expected: the ordering matches the selenium page
+// load times (meek worst proxy-layer, marionette worst mimicry), while
+// the speed index sits well below the full load time because it weighs
+// early-painting visual elements.
+#include "common.h"
+
+namespace ptperf::bench {
+namespace {
+
+int run(const BenchArgs& args) {
+  banner("Figure 11 / Tables 8-9", "speed index via browsertime", args);
+
+  ScenarioConfig cfg;
+  cfg.seed = args.seed;
+  cfg.tranco_sites = scaled(15, args.scale, 4);
+  cfg.cbl_sites = 0;
+  Scenario scenario(cfg);
+  TransportFactory factory(scenario);
+
+  CampaignOptions copts;
+  copts.website_reps = 2;
+  Campaign campaign(scenario, copts);
+  auto sites = Campaign::take_sites(scenario.tranco(), cfg.tranco_sites);
+
+  stats::Table boxes(box_header());
+  stats::Table vs_load({"pt", "mean_speed_index_s", "mean_load_s", "ratio"});
+  std::vector<std::pair<std::string, std::vector<double>>> groups;
+
+  auto measure = [&](PtStack stack) {
+    if (stack.snowflake) stack.snowflake->set_overloaded(true);
+    auto samples = campaign.run_website_selenium(stack, sites);
+    if (samples.empty()) {
+      std::printf("%-12s excluded (no parallel streams)\n",
+                  stack.name().c_str());
+      return;
+    }
+    std::vector<double> si;
+    std::vector<double> loads;
+    for (const PageSample& s : samples) {
+      if (s.speed_index_s >= 0 && s.result.success) {
+        si.push_back(s.speed_index_s);
+        loads.push_back(s.result.load_time_s);
+      }
+    }
+    boxes.add_row(box_row(stack.name(), si));
+    double msi = stats::mean(si);
+    double ml = stats::mean(loads);
+    vs_load.add_row({stack.name(), util::fmt_double(msi, 2),
+                     util::fmt_double(ml, 2),
+                     ml > 0 ? util::fmt_double(msi / ml, 2) : "-"});
+    groups.emplace_back(stack.name(), std::move(si));
+  };
+
+  measure(factory.create_vanilla());
+  for (PtId id : figure_pt_order()) measure(factory.create(id));
+
+  std::printf("\n-- Figure 11: speed index (s) --\n");
+  emit(boxes, args, "fig11_speed_index");
+
+  std::printf("-- speed index vs full load (ratio < 1 everywhere) --\n");
+  emit(vs_load, args, "fig11_vs_load");
+
+  std::printf("-- Tables 8/9: paired t-tests over speed index --\n");
+  stats::Table tests = pairwise_t_tests(groups);
+  emit(tests, args, "fig11_ttests", args.verbose);
+  std::printf("(%zu pairs; full table in fig11_ttests.csv)\n", tests.rows());
+  return 0;
+}
+
+}  // namespace
+}  // namespace ptperf::bench
+
+int main(int argc, char** argv) {
+  return ptperf::bench::run(ptperf::bench::parse_args(argc, argv));
+}

@@ -1,0 +1,54 @@
+// Reproduces Figure 12 (Appendix A.2): post-unrest monitoring — one
+// pre-September baseline box followed by weekly post-September boxes
+// (paper: March 2023 weeks, 100 random Tranco sites x 5 accesses each).
+// Expected: every post week sits above the pre baseline; the load never
+// recovered.
+#include "common.h"
+
+namespace ptperf::bench {
+namespace {
+
+int run(const BenchArgs& args) {
+  banner("Figure 12 / Appendix A.2", "snowflake post-unrest monitoring",
+         args);
+
+  ScenarioConfig cfg;
+  cfg.seed = args.seed;
+  cfg.tranco_sites = scaled(15, args.scale, 5);
+  cfg.cbl_sites = 0;
+  Scenario scenario(cfg);
+  TransportFactory factory(scenario);
+  CampaignOptions copts;
+  copts.website_reps = 3;  // paper: 5
+  Campaign campaign(scenario, copts);
+  auto sites = Campaign::take_sites(scenario.tranco(), cfg.tranco_sites);
+
+  PtStack stack = factory.create(PtId::kSnowflake);
+  stats::Table boxes(box_header());
+
+  stack.snowflake->set_overloaded(false);
+  auto pre = campaign.run_website_curl(stack, sites);
+  boxes.add_row(box_row("pre-unrest", per_site_means(pre)));
+
+  stack.snowflake->set_overloaded(true);
+  for (int week = 1; week <= 5; ++week) {
+    auto samples = campaign.run_website_curl(stack, sites);
+    boxes.add_row(box_row("week" + std::to_string(week),
+                          per_site_means(samples)));
+    std::printf("  week %d done\n", week);
+    std::fflush(stdout);
+  }
+
+  std::printf("\n-- Figure 12: weekly access-time boxes (s) --\n");
+  emit(boxes, args, "fig12_weekly");
+  std::printf(
+      "(paper: every post-unrest week's box sits above the pre baseline)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ptperf::bench
+
+int main(int argc, char** argv) {
+  return ptperf::bench::run(ptperf::bench::parse_args(argc, argv));
+}

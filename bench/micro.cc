@@ -1,0 +1,171 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the simulator:
+// the crypto suite, cell codec, onion layer processing, DNS codec, the
+// event loop, and the statistics kernels. These bound how fast measurement
+// campaigns replay.
+#include <benchmark/benchmark.h>
+
+#include "crypto/aead.h"
+#include "crypto/chacha20.h"
+#include "crypto/hmac.h"
+#include "crypto/poly1305.h"
+#include "crypto/sha256.h"
+#include "crypto/x25519.h"
+#include "net/dns.h"
+#include "sim/event_loop.h"
+#include "sim/rng.h"
+#include "stats/ttest.h"
+#include "tor/cell.h"
+#include "tor/ntor.h"
+#include "tor/onion.h"
+
+namespace {
+
+using namespace ptperf;
+
+void BM_Sha256(benchmark::State& state) {
+  util::Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::digest(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_ChaCha20(benchmark::State& state) {
+  sim::Rng rng(1);
+  util::Bytes key = rng.bytes(32), nonce = rng.bytes(12);
+  util::Bytes data(static_cast<std::size_t>(state.range(0)), 0x42);
+  crypto::ChaCha20 cipher(key, nonce);
+  for (auto _ : state) {
+    cipher.process(data.data(), data.size());
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ChaCha20)->Arg(512)->Arg(16384);
+
+void BM_Poly1305(benchmark::State& state) {
+  sim::Rng rng(2);
+  util::Bytes key = rng.bytes(32);
+  util::Bytes data(static_cast<std::size_t>(state.range(0)), 0x42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Poly1305::mac(key, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Poly1305)->Arg(512)->Arg(16384);
+
+void BM_AeadSealOpen(benchmark::State& state) {
+  sim::Rng rng(3);
+  crypto::ChaCha20Poly1305 aead(rng.bytes(32));
+  util::Bytes data(static_cast<std::size_t>(state.range(0)), 0x42);
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    auto ct = aead.seal(crypto::counter_nonce(seq), data);
+    auto pt = aead.open(crypto::counter_nonce(seq), ct);
+    benchmark::DoNotOptimize(pt);
+    ++seq;
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AeadSealOpen)->Arg(498)->Arg(8192);
+
+void BM_X25519(benchmark::State& state) {
+  sim::Rng rng(4);
+  crypto::X25519Key scalar{};
+  rng.fill_bytes(scalar.data(), scalar.size());
+  scalar = crypto::x25519_clamp(scalar);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::x25519_base(scalar));
+  }
+}
+BENCHMARK(BM_X25519);
+
+void BM_CellRoundTrip(benchmark::State& state) {
+  sim::Rng rng(5);
+  tor::RelayCell rc;
+  rc.command = tor::RelayCommand::kData;
+  rc.stream_id = 7;
+  rc.data = rng.bytes(tor::kRelayDataMax);
+  for (auto _ : state) {
+    tor::Cell cell;
+    cell.circ_id = 99;
+    cell.command = tor::CellCommand::kRelay;
+    cell.payload = rc.encode();
+    util::Bytes wire = cell.encode();
+    auto back = tor::Cell::decode(wire);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetBytesProcessed(state.iterations() * tor::kCellSize);
+}
+BENCHMARK(BM_CellRoundTrip);
+
+void BM_OnionLayer3Hop(benchmark::State& state) {
+  sim::Rng rng(6);
+  auto keys = [&rng]() {
+    tor::CircuitKeys k;
+    k.forward_key = rng.bytes(32);
+    k.backward_key = rng.bytes(32);
+    k.forward_nonce = rng.bytes(12);
+    k.backward_nonce = rng.bytes(12);
+    k.digest_seed = rng.bytes(16);
+    return k;
+  };
+  tor::RelayLayer l1(keys()), l2(keys()), l3(keys());
+  util::Bytes payload = rng.bytes(tor::kCellPayloadSize);
+  for (auto _ : state) {
+    l3.process_forward(payload);
+    l2.process_forward(payload);
+    l1.process_forward(payload);
+    benchmark::DoNotOptimize(payload.data());
+  }
+  state.SetBytesProcessed(state.iterations() * tor::kCellPayloadSize * 3);
+}
+BENCHMARK(BM_OnionLayer3Hop);
+
+void BM_DnsEncodeDecode(benchmark::State& state) {
+  sim::Rng rng(7);
+  util::Bytes data = rng.bytes(120);
+  for (auto _ : state) {
+    net::dns::Message q;
+    q.id = 42;
+    net::dns::Question question;
+    question.name = net::dns::encode_data_name(data, "t.example.com");
+    q.questions.push_back(question);
+    util::Bytes wire = net::dns::encode(q);
+    auto back = net::dns::decode(wire);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_DnsEncodeDecode);
+
+void BM_EventLoopSchedule(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventLoop loop;
+    int count = 0;
+    for (int i = 0; i < 1000; ++i) {
+      loop.schedule(sim::from_millis(i % 100), [&count] { ++count; });
+    }
+    loop.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventLoopSchedule);
+
+void BM_PairedTTest(benchmark::State& state) {
+  sim::Rng rng(8);
+  std::vector<double> x, y;
+  for (int i = 0; i < 1000; ++i) {
+    x.push_back(rng.normal(5.0, 1.0));
+    y.push_back(rng.normal(5.2, 1.1));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::paired_t_test(x, y));
+  }
+}
+BENCHMARK(BM_PairedTTest);
+
+}  // namespace
+
+BENCHMARK_MAIN();

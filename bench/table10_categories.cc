@@ -1,0 +1,86 @@
+// Reproduces Table 10: paired t-tests between PT *categories* over per-site
+// curl access times. Expected ordering (paper): fully-encrypted fastest,
+// then proxy-layer, then tunneling ~ mimicry; e.g. fully-encrypted beats
+// tunneling by ~4.9 s and mimicry by ~5.2 s mean difference.
+#include "pt/transport.h"
+
+#include "common.h"
+
+namespace ptperf::bench {
+namespace {
+
+int run(const BenchArgs& args) {
+  banner("Table 10", "category-level paired t-tests (curl website access)",
+         args);
+
+  ScenarioConfig cfg;
+  cfg.seed = args.seed;
+  cfg.tranco_sites = scaled(25, args.scale, 6);
+  cfg.cbl_sites = scaled(25, args.scale, 6);
+  Scenario scenario(cfg);
+  TransportFactory factory(scenario);
+  CampaignOptions copts;
+  copts.website_reps = 3;
+  Campaign campaign(scenario, copts);
+  auto sites = Campaign::merge(
+      Campaign::take_sites(scenario.tranco(), cfg.tranco_sites),
+      Campaign::take_sites(scenario.cbl(), cfg.cbl_sites));
+
+  // site -> category -> (sum, count): category value per site is the mean
+  // over that category's PTs.
+  std::map<std::string, std::map<std::string, std::pair<double, int>>> acc;
+
+  auto measure = [&](PtStack stack) {
+    std::string category =
+        stack.info ? std::string(pt::category_name(stack.info->category))
+                   : "Tor";
+    auto samples = campaign.run_website_curl(stack, sites);
+    for (const WebsiteSample& s : samples) {
+      if (!s.result.success) continue;
+      auto& slot = acc[s.site][category];
+      slot.first += s.result.elapsed();
+      slot.second += 1;
+    }
+    std::printf("  measured %s (%s)\n", stack.name().c_str(),
+                category.c_str());
+    std::fflush(stdout);
+  };
+
+  measure(factory.create_vanilla());
+  for (PtId id : figure_pt_order()) measure(factory.create(id));
+
+  // Assemble per-category vectors paired by site (sites covered by all).
+  std::vector<std::string> categories = {"fully-encrypted", "proxy-layer",
+                                         "tunneling", "mimicry", "Tor"};
+  std::vector<std::pair<std::string, std::vector<double>>> groups;
+  for (const std::string& c : categories) groups.emplace_back(c, std::vector<double>{});
+  for (auto& [site, by_cat] : acc) {
+    bool complete = true;
+    for (const std::string& c : categories)
+      if (!by_cat.count(c)) complete = false;
+    if (!complete) continue;
+    for (auto& [c, xs] : groups) {
+      auto& slot = by_cat[c];
+      xs.push_back(slot.first / slot.second);
+    }
+  }
+
+  std::printf("\n-- category means (s) --\n");
+  stats::Table means({"category", "n_sites", "mean_s"});
+  for (auto& [c, xs] : groups) {
+    means.add_row({c, std::to_string(xs.size()),
+                   util::fmt_double(stats::mean(xs), 2)});
+  }
+  emit(means, args, "table10_means");
+
+  std::printf("-- Table 10: category pair t-tests --\n");
+  emit(pairwise_t_tests(groups), args, "table10_ttests");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ptperf::bench
+
+int main(int argc, char** argv) {
+  return ptperf::bench::run(ptperf::bench::parse_args(argc, argv));
+}

@@ -1,0 +1,69 @@
+// Scenario from the paper's introduction: a user in a censored region
+// (client in Bangalore, like the paper's Asian vantage point) needs to
+// browse the web and wants the right pluggable transport. This example
+// measures a candidate set for interactive browsing (access time + TTFB)
+// and prints a recommendation, mirroring the paper's §6 guidance.
+//
+//   $ ./examples/censored_browsing
+#include <cstdio>
+
+#include "ptperf/campaign.h"
+#include "stats/descriptive.h"
+
+int main() {
+  using namespace ptperf;
+
+  ScenarioConfig config;
+  config.seed = 7;
+  config.client_region = net::Region::kBangalore;
+  config.tranco_sites = 8;
+  config.cbl_sites = 8;  // the blocked sites the user actually wants
+  Scenario scenario(config);
+  TransportFactory factory(scenario);
+
+  CampaignOptions copts;
+  copts.website_reps = 2;
+  Campaign campaign(scenario, copts);
+  auto sites = Campaign::merge(
+      Campaign::take_sites(scenario.tranco(), config.tranco_sites),
+      Campaign::take_sites(scenario.cbl(), config.cbl_sites));
+
+  struct Row {
+    std::string name;
+    double mean_time;
+    double mean_ttfb;
+    double success_rate;
+  };
+  std::vector<Row> rows;
+
+  std::printf("measuring candidate transports from Bangalore...\n\n");
+  for (PtId id : {PtId::kObfs4, PtId::kSnowflake, PtId::kMeek, PtId::kDnstt,
+                  PtId::kWebTunnel, PtId::kCloak}) {
+    PtStack stack = factory.create(id);
+    auto samples = campaign.run_website_curl(stack, sites);
+    auto times = elapsed_seconds(samples);
+    auto ttfbs = ttfb_seconds(samples);
+    rows.push_back({stack.name(), stats::mean(times), stats::mean(ttfbs),
+                    static_cast<double>(times.size()) /
+                        static_cast<double>(samples.size())});
+    std::printf("  %-10s access %5.2fs   TTFB %5.2fs   success %3.0f%%\n",
+                rows.back().name.c_str(), rows.back().mean_time,
+                rows.back().mean_ttfb, 100 * rows.back().success_rate);
+  }
+
+  // Recommend: reliable first, then fastest TTFB (interactive browsing).
+  const Row* best = nullptr;
+  for (const Row& r : rows) {
+    if (r.success_rate < 0.9) continue;
+    if (!best || r.mean_ttfb < best->mean_ttfb) best = &r;
+  }
+  if (best) {
+    std::printf(
+        "\nrecommendation for interactive browsing: %s\n"
+        "(the paper reaches the same conclusion: fully-encrypted and\n"
+        " proxy-layer PTs like obfs4 serve browsing best, while meek,\n"
+        " dnstt and camoufler pay for their cover medium)\n",
+        best->name.c_str());
+  }
+  return 0;
+}

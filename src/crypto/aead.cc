@@ -1,0 +1,79 @@
+#include "crypto/aead.h"
+
+#include <stdexcept>
+
+#include "crypto/chacha20.h"
+#include "crypto/poly1305.h"
+
+namespace ptperf::crypto {
+namespace {
+
+util::Bytes poly1305_aead_tag(util::BytesView otk, util::BytesView aad,
+                              util::BytesView ciphertext) {
+  Poly1305 mac(otk);
+  auto pad16 = [&mac](std::size_t len) {
+    static const std::uint8_t zeros[16] = {0};
+    if (len % 16 != 0) mac.update(util::BytesView(zeros, 16 - len % 16));
+  };
+  mac.update(aad);
+  pad16(aad.size());
+  mac.update(ciphertext);
+  pad16(ciphertext.size());
+  util::Writer lengths;
+  // Lengths are little-endian per RFC 8439.
+  auto le64 = [&lengths](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      lengths.u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  le64(aad.size());
+  le64(ciphertext.size());
+  mac.update(lengths.view());
+  auto t = mac.finalize();
+  return util::Bytes(t.begin(), t.end());
+}
+
+}  // namespace
+
+ChaCha20Poly1305::ChaCha20Poly1305(util::BytesView key)
+    : key_(key.begin(), key.end()) {
+  if (key_.size() != kKeySize)
+    throw std::invalid_argument("chacha20poly1305: key size");
+}
+
+util::Bytes ChaCha20Poly1305::seal(util::BytesView nonce,
+                                   util::BytesView plaintext,
+                                   util::BytesView aad) const {
+  auto block0 = ChaCha20::block(key_, nonce, 0);
+  util::BytesView otk(block0.data(), 32);
+
+  ChaCha20 cipher(key_, nonce, 1);
+  util::Bytes ct = cipher.process_copy(plaintext);
+  util::Bytes tag = poly1305_aead_tag(otk, aad, ct);
+  ct.insert(ct.end(), tag.begin(), tag.end());
+  return ct;
+}
+
+std::optional<util::Bytes> ChaCha20Poly1305::open(
+    util::BytesView nonce, util::BytesView ciphertext_and_tag,
+    util::BytesView aad) const {
+  if (ciphertext_and_tag.size() < kTagSize) return std::nullopt;
+  util::BytesView ct = ciphertext_and_tag.first(ciphertext_and_tag.size() - kTagSize);
+  util::BytesView tag = ciphertext_and_tag.last(kTagSize);
+
+  auto block0 = ChaCha20::block(key_, nonce, 0);
+  util::BytesView otk(block0.data(), 32);
+  util::Bytes expect = poly1305_aead_tag(otk, aad, ct);
+  if (!util::ct_equal(expect, tag)) return std::nullopt;
+
+  ChaCha20 cipher(key_, nonce, 1);
+  return cipher.process_copy(ct);
+}
+
+util::Bytes counter_nonce(std::uint64_t counter) {
+  util::Bytes nonce(ChaCha20Poly1305::kNonceSize, 0);
+  for (int i = 0; i < 8; ++i)
+    nonce[i] = static_cast<std::uint8_t>(counter >> (8 * i));
+  return nonce;
+}
+
+}  // namespace ptperf::crypto

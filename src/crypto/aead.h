@@ -1,0 +1,35 @@
+// ChaCha20-Poly1305 AEAD (RFC 8439 §2.8). Record protection for the
+// shadowsocks / obfs4 / cloak framings in src/pt.
+#pragma once
+
+#include <optional>
+
+#include "util/bytes.h"
+
+namespace ptperf::crypto {
+
+class ChaCha20Poly1305 {
+ public:
+  static constexpr std::size_t kKeySize = 32;
+  static constexpr std::size_t kNonceSize = 12;
+  static constexpr std::size_t kTagSize = 16;
+
+  explicit ChaCha20Poly1305(util::BytesView key);
+
+  /// Returns ciphertext || 16-byte tag.
+  util::Bytes seal(util::BytesView nonce, util::BytesView plaintext,
+                   util::BytesView aad = {}) const;
+
+  /// Verifies and strips the tag; nullopt on authentication failure.
+  std::optional<util::Bytes> open(util::BytesView nonce,
+                                  util::BytesView ciphertext_and_tag,
+                                  util::BytesView aad = {}) const;
+
+ private:
+  util::Bytes key_;
+};
+
+/// 96-bit little-endian counter nonce, as used by shadowsocks AEAD chunks.
+util::Bytes counter_nonce(std::uint64_t counter);
+
+}  // namespace ptperf::crypto

@@ -1,0 +1,80 @@
+#include "crypto/chacha20.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace ptperf::crypto {
+namespace {
+
+inline std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                          std::uint32_t& d) {
+  a += b; d ^= a; d = std::rotl(d, 16);
+  c += d; b ^= c; b = std::rotl(b, 12);
+  a += b; d ^= a; d = std::rotl(d, 8);
+  c += d; b ^= c; b = std::rotl(b, 7);
+}
+
+void chacha_block(const std::array<std::uint32_t, 16>& in,
+                  std::array<std::uint8_t, 64>& out) {
+  std::array<std::uint32_t, 16> x = in;
+  for (int i = 0; i < 10; ++i) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    std::uint32_t v = x[i] + in[i];
+    out[i * 4] = static_cast<std::uint8_t>(v);
+    out[i * 4 + 1] = static_cast<std::uint8_t>(v >> 8);
+    out[i * 4 + 2] = static_cast<std::uint8_t>(v >> 16);
+    out[i * 4 + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+}
+
+}  // namespace
+
+ChaCha20::ChaCha20(util::BytesView key, util::BytesView nonce,
+                   std::uint32_t initial_counter) {
+  if (key.size() != kKeySize) throw std::invalid_argument("chacha20: key size");
+  if (nonce.size() != kNonceSize)
+    throw std::invalid_argument("chacha20: nonce size");
+  state_ = {0x61707865, 0x3320646e, 0x79622d32, 0x6b206574};
+  for (int i = 0; i < 8; ++i) state_[4 + i] = load_le32(key.data() + i * 4);
+  state_[12] = initial_counter;
+  for (int i = 0; i < 3; ++i) state_[13 + i] = load_le32(nonce.data() + i * 4);
+}
+
+void ChaCha20::refill() {
+  chacha_block(state_, keystream_);
+  state_[12] += 1;
+  keystream_pos_ = 0;
+}
+
+void ChaCha20::process(std::uint8_t* data, std::size_t len) {
+  for (std::size_t i = 0; i < len; ++i) {
+    if (keystream_pos_ == 64) refill();
+    data[i] ^= keystream_[keystream_pos_++];
+  }
+}
+
+std::array<std::uint8_t, 64> ChaCha20::block(util::BytesView key,
+                                             util::BytesView nonce,
+                                             std::uint32_t counter) {
+  ChaCha20 c(key, nonce, counter);
+  c.refill();
+  return c.keystream_;
+}
+
+}  // namespace ptperf::crypto

@@ -1,0 +1,44 @@
+// ChaCha20 stream cipher (RFC 8439). Used as the onion-layer cipher in the
+// simulated Tor circuits and in the ChaCha20-Poly1305 AEAD for PT framings.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace ptperf::crypto {
+
+class ChaCha20 {
+ public:
+  static constexpr std::size_t kKeySize = 32;
+  static constexpr std::size_t kNonceSize = 12;
+
+  ChaCha20(util::BytesView key, util::BytesView nonce,
+           std::uint32_t initial_counter = 0);
+
+  /// XORs the keystream into data in place, continuing from the current
+  /// stream position (so successive calls encrypt a contiguous stream).
+  void process(std::uint8_t* data, std::size_t len);
+
+  util::Bytes process_copy(util::BytesView data) {
+    util::Bytes out(data.begin(), data.end());
+    process(out.data(), out.size());
+    return out;
+  }
+
+  /// Produces one 64-byte keystream block for the given counter (used by
+  /// Poly1305 one-time-key generation, counter = 0).
+  static std::array<std::uint8_t, 64> block(util::BytesView key,
+                                            util::BytesView nonce,
+                                            std::uint32_t counter);
+
+ private:
+  void refill();
+
+  std::array<std::uint32_t, 16> state_;
+  std::array<std::uint8_t, 64> keystream_;
+  std::size_t keystream_pos_ = 64;  // empty
+};
+
+}  // namespace ptperf::crypto

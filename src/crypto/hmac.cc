@@ -1,0 +1,63 @@
+#include "crypto/hmac.h"
+
+#include <stdexcept>
+
+namespace ptperf::crypto {
+
+util::Bytes hmac_sha256(util::BytesView key, util::BytesView message) {
+  constexpr std::size_t B = Sha256::kBlockSize;
+  util::Bytes k(B, 0);
+  if (key.size() > B) {
+    auto d = Sha256::digest(key);
+    std::copy(d.begin(), d.end(), k.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k.begin());
+  }
+
+  util::Bytes ipad(B), opad(B);
+  for (std::size_t i = 0; i < B; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(message);
+  auto inner_digest = inner.finalize();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(util::BytesView(inner_digest.data(), inner_digest.size()));
+  auto d = outer.finalize();
+  return util::Bytes(d.begin(), d.end());
+}
+
+util::Bytes hkdf_extract(util::BytesView salt, util::BytesView ikm) {
+  static const util::Bytes zero_salt(Sha256::kDigestSize, 0);
+  return hmac_sha256(salt.empty() ? util::BytesView(zero_salt) : salt, ikm);
+}
+
+util::Bytes hkdf_expand(util::BytesView prk, util::BytesView info,
+                        std::size_t length) {
+  constexpr std::size_t H = Sha256::kDigestSize;
+  if (length > 255 * H) throw std::invalid_argument("hkdf_expand: too long");
+  util::Bytes okm;
+  okm.reserve(length);
+  util::Bytes t;
+  std::uint8_t counter = 1;
+  while (okm.size() < length) {
+    util::Writer w;
+    w.raw(t).raw(info).u8(counter++);
+    t = hmac_sha256(prk, w.view());
+    std::size_t take = std::min(H, length - okm.size());
+    okm.insert(okm.end(), t.begin(), t.begin() + static_cast<long>(take));
+  }
+  return okm;
+}
+
+util::Bytes hkdf(util::BytesView salt, util::BytesView ikm,
+                 util::BytesView info, std::size_t length) {
+  return hkdf_expand(hkdf_extract(salt, ikm), info, length);
+}
+
+}  // namespace ptperf::crypto

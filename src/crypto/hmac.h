@@ -1,0 +1,23 @@
+// HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869). Key-derivation backbone for
+// ntor, obfs4, and shadowsocks session keys.
+#pragma once
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace ptperf::crypto {
+
+util::Bytes hmac_sha256(util::BytesView key, util::BytesView message);
+
+/// HKDF-Extract(salt, ikm) -> PRK.
+util::Bytes hkdf_extract(util::BytesView salt, util::BytesView ikm);
+
+/// HKDF-Expand(prk, info, length). length <= 255*32.
+util::Bytes hkdf_expand(util::BytesView prk, util::BytesView info,
+                        std::size_t length);
+
+/// Extract-then-expand convenience.
+util::Bytes hkdf(util::BytesView salt, util::BytesView ikm,
+                 util::BytesView info, std::size_t length);
+
+}  // namespace ptperf::crypto

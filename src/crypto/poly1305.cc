@@ -1,0 +1,167 @@
+#include "crypto/poly1305.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace ptperf::crypto {
+namespace {
+
+inline std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+}  // namespace
+
+Poly1305::Poly1305(util::BytesView key) {
+  if (key.size() != kKeySize) throw std::invalid_argument("poly1305: key size");
+  // Clamp r per the spec.
+  std::uint32_t t0 = load_le32(key.data() + 0);
+  std::uint32_t t1 = load_le32(key.data() + 4);
+  std::uint32_t t2 = load_le32(key.data() + 8);
+  std::uint32_t t3 = load_le32(key.data() + 12);
+  r_[0] = t0 & 0x3ffffff;
+  r_[1] = (t0 >> 26 | t1 << 6) & 0x3ffff03;
+  r_[2] = (t1 >> 20 | t2 << 12) & 0x3ffc0ff;
+  r_[3] = (t2 >> 14 | t3 << 18) & 0x3f03fff;
+  r_[4] = (t3 >> 8) & 0x00fffff;
+  for (int i = 0; i < 4; ++i) pad_[i] = load_le32(key.data() + 16 + i * 4);
+}
+
+void Poly1305::process_block(const std::uint8_t* block, std::size_t len,
+                             bool final) {
+  std::uint8_t tmp[16] = {0};
+  std::memcpy(tmp, block, len);
+  std::uint32_t hibit = 1 << 24;
+  if (final && len < 16) {
+    tmp[len] = 1;
+    hibit = 0;
+  }
+
+  h_[0] += load_le32(tmp + 0) & 0x3ffffff;
+  h_[1] += (load_le32(tmp + 3) >> 2) & 0x3ffffff;
+  h_[2] += (load_le32(tmp + 6) >> 4) & 0x3ffffff;
+  h_[3] += (load_le32(tmp + 9) >> 6) & 0x3ffffff;
+  h_[4] += (load_le32(tmp + 12) >> 8) | hibit;
+
+  // h *= r mod 2^130-5 (schoolbook with 5x reduction folding).
+  std::uint64_t d0 = static_cast<std::uint64_t>(h_[0]) * r_[0] +
+                     static_cast<std::uint64_t>(h_[1]) * (5 * r_[4]) +
+                     static_cast<std::uint64_t>(h_[2]) * (5 * r_[3]) +
+                     static_cast<std::uint64_t>(h_[3]) * (5 * r_[2]) +
+                     static_cast<std::uint64_t>(h_[4]) * (5 * r_[1]);
+  std::uint64_t d1 = static_cast<std::uint64_t>(h_[0]) * r_[1] +
+                     static_cast<std::uint64_t>(h_[1]) * r_[0] +
+                     static_cast<std::uint64_t>(h_[2]) * (5 * r_[4]) +
+                     static_cast<std::uint64_t>(h_[3]) * (5 * r_[3]) +
+                     static_cast<std::uint64_t>(h_[4]) * (5 * r_[2]);
+  std::uint64_t d2 = static_cast<std::uint64_t>(h_[0]) * r_[2] +
+                     static_cast<std::uint64_t>(h_[1]) * r_[1] +
+                     static_cast<std::uint64_t>(h_[2]) * r_[0] +
+                     static_cast<std::uint64_t>(h_[3]) * (5 * r_[4]) +
+                     static_cast<std::uint64_t>(h_[4]) * (5 * r_[3]);
+  std::uint64_t d3 = static_cast<std::uint64_t>(h_[0]) * r_[3] +
+                     static_cast<std::uint64_t>(h_[1]) * r_[2] +
+                     static_cast<std::uint64_t>(h_[2]) * r_[1] +
+                     static_cast<std::uint64_t>(h_[3]) * r_[0] +
+                     static_cast<std::uint64_t>(h_[4]) * (5 * r_[4]);
+  std::uint64_t d4 = static_cast<std::uint64_t>(h_[0]) * r_[4] +
+                     static_cast<std::uint64_t>(h_[1]) * r_[3] +
+                     static_cast<std::uint64_t>(h_[2]) * r_[2] +
+                     static_cast<std::uint64_t>(h_[3]) * r_[1] +
+                     static_cast<std::uint64_t>(h_[4]) * r_[0];
+
+  std::uint64_t c;
+  c = d0 >> 26; h_[0] = d0 & 0x3ffffff; d1 += c;
+  c = d1 >> 26; h_[1] = d1 & 0x3ffffff; d2 += c;
+  c = d2 >> 26; h_[2] = d2 & 0x3ffffff; d3 += c;
+  c = d3 >> 26; h_[3] = d3 & 0x3ffffff; d4 += c;
+  c = d4 >> 26; h_[4] = d4 & 0x3ffffff;
+  h_[0] += static_cast<std::uint32_t>(c * 5);
+  c = h_[0] >> 26; h_[0] &= 0x3ffffff;
+  h_[1] += static_cast<std::uint32_t>(c);
+}
+
+void Poly1305::update(util::BytesView data) {
+  std::size_t offset = 0;
+  if (buffer_len_ > 0) {
+    std::size_t chunk = std::min<std::size_t>(16 - buffer_len_, data.size());
+    std::memcpy(buffer_.data() + buffer_len_, data.data(), chunk);
+    buffer_len_ += chunk;
+    offset = chunk;
+    if (buffer_len_ == 16) {
+      process_block(buffer_.data(), 16, false);
+      buffer_len_ = 0;
+    }
+  }
+  while (offset + 16 <= data.size()) {
+    process_block(data.data() + offset, 16, false);
+    offset += 16;
+  }
+  if (offset < data.size()) {
+    buffer_len_ = data.size() - offset;
+    std::memcpy(buffer_.data(), data.data() + offset, buffer_len_);
+  }
+}
+
+std::array<std::uint8_t, Poly1305::kTagSize> Poly1305::finalize() {
+  if (buffer_len_ > 0) process_block(buffer_.data(), buffer_len_, true);
+
+  // Full carry propagation.
+  std::uint32_t c;
+  c = h_[1] >> 26; h_[1] &= 0x3ffffff; h_[2] += c;
+  c = h_[2] >> 26; h_[2] &= 0x3ffffff; h_[3] += c;
+  c = h_[3] >> 26; h_[3] &= 0x3ffffff; h_[4] += c;
+  c = h_[4] >> 26; h_[4] &= 0x3ffffff; h_[0] += c * 5;
+  c = h_[0] >> 26; h_[0] &= 0x3ffffff; h_[1] += c;
+
+  // Compute h + -p and select based on overflow.
+  std::uint32_t g0 = h_[0] + 5; c = g0 >> 26; g0 &= 0x3ffffff;
+  std::uint32_t g1 = h_[1] + c; c = g1 >> 26; g1 &= 0x3ffffff;
+  std::uint32_t g2 = h_[2] + c; c = g2 >> 26; g2 &= 0x3ffffff;
+  std::uint32_t g3 = h_[3] + c; c = g3 >> 26; g3 &= 0x3ffffff;
+  std::uint32_t g4 = h_[4] + c - (1u << 26);
+
+  std::uint32_t mask = (g4 >> 31) - 1;  // all ones if h >= p
+  h_[0] = (h_[0] & ~mask) | (g0 & mask);
+  h_[1] = (h_[1] & ~mask) | (g1 & mask);
+  h_[2] = (h_[2] & ~mask) | (g2 & mask);
+  h_[3] = (h_[3] & ~mask) | (g3 & mask);
+  h_[4] = (h_[4] & ~mask) | (g4 & mask);
+
+  // Serialize h to four 32-bit little-endian words (the shifts must
+  // truncate in 32-bit arithmetic: each word takes only the low bits of
+  // the shifted limb — the rest already lives in the next word) and add
+  // the pad with carry.
+  std::uint32_t w0 = h_[0] | (h_[1] << 26);
+  std::uint32_t w1 = (h_[1] >> 6) | (h_[2] << 20);
+  std::uint32_t w2 = (h_[2] >> 12) | (h_[3] << 14);
+  std::uint32_t w3 = (h_[3] >> 18) | (h_[4] << 8);
+  std::uint64_t f0 = static_cast<std::uint64_t>(w0) + pad_[0];
+  std::uint64_t f1 = static_cast<std::uint64_t>(w1) + pad_[1] + (f0 >> 32);
+  std::uint64_t f2 = static_cast<std::uint64_t>(w2) + pad_[2] + (f1 >> 32);
+  std::uint64_t f3 = static_cast<std::uint64_t>(w3) + pad_[3] + (f2 >> 32);
+
+  std::array<std::uint8_t, kTagSize> tag;
+  std::uint32_t words[4] = {
+      static_cast<std::uint32_t>(f0), static_cast<std::uint32_t>(f1),
+      static_cast<std::uint32_t>(f2), static_cast<std::uint32_t>(f3)};
+  for (int i = 0; i < 4; ++i) {
+    tag[i * 4] = static_cast<std::uint8_t>(words[i]);
+    tag[i * 4 + 1] = static_cast<std::uint8_t>(words[i] >> 8);
+    tag[i * 4 + 2] = static_cast<std::uint8_t>(words[i] >> 16);
+    tag[i * 4 + 3] = static_cast<std::uint8_t>(words[i] >> 24);
+  }
+  return tag;
+}
+
+std::array<std::uint8_t, Poly1305::kTagSize> Poly1305::mac(
+    util::BytesView key, util::BytesView message) {
+  Poly1305 p(key);
+  p.update(message);
+  return p.finalize();
+}
+
+}  // namespace ptperf::crypto

@@ -1,0 +1,35 @@
+// Poly1305 one-time authenticator (RFC 8439 §2.5).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace ptperf::crypto {
+
+class Poly1305 {
+ public:
+  static constexpr std::size_t kKeySize = 32;
+  static constexpr std::size_t kTagSize = 16;
+
+  explicit Poly1305(util::BytesView key);
+
+  void update(util::BytesView data);
+  std::array<std::uint8_t, kTagSize> finalize();
+
+  static std::array<std::uint8_t, kTagSize> mac(util::BytesView key,
+                                                util::BytesView message);
+
+ private:
+  void process_block(const std::uint8_t* block, std::size_t len, bool final);
+
+  // 130-bit accumulator in five 26-bit limbs.
+  std::uint32_t r_[5];
+  std::uint32_t h_[5] = {0, 0, 0, 0, 0};
+  std::uint32_t pad_[4];
+  std::array<std::uint8_t, 16> buffer_;
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace ptperf::crypto

@@ -1,0 +1,38 @@
+// FIPS 180-4 SHA-256, incremental interface. Used for relay fingerprints,
+// ntor key derivation, HMAC, and PT handshake MACs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace ptperf::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha256() { reset(); }
+
+  void reset();
+  void update(util::BytesView data);
+  std::array<std::uint8_t, kDigestSize> finalize();
+
+  /// One-shot convenience.
+  static std::array<std::uint8_t, kDigestSize> digest(util::BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, kBlockSize> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// Digest as an owned Bytes (handy for Writer::raw chains).
+util::Bytes sha256(util::BytesView data);
+
+}  // namespace ptperf::crypto

@@ -1,0 +1,155 @@
+#include "crypto/x25519.h"
+
+#include <cstdint>
+#include <cstring>
+
+namespace ptperf::crypto {
+namespace {
+
+// Field arithmetic over GF(2^255 - 19) with 10 limbs of 25.5 bits
+// (the classic ref10-style representation, simplified: we use 64-bit
+// intermediate products and carry eagerly).
+using fe = std::array<std::int64_t, 16>;  // 16 x 16-bit limbs (TweetNaCl style)
+
+void car25519(fe& o) {
+  for (int i = 0; i < 16; ++i) {
+    o[i] += (1LL << 16);
+    std::int64_t c = o[i] >> 16;
+    o[(i + 1) * (i < 15)] += c - 1 + 37 * (c - 1) * (i == 15);
+    o[i] -= c << 16;
+  }
+}
+
+void sel25519(fe& p, fe& q, int b) {
+  std::int64_t c = ~(b - 1);
+  for (int i = 0; i < 16; ++i) {
+    std::int64_t t = c & (p[i] ^ q[i]);
+    p[i] ^= t;
+    q[i] ^= t;
+  }
+}
+
+void pack25519(std::uint8_t* o, const fe& n) {
+  fe t = n;
+  car25519(t);
+  car25519(t);
+  car25519(t);
+  for (int j = 0; j < 2; ++j) {
+    fe m{};
+    m[0] = t[0] - 0xffed;
+    for (int i = 1; i < 15; ++i) {
+      m[i] = t[i] - 0xffff - ((m[i - 1] >> 16) & 1);
+      m[i - 1] &= 0xffff;
+    }
+    m[15] = t[15] - 0x7fff - ((m[14] >> 16) & 1);
+    int b = static_cast<int>((m[15] >> 16) & 1);
+    m[14] &= 0xffff;
+    sel25519(t, m, 1 - b);
+  }
+  for (int i = 0; i < 16; ++i) {
+    o[2 * i] = static_cast<std::uint8_t>(t[i] & 0xff);
+    o[2 * i + 1] = static_cast<std::uint8_t>(t[i] >> 8);
+  }
+}
+
+void unpack25519(fe& o, const std::uint8_t* n) {
+  for (int i = 0; i < 16; ++i)
+    o[i] = n[2 * i] + (static_cast<std::int64_t>(n[2 * i + 1]) << 8);
+  o[15] &= 0x7fff;
+}
+
+void A(fe& o, const fe& a, const fe& b) {
+  for (int i = 0; i < 16; ++i) o[i] = a[i] + b[i];
+}
+
+void Z(fe& o, const fe& a, const fe& b) {
+  for (int i = 0; i < 16; ++i) o[i] = a[i] - b[i];
+}
+
+void M(fe& o, const fe& a, const fe& b) {
+  std::int64_t t[31] = {0};
+  for (int i = 0; i < 16; ++i)
+    for (int j = 0; j < 16; ++j) t[i + j] += a[i] * b[j];
+  for (int i = 0; i < 15; ++i) t[i] += 38 * t[i + 16];
+  for (int i = 0; i < 16; ++i) o[i] = t[i];
+  car25519(o);
+  car25519(o);
+}
+
+void S(fe& o, const fe& a) { M(o, a, a); }
+
+void inv25519(fe& o, const fe& i) {
+  fe c = i;
+  for (int a = 253; a >= 0; --a) {
+    S(c, c);
+    if (a != 2 && a != 4) M(c, c, i);
+  }
+  o = c;
+}
+
+constexpr fe k121665 = {0xDB41, 1};
+
+}  // namespace
+
+X25519Key x25519_clamp(X25519Key raw) {
+  raw[0] &= 248;
+  raw[31] &= 127;
+  raw[31] |= 64;
+  return raw;
+}
+
+X25519Key x25519(const X25519Key& scalar, const X25519Key& point) {
+  std::uint8_t z[32];
+  std::memcpy(z, scalar.data(), 32);
+  z[31] = (scalar[31] & 127) | 64;
+  z[0] &= 248;
+
+  fe x;
+  unpack25519(x, point.data());
+
+  fe a{}, b = x, c{}, d{};
+  a[0] = 1;
+  d[0] = 1;
+
+  for (int i = 254; i >= 0; --i) {
+    int r = (z[i >> 3] >> (i & 7)) & 1;
+    sel25519(a, b, r);
+    sel25519(c, d, r);
+    fe e, f;
+    A(e, a, c);
+    Z(a, a, c);
+    A(c, b, d);
+    Z(b, b, d);
+    S(d, e);
+    S(f, a);
+    M(a, c, a);
+    M(c, b, e);
+    A(e, a, c);
+    Z(a, a, c);
+    S(b, a);
+    Z(c, d, f);
+    M(a, c, k121665);
+    A(a, a, d);
+    M(c, c, a);
+    M(a, d, f);
+    M(d, b, x);
+    S(b, e);
+    sel25519(a, b, r);
+    sel25519(c, d, r);
+  }
+  fe inv;
+  inv25519(inv, c);
+  M(a, a, inv);
+
+  X25519Key out;
+  pack25519(out.data(), a);
+  return out;
+}
+
+X25519Key x25519_base(const X25519Key& scalar) {
+  X25519Key base{};
+  base[0] = 9;
+  return x25519(scalar, base);
+}
+
+}  // namespace ptperf::crypto

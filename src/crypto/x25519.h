@@ -1,0 +1,22 @@
+// X25519 Diffie-Hellman (RFC 7748). Powers the ntor handshake used by the
+// simulated Tor circuit extension and the obfs4 bridge handshake.
+#pragma once
+
+#include <array>
+
+#include "util/bytes.h"
+
+namespace ptperf::crypto {
+
+using X25519Key = std::array<std::uint8_t, 32>;
+
+/// scalar * point on Curve25519 (Montgomery ladder).
+X25519Key x25519(const X25519Key& scalar, const X25519Key& point);
+
+/// scalar * base point (9).
+X25519Key x25519_base(const X25519Key& scalar);
+
+/// Clamps raw random bytes into a valid X25519 private key.
+X25519Key x25519_clamp(X25519Key raw);
+
+}  // namespace ptperf::crypto

@@ -1,0 +1,59 @@
+#include "net/channel.h"
+
+namespace ptperf::net {
+namespace {
+
+class PipeChannel final : public Channel {
+ public:
+  explicit PipeChannel(Pipe pipe) : pipe_(std::move(pipe)) {}
+
+  void send(util::Bytes payload) override { pipe_.send(std::move(payload)); }
+  void set_receiver(Receiver fn) override { pipe_.on_receive(std::move(fn)); }
+  void set_close_handler(CloseHandler fn) override {
+    pipe_.on_close(std::move(fn));
+  }
+  void close() override { pipe_.close(); }
+  sim::Duration base_rtt() const override { return pipe_.base_rtt(); }
+
+ private:
+  Pipe pipe_;
+};
+
+class TlsChannel final : public Channel {
+ public:
+  explicit TlsChannel(TlsSession session) : session_(std::move(session)) {}
+
+  void send(util::Bytes payload) override {
+    session_.send(std::move(payload));
+  }
+  void set_receiver(Receiver fn) override {
+    session_.on_receive(std::move(fn));
+  }
+  void set_close_handler(CloseHandler fn) override {
+    session_.on_close(std::move(fn));
+  }
+  void close() override { session_.close(); }
+  sim::Duration base_rtt() const override { return session_.base_rtt(); }
+
+ private:
+  TlsSession session_;
+};
+
+}  // namespace
+
+ChannelPtr wrap_pipe(Pipe pipe) {
+  return std::make_shared<PipeChannel>(std::move(pipe));
+}
+
+ChannelPtr wrap_tls(TlsSession session) {
+  return std::make_shared<TlsChannel>(std::move(session));
+}
+
+void splice(ChannelPtr a, ChannelPtr b) {
+  a->set_receiver([b](util::Bytes data) { b->send(std::move(data)); });
+  b->set_receiver([a](util::Bytes data) { a->send(std::move(data)); });
+  a->set_close_handler([b] { b->close(); });
+  b->set_close_handler([a] { a->close(); });
+}
+
+}  // namespace ptperf::net

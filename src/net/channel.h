@@ -1,0 +1,40 @@
+// Type-erased duplex byte channel. Pipes, TLS sessions and every pluggable
+// transport tunnel implement this shape, so the Tor client can run its
+// first hop over any of them and a SOCKS dialogue can run over a PT tunnel
+// (the paper's "set 3" PTs, §4.1).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "net/network.h"
+#include "net/tls.h"
+
+namespace ptperf::net {
+
+class Channel {
+ public:
+  using Receiver = std::function<void(util::Bytes)>;
+  using CloseHandler = std::function<void()>;
+
+  virtual ~Channel() = default;
+
+  virtual void send(util::Bytes payload) = 0;
+  virtual void set_receiver(Receiver fn) = 0;
+  virtual void set_close_handler(CloseHandler fn) = 0;
+  virtual void close() = 0;
+  /// Propagation-only round-trip estimate of the underlying path.
+  virtual sim::Duration base_rtt() const = 0;
+};
+
+using ChannelPtr = std::shared_ptr<Channel>;
+
+ChannelPtr wrap_pipe(Pipe pipe);
+ChannelPtr wrap_tls(TlsSession session);
+
+/// Bidirectionally forwards bytes between two channels until either side
+/// closes (then closes the other). The returned keep-alive token owns both;
+/// the splice lives as long as the channels do.
+void splice(ChannelPtr a, ChannelPtr b);
+
+}  // namespace ptperf::net

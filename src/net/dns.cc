@@ -1,0 +1,200 @@
+#include "net/dns.h"
+
+#include <algorithm>
+
+#include "util/encoding.h"
+#include "util/strings.h"
+
+namespace ptperf::net::dns {
+namespace {
+
+constexpr std::size_t kFirstQuestionOffset = 12;  // directly after header
+
+bool encode_name(util::Writer& w, const std::string& name) {
+  if (name.size() > kMaxNameLen) return false;
+  for (const std::string& label : util::split(name, '.')) {
+    if (label.empty() || label.size() > kMaxLabelLen) return false;
+    w.u8(static_cast<std::uint8_t>(label.size()));
+    w.raw(label);
+  }
+  w.u8(0);
+  return true;
+}
+
+/// RFC 1035 §4.1.4 compression pointer to the first question's name.
+void encode_name_pointer(util::Writer& w) {
+  w.u8(0xC0 | (kFirstQuestionOffset >> 8));
+  w.u8(kFirstQuestionOffset & 0xff);
+}
+
+std::optional<std::string> decode_name(util::Reader& r, util::BytesView wire) {
+  std::string out;
+  bool jumped = false;
+  util::Reader* cur = &r;
+  util::Reader jump_reader(wire);
+  int guard = 0;
+  while (true) {
+    if (++guard > 64) return std::nullopt;  // pointer loop
+    std::uint8_t len = cur->u8();
+    if (len == 0) break;
+    if ((len & 0xC0) == 0xC0) {
+      // Compression pointer: continue reading at the referenced offset.
+      std::size_t offset = (static_cast<std::size_t>(len & 0x3F) << 8) |
+                           cur->u8();
+      if (jumped || offset >= wire.size()) return std::nullopt;
+      jumped = true;
+      jump_reader = util::Reader(wire);
+      jump_reader.skip(offset);
+      cur = &jump_reader;
+      continue;
+    }
+    if (len > kMaxLabelLen) return std::nullopt;
+    auto label = cur->take(len);
+    if (!out.empty()) out.push_back('.');
+    out.append(reinterpret_cast<const char*>(label.data()), label.size());
+    if (out.size() > kMaxNameLen) return std::nullopt;
+  }
+  return out;
+}
+
+}  // namespace
+
+util::Bytes encode(const Message& m) {
+  util::Writer w(128);
+  w.u16(m.id);
+  std::uint16_t flags = 0;
+  if (m.is_response) flags |= 0x8000;
+  if (m.recursion_desired) flags |= 0x0100;
+  flags |= static_cast<std::uint16_t>(m.rcode) & 0xf;
+  w.u16(flags);
+  w.u16(static_cast<std::uint16_t>(m.questions.size()));
+  w.u16(static_cast<std::uint16_t>(m.answers.size()));
+  w.u16(0);  // NS count
+  w.u16(0);  // AR count
+  for (const Question& q : m.questions) {
+    if (!encode_name(w, q.name)) return {};
+    w.u16(static_cast<std::uint16_t>(q.type));
+    w.u16(1);  // IN
+  }
+  for (const Record& a : m.answers) {
+    // Compress: answers repeating the first question name use a pointer.
+    if (!m.questions.empty() && a.name == m.questions[0].name) {
+      encode_name_pointer(w);
+    } else if (!encode_name(w, a.name)) {
+      return {};
+    }
+    w.u16(static_cast<std::uint16_t>(a.type));
+    w.u16(1);  // IN
+    w.u32(a.ttl);
+    w.u16(static_cast<std::uint16_t>(a.rdata.size()));
+    w.raw(a.rdata);
+  }
+  return w.take();
+}
+
+std::optional<Message> decode(util::BytesView wire) {
+  try {
+    util::Reader r(wire);
+    Message m;
+    m.id = r.u16();
+    std::uint16_t flags = r.u16();
+    m.is_response = (flags & 0x8000) != 0;
+    m.recursion_desired = (flags & 0x0100) != 0;
+    m.rcode = static_cast<RCode>(flags & 0xf);
+    std::uint16_t qd = r.u16();
+    std::uint16_t an = r.u16();
+    r.u16();  // NS
+    r.u16();  // AR
+    for (int i = 0; i < qd; ++i) {
+      auto name = decode_name(r, wire);
+      if (!name) return std::nullopt;
+      Question q;
+      q.name = *name;
+      q.type = static_cast<Type>(r.u16());
+      if (r.u16() != 1) return std::nullopt;  // class IN only
+      m.questions.push_back(std::move(q));
+    }
+    for (int i = 0; i < an; ++i) {
+      auto name = decode_name(r, wire);
+      if (!name) return std::nullopt;
+      Record a;
+      a.name = *name;
+      a.type = static_cast<Type>(r.u16());
+      if (r.u16() != 1) return std::nullopt;
+      a.ttl = r.u32();
+      std::uint16_t rdlen = r.u16();
+      a.rdata = r.take_copy(rdlen);
+      m.answers.push_back(std::move(a));
+    }
+    return m;
+  } catch (const util::ShortRead&) {
+    return std::nullopt;
+  }
+}
+
+util::Bytes txt_rdata(util::BytesView payload) {
+  util::Writer w(payload.size() + payload.size() / 255 + 1);
+  std::size_t off = 0;
+  do {
+    std::size_t chunk = std::min<std::size_t>(255, payload.size() - off);
+    w.u8(static_cast<std::uint8_t>(chunk));
+    w.raw(payload.subspan(off, chunk));
+    off += chunk;
+  } while (off < payload.size());
+  return w.take();
+}
+
+std::optional<util::Bytes> txt_payload(util::BytesView rdata) {
+  try {
+    util::Reader r(rdata);
+    util::Bytes out;
+    while (!r.empty()) {
+      std::uint8_t len = r.u8();
+      auto chunk = r.take(len);
+      out.insert(out.end(), chunk.begin(), chunk.end());
+    }
+    return out;
+  } catch (const util::ShortRead&) {
+    return std::nullopt;
+  }
+}
+
+std::string encode_data_name(util::BytesView data, const std::string& zone) {
+  std::string b32 = util::base32_encode(data);
+  std::string name;
+  std::size_t off = 0;
+  while (off < b32.size()) {
+    std::size_t chunk = std::min<std::size_t>(kMaxLabelLen, b32.size() - off);
+    if (!name.empty()) name.push_back('.');
+    name.append(b32, off, chunk);
+    off += chunk;
+  }
+  if (!name.empty()) name.push_back('.');
+  name.append(zone);
+  return name;
+}
+
+std::optional<util::Bytes> decode_data_name(const std::string& name,
+                                            const std::string& zone) {
+  if (name.size() < zone.size() ||
+      name.compare(name.size() - zone.size(), zone.size(), zone) != 0) {
+    return std::nullopt;
+  }
+  std::string prefix = name.substr(0, name.size() - zone.size());
+  if (!prefix.empty() && prefix.back() == '.') prefix.pop_back();
+  std::string b32;
+  for (char c : prefix)
+    if (c != '.') b32.push_back(c);
+  return util::base32_decode(b32);
+}
+
+std::size_t max_query_data(const std::string& zone) {
+  // Name budget: 255 total, minus zone and its separating dot, minus one
+  // label-separator per 63 base32 chars.
+  if (zone.size() + 1 >= kMaxNameLen) return 0;
+  std::size_t budget = kMaxNameLen - zone.size() - 1;
+  std::size_t b32_chars = budget - budget / (kMaxLabelLen + 1) - 1;
+  return b32_chars * 5 / 8;
+}
+
+}  // namespace ptperf::net::dns

@@ -1,0 +1,75 @@
+// DNS wire format (RFC 1035 subset, no compression) — the transport
+// substrate of dnstt: queries carry upstream data in base32 labels, and
+// responses carry downstream data in TXT records, capped at the classic
+// 512-byte UDP limit enforced by public DoH/DoT resolvers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace ptperf::net::dns {
+
+/// Maximum response size a public recursive resolver will relay (paper §2.2,
+/// dnstt is limited to ~512-byte responses).
+inline constexpr std::size_t kMaxUdpPayload = 512;
+inline constexpr std::size_t kMaxLabelLen = 63;
+inline constexpr std::size_t kMaxNameLen = 255;
+
+enum class Type : std::uint16_t {
+  kA = 1,
+  kTxt = 16,
+  kAaaa = 28,
+};
+
+enum class RCode : std::uint8_t {
+  kNoError = 0,
+  kFormErr = 1,
+  kServFail = 2,
+  kNxDomain = 3,
+};
+
+struct Question {
+  std::string name;  // dotted, e.g. "ab3f.t.example.com"
+  Type type = Type::kTxt;
+};
+
+struct Record {
+  std::string name;
+  Type type = Type::kTxt;
+  std::uint32_t ttl = 0;
+  util::Bytes rdata;  // for TXT: already in character-string chunks
+};
+
+struct Message {
+  std::uint16_t id = 0;
+  bool is_response = false;
+  bool recursion_desired = true;
+  RCode rcode = RCode::kNoError;
+  std::vector<Question> questions;
+  std::vector<Record> answers;
+};
+
+util::Bytes encode(const Message& m);
+std::optional<Message> decode(util::BytesView wire);
+
+/// Splits raw bytes into TXT character-strings (<=255 bytes each, each
+/// prefixed with a length byte) — the rdata layout of a TXT record.
+util::Bytes txt_rdata(util::BytesView payload);
+/// Reassembles payload bytes from TXT rdata; nullopt on malformed layout.
+std::optional<util::Bytes> txt_payload(util::BytesView rdata);
+
+/// Encodes data as base32 DNS labels under a zone:
+/// "<b32 chunk>.<b32 chunk>....<zone>". Caps at kMaxNameLen.
+std::string encode_data_name(util::BytesView data, const std::string& zone);
+/// Extracts and decodes the base32 labels preceding the zone suffix.
+std::optional<util::Bytes> decode_data_name(const std::string& name,
+                                            const std::string& zone);
+
+/// Maximum raw bytes that fit in one query name under the zone.
+std::size_t max_query_data(const std::string& zone);
+
+}  // namespace ptperf::net::dns

@@ -1,0 +1,107 @@
+#include "net/http.h"
+
+#include <charconv>
+
+#include "util/strings.h"
+
+namespace ptperf::net::http {
+namespace {
+
+/// Splits head (up to CRLFCRLF) from body; returns header lines + body.
+std::optional<std::pair<std::vector<std::string>, util::Bytes>> split_message(
+    util::BytesView wire) {
+  std::string text = util::to_string(wire);
+  std::size_t sep = text.find("\r\n\r\n");
+  if (sep == std::string::npos) return std::nullopt;
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < sep) {
+    std::size_t eol = text.find("\r\n", start);
+    if (eol == std::string::npos || eol > sep) eol = sep;
+    lines.push_back(text.substr(start, eol - start));
+    start = eol + 2;
+  }
+  util::Bytes body(wire.begin() + static_cast<long>(sep + 4), wire.end());
+  return std::make_pair(std::move(lines), std::move(body));
+}
+
+std::optional<std::pair<std::string, std::string>> parse_header(
+    const std::string& line) {
+  std::size_t colon = line.find(':');
+  if (colon == std::string::npos) return std::nullopt;
+  std::string key = util::to_lower(line.substr(0, colon));
+  std::size_t vstart = colon + 1;
+  while (vstart < line.size() && line[vstart] == ' ') ++vstart;
+  return std::make_pair(key, line.substr(vstart));
+}
+
+}  // namespace
+
+util::Bytes encode_request(const Request& r) {
+  util::Writer w(128 + r.body.size());
+  w.raw(r.method).raw(" ").raw(r.target).raw(" HTTP/1.1\r\n");
+  if (!r.host.empty()) w.raw("Host: ").raw(r.host).raw("\r\n");
+  for (const auto& [k, v] : r.headers) w.raw(k).raw(": ").raw(v).raw("\r\n");
+  w.raw("Content-Length: ")
+      .raw(std::to_string(r.body.size()))
+      .raw("\r\n\r\n");
+  w.raw(r.body);
+  return w.take();
+}
+
+std::optional<Request> decode_request(util::BytesView wire) {
+  auto parts = split_message(wire);
+  if (!parts || parts->first.empty()) return std::nullopt;
+  auto toks = util::split(parts->first[0], ' ');
+  if (toks.size() != 3) return std::nullopt;
+  Request req;
+  req.method = toks[0];
+  req.target = toks[1];
+  for (std::size_t i = 1; i < parts->first.size(); ++i) {
+    auto h = parse_header(parts->first[i]);
+    if (!h) return std::nullopt;
+    if (h->first == "host") {
+      req.host = h->second;
+    } else if (h->first != "content-length") {
+      req.headers[h->first] = h->second;
+    }
+  }
+  req.body = std::move(parts->second);
+  return req;
+}
+
+util::Bytes encode_response(const Response& r) {
+  util::Writer w(128 + r.body.size());
+  w.raw("HTTP/1.1 ").raw(std::to_string(r.status)).raw(" ").raw(r.reason).raw(
+      "\r\n");
+  for (const auto& [k, v] : r.headers) w.raw(k).raw(": ").raw(v).raw("\r\n");
+  w.raw("Content-Length: ")
+      .raw(std::to_string(r.body.size()))
+      .raw("\r\n\r\n");
+  w.raw(r.body);
+  return w.take();
+}
+
+std::optional<Response> decode_response(util::BytesView wire) {
+  auto parts = split_message(wire);
+  if (!parts || parts->first.empty()) return std::nullopt;
+  const std::string& status_line = parts->first[0];
+  if (!util::starts_with(status_line, "HTTP/1.1 ")) return std::nullopt;
+  Response resp;
+  int status = 0;
+  const char* begin = status_line.data() + 9;
+  const char* end = status_line.data() + status_line.size();
+  auto [ptr, ec] = std::from_chars(begin, end, status);
+  if (ec != std::errc()) return std::nullopt;
+  resp.status = status;
+  if (ptr < end && *ptr == ' ') resp.reason = std::string(ptr + 1, end);
+  for (std::size_t i = 1; i < parts->first.size(); ++i) {
+    auto h = parse_header(parts->first[i]);
+    if (!h) return std::nullopt;
+    if (h->first != "content-length") resp.headers[h->first] = h->second;
+  }
+  resp.body = std::move(parts->second);
+  return resp;
+}
+
+}  // namespace ptperf::net::http

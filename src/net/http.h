@@ -1,0 +1,35 @@
+// Minimal HTTP/1.1 request/response codec. Used by the simulated web
+// servers, meek's polling channel (POST bodies carrying Tor cells behind a
+// domain front), and webtunnel's HTTP upgrade.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace ptperf::net::http {
+
+struct Request {
+  std::string method = "GET";
+  std::string target = "/";
+  std::string host;
+  std::map<std::string, std::string> headers;
+  util::Bytes body;
+};
+
+struct Response {
+  int status = 200;
+  std::string reason = "OK";
+  std::map<std::string, std::string> headers;
+  util::Bytes body;
+};
+
+util::Bytes encode_request(const Request& r);
+std::optional<Request> decode_request(util::BytesView wire);
+
+util::Bytes encode_response(const Response& r);
+std::optional<Response> decode_response(util::BytesView wire);
+
+}  // namespace ptperf::net::http

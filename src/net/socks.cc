@@ -1,0 +1,101 @@
+#include "net/socks.h"
+
+namespace ptperf::net::socks {
+
+util::Bytes encode_greeting(const Greeting& g) {
+  util::Writer w;
+  w.u8(kVersion);
+  w.u8(static_cast<std::uint8_t>(g.methods.size()));
+  for (std::uint8_t m : g.methods) w.u8(m);
+  return w.take();
+}
+
+std::optional<Greeting> decode_greeting(util::BytesView wire) {
+  try {
+    util::Reader r(wire);
+    if (r.u8() != kVersion) return std::nullopt;
+    std::uint8_t n = r.u8();
+    Greeting g;
+    g.methods.clear();
+    for (int i = 0; i < n; ++i) g.methods.push_back(r.u8());
+    if (!r.empty()) return std::nullopt;
+    return g;
+  } catch (const util::ShortRead&) {
+    return std::nullopt;
+  }
+}
+
+util::Bytes encode_method_select(std::uint8_t method) {
+  util::Writer w;
+  w.u8(kVersion).u8(method);
+  return w.take();
+}
+
+std::optional<std::uint8_t> decode_method_select(util::BytesView wire) {
+  try {
+    util::Reader r(wire);
+    if (r.u8() != kVersion) return std::nullopt;
+    std::uint8_t m = r.u8();
+    if (!r.empty()) return std::nullopt;
+    return m;
+  } catch (const util::ShortRead&) {
+    return std::nullopt;
+  }
+}
+
+util::Bytes encode_connect(const ConnectRequest& req) {
+  util::Writer w;
+  w.u8(kVersion).u8(kCmdConnect).u8(0).u8(kAtypDomain);
+  w.u8(static_cast<std::uint8_t>(req.host.size()));
+  w.raw(req.host);
+  w.u16(req.port);
+  return w.take();
+}
+
+std::optional<ConnectRequest> decode_connect(util::BytesView wire) {
+  try {
+    util::Reader r(wire);
+    if (r.u8() != kVersion) return std::nullopt;
+    if (r.u8() != kCmdConnect) return std::nullopt;
+    r.u8();  // RSV
+    if (r.u8() != kAtypDomain) return std::nullopt;
+    std::uint8_t len = r.u8();
+    auto host = r.take(len);
+    ConnectRequest req;
+    req.host = util::to_string(host);
+    req.port = r.u16();
+    if (!r.empty()) return std::nullopt;
+    return req;
+  } catch (const util::ShortRead&) {
+    return std::nullopt;
+  }
+}
+
+util::Bytes encode_reply(const ConnectReply& rep) {
+  util::Writer w;
+  w.u8(kVersion).u8(static_cast<std::uint8_t>(rep.reply)).u8(0).u8(kAtypDomain);
+  w.u8(static_cast<std::uint8_t>(rep.bound_host.size()));
+  w.raw(rep.bound_host);
+  w.u16(rep.bound_port);
+  return w.take();
+}
+
+std::optional<ConnectReply> decode_reply(util::BytesView wire) {
+  try {
+    util::Reader r(wire);
+    if (r.u8() != kVersion) return std::nullopt;
+    ConnectReply rep;
+    rep.reply = static_cast<Reply>(r.u8());
+    r.u8();  // RSV
+    if (r.u8() != kAtypDomain) return std::nullopt;
+    std::uint8_t len = r.u8();
+    rep.bound_host = util::to_string(r.take(len));
+    rep.bound_port = r.u16();
+    if (!r.empty()) return std::nullopt;
+    return rep;
+  } catch (const util::ShortRead&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace ptperf::net::socks

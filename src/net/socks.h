@@ -1,0 +1,56 @@
+// SOCKS5 (RFC 1928) message codec — the interface between the curl/selenium
+// fetchers and the local Tor client utility, exactly as in the paper's
+// setup ("We configured curl to send all the requests to the local SOCKS
+// port").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace ptperf::net::socks {
+
+inline constexpr std::uint8_t kVersion = 5;
+inline constexpr std::uint8_t kMethodNoAuth = 0x00;
+inline constexpr std::uint8_t kCmdConnect = 0x01;
+inline constexpr std::uint8_t kAtypDomain = 0x03;
+
+enum class Reply : std::uint8_t {
+  kSucceeded = 0x00,
+  kGeneralFailure = 0x01,
+  kNetworkUnreachable = 0x03,
+  kHostUnreachable = 0x04,
+  kConnectionRefused = 0x05,
+  kTtlExpired = 0x06,
+};
+
+struct Greeting {
+  std::vector<std::uint8_t> methods{kMethodNoAuth};
+};
+
+struct ConnectRequest {
+  std::string host;  // domain-name addressing (Tor resolves remotely)
+  std::uint16_t port = 80;
+};
+
+struct ConnectReply {
+  Reply reply = Reply::kSucceeded;
+  std::string bound_host;
+  std::uint16_t bound_port = 0;
+};
+
+util::Bytes encode_greeting(const Greeting& g);
+std::optional<Greeting> decode_greeting(util::BytesView wire);
+
+util::Bytes encode_method_select(std::uint8_t method);
+std::optional<std::uint8_t> decode_method_select(util::BytesView wire);
+
+util::Bytes encode_connect(const ConnectRequest& r);
+std::optional<ConnectRequest> decode_connect(util::BytesView wire);
+
+util::Bytes encode_reply(const ConnectReply& r);
+std::optional<ConnectReply> decode_reply(util::BytesView wire);
+
+}  // namespace ptperf::net::socks

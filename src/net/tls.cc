@@ -1,0 +1,248 @@
+#include "net/tls.h"
+
+#include "crypto/hmac.h"
+#include "util/framer.h"
+
+namespace ptperf::net {
+namespace {
+
+constexpr std::uint8_t kTypeHandshake = 22;
+constexpr std::uint8_t kTypeApplicationData = 23;
+constexpr std::uint8_t kTypeAlert = 21;
+constexpr std::uint16_t kVersionTls13 = 0x0304;
+
+util::Bytes wrap_record(std::uint8_t type, util::BytesView body) {
+  util::Writer w(body.size() + 5);
+  w.u8(type).u16(kVersionTls13);
+  w.u16(static_cast<std::uint16_t>(body.size() & 0xffff));
+  // Records above 64 KiB never occur: senders chunk at the record layer.
+  w.raw(body);
+  return w.take();
+}
+
+struct RecordView {
+  std::uint8_t type;
+  util::BytesView body;
+};
+
+std::optional<RecordView> parse_record(util::BytesView wire) {
+  try {
+    util::Reader r(wire);
+    RecordView v;
+    v.type = r.u8();
+    if (r.u16() != kVersionTls13) return std::nullopt;
+    std::uint16_t len = r.u16();
+    v.body = r.take(len);
+    if (!r.empty()) return std::nullopt;
+    return v;
+  } catch (const util::ShortRead&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+util::Bytes encode_client_hello(const ClientHello& ch) {
+  util::Writer w(64 + ch.sni.size() + ch.session_ticket.size());
+  w.u8(1);  // handshake type: client_hello
+  w.raw(ch.random);
+  w.u8(static_cast<std::uint8_t>(ch.sni.size()));
+  w.raw(ch.sni);
+  w.u8(static_cast<std::uint8_t>(ch.alpn.size()));
+  w.raw(ch.alpn);
+  w.u16(static_cast<std::uint16_t>(ch.session_ticket.size()));
+  w.raw(ch.session_ticket);
+  return w.take();
+}
+
+std::optional<ClientHello> decode_client_hello(util::BytesView wire) {
+  try {
+    util::Reader r(wire);
+    if (r.u8() != 1) return std::nullopt;
+    ClientHello ch;
+    ch.random = r.take_copy(32);
+    std::uint8_t sni_len = r.u8();
+    ch.sni = util::to_string(r.take(sni_len));
+    std::uint8_t alpn_len = r.u8();
+    ch.alpn = util::to_string(r.take(alpn_len));
+    std::uint16_t ticket_len = r.u16();
+    ch.session_ticket = r.take_copy(ticket_len);
+    if (!r.empty()) return std::nullopt;
+    return ch;
+  } catch (const util::ShortRead&) {
+    return std::nullopt;
+  }
+}
+
+struct TlsSession::State {
+  Pipe pipe;
+  crypto::ChaCha20Poly1305 send_aead;
+  crypto::ChaCha20Poly1305 recv_aead;
+  std::uint64_t send_seq = 0;
+  std::uint64_t recv_seq = 0;
+  Receiver receiver;
+  CloseHandler close_handler;
+  std::vector<util::Bytes> pending;  // messages before a receiver exists
+  /// Reassembles messages split across 16 KiB records.
+  util::MessageFramer reassembler;
+
+  State(Pipe p, util::BytesView send_key, util::BytesView recv_key)
+      : pipe(std::move(p)),
+        send_aead(send_key),
+        recv_aead(recv_key),
+        reassembler([this](util::Bytes msg) {
+          // Copy before calling: the receiver may replace itself mid-call.
+          auto fn = receiver;
+          if (fn) {
+            fn(std::move(msg));
+          } else {
+            pending.push_back(std::move(msg));
+          }
+        }) {}
+
+  void install_pipe_handlers(const std::shared_ptr<State>& self) {
+    pipe.on_receive([self](util::Bytes wire) {
+      auto rec = parse_record(wire);
+      if (!rec || rec->type != kTypeApplicationData) return;  // ignore junk
+      auto pt = self->recv_aead.open(crypto::counter_nonce(self->recv_seq),
+                                     rec->body);
+      if (!pt) {
+        self->pipe.close();
+        return;
+      }
+      ++self->recv_seq;
+      self->reassembler.feed(*pt);
+    });
+    pipe.on_close([self] {
+      auto fn = self->close_handler;
+      if (fn) fn();
+    });
+  }
+};
+
+void TlsSession::send(util::Bytes plaintext) {
+  if (!state_) return;
+  // Message boundaries survive record chunking via a length prefix; the
+  // stream is cut into <=16 KiB records as real TLS does.
+  constexpr std::size_t kMaxRecordPlaintext = 16 * 1024;
+  util::Bytes framed = util::frame_message(plaintext);
+  std::size_t off = 0;
+  do {
+    std::size_t n = std::min(kMaxRecordPlaintext, framed.size() - off);
+    util::BytesView chunk(framed.data() + off, n);
+    auto ct = state_->send_aead.seal(crypto::counter_nonce(state_->send_seq),
+                                     chunk);
+    ++state_->send_seq;
+    state_->pipe.send(wrap_record(kTypeApplicationData, ct));
+    off += n;
+  } while (off < framed.size());
+}
+
+void TlsSession::on_receive(Receiver fn) {
+  if (!state_) return;
+  state_->receiver = std::move(fn);
+  while (!state_->pending.empty() && state_->receiver) {
+    util::Bytes msg = std::move(state_->pending.front());
+    state_->pending.erase(state_->pending.begin());
+    auto handler = state_->receiver;
+    handler(std::move(msg));
+  }
+}
+
+void TlsSession::on_close(CloseHandler fn) {
+  if (state_) state_->close_handler = std::move(fn);
+}
+
+void TlsSession::close() {
+  if (state_) state_->pipe.close();
+}
+
+sim::Duration TlsSession::base_rtt() const {
+  return state_ ? state_->pipe.base_rtt() : sim::Duration::zero();
+}
+
+namespace {
+
+/// Session keys from the two handshake randoms. Not real ECDHE — the
+/// simulation's threat model has no eavesdropper; what matters is that
+/// both sides derive matching keys and all record bytes are genuinely
+/// AEAD-protected so framing overhead is exact.
+std::pair<util::Bytes, util::Bytes> derive_keys(util::BytesView client_random,
+                                                util::BytesView server_random) {
+  util::Writer ikm;
+  ikm.raw(client_random).raw(server_random);
+  util::Bytes okm = crypto::hkdf({}, ikm.view(), util::to_bytes("tls-sim"), 64);
+  util::Bytes c2s(okm.begin(), okm.begin() + 32);
+  util::Bytes s2c(okm.begin() + 32, okm.end());
+  return {c2s, s2c};
+}
+
+}  // namespace
+
+void tls_connect(Pipe pipe, ClientHelloParams params, sim::Rng& rng,
+                 std::function<void(TlsSession)> on_ready,
+                 std::function<void(std::string)> on_error) {
+  ClientHello ch;
+  ch.random = params.random ? *params.random : rng.bytes(32);
+  ch.sni = params.sni;
+  ch.alpn = params.alpn;
+  ch.session_ticket = params.session_ticket;
+
+  auto pipe_holder = std::make_shared<Pipe>(std::move(pipe));
+  auto client_random = std::make_shared<util::Bytes>(ch.random);
+
+  pipe_holder->on_receive([pipe_holder, client_random, on_ready,
+                           on_error](util::Bytes wire) {
+    auto rec = parse_record(wire);
+    if (!rec) return;
+    if (rec->type == kTypeAlert) {
+      if (on_error) on_error("tls: handshake rejected");
+      pipe_holder->close();
+      return;
+    }
+    if (rec->type != kTypeHandshake || rec->body.size() != 33 ||
+        rec->body[0] != 2) {
+      return;  // not a ServerHello
+    }
+    util::BytesView server_random = rec->body.subspan(1, 32);
+    auto [c2s, s2c] = derive_keys(*client_random, server_random);
+    auto state =
+        std::make_shared<TlsSession::State>(std::move(*pipe_holder), c2s, s2c);
+    state->install_pipe_handlers(state);
+    on_ready(TlsSession(state));
+  });
+  pipe_holder->send(wrap_record(kTypeHandshake, encode_client_hello(ch)));
+}
+
+void tls_accept(Pipe pipe, sim::Rng& rng,
+                std::function<void(TlsSession, const ClientHello&)> on_ready,
+                std::function<bool(const ClientHello&)> inspect) {
+  auto pipe_holder = std::make_shared<Pipe>(std::move(pipe));
+  util::Bytes server_random = rng.bytes(32);
+
+  pipe_holder->on_receive(
+      [pipe_holder, server_random, on_ready, inspect](util::Bytes wire) {
+        auto rec = parse_record(wire);
+        if (!rec || rec->type != kTypeHandshake) return;
+        auto ch = decode_client_hello(rec->body);
+        if (!ch) return;
+        if (inspect && !inspect(*ch)) {
+          pipe_holder->send(wrap_record(kTypeAlert, util::to_bytes("x")));
+          pipe_holder->close();
+          return;
+        }
+        util::Writer sh;
+        sh.u8(2);  // server_hello
+        sh.raw(server_random);
+        pipe_holder->send(wrap_record(kTypeHandshake, sh.view()));
+
+        auto [c2s, s2c] = derive_keys(ch->random, server_random);
+        // Server sends with s2c, receives with c2s.
+        auto state = std::make_shared<TlsSession::State>(
+            std::move(*pipe_holder), s2c, c2s);
+        state->install_pipe_handlers(state);
+        on_ready(TlsSession(state), *ch);
+      });
+}
+
+}  // namespace ptperf::net

@@ -1,0 +1,80 @@
+// TLS-1.3-flavoured session layer over a Pipe: one-RTT handshake with real
+// ClientHello/ServerHello byte encodings and ChaCha20-Poly1305 record
+// protection. This is what the censor "sees" from webtunnel, cloak, meek
+// and snowflake's broker channel; cloak's ClientHello steganography (the
+// client-random carrying an authenticator) is supported via
+// ClientHelloParams::random.
+//
+// Pipes are message-oriented: one TLS record per pipe message.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "crypto/aead.h"
+#include "net/network.h"
+#include "sim/rng.h"
+
+namespace ptperf::net {
+
+struct ClientHelloParams {
+  std::string sni;                       // plain-text server name
+  std::string alpn = "h2";
+  std::optional<util::Bytes> random;     // 32 bytes; default: fresh random
+  util::Bytes session_ticket;            // opaque; cloak 0-RTT payload
+};
+
+struct ClientHello {
+  util::Bytes random;  // 32 bytes
+  std::string sni;
+  std::string alpn;
+  util::Bytes session_ticket;
+};
+
+util::Bytes encode_client_hello(const ClientHello& ch);
+std::optional<ClientHello> decode_client_hello(util::BytesView wire);
+
+/// An established TLS session; move-only handle over shared state.
+class TlsSession {
+ public:
+  using Receiver = std::function<void(util::Bytes)>;
+  using CloseHandler = std::function<void()>;
+
+  TlsSession() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  void send(util::Bytes plaintext);
+  void on_receive(Receiver fn);
+  void on_close(CloseHandler fn);
+  void close();
+  sim::Duration base_rtt() const;
+
+  /// Record-layer overhead added to each message (header + AEAD tag).
+  static constexpr std::size_t kRecordOverhead = 5 + 16;
+
+  struct State;
+
+  /// Internal: sessions are produced by tls_connect/tls_accept.
+  explicit TlsSession(std::shared_ptr<State> s) : state_(std::move(s)) {}
+
+ private:
+  std::shared_ptr<State> state_;
+};
+
+/// Runs the client side of the handshake on an open pipe.
+/// on_ready receives the established session; on_error fires if the server
+/// rejects (e.g. unknown SNI).
+void tls_connect(Pipe pipe, ClientHelloParams params, sim::Rng& rng,
+                 std::function<void(TlsSession)> on_ready,
+                 std::function<void(std::string)> on_error = nullptr);
+
+/// Runs the server side on an accepted pipe. `inspect` (optional) sees the
+/// parsed ClientHello and may reject the handshake by returning false —
+/// cloak uses this hook to validate the steganographic client random.
+void tls_accept(Pipe pipe, sim::Rng& rng,
+                std::function<void(TlsSession, const ClientHello&)> on_ready,
+                std::function<bool(const ClientHello&)> inspect = nullptr);
+
+}  // namespace ptperf::net

@@ -1,0 +1,100 @@
+#include "pt/camoufler.h"
+
+#include "pt/segmenting_channel.h"
+
+namespace ptperf::pt {
+namespace {
+
+/// The IM service: accepts a client session and a matching peer-bound
+/// connection, forwarding messages with store-and-forward delay. Modelled
+/// as a relay process on the IM server host: for each client connection it
+/// dials the peer account's app and shuttles messages.
+void start_im_relay(net::Network& net, const CamouflerConfig& cfg) {
+  net.listen(cfg.im_server_host, "im", [&net, cfg](net::Pipe client_pipe) {
+    auto down = net::wrap_pipe(std::move(client_pipe));
+    net.connect(
+        cfg.im_server_host, cfg.peer_host, "im-app",
+        [&net, cfg, down](net::Pipe peer_pipe) {
+          auto up = net::wrap_pipe(std::move(peer_pipe));
+          sim::Duration delay = cfg.im_processing;
+          sim::EventLoop* loop = &net.loop();
+          // Store-and-forward in both directions.
+          down->set_receiver([loop, delay, up](util::Bytes msg) {
+            auto shared = std::make_shared<util::Bytes>(std::move(msg));
+            loop->schedule(delay, [up, shared] { up->send(std::move(*shared)); });
+          });
+          up->set_receiver([loop, delay, down](util::Bytes msg) {
+            auto shared = std::make_shared<util::Bytes>(std::move(msg));
+            loop->schedule(delay,
+                           [down, shared] { down->send(std::move(*shared)); });
+          });
+          down->set_close_handler([up] { up->close(); });
+          up->set_close_handler([down] { down->close(); });
+        },
+        [down](std::string) { down->close(); });
+  });
+}
+
+}  // namespace
+
+CamouflerTransport::CamouflerTransport(net::Network& net,
+                                       const tor::Consensus& consensus,
+                                       sim::Rng rng, CamouflerConfig config)
+    : net_(&net), consensus_(&consensus), rng_(std::move(rng)),
+      config_(config) {
+  info_ = TransportInfo{"camoufler", Category::kTunneling,
+                        HopSet::kSet2SeparateProxy,
+                        /*separable_from_tor=*/true,
+                        /*supports_parallel_streams=*/false};
+  start_im_relay(net, config_);
+  start_server();
+}
+
+void CamouflerTransport::start_server() {
+  auto* net = net_;
+  const tor::Consensus* consensus = consensus_;
+  CamouflerConfig cfg = config_;
+
+  // The peer's IM app: receives rate-limited messages, reassembles the
+  // tunnel stream, splices to the requested guard.
+  auto lifetimes = std::make_shared<sim::Rng>(rng_.fork("im-session-life"));
+  net_->listen(cfg.peer_host, "im-app", [net, consensus, cfg,
+                                         lifetimes](net::Pipe pipe) {
+    SegmentPolicy policy;
+    policy.max_segment = cfg.max_message_bytes;
+    policy.rate_units_per_sec = cfg.messages_per_sec;
+    auto tunnel = SegmentingChannel::create(
+        net->loop(), net::wrap_pipe(std::move(pipe)), policy);
+    serve_upstream(*net, cfg.peer_host, tunnel, tor_upstream(*consensus));
+    // IM session drop hazard.
+    sim::Duration life = sim::from_seconds(
+        lifetimes->exponential(cfg.session_lifetime_mean_s));
+    net->loop().schedule(life, [tunnel] { tunnel->close(); });
+  });
+}
+
+tor::TorClient::FirstHopConnector CamouflerTransport::connector() {
+  auto* net = net_;
+  CamouflerConfig cfg = config_;
+
+  return [net, cfg](tor::RelayIndex entry,
+                    std::function<void(net::ChannelPtr)> on_open,
+                    std::function<void(std::string)> on_error) {
+    net->connect(
+        cfg.client_host, cfg.im_server_host, "im",
+        [net, cfg, entry, on_open](net::Pipe pipe) {
+          SegmentPolicy policy;
+          policy.max_segment = cfg.max_message_bytes;
+          policy.rate_units_per_sec = cfg.messages_per_sec;
+          auto tunnel = SegmentingChannel::create(
+              net->loop(), net::wrap_pipe(std::move(pipe)), policy);
+          send_preamble(tunnel, entry);
+          on_open(tunnel);
+        },
+        [on_error](std::string err) {
+          if (on_error) on_error("camoufler: " + err);
+        });
+  };
+}
+
+}  // namespace ptperf::pt

@@ -1,0 +1,50 @@
+// camoufler: tunnels Tor through an instant-messaging service. The client
+// talks to the IM server; the IM server stores-and-forwards each message to
+// the peer account (the PT server host) which relays to the chosen guard.
+// The binding constraint is the IM API: messages are size-capped and
+// rate-limited, and the tunnel cannot carry concurrent request floods
+// (the paper could not run selenium over camoufler, §4.2).
+#pragma once
+
+#include "pt/transport.h"
+#include "pt/upstream.h"
+#include "sim/rng.h"
+
+namespace ptperf::pt {
+
+struct CamouflerConfig {
+  net::HostId client_host = 0;
+  net::HostId im_server_host = 0;   // the IM provider's infrastructure
+  net::HostId peer_host = 0;        // PT server running the IM app
+  std::size_t max_message_bytes = 64 * 1024;
+  /// IM API rate limit, messages per second per direction.
+  double messages_per_sec = 5.0;
+  /// Store-and-forward processing inside the IM service, per message —
+  /// the dominant cost for interactive use (every protocol round trip
+  /// pays it twice), while bulk throughput stays rate*size limited.
+  sim::Duration im_processing = sim::from_millis(1200);
+  /// IM sessions occasionally drop (re-login, app backgrounding): mean
+  /// session lifetime, seconds (exponential). Behind the ~10% of camoufler
+  /// file attempts that fail outright in Fig 8a.
+  double session_lifetime_mean_s = 1500;
+};
+
+class CamouflerTransport final : public Transport {
+ public:
+  CamouflerTransport(net::Network& net, const tor::Consensus& consensus,
+                     sim::Rng rng, CamouflerConfig config);
+
+  const TransportInfo& info() const override { return info_; }
+  tor::TorClient::FirstHopConnector connector() override;
+
+ private:
+  void start_server();
+
+  net::Network* net_;
+  const tor::Consensus* consensus_;
+  sim::Rng rng_;
+  CamouflerConfig config_;
+  TransportInfo info_;
+};
+
+}  // namespace ptperf::pt

@@ -1,0 +1,78 @@
+#include "pt/crypto_channel.h"
+
+namespace ptperf::pt {
+
+CryptoChannel::CryptoChannel(net::ChannelPtr inner, CryptoChannelConfig config,
+                             sim::Rng rng)
+    : inner_(std::move(inner)),
+      config_(std::move(config)),
+      rng_(std::move(rng)),
+      send_aead_(config_.send_key),
+      recv_aead_(config_.recv_key) {}
+
+std::shared_ptr<CryptoChannel> CryptoChannel::create(
+    net::ChannelPtr inner, CryptoChannelConfig config, sim::Rng rng) {
+  auto ch = std::shared_ptr<CryptoChannel>(
+      new CryptoChannel(std::move(inner), std::move(config), std::move(rng)));
+  ch->attach();
+  return ch;
+}
+
+void CryptoChannel::attach() {
+  auto self = shared_from_this();
+  inner_->set_receiver([self](util::Bytes wire) {
+    auto pt = self->recv_aead_.open(crypto::counter_nonce(self->recv_seq_),
+                                    wire);
+    if (!pt) {
+      // Authentication failure: hang up and tell our consumer (the pipe's
+      // close only notifies the remote peer).
+      self->inner_->close();
+      auto fn = self->close_handler_;
+      if (fn) fn();
+      return;
+    }
+    ++self->recv_seq_;
+    if (pt->size() < 4) return;
+    util::Reader r(*pt);
+    std::uint32_t len = r.u32();
+    if (len > r.remaining()) return;
+    auto fn = self->receiver_;
+    if (fn) fn(r.take_copy(len));
+  });
+  inner_->set_close_handler([self] {
+    auto fn = self->close_handler_;
+    if (fn) fn();
+  });
+}
+
+void CryptoChannel::send(util::Bytes payload) {
+  std::size_t pad = 0;
+  std::size_t body = 4 + payload.size();
+  if (config_.max_random_pad > 0) {
+    pad += rng_.next_below(config_.max_random_pad + 1);
+  }
+  if (config_.pad_block > 1) {
+    std::size_t total = body + pad;
+    std::size_t rem = total % config_.pad_block;
+    if (rem != 0) pad += config_.pad_block - rem;
+  }
+  util::Writer w(body + pad);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.raw(payload);
+  w.zeros(pad);
+  util::Bytes frame = w.take();
+  inner_->send(send_aead_.seal(crypto::counter_nonce(send_seq_), frame));
+  ++send_seq_;
+}
+
+void CryptoChannel::set_receiver(Receiver fn) { receiver_ = std::move(fn); }
+
+void CryptoChannel::set_close_handler(CloseHandler fn) {
+  close_handler_ = std::move(fn);
+}
+
+void CryptoChannel::close() { inner_->close(); }
+
+sim::Duration CryptoChannel::base_rtt() const { return inner_->base_rtt(); }
+
+}  // namespace ptperf::pt

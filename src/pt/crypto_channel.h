@@ -1,0 +1,56 @@
+// CryptoChannel: per-message ChaCha20-Poly1305 sealed frames with optional
+// length obfuscation padding — the record layer of obfs4 (padded),
+// shadowsocks (tight AEAD records) and psiphon's SSH tunnel.
+//
+// Frame plaintext: u32 payload length | payload | padding zeros.
+// Frame wire:      AEAD(seal) of the above (16-byte tag).
+#pragma once
+
+#include <memory>
+
+#include "crypto/aead.h"
+#include "net/channel.h"
+#include "sim/rng.h"
+
+namespace ptperf::pt {
+
+struct CryptoChannelConfig {
+  util::Bytes send_key;  // 32 bytes
+  util::Bytes recv_key;  // 32 bytes
+  /// Pad frame plaintext length up to a multiple of this (0 = no padding).
+  std::size_t pad_block = 0;
+  /// Additional random padding in [0, max_random_pad] per frame (obfs4's
+  /// length obfuscation).
+  std::size_t max_random_pad = 0;
+};
+
+class CryptoChannel final : public net::Channel,
+                            public std::enable_shared_from_this<CryptoChannel> {
+ public:
+  static std::shared_ptr<CryptoChannel> create(net::ChannelPtr inner,
+                                               CryptoChannelConfig config,
+                                               sim::Rng rng);
+
+  void send(util::Bytes payload) override;
+  void set_receiver(Receiver fn) override;
+  void set_close_handler(CloseHandler fn) override;
+  void close() override;
+  sim::Duration base_rtt() const override;
+
+ private:
+  CryptoChannel(net::ChannelPtr inner, CryptoChannelConfig config,
+                sim::Rng rng);
+  void attach();
+
+  net::ChannelPtr inner_;
+  CryptoChannelConfig config_;
+  sim::Rng rng_;
+  crypto::ChaCha20Poly1305 send_aead_;
+  crypto::ChaCha20Poly1305 recv_aead_;
+  std::uint64_t send_seq_ = 0;
+  std::uint64_t recv_seq_ = 0;
+  Receiver receiver_;
+  CloseHandler close_handler_;
+};
+
+}  // namespace ptperf::pt

@@ -1,0 +1,356 @@
+#include "pt/dnstt.h"
+
+#include <cstdio>
+#include <deque>
+#include <map>
+
+#include "net/dns.h"
+#include "net/tls.h"
+#include "util/framer.h"
+
+namespace ptperf::pt {
+namespace {
+
+// Query payload (base32 in the name): u64 session id | upstream bytes.
+// Response TXT payload: u8 more-flag | downstream bytes.
+
+/// Server-side session, Channel-shaped so serve_upstream applies.
+class DnsttServerSession final
+    : public net::Channel,
+      public std::enable_shared_from_this<DnsttServerSession> {
+ public:
+  DnsttServerSession()
+      : framer_([this](util::Bytes msg) {
+          auto fn = receiver_;
+          if (fn) fn(std::move(msg));
+        }) {}
+
+  void feed_upstream(util::BytesView data) { framer_.feed(data); }
+
+  /// Pulls up to `budget` downstream bytes; first byte is the more-flag.
+  util::Bytes pull(std::size_t budget) {
+    std::size_t n = std::min(budget > 0 ? budget - 1 : 0, downstream_.size());
+    util::Bytes out;
+    out.reserve(n + 1);
+    out.push_back(0);  // patched below
+    out.insert(out.end(), downstream_.begin(),
+               downstream_.begin() + static_cast<long>(n));
+    downstream_.erase(downstream_.begin(),
+                      downstream_.begin() + static_cast<long>(n));
+    out[0] = downstream_.empty() ? 0 : 1;
+    return out;
+  }
+
+  void send(util::Bytes payload) override {
+    util::Bytes framed = util::frame_message(payload);
+    downstream_.insert(downstream_.end(), framed.begin(), framed.end());
+  }
+  void set_receiver(Receiver fn) override { receiver_ = std::move(fn); }
+  void set_close_handler(CloseHandler fn) override {
+    close_handler_ = std::move(fn);
+  }
+  void close() override {
+    if (dead_) return;
+    dead_ = true;
+    auto fn = close_handler_;
+    if (fn) fn();
+  }
+  sim::Duration base_rtt() const override { return sim::Duration::zero(); }
+
+ private:
+  util::MessageFramer framer_;
+  Receiver receiver_;
+  CloseHandler close_handler_;
+  util::Bytes downstream_;
+  bool dead_ = false;
+};
+
+/// Client-side tunnel channel: windowed query pump over the DoH session.
+class DnsttClientChannel final
+    : public net::Channel,
+      public std::enable_shared_from_this<DnsttClientChannel> {
+ public:
+  DnsttClientChannel(sim::EventLoop& loop, net::TlsSession tls,
+                     DnsttConfig cfg, std::uint64_t session_id)
+      : loop_(&loop),
+        tls_(std::move(tls)),
+        cfg_(std::move(cfg)),
+        session_id_(session_id),
+        framer_([this](util::Bytes msg) {
+          auto fn = receiver_;
+          if (fn) fn(std::move(msg));
+        }) {
+    max_chunk_ = net::dns::max_query_data(cfg_.zone);
+    max_chunk_ = max_chunk_ > 12 ? max_chunk_ - 8 : 4;
+  }
+
+  void start() {
+    auto self = shared_from_this();
+    tls_.on_receive([self](util::Bytes wire) { self->on_response(wire); });
+    tls_.on_close([self] { self->fail(); });
+    pump();
+  }
+
+  void send(util::Bytes payload) override {
+    if (dead_) return;
+    util::Bytes framed = util::frame_message(payload);
+    upstream_.insert(upstream_.end(), framed.begin(), framed.end());
+    pump();
+  }
+  void set_receiver(Receiver fn) override { receiver_ = std::move(fn); }
+  void set_close_handler(CloseHandler fn) override {
+    close_handler_ = std::move(fn);
+  }
+  void close() override {
+    dead_ = true;
+    idle_timer_.cancel();
+    tls_.close();
+  }
+  sim::Duration base_rtt() const override { return tls_.base_rtt(); }
+
+ private:
+  void pump() {
+    if (dead_) return;
+    while (in_flight_ < cfg_.window &&
+           (!upstream_.empty() || server_has_more_ || in_flight_ == 0)) {
+      issue_query();
+      if (upstream_.empty() && !server_has_more_) break;  // one idle probe
+    }
+  }
+
+  void issue_query() {
+#ifdef DNSTT_DEBUG
+    std::printf("[dnstt] issue_query inflight=%d up=%zu\n", in_flight_, upstream_.size());
+#endif
+    std::size_t n = std::min(max_chunk_, upstream_.size());
+    util::Writer payload(8 + n);
+    payload.u64(session_id_);
+    payload.raw(util::BytesView(upstream_.data(), n));
+    upstream_.erase(upstream_.begin(), upstream_.begin() + static_cast<long>(n));
+
+    net::dns::Message query;
+    query.id = static_cast<std::uint16_t>(next_id_++);
+    net::dns::Question q;
+    q.name = net::dns::encode_data_name(payload.view(), cfg_.zone);
+    q.type = net::dns::Type::kTxt;
+    query.questions.push_back(std::move(q));
+    tls_.send(net::dns::encode(query));
+    ++in_flight_;
+  }
+
+  void on_response(const util::Bytes& wire) {
+#ifdef DNSTT_DEBUG
+    std::printf("[dnstt] response inflight=%d\n", in_flight_);
+#endif
+    if (dead_) return;
+    if (in_flight_ > 0) --in_flight_;
+    auto msg = net::dns::decode(wire);
+    if (!msg || !msg->is_response) return;
+    if (msg->rcode != net::dns::RCode::kNoError) {
+      fail();
+      return;
+    }
+    bool got_data = false;
+    for (const net::dns::Record& a : msg->answers) {
+      auto payload = net::dns::txt_payload(a.rdata);
+      if (!payload || payload->empty()) continue;
+      server_has_more_ = (*payload)[0] != 0;
+      if (payload->size() > 1) {
+        got_data = true;
+        framer_.feed(util::BytesView(payload->data() + 1, payload->size() - 1));
+      }
+    }
+    if (got_data || server_has_more_ || !upstream_.empty()) {
+      pump();
+    } else if (in_flight_ == 0) {
+      // Idle: keep one slow probe alive so downstream can restart.
+      auto self = shared_from_this();
+      idle_timer_.cancel();
+      idle_timer_ = loop_->schedule(cfg_.idle_poll, [self] { self->pump(); });
+    }
+  }
+
+  void fail() {
+    if (dead_) return;
+#ifdef DNSTT_DEBUG
+    std::printf("[dnstt] client FAIL\n");
+#endif
+    dead_ = true;
+    idle_timer_.cancel();
+    tls_.close();
+    auto fn = close_handler_;
+    if (fn) fn();
+  }
+
+  sim::EventLoop* loop_;
+  net::TlsSession tls_;
+  DnsttConfig cfg_;
+  std::uint64_t session_id_;
+  util::MessageFramer framer_;
+  Receiver receiver_;
+  CloseHandler close_handler_;
+  util::Bytes upstream_;
+  std::size_t max_chunk_ = 64;
+  int in_flight_ = 0;
+  bool server_has_more_ = false;
+  bool dead_ = false;
+  std::uint32_t next_id_ = 1;
+  sim::EventHandle idle_timer_;
+};
+
+}  // namespace
+
+DnsttTransport::DnsttTransport(net::Network& net,
+                               const tor::Consensus& consensus, sim::Rng rng,
+                               DnsttConfig config)
+    : net_(&net), consensus_(&consensus), rng_(std::move(rng)),
+      config_(std::move(config)) {
+  info_ = TransportInfo{"dnstt", Category::kTunneling,
+                        HopSet::kSet1BridgeIsGuard,
+                        /*separable_from_tor=*/false,
+                        /*supports_parallel_streams=*/true};
+  start_server();
+  start_resolver();
+}
+
+void DnsttTransport::start_resolver() {
+  // Public DoH resolver: terminates client TLS, forwards each query to the
+  // zone's authoritative server, relays answers back, and throttles
+  // sessions that flood it for too long.
+  auto* net = net_;
+  DnsttConfig cfg = config_;
+  net::HostId auth_host = consensus_->at(config_.bridge).host;
+  auto resolver_rng = std::make_shared<sim::Rng>(rng_.fork("resolver"));
+
+  net_->listen(cfg.resolver_host, "doh", [net, cfg, auth_host,
+                                          resolver_rng](net::Pipe pipe) {
+    net::tls_accept(std::move(pipe), *resolver_rng, [net, cfg, auth_host,
+                                                     resolver_rng](
+                                                        net::TlsSession session,
+                                                        const net::ClientHello&) {
+      auto client_side = net::wrap_tls(std::move(session));
+      net->connect(
+          cfg.resolver_host, auth_host, "dns-auth",
+          [net, cfg, resolver_rng, client_side](net::Pipe auth_pipe) {
+            auto auth_side = net::wrap_pipe(std::move(auth_pipe));
+            sim::EventLoop* loop = &net->loop();
+            sim::Duration proc = cfg.resolver_processing;
+            client_side->set_receiver([loop, proc, auth_side](util::Bytes q) {
+              auto m = std::make_shared<util::Bytes>(std::move(q));
+              loop->schedule(proc,
+                             [auth_side, m] { auth_side->send(std::move(*m)); });
+            });
+            std::size_t cap = cfg.max_response_bytes;
+            auth_side->set_receiver([client_side, cap](util::Bytes a) {
+              // The resolver refuses to relay oversized answers.
+              if (a.size() > cap) return;
+              client_side->send(std::move(a));
+            });
+            client_side->set_close_handler([auth_side] { auth_side->close(); });
+            auth_side->set_close_handler([client_side] { client_side->close(); });
+
+            // Flood throttling: long-lived busy sessions get cut.
+            sim::Duration session_budget = sim::from_seconds(
+                resolver_rng->exponential(cfg.resolver_session_mean_s));
+            loop->schedule(session_budget, [client_side] { client_side->close(); });
+          },
+          [client_side](std::string) { client_side->close(); });
+    });
+  });
+}
+
+void DnsttTransport::start_server() {
+  // Authoritative dnstt server next to the bridge relay.
+  auto* net = net_;
+  const tor::Consensus* consensus = consensus_;
+  DnsttConfig cfg = config_;
+  net::HostId auth_host = consensus_->at(config_.bridge).host;
+  auto sessions = std::make_shared<
+      std::map<std::uint64_t, std::shared_ptr<DnsttServerSession>>>();
+
+  net_->listen(auth_host, "dns-auth", [net, consensus, cfg, auth_host,
+                                       sessions](net::Pipe pipe) {
+    auto ch = net::wrap_pipe(std::move(pipe));
+    net::ChannelPtr ch_copy = ch;
+    ch->set_receiver([net, consensus, cfg, auth_host, sessions,
+                      ch_copy](util::Bytes wire) {
+      auto query = net::dns::decode(wire);
+      if (!query || query->questions.empty()) return;
+      const net::dns::Question& q = query->questions[0];
+
+      net::dns::Message resp;
+      resp.id = query->id;
+      resp.is_response = true;
+
+      auto data = net::dns::decode_data_name(q.name, cfg.zone);
+      if (!data || data->size() < 8) {
+        resp.rcode = net::dns::RCode::kNxDomain;
+        ch_copy->send(net::dns::encode(resp));
+        return;
+      }
+      util::Reader r(*data);
+      std::uint64_t sid = r.u64();
+      auto it = sessions->find(sid);
+      std::shared_ptr<DnsttServerSession> session;
+      if (it == sessions->end()) {
+        session = std::make_shared<DnsttServerSession>();
+        (*sessions)[sid] = session;
+        serve_upstream(*net, auth_host, session, tor_upstream(*consensus));
+        session->set_close_handler([sessions, sid] { sessions->erase(sid); });
+      } else {
+        session = it->second;
+      }
+      session->feed_upstream(r.take(r.remaining()));
+
+      // Budget: whatever fits under the resolver's response cap after the
+      // echoed question (the answer name is a compression pointer) and the
+      // TXT character-string length bytes (one per 255 payload bytes).
+      std::size_t overhead = 12 + (q.name.size() + 2 + 4) + (2 + 10) + 12 +
+                             cfg.max_response_bytes / 255 + 2;
+      std::size_t budget = cfg.max_response_bytes > overhead
+                               ? cfg.max_response_bytes - overhead
+                               : 16;
+      util::Bytes payload = session->pull(budget);
+
+      net::dns::Record answer;
+      answer.name = q.name;
+      answer.type = net::dns::Type::kTxt;
+      answer.ttl = 0;
+      answer.rdata = net::dns::txt_rdata(payload);
+      resp.questions.push_back(q);
+      resp.answers.push_back(std::move(answer));
+      ch_copy->send(net::dns::encode(resp));
+    });
+  });
+}
+
+tor::TorClient::FirstHopConnector DnsttTransport::connector() {
+  auto* net = net_;
+  DnsttConfig cfg = config_;
+  auto rng = std::make_shared<sim::Rng>(rng_.fork("dnstt-client"));
+
+  return [net, cfg, rng](tor::RelayIndex,
+                         std::function<void(net::ChannelPtr)> on_open,
+                         std::function<void(std::string)> on_error) {
+    net->connect(
+        cfg.client_host, cfg.resolver_host, "doh",
+        [net, cfg, rng, on_open](net::Pipe pipe) {
+          net::ClientHelloParams hello;
+          hello.sni = "doh.opendns.example";
+          net::tls_connect(std::move(pipe), hello, *rng,
+                           [net, cfg, rng, on_open](net::TlsSession session) {
+                             auto ch = std::make_shared<DnsttClientChannel>(
+                                 net->loop(), std::move(session), cfg,
+                                 rng->next_u64());
+                             ch->start();
+                             send_preamble(ch, cfg.bridge);
+                             on_open(ch);
+                           });
+        },
+        [on_error](std::string err) {
+          if (on_error) on_error("dnstt: " + err);
+        });
+  };
+}
+
+}  // namespace ptperf::pt

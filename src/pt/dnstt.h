@@ -1,0 +1,56 @@
+// dnstt: DNS tunneling through a public DoH resolver (§2.2). Upstream data
+// rides base32-encoded in query names; downstream rides in TXT answers,
+// bounded by the resolver's 512-byte response budget. Throughput is
+// window × per-response-budget / resolver-RTT — the structural reason the
+// paper finds dnstt fine for websites but hopeless for bulk (Fig 5/8),
+// compounded by resolvers throttling long query floods.
+#pragma once
+
+#include "pt/transport.h"
+#include "pt/upstream.h"
+#include "sim/rng.h"
+
+namespace ptperf::pt {
+
+struct DnsttConfig {
+  net::HostId client_host = 0;
+  net::HostId resolver_host = 0;   // public DoH resolver
+  tor::RelayIndex bridge = 0;      // dnstt server co-hosted with the bridge
+  std::string zone = "t.example.com";
+  /// Concurrent outstanding queries (dnstt's in-flight window).
+  int window = 28;
+  /// Idle re-poll cadence when nothing is flowing.
+  sim::Duration idle_poll = sim::from_millis(150);
+  /// Resolver flood-throttling: mean active-session seconds before the
+  /// resolver drops the client (exponential).
+  double resolver_session_mean_s = 150;
+  /// Resolver recursion/cache processing per query.
+  sim::Duration resolver_processing = sim::from_millis(8);
+  /// Largest DNS response the resolver relays (the classic 512-byte UDP
+  /// budget; the ablation bench lifts it).
+  std::size_t max_response_bytes = 512;
+};
+
+class DnsttTransport final : public Transport {
+ public:
+  DnsttTransport(net::Network& net, const tor::Consensus& consensus,
+                 sim::Rng rng, DnsttConfig config);
+
+  const TransportInfo& info() const override { return info_; }
+  tor::TorClient::FirstHopConnector connector() override;
+  std::optional<tor::RelayIndex> fixed_entry() const override {
+    return config_.bridge;
+  }
+
+ private:
+  void start_resolver();
+  void start_server();
+
+  net::Network* net_;
+  const tor::Consensus* consensus_;
+  sim::Rng rng_;
+  DnsttConfig config_;
+  TransportInfo info_;
+};
+
+}  // namespace ptperf::pt

@@ -1,0 +1,305 @@
+#include "pt/fully_encrypted.h"
+
+#include "crypto/hmac.h"
+#include "pt/crypto_channel.h"
+#include "tor/ntor.h"
+
+namespace ptperf::pt {
+namespace {
+
+/// Directional AEAD keys from arbitrary shared material.
+std::pair<util::Bytes, util::Bytes> directional_keys(util::BytesView secret,
+                                                     std::string_view label) {
+  util::Bytes okm = crypto::hkdf({}, secret, util::to_bytes(label), 64);
+  return {util::Bytes(okm.begin(), okm.begin() + 32),
+          util::Bytes(okm.begin() + 32, okm.end())};
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ obfs4
+
+Obfs4Transport::Obfs4Transport(net::Network& net,
+                               const tor::Consensus& consensus, sim::Rng rng,
+                               Obfs4Config config)
+    : net_(&net), consensus_(&consensus), rng_(std::move(rng)),
+      config_(config) {
+  info_ = TransportInfo{"obfs4", Category::kFullyEncrypted,
+                        HopSet::kSet1BridgeIsGuard,
+                        /*separable_from_tor=*/false,
+                        /*supports_parallel_streams=*/true};
+  start_server();
+}
+
+void Obfs4Transport::start_server() {
+  net::HostId server_host = consensus_->at(config_.bridge).host;
+  auto server_rng = std::make_shared<sim::Rng>(rng_.fork("obfs4-server"));
+  auto* net = net_;
+  const tor::Consensus* consensus = consensus_;
+  Obfs4Config cfg = config_;
+
+  net_->listen(server_host, "obfs4", [net, consensus, server_rng, cfg,
+                                      server_host](net::Pipe pipe) {
+    auto raw = net::wrap_pipe(std::move(pipe));
+    raw->set_receiver([net, consensus, server_rng, cfg, server_host,
+                       raw](util::Bytes msg) {
+      // Client handshake: 32-byte ntor message + obfuscation padding.
+      if (msg.size() < 32) {
+        raw->close();
+        return;
+      }
+      auto result = tor::ntor_server_respond(
+          util::BytesView(msg.data(), 32), consensus->identity_of(cfg.bridge),
+          crypto::X25519Key{}, *server_rng, consensus->handshake_mode);
+      if (!result) {
+        raw->close();
+        return;
+      }
+      util::Writer reply;
+      reply.raw(result->reply);
+      reply.zeros(cfg.min_handshake_pad +
+                  server_rng->next_below(cfg.max_handshake_pad -
+                                         cfg.min_handshake_pad + 1));
+      raw->send(reply.take());
+
+      CryptoChannelConfig cc;
+      cc.send_key = result->keys.backward_key;  // server sends backward
+      cc.recv_key = result->keys.forward_key;
+      cc.pad_block = cfg.frame_pad_block;
+      cc.max_random_pad = cfg.max_random_pad;
+      auto secure =
+          CryptoChannel::create(raw, std::move(cc), server_rng->fork("pad"));
+      serve_upstream(*net, server_host, secure, tor_upstream(*consensus));
+    });
+  });
+}
+
+tor::TorClient::FirstHopConnector Obfs4Transport::connector() {
+  auto* net = net_;
+  const tor::Consensus* consensus = consensus_;
+  Obfs4Config cfg = config_;
+  auto rng = std::make_shared<sim::Rng>(rng_.fork("obfs4-client"));
+  net::HostId server_host = consensus_->at(config_.bridge).host;
+
+  return [net, consensus, cfg, rng, server_host](
+             tor::RelayIndex /*entry: always the bridge*/,
+             std::function<void(net::ChannelPtr)> on_open,
+             std::function<void(std::string)> on_error) {
+    net->connect(
+        cfg.client_host, server_host, "obfs4",
+        [consensus, cfg, rng, on_open](net::Pipe pipe) {
+          auto raw = net::wrap_pipe(std::move(pipe));
+          auto state = std::make_shared<tor::NtorClientState>(
+              tor::ntor_client_start(*rng, consensus->handshake_mode));
+          raw->set_receiver([consensus, cfg, rng, on_open, raw,
+                             state](util::Bytes reply_msg) {
+            if (reply_msg.size() < 48) {
+              raw->close();
+              return;
+            }
+            auto keys = tor::ntor_client_finish(
+                *state, consensus->identity_of(cfg.bridge),
+                util::BytesView(reply_msg.data(), 48));
+            if (!keys) {
+              raw->close();
+              return;
+            }
+            CryptoChannelConfig cc;
+            cc.send_key = keys->forward_key;
+            cc.recv_key = keys->backward_key;
+            cc.pad_block = cfg.frame_pad_block;
+            cc.max_random_pad = cfg.max_random_pad;
+            auto secure =
+                CryptoChannel::create(raw, std::move(cc), rng->fork("pad"));
+            send_preamble(secure, cfg.bridge);
+            on_open(secure);
+          });
+          util::Writer hello;
+          hello.raw(tor::ntor_client_message(*state));
+          hello.zeros(cfg.min_handshake_pad +
+                      rng->next_below(cfg.max_handshake_pad -
+                                      cfg.min_handshake_pad + 1));
+          raw->send(hello.take());
+        },
+        [on_error](std::string err) {
+          if (on_error) on_error("obfs4: " + err);
+        });
+  };
+}
+
+// ------------------------------------------------------------ shadowsocks
+
+ShadowsocksTransport::ShadowsocksTransport(net::Network& net,
+                                           const tor::Consensus& consensus,
+                                           sim::Rng rng,
+                                           ShadowsocksConfig config)
+    : net_(&net), consensus_(&consensus), rng_(std::move(rng)),
+      config_(config) {
+  info_ = TransportInfo{"shadowsocks", Category::kFullyEncrypted,
+                        HopSet::kSet2SeparateProxy,
+                        /*separable_from_tor=*/true,
+                        /*supports_parallel_streams=*/true};
+  psk_ = rng_.fork("psk").bytes(32);
+  start_server();
+}
+
+void ShadowsocksTransport::start_server() {
+  auto* net = net_;
+  const tor::Consensus* consensus = consensus_;
+  util::Bytes psk = psk_;
+  net::HostId server_host = config_.server_host;
+  auto server_rng = std::make_shared<sim::Rng>(rng_.fork("ss-server"));
+
+  net_->listen(server_host, "shadowsocks",
+               [net, consensus, psk, server_host, server_rng](net::Pipe pipe) {
+                 auto raw = net::wrap_pipe(std::move(pipe));
+                 auto [c2s, s2c] = directional_keys(psk, "shadowsocks");
+                 CryptoChannelConfig cc;
+                 cc.send_key = s2c;
+                 cc.recv_key = c2s;
+                 auto secure = CryptoChannel::create(raw, std::move(cc),
+                                                     server_rng->fork("f"));
+                 serve_upstream(*net, server_host, secure,
+                                tor_upstream(*consensus));
+               });
+}
+
+tor::TorClient::FirstHopConnector ShadowsocksTransport::connector() {
+  auto* net = net_;
+  util::Bytes psk = psk_;
+  ShadowsocksConfig cfg = config_;
+  auto rng = std::make_shared<sim::Rng>(rng_.fork("ss-client"));
+
+  return [net, psk, cfg, rng](tor::RelayIndex entry,
+                              std::function<void(net::ChannelPtr)> on_open,
+                              std::function<void(std::string)> on_error) {
+    net->connect(
+        cfg.client_host, cfg.server_host, "shadowsocks",
+        [psk, rng, entry, on_open](net::Pipe pipe) {
+          auto raw = net::wrap_pipe(std::move(pipe));
+          auto [c2s, s2c] = directional_keys(psk, "shadowsocks");
+          CryptoChannelConfig cc;
+          cc.send_key = c2s;
+          cc.recv_key = s2c;
+          auto secure =
+              CryptoChannel::create(raw, std::move(cc), rng->fork("f"));
+          send_preamble(secure, entry);
+          on_open(secure);
+        },
+        [on_error](std::string err) {
+          if (on_error) on_error("shadowsocks: " + err);
+        });
+  };
+}
+
+// ---------------------------------------------------------------- psiphon
+
+PsiphonTransport::PsiphonTransport(net::Network& net,
+                                   const tor::Consensus& consensus,
+                                   sim::Rng rng, PsiphonConfig config)
+    : net_(&net), consensus_(&consensus), rng_(std::move(rng)),
+      config_(config) {
+  info_ = TransportInfo{"psiphon", Category::kProxyLayer,
+                        HopSet::kSet2SeparateProxy,
+                        /*separable_from_tor=*/true,
+                        /*supports_parallel_streams=*/true};
+  start_server();
+}
+
+void PsiphonTransport::start_server() {
+  auto* net = net_;
+  const tor::Consensus* consensus = consensus_;
+  net::HostId server_host = config_.server_host;
+  auto server_rng = std::make_shared<sim::Rng>(rng_.fork("psiphon-server"));
+
+  net_->listen(server_host, "ssh", [net, consensus, server_host,
+                                    server_rng](net::Pipe pipe) {
+    auto raw = net::wrap_pipe(std::move(pipe));
+    auto kex = std::make_shared<util::Bytes>();
+    raw->set_receiver([net, consensus, server_host, server_rng, raw,
+                       kex](util::Bytes msg) {
+      if (kex->empty()) {
+        // KEXINIT from the client: echo our kex reply (~800 B of
+        // algorithm lists + host key + DH reply).
+        *kex = server_rng->bytes(32);
+        util::Writer reply;
+        reply.raw(*kex);
+        reply.zeros(800 - 32);
+        raw->send(reply.take());
+        // Stash the client random for key derivation.
+        kex->insert(kex->end(), msg.begin(),
+                    msg.begin() + std::min<std::size_t>(32, msg.size()));
+        return;
+      }
+      // Second client message: NEWKEYS + pre-shared-key auth. Accept and
+      // switch to the encrypted channel.
+      util::Writer ok;
+      ok.zeros(100);
+      raw->send(ok.take());
+      auto [c2s, s2c] = directional_keys(*kex, "psiphon-ssh");
+      CryptoChannelConfig cc;
+      cc.send_key = s2c;
+      cc.recv_key = c2s;
+      auto secure =
+          CryptoChannel::create(raw, std::move(cc), server_rng->fork("f"));
+      serve_upstream(*net, server_host, secure, tor_upstream(*consensus));
+    });
+  });
+}
+
+tor::TorClient::FirstHopConnector PsiphonTransport::connector() {
+  auto* net = net_;
+  PsiphonConfig cfg = config_;
+  auto rng = std::make_shared<sim::Rng>(rng_.fork("psiphon-client"));
+
+  return [net, cfg, rng](tor::RelayIndex entry,
+                         std::function<void(net::ChannelPtr)> on_open,
+                         std::function<void(std::string)> on_error) {
+    net->connect(
+        cfg.client_host, cfg.server_host, "ssh",
+        [rng, entry, on_open](net::Pipe pipe) {
+          auto raw = net::wrap_pipe(std::move(pipe));
+          util::Bytes client_random = rng->bytes(32);
+          auto phase = std::make_shared<int>(0);
+          auto kex = std::make_shared<util::Bytes>();
+          raw->set_receiver([rng, entry, on_open, raw, phase, kex,
+                             client_random](util::Bytes msg) {
+            if (*phase == 0) {
+              *phase = 1;
+              // Server kex reply: derive the transcript the same way the
+              // server does (server random || client random).
+              kex->assign(msg.begin(),
+                          msg.begin() + std::min<std::size_t>(32, msg.size()));
+              kex->insert(kex->end(), client_random.begin(),
+                          client_random.end());
+              // NEWKEYS + auth.
+              util::Writer auth;
+              auth.zeros(300);
+              raw->send(auth.take());
+              return;
+            }
+            if (*phase == 1) {
+              *phase = 2;
+              auto [c2s, s2c] = directional_keys(*kex, "psiphon-ssh");
+              CryptoChannelConfig cc;
+              cc.send_key = c2s;
+              cc.recv_key = s2c;
+              auto secure =
+                  CryptoChannel::create(raw, std::move(cc), rng->fork("f"));
+              send_preamble(secure, entry);
+              on_open(secure);
+            }
+          });
+          // KEXINIT (~500 B: banner + algorithm lists + client random).
+          util::Writer kexinit;
+          kexinit.raw(client_random);
+          kexinit.zeros(500 - 32);
+          raw->send(kexinit.take());
+        },
+        [on_error](std::string err) {
+          if (on_error) on_error("psiphon: " + err);
+        });
+  };
+}
+
+}  // namespace ptperf::pt

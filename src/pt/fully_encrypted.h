@@ -1,0 +1,96 @@
+// The fully-encrypted / proxy family that shares the AEAD record layer:
+//   * obfs4     — ntor-style handshake with padded messages, length-
+//                 obfuscated frames; server co-hosted with a Tor bridge
+//                 that acts as the circuit's guard (set 1).
+//   * shadowsocks — pre-shared key, zero handshake round trips, tight AEAD
+//                 records; standalone proxy that relays to the client's
+//                 chosen guard (set 2).
+//   * psiphon   — SSH tunnel: two handshake round trips (KEX + auth), then
+//                 AEAD records; standalone proxy (set 2).
+#pragma once
+
+#include "pt/transport.h"
+#include "pt/upstream.h"
+#include "sim/rng.h"
+
+namespace ptperf::pt {
+
+struct Obfs4Config {
+  net::HostId client_host = 0;
+  /// Bridge relay whose host also runs the obfs4 server.
+  tor::RelayIndex bridge = 0;
+  std::size_t min_handshake_pad = 512;
+  std::size_t max_handshake_pad = 4096;
+  std::size_t frame_pad_block = 128;
+  std::size_t max_random_pad = 512;
+};
+
+class Obfs4Transport final : public Transport {
+ public:
+  Obfs4Transport(net::Network& net, const tor::Consensus& consensus,
+                 sim::Rng rng, Obfs4Config config);
+
+  const TransportInfo& info() const override { return info_; }
+  tor::TorClient::FirstHopConnector connector() override;
+  std::optional<tor::RelayIndex> fixed_entry() const override {
+    return config_.bridge;
+  }
+
+ private:
+  void start_server();
+
+  net::Network* net_;
+  const tor::Consensus* consensus_;
+  sim::Rng rng_;
+  Obfs4Config config_;
+  TransportInfo info_;
+};
+
+struct ShadowsocksConfig {
+  net::HostId client_host = 0;
+  net::HostId server_host = 0;
+};
+
+class ShadowsocksTransport final : public Transport {
+ public:
+  ShadowsocksTransport(net::Network& net, const tor::Consensus& consensus,
+                       sim::Rng rng, ShadowsocksConfig config);
+
+  const TransportInfo& info() const override { return info_; }
+  tor::TorClient::FirstHopConnector connector() override;
+
+ private:
+  void start_server();
+
+  net::Network* net_;
+  const tor::Consensus* consensus_;
+  sim::Rng rng_;
+  ShadowsocksConfig config_;
+  util::Bytes psk_;
+  TransportInfo info_;
+};
+
+struct PsiphonConfig {
+  net::HostId client_host = 0;
+  net::HostId server_host = 0;
+};
+
+class PsiphonTransport final : public Transport {
+ public:
+  PsiphonTransport(net::Network& net, const tor::Consensus& consensus,
+                   sim::Rng rng, PsiphonConfig config);
+
+  const TransportInfo& info() const override { return info_; }
+  tor::TorClient::FirstHopConnector connector() override;
+
+ private:
+  void start_server();
+
+  net::Network* net_;
+  const tor::Consensus* consensus_;
+  sim::Rng rng_;
+  PsiphonConfig config_;
+  TransportInfo info_;
+};
+
+}  // namespace ptperf::pt

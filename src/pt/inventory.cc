@@ -1,0 +1,92 @@
+#include "pt/inventory.h"
+
+namespace ptperf::pt {
+
+const std::vector<PtInventoryEntry>& pt_inventory() {
+  static const std::vector<PtInventoryEntry> kTable = {
+      // Bundled with the Tor browser.
+      {"obfs4", true, true, true, true, "none", "random obfuscation",
+       AdoptionStatus::kBundledWithTorBrowser},
+      {"meek", true, true, true, true,
+       "requires CDN with domain-fronting support", "domain fronting",
+       AdoptionStatus::kBundledWithTorBrowser},
+      {"snowflake", true, true, true, true, "dependency on domain fronting",
+       "WebRTC", AdoptionStatus::kBundledWithTorBrowser},
+      // Listed, under deployment/testing.
+      {"dnstt", true, true, true, true, "none", "DoH/DoT tunneling",
+       AdoptionStatus::kUnderDeployment},
+      {"conjure", true, true, true, true, "needs ISP support",
+       "decoy routing", AdoptionStatus::kUnderDeployment},
+      {"webtunnel", true, true, true, true, "none", "tunneling over HTTP",
+       AdoptionStatus::kUnderDeployment},
+      {"torcloak", false, false, false, false, "code not public",
+       "tunneling over WebRTC", AdoptionStatus::kUnderDeployment},
+      // Listed but undeployed.
+      {"marionette", true, true, true, true,
+       "dependency issues (Python 2.7 only)", "network traffic obfuscation",
+       AdoptionStatus::kListedUndeployed},
+      {"shadowsocks", true, true, true, true, "none",
+       "network traffic obfuscation", AdoptionStatus::kListedUndeployed},
+      {"stegotorus", true, true, true, true, "none",
+       "steganographic obfuscation", AdoptionStatus::kListedUndeployed},
+      {"psiphon", true, true, true, true, "none", "proxy-based",
+       AdoptionStatus::kListedUndeployed},
+      {"lantern-lampshade", true, false, false, false,
+       "no ready-to-deploy code", "obfuscated encryption",
+       AdoptionStatus::kListedUndeployed},
+      // Not listed by the Tor project.
+      {"cloak", true, true, true, true, "none",
+       "network traffic obfuscation", AdoptionStatus::kNotListedByTor},
+      {"camoufler", true, true, true, true, "dependency on IM accounts",
+       "tunneling over IM application", AdoptionStatus::kNotListedByTor},
+      {"massbrowser", true, true, true, false,
+       "requires invite code from authors",
+       "domain fronting + browser proxy", AdoptionStatus::kNotListedByTor},
+      {"protozoa", true, false, false, false, "code compilation issues",
+       "tunneling over WebRTC", AdoptionStatus::kNotListedByTor},
+      {"stegozoa", true, false, false, false,
+       "basic functionality only (text over sockets)",
+       "tunneling over WebRTC", AdoptionStatus::kNotListedByTor},
+      {"sweet", true, false, false, false, "dependency issues",
+       "tunneling over emails", AdoptionStatus::kNotListedByTor},
+      {"deltashaper", true, false, false, false,
+       "requires unsupported Skype version", "tunneling over video",
+       AdoptionStatus::kNotListedByTor},
+      {"rook", true, true, false, false,
+       "messaging only; no proxy support", "hiding data in online gaming",
+       AdoptionStatus::kNotListedByTor},
+      {"facet", true, false, false, false,
+       "requires unsupported Skype version", "tunneling over video",
+       AdoptionStatus::kNotListedByTor},
+      {"mailet", true, true, false, false,
+       "Twitter access only; no proxy support", "tunneling over email",
+       AdoptionStatus::kNotListedByTor},
+      {"minecruft-pt", true, false, false, false, "issues in source code",
+       "hiding data in online gaming", AdoptionStatus::kNotListedByTor},
+      {"cloudtransport", false, false, false, false, "code not public",
+       "tunneling over cloud storage", AdoptionStatus::kNotListedByTor},
+      {"covertcast", false, false, false, false, "code not public",
+       "tunneling over video", AdoptionStatus::kNotListedByTor},
+      {"freewave", false, false, false, false, "code not public",
+       "tunneling over VoIP", AdoptionStatus::kNotListedByTor},
+      {"balboa", false, false, false, false, "code not public",
+       "obfuscation based on user-traffic model",
+       AdoptionStatus::kNotListedByTor},
+      {"domain-shadowing", false, false, false, false, "code not public",
+       "domain shadowing", AdoptionStatus::kNotListedByTor},
+  };
+  return kTable;
+}
+
+InventorySummary summarize_inventory() {
+  InventorySummary s;
+  for (const PtInventoryEntry& e : pt_inventory()) {
+    ++s.total;
+    if (e.performance_evaluated) ++s.evaluated;
+    if (e.functional) ++s.functional;
+    if (e.code_available) ++s.code_available;
+  }
+  return s;
+}
+
+}  // namespace ptperf::pt

@@ -1,0 +1,42 @@
+// The paper's Table 2: all 28 circumvention systems surveyed as candidate
+// pluggable transports, their status and the challenges that kept 16 of
+// them out of the measurement study.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ptperf::pt {
+
+enum class AdoptionStatus {
+  kBundledWithTorBrowser,   // obfs4, meek, snowflake
+  kUnderDeployment,         // dnstt, conjure, webtunnel, torcloak
+  kListedUndeployed,        // marionette, shadowsocks, stegotorus, ...
+  kNotListedByTor,          // cloak, camoufler, ...
+};
+
+struct PtInventoryEntry {
+  std::string name;
+  bool code_available = false;
+  bool functional = false;
+  bool tor_integrable = false;
+  bool performance_evaluated = false;
+  std::string challenge;   // adoption / deployment hurdle
+  std::string technology;  // underlying primitive
+  AdoptionStatus status = AdoptionStatus::kNotListedByTor;
+};
+
+/// All 28 systems of Table 2, paper order.
+const std::vector<PtInventoryEntry>& pt_inventory();
+
+/// Counts used in the paper's conclusion: 28 analyzed, 12 evaluated,
+/// 13 non-functional.
+struct InventorySummary {
+  std::size_t total = 0;
+  std::size_t evaluated = 0;
+  std::size_t functional = 0;
+  std::size_t code_available = 0;
+};
+InventorySummary summarize_inventory();
+
+}  // namespace ptperf::pt

@@ -1,0 +1,169 @@
+#include "pt/marionette.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "pt/segmenting_channel.h"
+
+namespace ptperf::pt {
+
+void MarionetteSpec::validate() const {
+  if (states.empty()) throw std::invalid_argument("marionette: no states");
+  if (transitions.size() != states.size())
+    throw std::invalid_argument("marionette: transition matrix shape");
+  for (const auto& row : transitions) {
+    if (row.size() != states.size())
+      throw std::invalid_argument("marionette: transition row shape");
+    double sum = 0;
+    for (double p : row) {
+      if (p < 0) throw std::invalid_argument("marionette: negative prob");
+      sum += p;
+    }
+    if (std::abs(sum - 1.0) > 1e-9)
+      throw std::invalid_argument("marionette: row does not sum to 1");
+  }
+}
+
+MarionetteSpec ftp_simple_blocking() {
+  MarionetteSpec spec;
+  spec.format = "ftp_simple_blocking";
+  spec.states = {
+      {"ctrl_command", 96, 450, 0.6},    // USER/PASS/CWD chatter
+      {"ctrl_response", 128, 380, 0.5},  // 2xx/3xx status lines
+      {"data_transfer", 1460, 160, 0.4}, // RETR payload bursts
+      {"idle", 0, 900, 0.7},             // user think-time, no payload
+  };
+  spec.transitions = {
+      {0.10, 0.55, 0.30, 0.05},
+      {0.20, 0.10, 0.60, 0.10},
+      {0.05, 0.10, 0.75, 0.10},
+      {0.40, 0.10, 0.40, 0.10},
+  };
+  spec.validate();
+  return spec;
+}
+
+MarionetteSpec http_simple_blocking() {
+  MarionetteSpec spec;
+  spec.format = "http_simple_blocking";
+  spec.states = {
+      {"request", 512, 220, 0.5},
+      {"response", 1460, 120, 0.4},
+      {"keepalive", 0, 500, 0.6},
+  };
+  spec.transitions = {
+      {0.10, 0.80, 0.10},
+      {0.25, 0.60, 0.15},
+      {0.60, 0.20, 0.20},
+  };
+  spec.validate();
+  return spec;
+}
+
+AutomatonWalker::AutomatonWalker(MarionetteSpec spec, sim::Rng rng)
+    : spec_(std::move(spec)), rng_(std::move(rng)) {
+  spec_.validate();
+}
+
+sim::Duration AutomatonWalker::next_dwell() {
+  sim::Duration total{};
+  // Step until we land in a state that may carry payload; dwell times of
+  // payload-free states accumulate (cover traffic still costs time).
+  for (int guard = 0; guard < 64; ++guard) {
+    const MarionetteState& st = spec_.states[state_];
+    double mu = std::log(st.mean_dwell_ms) - st.dwell_sigma * st.dwell_sigma / 2;
+    total += sim::from_millis(rng_.lognormal(mu, st.dwell_sigma));
+
+    // Transition.
+    double u = rng_.next_double();
+    const auto& row = spec_.transitions[state_];
+    for (std::size_t next = 0; next < row.size(); ++next) {
+      u -= row[next];
+      if (u <= 0) {
+        state_ = next;
+        break;
+      }
+    }
+    if (spec_.states[state_].max_payload > 0) break;
+  }
+  return total;
+}
+
+std::size_t AutomatonWalker::max_payload() const {
+  std::size_t m = 0;
+  for (const auto& st : spec_.states) m = std::max(m, st.max_payload);
+  return m;
+}
+
+// -------------------------------------------------------------- transport
+
+MarionetteTransport::MarionetteTransport(net::Network& net,
+                                         const tor::Consensus& consensus,
+                                         sim::Rng rng, MarionetteConfig config)
+    : net_(&net), consensus_(&consensus), rng_(std::move(rng)),
+      config_(std::move(config)) {
+  if (config_.spec.states.empty()) config_.spec = ftp_simple_blocking();
+  info_ = TransportInfo{"marionette", Category::kMimicry,
+                        HopSet::kSet3TorAtServer,
+                        /*separable_from_tor=*/true,
+                        /*supports_parallel_streams=*/true};
+  start_server();
+}
+
+namespace {
+
+net::ChannelPtr automaton_channel(sim::EventLoop& loop, net::ChannelPtr inner,
+                                  const MarionetteSpec& spec, sim::Rng rng) {
+  auto walker = std::make_shared<AutomatonWalker>(spec, std::move(rng));
+  SegmentPolicy policy;
+  policy.max_segment = walker->max_payload();
+  policy.per_segment_overhead = 64;  // cover-protocol message framing
+  policy.unit_delay = [walker] { return walker->next_dwell(); };
+  return SegmentingChannel::create(loop, std::move(inner), policy);
+}
+
+}  // namespace
+
+void MarionetteTransport::start_server() {
+  auto* net = net_;
+  MarionetteConfig cfg = config_;
+  auto server_rng = std::make_shared<sim::Rng>(rng_.fork("marionette-server"));
+
+  net_->listen(cfg.server_host, "ftp", [net, cfg, server_rng](net::Pipe pipe) {
+    auto paced = automaton_channel(net->loop(), net::wrap_pipe(std::move(pipe)),
+                                   cfg.spec, server_rng->fork("walk"));
+    serve_upstream(*net, cfg.server_host, paced,
+                   fixed_upstream(cfg.server_host, cfg.socks_service));
+  });
+}
+
+void MarionetteTransport::open_socks_tunnel(
+    std::function<void(net::ChannelPtr)> ok,
+    std::function<void(std::string)> err) {
+  auto* net = net_;
+  MarionetteConfig cfg = config_;
+  auto rng = std::make_shared<sim::Rng>(rng_.fork("marionette-client"));
+
+  net_->connect(
+      cfg.client_host, cfg.server_host, "ftp",
+      [net, cfg, rng, ok](net::Pipe pipe) {
+        auto paced = automaton_channel(net->loop(),
+                                       net::wrap_pipe(std::move(pipe)),
+                                       cfg.spec, rng->fork("walk"));
+        send_preamble(paced, 0);  // set 3: preamble ignored
+        ok(paced);
+      },
+      [err](std::string e) {
+        if (err) err("marionette: " + e);
+      });
+}
+
+tor::TorClient::FirstHopConnector MarionetteTransport::connector() {
+  return [name = info_.name](tor::RelayIndex,
+                             std::function<void(net::ChannelPtr)>,
+                             std::function<void(std::string)> on_error) {
+    if (on_error) on_error(name + ": set-3 transport has no first hop");
+  };
+}
+
+}  // namespace ptperf::pt

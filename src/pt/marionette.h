@@ -1,0 +1,87 @@
+// marionette: programmable traffic obfuscation driven by a probabilistic
+// automaton (§2.3, Dyer et al. USENIX Sec'15). Each automaton transition
+// permits one cover-protocol message carrying a bounded payload after a
+// state-dependent dwell time — fidelity to a user-model is bought with
+// throughput, which is why marionette is the slowest PT in every figure.
+//
+// Set 3: the Tor client runs on the marionette server host; fetchers dial
+// SOCKS through the tunnel.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pt/transport.h"
+#include "pt/upstream.h"
+#include "sim/rng.h"
+
+namespace ptperf::pt {
+
+/// One automaton state: how long the model dwells here and how much data a
+/// transition out of it may carry.
+struct MarionetteState {
+  std::string name;
+  std::size_t max_payload = 1460;
+  double mean_dwell_ms = 300;
+  double dwell_sigma = 0.5;  // lognormal shape
+};
+
+/// A tiny stand-in for marionette's DSL: states + row-stochastic
+/// transition matrix.
+struct MarionetteSpec {
+  std::string format;  // e.g. "ftp_simple_blocking"
+  std::vector<MarionetteState> states;
+  std::vector<std::vector<double>> transitions;
+
+  /// Validates shape and row sums; throws std::invalid_argument.
+  void validate() const;
+};
+
+/// The FTP-flavoured model used as the paper's default format.
+MarionetteSpec ftp_simple_blocking();
+/// An HTTP-flavoured alternative (faster dwell, larger messages).
+MarionetteSpec http_simple_blocking();
+
+/// Walks the automaton; samples the dwell before each permitted message.
+class AutomatonWalker {
+ public:
+  AutomatonWalker(MarionetteSpec spec, sim::Rng rng);
+
+  sim::Duration next_dwell();
+  const MarionetteState& current() const { return spec_.states[state_]; }
+  std::size_t max_payload() const;
+
+ private:
+  MarionetteSpec spec_;
+  sim::Rng rng_;
+  std::size_t state_ = 0;
+};
+
+struct MarionetteConfig {
+  net::HostId client_host = 0;
+  net::HostId server_host = 0;
+  MarionetteSpec spec;  // defaulted to ftp_simple_blocking() by the ctor
+  std::string socks_service = "marionette-socks";
+};
+
+class MarionetteTransport final : public Transport {
+ public:
+  MarionetteTransport(net::Network& net, const tor::Consensus& consensus,
+                      sim::Rng rng, MarionetteConfig config);
+
+  const TransportInfo& info() const override { return info_; }
+  tor::TorClient::FirstHopConnector connector() override;
+  void open_socks_tunnel(std::function<void(net::ChannelPtr)> ok,
+                         std::function<void(std::string)> err) override;
+
+ private:
+  void start_server();
+
+  net::Network* net_;
+  const tor::Consensus* consensus_;
+  sim::Rng rng_;
+  MarionetteConfig config_;
+  TransportInfo info_;
+};
+
+}  // namespace ptperf::pt

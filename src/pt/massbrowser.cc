@@ -1,0 +1,131 @@
+#include "pt/massbrowser.h"
+
+#include "net/http.h"
+#include "net/tls.h"
+
+namespace ptperf::pt {
+
+MassbrowserTransport::MassbrowserTransport(net::Network& net,
+                                           const tor::Consensus& consensus,
+                                           sim::Rng rng,
+                                           MassbrowserConfig config)
+    : net_(&net), consensus_(&consensus), rng_(std::move(rng)),
+      config_(std::move(config)) {
+  info_ = TransportInfo{"massbrowser", Category::kProxyLayer,
+                        HopSet::kSet2SeparateProxy,
+                        /*separable_from_tor=*/true,
+                        /*supports_parallel_streams=*/true};
+  start_operator();
+  start_buddies();
+}
+
+void MassbrowserTransport::start_operator() {
+  auto* net = net_;
+  MassbrowserConfig cfg = config_;
+  auto op_rng = std::make_shared<sim::Rng>(rng_.fork("mb-operator"));
+  std::size_t n_buddies = config_.buddy_hosts.size();
+
+  net_->listen(cfg.operator_host, "mb-signal", [net, cfg, op_rng,
+                                                n_buddies](net::Pipe pipe) {
+    net::tls_accept(std::move(pipe), *op_rng, [net, cfg, op_rng, n_buddies](
+                                                  net::TlsSession session,
+                                                  const net::ClientHello&) {
+      auto ch = net::wrap_tls(std::move(session));
+      net::ChannelPtr ch_copy = ch;
+      ch->set_receiver([net, cfg, op_rng, n_buddies, ch_copy](util::Bytes msg) {
+        auto req = net::http::decode_request(msg);
+        net::http::Response resp;
+        // The access-code gate: the operator only matches registered
+        // devices with buddies.
+        if (!req || !req->headers.count("x-access-code") ||
+            req->headers.at("x-access-code") != cfg.issued_code) {
+          resp.status = 403;
+          resp.reason = "Invite Required";
+          ch_copy->send(net::http::encode_response(resp));
+          ch_copy->close();
+          return;
+        }
+        std::uint64_t pick = op_rng->next_below(n_buddies);
+        resp.status = 200;
+        resp.body = util::to_bytes(std::to_string(pick));
+        sim::Duration proc = cfg.operator_processing;
+        net->loop().schedule(proc, [ch_copy, resp] {
+          ch_copy->send(net::http::encode_response(resp));
+        });
+      });
+    });
+  });
+}
+
+void MassbrowserTransport::start_buddies() {
+  auto* net = net_;
+  const tor::Consensus* consensus = consensus_;
+  for (std::size_t i = 0; i < config_.buddy_hosts.size(); ++i) {
+    net::HostId buddy = config_.buddy_hosts[i];
+    net_->listen(buddy, "mb-buddy", [net, consensus, buddy](net::Pipe pipe) {
+      serve_upstream(*net, buddy, net::wrap_pipe(std::move(pipe)),
+                     tor_upstream(*consensus));
+    });
+  }
+}
+
+tor::TorClient::FirstHopConnector MassbrowserTransport::connector() {
+  auto* net = net_;
+  MassbrowserConfig cfg = config_;
+  auto rng = std::make_shared<sim::Rng>(rng_.fork("mb-client"));
+
+  return [net, cfg, rng](tor::RelayIndex entry,
+                         std::function<void(net::ChannelPtr)> on_open,
+                         std::function<void(std::string)> on_error) {
+    net->connect(
+        cfg.client_host, cfg.operator_host, "mb-signal",
+        [net, cfg, rng, entry, on_open, on_error](net::Pipe pipe) {
+          net::ClientHelloParams hello;
+          hello.sni = "static.cdn-front.example";
+          net::tls_connect(std::move(pipe), hello, *rng, [net, cfg, entry,
+                                                          on_open, on_error](
+                                                             net::TlsSession
+                                                                 session) {
+            auto op = net::wrap_tls(std::move(session));
+            net::ChannelPtr op_copy = op;
+            op->set_receiver([net, cfg, entry, on_open, on_error,
+                              op_copy](util::Bytes wire) {
+              auto resp = net::http::decode_response(wire);
+              op_copy->close();
+              if (!resp || resp->status != 200) {
+                if (on_error)
+                  on_error("massbrowser: operator refused (access code?)");
+                return;
+              }
+              auto pick = static_cast<std::size_t>(std::strtoull(
+                  util::to_string(resp->body).c_str(), nullptr, 10));
+              if (pick >= cfg.buddy_hosts.size()) {
+                if (on_error) on_error("massbrowser: bad buddy id");
+                return;
+              }
+              net->connect(
+                  cfg.client_host, cfg.buddy_hosts[pick], "mb-buddy",
+                  [entry, on_open](net::Pipe buddy_pipe) {
+                    auto ch = net::wrap_pipe(std::move(buddy_pipe));
+                    send_preamble(ch, entry);
+                    on_open(ch);
+                  },
+                  [on_error](std::string err) {
+                    if (on_error) on_error("massbrowser buddy: " + err);
+                  });
+            });
+            net::http::Request req;
+            req.method = "POST";
+            req.target = "/match";
+            req.host = "static.cdn-front.example";
+            req.headers["x-access-code"] = cfg.access_code;
+            op_copy->send(net::http::encode_request(req));
+          });
+        },
+        [on_error](std::string err) {
+          if (on_error) on_error("massbrowser: " + err);
+        });
+  };
+}
+
+}  // namespace ptperf::pt

@@ -1,0 +1,50 @@
+// massbrowser (Nasr et al., NDSS'20): unblocking via volunteer "buddy"
+// browsers coordinated by an operator, with CDN-fronted signaling. The
+// paper could only *partially* evaluate it because every device needs an
+// access code from the authors (Table 2); we model exactly that gate —
+// construction without the right access code yields tunnels the operator
+// rejects.
+//
+// Set 2: the buddy relays the deobfuscated stream to the client's chosen
+// guard.
+#pragma once
+
+#include <vector>
+
+#include "pt/transport.h"
+#include "pt/upstream.h"
+#include "sim/rng.h"
+
+namespace ptperf::pt {
+
+struct MassbrowserConfig {
+  net::HostId client_host = 0;
+  net::HostId operator_host = 0;           // CDN-fronted coordination server
+  std::vector<net::HostId> buddy_hosts;    // volunteer browsers
+  /// Per-device access code; the operator validates it at signaling time.
+  std::string access_code;
+  /// The code the operator actually accepts (the authors' handout).
+  std::string issued_code = "ndss20-invite";
+  sim::Duration operator_processing = sim::from_millis(180);
+};
+
+class MassbrowserTransport final : public Transport {
+ public:
+  MassbrowserTransport(net::Network& net, const tor::Consensus& consensus,
+                       sim::Rng rng, MassbrowserConfig config);
+
+  const TransportInfo& info() const override { return info_; }
+  tor::TorClient::FirstHopConnector connector() override;
+
+ private:
+  void start_operator();
+  void start_buddies();
+
+  net::Network* net_;
+  const tor::Consensus* consensus_;
+  sim::Rng rng_;
+  MassbrowserConfig config_;
+  TransportInfo info_;
+};
+
+}  // namespace ptperf::pt

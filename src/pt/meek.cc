@@ -1,0 +1,348 @@
+#include "pt/meek.h"
+
+#include <cstdio>
+#include <deque>
+
+#include "net/http.h"
+#include "net/tls.h"
+#include "util/framer.h"
+
+namespace ptperf::pt {
+namespace {
+
+// ------------------------------------------------------- bridge session --
+
+/// Server-side tunnel endpoint: poll bodies in, queued bytes out. Exposed
+/// as a Channel so the generic upstream splice works unchanged.
+class MeekServerSession final
+    : public net::Channel,
+      public std::enable_shared_from_this<MeekServerSession> {
+ public:
+  MeekServerSession(sim::EventLoop& loop, const MeekConfig& cfg, sim::Rng rng)
+      : loop_(&loop),
+        cfg_(cfg),
+        framer_([this](util::Bytes msg) {
+          auto fn = receiver_;
+          if (fn) fn(std::move(msg));
+        }) {
+    immune_ = rng.next_bool(cfg.immune_fraction);
+    reset_after_s_ = rng.exponential(cfg.reset_mean_saturated_s);
+  }
+
+  /// Consumes one poll request; returns the response body, or nullopt when
+  /// the session has been reset (respond 500 and drop the session).
+  std::optional<util::Bytes> poll(util::BytesView request_body) {
+    if (dead_) return std::nullopt;
+    if (!request_body.empty()) framer_.feed(request_body);
+
+    std::size_t n = std::min(cfg_.max_body, downstream_.size());
+    util::Bytes body(downstream_.begin(),
+                     downstream_.begin() + static_cast<long>(n));
+    downstream_.erase(downstream_.begin(),
+                      downstream_.begin() + static_cast<long>(n));
+
+    // Saturation accounting: a full response means the tunnel is running
+    // flat out; enough consecutive saturated seconds triggers the reset.
+    double now_s = sim::seconds_since_start(loop_->now());
+    if (n == cfg_.max_body) {
+      if (saturated_since_s_ < 0) saturated_since_s_ = now_s;
+      if (!immune_ && now_s - saturated_since_s_ > reset_after_s_) {
+        dead_ = true;
+        if (close_handler_) close_handler_();
+        return std::nullopt;
+      }
+    } else {
+      saturated_since_s_ = -1;
+    }
+    return body;
+  }
+
+  bool dead() const { return dead_; }
+  void mark_dead() {
+    if (dead_) return;
+    dead_ = true;
+    if (close_handler_) close_handler_();
+  }
+
+  // Channel interface: send() queues bytes for future poll responses.
+  void send(util::Bytes payload) override {
+    util::Bytes framed = util::frame_message(payload);
+    downstream_.insert(downstream_.end(), framed.begin(), framed.end());
+  }
+  void set_receiver(Receiver fn) override { receiver_ = std::move(fn); }
+  void set_close_handler(CloseHandler fn) override {
+    close_handler_ = std::move(fn);
+  }
+  void close() override { mark_dead(); }
+  sim::Duration base_rtt() const override { return sim::Duration::zero(); }
+
+ private:
+  sim::EventLoop* loop_;
+  MeekConfig cfg_;
+  util::MessageFramer framer_;
+  Receiver receiver_;
+  CloseHandler close_handler_;
+  util::Bytes downstream_;
+  bool dead_ = false;
+  bool immune_ = false;
+  double reset_after_s_ = 0;
+  double saturated_since_s_ = -1;
+};
+
+// ---------------------------------------------------------- client side --
+
+class MeekClientChannel final
+    : public net::Channel,
+      public std::enable_shared_from_this<MeekClientChannel> {
+ public:
+  MeekClientChannel(sim::EventLoop& loop, net::TlsSession tls,
+                    const MeekConfig& cfg, std::uint64_t session_id)
+      : loop_(&loop),
+        tls_(std::move(tls)),
+        cfg_(cfg),
+        session_id_(session_id),
+        framer_([this](util::Bytes msg) {
+          auto fn = receiver_;
+          if (fn) fn(std::move(msg));
+        }) {}
+
+  void start() {
+    auto self = shared_from_this();
+    tls_.on_receive([self](util::Bytes wire) { self->on_response(wire); });
+    tls_.on_close([self] { self->fail(); });
+    schedule_poll(sim::Duration::zero());
+  }
+
+  void send(util::Bytes payload) override {
+    if (dead_) return;
+    util::Bytes framed = util::frame_message(payload);
+    upstream_.insert(upstream_.end(), framed.begin(), framed.end());
+    // Data pending: poll now rather than waiting out the backoff.
+    if (!poll_in_flight_) schedule_poll(sim::Duration::zero());
+  }
+  void set_receiver(Receiver fn) override { receiver_ = std::move(fn); }
+  void set_close_handler(CloseHandler fn) override {
+    close_handler_ = std::move(fn);
+  }
+  void close() override {
+    dead_ = true;
+    poll_timer_.cancel();
+    tls_.close();
+  }
+  sim::Duration base_rtt() const override { return tls_.base_rtt(); }
+
+ private:
+  void schedule_poll(sim::Duration delay) {
+    if (dead_ || poll_in_flight_) return;
+    poll_timer_.cancel();
+    auto self = shared_from_this();
+    poll_timer_ = loop_->schedule(delay, [self] { self->do_poll(); });
+    poll_scheduled_ = true;
+  }
+
+  void do_poll() {
+    if (dead_ || poll_in_flight_) return;
+#ifdef MEEK_DEBUG
+    std::printf("[meekc %llu] poll up=%zu\n", (unsigned long long)session_id_ % 1000, upstream_.size());
+#endif
+    poll_scheduled_ = false;
+    poll_in_flight_ = true;
+    std::size_t n = std::min(cfg_.max_body, upstream_.size());
+    net::http::Request req;
+    req.method = "POST";
+    req.target = "/";
+    req.host = cfg_.front_domain;
+    req.headers["x-session-id"] = std::to_string(session_id_);
+    req.body.assign(upstream_.begin(), upstream_.begin() + static_cast<long>(n));
+    upstream_.erase(upstream_.begin(), upstream_.begin() + static_cast<long>(n));
+    tls_.send(net::http::encode_request(req));
+  }
+
+  void on_response(const util::Bytes& wire) {
+    poll_in_flight_ = false;
+#ifdef MEEK_DEBUG
+    std::printf("[meekc %llu] response %zu bytes\n", (unsigned long long)session_id_ % 1000, wire.size());
+#endif
+    auto resp = net::http::decode_response(wire);
+    if (!resp || resp->status != 200) {
+      fail();
+      return;
+    }
+    if (!resp->body.empty()) framer_.feed(resp->body);
+
+    if (!upstream_.empty() || !resp->body.empty()) {
+      backoff_ = cfg_.poll_min;
+      schedule_poll(cfg_.poll_min);
+    } else {
+      schedule_poll(backoff_);
+      backoff_ = std::min(2 * backoff_, cfg_.poll_max);
+    }
+  }
+
+  void fail() {
+    if (dead_) return;
+    dead_ = true;
+    poll_timer_.cancel();
+    tls_.close();
+    auto fn = close_handler_;
+    if (fn) fn();
+  }
+
+  sim::EventLoop* loop_;
+  net::TlsSession tls_;
+  MeekConfig cfg_;
+  std::uint64_t session_id_;
+  util::MessageFramer framer_;
+  Receiver receiver_;
+  CloseHandler close_handler_;
+  util::Bytes upstream_;
+  bool dead_ = false;
+  bool poll_in_flight_ = false;
+  bool poll_scheduled_ = false;
+  sim::Duration backoff_ = sim::from_millis(100);
+  sim::EventHandle poll_timer_;
+};
+
+}  // namespace
+
+MeekTransport::MeekTransport(net::Network& net, const tor::Consensus& consensus,
+                             sim::Rng rng, MeekConfig config)
+    : net_(&net), consensus_(&consensus), rng_(std::move(rng)),
+      config_(std::move(config)) {
+  info_ = TransportInfo{"meek", Category::kProxyLayer,
+                        HopSet::kSet1BridgeIsGuard,
+                        /*separable_from_tor=*/false,
+                        /*supports_parallel_streams=*/true};
+  start_bridge();
+  start_front();
+}
+
+void MeekTransport::start_bridge() {
+  // Bridge-side meek server: one pipe per front connection carrying HTTP
+  // request messages; sessions keyed by the x-session-id header.
+  auto* net = net_;
+  const tor::Consensus* consensus = consensus_;
+  MeekConfig cfg = config_;
+  net::HostId bridge_host = consensus_->at(config_.bridge).host;
+  auto server_rng = std::make_shared<sim::Rng>(rng_.fork("meek-bridge"));
+  auto sessions = std::make_shared<
+      std::map<std::string, std::shared_ptr<MeekServerSession>>>();
+
+  net_->listen(bridge_host, "meek", [net, consensus, cfg, bridge_host,
+                                     server_rng, sessions](net::Pipe pipe) {
+    auto ch = net::wrap_pipe(std::move(pipe));
+    net::ChannelPtr ch_copy = ch;
+    ch->set_receiver([net, consensus, cfg, bridge_host, server_rng, sessions,
+                      ch_copy](util::Bytes wire) {
+      auto req = net::http::decode_request(wire);
+      if (!req) return;
+      std::string sid = req->headers.count("x-session-id")
+                            ? req->headers.at("x-session-id")
+                            : "";
+      auto it = sessions->find(sid);
+      std::shared_ptr<MeekServerSession> session;
+      if (it == sessions->end()) {
+        session = std::make_shared<MeekServerSession>(
+            net->loop(), cfg, server_rng->fork(sid));
+        (*sessions)[sid] = session;
+        serve_upstream(*net, bridge_host, session, tor_upstream(*consensus));
+      } else {
+        session = it->second;
+      }
+      auto body = session->poll(req->body);
+#ifdef MEEK_DEBUG
+      std::printf("[meeks %s] poll req=%zu resp=%zu dead=%d\n", sid.substr(sid.size()>3?sid.size()-3:0).c_str(), req->body.size(), body ? body->size() : 0, (int)!body);
+#endif
+      net::http::Response resp;
+      if (!body) {
+        resp.status = 500;
+        resp.reason = "Session Reset";
+        sessions->erase(sid);
+        session->mark_dead();
+      } else {
+        resp.status = 200;
+        resp.body = std::move(*body);
+      }
+      ch_copy->send(net::http::encode_response(resp));
+    });
+  });
+}
+
+void MeekTransport::start_front() {
+  // CDN edge: terminates client TLS, forwards each HTTP message to the
+  // bridge over a rate-capped pipe, relays responses back.
+  auto* net = net_;
+  MeekConfig cfg = config_;
+  net::HostId bridge_host = consensus_->at(config_.bridge).host;
+  auto front_rng = std::make_shared<sim::Rng>(rng_.fork("meek-front"));
+
+  net_->listen(cfg.front_host, "https", [net, cfg, bridge_host,
+                                         front_rng](net::Pipe pipe) {
+    net::tls_accept(
+        std::move(pipe), *front_rng,
+        [net, cfg, bridge_host](net::TlsSession session,
+                                const net::ClientHello&) {
+          auto client_side = net::wrap_tls(std::move(session));
+          net::ConnectOptions opts;
+          opts.rate_cap_bytes_per_sec = cfg.bridge_rate_bytes_per_sec;
+          net->connect(
+              cfg.front_host, bridge_host, "meek",
+              [net, cfg, client_side](net::Pipe bridge_pipe) {
+                auto bridge_side = net::wrap_pipe(std::move(bridge_pipe));
+                sim::EventLoop* loop = &net->loop();
+                sim::Duration proc = cfg.front_processing;
+                client_side->set_receiver([loop, proc,
+                                           bridge_side](util::Bytes msg) {
+                  auto m = std::make_shared<util::Bytes>(std::move(msg));
+                  loop->schedule(proc, [bridge_side, m] {
+                    bridge_side->send(std::move(*m));
+                  });
+                });
+                bridge_side->set_receiver([loop, proc,
+                                           client_side](util::Bytes msg) {
+                  auto m = std::make_shared<util::Bytes>(std::move(msg));
+                  loop->schedule(proc, [client_side, m] {
+                    client_side->send(std::move(*m));
+                  });
+                });
+                client_side->set_close_handler(
+                    [bridge_side] { bridge_side->close(); });
+                bridge_side->set_close_handler(
+                    [client_side] { client_side->close(); });
+              },
+              [client_side](std::string) { client_side->close(); },
+              opts);
+        });
+  });
+}
+
+tor::TorClient::FirstHopConnector MeekTransport::connector() {
+  auto* net = net_;
+  MeekConfig cfg = config_;
+  auto rng = std::make_shared<sim::Rng>(rng_.fork("meek-client"));
+
+  return [net, cfg, rng](tor::RelayIndex,
+                         std::function<void(net::ChannelPtr)> on_open,
+                         std::function<void(std::string)> on_error) {
+    net->connect(
+        cfg.client_host, cfg.front_host, "https",
+        [net, cfg, rng, on_open](net::Pipe pipe) {
+          net::ClientHelloParams hello;
+          hello.sni = cfg.front_domain;  // the *front* domain is visible
+          net::tls_connect(
+              std::move(pipe), hello, *rng,
+              [net, cfg, rng, on_open](net::TlsSession session) {
+                auto ch = std::make_shared<MeekClientChannel>(
+                    net->loop(), std::move(session), cfg, rng->next_u64());
+                ch->start();
+                send_preamble(ch, cfg.bridge);
+                on_open(ch);
+              });
+        },
+        [on_error](std::string err) {
+          if (on_error) on_error("meek: " + err);
+        });
+  };
+}
+
+}  // namespace ptperf::pt

@@ -1,0 +1,58 @@
+// meek: domain-fronted HTTP polling (§2.1). The client keeps a TLS session
+// to a CDN front and shuttles tunnel bytes inside POST bodies; the front
+// forwards to the meek bridge (co-hosted with a Tor bridge relay, set 1).
+// Two properties drive meek's paper-visible behaviour and are modelled
+// explicitly:
+//   * the public bridge is rate-limited by its maintainer [28] — a
+//     byte-rate cap on the front->bridge path plus a response size cap;
+//   * long saturated sessions get reset (CDN idle/abuse limits), which is
+//     why bulk downloads usually end partial (Fig 8) while websites pass.
+#pragma once
+
+#include "pt/transport.h"
+#include "pt/upstream.h"
+#include "sim/rng.h"
+
+namespace ptperf::pt {
+
+struct MeekConfig {
+  net::HostId client_host = 0;
+  net::HostId front_host = 0;       // CDN edge
+  tor::RelayIndex bridge = 0;       // meek server co-hosted with this bridge
+  std::string front_domain = "ajax.cloudfront.example";
+
+  std::size_t max_body = 64 * 1024;      // per poll response
+  double bridge_rate_bytes_per_sec = 64e3;  // maintainer's rate limit
+  sim::Duration front_processing = sim::from_millis(60);
+  sim::Duration poll_min = sim::from_millis(100);
+  sim::Duration poll_max = sim::from_millis(3000);
+
+  /// Session-reset model: fraction of sessions that never get reset, and
+  /// the mean saturated-transfer seconds before the rest are reset.
+  double immune_fraction = 0.10;
+  double reset_mean_saturated_s = 40.0;
+};
+
+class MeekTransport final : public Transport {
+ public:
+  MeekTransport(net::Network& net, const tor::Consensus& consensus,
+                sim::Rng rng, MeekConfig config);
+
+  const TransportInfo& info() const override { return info_; }
+  tor::TorClient::FirstHopConnector connector() override;
+  std::optional<tor::RelayIndex> fixed_entry() const override {
+    return config_.bridge;
+  }
+
+ private:
+  void start_front();
+  void start_bridge();
+
+  net::Network* net_;
+  const tor::Consensus* consensus_;
+  sim::Rng rng_;
+  MeekConfig config_;
+  TransportInfo info_;
+};
+
+}  // namespace ptperf::pt

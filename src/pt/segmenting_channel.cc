@@ -1,0 +1,114 @@
+#include "pt/segmenting_channel.h"
+
+#include <algorithm>
+
+namespace ptperf::pt {
+namespace {
+
+// Wire unit layout: u32 payload length | payload | cover bytes.
+// The cover bytes cost network time (they ride in the same message) but
+// carry no tunnel data; the receiver strips them via the length prefix.
+util::Bytes encode_unit(util::BytesView payload, std::size_t overhead) {
+  util::Writer w(4 + payload.size() + overhead);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.raw(payload);
+  w.zeros(overhead);
+  return w.take();
+}
+
+}  // namespace
+
+SegmentingChannel::SegmentingChannel(sim::EventLoop& loop,
+                                     net::ChannelPtr inner,
+                                     SegmentPolicy policy)
+    : loop_(&loop),
+      inner_(std::move(inner)),
+      policy_(std::move(policy)),
+      framer_([this](util::Bytes msg) {
+        auto fn = receiver_;
+        if (fn) fn(std::move(msg));
+      }) {}
+
+std::shared_ptr<SegmentingChannel> SegmentingChannel::create(
+    sim::EventLoop& loop, net::ChannelPtr inner, SegmentPolicy policy) {
+  auto ch = std::shared_ptr<SegmentingChannel>(
+      new SegmentingChannel(loop, std::move(inner), std::move(policy)));
+  ch->attach();
+  return ch;
+}
+
+void SegmentingChannel::attach() {
+  auto self = shared_from_this();
+  inner_->set_receiver([self](util::Bytes unit) {
+    // Strip the unit header and cover, feed the payload to the reassembly
+    // framer which restores original message boundaries.
+    if (unit.size() < 4) return;
+    util::Reader r(unit);
+    std::uint32_t len = r.u32();
+    if (len > r.remaining()) return;  // malformed unit
+    self->framer_.feed(r.take(len));
+  });
+  inner_->set_close_handler([self] {
+    self->closed_ = true;
+    auto fn = self->close_handler_;
+    if (fn) fn();
+  });
+}
+
+void SegmentingChannel::send(util::Bytes payload) {
+  if (closed_) return;
+  util::Bytes framed = util::frame_message(payload);
+  // Coalesce: bytes queue as a stream and pump() cuts max_segment units,
+  // so many small tunnel messages (cells) share one wire unit — the way a
+  // real cover-channel encoder batches pending data.
+  outbox_.insert(outbox_.end(), framed.begin(), framed.end());
+  backlog_bytes_ = outbox_.size();
+  pump();
+}
+
+void SegmentingChannel::pump() {
+  if (pump_scheduled_ || closed_ || outbox_.empty()) return;
+
+  sim::TimePoint now = loop_->now();
+  sim::TimePoint when = std::max(now, next_send_);
+  if (policy_.unit_delay) when += policy_.unit_delay();
+
+  pump_scheduled_ = true;
+  auto self = shared_from_this();
+  loop_->schedule_at(when, [self] {
+    self->pump_scheduled_ = false;
+    if (self->closed_ || self->outbox_.empty()) return;
+    std::size_t n = std::min(self->policy_.max_segment, self->outbox_.size());
+    util::Bytes payload(self->outbox_.begin(),
+                        self->outbox_.begin() + static_cast<long>(n));
+    self->outbox_.erase(self->outbox_.begin(),
+                        self->outbox_.begin() + static_cast<long>(n));
+    self->backlog_bytes_ = self->outbox_.size();
+    self->inner_->send(
+        encode_unit(payload, self->policy_.per_segment_overhead));
+    if (self->policy_.rate_units_per_sec > 0) {
+      self->next_send_ =
+          self->loop_->now() +
+          sim::from_seconds(1.0 / self->policy_.rate_units_per_sec);
+    }
+    self->pump();
+  });
+}
+
+void SegmentingChannel::set_receiver(Receiver fn) { receiver_ = std::move(fn); }
+
+void SegmentingChannel::set_close_handler(CloseHandler fn) {
+  close_handler_ = std::move(fn);
+}
+
+void SegmentingChannel::close() {
+  if (closed_) return;
+  closed_ = true;
+  inner_->close();
+}
+
+sim::Duration SegmentingChannel::base_rtt() const {
+  return inner_->base_rtt();
+}
+
+}  // namespace ptperf::pt

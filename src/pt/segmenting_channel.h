@@ -1,0 +1,68 @@
+// SegmentingChannel: adapts a message channel to a transport whose wire
+// units are constrained — maximum unit size (DNS responses, IM messages,
+// steg blocks), per-unit byte overhead (cover encodings), rate limits
+// (IM APIs, CDN bridges) and per-unit pacing delays (marionette's automaton
+// transitions). Outgoing messages are length-framed, chopped into units and
+// paced; incoming units are reassembled, restoring message boundaries.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "net/channel.h"
+#include "sim/event_loop.h"
+#include "util/framer.h"
+
+namespace ptperf::pt {
+
+struct SegmentPolicy {
+  /// Maximum tunnel payload bytes per wire unit.
+  std::size_t max_segment = 16 * 1024;
+  /// Cover/encoding bytes added to each unit (headers, steg cover, ...).
+  std::size_t per_segment_overhead = 0;
+  /// Units per second the medium accepts (0 = unlimited). IM APIs and
+  /// polling bridges live here.
+  double rate_units_per_sec = 0;
+  /// Optional extra delay before each unit goes out (e.g. automaton
+  /// transition time). Sampled per unit.
+  std::function<sim::Duration()> unit_delay;
+};
+
+class SegmentingChannel final
+    : public net::Channel,
+      public std::enable_shared_from_this<SegmentingChannel> {
+ public:
+  static std::shared_ptr<SegmentingChannel> create(sim::EventLoop& loop,
+                                                   net::ChannelPtr inner,
+                                                   SegmentPolicy policy);
+
+  void send(util::Bytes payload) override;
+  void set_receiver(Receiver fn) override;
+  void set_close_handler(CloseHandler fn) override;
+  void close() override;
+  sim::Duration base_rtt() const override;
+
+  /// Tunnel payload bytes queued but not yet on the wire (tests).
+  std::size_t backlog() const { return backlog_bytes_; }
+
+ private:
+  SegmentingChannel(sim::EventLoop& loop, net::ChannelPtr inner,
+                    SegmentPolicy policy);
+  void attach();
+  void pump();
+
+  sim::EventLoop* loop_;
+  net::ChannelPtr inner_;
+  SegmentPolicy policy_;
+  util::MessageFramer framer_;
+  Receiver receiver_;
+  CloseHandler close_handler_;
+  util::Bytes outbox_;  // framed stream bytes awaiting unit cutting
+  std::size_t backlog_bytes_ = 0;
+  sim::TimePoint next_send_{};
+  bool pump_scheduled_ = false;
+  bool closed_ = false;
+};
+
+}  // namespace ptperf::pt

@@ -1,0 +1,180 @@
+#include "pt/snowflake.h"
+
+#include "net/http.h"
+#include "net/tls.h"
+
+namespace ptperf::pt {
+
+SnowflakeTransport::SnowflakeTransport(net::Network& net,
+                                       const tor::Consensus& consensus,
+                                       sim::Rng rng, SnowflakeConfig config)
+    : net_(&net), consensus_(&consensus), rng_(std::move(rng)),
+      config_(std::move(config)) {
+  info_ = TransportInfo{"snowflake", Category::kProxyLayer,
+                        HopSet::kSet2SeparateProxy,
+                        /*separable_from_tor=*/false,
+                        /*supports_parallel_streams=*/true};
+  match_mean_s_ = std::make_shared<double>(config_.broker_match_mean_s);
+  tunnel_lifetime_mean_s_ =
+      std::make_shared<double>(config_.proxy_lifetime_mean_s);
+  set_overloaded(false);
+  start_broker();
+  start_proxies();
+}
+
+void SnowflakeTransport::set_overloaded(bool overloaded) {
+  overloaded_ = overloaded;
+  double load = overloaded ? config_.overload_proxy_load : config_.proxy_load;
+  for (net::HostId proxy : config_.proxy_hosts) {
+    net_->set_background_load(proxy, load);
+  }
+  *match_mean_s_ = overloaded ? config_.overload_broker_match_mean_s
+                              : config_.broker_match_mean_s;
+  *tunnel_lifetime_mean_s_ = overloaded ? config_.overload_lifetime_mean_s
+                                        : config_.proxy_lifetime_mean_s;
+}
+
+void SnowflakeTransport::start_broker() {
+  auto* net = net_;
+  auto broker_rng = std::make_shared<sim::Rng>(rng_.fork("broker"));
+  std::size_t n_proxies = config_.proxy_hosts.size();
+  auto match_mean = match_mean_s_;
+
+  net_->listen(config_.broker_host, "broker", [net, broker_rng, n_proxies,
+                                               match_mean](net::Pipe pipe) {
+    net::tls_accept(
+        std::move(pipe), *broker_rng,
+        [net, broker_rng, n_proxies, match_mean](net::TlsSession session,
+                                                 const net::ClientHello&) {
+          auto ch = net::wrap_tls(std::move(session));
+          net::ChannelPtr ch_copy = ch;
+          ch->set_receiver([net, broker_rng, n_proxies, match_mean,
+                            ch_copy](util::Bytes) {
+            // Proxy matching takes longer when the pool is oversubscribed.
+            sim::Duration delay =
+                sim::from_seconds(broker_rng->exponential(*match_mean));
+            std::uint64_t pick = broker_rng->next_below(n_proxies);
+            net->loop().schedule(delay, [ch_copy, pick] {
+              net::http::Response resp;
+              resp.status = 200;
+              resp.body = util::to_bytes(std::to_string(pick));
+              ch_copy->send(net::http::encode_response(resp));
+            });
+          });
+        });
+  });
+}
+
+void SnowflakeTransport::start_proxies() {
+  auto* net = net_;
+  const tor::Consensus* consensus = consensus_;
+  auto lifetime_mean = tunnel_lifetime_mean_s_;
+
+  for (std::size_t i = 0; i < config_.proxy_hosts.size(); ++i) {
+    net::HostId proxy_host = config_.proxy_hosts[i];
+    auto proxy_rng =
+        std::make_shared<sim::Rng>(rng_.fork("proxy" + std::to_string(i)));
+
+    net_->listen(proxy_host, "snowflake", [net, consensus, proxy_host,
+                                           proxy_rng,
+                                           lifetime_mean](net::Pipe pipe) {
+      auto ch = net::wrap_pipe(std::move(pipe));
+      net::ChannelPtr ch_copy = ch;
+      // ICE answer: one message exchange before data flows.
+      ch->set_receiver([net, consensus, proxy_host, proxy_rng, lifetime_mean,
+                        ch_copy](util::Bytes offer) {
+        if (util::to_string(util::BytesView(offer.data(),
+                                            std::min<std::size_t>(3, offer.size()))) !=
+            "sdp") {
+          ch_copy->close();
+          return;
+        }
+        ch_copy->send(util::to_bytes("sdp-answer"));
+        serve_upstream(*net, proxy_host, ch_copy, tor_upstream(*consensus));
+
+        // Volunteer churn: this browser tab closes eventually, taking the
+        // tunnel with it.
+        sim::Duration lifetime =
+            sim::from_seconds(proxy_rng->exponential(*lifetime_mean));
+        net->loop().schedule(lifetime, [ch_copy] { ch_copy->close(); });
+      });
+    });
+  }
+}
+
+tor::TorClient::FirstHopConnector SnowflakeTransport::connector() {
+  auto* net = net_;
+  SnowflakeConfig cfg = config_;
+  auto rng = std::make_shared<sim::Rng>(rng_.fork("sf-client"));
+
+  return [net, cfg, rng](tor::RelayIndex entry,
+                         std::function<void(net::ChannelPtr)> on_open,
+                         std::function<void(std::string)> on_error) {
+    // Step 1: domain-fronted broker rendezvous.
+    net::ConnectOptions fronted;
+    fronted.extra_one_way = cfg.broker_front_extra;
+    net->connect(
+        cfg.client_host, cfg.broker_host, "broker",
+        [net, cfg, rng, entry, on_open, on_error](net::Pipe pipe) {
+          net::ClientHelloParams hello;
+          hello.sni = "front.cdn.example";
+          net::tls_connect(std::move(pipe), hello, *rng, [net, cfg, rng, entry,
+                                                          on_open, on_error](
+                                                             net::TlsSession
+                                                                 session) {
+            auto broker = net::wrap_tls(std::move(session));
+            net::ChannelPtr broker_copy = broker;
+            broker->set_receiver([net, cfg, rng, entry, on_open, on_error,
+                                  broker_copy](util::Bytes wire) {
+              auto resp = net::http::decode_response(wire);
+              broker_copy->close();
+              if (!resp || resp->status != 200) {
+                if (on_error) on_error("snowflake: broker refused");
+                return;
+              }
+              std::size_t pick = static_cast<std::size_t>(
+                  std::strtoull(util::to_string(resp->body).c_str(), nullptr, 10));
+              if (pick >= cfg.proxy_hosts.size()) {
+                if (on_error) on_error("snowflake: bad proxy id");
+                return;
+              }
+              // Step 2: WebRTC to the volunteer proxy (ICE adds a
+              // relayed-path detour).
+              net::ConnectOptions ice;
+              ice.extra_one_way = sim::from_millis(15);
+              net->connect(
+                  cfg.client_host, cfg.proxy_hosts[pick], "snowflake",
+                  [entry, on_open](net::Pipe proxy_pipe) {
+                    auto proxy = net::wrap_pipe(std::move(proxy_pipe));
+                    net::ChannelPtr proxy_copy = proxy;
+                    proxy->set_receiver([entry, on_open,
+                                         proxy_copy](util::Bytes answer) {
+                      if (util::to_string(answer) != "sdp-answer") {
+                        proxy_copy->close();
+                        return;
+                      }
+                      send_preamble(proxy_copy, entry);
+                      on_open(proxy_copy);
+                    });
+                    proxy_copy->send(util::to_bytes("sdp-offer"));
+                  },
+                  [on_error](std::string err) {
+                    if (on_error) on_error("snowflake proxy: " + err);
+                  },
+                  ice);
+            });
+            net::http::Request req;
+            req.method = "POST";
+            req.target = "/client";
+            req.host = "front.cdn.example";
+            broker_copy->send(net::http::encode_request(req));
+          });
+        },
+        [on_error](std::string err) {
+          if (on_error) on_error("snowflake broker: " + err);
+        },
+        fronted);
+  };
+}
+
+}  // namespace ptperf::pt

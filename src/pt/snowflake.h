@@ -1,0 +1,75 @@
+// snowflake: broker-rendezvous to short-lived volunteer WebRTC proxies
+// (§2.1). The client asks the domain-fronted broker for a proxy, runs an
+// ICE-style exchange with it, then tunnels cells through the proxy to its
+// chosen guard (set 2). Volunteer proxies churn: each tunnel lives for an
+// exponential lifetime and dies mid-transfer — short website fetches
+// rarely notice, bulk downloads usually do (Fig 8).
+//
+// set_overloaded() flips the ecosystem into its post-September-2022 state
+// (§5.3): proxies saturated with users, slower broker matching, faster
+// churn.
+#pragma once
+
+#include <vector>
+
+#include "pt/transport.h"
+#include "pt/upstream.h"
+#include "sim/rng.h"
+
+namespace ptperf::pt {
+
+struct SnowflakeConfig {
+  net::HostId client_host = 0;
+  net::HostId broker_host = 0;
+  std::vector<net::HostId> proxy_hosts;
+  /// Domain-fronting detour to the broker.
+  sim::Duration broker_front_extra = sim::from_millis(30);
+
+  // Normal-era parameters.
+  double proxy_load = 0.25;
+  double proxy_lifetime_mean_s = 600;
+  double broker_match_mean_s = 0.35;
+
+  // Iran-unrest-era parameters.
+  double overload_proxy_load = 0.88;
+  double overload_lifetime_mean_s = 25;
+  double overload_broker_match_mean_s = 2.5;
+};
+
+class SnowflakeTransport final : public Transport {
+ public:
+  SnowflakeTransport(net::Network& net, const tor::Consensus& consensus,
+                     sim::Rng rng, SnowflakeConfig config);
+
+  const TransportInfo& info() const override { return info_; }
+  tor::TorClient::FirstHopConnector connector() override;
+
+  /// Switches between the pre- and post-September-2022 user-load regimes.
+  void set_overloaded(bool overloaded);
+  bool overloaded() const { return overloaded_; }
+
+  /// Direct override of the proxy/tunnel lifetime (churn ablations).
+  void set_proxy_lifetime_mean(double seconds) {
+    *tunnel_lifetime_mean_s_ = seconds;
+  }
+
+ private:
+  void start_broker();
+  void start_proxies();
+  double lifetime_mean_s() const {
+    return overloaded_ ? config_.overload_lifetime_mean_s
+                       : config_.proxy_lifetime_mean_s;
+  }
+
+  net::Network* net_;
+  const tor::Consensus* consensus_;
+  sim::Rng rng_;
+  SnowflakeConfig config_;
+  bool overloaded_ = false;
+  TransportInfo info_;
+  // Shared with server lambdas so set_overloaded takes effect live.
+  std::shared_ptr<double> match_mean_s_;
+  std::shared_ptr<double> tunnel_lifetime_mean_s_;
+};
+
+}  // namespace ptperf::pt

@@ -1,0 +1,276 @@
+#include "pt/tls_family.h"
+
+#include "crypto/hmac.h"
+#include "net/http.h"
+#include "net/tls.h"
+
+namespace ptperf::pt {
+
+// -------------------------------------------------------------- webtunnel
+
+WebTunnelTransport::WebTunnelTransport(net::Network& net,
+                                       const tor::Consensus& consensus,
+                                       sim::Rng rng, WebTunnelConfig config)
+    : net_(&net), consensus_(&consensus), rng_(std::move(rng)),
+      config_(std::move(config)) {
+  info_ = TransportInfo{"webtunnel", Category::kTunneling,
+                        HopSet::kSet1BridgeIsGuard,
+                        /*separable_from_tor=*/false,
+                        /*supports_parallel_streams=*/true};
+  start_server();
+}
+
+void WebTunnelTransport::start_server() {
+  net::HostId server_host = consensus_->at(config_.bridge).host;
+  auto* net = net_;
+  const tor::Consensus* consensus = consensus_;
+  auto server_rng = std::make_shared<sim::Rng>(rng_.fork("wt-server"));
+
+  net_->listen(server_host, "https", [net, consensus, server_host,
+                                      server_rng](net::Pipe pipe) {
+    net::tls_accept(
+        std::move(pipe), *server_rng,
+        [net, consensus, server_host](net::TlsSession session,
+                                      const net::ClientHello&) {
+          auto ch = net::wrap_tls(std::move(session));
+          // First message must be the HTTP Upgrade request.
+          net::ChannelPtr ch_copy = ch;
+          ch->set_receiver([net, consensus, server_host,
+                            ch_copy](util::Bytes msg) {
+            auto req = net::http::decode_request(msg);
+            if (!req || req->headers.count("upgrade") == 0) {
+              ch_copy->close();
+              return;
+            }
+            net::http::Response resp;
+            resp.status = 101;
+            resp.reason = "Switching Protocols";
+            ch_copy->send(net::http::encode_response(resp));
+            serve_upstream(*net, server_host, ch_copy,
+                           tor_upstream(*consensus));
+          });
+        });
+  });
+}
+
+tor::TorClient::FirstHopConnector WebTunnelTransport::connector() {
+  auto* net = net_;
+  WebTunnelConfig cfg = config_;
+  net::HostId server_host = consensus_->at(config_.bridge).host;
+  auto rng = std::make_shared<sim::Rng>(rng_.fork("wt-client"));
+
+  return [net, cfg, rng, server_host](
+             tor::RelayIndex, std::function<void(net::ChannelPtr)> on_open,
+             std::function<void(std::string)> on_error) {
+    net->connect(
+        cfg.client_host, server_host, "https",
+        [cfg, rng, on_open](net::Pipe pipe) {
+          net::ClientHelloParams hello;
+          hello.sni = cfg.front_domain;
+          net::tls_connect(
+              std::move(pipe), hello, *rng,
+              [cfg, on_open](net::TlsSession session) {
+                auto ch = net::wrap_tls(std::move(session));
+                net::ChannelPtr ch_copy = ch;
+                ch->set_receiver([cfg, on_open, ch_copy](util::Bytes msg) {
+                  auto resp = net::http::decode_response(msg);
+                  if (!resp || resp->status != 101) {
+                    ch_copy->close();
+                    return;
+                  }
+                  send_preamble(ch_copy, cfg.bridge);
+                  on_open(ch_copy);
+                });
+                net::http::Request upgrade;
+                upgrade.method = "GET";
+                upgrade.target = "/tunnel";
+                upgrade.host = cfg.front_domain;
+                upgrade.headers["upgrade"] = "websocket";
+                upgrade.headers["connection"] = "Upgrade";
+                ch_copy->send(net::http::encode_request(upgrade));
+              });
+        },
+        [on_error](std::string err) {
+          if (on_error) on_error("webtunnel: " + err);
+        });
+  };
+}
+
+// ------------------------------------------------------------------ cloak
+
+CloakTransport::CloakTransport(net::Network& net,
+                               const tor::Consensus& consensus, sim::Rng rng,
+                               CloakConfig config)
+    : net_(&net), consensus_(&consensus), rng_(std::move(rng)),
+      config_(std::move(config)) {
+  info_ = TransportInfo{"cloak", Category::kMimicry, HopSet::kSet3TorAtServer,
+                        /*separable_from_tor=*/true,
+                        /*supports_parallel_streams=*/true};
+  psk_ = rng_.fork("cloak-psk").bytes(32);
+  start_server();
+}
+
+util::Bytes CloakTransport::make_ticket(util::BytesView client_random) const {
+  // HMAC over the client random under the pre-shared key: the server
+  // validates in zero RTT by recomputing.
+  return crypto::hmac_sha256(psk_, client_random);
+}
+
+void CloakTransport::start_server() {
+  auto* net = net_;
+  net::HostId server_host = config_.server_host;
+  std::string socks_service = config_.socks_service;
+  util::Bytes psk = psk_;
+  auto server_rng = std::make_shared<sim::Rng>(rng_.fork("cloak-server"));
+
+  net_->listen(server_host, "https", [net, server_host, socks_service, psk,
+                                      server_rng](net::Pipe pipe) {
+    net::tls_accept(
+        std::move(pipe), *server_rng,
+        [net, server_host, socks_service](net::TlsSession session,
+                                          const net::ClientHello&) {
+          auto ch = net::wrap_tls(std::move(session));
+          serve_upstream(*net, server_host, ch,
+                         fixed_upstream(server_host, socks_service));
+        },
+        [psk](const net::ClientHello& hello) {
+          // Steganographic validation: reject anything whose ticket does
+          // not authenticate (a probing censor gets a plain TLS rejection).
+          util::Bytes expect = crypto::hmac_sha256(psk, hello.random);
+          return util::ct_equal(expect, hello.session_ticket);
+        });
+  });
+}
+
+void CloakTransport::open_socks_tunnel(
+    std::function<void(net::ChannelPtr)> ok,
+    std::function<void(std::string)> err) {
+  auto rng = std::make_shared<sim::Rng>(rng_.fork("cloak-client"));
+  CloakConfig cfg = config_;
+  util::Bytes psk = psk_;
+  auto* self = this;
+
+  net_->connect(
+      cfg.client_host, cfg.server_host, "https",
+      [self, cfg, rng, ok, err](net::Pipe pipe) {
+        net::ClientHelloParams hello;
+        hello.sni = cfg.decoy_domain;
+        hello.random = rng->bytes(32);
+        hello.session_ticket = self->make_ticket(*hello.random);
+        net::tls_connect(
+            std::move(pipe), hello, *rng,
+            [ok](net::TlsSession session) {
+              auto ch = net::wrap_tls(std::move(session));
+              send_preamble(ch, 0);  // set 3: preamble is ignored
+              ok(ch);
+            },
+            [err](std::string e) {
+              if (err) err("cloak: " + e);
+            });
+      },
+      [err](std::string e) {
+        if (err) err("cloak: " + e);
+      });
+}
+
+tor::TorClient::FirstHopConnector CloakTransport::connector() {
+  // Set-3 transports do not provide a first-hop connector; fetchers dial
+  // through open_socks_tunnel instead.
+  return [name = info_.name](tor::RelayIndex,
+                             std::function<void(net::ChannelPtr)>,
+                             std::function<void(std::string)> on_error) {
+    if (on_error) on_error(name + ": set-3 transport has no first hop");
+  };
+}
+
+// ---------------------------------------------------------------- conjure
+
+ConjureTransport::ConjureTransport(net::Network& net,
+                                   const tor::Consensus& consensus,
+                                   sim::Rng rng, ConjureConfig config)
+    : net_(&net), consensus_(&consensus), rng_(std::move(rng)),
+      config_(config) {
+  info_ = TransportInfo{"conjure", Category::kProxyLayer,
+                        HopSet::kSet1BridgeIsGuard,
+                        /*separable_from_tor=*/false,
+                        /*supports_parallel_streams=*/true};
+  start_server();
+}
+
+void ConjureTransport::start_server() {
+  net::HostId station_host = consensus_->at(config_.bridge).host;
+  auto* net = net_;
+  const tor::Consensus* consensus = consensus_;
+  sim::Duration reg_delay = config_.registration_delay;
+
+  // Registration endpoint: the station notes the client and answers after
+  // its bookkeeping delay (BPF table updates across the ISP's taps).
+  net_->listen(station_host, "registrar", [net, reg_delay](net::Pipe pipe) {
+    auto ch = net::wrap_pipe(std::move(pipe));
+    net::ChannelPtr ch_copy = ch;
+    ch->set_receiver([net, reg_delay, ch_copy](util::Bytes) {
+      net->loop().schedule(reg_delay, [ch_copy] {
+        ch_copy->send(util::to_bytes("registered"));
+      });
+    });
+  });
+
+  // Phantom endpoint: TLS to a phantom IP, intercepted by the station and
+  // spliced into the co-hosted bridge.
+  auto server_rng = std::make_shared<sim::Rng>(rng_.fork("conjure-station"));
+  net_->listen(station_host, "phantom", [net, consensus, station_host,
+                                         server_rng](net::Pipe pipe) {
+    net::tls_accept(std::move(pipe), *server_rng,
+                    [net, consensus, station_host](net::TlsSession session,
+                                                   const net::ClientHello&) {
+                      auto ch = net::wrap_tls(std::move(session));
+                      serve_upstream(*net, station_host, ch,
+                                     tor_upstream(*consensus));
+                    });
+  });
+}
+
+tor::TorClient::FirstHopConnector ConjureTransport::connector() {
+  auto* net = net_;
+  ConjureConfig cfg = config_;
+  net::HostId station_host = consensus_->at(config_.bridge).host;
+  auto rng = std::make_shared<sim::Rng>(rng_.fork("conjure-client"));
+
+  return [net, cfg, rng, station_host](
+             tor::RelayIndex, std::function<void(net::ChannelPtr)> on_open,
+             std::function<void(std::string)> on_error) {
+    // Step 1: registration.
+    net->connect(
+        cfg.client_host, station_host, "registrar",
+        [net, cfg, rng, station_host, on_open, on_error](net::Pipe reg_pipe) {
+          auto reg = net::wrap_pipe(std::move(reg_pipe));
+          net::ChannelPtr reg_copy = reg;
+          reg->set_receiver([net, cfg, rng, station_host, on_open, on_error,
+                             reg_copy](util::Bytes) {
+            reg_copy->close();
+            // Step 2: dial the phantom address.
+            net->connect(
+                cfg.client_host, station_host, "phantom",
+                [cfg, rng, on_open](net::Pipe pipe) {
+                  net::ClientHelloParams hello;
+                  hello.sni = "phantom-host.example";
+                  net::tls_connect(std::move(pipe), hello, *rng,
+                                   [cfg, on_open](net::TlsSession session) {
+                                     auto ch = net::wrap_tls(std::move(session));
+                                     send_preamble(ch, cfg.bridge);
+                                     on_open(ch);
+                                   });
+                },
+                [on_error](std::string err) {
+                  if (on_error) on_error("conjure phantom: " + err);
+                });
+          });
+          reg_copy->send(util::to_bytes("register-me"));
+        },
+        [on_error](std::string err) {
+          if (on_error) on_error("conjure registrar: " + err);
+        });
+  };
+}
+
+}  // namespace ptperf::pt

@@ -1,0 +1,104 @@
+// TLS-fronted transports:
+//   * webtunnel — HTTPT-style: TLS to an unblocked-looking domain, one
+//                 HTTP Upgrade exchange, then raw tunnel records (set 1).
+//   * cloak     — TLS mimicry with steganographic ClientHello: the session
+//                 ticket carries an authenticator under a pre-shared key,
+//                 giving zero-RTT client validation (set 3: the Tor client
+//                 runs at the cloak server).
+//   * conjure   — refraction networking: a registration exchange, then a
+//                 TLS connection to a *phantom* address that the ISP
+//                 station intercepts and splices to the bridge (set 1).
+#pragma once
+
+#include "pt/transport.h"
+#include "pt/upstream.h"
+#include "sim/rng.h"
+
+namespace ptperf::pt {
+
+struct WebTunnelConfig {
+  net::HostId client_host = 0;
+  tor::RelayIndex bridge = 0;  // server co-hosted with this bridge
+  std::string front_domain = "cdn.streaming-site.example";
+};
+
+class WebTunnelTransport final : public Transport {
+ public:
+  WebTunnelTransport(net::Network& net, const tor::Consensus& consensus,
+                     sim::Rng rng, WebTunnelConfig config);
+
+  const TransportInfo& info() const override { return info_; }
+  tor::TorClient::FirstHopConnector connector() override;
+  std::optional<tor::RelayIndex> fixed_entry() const override {
+    return config_.bridge;
+  }
+
+ private:
+  void start_server();
+
+  net::Network* net_;
+  const tor::Consensus* consensus_;
+  sim::Rng rng_;
+  WebTunnelConfig config_;
+  TransportInfo info_;
+};
+
+struct CloakConfig {
+  net::HostId client_host = 0;
+  net::HostId server_host = 0;
+  std::string decoy_domain = "uncensored-news.example";
+  /// Service of the Tor client's SOCKS listener on the server host.
+  std::string socks_service = "cloak-socks";
+};
+
+class CloakTransport final : public Transport {
+ public:
+  CloakTransport(net::Network& net, const tor::Consensus& consensus,
+                 sim::Rng rng, CloakConfig config);
+
+  const TransportInfo& info() const override { return info_; }
+  tor::TorClient::FirstHopConnector connector() override;
+  void open_socks_tunnel(std::function<void(net::ChannelPtr)> ok,
+                         std::function<void(std::string)> err) override;
+
+ private:
+  void start_server();
+  util::Bytes make_ticket(util::BytesView client_random) const;
+
+  net::Network* net_;
+  const tor::Consensus* consensus_;
+  sim::Rng rng_;
+  CloakConfig config_;
+  util::Bytes psk_;
+  TransportInfo info_;
+};
+
+struct ConjureConfig {
+  net::HostId client_host = 0;
+  tor::RelayIndex bridge = 0;  // station splices to this bridge's host
+  /// Registration processing at the station (decoy-routing bookkeeping).
+  sim::Duration registration_delay = sim::from_millis(350);
+};
+
+class ConjureTransport final : public Transport {
+ public:
+  ConjureTransport(net::Network& net, const tor::Consensus& consensus,
+                   sim::Rng rng, ConjureConfig config);
+
+  const TransportInfo& info() const override { return info_; }
+  tor::TorClient::FirstHopConnector connector() override;
+  std::optional<tor::RelayIndex> fixed_entry() const override {
+    return config_.bridge;
+  }
+
+ private:
+  void start_server();
+
+  net::Network* net_;
+  const tor::Consensus* consensus_;
+  sim::Rng rng_;
+  ConjureConfig config_;
+  TransportInfo info_;
+};
+
+}  // namespace ptperf::pt

@@ -1,0 +1,15 @@
+#include "pt/transport.h"
+
+namespace ptperf::pt {
+
+std::string_view category_name(Category c) {
+  switch (c) {
+    case Category::kProxyLayer: return "proxy-layer";
+    case Category::kTunneling: return "tunneling";
+    case Category::kMimicry: return "mimicry";
+    case Category::kFullyEncrypted: return "fully-encrypted";
+  }
+  return "unknown";
+}
+
+}  // namespace ptperf::pt

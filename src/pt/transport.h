@@ -1,0 +1,69 @@
+// Pluggable-transport framework. A Transport wires a client host to the
+// Tor network through an obfuscated tunnel. The paper's three
+// implementation sets (§4.1) map onto two hooks:
+//   * sets 1 & 2: connector() is installed as the TorClient's first-hop
+//     connector — set 1 pins the entry to the PT's co-hosted bridge
+//     (fixed_entry()), set 2 leaves guard selection to the client and the
+//     PT server splices to that guard;
+//   * set 3: the Tor client runs on the PT server host; open_socks_tunnel()
+//     delivers a channel to that remote Tor client's SOCKS listener.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "net/channel.h"
+#include "tor/client.h"
+
+namespace ptperf::pt {
+
+/// The paper's §2 taxonomy.
+enum class Category {
+  kProxyLayer,
+  kTunneling,
+  kMimicry,
+  kFullyEncrypted,
+};
+
+enum class HopSet {
+  kSet1BridgeIsGuard,  // PT server doubles as the circuit's first hop
+  kSet2SeparateProxy,  // PT server relays to a client-chosen guard
+  kSet3TorAtServer,    // Tor client itself runs at the PT server
+};
+
+std::string_view category_name(Category c);
+
+struct TransportInfo {
+  std::string name;
+  Category category = Category::kProxyLayer;
+  HopSet hop_set = HopSet::kSet1BridgeIsGuard;
+  /// Whether the PT can run without Tor (§5.2's separable/inseparable).
+  bool separable_from_tor = false;
+  /// Whether selenium-style parallel requests are supported (camoufler is
+  /// the paper's counter-example).
+  bool supports_parallel_streams = true;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual const TransportInfo& info() const = 0;
+
+  /// First-hop connector for the client's TorClient (sets 1 & 2).
+  /// Set-3 transports throw.
+  virtual tor::TorClient::FirstHopConnector connector() = 0;
+
+  /// Set 1: the bridge relay index circuits must enter through.
+  virtual std::optional<tor::RelayIndex> fixed_entry() const {
+    return std::nullopt;
+  }
+
+  /// Set 3 only: opens a tunnel that speaks SOCKS5 on the far side.
+  virtual void open_socks_tunnel(std::function<void(net::ChannelPtr)> /*ok*/,
+                                 std::function<void(std::string)> err) {
+    if (err) err(info().name + ": not a set-3 transport");
+  }
+};
+
+}  // namespace ptperf::pt

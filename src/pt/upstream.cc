@@ -1,0 +1,59 @@
+#include "pt/upstream.h"
+
+namespace ptperf::pt {
+
+UpstreamSelector tor_upstream(const tor::Consensus& consensus) {
+  const tor::Consensus* c = &consensus;
+  return [c](tor::RelayIndex entry) {
+    return std::make_pair(c->at(entry).host, std::string("tor"));
+  };
+}
+
+UpstreamSelector fixed_upstream(net::HostId host, std::string service) {
+  return [host, service](tor::RelayIndex) {
+    return std::make_pair(host, service);
+  };
+}
+
+void serve_upstream(net::Network& net, net::HostId server_host,
+                    net::ChannelPtr ch, UpstreamSelector select) {
+  // First message = preamble; anything before upstream opens is buffered.
+  auto pending = std::make_shared<std::vector<util::Bytes>>();
+  auto got_preamble = std::make_shared<bool>(false);
+  net::Network* netp = &net;
+
+  ch->set_receiver([netp, server_host, ch, select, pending,
+                    got_preamble](util::Bytes msg) {
+    if (!*got_preamble) {
+      *got_preamble = true;
+      if (msg.size() != 2) {
+        ch->close();
+        return;
+      }
+      tor::RelayIndex entry =
+          static_cast<tor::RelayIndex>(msg[0]) << 8 | msg[1];
+      auto [host, service] = select(entry);
+      netp->connect(
+          server_host, host, service,
+          [ch, pending](net::Pipe pipe) {
+            auto up = net::wrap_pipe(std::move(pipe));
+            // Flush anything the client raced ahead with, then splice.
+            for (auto& queued : *pending) up->send(std::move(queued));
+            pending->clear();
+            net::splice(ch, up);
+          },
+          [ch](std::string) { ch->close(); });
+      return;
+    }
+    // Tunnel data arriving before the upstream dial finished.
+    pending->push_back(std::move(msg));
+  });
+}
+
+void send_preamble(const net::ChannelPtr& ch, tor::RelayIndex entry) {
+  util::Bytes preamble{static_cast<std::uint8_t>(entry >> 8),
+                       static_cast<std::uint8_t>(entry & 0xff)};
+  ch->send(std::move(preamble));
+}
+
+}  // namespace ptperf::pt

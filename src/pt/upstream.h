@@ -1,0 +1,34 @@
+// PT-server-side upstream splice: once a server has deobfuscated a client
+// tunnel into a message channel, the first message is a 2-byte preamble
+// naming the entry relay; the server dials that relay's cell link (or, for
+// set-3 transports, its local SOCKS listener) and splices.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "net/channel.h"
+#include "tor/directory.h"
+
+namespace ptperf::pt {
+
+/// Maps the preamble's relay index to (host, service) to dial.
+using UpstreamSelector =
+    std::function<std::pair<net::HostId, std::string>(tor::RelayIndex)>;
+
+/// Standard selector for sets 1 & 2: the consensus relay's "tor" service.
+UpstreamSelector tor_upstream(const tor::Consensus& consensus);
+
+/// Set-3 selector: a fixed local service regardless of preamble.
+UpstreamSelector fixed_upstream(net::HostId host, std::string service);
+
+/// Reads the preamble from `ch`, dials upstream from `server_host`, and
+/// splices both ways. Closes the tunnel if the dial fails.
+void serve_upstream(net::Network& net, net::HostId server_host,
+                    net::ChannelPtr ch, UpstreamSelector select);
+
+/// Client-side counterpart: sends the preamble, then hands the channel on.
+void send_preamble(const net::ChannelPtr& ch, tor::RelayIndex entry);
+
+}  // namespace ptperf::pt

@@ -1,0 +1,212 @@
+#include "ptperf/campaign.h"
+
+#include <map>
+
+namespace ptperf {
+
+DownloadOutcome classify(const workload::FetchResult& r) {
+  if (r.success) return DownloadOutcome::kComplete;
+  if (r.received_bytes == 0) return DownloadOutcome::kFailed;
+  return DownloadOutcome::kPartial;
+}
+
+std::string_view outcome_name(DownloadOutcome o) {
+  switch (o) {
+    case DownloadOutcome::kComplete: return "complete";
+    case DownloadOutcome::kPartial: return "partial";
+    case DownloadOutcome::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+Campaign::Campaign(Scenario& scenario, CampaignOptions opts)
+    : scenario_(&scenario), opts_(opts) {}
+
+std::vector<const workload::Website*> Campaign::take_sites(
+    const workload::Corpus& corpus, std::size_t n) {
+  std::vector<const workload::Website*> out;
+  for (std::size_t i = 0; i < corpus.sites().size() && i < n; ++i)
+    out.push_back(&corpus.sites()[i]);
+  return out;
+}
+
+std::vector<const workload::Website*> Campaign::merge(
+    std::vector<const workload::Website*> a,
+    const std::vector<const workload::Website*>& b) {
+  a.insert(a.end(), b.begin(), b.end());
+  return a;
+}
+
+std::vector<WebsiteSample> Campaign::run_website_curl(
+    PtStack& stack, const std::vector<const workload::Website*>& sites) {
+  std::vector<WebsiteSample> samples;
+  samples.reserve(sites.size() * static_cast<std::size_t>(opts_.website_reps));
+
+  std::size_t site_idx = 0;
+  int rep = 0;
+  bool running = false;
+  bool finished = sites.empty();
+  sim::EventLoop& loop = scenario_->loop();
+
+  std::function<void()> start_next = [&]() {
+    if (site_idx >= sites.size()) {
+      finished = true;
+      return;
+    }
+    if (rep == 0) {
+      if (opts_.rotate_guard_per_site && stack.rotate_guard)
+        stack.rotate_guard();
+      if (opts_.new_circuit_per_site) stack.new_identity();
+    }
+    running = true;
+    const workload::Website* site = sites[site_idx];
+    stack.fetcher->fetch(
+        site->hostname, "/", opts_.website_timeout,
+        [&, site](workload::FetchResult r) {
+          WebsiteSample s;
+          s.pt = stack.name();
+          s.site = site->hostname;
+          s.rep = rep;
+          s.result = std::move(r);
+          samples.push_back(std::move(s));
+          if (++rep >= opts_.website_reps) {
+            rep = 0;
+            ++site_idx;
+          }
+          running = false;
+          loop.schedule(opts_.think_gap, [&] { start_next(); });
+        });
+  };
+
+  start_next();
+  loop.run_until_done([&] { return finished && !running; });
+  return samples;
+}
+
+std::vector<PageSample> Campaign::run_website_selenium(
+    PtStack& stack, const std::vector<const workload::Website*>& sites) {
+  std::vector<PageSample> samples;
+  if (!stack.supports_selenium()) return samples;
+
+  std::size_t site_idx = 0;
+  int rep = 0;
+  bool running = false;
+  bool finished = sites.empty();
+  sim::EventLoop& loop = scenario_->loop();
+
+  std::function<void()> start_next = [&]() {
+    if (site_idx >= sites.size()) {
+      finished = true;
+      return;
+    }
+    if (rep == 0) {
+      if (opts_.rotate_guard_per_site && stack.rotate_guard)
+        stack.rotate_guard();
+      if (opts_.new_circuit_per_site) stack.new_identity();
+    }
+    running = true;
+    const workload::Website* site = sites[site_idx];
+    stack.fetcher->fetch_page(*site, [&, site](workload::PageLoadResult r) {
+      PageSample s;
+      s.pt = stack.name();
+      s.site = site->hostname;
+      s.rep = rep;
+      s.speed_index_s = workload::speed_index(*site, r);
+      s.result = std::move(r);
+      samples.push_back(std::move(s));
+      if (++rep >= opts_.website_reps) {
+        rep = 0;
+        ++site_idx;
+      }
+      running = false;
+      loop.schedule(opts_.think_gap, [&] { start_next(); });
+    });
+  };
+
+  start_next();
+  loop.run_until_done([&] { return finished && !running; });
+  return samples;
+}
+
+std::vector<FileSample> Campaign::run_file_downloads(
+    PtStack& stack, const std::vector<std::size_t>& sizes) {
+  std::vector<FileSample> samples;
+  std::size_t size_idx = 0;
+  int rep = 0;
+  bool running = false;
+  bool finished = sizes.empty();
+  sim::EventLoop& loop = scenario_->loop();
+
+  std::function<void()> start_next = [&]() {
+    if (size_idx >= sizes.size()) {
+      finished = true;
+      return;
+    }
+    // Every attempt gets a fresh circuit: bulk transfers regularly outlive
+    // tunnels, and the paper retried from scratch.
+    if (opts_.rotate_guard_per_site && stack.rotate_guard)
+      stack.rotate_guard();
+    stack.new_identity();
+    running = true;
+    std::size_t size = sizes[size_idx];
+    std::string target = "/" + workload::file_target_name(size);
+    stack.fetcher->fetch(
+        "files.example", target, opts_.file_timeout,
+        [&, size](workload::FetchResult r) {
+          FileSample s;
+          s.pt = stack.name();
+          s.size_bytes = size;
+          s.rep = rep;
+          s.result = std::move(r);
+          samples.push_back(std::move(s));
+          if (++rep >= opts_.file_reps) {
+            rep = 0;
+            ++size_idx;
+          }
+          running = false;
+          loop.schedule(opts_.think_gap, [&] { start_next(); });
+        });
+  };
+
+  start_next();
+  loop.run_until_done([&] { return finished && !running; });
+  return samples;
+}
+
+std::vector<double> elapsed_seconds(const std::vector<WebsiteSample>& xs) {
+  std::vector<double> out;
+  for (const auto& s : xs)
+    if (s.result.success) out.push_back(s.result.elapsed());
+  return out;
+}
+
+std::vector<double> ttfb_seconds(const std::vector<WebsiteSample>& xs) {
+  std::vector<double> out;
+  for (const auto& s : xs)
+    if (s.result.ttfb() >= 0) out.push_back(s.result.ttfb());
+  return out;
+}
+
+std::vector<double> load_seconds(const std::vector<PageSample>& xs) {
+  std::vector<double> out;
+  for (const auto& s : xs)
+    if (s.result.success) out.push_back(s.result.load_time_s);
+  return out;
+}
+
+std::vector<double> per_site_means(const std::vector<WebsiteSample>& xs) {
+  std::map<std::string, std::pair<double, int>> acc;
+  for (const auto& s : xs) {
+    if (!s.result.success) continue;
+    auto& slot = acc[s.site];
+    slot.first += s.result.elapsed();
+    slot.second += 1;
+  }
+  std::vector<double> out;
+  out.reserve(acc.size());
+  for (const auto& [site, slot] : acc)
+    out.push_back(slot.first / slot.second);
+  return out;
+}
+
+}  // namespace ptperf

@@ -1,0 +1,101 @@
+// Campaign runner: drives the paper's measurement types (Table 1) against
+// a PtStack inside a Scenario — website access via curl and selenium, bulk
+// file downloads, TTFB capture, reliability classification. Measurements
+// run sequentially in virtual time, each website over a fresh circuit
+// (matching the paper's methodology), with think-time gaps so transport
+// state (polling backoffs, windows) settles between measurements.
+#pragma once
+
+#include <vector>
+
+#include "ptperf/transports.h"
+#include "workload/fetcher.h"
+
+namespace ptperf {
+
+struct WebsiteSample {
+  std::string pt;
+  std::string site;
+  int rep = 0;
+  workload::FetchResult result;
+};
+
+struct PageSample {
+  std::string pt;
+  std::string site;
+  int rep = 0;
+  workload::PageLoadResult result;
+  double speed_index_s = -1;
+};
+
+struct FileSample {
+  std::string pt;
+  std::size_t size_bytes = 0;
+  int rep = 0;
+  workload::FetchResult result;
+};
+
+/// Reliability classes of §4.6 / Fig 8a.
+enum class DownloadOutcome { kComplete, kPartial, kFailed };
+DownloadOutcome classify(const workload::FetchResult& r);
+std::string_view outcome_name(DownloadOutcome o);
+
+struct CampaignOptions {
+  int website_reps = 5;   // paper: each website five times
+  int file_reps = 10;     // paper: each file ten times
+  sim::Duration website_timeout = sim::from_seconds(120);
+  sim::Duration file_timeout = sim::from_seconds(1200);
+  sim::Duration think_gap = sim::from_seconds(1);
+  /// Fresh circuit per website (the paper's per-site circuits).
+  bool new_circuit_per_site = true;
+  /// Re-sample the guard per site: the paper's measurements span a year
+  /// of natural guard rotation, so per-site rotation recovers the
+  /// population-average first hop for non-bridge transports.
+  bool rotate_guard_per_site = true;
+};
+
+class Campaign {
+ public:
+  Campaign(Scenario& scenario, CampaignOptions opts = {});
+
+  /// curl-style website access over each site x reps.
+  std::vector<WebsiteSample> run_website_curl(
+      PtStack& stack, const std::vector<const workload::Website*>& sites);
+
+  /// selenium-style page loads (skipped for transports that cannot carry
+  /// parallel streams — the campaign returns empty, as the paper excludes
+  /// camoufler from selenium runs).
+  std::vector<PageSample> run_website_selenium(
+      PtStack& stack, const std::vector<const workload::Website*>& sites);
+
+  /// Bulk downloads of the given sizes x reps from files.example.
+  std::vector<FileSample> run_file_downloads(
+      PtStack& stack, const std::vector<std::size_t>& sizes);
+
+  /// First n sites of a corpus as measurement targets.
+  static std::vector<const workload::Website*> take_sites(
+      const workload::Corpus& corpus, std::size_t n);
+
+  /// Merge of two corpora subsets (Tranco + CBL runs).
+  static std::vector<const workload::Website*> merge(
+      std::vector<const workload::Website*> a,
+      const std::vector<const workload::Website*>& b);
+
+  const CampaignOptions& options() const { return opts_; }
+
+ private:
+  Scenario* scenario_;
+  CampaignOptions opts_;
+};
+
+/// Convenience extraction for the stats layer.
+std::vector<double> elapsed_seconds(const std::vector<WebsiteSample>& xs);
+std::vector<double> ttfb_seconds(const std::vector<WebsiteSample>& xs);
+std::vector<double> load_seconds(const std::vector<PageSample>& xs);
+
+/// Per-site average access time (the paper averages the five accesses of
+/// each site before plotting/testing). Sites with no successful access are
+/// dropped; `aligned_to` (optional) keeps only sites present in both.
+std::vector<double> per_site_means(const std::vector<WebsiteSample>& xs);
+
+}  // namespace ptperf

@@ -1,0 +1,316 @@
+#include "ptperf/transports.h"
+
+#include <stdexcept>
+
+#include "pt/camoufler.h"
+#include "pt/dnstt.h"
+#include "pt/fully_encrypted.h"
+#include "pt/marionette.h"
+#include "pt/meek.h"
+#include "pt/stegotorus.h"
+#include "pt/tls_family.h"
+
+namespace ptperf {
+
+std::vector<PtId> all_pt_ids() {
+  return {PtId::kObfs4,     PtId::kMeek,       PtId::kSnowflake,
+          PtId::kConjure,   PtId::kPsiphon,    PtId::kDnstt,
+          PtId::kWebTunnel, PtId::kCamoufler,  PtId::kCloak,
+          PtId::kStegotorus, PtId::kMarionette, PtId::kShadowsocks};
+}
+
+std::string_view pt_id_name(PtId id) {
+  switch (id) {
+    case PtId::kObfs4: return "obfs4";
+    case PtId::kMeek: return "meek";
+    case PtId::kSnowflake: return "snowflake";
+    case PtId::kConjure: return "conjure";
+    case PtId::kPsiphon: return "psiphon";
+    case PtId::kDnstt: return "dnstt";
+    case PtId::kWebTunnel: return "webtunnel";
+    case PtId::kCamoufler: return "camoufler";
+    case PtId::kCloak: return "cloak";
+    case PtId::kStegotorus: return "stegotorus";
+    case PtId::kMarionette: return "marionette";
+    case PtId::kShadowsocks: return "shadowsocks";
+  }
+  return "unknown";
+}
+
+// ------------------------------------------------------------ CircuitPool
+
+CircuitPool::CircuitPool(std::shared_ptr<tor::TorClient> client,
+                         tor::PathConstraints constraints)
+    : client_(std::move(client)), constraints_(constraints) {}
+
+void CircuitPool::get(
+    std::function<void(std::optional<tor::TorCircuit>, std::string)> cb) {
+  if (current_ && current_->alive()) {
+    cb(*current_, "");
+    return;
+  }
+  auto self = shared_from_this();
+  client_->build_circuit(
+      constraints_,
+      [self, cb](std::optional<tor::TorCircuit> circuit, std::string err) {
+        if (circuit) self->current_ = *circuit;
+        cb(std::move(circuit), std::move(err));
+      });
+}
+
+tor::TorSocksServer::CircuitProvider CircuitPool::provider() {
+  auto self = shared_from_this();
+  return [self](std::function<void(std::optional<tor::TorCircuit>,
+                                   std::string)> cb) { self->get(std::move(cb)); };
+}
+
+void CircuitPool::warm(sim::EventLoop& loop) {
+  bool done = false;
+  get([&done](std::optional<tor::TorCircuit>, std::string) { done = true; });
+  loop.run_until_done([&] { return done; });
+}
+
+void CircuitPool::new_identity() {
+  if (current_) current_->close();
+  current_.reset();
+}
+
+void CircuitPool::set_constraints(tor::PathConstraints constraints) {
+  constraints_ = constraints;
+  new_identity();
+}
+
+// ------------------------------------------------------- TransportFactory
+
+TransportFactory::TransportFactory(Scenario& scenario,
+                                   TransportFactoryOptions opts)
+    : scenario_(&scenario), opts_(opts) {}
+
+PtStack TransportFactory::create_vanilla() {
+  PtStack stack;
+  stack.tor = scenario_->make_tor_client(scenario_->client_host());
+  auto pool = std::make_shared<CircuitPool>(stack.tor, tor::PathConstraints{});
+  std::string service = "socks-tor";
+  stack.socks = std::make_shared<tor::TorSocksServer>(stack.tor, service);
+  stack.socks->set_circuit_provider(pool->provider());
+  stack.socks->start();
+  stack.pool = pool;
+  stack.fetcher =
+      scenario_->make_loopback_fetcher(scenario_->client_host(), service);
+  stack.dialer = scenario_->make_loopback_dialer(scenario_->client_host(), service);
+  stack.new_identity = [pool] { pool->new_identity(); };
+  auto tor_client = stack.tor;
+  stack.rotate_guard = [tor_client] {
+    tor_client->path_selector().reset_guard();
+  };
+  return stack;
+}
+
+PtStack TransportFactory::wrap_first_hop_transport(
+    std::shared_ptr<pt::Transport> transport) {
+  PtStack stack;
+  stack.info = transport->info();
+  stack.transport = transport;
+  stack.tor = scenario_->make_tor_client(scenario_->client_host());
+  stack.tor->set_first_hop_connector(transport->connector());
+
+  tor::PathConstraints constraints;
+  constraints.entry = transport->fixed_entry();
+  auto pool = std::make_shared<CircuitPool>(stack.tor, constraints);
+  stack.pool = pool;
+
+  std::string service = "socks-" + transport->info().name;
+  stack.socks = std::make_shared<tor::TorSocksServer>(stack.tor, service);
+  stack.socks->set_circuit_provider(pool->provider());
+  stack.socks->start();
+  stack.fetcher =
+      scenario_->make_loopback_fetcher(scenario_->client_host(), service);
+  stack.dialer = scenario_->make_loopback_dialer(scenario_->client_host(), service);
+  stack.new_identity = [pool] { pool->new_identity(); };
+  if (!transport->fixed_entry()) {
+    auto tor_client = stack.tor;
+    stack.rotate_guard = [tor_client] {
+      tor_client->path_selector().reset_guard();
+    };
+  }
+  return stack;
+}
+
+PtStack TransportFactory::wrap_socks_tunnel_transport(
+    std::shared_ptr<pt::Transport> transport, net::HostId server_host,
+    const std::string& socks_service) {
+  PtStack stack;
+  stack.info = transport->info();
+  stack.transport = transport;
+  // Set 3: the standard Tor client utility runs on the PT server host.
+  stack.tor = scenario_->make_tor_client(server_host);
+  auto pool = std::make_shared<CircuitPool>(stack.tor, tor::PathConstraints{});
+  stack.pool = pool;
+  stack.socks = std::make_shared<tor::TorSocksServer>(stack.tor, socks_service);
+  stack.socks->set_circuit_provider(pool->provider());
+  stack.socks->start();
+
+  // The fetcher dials SOCKS *through* the tunnel.
+  auto t = transport;
+  auto dialer = [t](std::function<void(net::ChannelPtr)> ok,
+                    std::function<void(std::string)> err) {
+    t->open_socks_tunnel(std::move(ok), std::move(err));
+  };
+  stack.dialer = dialer;
+  stack.fetcher =
+      std::make_shared<workload::Fetcher>(scenario_->loop(), dialer);
+  stack.new_identity = [pool] { pool->new_identity(); };
+  auto tor_client = stack.tor;
+  stack.rotate_guard = [tor_client] {
+    tor_client->path_selector().reset_guard();
+  };
+  return stack;
+}
+
+PtStack TransportFactory::create(PtId id) {
+  Scenario& sc = *scenario_;
+  net::Network& net = sc.network();
+  const tor::Consensus& consensus = sc.consensus();
+  std::string tag = std::string(pt_id_name(id)) + std::to_string(counter_++);
+
+  switch (id) {
+    case PtId::kObfs4: {
+      tor::RelayIndex bridge = sc.add_bridge(opts_.pt_server_region);
+      pt::Obfs4Config cfg;
+      cfg.client_host = sc.client_host();
+      cfg.bridge = bridge;
+      auto t = std::make_shared<pt::Obfs4Transport>(
+          net, consensus, sc.fork_rng(tag), cfg);
+      return wrap_first_hop_transport(t);
+    }
+    case PtId::kWebTunnel: {
+      tor::RelayIndex bridge = sc.add_bridge(opts_.pt_server_region);
+      pt::WebTunnelConfig cfg;
+      cfg.client_host = sc.client_host();
+      cfg.bridge = bridge;
+      auto t = std::make_shared<pt::WebTunnelTransport>(
+          net, consensus, sc.fork_rng(tag), cfg);
+      return wrap_first_hop_transport(t);
+    }
+    case PtId::kConjure: {
+      // ISP station: slightly higher load than a managed bridge (shared
+      // refraction infrastructure).
+      tor::RelayIndex bridge = sc.add_bridge(opts_.pt_server_region, 0.18);
+      pt::ConjureConfig cfg;
+      cfg.client_host = sc.client_host();
+      cfg.bridge = bridge;
+      auto t = std::make_shared<pt::ConjureTransport>(
+          net, consensus, sc.fork_rng(tag), cfg);
+      return wrap_first_hop_transport(t);
+    }
+    case PtId::kMeek: {
+      // The public meek bridge carries many users: moderate load.
+      tor::RelayIndex bridge = sc.add_bridge(net::Region::kUsEast, 0.35, 200);
+      pt::MeekConfig cfg;
+      cfg.client_host = sc.client_host();
+      cfg.bridge = bridge;
+      cfg.front_host =
+          sc.add_infra_host(tag + "-front", net::Region::kEuropeWest, 2000, 0.10);
+      auto t = std::make_shared<pt::MeekTransport>(net, consensus,
+                                                   sc.fork_rng(tag), cfg);
+      return wrap_first_hop_transport(t);
+    }
+    case PtId::kDnstt: {
+      tor::RelayIndex bridge = sc.add_bridge(opts_.pt_server_region);
+      pt::DnsttConfig cfg;
+      cfg.client_host = sc.client_host();
+      cfg.bridge = bridge;
+      cfg.resolver_host =
+          sc.add_infra_host(tag + "-resolver", net::Region::kUsEast, 1000, 0.15);
+      auto t = std::make_shared<pt::DnsttTransport>(net, consensus,
+                                                    sc.fork_rng(tag), cfg);
+      return wrap_first_hop_transport(t);
+    }
+    case PtId::kSnowflake: {
+      pt::SnowflakeConfig cfg;
+      cfg.client_host = sc.client_host();
+      cfg.broker_host =
+          sc.add_infra_host(tag + "-broker", net::Region::kUsEast, 1000, 0.15);
+      // Volunteer proxies: residential-grade links spread across regions.
+      const net::Region proxy_regions[] = {
+          net::Region::kEuropeWest, net::Region::kEuropeEast,
+          net::Region::kUsEast,     net::Region::kUsWest,
+          net::Region::kFrankfurt,  net::Region::kToronto};
+      for (std::size_t i = 0; i < opts_.snowflake_proxies; ++i) {
+        net::HostTraits traits;
+        traits.up_mbps = 40;
+        traits.down_mbps = 100;
+        traits.jitter_ms = 4.0;
+        cfg.proxy_hosts.push_back(net.add_host(
+            tag + "-proxy" + std::to_string(i),
+            proxy_regions[i % (sizeof(proxy_regions) / sizeof(proxy_regions[0]))],
+            traits));
+      }
+      auto t = std::make_shared<pt::SnowflakeTransport>(
+          net, consensus, sc.fork_rng(tag), cfg);
+      PtStack stack = wrap_first_hop_transport(t);
+      stack.snowflake = t.get();
+      return stack;
+    }
+    case PtId::kPsiphon: {
+      pt::PsiphonConfig cfg;
+      cfg.client_host = sc.client_host();
+      cfg.server_host =
+          sc.add_infra_host(tag + "-server", opts_.pt_server_region);
+      auto t = std::make_shared<pt::PsiphonTransport>(net, consensus,
+                                                      sc.fork_rng(tag), cfg);
+      return wrap_first_hop_transport(t);
+    }
+    case PtId::kShadowsocks: {
+      pt::ShadowsocksConfig cfg;
+      cfg.client_host = sc.client_host();
+      cfg.server_host =
+          sc.add_infra_host(tag + "-server", opts_.pt_server_region);
+      auto t = std::make_shared<pt::ShadowsocksTransport>(
+          net, consensus, sc.fork_rng(tag), cfg);
+      return wrap_first_hop_transport(t);
+    }
+    case PtId::kCamoufler: {
+      pt::CamouflerConfig cfg;
+      cfg.client_host = sc.client_host();
+      cfg.im_server_host =
+          sc.add_infra_host(tag + "-im", net::Region::kEuropeWest, 2000, 0.20);
+      cfg.peer_host = sc.add_infra_host(tag + "-peer", opts_.pt_server_region);
+      auto t = std::make_shared<pt::CamouflerTransport>(
+          net, consensus, sc.fork_rng(tag), cfg);
+      return wrap_first_hop_transport(t);
+    }
+    case PtId::kStegotorus: {
+      pt::StegotorusConfig cfg;
+      cfg.client_host = sc.client_host();
+      cfg.server_host =
+          sc.add_infra_host(tag + "-server", opts_.pt_server_region);
+      auto t = std::make_shared<pt::StegotorusTransport>(
+          net, consensus, sc.fork_rng(tag), cfg);
+      return wrap_first_hop_transport(t);
+    }
+    case PtId::kCloak: {
+      pt::CloakConfig cfg;
+      cfg.client_host = sc.client_host();
+      cfg.server_host =
+          sc.add_infra_host(tag + "-server", opts_.pt_server_region);
+      cfg.socks_service = tag + "-socks";
+      auto t = std::make_shared<pt::CloakTransport>(net, consensus,
+                                                    sc.fork_rng(tag), cfg);
+      return wrap_socks_tunnel_transport(t, cfg.server_host, cfg.socks_service);
+    }
+    case PtId::kMarionette: {
+      pt::MarionetteConfig cfg;
+      cfg.client_host = sc.client_host();
+      cfg.server_host =
+          sc.add_infra_host(tag + "-server", opts_.pt_server_region);
+      cfg.socks_service = tag + "-socks";
+      auto t = std::make_shared<pt::MarionetteTransport>(
+          net, consensus, sc.fork_rng(tag), cfg);
+      return wrap_socks_tunnel_transport(t, cfg.server_host, cfg.socks_service);
+    }
+  }
+  throw std::invalid_argument("unknown PtId");
+}
+
+}  // namespace ptperf

@@ -1,0 +1,145 @@
+#include "sim/rng.h"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace ptperf::sim {
+namespace {
+
+// splitmix64: seeds the xoshiro state and mixes fork salts.
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : state_) s = splitmix64(x);
+}
+
+Rng Rng::fork(std::string_view label) { return fork(fnv1a(label)); }
+
+Rng Rng::fork(std::uint64_t salt) {
+  std::uint64_t mix = next_u64() ^ (salt * 0x9e3779b97f4a7c15ULL);
+  return Rng(mix);
+}
+
+std::uint64_t Rng::next_u64() {
+  std::uint64_t result = std::rotl(state_[1] * 5, 7) * 9;
+  std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = std::rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("next_below: bound 0");
+  // Lemire-style rejection to avoid modulo bias.
+  std::uint64_t threshold = (0 - bound) % bound;
+  while (true) {
+    std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double p_true) { return next_double() < p_true; }
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * next_double();
+}
+
+double Rng::exponential(double mean) {
+  double u;
+  do {
+    u = next_double();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  // Box-Muller; one value per call keeps the stream stateless.
+  double u1;
+  do {
+    u1 = next_double();
+  } while (u1 <= 0.0);
+  double u2 = next_double();
+  double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return mean + stddev * z;
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::pareto(double x_min, double alpha) {
+  double u;
+  do {
+    u = next_double();
+  } while (u <= 0.0);
+  return x_min / std::pow(u, 1.0 / alpha);
+}
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  // Inverse-CDF over the (truncated) harmonic weights via rejection-free
+  // approximation: acceptable for workload shaping; exact for s == 0.
+  if (n == 0) throw std::invalid_argument("zipf: empty range");
+  if (s <= 0.0) return static_cast<std::size_t>(next_below(n));
+  // Sample using the continuous approximation to the zipf CDF.
+  double u = next_double();
+  double x;
+  if (std::abs(1.0 - s) < 1e-9) {
+    x = std::exp(u * std::log(static_cast<double>(n)));
+  } else {
+    double h_n = std::pow(static_cast<double>(n), 1.0 - s);
+    x = std::pow(u * (h_n - 1.0) + 1.0, 1.0 / (1.0 - s));
+  }
+  auto idx = static_cast<std::size_t>(x);
+  idx = idx > 0 ? idx - 1 : 0;
+  return std::min(idx, n - 1);
+}
+
+void Rng::fill_bytes(std::uint8_t* out, std::size_t n) {
+  std::size_t i = 0;
+  while (i + 8 <= n) {
+    std::uint64_t v = next_u64();
+    for (int j = 0; j < 8; ++j) out[i++] = static_cast<std::uint8_t>(v >> (8 * j));
+  }
+  if (i < n) {
+    std::uint64_t v = next_u64();
+    while (i < n) {
+      out[i++] = static_cast<std::uint8_t>(v);
+      v >>= 8;
+    }
+  }
+}
+
+std::vector<std::uint8_t> Rng::bytes(std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  fill_bytes(out.data(), n);
+  return out;
+}
+
+}  // namespace ptperf::sim

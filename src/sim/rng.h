@@ -1,0 +1,48 @@
+// Deterministic RNG (xoshiro256**) plus the distributions the workload and
+// network models draw from. Every simulation object derives its stream from
+// a root seed, so whole measurement campaigns replay bit-exactly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace ptperf::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Derives an independent child stream; `label` namespaces the purpose
+  /// (e.g. "link-jitter") so adding a new consumer never perturbs others.
+  Rng fork(std::string_view label);
+  Rng fork(std::uint64_t salt);
+
+  std::uint64_t next_u64();
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+  /// Uniform in [0, 1).
+  double next_double();
+  bool next_bool(double p_true);
+
+  double uniform(double lo, double hi);
+  /// Exponential with the given mean (not rate).
+  double exponential(double mean);
+  double normal(double mean, double stddev);
+  /// Log-normal given the mean/sigma of the underlying normal.
+  double lognormal(double mu, double sigma);
+  /// Pareto with scale x_m and shape alpha (heavy-tailed web object sizes).
+  double pareto(double x_min, double alpha);
+  /// Zipf-like rank sampling in [0, n) with exponent s (website popularity).
+  std::size_t zipf(std::size_t n, double s);
+
+  /// Fills a byte vector (used for keys/nonces in protocol handshakes).
+  void fill_bytes(std::uint8_t* out, std::size_t n);
+  std::vector<std::uint8_t> bytes(std::size_t n);
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace ptperf::sim

@@ -1,0 +1,20 @@
+#include "sim/time.h"
+
+#include <cstdio>
+
+namespace ptperf::sim {
+
+std::string format_duration(Duration d) {
+  double s = to_seconds(d);
+  char buf[48];
+  if (s < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.0fus", s * 1e6);
+  } else if (s < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", s);
+  }
+  return buf;
+}
+
+}  // namespace ptperf::sim

@@ -1,0 +1,45 @@
+// Virtual time for the discrete-event simulator. All simulation timestamps
+// are nanoseconds since simulation start; Duration/TimePoint are strong
+// types so wall-clock and virtual time can never be mixed up.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace ptperf::sim {
+
+/// Nanosecond-resolution duration in virtual time.
+using Duration = std::chrono::nanoseconds;
+
+/// Nanoseconds since simulation start.
+struct TimePoint {
+  std::int64_t ns = 0;
+
+  friend auto operator<=>(const TimePoint&, const TimePoint&) = default;
+  TimePoint operator+(Duration d) const { return {ns + d.count()}; }
+  Duration operator-(TimePoint other) const { return Duration(ns - other.ns); }
+  TimePoint& operator+=(Duration d) {
+    ns += d.count();
+    return *this;
+  }
+};
+
+inline constexpr Duration from_seconds(double s) {
+  return Duration(static_cast<std::int64_t>(s * 1e9));
+}
+
+inline constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d.count()) / 1e9;
+}
+
+inline double seconds_since_start(TimePoint t) {
+  return static_cast<double>(t.ns) / 1e9;
+}
+
+inline constexpr Duration from_millis(double ms) { return from_seconds(ms / 1e3); }
+inline constexpr double to_millis(Duration d) { return to_seconds(d) * 1e3; }
+
+std::string format_duration(Duration d);
+
+}  // namespace ptperf::sim

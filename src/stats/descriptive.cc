@@ -1,0 +1,113 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ptperf::stats {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  double sum = 0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0;
+  double m = mean(xs);
+  double acc = 0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(const std::vector<double>& xs) { return std::sqrt(variance(xs)); }
+
+double quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) throw std::invalid_argument("quantile: empty sample");
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(xs.begin(), xs.end());
+  double pos = q * static_cast<double>(xs.size() - 1);
+  auto lo = static_cast<std::size_t>(pos);
+  std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1 - frac) + xs[hi] * frac;
+}
+
+double median(const std::vector<double>& xs) { return quantile(xs, 0.5); }
+
+BoxStats box_stats(std::vector<double> xs) {
+  BoxStats b;
+  if (xs.empty()) return b;
+  std::sort(xs.begin(), xs.end());
+  b.n = xs.size();
+  b.min = xs.front();
+  b.max = xs.back();
+  auto q = [&xs](double p) {
+    double pos = p * static_cast<double>(xs.size() - 1);
+    auto lo = static_cast<std::size_t>(pos);
+    std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    return xs[lo] * (1 - frac) + xs[hi] * frac;
+  };
+  b.q1 = q(0.25);
+  b.median = q(0.5);
+  b.q3 = q(0.75);
+  b.mean = mean(xs);
+  double iqr = b.q3 - b.q1;
+  double lo_fence = b.q1 - 1.5 * iqr;
+  double hi_fence = b.q3 + 1.5 * iqr;
+  b.whisker_low = b.max;
+  b.whisker_high = b.min;
+  for (double x : xs) {
+    if (x >= lo_fence) {
+      b.whisker_low = std::min(b.whisker_low, x);
+      break;
+    }
+  }
+  for (auto it = xs.rbegin(); it != xs.rend(); ++it) {
+    if (*it <= hi_fence) {
+      b.whisker_high = *it;
+      break;
+    }
+  }
+  for (double x : xs) {
+    if (x < lo_fence || x > hi_fence) ++b.outliers;
+  }
+  return b;
+}
+
+Ecdf::Ecdf(std::vector<double> xs) : xs_(std::move(xs)) {
+  std::sort(xs_.begin(), xs_.end());
+}
+
+double Ecdf::operator()(double x) const {
+  if (xs_.empty()) return 0;
+  auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  return static_cast<double>(it - xs_.begin()) /
+         static_cast<double>(xs_.size());
+}
+
+double Ecdf::inverse(double p) const {
+  if (xs_.empty()) throw std::logic_error("Ecdf::inverse on empty sample");
+  p = std::clamp(p, 0.0, 1.0);
+  auto idx = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(xs_.size())));
+  if (idx > 0) --idx;
+  return xs_[std::min(idx, xs_.size() - 1)];
+}
+
+void Welford::add(double x) {
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Welford::variance() const {
+  return n_ < 2 ? 0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double Welford::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace ptperf::stats

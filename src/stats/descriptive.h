@@ -1,0 +1,60 @@
+// Descriptive statistics used throughout the report generators: moments,
+// quantiles, box-plot summaries (Figs 2/3/7/10/12) and ECDFs (Figs 3b/6/8b).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ptperf::stats {
+
+double mean(const std::vector<double>& xs);
+/// Sample variance (n-1 denominator); 0 for n < 2.
+double variance(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);
+
+/// Linear-interpolation quantile, q in [0,1]. Throws on empty input.
+double quantile(std::vector<double> xs, double q);
+double median(const std::vector<double>& xs);
+
+/// Tukey box-plot summary.
+struct BoxStats {
+  double min = 0, q1 = 0, median = 0, q3 = 0, max = 0;
+  double whisker_low = 0, whisker_high = 0;  // 1.5 IQR fences, clamped
+  double mean = 0;
+  std::size_t n = 0;
+  std::size_t outliers = 0;
+};
+BoxStats box_stats(std::vector<double> xs);
+
+/// Empirical CDF over a fixed sample.
+class Ecdf {
+ public:
+  explicit Ecdf(std::vector<double> xs);
+
+  /// P(X <= x).
+  double operator()(double x) const;
+  /// Smallest sample value with CDF >= p.
+  double inverse(double p) const;
+  const std::vector<double>& sorted() const { return xs_; }
+  std::size_t size() const { return xs_.size(); }
+
+ private:
+  std::vector<double> xs_;  // sorted
+};
+
+/// Streaming mean/variance (Welford).
+class Welford {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;  // sample variance
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+};
+
+}  // namespace ptperf::stats

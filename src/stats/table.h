@@ -1,0 +1,30 @@
+// Plain-text table and CSV emission for the bench binaries: each bench
+// prints the paper's rows on stdout and mirrors them to a CSV next to the
+// binary for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ptperf::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Fixed-width text rendering with a header rule.
+  std::string to_text() const;
+  /// RFC-4180-ish CSV (quotes cells containing separators).
+  std::string to_csv() const;
+  /// Writes the CSV; returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ptperf::stats

@@ -1,0 +1,144 @@
+#include "stats/ttest.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+#include "util/strings.h"
+
+namespace ptperf::stats {
+
+double lgamma_approx(double x) {
+  // Lanczos approximation, g = 7, n = 9.
+  static const double coeffs[9] = {
+      0.99999999999980993,  676.5203681218851,   -1259.1392167224028,
+      771.32342877765313,   -176.61502916214059, 12.507343278686905,
+      -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+  if (x < 0.5) {
+    // Reflection formula.
+    return std::log(M_PI / std::sin(M_PI * x)) - lgamma_approx(1.0 - x);
+  }
+  x -= 1.0;
+  double a = coeffs[0];
+  double t = x + 7.5;
+  for (int i = 1; i < 9; ++i) a += coeffs[i] / (x + i);
+  return 0.5 * std::log(2 * M_PI) + (x + 0.5) * std::log(t) - t + std::log(a);
+}
+
+namespace {
+
+/// Continued fraction for the incomplete beta (Numerical-Recipes betacf).
+double betacf(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kFpMin = 1e-300;
+
+  double qab = a + b;
+  double qap = a + 1.0;
+  double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::abs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) {
+  if (a <= 0 || b <= 0) throw std::invalid_argument("incomplete_beta: a,b>0");
+  if (x <= 0) return 0;
+  if (x >= 1) return 1;
+  double ln_front = lgamma_approx(a + b) - lgamma_approx(a) -
+                    lgamma_approx(b) + a * std::log(x) +
+                    b * std::log(1.0 - x);
+  double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * betacf(a, b, x) / a;
+  }
+  return 1.0 - front * betacf(b, a, 1.0 - x) / b;
+}
+
+double student_t_cdf(double t, double df) {
+  if (df <= 0) throw std::invalid_argument("student_t_cdf: df>0");
+  double x = df / (df + t * t);
+  double tail = 0.5 * incomplete_beta(df / 2.0, 0.5, x);
+  return t > 0 ? 1.0 - tail : tail;
+}
+
+double student_t_critical(double df, double level) {
+  // Bisection on the symmetric two-sided coverage.
+  double lo = 0.0, hi = 1e3;
+  for (int i = 0; i < 200; ++i) {
+    double mid = 0.5 * (lo + hi);
+    double coverage = student_t_cdf(mid, df) - student_t_cdf(-mid, df);
+    if (coverage < level) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+PairedTTest paired_t_test(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  if (x.size() != y.size())
+    throw std::invalid_argument("paired_t_test: size mismatch");
+  if (x.size() < 2) throw std::invalid_argument("paired_t_test: n >= 2");
+
+  std::vector<double> d(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) d[i] = x[i] - y[i];
+
+  PairedTTest r;
+  r.n = d.size();
+  r.mean_diff = mean(d);
+  r.sd_diff = stddev(d);
+  r.df = static_cast<double>(r.n - 1);
+  double se = r.sd_diff / std::sqrt(static_cast<double>(r.n));
+  if (se == 0) {
+    r.t = r.mean_diff == 0 ? 0 : (r.mean_diff > 0 ? 1e9 : -1e9);
+    r.p_two_sided = r.mean_diff == 0 ? 1.0 : 0.0;
+    r.ci_low = r.ci_high = r.mean_diff;
+    return r;
+  }
+  r.t = r.mean_diff / se;
+  double tail = student_t_cdf(-std::abs(r.t), r.df);
+  r.p_two_sided = 2.0 * tail;
+  double crit = student_t_critical(r.df, 0.95);
+  r.ci_low = r.mean_diff - crit * se;
+  r.ci_high = r.mean_diff + crit * se;
+  return r;
+}
+
+std::string format_t_test(const PairedTTest& r) {
+  std::string p = r.p_two_sided < 0.001
+                      ? "<.001"
+                      : util::fmt_double(r.p_two_sided, 3);
+  return "t=" + util::fmt_double(r.t, 2) + ", P" +
+         (r.p_two_sided < 0.001 ? p : "=" + p) + ", 95% CI [" +
+         util::fmt_double(r.ci_low, 3) + ", " + util::fmt_double(r.ci_high, 3) +
+         "], mean diff " + util::fmt_double(r.mean_diff, 3);
+}
+
+}  // namespace ptperf::stats

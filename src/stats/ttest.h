@@ -1,0 +1,44 @@
+// Paired t-test with exact two-sided p-values and 95% confidence
+// intervals — the statistical machinery behind the paper's Appendix
+// Tables 3-10. Student-t distribution functions are implemented from
+// scratch via the regularized incomplete beta function.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ptperf::stats {
+
+/// Regularized incomplete beta function I_x(a, b), continued-fraction
+/// (Lentz) evaluation. Domain: a,b > 0, x in [0,1].
+double incomplete_beta(double a, double b, double x);
+
+/// ln Gamma(x) (Lanczos).
+double lgamma_approx(double x);
+
+/// CDF of Student's t with df degrees of freedom.
+double student_t_cdf(double t, double df);
+
+/// Two-sided critical value t* with P(|T| <= t*) = level.
+double student_t_critical(double df, double level);
+
+struct PairedTTest {
+  std::size_t n = 0;
+  double mean_diff = 0;
+  double sd_diff = 0;
+  double t = 0;
+  double df = 0;
+  double p_two_sided = 1;
+  double ci_low = 0;   // 95% CI of the mean difference
+  double ci_high = 0;
+  bool significant(double alpha = 0.05) const { return p_two_sided < alpha; }
+};
+
+/// Paired t-test of x vs y (paired by index). Requires equal sizes, n >= 2.
+PairedTTest paired_t_test(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Pretty "t=..., P<.001, CI [lo, hi]" line matching the paper's style.
+std::string format_t_test(const PairedTTest& r);
+
+}  // namespace ptperf::stats

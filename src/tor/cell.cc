@@ -1,0 +1,78 @@
+#include "tor/cell.h"
+
+namespace ptperf::tor {
+
+util::Bytes Cell::encode() const {
+  util::Writer w(kCellSize);
+  w.u32(circ_id);
+  w.u8(static_cast<std::uint8_t>(command));
+  w.raw(payload);
+  if (payload.size() > kCellPayloadSize) return {};
+  w.zeros(kCellPayloadSize - payload.size());
+  return w.take();
+}
+
+std::optional<Cell> Cell::decode(util::BytesView wire) {
+  if (wire.size() != kCellSize) return std::nullopt;
+  util::Reader r(wire);
+  Cell c;
+  c.circ_id = r.u32();
+  c.command = static_cast<CellCommand>(r.u8());
+  c.payload = r.rest();
+  return c;
+}
+
+util::Bytes RelayCell::encode() const {
+  if (data.size() > kRelayDataMax) return {};
+  util::Writer w(kCellPayloadSize);
+  w.u8(static_cast<std::uint8_t>(command));
+  w.u16(recognized);
+  w.u16(stream_id);
+  w.u32(digest);
+  w.u16(static_cast<std::uint16_t>(data.size()));
+  w.raw(data);
+  w.zeros(kRelayDataMax - data.size());
+  return w.take();
+}
+
+std::optional<RelayCell> RelayCell::decode(util::BytesView payload) {
+  if (payload.size() != kCellPayloadSize) return std::nullopt;
+  try {
+    util::Reader r(payload);
+    RelayCell c;
+    c.command = static_cast<RelayCommand>(r.u8());
+    c.recognized = r.u16();
+    c.stream_id = r.u16();
+    c.digest = r.u32();
+    std::uint16_t len = r.u16();
+    if (len > kRelayDataMax) return std::nullopt;
+    c.data = r.take_copy(len);
+    return c;
+  } catch (const util::ShortRead&) {
+    return std::nullopt;
+  }
+}
+
+util::Bytes Extend2::encode() const {
+  util::Writer w(4 + handshake.size());
+  w.u16(target_relay);
+  w.u16(static_cast<std::uint16_t>(handshake.size()));
+  w.raw(handshake);
+  return w.take();
+}
+
+std::optional<Extend2> Extend2::decode(util::BytesView data) {
+  try {
+    util::Reader r(data);
+    Extend2 e;
+    e.target_relay = r.u16();
+    std::uint16_t len = r.u16();
+    e.handshake = r.take_copy(len);
+    if (!r.empty()) return std::nullopt;
+    return e;
+  } catch (const util::ShortRead&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace ptperf::tor

@@ -1,0 +1,81 @@
+// Tor cell wire format (tor-spec flavoured): fixed 514-byte cells with a
+// 4-byte circuit id, and the 11-byte relay header inside onion-encrypted
+// RELAY payloads. Sizes match the real protocol so byte overheads in the
+// benches are faithful.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/bytes.h"
+
+namespace ptperf::tor {
+
+inline constexpr std::size_t kCellSize = 514;
+inline constexpr std::size_t kCellPayloadSize = 509;  // 514 - 4 - 1
+inline constexpr std::size_t kRelayHeaderSize = 11;
+inline constexpr std::size_t kRelayDataMax = kCellPayloadSize - kRelayHeaderSize;  // 498
+
+// Tor flow-control protocol constants (tor-spec §7.3/§7.4).
+inline constexpr int kCircuitWindowInit = 1000;
+inline constexpr int kStreamWindowInit = 500;
+inline constexpr int kCircuitSendmeIncrement = 100;
+inline constexpr int kStreamSendmeIncrement = 50;
+
+using CircId = std::uint32_t;
+using StreamId = std::uint16_t;
+
+enum class CellCommand : std::uint8_t {
+  kPadding = 0,
+  kRelay = 3,
+  kDestroy = 4,
+  kCreate2 = 10,
+  kCreated2 = 11,
+};
+
+enum class RelayCommand : std::uint8_t {
+  kBegin = 1,
+  kData = 2,
+  kEnd = 3,
+  kConnected = 4,
+  kSendmeStream = 5,
+  kSendmeCircuit = 6,
+  kTruncated = 9,
+  kExtend2 = 14,
+  kExtended2 = 15,
+};
+
+struct Cell {
+  CircId circ_id = 0;
+  CellCommand command = CellCommand::kPadding;
+  util::Bytes payload;  // <= kCellPayloadSize; encoded cell pads to full size
+
+  /// Serializes to exactly kCellSize bytes (zero padding).
+  util::Bytes encode() const;
+  static std::optional<Cell> decode(util::BytesView wire);
+};
+
+/// The header+data that lives inside an onion-encrypted RELAY payload.
+struct RelayCell {
+  RelayCommand command = RelayCommand::kData;
+  std::uint16_t recognized = 0;  // 0 once fully decrypted at the right hop
+  StreamId stream_id = 0;
+  std::uint32_t digest = 0;  // rolling-hash check value
+  util::Bytes data;          // <= kRelayDataMax
+
+  /// Serializes to exactly kCellPayloadSize bytes (zero padding), with the
+  /// digest field as currently set (callers zero it before digesting).
+  util::Bytes encode() const;
+  static std::optional<RelayCell> decode(util::BytesView payload);
+};
+
+/// EXTEND2 body carried in RelayCell::data.
+struct Extend2 {
+  std::uint16_t target_relay = 0;  // consensus index of the next hop
+  util::Bytes handshake;
+
+  util::Bytes encode() const;
+  static std::optional<Extend2> decode(util::BytesView data);
+};
+
+}  // namespace ptperf::tor

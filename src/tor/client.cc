@@ -1,0 +1,422 @@
+#include "tor/client.h"
+
+#include <deque>
+
+namespace ptperf::tor {
+namespace {
+
+constexpr std::size_t kDigestOffset = 5;
+
+void patch_digest(util::Bytes& payload, std::uint32_t digest) {
+  payload[kDigestOffset] = static_cast<std::uint8_t>(digest >> 24);
+  payload[kDigestOffset + 1] = static_cast<std::uint8_t>(digest >> 16);
+  payload[kDigestOffset + 2] = static_cast<std::uint8_t>(digest >> 8);
+  payload[kDigestOffset + 3] = static_cast<std::uint8_t>(digest);
+}
+
+util::Bytes zero_digest_copy(util::BytesView payload) {
+  util::Bytes copy(payload.begin(), payload.end());
+  for (std::size_t i = 0; i < 4; ++i) copy[kDigestOffset + i] = 0;
+  return copy;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- state --
+
+/// Client-side bookkeeping for one attached stream.
+struct StreamState {
+  net::Channel::Receiver receiver;
+  net::Channel::CloseHandler close_handler;
+  TorClient::StreamCallback open_cb;  // pending until CONNECTED/END
+  int deliver_window = kStreamWindowInit;
+  int cells_since_sendme = 0;
+  bool connected = false;
+  bool closed = false;
+};
+
+struct TorCircuit::Impl {
+  TorClient* client = nullptr;
+  std::shared_ptr<TorClient> client_keepalive;
+  net::ChannelPtr link;
+  CircId circ_id = 0;
+  Path path;
+  std::vector<RelayLayer> layers;
+  std::vector<RelayIndex> hops;
+
+  // Build state.
+  bool building = true;
+  std::optional<NtorClientState> pending_handshake;
+  TorClient::CircuitCallback build_cb;
+  sim::EventHandle build_timer;
+
+  bool alive = true;
+  std::function<void()> death_handler;
+
+  int circuit_cells_since_sendme = 0;
+  StreamId next_stream_id = 1;
+  std::map<StreamId, StreamState> streams;
+};
+
+struct TorStream::Impl {
+  std::shared_ptr<TorCircuit::Impl> circ;
+  StreamId stream_id = 0;
+};
+
+// ------------------------------------------------------------ TorStream --
+
+void TorStream::send(util::Bytes payload) {
+  auto& circ = impl_->circ;
+  if (!circ->alive) return;
+  auto it = circ->streams.find(impl_->stream_id);
+  if (it == circ->streams.end() || it->second.closed) return;
+  // Chop into DATA cells addressed to the exit hop.
+  std::size_t off = 0;
+  do {
+    std::size_t n = std::min(payload.size() - off, kRelayDataMax);
+    RelayCell rc;
+    rc.command = RelayCommand::kData;
+    rc.stream_id = impl_->stream_id;
+    rc.data.assign(payload.begin() + static_cast<long>(off),
+                   payload.begin() + static_cast<long>(off + n));
+    circ->client->send_relay(circ, circ->layers.size() - 1, std::move(rc));
+    off += n;
+  } while (off < payload.size());
+}
+
+void TorStream::set_receiver(Receiver fn) {
+  auto it = impl_->circ->streams.find(impl_->stream_id);
+  if (it != impl_->circ->streams.end()) it->second.receiver = std::move(fn);
+}
+
+void TorStream::set_close_handler(CloseHandler fn) {
+  auto it = impl_->circ->streams.find(impl_->stream_id);
+  if (it != impl_->circ->streams.end())
+    it->second.close_handler = std::move(fn);
+}
+
+void TorStream::close() {
+  auto& circ = impl_->circ;
+  auto it = circ->streams.find(impl_->stream_id);
+  if (it == circ->streams.end() || it->second.closed) return;
+  it->second.closed = true;
+  if (circ->alive) {
+    RelayCell rc;
+    rc.command = RelayCommand::kEnd;
+    rc.stream_id = impl_->stream_id;
+    circ->client->send_relay(circ, circ->layers.size() - 1, std::move(rc));
+  }
+  circ->streams.erase(impl_->stream_id);
+}
+
+sim::Duration TorStream::base_rtt() const {
+  const auto& circ = impl_->circ;
+  if (!circ->link) return sim::Duration::zero();
+  return circ->link->base_rtt() * 3;  // rough circuit-length estimate
+}
+
+// ----------------------------------------------------------- TorCircuit --
+
+bool TorCircuit::alive() const { return impl_->alive; }
+const Path& TorCircuit::path() const { return impl_->path; }
+void TorCircuit::on_death(std::function<void()> fn) {
+  impl_->death_handler = std::move(fn);
+}
+void TorCircuit::close() const {
+  if (impl_->client) impl_->client->kill_circuit(impl_, "closed by client");
+}
+
+// ------------------------------------------------------------ TorClient --
+
+TorClient::TorClient(net::Network& net, net::HostId host,
+                     const Consensus& consensus, sim::Rng rng, TorClientOptions opts)
+    : net_(&net),
+      host_(host),
+      consensus_(&consensus),
+      rng_(std::move(rng)),
+      opts_(std::move(opts)),
+      selector_(consensus, rng_.fork("path-selection")) {
+  // Default first hop: plain TCP link to the relay host (vanilla Tor).
+  first_hop_ = [this](RelayIndex entry,
+                      std::function<void(net::ChannelPtr)> on_open,
+                      std::function<void(std::string)> on_error) {
+    const RelayDescriptor& d = consensus_->at(entry);
+    net_->connect(
+        host_, d.host, opts_.tor_service,
+        [on_open](net::Pipe pipe) { on_open(net::wrap_pipe(std::move(pipe))); },
+        [on_error](std::string err) {
+          if (on_error) on_error(std::move(err));
+        });
+  };
+}
+
+void TorClient::set_first_hop_connector(FirstHopConnector fn) {
+  first_hop_ = std::move(fn);
+}
+
+void TorClient::build_circuit(const PathConstraints& constraints,
+                              CircuitCallback cb) {
+  Path path = selector_.select(constraints);
+  build_circuit_path(path.hops(), std::move(cb));
+}
+
+void TorClient::build_circuit_path(const std::vector<RelayIndex>& hops,
+                                   CircuitCallback cb) {
+  if (hops.empty()) {
+    cb(std::nullopt, "empty circuit path");
+    return;
+  }
+  auto circ = std::make_shared<TorCircuit::Impl>();
+  circ->client = this;
+  circ->client_keepalive = shared_from_this();
+  circ->circ_id = next_circ_id_++;
+  circ->path.entry = hops.front();
+  circ->path.middle = hops.size() > 1 ? hops[1] : hops.front();
+  circ->path.exit = hops.back();
+  circ->hops = hops;
+  circ->build_cb = std::move(cb);
+
+  circ->build_timer = net_->loop().schedule(opts_.build_timeout, [circ, this] {
+    if (circ->building) kill_circuit(circ, "circuit build timeout");
+  });
+
+  auto self = shared_from_this();
+  first_hop_(
+      hops.front(),
+      [self, circ](net::ChannelPtr ch) {
+        circ->link = std::move(ch);
+        circ->link->set_receiver([self, circ](util::Bytes wire) {
+          self->on_link_message(circ, std::move(wire));
+        });
+        circ->link->set_close_handler(
+            [self, circ] { self->kill_circuit(circ, "link closed"); });
+        // CREATE2 to the entry.
+        circ->pending_handshake = ntor_client_start(
+            self->rng_, self->consensus_->handshake_mode);
+        Cell create;
+        create.circ_id = circ->circ_id;
+        create.command = CellCommand::kCreate2;
+        create.payload = ntor_client_message(*circ->pending_handshake);
+        circ->link->send(create.encode());
+      },
+      [self, circ](std::string err) {
+        self->kill_circuit(circ, "first hop: " + err);
+      });
+}
+
+void TorClient::on_link_message(const std::shared_ptr<TorCircuit::Impl>& circ,
+                                util::Bytes wire) {
+  if (!circ->alive) return;
+  auto cell = Cell::decode(wire);
+  if (!cell || cell->circ_id != circ->circ_id) return;
+
+  if (cell->command == CellCommand::kCreated2) {
+    if (!circ->pending_handshake || !circ->layers.empty()) return;
+    util::Bytes reply(cell->payload.begin(), cell->payload.begin() + 48);
+    auto keys = ntor_client_finish(
+        *circ->pending_handshake, consensus_->identity_of(circ->hops[0]),
+        reply);
+    if (!keys) {
+      kill_circuit(circ, "entry handshake failed");
+      return;
+    }
+    circ->layers.emplace_back(*keys);
+    circ->pending_handshake.reset();
+    continue_build(circ);
+    return;
+  }
+
+  if (cell->command == CellCommand::kDestroy) {
+    kill_circuit(circ, "destroyed by entry");
+    return;
+  }
+
+  if (cell->command != CellCommand::kRelay) return;
+
+  // Peel backward layers until some hop's digest recognizes the cell.
+  util::Bytes payload = std::move(cell->payload);
+  for (std::size_t i = 0; i < circ->layers.size(); ++i) {
+    circ->layers[i].process_backward(payload);
+    auto rc = RelayCell::decode(payload);
+    if (rc && rc->recognized == 0) {
+      util::Bytes zeroed = zero_digest_copy(payload);
+      if (circ->layers[i].check_backward_digest(zeroed, rc->digest)) {
+        handle_backward(circ, i, *rc);
+        return;
+      }
+    }
+  }
+  // No layer recognized the cell: corrupted circuit state.
+  kill_circuit(circ, "unrecognized backward cell");
+}
+
+void TorClient::continue_build(const std::shared_ptr<TorCircuit::Impl>& circ) {
+  std::size_t have = circ->layers.size();
+  if (have >= circ->hops.size()) {
+    circ->building = false;
+    circ->build_timer.cancel();
+    if (circ->build_cb) {
+      auto cb = std::move(circ->build_cb);
+      circ->build_cb = nullptr;
+      cb(TorCircuit(circ), "");
+    }
+    return;
+  }
+  // EXTEND2 to the next hop, addressed to the current last hop.
+  circ->pending_handshake =
+      ntor_client_start(rng_, consensus_->handshake_mode);
+  Extend2 ext;
+  ext.target_relay = circ->hops[have];
+  ext.handshake = ntor_client_message(*circ->pending_handshake);
+  RelayCell rc;
+  rc.command = RelayCommand::kExtend2;
+  rc.data = ext.encode();
+  send_relay(circ, have - 1, std::move(rc));
+}
+
+void TorClient::handle_backward(const std::shared_ptr<TorCircuit::Impl>& circ,
+                                std::size_t layer_index, const RelayCell& rc) {
+  switch (rc.command) {
+    case RelayCommand::kExtended2: {
+      if (!circ->pending_handshake) return;
+      if (layer_index + 1 != circ->layers.size()) return;
+      std::size_t next_hop = circ->layers.size();
+      util::Bytes reply(rc.data.begin(), rc.data.begin() + 48);
+      auto keys = ntor_client_finish(
+          *circ->pending_handshake,
+          consensus_->identity_of(circ->hops[next_hop]), reply);
+      if (!keys) {
+        kill_circuit(circ, "extend handshake failed");
+        return;
+      }
+      circ->layers.emplace_back(*keys);
+      circ->pending_handshake.reset();
+      continue_build(circ);
+      break;
+    }
+    case RelayCommand::kConnected: {
+      auto it = circ->streams.find(rc.stream_id);
+      if (it == circ->streams.end()) return;
+      it->second.connected = true;
+      if (it->second.open_cb) {
+        auto cb = std::move(it->second.open_cb);
+        it->second.open_cb = nullptr;
+        auto impl = std::make_shared<TorStream::Impl>();
+        impl->circ = circ;
+        impl->stream_id = rc.stream_id;
+        cb(std::make_shared<TorStream>(impl), "");
+      }
+      break;
+    }
+    case RelayCommand::kData: {
+      auto it = circ->streams.find(rc.stream_id);
+      if (it == circ->streams.end()) return;
+      StreamState& st = it->second;
+
+      // Flow control: emit SENDMEs as data is consumed.
+      st.cells_since_sendme++;
+      circ->circuit_cells_since_sendme++;
+      if (st.cells_since_sendme >= kStreamSendmeIncrement) {
+        st.cells_since_sendme = 0;
+        RelayCell sendme;
+        sendme.command = RelayCommand::kSendmeStream;
+        sendme.stream_id = rc.stream_id;
+        send_relay(circ, circ->layers.size() - 1, std::move(sendme));
+      }
+      if (circ->circuit_cells_since_sendme >= kCircuitSendmeIncrement) {
+        circ->circuit_cells_since_sendme = 0;
+        RelayCell sendme;
+        sendme.command = RelayCommand::kSendmeCircuit;
+        send_relay(circ, circ->layers.size() - 1, std::move(sendme));
+      }
+      if (st.receiver) {
+        auto fn = st.receiver;
+        fn(rc.data);
+      }
+      break;
+    }
+    case RelayCommand::kEnd: {
+      auto it = circ->streams.find(rc.stream_id);
+      if (it == circ->streams.end()) return;
+      if (it->second.open_cb) {
+        auto cb = std::move(it->second.open_cb);
+        cb(nullptr, "stream refused: " + util::to_string(rc.data));
+      } else if (it->second.close_handler) {
+        auto fn = it->second.close_handler;
+        fn();
+      }
+      circ->streams.erase(it);
+      break;
+    }
+    case RelayCommand::kTruncated: {
+      kill_circuit(circ, "circuit truncated");
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void TorClient::open_stream(const TorCircuit& circuit,
+                            const std::string& target, StreamCallback cb) {
+  auto circ = circuit.impl();
+  if (!circ->alive) {
+    cb(nullptr, "circuit dead");
+    return;
+  }
+  StreamId sid = circ->next_stream_id++;
+  StreamState st;
+  st.open_cb = std::move(cb);
+  circ->streams.emplace(sid, std::move(st));
+
+  RelayCell rc;
+  rc.command = RelayCommand::kBegin;
+  rc.stream_id = sid;
+  rc.data = util::to_bytes(target);
+  send_relay(circ, circ->layers.size() - 1, std::move(rc));
+}
+
+void TorClient::send_relay(const std::shared_ptr<TorCircuit::Impl>& circ,
+                           std::size_t hop, RelayCell rc) {
+  if (!circ->alive || hop >= circ->layers.size()) return;
+  rc.recognized = 0;
+  rc.digest = 0;
+  util::Bytes payload = rc.encode();
+  std::uint32_t digest = circ->layers[hop].commit_forward_digest(payload);
+  patch_digest(payload, digest);
+  // Apply layers inside-out: the destination hop first, the entry last,
+  // so each relay strips exactly one layer.
+  for (std::size_t i = hop + 1; i-- > 0;) {
+    circ->layers[i].process_forward(payload);
+  }
+  Cell cell;
+  cell.circ_id = circ->circ_id;
+  cell.command = CellCommand::kRelay;
+  cell.payload = std::move(payload);
+  circ->link->send(cell.encode());
+}
+
+void TorClient::kill_circuit(const std::shared_ptr<TorCircuit::Impl>& circ,
+                             const std::string& reason) {
+  if (!circ->alive) return;
+  circ->alive = false;
+  circ->build_timer.cancel();
+  if (circ->build_cb) {
+    auto cb = std::move(circ->build_cb);
+    circ->build_cb = nullptr;
+    cb(std::nullopt, reason);
+  }
+  // Notify streams.
+  for (auto& [sid, st] : circ->streams) {
+    if (st.open_cb) {
+      st.open_cb(nullptr, reason);
+    } else if (st.close_handler) {
+      st.close_handler();
+    }
+  }
+  circ->streams.clear();
+  if (circ->link) circ->link->close();
+  if (circ->death_handler) circ->death_handler();
+}
+
+}  // namespace ptperf::tor

@@ -1,0 +1,82 @@
+#include "crypto/sha256.h"
+#include "tor/directory.h"
+
+#include <cmath>
+
+namespace ptperf::tor {
+namespace {
+
+/// Relay geography: heavily Europe, then North America, a sliver in Asia —
+/// the distribution reported for the live network.
+net::Region sample_relay_region(sim::Rng& rng) {
+  double u = rng.next_double();
+  if (u < 0.42) return net::Region::kEuropeWest;
+  if (u < 0.62) return net::Region::kEuropeEast;
+  if (u < 0.72) return net::Region::kFrankfurt;
+  if (u < 0.87) return net::Region::kUsEast;
+  if (u < 0.96) return net::Region::kUsWest;
+  return net::Region::kSingapore;
+}
+
+}  // namespace
+
+GeneratedConsensus generate_consensus(net::Network& net, sim::Rng& rng,
+                                      const ConsensusParams& params) {
+  GeneratedConsensus out;
+  out.consensus.handshake_mode = params.handshake_mode;
+  sim::Rng key_rng = rng.fork("onion-keys");
+
+  for (std::size_t i = 0; i < params.n_relays; ++i) {
+    RelayDescriptor d;
+    d.index = static_cast<RelayIndex>(i);
+    d.nickname = "relay" + std::to_string(i);
+    d.region = sample_relay_region(rng);
+
+    // Log-uniform bandwidth spread: a few big relays, many small ones.
+    double log_lo = std::log(params.min_mbps);
+    double log_hi = std::log(params.max_mbps);
+    double mbps = std::exp(rng.uniform(log_lo, log_hi));
+    d.bandwidth_weight = mbps;
+
+    net::HostTraits traits;
+    traits.up_mbps = mbps;
+    traits.down_mbps = mbps;
+    traits.background_load = rng.uniform(params.min_load, params.max_load);
+    traits.jitter_ms = rng.uniform(0.5, 3.0);
+    traits.proc_ms = rng.uniform(params.min_proc_ms, params.max_proc_ms);
+    d.host = net.add_host(d.nickname, d.region, traits);
+
+    d.flags = kFlagFast;
+    if (rng.next_bool(0.8)) d.flags |= kFlagStable;
+    if (rng.next_bool(params.guard_fraction) && mbps > params.min_mbps * 3)
+      d.flags |= kFlagGuard;
+    if (rng.next_bool(params.exit_fraction)) d.flags |= kFlagExit;
+    if (d.flags & kFlagGuard) {
+      traits.background_load = std::min(
+          0.95, traits.background_load + params.guard_extra_load);
+      net.set_background_load(d.host, traits.background_load);
+    }
+
+    crypto::X25519Key raw;
+    key_rng.fill_bytes(raw.data(), raw.size());
+    crypto::X25519Key priv = crypto::x25519_clamp(raw);
+    out.onion_private.push_back(priv);
+    if (params.handshake_mode == HandshakeMode::kRealDh) {
+      d.onion_public = crypto::x25519_base(priv);
+    } else {
+      // Public identity bytes need only be unique, not a real curve point.
+      auto h = crypto::Sha256::digest(util::BytesView(priv.data(), priv.size()));
+      std::copy(h.begin(), h.end(), d.onion_public.begin());
+    }
+
+    out.consensus.relays.push_back(d);
+  }
+
+  // Guarantee at least a handful of guards and exits.
+  for (std::size_t i = 0; i < out.consensus.relays.size() && i < 8; ++i) {
+    out.consensus.relays[i].flags |= (i % 2 == 0) ? kFlagGuard : kFlagExit;
+  }
+  return out;
+}
+
+}  // namespace ptperf::tor

@@ -1,0 +1,90 @@
+// Relay descriptors and the consensus: the directory of relays a client
+// selects paths from. Synthetic consensus generation mirrors the real
+// network's skew: relays concentrated in Europe / North America (the
+// paper's explanation for Bangalore clients being slower, §4.5), with
+// bandwidth-weighted selection probability and volunteer-relay background
+// load (the §4.2.1 first-hop mechanism).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/x25519.h"
+#include "net/network.h"
+#include "sim/rng.h"
+#include "tor/ntor.h"
+
+namespace ptperf::tor {
+
+using RelayIndex = std::uint16_t;
+
+enum RelayFlags : std::uint8_t {
+  kFlagGuard = 1 << 0,
+  kFlagExit = 1 << 1,
+  kFlagFast = 1 << 2,
+  kFlagStable = 1 << 3,
+  /// Bridge relays are not in the public consensus path selection; they
+  /// serve as PT first hops.
+  kFlagBridge = 1 << 4,
+};
+
+struct RelayDescriptor {
+  RelayIndex index = 0;
+  std::string nickname;
+  net::HostId host = 0;
+  net::Region region = net::Region::kEuropeWest;
+  /// Consensus bandwidth weight (arbitrary units; selection probability).
+  double bandwidth_weight = 1.0;
+  std::uint8_t flags = 0;
+  crypto::X25519Key onion_public{};
+
+  bool has(RelayFlags f) const { return (flags & f) != 0; }
+};
+
+struct Consensus {
+  std::vector<RelayDescriptor> relays;
+  HandshakeMode handshake_mode = HandshakeMode::kFastSim;
+
+  const RelayDescriptor& at(RelayIndex i) const { return relays.at(i); }
+
+  RelayIdentity identity_of(RelayIndex i) const {
+    return RelayIdentity{i, relays.at(i).onion_public};
+  }
+};
+
+/// Parameters for synthetic consensus generation.
+struct ConsensusParams {
+  std::size_t n_relays = 120;
+  double guard_fraction = 0.35;
+  double exit_fraction = 0.30;
+  /// Volunteer relay background load range (uniform).
+  double min_load = 0.35;
+  double max_load = 0.80;
+  /// Relay bandwidth available to a single client, Mbps (log-uniform) —
+  /// relays are shared by thousands of users, so the per-client share is
+  /// far below the advertised capacity.
+  double min_mbps = 8;
+  double max_mbps = 120;
+  /// Per-cell processing delay range at relays, ms (uniform). Dominates
+  /// circuit RTT on the live network.
+  double min_proc_ms = 45;
+  double max_proc_ms = 110;
+  /// Extra background load on Guard-flagged relays: guards carry all
+  /// client traffic entering the network (§4.2.1's mechanism).
+  double guard_extra_load = 0.28;
+  HandshakeMode handshake_mode = HandshakeMode::kFastSim;
+};
+
+/// Generates relay hosts on `net` and the matching consensus. The private
+/// onion keys are returned alongside (a real directory would not publish
+/// them; relay construction needs them).
+struct GeneratedConsensus {
+  Consensus consensus;
+  std::vector<crypto::X25519Key> onion_private;
+};
+
+GeneratedConsensus generate_consensus(net::Network& net, sim::Rng& rng,
+                                      const ConsensusParams& params = {});
+
+}  // namespace ptperf::tor

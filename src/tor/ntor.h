@@ -1,0 +1,61 @@
+// ntor-style circuit handshake. Two modes:
+//   * kRealDh — genuine X25519 against the relay's static onion key
+//     (slow but real; used by tests/examples and small benches);
+//   * kFastSim — keys derived from the public handshake bytes only, so
+//     both sides agree without the DH cost (default for large measurement
+//     campaigns; wire sizes identical).
+// Either way the derived material feeds the per-hop onion layer ciphers.
+#pragma once
+
+#include <optional>
+
+#include "crypto/x25519.h"
+#include "sim/rng.h"
+#include "util/bytes.h"
+
+namespace ptperf::tor {
+
+enum class HandshakeMode { kRealDh, kFastSim };
+
+/// 32B forward key | 32B backward key | 16B forward digest seed |
+/// 16B backward digest seed.
+struct CircuitKeys {
+  util::Bytes forward_key;     // 32
+  util::Bytes backward_key;    // 32
+  util::Bytes forward_nonce;   // 12
+  util::Bytes backward_nonce;  // 12
+  util::Bytes digest_seed;     // 16
+};
+
+struct NtorClientState {
+  crypto::X25519Key private_key;
+  crypto::X25519Key public_key;
+  HandshakeMode mode;
+};
+
+struct RelayIdentity {
+  std::uint16_t relay_index = 0;
+  crypto::X25519Key onion_public{};
+};
+
+/// Client side, step 1: produce the CREATE2/EXTEND2 handshake bytes.
+NtorClientState ntor_client_start(sim::Rng& rng, HandshakeMode mode);
+util::Bytes ntor_client_message(const NtorClientState& st);
+
+/// Server side: consume the client message, produce the CREATED2 reply and
+/// the session keys. `onion_private` is only touched in kRealDh mode.
+struct NtorServerResult {
+  util::Bytes reply;
+  CircuitKeys keys;
+};
+std::optional<NtorServerResult> ntor_server_respond(
+    util::BytesView client_message, const RelayIdentity& identity,
+    const crypto::X25519Key& onion_private, sim::Rng& rng,
+    HandshakeMode mode);
+
+/// Client side, step 2: consume the CREATED2 reply.
+std::optional<CircuitKeys> ntor_client_finish(const NtorClientState& st,
+                                              const RelayIdentity& identity,
+                                              util::BytesView reply);
+
+}  // namespace ptperf::tor

@@ -1,0 +1,56 @@
+#include "tor/path.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ptperf::tor {
+
+PathSelector::PathSelector(const Consensus& consensus, sim::Rng rng)
+    : consensus_(&consensus), rng_(std::move(rng)) {}
+
+RelayIndex PathSelector::weighted_pick(RelayFlags required_flag,
+                                       const std::vector<RelayIndex>& exclude) {
+  double total = 0;
+  for (const RelayDescriptor& d : consensus_->relays) {
+    if (!d.has(required_flag) || d.has(kFlagBridge)) continue;
+    if (std::find(exclude.begin(), exclude.end(), d.index) != exclude.end())
+      continue;
+    total += d.bandwidth_weight;
+  }
+  if (total <= 0) throw std::runtime_error("no eligible relay for flag");
+  double target = rng_.next_double() * total;
+  for (const RelayDescriptor& d : consensus_->relays) {
+    if (!d.has(required_flag) || d.has(kFlagBridge)) continue;
+    if (std::find(exclude.begin(), exclude.end(), d.index) != exclude.end())
+      continue;
+    target -= d.bandwidth_weight;
+    if (target <= 0) return d.index;
+  }
+  // Floating-point slack: return the last eligible relay.
+  for (auto it = consensus_->relays.rbegin(); it != consensus_->relays.rend();
+       ++it) {
+    if (it->has(required_flag) && !it->has(kFlagBridge) &&
+        std::find(exclude.begin(), exclude.end(), it->index) == exclude.end())
+      return it->index;
+  }
+  throw std::runtime_error("no eligible relay for flag");
+}
+
+Path PathSelector::select(const PathConstraints& constraints) {
+  Path p;
+  if (constraints.entry) {
+    p.entry = *constraints.entry;
+  } else {
+    if (!guard_) guard_ = weighted_pick(kFlagGuard, {});
+    p.entry = *guard_;
+  }
+  p.exit = constraints.exit
+               ? *constraints.exit
+               : weighted_pick(kFlagExit, {p.entry});
+  p.middle = constraints.middle
+                 ? *constraints.middle
+                 : weighted_pick(kFlagFast, {p.entry, p.exit});
+  return p;
+}
+
+}  // namespace ptperf::tor

@@ -1,0 +1,374 @@
+#include "tor/relay.h"
+
+#include "util/strings.h"
+
+namespace ptperf::tor {
+namespace {
+
+constexpr std::size_t kDigestOffset = 5;  // cmd(1) + recognized(2) + stream(2)
+
+void patch_digest(util::Bytes& payload, std::uint32_t digest) {
+  payload[kDigestOffset] = static_cast<std::uint8_t>(digest >> 24);
+  payload[kDigestOffset + 1] = static_cast<std::uint8_t>(digest >> 16);
+  payload[kDigestOffset + 2] = static_cast<std::uint8_t>(digest >> 8);
+  payload[kDigestOffset + 3] = static_cast<std::uint8_t>(digest);
+}
+
+util::Bytes zero_digest_copy(util::BytesView payload) {
+  util::Bytes copy(payload.begin(), payload.end());
+  for (std::size_t i = 0; i < 4; ++i) copy[kDigestOffset + i] = 0;
+  return copy;
+}
+
+}  // namespace
+
+Relay::Relay(net::Network& net, const Consensus& consensus, RelayIndex index,
+             crypto::X25519Key onion_private, sim::Rng rng, RelayOptions opts)
+    : net_(&net),
+      consensus_(&consensus),
+      index_(index),
+      onion_private_(onion_private),
+      rng_(std::move(rng)),
+      opts_(std::move(opts)),
+      host_(consensus.at(index).host) {}
+
+void Relay::start() {
+  auto self = shared_from_this();
+  net_->listen(host_, opts_.tor_service, [self](net::Pipe pipe) {
+    self->accept_channel(net::wrap_pipe(std::move(pipe)));
+  });
+}
+
+void Relay::stop() {
+  net_->unlisten(host_, opts_.tor_service);
+  std::vector<CircuitPtr> doomed;
+  doomed.reserve(circuits_.size());
+  for (auto& [key, circ] : circuits_) doomed.push_back(circ);
+  for (auto& circ : doomed) {
+    if (circ->prev) circ->prev->close();
+    destroy_circuit(circ, /*notify_client=*/false);
+  }
+}
+
+void Relay::accept_channel(net::ChannelPtr ch) {
+  auto self = shared_from_this();
+  net::ChannelPtr ch_copy = ch;
+  ch->set_receiver([self, ch_copy](util::Bytes wire) {
+    self->on_link_message(ch_copy, std::move(wire));
+  });
+  ch->set_close_handler([self, ch_copy] { self->on_link_closed(ch_copy); });
+}
+
+void Relay::on_link_message(const net::ChannelPtr& ch, util::Bytes wire) {
+  auto cell = Cell::decode(wire);
+  if (!cell) return;  // garbage on the link; a real relay would hang up
+
+  if (cell->command == CellCommand::kCreate2) {
+    handle_create2(ch, *cell);
+    return;
+  }
+
+  auto it = circuits_.find({ch.get(), cell->circ_id});
+  if (it == circuits_.end()) return;
+  CircuitPtr circ = it->second;
+
+  switch (cell->command) {
+    case CellCommand::kRelay:
+      handle_relay_forward(circ, std::move(*cell));
+      break;
+    case CellCommand::kDestroy:
+      destroy_circuit(circ, /*notify_client=*/false);
+      break;
+    default:
+      break;
+  }
+}
+
+void Relay::on_link_closed(const net::ChannelPtr& ch) {
+  // Tear down every circuit on this link.
+  std::vector<CircuitPtr> doomed;
+  for (auto& [key, circ] : circuits_) {
+    if (key.first == ch.get()) doomed.push_back(circ);
+  }
+  for (auto& circ : doomed) destroy_circuit(circ, /*notify_client=*/false);
+}
+
+void Relay::handle_create2(const net::ChannelPtr& ch, const Cell& cell) {
+  // Handshake bytes: first 32 of the payload (the payload is padded).
+  if (cell.payload.size() < 32) return;
+  util::BytesView hs(cell.payload.data(), 32);
+  auto result =
+      ntor_server_respond(hs, consensus_->identity_of(index_), onion_private_,
+                          rng_, consensus_->handshake_mode);
+  if (!result) return;
+
+  auto circ = std::make_shared<Circuit>();
+  circ->prev = ch;
+  circ->prev_id = cell.circ_id;
+  circ->layer.emplace(result->keys);
+  circuits_[{ch.get(), cell.circ_id}] = circ;
+
+  Cell reply;
+  reply.circ_id = cell.circ_id;
+  reply.command = CellCommand::kCreated2;
+  reply.payload = result->reply;
+  ch->send(reply.encode());
+}
+
+void Relay::handle_relay_forward(const CircuitPtr& circ, Cell cell) {
+  if (circ->destroyed) return;
+  ++cells_relayed_;
+  circ->layer->process_forward(cell.payload);
+
+  auto rc = RelayCell::decode(cell.payload);
+  if (rc && rc->recognized == 0) {
+    util::Bytes zeroed = zero_digest_copy(cell.payload);
+    if (circ->layer->check_forward_digest(zeroed, rc->digest)) {
+      handle_recognized(circ, *rc);
+      return;
+    }
+  }
+  // Not ours: forward one hop closer to the exit.
+  if (circ->next) {
+    cell.circ_id = circ->next_id;
+    circ->next->send(cell.encode());
+  } else {
+    // Unrecognized cell at the last hop: protocol violation.
+    destroy_circuit(circ, /*notify_client=*/true);
+  }
+}
+
+void Relay::handle_recognized(const CircuitPtr& circ, const RelayCell& rc) {
+  switch (rc.command) {
+    case RelayCommand::kExtend2:
+      handle_extend2(circ, rc);
+      break;
+    case RelayCommand::kBegin:
+      handle_begin(circ, rc);
+      break;
+    case RelayCommand::kData:
+      handle_stream_data(circ, rc);
+      break;
+    case RelayCommand::kSendmeStream:
+    case RelayCommand::kSendmeCircuit:
+      handle_sendme(circ, rc);
+      break;
+    case RelayCommand::kEnd:
+      handle_end(circ, rc);
+      break;
+    default:
+      break;
+  }
+}
+
+void Relay::handle_extend2(const CircuitPtr& circ, const RelayCell& rc) {
+  auto ext = Extend2::decode(rc.data);
+  if (!ext || circ->next) {
+    destroy_circuit(circ, true);
+    return;
+  }
+  if (ext->target_relay >= consensus_->relays.size()) {
+    destroy_circuit(circ, true);
+    return;
+  }
+  const RelayDescriptor& target = consensus_->at(ext->target_relay);
+
+  auto self = shared_from_this();
+  util::Bytes handshake = ext->handshake;
+  net_->connect(
+      host_, target.host, opts_.tor_service,
+      [self, circ, handshake](net::Pipe pipe) {
+        if (circ->destroyed) return;
+        circ->next = net::wrap_pipe(std::move(pipe));
+        circ->next_id = 1;  // one circuit per inter-relay link
+        circ->next->set_receiver([self, circ](util::Bytes wire) {
+          self->on_next_message(circ, std::move(wire));
+        });
+        circ->next->set_close_handler(
+            [self, circ] { self->destroy_circuit(circ, true); });
+        Cell create;
+        create.circ_id = circ->next_id;
+        create.command = CellCommand::kCreate2;
+        create.payload = handshake;
+        circ->next->send(create.encode());
+      },
+      [self, circ](std::string) { self->destroy_circuit(circ, true); });
+}
+
+void Relay::on_next_message(const CircuitPtr& circ, util::Bytes wire) {
+  if (circ->destroyed) return;
+  auto cell = Cell::decode(wire);
+  if (!cell) return;
+  ++cells_relayed_;
+
+  if (cell->command == CellCommand::kCreated2) {
+    RelayCell ext;
+    ext.command = RelayCommand::kExtended2;
+    ext.data = cell->payload;
+    // CREATED2 replies are 48 bytes; the padded payload must be trimmed so
+    // the EXTENDED2 body fits the relay data limit exactly.
+    ext.data.resize(48);
+    send_backward(circ, std::move(ext));
+    return;
+  }
+  if (cell->command == CellCommand::kDestroy) {
+    destroy_circuit(circ, true);
+    return;
+  }
+  if (cell->command == CellCommand::kRelay) {
+    // Add our backward layer and pass toward the client.
+    circ->layer->process_backward(cell->payload);
+    Cell out;
+    out.circ_id = circ->prev_id;
+    out.command = CellCommand::kRelay;
+    out.payload = std::move(cell->payload);
+    circ->prev->send(out.encode());
+  }
+}
+
+void Relay::handle_begin(const CircuitPtr& circ, const RelayCell& rc) {
+  std::string target = util::to_string(rc.data);
+  StreamId sid = rc.stream_id;
+
+  std::optional<net::HostId> dest;
+  if (exit_resolver_) {
+    auto host_port = util::split(target, ':');
+    dest = exit_resolver_(host_port.empty() ? target : host_port[0]);
+  }
+  if (!dest) {
+    RelayCell end;
+    end.command = RelayCommand::kEnd;
+    end.stream_id = sid;
+    end.data = util::to_bytes("resolve-failed");
+    send_backward(circ, std::move(end));
+    return;
+  }
+
+  auto self = shared_from_this();
+  net_->connect(
+      host_, *dest, opts_.exit_service,
+      [self, circ, sid](net::Pipe pipe) {
+        if (circ->destroyed) return;
+        ExitStream& st = circ->streams[sid];
+        st.channel = net::wrap_pipe(std::move(pipe));
+        st.connected = true;
+        st.channel->set_receiver([self, circ, sid](util::Bytes data) {
+          auto it = circ->streams.find(sid);
+          if (it == circ->streams.end()) return;
+          it->second.buffer.insert(it->second.buffer.end(), data.begin(),
+                                   data.end());
+          self->pump_streams(circ);
+        });
+        st.channel->set_close_handler([self, circ, sid] {
+          auto it = circ->streams.find(sid);
+          if (it == circ->streams.end()) return;
+          it->second.remote_closed = true;
+          self->pump_streams(circ);
+        });
+        RelayCell connected;
+        connected.command = RelayCommand::kConnected;
+        connected.stream_id = sid;
+        self->send_backward(circ, std::move(connected));
+      },
+      [self, circ, sid](std::string) {
+        RelayCell end;
+        end.command = RelayCommand::kEnd;
+        end.stream_id = sid;
+        end.data = util::to_bytes("connect-refused");
+        self->send_backward(circ, std::move(end));
+      });
+}
+
+void Relay::handle_stream_data(const CircuitPtr& circ, const RelayCell& rc) {
+  auto it = circ->streams.find(rc.stream_id);
+  if (it == circ->streams.end() || !it->second.connected) return;
+  it->second.channel->send(rc.data);
+}
+
+void Relay::handle_sendme(const CircuitPtr& circ, const RelayCell& rc) {
+  if (rc.command == RelayCommand::kSendmeCircuit) {
+    circ->circuit_package_window += kCircuitSendmeIncrement;
+  } else {
+    auto it = circ->streams.find(rc.stream_id);
+    if (it != circ->streams.end())
+      it->second.package_window += kStreamSendmeIncrement;
+  }
+  pump_streams(circ);
+}
+
+void Relay::handle_end(const CircuitPtr& circ, const RelayCell& rc) {
+  auto it = circ->streams.find(rc.stream_id);
+  if (it == circ->streams.end()) return;
+  if (it->second.channel) it->second.channel->close();
+  circ->streams.erase(it);
+}
+
+void Relay::send_backward(const CircuitPtr& circ, RelayCell rc) {
+  if (circ->destroyed) return;
+  rc.recognized = 0;
+  rc.digest = 0;
+  util::Bytes payload = rc.encode();
+  std::uint32_t digest = circ->layer->commit_backward_digest(payload);
+  patch_digest(payload, digest);
+  circ->layer->process_backward(payload);
+
+  Cell cell;
+  cell.circ_id = circ->prev_id;
+  cell.command = CellCommand::kRelay;
+  cell.payload = std::move(payload);
+  circ->prev->send(cell.encode());
+}
+
+void Relay::pump_streams(const CircuitPtr& circ) {
+  if (circ->destroyed) return;
+  for (auto& [sid, st] : circ->streams) {
+    while (!st.buffer.empty() && st.package_window > 0 &&
+           circ->circuit_package_window > 0) {
+      std::size_t n = std::min<std::size_t>(st.buffer.size(), kRelayDataMax);
+      RelayCell data;
+      data.command = RelayCommand::kData;
+      data.stream_id = sid;
+      data.data.assign(st.buffer.begin(),
+                       st.buffer.begin() + static_cast<long>(n));
+      st.buffer.erase(st.buffer.begin(), st.buffer.begin() + static_cast<long>(n));
+      --st.package_window;
+      --circ->circuit_package_window;
+      send_backward(circ, std::move(data));
+    }
+    if (st.remote_closed && st.buffer.empty() && !st.end_sent) {
+      st.end_sent = true;
+      RelayCell end;
+      end.command = RelayCommand::kEnd;
+      end.stream_id = sid;
+      send_backward(circ, std::move(end));
+    }
+  }
+}
+
+void Relay::destroy_circuit(const CircuitPtr& circ, bool notify_client) {
+  if (circ->destroyed) return;
+  circ->destroyed = true;
+  if (notify_client && circ->prev) {
+    RelayCell trunc;
+    trunc.command = RelayCommand::kTruncated;
+    // Bypass the destroyed flag we just set: build + send manually.
+    circ->destroyed = false;
+    send_backward(circ, std::move(trunc));
+    circ->destroyed = true;
+  }
+  if (circ->next) circ->next->close();
+  for (auto& [sid, st] : circ->streams) {
+    if (st.channel) st.channel->close();
+  }
+  circ->streams.clear();
+  // Remove from the registry.
+  for (auto it = circuits_.begin(); it != circuits_.end();) {
+    if (it->second == circ) {
+      it = circuits_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace ptperf::tor

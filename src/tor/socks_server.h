@@ -1,0 +1,50 @@
+// The Tor client's local SOCKS5 listener — what curl/selenium point at in
+// the paper's setup. Speaks real SOCKS5 framing, attaches each CONNECT to
+// a circuit from the configured provider, then splices bytes between the
+// app connection and the Tor stream. serve_channel() lets set-3 PTs run
+// the same dialogue through their tunnel.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "net/channel.h"
+#include "tor/client.h"
+
+namespace ptperf::tor {
+
+class TorSocksServer : public std::enable_shared_from_this<TorSocksServer> {
+ public:
+  using CircuitProvider = std::function<void(
+      std::function<void(std::optional<TorCircuit>, std::string)>)>;
+
+  TorSocksServer(std::shared_ptr<TorClient> client,
+                 std::string service = "socks");
+
+  /// Controls which circuit CONNECTs ride on. The default provider keeps
+  /// one circuit alive and rebuilds on death; experiments override this
+  /// to force fresh circuits per site or pinned paths.
+  void set_circuit_provider(CircuitProvider fn);
+
+  /// Listens on the client host for app connections.
+  void start();
+
+  /// Runs the SOCKS dialogue over an externally provided channel.
+  void serve_channel(net::ChannelPtr ch);
+
+  /// Invalidate the cached circuit (default provider only).
+  void new_identity();
+
+ private:
+  void default_provider(
+      std::function<void(std::optional<TorCircuit>, std::string)> cb);
+
+  std::shared_ptr<TorClient> client_;
+  std::string service_;
+  CircuitProvider provider_;
+  std::optional<TorCircuit> current_;
+};
+
+}  // namespace ptperf::tor

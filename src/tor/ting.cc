@@ -1,0 +1,157 @@
+#include "tor/ting.h"
+
+#include <algorithm>
+
+namespace ptperf::tor {
+namespace {
+
+/// Median echo RTT over one pinned circuit.
+struct CircuitProbe : std::enable_shared_from_this<CircuitProbe> {
+  std::shared_ptr<TorClient> client;
+  std::string echo_target;
+  std::vector<RelayIndex> hops;
+  int samples = 5;
+  std::function<void(bool, double)> done;
+
+  std::optional<TorCircuit> circuit;
+  std::shared_ptr<TorStream> stream;
+  std::vector<double> rtts;
+  double ping_sent_s = -1;
+
+  void run() {
+    auto self = shared_from_this();
+    client->build_circuit_path(hops, [self](std::optional<TorCircuit> c,
+                                            std::string) {
+      if (!c) {
+        self->done(false, 0);
+        return;
+      }
+      self->circuit = std::move(c);
+      self->open();
+    });
+  }
+
+  void open() {
+    auto self = shared_from_this();
+    client->open_stream(*circuit, echo_target,
+                        [self](std::shared_ptr<TorStream> s, std::string) {
+                          if (!s) {
+                            self->finish(false);
+                            return;
+                          }
+                          self->stream = std::move(s);
+                          self->stream->set_receiver([self](util::Bytes) {
+                            self->on_pong();
+                          });
+                          self->ping();
+                        });
+  }
+
+  void ping() {
+    ping_sent_s =
+        sim::seconds_since_start(client->network().loop().now());
+    stream->send(util::to_bytes("ting-ping"));
+  }
+
+  void on_pong() {
+    double now_s = sim::seconds_since_start(client->network().loop().now());
+    rtts.push_back(now_s - ping_sent_s);
+    if (static_cast<int>(rtts.size()) >= samples) {
+      finish(true);
+      return;
+    }
+    ping();
+  }
+
+  void finish(bool ok) {
+    if (circuit) circuit->close();
+    if (!ok || rtts.empty()) {
+      done(false, 0);
+      return;
+    }
+    std::sort(rtts.begin(), rtts.end());
+    done(true, rtts[rtts.size() / 2]);
+  }
+};
+
+void probe(const std::shared_ptr<TorClient>& client,
+           const std::string& echo_target, std::vector<RelayIndex> hops,
+           int samples, std::function<void(bool, double)> done) {
+  auto p = std::make_shared<CircuitProbe>();
+  p->client = client;
+  p->echo_target = echo_target;
+  p->hops = std::move(hops);
+  p->samples = samples;
+  p->done = std::move(done);
+  p->run();
+}
+
+}  // namespace
+
+void ting_measure(const std::shared_ptr<TorClient>& client,
+                  const std::string& echo_target, RelayIndex x, RelayIndex y,
+                  TingOptions opts, TingCallback done) {
+  auto result = std::make_shared<TingResult>();
+  auto cb = std::make_shared<TingCallback>(std::move(done));
+  auto finished = std::make_shared<bool>(false);
+
+  auto deadline = client->network().loop().schedule(opts.timeout, [result, cb,
+                                                                   finished] {
+    if (*finished) return;
+    *finished = true;
+    result->error = "ting timeout";
+    (*cb)(*result);
+  });
+
+  auto fail = [result, cb, finished, deadline](const std::string& why) mutable {
+    if (*finished) return;
+    *finished = true;
+    deadline.cancel();
+    result->error = why;
+    (*cb)(*result);
+  };
+
+  // Three probes in sequence: [x], [y], [x,y].
+  probe(client, echo_target, {x}, opts.samples, [=](bool ok, double t_x) mutable {
+    if (!ok) return fail("1-hop probe via x failed");
+    result->rtt_x_s = t_x;
+    probe(client, echo_target, {y}, opts.samples, [=](bool ok2,
+                                                      double t_y) mutable {
+      if (!ok2) return fail("1-hop probe via y failed");
+      result->rtt_y_s = t_y;
+      probe(client, echo_target, {x, y}, opts.samples,
+            [=](bool ok3, double t_xy) mutable {
+              if (!ok3) return fail("2-hop probe via x,y failed");
+              if (*finished) return;
+              *finished = true;
+              const_cast<sim::EventHandle&>(deadline).cancel();
+              result->rtt_xy_s = t_xy;
+              result->ok = true;
+              result->link_latency_s =
+                  t_xy / 2.0 - result->rtt_x_s / 4.0 - result->rtt_y_s / 4.0;
+              (*cb)(*result);
+            });
+    });
+  });
+}
+
+std::optional<std::string> ting_pt_limitation(const TingTargetView& target) {
+  if (!target.is_pluggable_transport) return std::nullopt;
+  if (target.server_can_be_middle_hop) return std::nullopt;
+  return target.name +
+         ": the PT server can only act as the first hop of a circuit; Ting "
+         "requires placing the measured node as a second hop, so PT-involved "
+         "links cannot be isolated (Appendix A.5)";
+}
+
+void start_echo_server(net::Network& net, net::HostId host) {
+  net.listen(host, "http", [](net::Pipe pipe) {
+    auto ch = net::wrap_pipe(std::move(pipe));
+    net::ChannelPtr ch_copy = ch;
+    ch->set_receiver([ch_copy](util::Bytes data) {
+      ch_copy->send(std::move(data));
+    });
+  });
+}
+
+}  // namespace ptperf::tor

@@ -1,0 +1,67 @@
+// Ting (Cangialosi et al., IMC'15): estimating the latency between two Tor
+// relays by differencing circuit RTTs. The paper's Appendix A.5 explains
+// why Ting cannot be applied to pluggable transports; this module
+// implements enough of Ting to demonstrate both halves of that argument:
+//   * ting_measure() works for ordinary relay pairs — the operator pins
+//     short circuits through the targets and differences the echo RTTs;
+//   * ting_pt_limitation() reports why the same procedure is impossible
+//     when the target can only ever be a circuit's FIRST hop (every PT
+//     server), so PT-involved links cannot be isolated.
+//
+// Estimator (echo responder co-located with the client):
+//   T_x  = RTT over 1-hop circuit [x]      = 4 * owd(c,x)          (echo ~ c)
+//   T_y  = RTT over 1-hop circuit [y]      = 4 * owd(c,y)
+//   T_xy = RTT over 2-hop circuit [x,y]    = 2 (owd(c,x) + owd(x,y) + owd(y,c))
+//   => owd(x,y) ~= T_xy/2 - T_x/4 - T_y/4
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "tor/client.h"
+
+namespace ptperf::tor {
+
+/// Minimal view of a transport for the limitation check (keeps tor/
+/// independent of pt/).
+struct TingTargetView {
+  bool is_pluggable_transport = false;
+  /// Can the target's server be placed as a *second* hop? False for every
+  /// real PT (§A.5: "the PT server can only act as the first hop").
+  bool server_can_be_middle_hop = false;
+  std::string name;
+};
+
+struct TingResult {
+  bool ok = false;
+  std::string error;
+  double link_latency_s = 0;  // estimated one-way x<->y latency
+  double rtt_xy_s = 0;
+  double rtt_x_s = 0;
+  double rtt_y_s = 0;
+};
+
+struct TingOptions {
+  int samples = 5;  // echo pings per circuit, median taken
+  sim::Duration timeout = sim::from_seconds(120);
+};
+
+using TingCallback = std::function<void(TingResult)>;
+
+/// Measures the x<->y link latency with pinned 1- and 2-hop circuits.
+/// `echo_target` is the "host:port" of a ting echo responder reachable
+/// through exits and co-located with the client.
+void ting_measure(const std::shared_ptr<TorClient>& client,
+                  const std::string& echo_target, RelayIndex x, RelayIndex y,
+                  TingOptions opts, TingCallback done);
+
+/// nullopt when Ting applies; otherwise the Appendix-A.5 explanation.
+std::optional<std::string> ting_pt_limitation(const TingTargetView& target);
+
+/// Starts the echo responder on `host` (exit-reachable service "http"):
+/// every received message is sent straight back.
+void start_echo_server(net::Network& net, net::HostId host);
+
+}  // namespace ptperf::tor

@@ -1,0 +1,138 @@
+// Byte-buffer primitives: owned buffers plus bounds-checked big-endian
+// reader/writer cursors used by every wire format in the project
+// (Tor cells, SOCKS5, DNS, TLS records, PT framings).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ptperf::util {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Builds a Bytes from a string's raw characters.
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Interprets a byte range as text.
+inline std::string to_string(BytesView b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+/// Constant-time equality; length mismatch returns false without leaking
+/// a timing signal about the common prefix.
+bool ct_equal(BytesView a, BytesView b);
+
+/// Thrown by Reader when a read would run past the end of the buffer.
+class ShortRead : public std::runtime_error {
+ public:
+  ShortRead(std::size_t want, std::size_t have)
+      : std::runtime_error("short read: want " + std::to_string(want) +
+                           " bytes, have " + std::to_string(have)) {}
+};
+
+/// Bounds-checked forward cursor over an immutable byte range.
+/// All multi-byte integers are big-endian (network order), matching the
+/// Tor cell / DNS / TLS conventions.
+class Reader {
+ public:
+  explicit Reader(BytesView data) : data_(data) {}
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+  bool empty() const { return remaining() == 0; }
+
+  std::uint8_t u8() { return take(1)[0]; }
+  std::uint16_t u16() {
+    auto b = take(2);
+    return static_cast<std::uint16_t>(b[0]) << 8 | b[1];
+  }
+  std::uint32_t u32() {
+    auto b = take(4);
+    return static_cast<std::uint32_t>(b[0]) << 24 |
+           static_cast<std::uint32_t>(b[1]) << 16 |
+           static_cast<std::uint32_t>(b[2]) << 8 | b[3];
+  }
+  std::uint64_t u64() {
+    std::uint64_t hi = u32();
+    return hi << 32 | u32();
+  }
+
+  /// Reads exactly n bytes.
+  BytesView take(std::size_t n) {
+    if (n > remaining()) throw ShortRead(n, remaining());
+    BytesView out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  Bytes take_copy(std::size_t n) {
+    auto v = take(n);
+    return Bytes(v.begin(), v.end());
+  }
+
+  /// Consumes the rest of the buffer.
+  Bytes rest() { return take_copy(remaining()); }
+
+  void skip(std::size_t n) { take(n); }
+
+ private:
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+/// Append-only big-endian serializer.
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(std::size_t reserve) { buf_.reserve(reserve); }
+
+  Writer& u8(std::uint8_t v) {
+    buf_.push_back(v);
+    return *this;
+  }
+  Writer& u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+    return *this;
+  }
+  Writer& u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+    return *this;
+  }
+  Writer& u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+    return *this;
+  }
+  Writer& raw(BytesView b) {
+    buf_.insert(buf_.end(), b.begin(), b.end());
+    return *this;
+  }
+  Writer& raw(std::string_view s) {
+    buf_.insert(buf_.end(), s.begin(), s.end());
+    return *this;
+  }
+  Writer& zeros(std::size_t n) {
+    buf_.insert(buf_.end(), n, 0);
+    return *this;
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  const Bytes& view() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+}  // namespace ptperf::util

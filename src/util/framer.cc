@@ -1,0 +1,26 @@
+#include "util/framer.h"
+
+namespace ptperf::util {
+
+Bytes frame_message(BytesView message) {
+  Writer w(message.size() + 4);
+  w.u32(static_cast<std::uint32_t>(message.size()));
+  w.raw(message);
+  return w.take();
+}
+
+void MessageFramer::feed(BytesView chunk) {
+  buffer_.insert(buffer_.end(), chunk.begin(), chunk.end());
+  while (buffer_.size() >= 4) {
+    std::uint32_t len = static_cast<std::uint32_t>(buffer_[0]) << 24 |
+                        static_cast<std::uint32_t>(buffer_[1]) << 16 |
+                        static_cast<std::uint32_t>(buffer_[2]) << 8 |
+                        buffer_[3];
+    if (buffer_.size() < 4 + static_cast<std::size_t>(len)) return;
+    Bytes message(buffer_.begin() + 4, buffer_.begin() + 4 + len);
+    buffer_.erase(buffer_.begin(), buffer_.begin() + 4 + len);
+    on_message_(std::move(message));
+  }
+}
+
+}  // namespace ptperf::util

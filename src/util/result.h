@@ -1,0 +1,63 @@
+// Lightweight expected<T, Error> used for fallible wire-format parsing and
+// protocol operations where exceptions would be the wrong tool (parse
+// failures of attacker-controlled bytes are expected, not exceptional).
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ptperf::util {
+
+/// Error carries a category-free message plus an optional code; protocols
+/// in this codebase care about "did it parse / did the peer misbehave",
+/// not errno taxonomy.
+struct Error {
+  std::string message;
+
+  explicit Error(std::string msg) : message(std::move(msg)) {}
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}              // NOLINT(google-explicit-constructor)
+  Result(Error error) : state_(std::move(error)) {}          // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    require_ok();
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    require_ok();
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    require_ok();
+    return std::get<T>(std::move(state_));
+  }
+
+  const Error& error() const {
+    if (ok()) throw std::logic_error("Result holds a value, not an error");
+    return std::get<Error>(state_);
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+ private:
+  void require_ok() const {
+    if (!ok())
+      throw std::runtime_error("Result error: " + std::get<Error>(state_).message);
+  }
+
+  std::variant<T, Error> state_;
+};
+
+}  // namespace ptperf::util

@@ -1,0 +1,19 @@
+// Small string helpers shared by report formatting and config parsing.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ptperf::util {
+
+std::vector<std::string> split(std::string_view s, char sep);
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+std::string to_lower(std::string_view s);
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Fixed-precision float formatting for report tables ("%.2f" style without
+/// the locale pitfalls of streams).
+std::string fmt_double(double v, int precision);
+
+}  // namespace ptperf::util

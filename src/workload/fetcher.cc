@@ -1,0 +1,263 @@
+#include "workload/fetcher.h"
+
+#include <algorithm>
+
+#include "net/http.h"
+#include "net/socks.h"
+#include "util/strings.h"
+
+namespace ptperf::workload {
+namespace {
+
+/// One in-flight curl-style transfer: SOCKS dialogue, HTTP request,
+/// streaming body count.
+struct Transfer : std::enable_shared_from_this<Transfer> {
+  sim::EventLoop* loop;
+  std::string host;
+  std::string target;
+  FetchResult result;
+  std::function<void(FetchResult)> done;
+  net::ChannelPtr ch;
+  sim::EventHandle timeout_timer;
+  util::Bytes head_buffer;
+  bool head_parsed = false;
+  bool finished = false;
+
+  void finish(bool success, const std::string& error) {
+    if (finished) return;
+    finished = true;
+    timeout_timer.cancel();
+    result.success = success;
+    result.error = error;
+    if (success) result.complete_s = sim::seconds_since_start(loop->now());
+    if (ch) ch->close();
+    if (done) done(result);
+  }
+
+  void arm_timeout(sim::Duration timeout) {
+    auto self = shared_from_this();
+    timeout_timer = loop->schedule(timeout, [self] {
+      self->result.timed_out = true;
+      self->finish(false, "timeout");
+    });
+  }
+
+  void start(net::ChannelPtr channel) {
+    ch = std::move(channel);
+    auto self = shared_from_this();
+    ch->set_close_handler([self] {
+      self->finish(self->head_parsed &&
+                       self->result.received_bytes >= self->result.expected_bytes,
+                   "connection closed");
+    });
+    // SOCKS greeting.
+    ch->set_receiver([self](util::Bytes wire) { self->on_method(wire); });
+    ch->send(net::socks::encode_greeting({}));
+  }
+
+  void on_method(const util::Bytes& wire) {
+    auto method = net::socks::decode_method_select(wire);
+    if (!method || *method != net::socks::kMethodNoAuth) {
+      finish(false, "socks method rejected");
+      return;
+    }
+    auto self = shared_from_this();
+    ch->set_receiver([self](util::Bytes w) { self->on_reply(w); });
+    net::socks::ConnectRequest req;
+    req.host = host;
+    req.port = 80;
+    ch->send(net::socks::encode_connect(req));
+  }
+
+  void on_reply(const util::Bytes& wire) {
+    auto rep = net::socks::decode_reply(wire);
+    if (!rep || rep->reply != net::socks::Reply::kSucceeded) {
+      finish(false, "socks connect failed");
+      return;
+    }
+    auto self = shared_from_this();
+    ch->set_receiver([self](util::Bytes w) { self->on_body(w); });
+    net::http::Request req;
+    req.method = "GET";
+    req.target = target;
+    req.host = host;
+    ch->send(net::http::encode_request(req));
+  }
+
+  void on_body(const util::Bytes& data) {
+    if (finished) return;
+    if (result.ttfb_s < 0)
+      result.ttfb_s = sim::seconds_since_start(loop->now());
+    if (!head_parsed) {
+      head_buffer.insert(head_buffer.end(), data.begin(), data.end());
+      std::string text = util::to_string(head_buffer);
+      std::size_t sep = text.find("\r\n\r\n");
+      if (sep == std::string::npos) return;
+      // Parse Content-Length from the head.
+      std::size_t cl_pos = util::to_lower(text.substr(0, sep)).find(
+          "content-length:");
+      if (cl_pos == std::string::npos) {
+        finish(false, "missing content-length");
+        return;
+      }
+      result.expected_bytes = static_cast<std::size_t>(
+          std::strtoull(text.c_str() + cl_pos + 15, nullptr, 10));
+      std::size_t status_sp = text.find(' ');
+      int status = std::atoi(text.c_str() + status_sp + 1);
+      if (status != 200) {
+        finish(false, "http status " + std::to_string(status));
+        return;
+      }
+      head_parsed = true;
+      result.received_bytes = head_buffer.size() - (sep + 4);
+      head_buffer.clear();
+    } else {
+      result.received_bytes += data.size();
+    }
+    if (result.received_bytes >= result.expected_bytes) finish(true, "");
+  }
+};
+
+}  // namespace
+
+Fetcher::Fetcher(sim::EventLoop& loop, SocksDialer dialer, FetcherOptions opts)
+    : loop_(&loop), dialer_(std::move(dialer)), opts_(opts) {}
+
+void Fetcher::fetch(const std::string& host, const std::string& target,
+                    sim::Duration timeout,
+                    std::function<void(FetchResult)> done) {
+  auto tr = std::make_shared<Transfer>();
+  tr->loop = loop_;
+  tr->host = host;
+  tr->target = target;
+  tr->result.target = host + target;
+  tr->result.start_s = sim::seconds_since_start(loop_->now());
+  tr->done = std::move(done);
+  tr->arm_timeout(timeout);
+
+  dialer_(
+      [tr](net::ChannelPtr ch) { tr->start(std::move(ch)); },
+      [tr](std::string err) { tr->finish(false, "dial: " + err); });
+}
+
+namespace {
+
+/// Drives a selenium-style page load: default page, then sub-resources
+/// with bounded parallelism.
+struct PageLoader : std::enable_shared_from_this<PageLoader> {
+  std::shared_ptr<Fetcher> fetcher;
+  sim::EventLoop* loop = nullptr;
+  std::string hostname;
+  std::size_t n_resources = 0;
+  int max_parallel = 6;
+  sim::Duration timeout{};
+  sim::Duration parse_delay{};
+
+  PageLoadResult result;
+  std::size_t next_resource = 0;
+  int in_flight = 0;
+  double start_s = 0;
+  bool finished = false;
+  sim::EventHandle deadline;
+  std::function<void(PageLoadResult)> done;
+
+  void run() {
+    start_s = sim::seconds_since_start(loop->now());
+    result.resources.resize(n_resources);
+    auto self = shared_from_this();
+    // Overall page-load timeout mirrors the paper's 120 s selenium setting.
+    deadline = loop->schedule(timeout, [self] {
+      if (self->finished) return;
+      self->finished = true;
+      self->result.success = false;
+      self->result.load_time_s = -1;
+      self->done(self->result);
+    });
+    fetcher->fetch(hostname, "/", timeout, [self](FetchResult r) {
+      if (self->finished) return;
+      self->result.page = std::move(r);
+      if (!self->result.page.success) {
+        // Without the default page there is nothing to parse.
+        self->next_resource = self->result.resources.size();
+        for (auto& res : self->result.resources) res.error = "page failed";
+      }
+      self->pump();
+      self->maybe_finish();
+    });
+  }
+
+  void pump() {
+    auto self = shared_from_this();
+    while (in_flight < max_parallel && next_resource < n_resources) {
+      std::size_t idx = next_resource++;
+      in_flight++;
+      std::string target = "/r" + std::to_string(idx);
+      // Browser parse delay before the request goes out.
+      loop->schedule(parse_delay, [self, idx, target] {
+        if (self->finished) return;
+        self->fetcher->fetch(self->hostname, target, self->timeout,
+                             [self, idx](FetchResult r) {
+                               if (self->finished) return;
+                               self->result.resources[idx] = std::move(r);
+                               self->in_flight--;
+                               self->pump();
+                               self->maybe_finish();
+                             });
+      });
+    }
+  }
+
+  void maybe_finish() {
+    if (finished) return;
+    if (next_resource < result.resources.size() || in_flight > 0) return;
+    finished = true;
+    deadline.cancel();
+    bool ok = result.page.success;
+    double last =
+        result.page.success ? result.page.complete_s - start_s : -1;
+    for (const FetchResult& r : result.resources) {
+      if (!r.success) ok = false;
+      if (r.success) last = std::max(last, r.complete_s - start_s);
+    }
+    result.success = ok;
+    result.load_time_s = last;
+    done(result);
+  }
+};
+
+}  // namespace
+
+void Fetcher::fetch_page(const Website& site,
+                         std::function<void(PageLoadResult)> done) {
+  auto loader = std::make_shared<PageLoader>();
+  loader->fetcher = shared_from_this();
+  loader->loop = loop_;
+  loader->hostname = site.hostname;
+  loader->n_resources = site.resources.size();
+  loader->max_parallel = opts_.max_parallel;
+  loader->timeout = opts_.website_timeout;
+  loader->parse_delay = opts_.parse_delay;
+  loader->done = std::move(done);
+  loader->run();
+}
+
+double speed_index(const Website& site, const PageLoadResult& result) {
+  if (!result.page.success) return -1;
+  // Weighted average of visual completion offsets: the default page paints
+  // the skeleton (weight 3), each visual resource contributes its weight.
+  double weight_sum = 3.0;
+  double acc = 3.0 * (result.page.complete_s - result.page.start_s);
+  for (std::size_t i = 0; i < result.resources.size() &&
+                          i < site.resources.size();
+       ++i) {
+    const FetchResult& r = result.resources[i];
+    double w = site.resources[i].visual_weight;
+    if (w <= 0) continue;
+    if (!r.success) continue;
+    weight_sum += w;
+    acc += w * (r.complete_s - result.page.start_s);
+  }
+  return acc / weight_sum;
+}
+
+}  // namespace ptperf::workload

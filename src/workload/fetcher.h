@@ -1,0 +1,91 @@
+// Measurement clients mirroring the paper's three access methods:
+//   * curl      — one SOCKS connection, default page only;
+//   * selenium  — default page, then sub-resources over up to six parallel
+//                 SOCKS connections (browser-like), load = last completion;
+//   * browsertime — selenium plus the speed-index computed from visual
+//                 resource completion times.
+// All timings are virtual-time seconds from request initiation, matching
+// what `time curl ...` / selenium page-load timers would report.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/channel.h"
+#include "sim/event_loop.h"
+#include "workload/website.h"
+
+namespace ptperf::workload {
+
+struct FetchResult {
+  std::string target;
+  double start_s = 0;
+  double ttfb_s = -1;      // absolute; <0 if no byte arrived
+  double complete_s = -1;  // absolute; <0 if incomplete
+  std::size_t expected_bytes = 0;
+  std::size_t received_bytes = 0;
+  bool success = false;
+  bool timed_out = false;
+  std::string error;
+
+  double elapsed() const { return success ? complete_s - start_s : -1; }
+  double ttfb() const { return ttfb_s >= 0 ? ttfb_s - start_s : -1; }
+  /// Fraction of the body that arrived (reliability accounting, Fig 8).
+  double fraction() const {
+    if (expected_bytes == 0) return success ? 1.0 : 0.0;
+    return std::min(1.0, static_cast<double>(received_bytes) /
+                             static_cast<double>(expected_bytes));
+  }
+};
+
+struct PageLoadResult {
+  FetchResult page;
+  std::vector<FetchResult> resources;
+  bool success = false;
+  double load_time_s = -1;   // relative to page request start
+  double speed_index_s = -1;  // browsertime-style visual metric
+};
+
+/// Fetcher configuration.
+struct FetcherOptions {
+  sim::Duration website_timeout = sim::from_seconds(120);
+  sim::Duration file_timeout = sim::from_seconds(1200);
+  int max_parallel = 6;
+  /// Browser main-thread delay before a discovered sub-resource is
+  /// requested (parse/queue time).
+  sim::Duration parse_delay = sim::from_millis(15);
+};
+
+class Fetcher : public std::enable_shared_from_this<Fetcher> {
+ public:
+  /// Opens a fresh channel that speaks SOCKS5 on the far side (loopback to
+  /// the local Tor client, or a set-3 PT tunnel).
+  using SocksDialer =
+      std::function<void(std::function<void(net::ChannelPtr)>,
+                         std::function<void(std::string)>)>;
+
+  Fetcher(sim::EventLoop& loop, SocksDialer dialer, FetcherOptions opts = {});
+
+  /// curl-style single fetch of host/target.
+  void fetch(const std::string& host, const std::string& target,
+             sim::Duration timeout, std::function<void(FetchResult)> done);
+
+  /// selenium-style full page load.
+  void fetch_page(const Website& site,
+                  std::function<void(PageLoadResult)> done);
+
+  const FetcherOptions& options() const { return opts_; }
+
+ private:
+  sim::EventLoop* loop_;
+  SocksDialer dialer_;
+  FetcherOptions opts_;
+};
+
+/// Speed index from resource completion times: the visual-weight-averaged
+/// completion time (seconds, relative to navigation start).
+double speed_index(const Website& site, const PageLoadResult& result);
+
+}  // namespace ptperf::workload

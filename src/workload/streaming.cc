@@ -1,0 +1,210 @@
+#include "workload/streaming.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "net/http.h"
+#include "net/socks.h"
+#include "util/strings.h"
+
+namespace ptperf::workload {
+
+std::string stream_target(const StreamingSpec& spec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "/stream%.0fkbps%.0fs", spec.bitrate_kbps,
+                sim::to_seconds(spec.duration));
+  return buf;
+}
+
+bool parse_stream_target(const std::string& target, double* bitrate_kbps,
+                         double* seconds) {
+  double rate = 0, secs = 0;
+  if (std::sscanf(target.c_str(), "/stream%lfkbps%lfs", &rate, &secs) != 2)
+    return false;
+  if (rate <= 0 || secs <= 0 || rate > 1e5 || secs > 36000) return false;
+  if (bitrate_kbps) *bitrate_kbps = rate;
+  if (seconds) *seconds = secs;
+  return true;
+}
+
+namespace {
+
+/// One playback session: SOCKS dial, HTTP GET, buffer simulation.
+struct Session : std::enable_shared_from_this<Session> {
+  sim::EventLoop* loop = nullptr;
+  StreamingSpec spec;
+  StreamingResult result;
+  std::function<void(StreamingResult)> done;
+  net::ChannelPtr ch;
+  sim::EventHandle timeout_timer;
+  sim::EventHandle playout_timer;
+
+  double start_s = 0;
+  bool head_parsed = false;
+  util::Bytes head_buffer;
+  std::size_t expected_bytes = 0;
+
+  // Playout state.
+  bool playing = false;
+  double playback_clock_s = 0;     // media seconds consumed
+  double stall_started_s = -1;
+  bool finished = false;
+
+  double bytes_per_media_second() const { return spec.bitrate_kbps * 125.0; }
+
+  void finish(bool completed, const std::string& error) {
+    if (finished) return;
+    finished = true;
+    timeout_timer.cancel();
+    playout_timer.cancel();
+    if (stall_started_s >= 0) {
+      result.stalled_s += sim::seconds_since_start(loop->now()) - stall_started_s;
+      stall_started_s = -1;
+    }
+    result.completed = completed;
+    result.error = error;
+    double elapsed = sim::seconds_since_start(loop->now()) - start_s;
+    if (elapsed > 0)
+      result.goodput_kbps = result.received_bytes * 8.0 / elapsed / 1000.0;
+    if (ch) ch->close();
+    if (done) done(result);
+  }
+
+  void start(net::ChannelPtr channel) {
+    ch = std::move(channel);
+    auto self = shared_from_this();
+    ch->set_close_handler([self] {
+      self->finish(self->result.received_bytes >= self->expected_bytes &&
+                       self->expected_bytes > 0,
+                   "connection closed");
+    });
+    ch->set_receiver([self](util::Bytes m) { self->on_socks_method(m); });
+    ch->send(net::socks::encode_greeting({}));
+  }
+
+  void on_socks_method(const util::Bytes& wire) {
+    if (!net::socks::decode_method_select(wire)) {
+      finish(false, "socks method");
+      return;
+    }
+    auto self = shared_from_this();
+    ch->set_receiver([self](util::Bytes m) { self->on_socks_reply(m); });
+    net::socks::ConnectRequest req;
+    req.host = "files.example";
+    req.port = 80;
+    ch->send(net::socks::encode_connect(req));
+  }
+
+  void on_socks_reply(const util::Bytes& wire) {
+    auto rep = net::socks::decode_reply(wire);
+    if (!rep || rep->reply != net::socks::Reply::kSucceeded) {
+      finish(false, "socks connect");
+      return;
+    }
+    auto self = shared_from_this();
+    ch->set_receiver([self](util::Bytes m) { self->on_data(m); });
+    net::http::Request req;
+    req.method = "GET";
+    req.target = stream_target(spec);
+    req.host = "files.example";
+    ch->send(net::http::encode_request(req));
+  }
+
+  void on_data(const util::Bytes& data) {
+    if (finished) return;
+    if (!head_parsed) {
+      head_buffer.insert(head_buffer.end(), data.begin(), data.end());
+      std::string text = util::to_string(head_buffer);
+      std::size_t sep = text.find("\r\n\r\n");
+      if (sep == std::string::npos) return;
+      std::size_t cl = util::to_lower(text).find("content-length:");
+      if (cl == std::string::npos) {
+        finish(false, "no content-length");
+        return;
+      }
+      expected_bytes = static_cast<std::size_t>(
+          std::strtoull(text.c_str() + cl + 15, nullptr, 10));
+      head_parsed = true;
+      result.started = true;
+      result.received_bytes =
+          static_cast<double>(head_buffer.size() - (sep + 4));
+      head_buffer.clear();
+    } else {
+      result.received_bytes += static_cast<double>(data.size());
+    }
+    maybe_start_playback();
+    maybe_resume();
+  }
+
+  double buffered_media_s() const {
+    return result.received_bytes / bytes_per_media_second() -
+           playback_clock_s;
+  }
+
+  void maybe_start_playback() {
+    if (playing || result.startup_delay_s >= 0) return;
+    if (buffered_media_s() >= sim::to_seconds(spec.prebuffer)) {
+      result.startup_delay_s = sim::seconds_since_start(loop->now()) - start_s;
+      playing = true;
+      schedule_playout();
+    }
+  }
+
+  void schedule_playout() {
+    // Consume media in 100 ms playout ticks.
+    auto self = shared_from_this();
+    playout_timer = loop->schedule(sim::from_millis(100), [self] {
+      if (self->finished) return;
+      self->playback_clock_s += 0.1;
+      if (self->playback_clock_s >= sim::to_seconds(self->spec.duration)) {
+        self->finish(true, "");
+        return;
+      }
+      if (self->buffered_media_s() <= 0 &&
+          self->result.received_bytes <
+              static_cast<double>(self->expected_bytes)) {
+        // Buffer dry: stall until more data arrives.
+        self->playing = false;
+        ++self->result.rebuffer_events;
+        self->stall_started_s = sim::seconds_since_start(self->loop->now());
+        return;
+      }
+      self->schedule_playout();
+    });
+  }
+
+  void maybe_resume() {
+    if (playing || stall_started_s < 0 || finished) return;
+    // Resume once half the prebuffer re-accumulates.
+    if (buffered_media_s() >= sim::to_seconds(spec.prebuffer) / 2) {
+      result.stalled_s +=
+          sim::seconds_since_start(loop->now()) - stall_started_s;
+      stall_started_s = -1;
+      playing = true;
+      schedule_playout();
+    }
+  }
+};
+
+}  // namespace
+
+StreamingClient::StreamingClient(sim::EventLoop& loop, SocksDialer dialer)
+    : loop_(&loop), dialer_(std::move(dialer)) {}
+
+void StreamingClient::play(const StreamingSpec& spec, sim::Duration timeout,
+                           std::function<void(StreamingResult)> done) {
+  auto session = std::make_shared<Session>();
+  session->loop = loop_;
+  session->spec = spec;
+  session->done = std::move(done);
+  session->start_s = sim::seconds_since_start(loop_->now());
+  auto self = session;
+  session->timeout_timer = loop_->schedule(timeout, [self] {
+    self->finish(false, "timeout");
+  });
+  dialer_(
+      [session](net::ChannelPtr ch) { session->start(std::move(ch)); },
+      [session](std::string err) { session->finish(false, "dial: " + err); });
+}
+
+}  // namespace ptperf::workload

@@ -1,0 +1,69 @@
+// Streaming workload — the paper's named future-work use case (§A.4):
+// "other use cases, e.g., audio streaming, could be explored for
+// evaluating PTs' performance."
+//
+// Model: the client requests a constant-bitrate media stream; the origin
+// pushes segments at the encoding rate; the client plays out of a buffer
+// after an initial prebuffer. Whenever the buffer runs dry the player
+// stalls (rebuffering). Metrics: startup delay, rebuffer count, stall
+// ratio, achieved goodput — the quantities that decide whether a PT can
+// carry a radio stream or a video call.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "net/channel.h"
+#include "sim/event_loop.h"
+
+namespace ptperf::workload {
+
+struct StreamingSpec {
+  double bitrate_kbps = 256;           // audio-stream grade
+  sim::Duration duration = sim::from_seconds(60);
+  sim::Duration prebuffer = sim::from_seconds(2);
+  std::size_t segment_bytes = 4096;    // server send granularity
+};
+
+struct StreamingResult {
+  bool started = false;          // first byte arrived
+  bool completed = false;        // full stream length received
+  double startup_delay_s = -1;   // request -> playback start
+  int rebuffer_events = 0;
+  double stalled_s = 0;          // total playback stall time
+  double received_bytes = 0;
+  double goodput_kbps = 0;
+  std::string error;
+
+  /// Fraction of intended playback time spent stalled.
+  double stall_ratio(const StreamingSpec& spec) const {
+    double d = sim::to_seconds(spec.duration);
+    return d > 0 ? stalled_s / d : 0;
+  }
+};
+
+/// Plays one stream through a SOCKS channel (same dialer contract as
+/// Fetcher). The server side is WebServer's "/streamNkbpsMs" target.
+class StreamingClient : public std::enable_shared_from_this<StreamingClient> {
+ public:
+  using SocksDialer =
+      std::function<void(std::function<void(net::ChannelPtr)>,
+                         std::function<void(std::string)>)>;
+
+  StreamingClient(sim::EventLoop& loop, SocksDialer dialer);
+
+  void play(const StreamingSpec& spec, sim::Duration timeout,
+            std::function<void(StreamingResult)> done);
+
+ private:
+  sim::EventLoop* loop_;
+  SocksDialer dialer_;
+};
+
+/// Target name understood by WebServer, e.g. "/stream256kbps60s".
+std::string stream_target(const StreamingSpec& spec);
+/// Parses a stream target; returns false if it is not one.
+bool parse_stream_target(const std::string& target, double* bitrate_kbps,
+                         double* seconds);
+
+}  // namespace ptperf::workload

@@ -1,0 +1,135 @@
+#include "workload/webserver.h"
+
+#include <charconv>
+
+#include "util/strings.h"
+#include "workload/streaming.h"
+
+namespace ptperf::workload {
+
+WebServer::WebServer(net::Network& net, net::HostId host, const Corpus* tranco,
+                     const Corpus* cbl)
+    : net_(&net), host_(host), tranco_(tranco), cbl_(cbl) {}
+
+void WebServer::start() {
+  auto self = shared_from_this();
+  net_->listen(host_, opts_.service, [self](net::Pipe pipe) {
+    self->serve(net::wrap_pipe(std::move(pipe)));
+  });
+}
+
+std::size_t WebServer::lookup_size(const std::string& host,
+                                   const std::string& target) const {
+  double rate = 0, secs = 0;
+  if (parse_stream_target(target, &rate, &secs)) {
+    return static_cast<std::size_t>(rate * 125.0 * secs);
+  }
+  if (util::starts_with(target, "/file") && target.size() > 7 &&
+      target.substr(target.size() - 2) == "mb") {
+    std::size_t mb = 0;
+    auto [ptr, ec] = std::from_chars(target.data() + 5,
+                                     target.data() + target.size() - 2, mb);
+    (void)ptr;
+    if (ec == std::errc() && mb > 0 && mb <= 1024) return mb << 20;
+    return 0;
+  }
+
+  const Website* site = nullptr;
+  if (tranco_) site = tranco_->find(host);
+  if (!site && cbl_) site = cbl_->find(host);
+  if (!site) return 0;
+
+  if (target == "/") return site->default_page_bytes;
+  if (util::starts_with(target, "/r")) {
+    std::size_t k = 0;
+    auto [ptr, ec] =
+        std::from_chars(target.data() + 2, target.data() + target.size(), k);
+    (void)ptr;
+    if (ec == std::errc() && k < site->resources.size())
+      return site->resources[k].size_bytes;
+  }
+  return 0;
+}
+
+void WebServer::serve(net::ChannelPtr ch) {
+  auto self = shared_from_this();
+  auto buffer = std::make_shared<util::Bytes>();
+  net::ChannelPtr ch_copy = ch;
+  ch->set_receiver([self, ch_copy, buffer](util::Bytes data) {
+    // Requests can arrive cell-fragmented through a Tor exit: accumulate
+    // until a full HTTP head parses.
+    buffer->insert(buffer->end(), data.begin(), data.end());
+    auto req = net::http::decode_request(*buffer);
+    if (!req) return;
+    buffer->clear();
+    self->respond(ch_copy, *req);
+  });
+}
+
+void WebServer::respond(const net::ChannelPtr& ch,
+                        const net::http::Request& req) {
+  std::size_t size = lookup_size(req.host, req.target);
+  net::http::Response head;
+  if (size == 0) {
+    head.status = 404;
+    head.reason = "Not Found";
+    head.body = util::to_bytes("not found");
+    ch->send(net::http::encode_response(head));
+    return;
+  }
+
+  // Header first (with Content-Length), then the body in chunks. The body
+  // content itself is irrelevant to the measurements; zero-filled chunks
+  // keep memory churn low while every byte still traverses the network
+  // and the onion layers.
+  util::Writer w;
+  w.raw("HTTP/1.1 200 OK\r\ncontent-type: application/octet-stream\r\n");
+  w.raw("Content-Length: ").raw(std::to_string(size)).raw("\r\n\r\n");
+  ch->send(w.take());
+
+  double rate = 0, secs = 0;
+  if (parse_stream_target(req.target, &rate, &secs)) {
+    // Live-ish stream: the origin paces segments at the encoding rate
+    // instead of bursting the whole object.
+    stream_body(ch, size, rate * 125.0);
+    return;
+  }
+
+  std::size_t remaining = size;
+  util::Bytes chunk(opts_.chunk_bytes, 0);
+  while (remaining > 0) {
+    std::size_t n = std::min(remaining, opts_.chunk_bytes);
+    if (n == opts_.chunk_bytes) {
+      ch->send(chunk);
+    } else {
+      ch->send(util::Bytes(n, 0));
+    }
+    remaining -= n;
+  }
+}
+
+void WebServer::stream_body(const net::ChannelPtr& ch, std::size_t total,
+                            double bytes_per_sec) {
+  std::size_t chunk = opts_.chunk_bytes;
+  sim::Duration interval =
+      sim::from_seconds(static_cast<double>(chunk) / bytes_per_sec);
+  auto remaining = std::make_shared<std::size_t>(total);
+  sim::EventLoop* loop = &net_->loop();
+  auto tick = std::make_shared<std::function<void()>>();
+  std::weak_ptr<std::function<void()>> weak_tick = tick;
+  *tick = [loop, ch, chunk, interval, remaining, weak_tick] {
+    if (*remaining == 0) return;
+    std::size_t n = std::min(chunk, *remaining);
+    ch->send(util::Bytes(n, 0));
+    *remaining -= n;
+    if (*remaining > 0) {
+      if (auto next = weak_tick.lock()) {
+        loop->schedule(interval, [next] { (*next)(); });
+      }
+    }
+  };
+  // The keep-alive: the scheduled event holds the shared function.
+  loop->schedule(interval, [tick] { (*tick)(); });
+}
+
+}  // namespace ptperf::workload

@@ -1,0 +1,51 @@
+// Origin web server: hosts a website corpus and the bulk-download files.
+// Speaks the minimal HTTP/1.1 of net/http.h; bodies stream out in chunks
+// so large files do not materialize as single messages.
+#pragma once
+
+#include <memory>
+
+#include "net/channel.h"
+#include "net/http.h"
+#include "workload/website.h"
+
+namespace ptperf::workload {
+
+/// Web server configuration.
+struct WebServerOptions {
+  std::string service = "http";
+  std::size_t chunk_bytes = 8192;
+};
+
+class WebServer : public std::enable_shared_from_this<WebServer> {
+ public:
+
+  WebServer(net::Network& net, net::HostId host, const Corpus* tranco,
+            const Corpus* cbl);
+
+  void start();
+  net::HostId host() const { return host_; }
+
+  /// Resolves a request to (total body size, visual flag). Targets:
+  ///   "/"            -> default page of the site named by the Host header
+  ///   "/r<k>"        -> k-th sub-resource of that site
+  ///   "/file<n>mb"   -> n-megabyte bulk file (host "files.example")
+  /// Returns 0 on unknown targets (served as 404 with a small body).
+  std::size_t lookup_size(const std::string& host,
+                          const std::string& target) const;
+
+ private:
+  void serve(net::ChannelPtr ch);
+  void respond(const net::ChannelPtr& ch, const net::http::Request& req);
+  /// Paces a streaming body at the media bitrate (live-origin behaviour).
+  void stream_body(const net::ChannelPtr& ch, std::size_t total,
+                   double bytes_per_sec);
+
+  net::Network* net_;
+  net::HostId host_;
+  const Corpus* tranco_;
+  const Corpus* cbl_;
+  WebServerOptions opts_;
+};
+
+}  // namespace ptperf::workload

@@ -1,0 +1,67 @@
+#include "workload/website.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ptperf::workload {
+
+std::size_t Website::total_bytes() const {
+  std::size_t total = default_page_bytes;
+  for (const Resource& r : resources) total += r.size_bytes;
+  return total;
+}
+
+Corpus Corpus::generate(CorpusKind kind, std::size_t n, sim::Rng rng) {
+  Corpus corpus;
+  corpus.sites_.reserve(n);
+  const bool tranco = kind == CorpusKind::kTranco;
+  const char* suffix = tranco ? "tranco" : "cbl";
+
+  for (std::size_t i = 0; i < n; ++i) {
+    sim::Rng site_rng = rng.fork(i);
+    Website w;
+    char name[40];
+    std::snprintf(name, sizeof(name), "site%04zu.%s", i, suffix);
+    w.hostname = name;
+
+    // Default-page size: median ~55 KB (tranco) / ~38 KB (cbl), lognormal.
+    double mu = std::log(tranco ? 55e3 : 38e3);
+    w.default_page_bytes = static_cast<std::size_t>(
+        std::clamp(site_rng.lognormal(mu, 0.75), 2e3, 2e6));
+
+    // Sub-resource count: popular sites are heavier.
+    double count_mu = std::log(tranco ? 32.0 : 22.0);
+    auto n_res = static_cast<std::size_t>(
+        std::clamp(site_rng.lognormal(count_mu, 0.6), 3.0, 150.0));
+    w.resources.reserve(n_res);
+    for (std::size_t r = 0; r < n_res; ++r) {
+      Resource res;
+      res.size_bytes = static_cast<std::size_t>(
+          std::clamp(site_rng.pareto(6e3, 1.3), 0.5e3, 3e6));
+      // Images/CSS (~60% of resources) carry visual weight.
+      res.visual_weight = site_rng.next_bool(0.6)
+                              ? site_rng.uniform(0.5, 2.0)
+                              : site_rng.uniform(0.0, 0.2);
+      w.resources.push_back(res);
+    }
+    corpus.sites_.push_back(std::move(w));
+  }
+  return corpus;
+}
+
+const Website* Corpus::find(const std::string& hostname) const {
+  for (const Website& w : sites_) {
+    if (w.hostname == hostname) return &w;
+  }
+  return nullptr;
+}
+
+std::vector<std::size_t> standard_file_sizes() {
+  return {5u << 20, 10u << 20, 20u << 20, 50u << 20, 100u << 20};
+}
+
+std::string file_target_name(std::size_t bytes) {
+  return "file" + std::to_string(bytes >> 20) + "mb";
+}
+
+}  // namespace ptperf::workload

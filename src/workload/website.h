@@ -1,0 +1,50 @@
+// Synthetic website corpus standing in for Tranco top-1k and the Citizen
+// Lab / Berkman blocked list (CBL-1k). Page composition (default page size,
+// sub-resource count and sizes, visual weights) is drawn from heavy-tailed
+// web statistics, seeded per site so every campaign sees the same web.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace ptperf::workload {
+
+struct Resource {
+  std::size_t size_bytes = 0;
+  /// Contribution to "visual completeness" for the speed index (images and
+  /// CSS weigh more than async scripts).
+  double visual_weight = 0.0;
+};
+
+struct Website {
+  std::string hostname;           // e.g. "site0042.tranco"
+  std::size_t default_page_bytes = 0;
+  std::vector<Resource> resources;
+
+  std::size_t total_bytes() const;
+};
+
+enum class CorpusKind { kTranco, kCbl };
+
+class Corpus {
+ public:
+  /// Generates `n` sites. Tranco sites skew larger/heavier (popular,
+  /// media-rich); CBL sites skew smaller (news/blog-like blocked sites).
+  static Corpus generate(CorpusKind kind, std::size_t n, sim::Rng rng);
+
+  const std::vector<Website>& sites() const { return sites_; }
+  const Website* find(const std::string& hostname) const;
+  std::size_t size() const { return sites_.size(); }
+
+ private:
+  std::vector<Website> sites_;
+};
+
+/// File-download targets from the paper: 5, 10, 20, 50, 100 MB.
+std::vector<std::size_t> standard_file_sizes();
+std::string file_target_name(std::size_t bytes);
+
+}  // namespace ptperf::workload

@@ -1,0 +1,481 @@
+// Network layer tests: topology, pipe semantics (delivery, FIFO ordering,
+// buffering before a receiver exists, rate caps, close), TLS sessions,
+// and the DNS / SOCKS5 / HTTP codecs.
+#include <gtest/gtest.h>
+
+#include "net/channel.h"
+#include "net/dns.h"
+#include "net/http.h"
+#include "net/network.h"
+#include "net/socks.h"
+#include "net/tls.h"
+#include "sim/rng.h"
+
+namespace ptperf::net {
+namespace {
+
+using util::Bytes;
+using util::to_bytes;
+using util::to_string;
+
+struct NetFixture : ::testing::Test {
+  sim::EventLoop loop;
+  Network net{loop, sim::Rng(42)};
+  HostId a = net.add_host("a", Region::kLondon);
+  HostId b = net.add_host("b", Region::kFrankfurt);
+};
+
+TEST(Topology, SymmetricAndPositive) {
+  Topology topo;
+  for (std::size_t i = 0; i < kRegionCount; ++i) {
+    for (std::size_t j = 0; j < kRegionCount; ++j) {
+      auto ri = static_cast<Region>(i);
+      auto rj = static_cast<Region>(j);
+      EXPECT_EQ(topo.base_rtt(ri, rj), topo.base_rtt(rj, ri));
+      EXPECT_GT(topo.base_rtt(ri, rj).count(), 0);
+    }
+  }
+  // Sanity: nearby pairs are faster than intercontinental ones.
+  EXPECT_LT(topo.base_rtt(Region::kLondon, Region::kFrankfurt),
+            topo.base_rtt(Region::kLondon, Region::kSingapore));
+}
+
+TEST_F(NetFixture, ConnectDeliversBothDirections) {
+  std::string got_at_b, got_at_a;
+  net.listen(b, "echo", [&](Pipe pipe) {
+    auto shared = std::make_shared<Pipe>(std::move(pipe));
+    shared->on_receive([shared, &got_at_b](Bytes data) {
+      got_at_b = to_string(data);
+      shared->send(to_bytes("pong"));
+    });
+  });
+  bool opened = false;
+  net.connect(a, b, "echo", [&](Pipe pipe) {
+    opened = true;
+    auto shared = std::make_shared<Pipe>(std::move(pipe));
+    shared->on_receive(
+        [&got_at_a](Bytes data) { got_at_a = to_string(data); });
+    shared->send(to_bytes("ping"));
+  });
+  loop.run();
+  EXPECT_TRUE(opened);
+  EXPECT_EQ(got_at_b, "ping");
+  EXPECT_EQ(got_at_a, "pong");
+}
+
+TEST_F(NetFixture, ConnectionRefusedWithoutListener) {
+  std::string error;
+  net.connect(a, b, "nothing", [](Pipe) { FAIL(); },
+              [&](std::string e) { error = e; });
+  loop.run();
+  EXPECT_NE(error.find("refused"), std::string::npos);
+}
+
+TEST_F(NetFixture, FifoOrderingPerDirection) {
+  std::vector<int> got;
+  net.listen(b, "svc", [&](Pipe pipe) {
+    auto shared = std::make_shared<Pipe>(std::move(pipe));
+    shared->on_receive([shared, &got](Bytes data) { got.push_back(data[0]); });
+  });
+  net.connect(a, b, "svc", [&](Pipe pipe) {
+    auto shared = std::make_shared<Pipe>(std::move(pipe));
+    for (int i = 0; i < 50; ++i)
+      shared->send(Bytes{static_cast<std::uint8_t>(i)});
+  });
+  loop.run();
+  ASSERT_EQ(got.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(got[i], i);
+}
+
+TEST_F(NetFixture, BuffersMessagesUntilReceiverInstalled) {
+  // The acceptor stores the pipe but installs the receiver only later —
+  // early messages must not be lost (the meek/dnstt relay pattern).
+  auto server_pipe = std::make_shared<Pipe>();
+  net.listen(b, "svc", [&](Pipe pipe) { *server_pipe = std::move(pipe); });
+  net.connect(a, b, "svc", [&](Pipe pipe) {
+    auto shared = std::make_shared<Pipe>(std::move(pipe));
+    shared->send(to_bytes("early1"));
+    shared->send(to_bytes("early2"));
+  });
+  loop.run();
+
+  std::vector<std::string> got;
+  server_pipe->on_receive([&](Bytes data) { got.push_back(to_string(data)); });
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], "early1");
+  EXPECT_EQ(got[1], "early2");
+}
+
+TEST_F(NetFixture, LargerPayloadsTakeLonger) {
+  net.listen(b, "svc", [](Pipe) {});
+  auto client = std::make_shared<Pipe>();
+  net.connect(a, b, "svc", [&](Pipe pipe) { *client = std::move(pipe); });
+  loop.run();
+
+  // Two fresh connections, measure delivery time of small vs large.
+  auto deliver_time = [&](std::size_t size) {
+    double at = -1;
+    net.listen(b, "probe", [&](Pipe pipe) {
+      auto shared = std::make_shared<Pipe>(std::move(pipe));
+      shared->on_receive([&at, this](Bytes) {
+        at = sim::seconds_since_start(loop.now());
+      });
+    });
+    double sent_at = -1;
+    net.connect(a, b, "probe", [&](Pipe pipe) {
+      auto shared = std::make_shared<Pipe>(std::move(pipe));
+      sent_at = sim::seconds_since_start(loop.now());
+      shared->send(Bytes(size, 0));
+    });
+    loop.run();
+    net.unlisten(b, "probe");
+    return at - sent_at;
+  };
+  double small = deliver_time(100);
+  double large = deliver_time(2 * 1024 * 1024);
+  EXPECT_GT(large, small);
+}
+
+TEST_F(NetFixture, RateCapThrottlesThroughput) {
+  ConnectOptions capped;
+  capped.rate_cap_bytes_per_sec = 10e3;  // 10 KB/s
+  net.listen(b, "svc", [&](Pipe pipe) {
+    auto shared = std::make_shared<Pipe>(std::move(pipe));
+    shared->on_receive([](Bytes) {});
+  });
+  double done_at = -1;
+  std::size_t received = 0;
+  net.listen(a, "sink", [](Pipe) {});
+  net.connect(
+      a, b, "svc",
+      [&](Pipe pipe) {
+        auto shared = std::make_shared<Pipe>(std::move(pipe));
+        // 100 KB at 10 KB/s should take ~10 s.
+        for (int i = 0; i < 10; ++i) shared->send(Bytes(10 * 1024, 0));
+      },
+      nullptr, capped);
+  net.listen(b, "svc2", [](Pipe) {});
+  // Re-listen with counting: replace the service before connecting again.
+  net.listen(b, "svc", [&](Pipe pipe) {
+    auto shared = std::make_shared<Pipe>(std::move(pipe));
+    shared->on_receive([&](Bytes data) {
+      received += data.size();
+      done_at = sim::seconds_since_start(loop.now());
+    });
+  });
+  net.connect(
+      a, b, "svc",
+      [&](Pipe pipe) {
+        auto shared = std::make_shared<Pipe>(std::move(pipe));
+        for (int i = 0; i < 10; ++i) shared->send(Bytes(10 * 1024, 0));
+      },
+      nullptr, capped);
+  loop.run();
+  EXPECT_EQ(received, 100u * 1024);
+  EXPECT_GT(done_at, 8.0);
+  EXPECT_LT(done_at, 14.0);
+}
+
+TEST_F(NetFixture, CloseReachesPeer) {
+  bool closed_at_b = false;
+  net.listen(b, "svc", [&](Pipe pipe) {
+    auto shared = std::make_shared<Pipe>(std::move(pipe));
+    shared->on_close([&] { closed_at_b = true; });
+    // Keep a reference alive.
+    static std::shared_ptr<Pipe> keeper;
+    keeper = shared;
+  });
+  net.connect(a, b, "svc", [&](Pipe pipe) { pipe.close(); });
+  loop.run();
+  EXPECT_TRUE(closed_at_b);
+}
+
+TEST_F(NetFixture, LoopbackIsFast) {
+  net.listen(a, "local", [](Pipe) {});
+  double opened_at = -1;
+  net.connect(a, a, "local", [&](Pipe) {
+    opened_at = sim::seconds_since_start(loop.now());
+  });
+  loop.run();
+  EXPECT_LT(opened_at, 0.001);  // sub-millisecond handshake
+}
+
+TEST_F(NetFixture, TlsHandshakeAndEcho) {
+  sim::Rng rng(7);
+  auto server_rng = std::make_shared<sim::Rng>(rng.fork("s"));
+  std::string server_sni;
+  net.listen(b, "https", [&, server_rng](Pipe pipe) {
+    tls_accept(std::move(pipe), *server_rng,
+               [&](TlsSession session, const ClientHello& hello) {
+                 server_sni = hello.sni;
+                 auto shared = std::make_shared<TlsSession>(std::move(session));
+                 shared->on_receive([shared](Bytes data) {
+                   data.push_back('!');
+                   shared->send(std::move(data));
+                 });
+               });
+  });
+
+  std::string reply;
+  auto client_rng = std::make_shared<sim::Rng>(rng.fork("c"));
+  net.connect(a, b, "https", [&, client_rng](Pipe pipe) {
+    ClientHelloParams params;
+    params.sni = "front.example";
+    tls_connect(std::move(pipe), params, *client_rng, [&](TlsSession session) {
+      auto shared = std::make_shared<TlsSession>(std::move(session));
+      shared->on_receive([&reply](Bytes data) { reply = to_string(data); });
+      shared->send(to_bytes("hello"));
+    });
+  });
+  loop.run();
+  EXPECT_EQ(server_sni, "front.example");
+  EXPECT_EQ(reply, "hello!");
+}
+
+TEST_F(NetFixture, TlsInspectRejects) {
+  sim::Rng rng(8);
+  auto server_rng = std::make_shared<sim::Rng>(rng.fork("s"));
+  net.listen(b, "https", [&, server_rng](Pipe pipe) {
+    tls_accept(std::move(pipe), *server_rng,
+               [](TlsSession, const ClientHello&) { FAIL(); },
+               [](const ClientHello& hello) { return hello.sni == "allowed"; });
+  });
+  std::string error;
+  auto client_rng = std::make_shared<sim::Rng>(rng.fork("c"));
+  net.connect(a, b, "https", [&, client_rng](Pipe pipe) {
+    ClientHelloParams params;
+    params.sni = "forbidden";
+    tls_connect(std::move(pipe), params, *client_rng,
+                [](TlsSession) { FAIL(); },
+                [&](std::string e) { error = e; });
+  });
+  loop.run();
+  EXPECT_NE(error.find("rejected"), std::string::npos);
+}
+
+TEST_F(NetFixture, TlsCarriesLargeMessages) {
+  // Messages far beyond one 16 KiB record must survive chunking (the meek
+  // 64 KiB response bug this guards against).
+  sim::Rng rng(9);
+  auto server_rng = std::make_shared<sim::Rng>(rng.fork("s"));
+  std::size_t got = 0;
+  int messages = 0;
+  net.listen(b, "https", [&, server_rng](Pipe pipe) {
+    tls_accept(std::move(pipe), *server_rng,
+               [&](TlsSession session, const ClientHello&) {
+                 auto shared = std::make_shared<TlsSession>(std::move(session));
+                 shared->on_receive([&](Bytes data) {
+                   got += data.size();
+                   ++messages;
+                 });
+               });
+  });
+  auto client_rng = std::make_shared<sim::Rng>(rng.fork("c"));
+  net.connect(a, b, "https", [&, client_rng](Pipe pipe) {
+    tls_connect(std::move(pipe), {}, *client_rng, [](TlsSession session) {
+      auto shared = std::make_shared<TlsSession>(std::move(session));
+      shared->send(Bytes(100 * 1024, 0x5a));
+      shared->send(Bytes(3, 1));
+    });
+  });
+  loop.run();
+  EXPECT_EQ(got, 100u * 1024 + 3);
+  EXPECT_EQ(messages, 2);  // boundaries preserved
+}
+
+TEST(Channel, SpliceForwardsBothWays) {
+  sim::EventLoop loop;
+  Network net(loop, sim::Rng(10));
+  HostId h1 = net.add_host("h1", Region::kLondon);
+  HostId h2 = net.add_host("h2", Region::kFrankfurt);
+  HostId h3 = net.add_host("h3", Region::kNewYork);
+
+  // h1 <-> h2 and h2 <-> h3, spliced at h2.
+  ChannelPtr left_server, right_client;
+  net.listen(h2, "left", [&](Pipe pipe) { left_server = wrap_pipe(std::move(pipe)); });
+  net.listen(h3, "right", [&](Pipe pipe) {
+    auto ch = wrap_pipe(std::move(pipe));
+    ch->set_receiver([ch](Bytes data) {
+      data.push_back('X');
+      ch->send(std::move(data));
+    });
+    static ChannelPtr keeper;
+    keeper = ch;
+  });
+
+  std::string reply;
+  ChannelPtr left_client;
+  net.connect(h1, h2, "left",
+              [&](Pipe pipe) { left_client = wrap_pipe(std::move(pipe)); });
+  loop.run();
+  net.connect(h2, h3, "right",
+              [&](Pipe pipe) { right_client = wrap_pipe(std::move(pipe)); });
+  loop.run();
+  ASSERT_TRUE(left_server && right_client && left_client);
+  splice(left_server, right_client);
+  left_client->set_receiver([&](Bytes data) { reply = to_string(data); });
+  left_client->send(to_bytes("abc"));
+  loop.run();
+  EXPECT_EQ(reply, "abcX");
+}
+
+// ------------------------------------------------------------- codecs --
+
+TEST(Dns, MessageRoundTrip) {
+  dns::Message m;
+  m.id = 0x1234;
+  dns::Question q;
+  q.name = "data123.t.example.com";
+  q.type = dns::Type::kTxt;
+  m.questions.push_back(q);
+  dns::Record a;
+  a.name = q.name;
+  a.type = dns::Type::kTxt;
+  a.ttl = 60;
+  a.rdata = dns::txt_rdata(to_bytes("payload"));
+  m.answers.push_back(a);
+  m.is_response = true;
+
+  auto back = dns::decode(dns::encode(m));
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->id, 0x1234);
+  EXPECT_TRUE(back->is_response);
+  ASSERT_EQ(back->questions.size(), 1u);
+  EXPECT_EQ(back->questions[0].name, q.name);
+  ASSERT_EQ(back->answers.size(), 1u);
+  EXPECT_EQ(back->answers[0].name, q.name);
+  EXPECT_EQ(dns::txt_payload(back->answers[0].rdata).value(),
+            to_bytes("payload"));
+}
+
+TEST(Dns, CompressionPointerShrinksAnswer) {
+  dns::Message with, without;
+  dns::Question q;
+  q.name = std::string(60, 'a') + ".t.example.com";
+  with.questions.push_back(q);
+  without.questions.push_back(q);
+  dns::Record rec;
+  rec.name = q.name;
+  rec.rdata = dns::txt_rdata(to_bytes("x"));
+  with.answers.push_back(rec);
+  dns::Record other = rec;
+  other.name = "different.example.com";  // cannot compress
+  without.answers.push_back(other);
+
+  // The pointer-compressed answer saves nearly the whole repeated name.
+  EXPECT_LT(dns::encode(with).size() + 40, dns::encode(without).size() + q.name.size());
+  auto back = dns::decode(dns::encode(with));
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->answers[0].name, q.name);
+}
+
+TEST(Dns, DataNameRoundTrip) {
+  for (std::size_t n : {0u, 1u, 10u, 50u, 100u, 140u}) {
+    Bytes data(n);
+    for (std::size_t i = 0; i < n; ++i) data[i] = static_cast<std::uint8_t>(i * 3);
+    std::string name = dns::encode_data_name(data, "t.example.com");
+    EXPECT_LE(name.size(), dns::kMaxNameLen);
+    auto back = dns::decode_data_name(name, "t.example.com");
+    ASSERT_TRUE(back) << n;
+    EXPECT_EQ(*back, data) << n;
+  }
+}
+
+TEST(Dns, MaxQueryDataFitsInName) {
+  std::size_t budget = dns::max_query_data("t.example.com");
+  EXPECT_GT(budget, 100u);
+  Bytes data(budget, 0xff);
+  std::string name = dns::encode_data_name(data, "t.example.com");
+  EXPECT_LE(name.size(), dns::kMaxNameLen);
+}
+
+TEST(Dns, RejectsWrongZone) {
+  EXPECT_FALSE(dns::decode_data_name("abc.other.com", "t.example.com"));
+}
+
+TEST(Dns, TxtChunking) {
+  Bytes big(600, 0x7);
+  Bytes rdata = dns::txt_rdata(big);
+  EXPECT_EQ(rdata.size(), 600u + 3);  // three length prefixes
+  EXPECT_EQ(dns::txt_payload(rdata).value(), big);
+}
+
+TEST(Socks, GreetingRoundTrip) {
+  socks::Greeting g;
+  auto back = socks::decode_greeting(socks::encode_greeting(g));
+  ASSERT_TRUE(back);
+  ASSERT_EQ(back->methods.size(), 1u);
+  EXPECT_EQ(back->methods[0], socks::kMethodNoAuth);
+}
+
+TEST(Socks, ConnectRoundTrip) {
+  socks::ConnectRequest req;
+  req.host = "site0001.tranco";
+  req.port = 8080;
+  auto back = socks::decode_connect(socks::encode_connect(req));
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->host, req.host);
+  EXPECT_EQ(back->port, req.port);
+}
+
+TEST(Socks, ReplyRoundTrip) {
+  socks::ConnectReply rep;
+  rep.reply = socks::Reply::kHostUnreachable;
+  rep.bound_host = "x";
+  rep.bound_port = 1;
+  auto back = socks::decode_reply(socks::encode_reply(rep));
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->reply, socks::Reply::kHostUnreachable);
+}
+
+TEST(Socks, RejectsGarbage) {
+  EXPECT_FALSE(socks::decode_greeting(to_bytes("x")));
+  EXPECT_FALSE(socks::decode_connect(to_bytes("\x04garbage")));
+  EXPECT_FALSE(socks::decode_reply({}));
+}
+
+TEST(Http, RequestRoundTrip) {
+  http::Request req;
+  req.method = "POST";
+  req.target = "/poll";
+  req.host = "front.example";
+  req.headers["x-session-id"] = "42";
+  req.body = to_bytes("body-bytes");
+  auto back = http::decode_request(http::encode_request(req));
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->method, "POST");
+  EXPECT_EQ(back->target, "/poll");
+  EXPECT_EQ(back->host, "front.example");
+  EXPECT_EQ(back->headers.at("x-session-id"), "42");
+  EXPECT_EQ(to_string(back->body), "body-bytes");
+}
+
+TEST(Http, ResponseRoundTrip) {
+  http::Response resp;
+  resp.status = 404;
+  resp.reason = "Not Found";
+  resp.body = to_bytes("nope");
+  auto back = http::decode_response(http::encode_response(resp));
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->status, 404);
+  EXPECT_EQ(back->reason, "Not Found");
+  EXPECT_EQ(to_string(back->body), "nope");
+}
+
+TEST(Http, BinaryBodySurvives) {
+  http::Response resp;
+  resp.body.resize(1000);
+  for (std::size_t i = 0; i < resp.body.size(); ++i)
+    resp.body[i] = static_cast<std::uint8_t>(i);
+  auto back = http::decode_response(http::encode_response(resp));
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->body, resp.body);
+}
+
+TEST(Http, RejectsPartialHead) {
+  EXPECT_FALSE(http::decode_request(to_bytes("GET / HTTP/1.1\r\nHost: x")));
+  EXPECT_FALSE(http::decode_response(to_bytes("HTTP/1.1 200")));
+}
+
+}  // namespace
+}  // namespace ptperf::net

@@ -1,0 +1,219 @@
+// Statistics library tests: descriptive values, quantiles/box stats, ECDF
+// properties, and the Student-t machinery checked against known values
+// (matching scipy.stats.ttest_rel and standard t tables).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.h"
+#include "stats/descriptive.h"
+#include "stats/table.h"
+#include "stats/ttest.h"
+
+namespace ptperf::stats {
+namespace {
+
+TEST(Descriptive, MeanVarianceStddev) {
+  std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(variance(xs), 4.571428571, 1e-9);  // sample variance
+  EXPECT_NEAR(stddev(xs), std::sqrt(4.571428571), 1e-9);
+  EXPECT_EQ(mean({}), 0.0);
+  EXPECT_EQ(variance({1.0}), 0.0);
+}
+
+TEST(Descriptive, QuantileInterpolation) {
+  std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(median({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(median({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+}
+
+TEST(Descriptive, BoxStats) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  xs.push_back(1000);  // outlier
+  BoxStats b = box_stats(xs);
+  EXPECT_EQ(b.n, 101u);
+  EXPECT_NEAR(b.median, 51.0, 0.01);
+  EXPECT_EQ(b.max, 1000.0);
+  EXPECT_EQ(b.outliers, 1u);
+  EXPECT_LT(b.whisker_high, 1000.0);
+  EXPECT_GE(b.q3, b.q1);
+}
+
+TEST(Ecdf, MonotoneAndBounded) {
+  sim::Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.lognormal(1.0, 0.5));
+  Ecdf e(xs);
+  double prev = 0;
+  for (double x = 0; x < 20; x += 0.25) {
+    double v = e(x);
+    EXPECT_GE(v, prev);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    prev = v;
+  }
+  EXPECT_EQ(e(1e12), 1.0);
+  EXPECT_EQ(e(-1e12), 0.0);
+}
+
+TEST(Ecdf, InverseRoundTrip) {
+  std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  Ecdf e(xs);
+  EXPECT_EQ(e.inverse(0.5), 5.0);
+  EXPECT_EQ(e.inverse(1.0), 10.0);
+  EXPECT_EQ(e.inverse(0.0), 1.0);
+  // inverse(p) is the smallest x with CDF >= p.
+  for (double p : {0.1, 0.35, 0.72, 0.99}) {
+    EXPECT_GE(e(e.inverse(p)), p - 1e-12);
+  }
+}
+
+TEST(WelfordAcc, MatchesBatch) {
+  sim::Rng rng(4);
+  std::vector<double> xs;
+  Welford w;
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.normal(3, 2);
+    xs.push_back(x);
+    w.add(x);
+  }
+  EXPECT_NEAR(w.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(w.variance(), variance(xs), 1e-6);
+}
+
+TEST(SpecialFunctions, LgammaKnownValues) {
+  EXPECT_NEAR(lgamma_approx(1.0), 0.0, 1e-10);
+  EXPECT_NEAR(lgamma_approx(2.0), 0.0, 1e-10);
+  EXPECT_NEAR(lgamma_approx(5.0), std::log(24.0), 1e-9);
+  EXPECT_NEAR(lgamma_approx(0.5), std::log(std::sqrt(M_PI)), 1e-9);
+}
+
+TEST(SpecialFunctions, IncompleteBetaIdentities) {
+  // I_x(1,1) = x.
+  for (double x : {0.1, 0.35, 0.5, 0.9}) {
+    EXPECT_NEAR(incomplete_beta(1, 1, x), x, 1e-10);
+  }
+  // I_0.5(a,a) = 0.5 by symmetry.
+  for (double a : {0.5, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(incomplete_beta(a, a, 0.5), 0.5, 1e-9);
+  }
+  EXPECT_EQ(incomplete_beta(2, 3, 0.0), 0.0);
+  EXPECT_EQ(incomplete_beta(2, 3, 1.0), 1.0);
+  // I_x(a,b) = 1 - I_{1-x}(b,a).
+  EXPECT_NEAR(incomplete_beta(2.5, 4.0, 0.3),
+              1.0 - incomplete_beta(4.0, 2.5, 0.7), 1e-10);
+}
+
+TEST(StudentT, CdfKnownValues) {
+  EXPECT_NEAR(student_t_cdf(0, 5), 0.5, 1e-10);
+  // Standard t table: P(T <= 2.228 | df=10) = 0.975.
+  EXPECT_NEAR(student_t_cdf(2.228, 10), 0.975, 5e-4);
+  // df=1 (Cauchy): P(T <= 1) = 0.75.
+  EXPECT_NEAR(student_t_cdf(1.0, 1), 0.75, 1e-6);
+  // Symmetry.
+  EXPECT_NEAR(student_t_cdf(-1.7, 7) + student_t_cdf(1.7, 7), 1.0, 1e-10);
+}
+
+TEST(StudentT, CriticalValues) {
+  // Classic two-sided 95% critical values.
+  EXPECT_NEAR(student_t_critical(4, 0.95), 2.776, 2e-3);
+  EXPECT_NEAR(student_t_critical(10, 0.95), 2.228, 2e-3);
+  EXPECT_NEAR(student_t_critical(1000, 0.95), 1.962, 2e-3);
+}
+
+TEST(PairedT, KnownExample) {
+  // d = {1,2,3,4,5}: mean 3, sd sqrt(2.5), t = 4.2426, df = 4,
+  // p = 0.01324, CI = 3 +- 2.776 * 0.7071.
+  std::vector<double> x{11, 22, 33, 44, 55};
+  std::vector<double> y{10, 20, 30, 40, 50};
+  PairedTTest r = paired_t_test(x, y);
+  EXPECT_EQ(r.n, 5u);
+  EXPECT_NEAR(r.mean_diff, 3.0, 1e-12);
+  EXPECT_NEAR(r.t, 4.2426, 1e-3);
+  EXPECT_NEAR(r.p_two_sided, 0.0132, 5e-4);
+  EXPECT_NEAR(r.ci_low, 1.0367, 5e-3);
+  EXPECT_NEAR(r.ci_high, 4.9633, 5e-3);
+  EXPECT_TRUE(r.significant());
+}
+
+TEST(PairedT, AntisymmetricInArguments) {
+  sim::Rng rng(5);
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(rng.normal(4, 1));
+    y.push_back(rng.normal(5, 1));
+  }
+  PairedTTest ab = paired_t_test(x, y);
+  PairedTTest ba = paired_t_test(y, x);
+  EXPECT_NEAR(ab.t, -ba.t, 1e-9);
+  EXPECT_NEAR(ab.mean_diff, -ba.mean_diff, 1e-12);
+  EXPECT_NEAR(ab.p_two_sided, ba.p_two_sided, 1e-9);
+  EXPECT_NEAR(ab.ci_low, -ba.ci_high, 1e-9);
+}
+
+TEST(PairedT, ScaleInvarianceOfTAndP) {
+  std::vector<double> x{1.2, 3.4, 2.2, 4.4, 3.1, 5.0};
+  std::vector<double> y{1.0, 3.0, 2.5, 4.0, 2.9, 4.6};
+  PairedTTest base = paired_t_test(x, y);
+  std::vector<double> xs = x, ys = y;
+  for (auto& v : xs) v *= 1000;
+  for (auto& v : ys) v *= 1000;
+  PairedTTest scaled_r = paired_t_test(xs, ys);
+  EXPECT_NEAR(base.t, scaled_r.t, 1e-9);
+  EXPECT_NEAR(base.p_two_sided, scaled_r.p_two_sided, 1e-9);
+}
+
+TEST(PairedT, IdenticalSamplesNotSignificant) {
+  std::vector<double> x{1, 2, 3, 4};
+  PairedTTest r = paired_t_test(x, x);
+  EXPECT_EQ(r.mean_diff, 0.0);
+  EXPECT_FALSE(r.significant());
+}
+
+TEST(PairedT, RejectsBadInput) {
+  EXPECT_THROW(paired_t_test({1.0}, {2.0}), std::invalid_argument);
+  EXPECT_THROW(paired_t_test({1.0, 2.0}, {1.0}), std::invalid_argument);
+}
+
+TEST(PairedT, LargeSampleDetectsSmallShift) {
+  sim::Rng rng(6);
+  std::vector<double> x, y;
+  for (int i = 0; i < 2000; ++i) {
+    double base = rng.normal(10, 2);
+    x.push_back(base + 0.3);  // paired shift of 0.3
+    y.push_back(base + rng.normal(0, 0.5));
+  }
+  PairedTTest r = paired_t_test(x, y);
+  EXPECT_TRUE(r.significant());
+  EXPECT_NEAR(r.mean_diff, 0.3, 0.05);
+}
+
+TEST(TableFmt, TextAndCsv) {
+  Table t({"a", "b"});
+  t.add_row({"x", "1"});
+  t.add_row({"with,comma", "quote\"inside"});
+  std::string text = t.to_text();
+  EXPECT_NE(text.find("a"), std::string::npos);
+  EXPECT_NE(text.find("with,comma"), std::string::npos);
+  std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(FormatTTest, PaperStyle) {
+  std::vector<double> x{11, 22, 33, 44, 55};
+  std::vector<double> y{10, 20, 30, 40, 50};
+  std::string s = format_t_test(paired_t_test(x, y));
+  EXPECT_NE(s.find("t=4.24"), std::string::npos);
+  EXPECT_NE(s.find("95% CI"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ptperf::stats

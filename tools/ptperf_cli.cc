@@ -1,0 +1,289 @@
+// ptperf — the command-line front end to the measurement harness.
+//
+//   ptperf campaign  [--pt obfs4|all] [--sites N] [--reps R] [--selenium]
+//   ptperf files     [--pt obfs4] [--sizes 5,10,50] [--reps R]
+//   ptperf stream    [--pt obfs4] [--kbps 256] [--seconds 60]
+//   ptperf ting      [--x A --y B]
+//   ptperf inventory
+//
+// Global options: --seed N, --client BLR|LON|TORO, --wireless.
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include "pt/inventory.h"
+#include "ptperf/campaign.h"
+#include "stats/descriptive.h"
+#include "stats/table.h"
+#include "tor/ting.h"
+#include "util/strings.h"
+#include "workload/streaming.h"
+
+namespace ptperf {
+namespace {
+
+struct CliArgs {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  bool has(const std::string& key) const { return options.count(key) > 0; }
+  std::string get(const std::string& key, const std::string& fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  long num(const std::string& key, long fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback
+                               : std::strtol(it->second.c_str(), nullptr, 10);
+  }
+};
+
+CliArgs parse(int argc, char** argv) {
+  CliArgs args;
+  if (argc > 1) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) != 0) continue;
+    std::string key = a.substr(2);
+    std::string value = "1";
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      value = argv[++i];
+    }
+    args.options[key] = value;
+  }
+  return args;
+}
+
+net::Region client_region(const CliArgs& args) {
+  std::string c = util::to_lower(args.get("client", "lon"));
+  if (c == "blr" || c == "bangalore") return net::Region::kBangalore;
+  if (c == "toro" || c == "toronto") return net::Region::kToronto;
+  return net::Region::kLondon;
+}
+
+Scenario make_scenario(const CliArgs& args, std::size_t sites) {
+  ScenarioConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  cfg.client_region = client_region(args);
+  cfg.wireless_client = args.has("wireless");
+  cfg.tranco_sites = sites;
+  cfg.cbl_sites = 0;
+  return Scenario(cfg);
+}
+
+std::optional<PtId> pt_by_name(const std::string& name) {
+  for (PtId id : all_pt_ids()) {
+    if (pt_id_name(id) == name) return id;
+  }
+  return std::nullopt;
+}
+
+int cmd_campaign(const CliArgs& args) {
+  auto sites_n = static_cast<std::size_t>(args.num("sites", 10));
+  Scenario scenario = make_scenario(args, sites_n);
+  TransportFactory factory(scenario);
+  CampaignOptions copts;
+  copts.website_reps = static_cast<int>(args.num("reps", 3));
+  Campaign campaign(scenario, copts);
+  auto sites = Campaign::take_sites(scenario.tranco(), sites_n);
+  bool selenium = args.has("selenium");
+
+  stats::Table t({"pt", "n", "mean_s", "median_s", "p90_s", "failures"});
+  auto measure = [&](PtStack stack) {
+    std::vector<double> times;
+    std::size_t total = 0;
+    if (selenium) {
+      auto samples = campaign.run_website_selenium(stack, sites);
+      if (samples.empty()) {
+        std::printf("%-12s excluded (no parallel streams)\n",
+                    stack.name().c_str());
+        return;
+      }
+      total = samples.size();
+      times = load_seconds(samples);
+    } else {
+      auto samples = campaign.run_website_curl(stack, sites);
+      total = samples.size();
+      times = elapsed_seconds(samples);
+    }
+    t.add_row({stack.name(), std::to_string(times.size()),
+               util::fmt_double(stats::mean(times), 2),
+               times.empty() ? "-" : util::fmt_double(stats::median(times), 2),
+               times.empty() ? "-" : util::fmt_double(stats::quantile(times, 0.9), 2),
+               std::to_string(total - times.size())});
+    std::printf("  %s done\n", stack.name().c_str());
+    std::fflush(stdout);
+  };
+
+  std::string which = args.get("pt", "all");
+  if (which == "all") {
+    measure(factory.create_vanilla());
+    for (PtId id : all_pt_ids()) measure(factory.create(id));
+  } else if (which == "tor") {
+    measure(factory.create_vanilla());
+  } else {
+    auto id = pt_by_name(which);
+    if (!id) {
+      std::fprintf(stderr, "unknown transport: %s\n", which.c_str());
+      return 2;
+    }
+    measure(factory.create_vanilla());
+    measure(factory.create(*id));
+  }
+  std::printf("\n%s", t.to_text().c_str());
+  return 0;
+}
+
+int cmd_files(const CliArgs& args) {
+  Scenario scenario = make_scenario(args, 2);
+  TransportFactory factory(scenario);
+  CampaignOptions copts;
+  copts.file_reps = static_cast<int>(args.num("reps", 3));
+  Campaign campaign(scenario, copts);
+
+  std::vector<std::size_t> sizes;
+  for (const std::string& s : util::split(args.get("sizes", "5,10"), ',')) {
+    long mb = std::strtol(s.c_str(), nullptr, 10);
+    if (mb > 0) sizes.push_back(static_cast<std::size_t>(mb) << 20);
+  }
+  if (sizes.empty()) {
+    std::fprintf(stderr, "no valid --sizes\n");
+    return 2;
+  }
+
+  auto run_one = [&](PtStack stack) {
+    if (stack.snowflake) stack.snowflake->set_overloaded(args.has("overload"));
+    auto samples = campaign.run_file_downloads(stack, sizes);
+    stats::Table t({"size", "rep", "outcome", "time_s", "fraction"});
+    for (const FileSample& s : samples) {
+      t.add_row({std::to_string(s.size_bytes >> 20) + "MB",
+                 std::to_string(s.rep),
+                 std::string(outcome_name(classify(s.result))),
+                 s.result.success ? util::fmt_double(s.result.elapsed(), 1)
+                                  : "-",
+                 util::fmt_double(s.result.fraction(), 2)});
+    }
+    std::printf("== %s ==\n%s\n", stack.name().c_str(), t.to_text().c_str());
+  };
+
+  std::string which = args.get("pt", "obfs4");
+  if (which == "tor") {
+    run_one(factory.create_vanilla());
+  } else {
+    auto id = pt_by_name(which);
+    if (!id) {
+      std::fprintf(stderr, "unknown transport: %s\n", which.c_str());
+      return 2;
+    }
+    run_one(factory.create(*id));
+  }
+  return 0;
+}
+
+int cmd_stream(const CliArgs& args) {
+  Scenario scenario = make_scenario(args, 2);
+  TransportFactory factory(scenario);
+
+  workload::StreamingSpec spec;
+  spec.bitrate_kbps = static_cast<double>(args.num("kbps", 256));
+  spec.duration = sim::from_seconds(static_cast<double>(args.num("seconds", 60)));
+
+  PtStack stack = [&] {
+    std::string which = args.get("pt", "obfs4");
+    if (which == "tor") return factory.create_vanilla();
+    auto id = pt_by_name(which);
+    if (!id) {
+      std::fprintf(stderr, "unknown transport: %s; using obfs4\n",
+                   which.c_str());
+      return factory.create(PtId::kObfs4);
+    }
+    return factory.create(*id);
+  }();
+
+  bool done = false;
+  workload::StreamingClient sc(scenario.loop(), stack.dialer);
+  sc.play(spec, sim::from_seconds(sim::to_seconds(spec.duration) * 5 + 120),
+          [&](workload::StreamingResult r) {
+            std::printf(
+                "%s: started=%d completed=%d startup=%.2fs rebuffers=%d "
+                "stall=%.1f%% goodput=%.0fkbps%s%s\n",
+                stack.name().c_str(), r.started, r.completed,
+                r.startup_delay_s, r.rebuffer_events,
+                100 * r.stall_ratio(spec), r.goodput_kbps,
+                r.error.empty() ? "" : " error=", r.error.c_str());
+            done = true;
+          });
+  scenario.loop().run_until_done([&] { return done; });
+  return 0;
+}
+
+int cmd_ting(const CliArgs& args) {
+  Scenario scenario = make_scenario(args, 1);
+  net::HostId echo = scenario.add_infra_host("echo", client_region(args), 1000, 0);
+  tor::start_echo_server(scenario.network(), echo);
+  scenario.add_exit_alias("ting.echo", echo);
+  auto client = scenario.make_tor_client(scenario.client_host());
+
+  auto x = static_cast<tor::RelayIndex>(args.num("x", 2));
+  auto y = static_cast<tor::RelayIndex>(args.num("y", 9));
+  bool done = false;
+  tor::ting_measure(client, "ting.echo:80", x, y, {},
+                    [&](tor::TingResult r) {
+                      if (r.ok) {
+                        std::printf(
+                            "link %u<->%u: %.1f ms (rtt_x %.0f ms, rtt_y "
+                            "%.0f ms, rtt_xy %.0f ms)\n",
+                            x, y, r.link_latency_s * 1000, r.rtt_x_s * 1000,
+                            r.rtt_y_s * 1000, r.rtt_xy_s * 1000);
+                      } else {
+                        std::printf("ting failed: %s\n", r.error.c_str());
+                      }
+                      done = true;
+                    });
+  scenario.loop().run_until_done([&] { return done; });
+
+  tor::TingTargetView pt_view{true, false, "any pluggable transport"};
+  std::printf("note: %s\n", tor::ting_pt_limitation(pt_view)->c_str());
+  return 0;
+}
+
+int cmd_inventory(const CliArgs&) {
+  stats::Table t({"name", "functional", "evaluated", "technology"});
+  for (const pt::PtInventoryEntry& e : pt::pt_inventory()) {
+    t.add_row({e.name, e.functional ? "yes" : "no",
+               e.performance_evaluated ? "yes" : "no", e.technology});
+  }
+  std::printf("%s", t.to_text().c_str());
+  pt::InventorySummary s = pt::summarize_inventory();
+  std::printf("\n%zu systems, %zu evaluated, %zu functional\n", s.total,
+              s.evaluated, s.functional);
+  return 0;
+}
+
+int usage() {
+  std::printf(
+      "ptperf — Tor pluggable-transport performance harness (simulated)\n\n"
+      "  ptperf campaign  [--pt NAME|all|tor] [--sites N] [--reps R]\n"
+      "                   [--selenium] [--client BLR|LON|TORO] [--wireless]\n"
+      "  ptperf files     [--pt NAME] [--sizes 5,10,50] [--reps R] [--overload]\n"
+      "  ptperf stream    [--pt NAME] [--kbps K] [--seconds S]\n"
+      "  ptperf ting      [--x RELAY --y RELAY]\n"
+      "  ptperf inventory\n\n"
+      "global: --seed N\n");
+  return 1;
+}
+
+int dispatch(int argc, char** argv) {
+  CliArgs args = parse(argc, argv);
+  if (args.command == "campaign") return cmd_campaign(args);
+  if (args.command == "files") return cmd_files(args);
+  if (args.command == "stream") return cmd_stream(args);
+  if (args.command == "ting") return cmd_ting(args);
+  if (args.command == "inventory") return cmd_inventory(args);
+  return usage();
+}
+
+}  // namespace
+}  // namespace ptperf
+
+int main(int argc, char** argv) { return ptperf::dispatch(argc, argv); }

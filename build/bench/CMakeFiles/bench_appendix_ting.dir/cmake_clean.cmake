@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_ting.dir/appendix_ting.cc.o"
+  "CMakeFiles/bench_appendix_ting.dir/appendix_ting.cc.o.d"
+  "bench_appendix_ting"
+  "bench_appendix_ting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_ting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_snowflake_load.dir/fig10_snowflake_load.cc.o"
+  "CMakeFiles/bench_fig10_snowflake_load.dir/fig10_snowflake_load.cc.o.d"
+  "bench_fig10_snowflake_load"
+  "bench_fig10_snowflake_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_snowflake_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_speed_index.dir/fig11_speed_index.cc.o"
+  "CMakeFiles/bench_fig11_speed_index.dir/fig11_speed_index.cc.o.d"
+  "bench_fig11_speed_index"
+  "bench_fig11_speed_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_speed_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

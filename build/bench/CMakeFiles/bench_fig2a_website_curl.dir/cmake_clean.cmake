@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2a_website_curl.dir/fig2a_website_curl.cc.o"
+  "CMakeFiles/bench_fig2a_website_curl.dir/fig2a_website_curl.cc.o.d"
+  "bench_fig2a_website_curl"
+  "bench_fig2a_website_curl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2a_website_curl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2b_website_selenium.dir/fig2b_website_selenium.cc.o"
+  "CMakeFiles/bench_fig2b_website_selenium.dir/fig2b_website_selenium.cc.o.d"
+  "bench_fig2b_website_selenium"
+  "bench_fig2b_website_selenium.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2b_website_selenium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

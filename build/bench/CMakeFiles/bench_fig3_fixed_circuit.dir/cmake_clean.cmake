@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_fixed_circuit.dir/fig3_fixed_circuit.cc.o"
+  "CMakeFiles/bench_fig3_fixed_circuit.dir/fig3_fixed_circuit.cc.o.d"
+  "bench_fig3_fixed_circuit"
+  "bench_fig3_fixed_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_fixed_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_fixed_guard.dir/fig4_fixed_guard.cc.o"
+  "CMakeFiles/bench_fig4_fixed_guard.dir/fig4_fixed_guard.cc.o.d"
+  "bench_fig4_fixed_guard"
+  "bench_fig4_fixed_guard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_fixed_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_file_download.dir/fig5_file_download.cc.o"
+  "CMakeFiles/bench_fig5_file_download.dir/fig5_file_download.cc.o.d"
+  "bench_fig5_file_download"
+  "bench_fig5_file_download.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_file_download.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

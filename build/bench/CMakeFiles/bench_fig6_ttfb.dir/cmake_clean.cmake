@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_ttfb.dir/fig6_ttfb.cc.o"
+  "CMakeFiles/bench_fig6_ttfb.dir/fig6_ttfb.cc.o.d"
+  "bench_fig6_ttfb"
+  "bench_fig6_ttfb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_ttfb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_location.dir/fig7_location.cc.o"
+  "CMakeFiles/bench_fig7_location.dir/fig7_location.cc.o.d"
+  "bench_fig7_location"
+  "bench_fig7_location.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_location.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

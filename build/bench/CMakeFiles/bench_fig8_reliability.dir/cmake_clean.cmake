@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_reliability.dir/fig8_reliability.cc.o"
+  "CMakeFiles/bench_fig8_reliability.dir/fig8_reliability.cc.o.d"
+  "bench_fig8_reliability"
+  "bench_fig8_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

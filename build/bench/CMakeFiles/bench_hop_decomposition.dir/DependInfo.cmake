@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/hop_decomposition.cc" "bench/CMakeFiles/bench_hop_decomposition.dir/hop_decomposition.cc.o" "gcc" "bench/CMakeFiles/bench_hop_decomposition.dir/hop_decomposition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ptperf_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptperf/CMakeFiles/ptperf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ptperf_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/pt/CMakeFiles/ptperf_pt.dir/DependInfo.cmake"
+  "/root/repo/build/src/tor/CMakeFiles/ptperf_tor.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ptperf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ptperf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ptperf_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ptperf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ptperf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hop_decomposition.dir/hop_decomposition.cc.o"
+  "CMakeFiles/bench_hop_decomposition.dir/hop_decomposition.cc.o.d"
+  "bench_hop_decomposition"
+  "bench_hop_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hop_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_medium_change.dir/medium_change.cc.o"
+  "CMakeFiles/bench_medium_change.dir/medium_change.cc.o.d"
+  "bench_medium_change"
+  "bench_medium_change.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_medium_change.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_categories.dir/table10_categories.cc.o"
+  "CMakeFiles/bench_table10_categories.dir/table10_categories.cc.o.d"
+  "bench_table10_categories"
+  "bench_table10_categories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptperf_bench_common.dir/common.cc.o"
+  "CMakeFiles/ptperf_bench_common.dir/common.cc.o.d"
+  "libptperf_bench_common.a"
+  "libptperf_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptperf_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libptperf_bench_common.a"
+)

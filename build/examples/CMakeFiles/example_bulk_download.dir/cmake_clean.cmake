@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_bulk_download.dir/bulk_download.cpp.o"
+  "CMakeFiles/example_bulk_download.dir/bulk_download.cpp.o.d"
+  "example_bulk_download"
+  "example_bulk_download.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_bulk_download.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_censored_browsing.dir/censored_browsing.cpp.o"
+  "CMakeFiles/example_censored_browsing.dir/censored_browsing.cpp.o.d"
+  "example_censored_browsing"
+  "example_censored_browsing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_censored_browsing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_transport.dir/custom_transport.cpp.o"
+  "CMakeFiles/example_custom_transport.dir/custom_transport.cpp.o.d"
+  "example_custom_transport"
+  "example_custom_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

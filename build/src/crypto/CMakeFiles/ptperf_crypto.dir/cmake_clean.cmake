@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptperf_crypto.dir/aead.cc.o"
+  "CMakeFiles/ptperf_crypto.dir/aead.cc.o.d"
+  "CMakeFiles/ptperf_crypto.dir/chacha20.cc.o"
+  "CMakeFiles/ptperf_crypto.dir/chacha20.cc.o.d"
+  "CMakeFiles/ptperf_crypto.dir/hmac.cc.o"
+  "CMakeFiles/ptperf_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/ptperf_crypto.dir/poly1305.cc.o"
+  "CMakeFiles/ptperf_crypto.dir/poly1305.cc.o.d"
+  "CMakeFiles/ptperf_crypto.dir/sha256.cc.o"
+  "CMakeFiles/ptperf_crypto.dir/sha256.cc.o.d"
+  "CMakeFiles/ptperf_crypto.dir/x25519.cc.o"
+  "CMakeFiles/ptperf_crypto.dir/x25519.cc.o.d"
+  "libptperf_crypto.a"
+  "libptperf_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptperf_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/channel.cc" "src/net/CMakeFiles/ptperf_net.dir/channel.cc.o" "gcc" "src/net/CMakeFiles/ptperf_net.dir/channel.cc.o.d"
+  "/root/repo/src/net/dns.cc" "src/net/CMakeFiles/ptperf_net.dir/dns.cc.o" "gcc" "src/net/CMakeFiles/ptperf_net.dir/dns.cc.o.d"
+  "/root/repo/src/net/http.cc" "src/net/CMakeFiles/ptperf_net.dir/http.cc.o" "gcc" "src/net/CMakeFiles/ptperf_net.dir/http.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/net/CMakeFiles/ptperf_net.dir/network.cc.o" "gcc" "src/net/CMakeFiles/ptperf_net.dir/network.cc.o.d"
+  "/root/repo/src/net/socks.cc" "src/net/CMakeFiles/ptperf_net.dir/socks.cc.o" "gcc" "src/net/CMakeFiles/ptperf_net.dir/socks.cc.o.d"
+  "/root/repo/src/net/tls.cc" "src/net/CMakeFiles/ptperf_net.dir/tls.cc.o" "gcc" "src/net/CMakeFiles/ptperf_net.dir/tls.cc.o.d"
+  "/root/repo/src/net/topology.cc" "src/net/CMakeFiles/ptperf_net.dir/topology.cc.o" "gcc" "src/net/CMakeFiles/ptperf_net.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ptperf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ptperf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ptperf_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptperf_net.dir/channel.cc.o"
+  "CMakeFiles/ptperf_net.dir/channel.cc.o.d"
+  "CMakeFiles/ptperf_net.dir/dns.cc.o"
+  "CMakeFiles/ptperf_net.dir/dns.cc.o.d"
+  "CMakeFiles/ptperf_net.dir/http.cc.o"
+  "CMakeFiles/ptperf_net.dir/http.cc.o.d"
+  "CMakeFiles/ptperf_net.dir/network.cc.o"
+  "CMakeFiles/ptperf_net.dir/network.cc.o.d"
+  "CMakeFiles/ptperf_net.dir/socks.cc.o"
+  "CMakeFiles/ptperf_net.dir/socks.cc.o.d"
+  "CMakeFiles/ptperf_net.dir/tls.cc.o"
+  "CMakeFiles/ptperf_net.dir/tls.cc.o.d"
+  "CMakeFiles/ptperf_net.dir/topology.cc.o"
+  "CMakeFiles/ptperf_net.dir/topology.cc.o.d"
+  "libptperf_net.a"
+  "libptperf_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptperf_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pt/camoufler.cc" "src/pt/CMakeFiles/ptperf_pt.dir/camoufler.cc.o" "gcc" "src/pt/CMakeFiles/ptperf_pt.dir/camoufler.cc.o.d"
+  "/root/repo/src/pt/crypto_channel.cc" "src/pt/CMakeFiles/ptperf_pt.dir/crypto_channel.cc.o" "gcc" "src/pt/CMakeFiles/ptperf_pt.dir/crypto_channel.cc.o.d"
+  "/root/repo/src/pt/dnstt.cc" "src/pt/CMakeFiles/ptperf_pt.dir/dnstt.cc.o" "gcc" "src/pt/CMakeFiles/ptperf_pt.dir/dnstt.cc.o.d"
+  "/root/repo/src/pt/fully_encrypted.cc" "src/pt/CMakeFiles/ptperf_pt.dir/fully_encrypted.cc.o" "gcc" "src/pt/CMakeFiles/ptperf_pt.dir/fully_encrypted.cc.o.d"
+  "/root/repo/src/pt/inventory.cc" "src/pt/CMakeFiles/ptperf_pt.dir/inventory.cc.o" "gcc" "src/pt/CMakeFiles/ptperf_pt.dir/inventory.cc.o.d"
+  "/root/repo/src/pt/marionette.cc" "src/pt/CMakeFiles/ptperf_pt.dir/marionette.cc.o" "gcc" "src/pt/CMakeFiles/ptperf_pt.dir/marionette.cc.o.d"
+  "/root/repo/src/pt/massbrowser.cc" "src/pt/CMakeFiles/ptperf_pt.dir/massbrowser.cc.o" "gcc" "src/pt/CMakeFiles/ptperf_pt.dir/massbrowser.cc.o.d"
+  "/root/repo/src/pt/meek.cc" "src/pt/CMakeFiles/ptperf_pt.dir/meek.cc.o" "gcc" "src/pt/CMakeFiles/ptperf_pt.dir/meek.cc.o.d"
+  "/root/repo/src/pt/segmenting_channel.cc" "src/pt/CMakeFiles/ptperf_pt.dir/segmenting_channel.cc.o" "gcc" "src/pt/CMakeFiles/ptperf_pt.dir/segmenting_channel.cc.o.d"
+  "/root/repo/src/pt/snowflake.cc" "src/pt/CMakeFiles/ptperf_pt.dir/snowflake.cc.o" "gcc" "src/pt/CMakeFiles/ptperf_pt.dir/snowflake.cc.o.d"
+  "/root/repo/src/pt/stegotorus.cc" "src/pt/CMakeFiles/ptperf_pt.dir/stegotorus.cc.o" "gcc" "src/pt/CMakeFiles/ptperf_pt.dir/stegotorus.cc.o.d"
+  "/root/repo/src/pt/tls_family.cc" "src/pt/CMakeFiles/ptperf_pt.dir/tls_family.cc.o" "gcc" "src/pt/CMakeFiles/ptperf_pt.dir/tls_family.cc.o.d"
+  "/root/repo/src/pt/transport.cc" "src/pt/CMakeFiles/ptperf_pt.dir/transport.cc.o" "gcc" "src/pt/CMakeFiles/ptperf_pt.dir/transport.cc.o.d"
+  "/root/repo/src/pt/upstream.cc" "src/pt/CMakeFiles/ptperf_pt.dir/upstream.cc.o" "gcc" "src/pt/CMakeFiles/ptperf_pt.dir/upstream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tor/CMakeFiles/ptperf_tor.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ptperf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ptperf_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ptperf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ptperf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

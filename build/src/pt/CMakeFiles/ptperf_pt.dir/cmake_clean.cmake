@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptperf_pt.dir/camoufler.cc.o"
+  "CMakeFiles/ptperf_pt.dir/camoufler.cc.o.d"
+  "CMakeFiles/ptperf_pt.dir/crypto_channel.cc.o"
+  "CMakeFiles/ptperf_pt.dir/crypto_channel.cc.o.d"
+  "CMakeFiles/ptperf_pt.dir/dnstt.cc.o"
+  "CMakeFiles/ptperf_pt.dir/dnstt.cc.o.d"
+  "CMakeFiles/ptperf_pt.dir/fully_encrypted.cc.o"
+  "CMakeFiles/ptperf_pt.dir/fully_encrypted.cc.o.d"
+  "CMakeFiles/ptperf_pt.dir/inventory.cc.o"
+  "CMakeFiles/ptperf_pt.dir/inventory.cc.o.d"
+  "CMakeFiles/ptperf_pt.dir/marionette.cc.o"
+  "CMakeFiles/ptperf_pt.dir/marionette.cc.o.d"
+  "CMakeFiles/ptperf_pt.dir/massbrowser.cc.o"
+  "CMakeFiles/ptperf_pt.dir/massbrowser.cc.o.d"
+  "CMakeFiles/ptperf_pt.dir/meek.cc.o"
+  "CMakeFiles/ptperf_pt.dir/meek.cc.o.d"
+  "CMakeFiles/ptperf_pt.dir/segmenting_channel.cc.o"
+  "CMakeFiles/ptperf_pt.dir/segmenting_channel.cc.o.d"
+  "CMakeFiles/ptperf_pt.dir/snowflake.cc.o"
+  "CMakeFiles/ptperf_pt.dir/snowflake.cc.o.d"
+  "CMakeFiles/ptperf_pt.dir/stegotorus.cc.o"
+  "CMakeFiles/ptperf_pt.dir/stegotorus.cc.o.d"
+  "CMakeFiles/ptperf_pt.dir/tls_family.cc.o"
+  "CMakeFiles/ptperf_pt.dir/tls_family.cc.o.d"
+  "CMakeFiles/ptperf_pt.dir/transport.cc.o"
+  "CMakeFiles/ptperf_pt.dir/transport.cc.o.d"
+  "CMakeFiles/ptperf_pt.dir/upstream.cc.o"
+  "CMakeFiles/ptperf_pt.dir/upstream.cc.o.d"
+  "libptperf_pt.a"
+  "libptperf_pt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptperf_pt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

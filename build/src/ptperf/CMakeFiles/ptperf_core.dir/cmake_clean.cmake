@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptperf_core.dir/campaign.cc.o"
+  "CMakeFiles/ptperf_core.dir/campaign.cc.o.d"
+  "CMakeFiles/ptperf_core.dir/scenario.cc.o"
+  "CMakeFiles/ptperf_core.dir/scenario.cc.o.d"
+  "CMakeFiles/ptperf_core.dir/transports.cc.o"
+  "CMakeFiles/ptperf_core.dir/transports.cc.o.d"
+  "libptperf_core.a"
+  "libptperf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptperf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

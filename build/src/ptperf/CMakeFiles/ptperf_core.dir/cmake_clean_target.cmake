@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libptperf_core.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptperf_sim.dir/event_loop.cc.o"
+  "CMakeFiles/ptperf_sim.dir/event_loop.cc.o.d"
+  "CMakeFiles/ptperf_sim.dir/rng.cc.o"
+  "CMakeFiles/ptperf_sim.dir/rng.cc.o.d"
+  "CMakeFiles/ptperf_sim.dir/time.cc.o"
+  "CMakeFiles/ptperf_sim.dir/time.cc.o.d"
+  "libptperf_sim.a"
+  "libptperf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptperf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/descriptive.cc" "src/stats/CMakeFiles/ptperf_stats.dir/descriptive.cc.o" "gcc" "src/stats/CMakeFiles/ptperf_stats.dir/descriptive.cc.o.d"
+  "/root/repo/src/stats/table.cc" "src/stats/CMakeFiles/ptperf_stats.dir/table.cc.o" "gcc" "src/stats/CMakeFiles/ptperf_stats.dir/table.cc.o.d"
+  "/root/repo/src/stats/ttest.cc" "src/stats/CMakeFiles/ptperf_stats.dir/ttest.cc.o" "gcc" "src/stats/CMakeFiles/ptperf_stats.dir/ttest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ptperf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptperf_stats.dir/descriptive.cc.o"
+  "CMakeFiles/ptperf_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/ptperf_stats.dir/table.cc.o"
+  "CMakeFiles/ptperf_stats.dir/table.cc.o.d"
+  "CMakeFiles/ptperf_stats.dir/ttest.cc.o"
+  "CMakeFiles/ptperf_stats.dir/ttest.cc.o.d"
+  "libptperf_stats.a"
+  "libptperf_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptperf_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

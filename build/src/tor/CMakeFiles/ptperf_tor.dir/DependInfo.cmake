@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tor/cell.cc" "src/tor/CMakeFiles/ptperf_tor.dir/cell.cc.o" "gcc" "src/tor/CMakeFiles/ptperf_tor.dir/cell.cc.o.d"
+  "/root/repo/src/tor/client.cc" "src/tor/CMakeFiles/ptperf_tor.dir/client.cc.o" "gcc" "src/tor/CMakeFiles/ptperf_tor.dir/client.cc.o.d"
+  "/root/repo/src/tor/directory.cc" "src/tor/CMakeFiles/ptperf_tor.dir/directory.cc.o" "gcc" "src/tor/CMakeFiles/ptperf_tor.dir/directory.cc.o.d"
+  "/root/repo/src/tor/ntor.cc" "src/tor/CMakeFiles/ptperf_tor.dir/ntor.cc.o" "gcc" "src/tor/CMakeFiles/ptperf_tor.dir/ntor.cc.o.d"
+  "/root/repo/src/tor/onion.cc" "src/tor/CMakeFiles/ptperf_tor.dir/onion.cc.o" "gcc" "src/tor/CMakeFiles/ptperf_tor.dir/onion.cc.o.d"
+  "/root/repo/src/tor/path.cc" "src/tor/CMakeFiles/ptperf_tor.dir/path.cc.o" "gcc" "src/tor/CMakeFiles/ptperf_tor.dir/path.cc.o.d"
+  "/root/repo/src/tor/relay.cc" "src/tor/CMakeFiles/ptperf_tor.dir/relay.cc.o" "gcc" "src/tor/CMakeFiles/ptperf_tor.dir/relay.cc.o.d"
+  "/root/repo/src/tor/socks_server.cc" "src/tor/CMakeFiles/ptperf_tor.dir/socks_server.cc.o" "gcc" "src/tor/CMakeFiles/ptperf_tor.dir/socks_server.cc.o.d"
+  "/root/repo/src/tor/ting.cc" "src/tor/CMakeFiles/ptperf_tor.dir/ting.cc.o" "gcc" "src/tor/CMakeFiles/ptperf_tor.dir/ting.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ptperf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ptperf_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ptperf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ptperf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptperf_tor.dir/cell.cc.o"
+  "CMakeFiles/ptperf_tor.dir/cell.cc.o.d"
+  "CMakeFiles/ptperf_tor.dir/client.cc.o"
+  "CMakeFiles/ptperf_tor.dir/client.cc.o.d"
+  "CMakeFiles/ptperf_tor.dir/directory.cc.o"
+  "CMakeFiles/ptperf_tor.dir/directory.cc.o.d"
+  "CMakeFiles/ptperf_tor.dir/ntor.cc.o"
+  "CMakeFiles/ptperf_tor.dir/ntor.cc.o.d"
+  "CMakeFiles/ptperf_tor.dir/onion.cc.o"
+  "CMakeFiles/ptperf_tor.dir/onion.cc.o.d"
+  "CMakeFiles/ptperf_tor.dir/path.cc.o"
+  "CMakeFiles/ptperf_tor.dir/path.cc.o.d"
+  "CMakeFiles/ptperf_tor.dir/relay.cc.o"
+  "CMakeFiles/ptperf_tor.dir/relay.cc.o.d"
+  "CMakeFiles/ptperf_tor.dir/socks_server.cc.o"
+  "CMakeFiles/ptperf_tor.dir/socks_server.cc.o.d"
+  "CMakeFiles/ptperf_tor.dir/ting.cc.o"
+  "CMakeFiles/ptperf_tor.dir/ting.cc.o.d"
+  "libptperf_tor.a"
+  "libptperf_tor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptperf_tor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptperf_util.dir/bytes.cc.o"
+  "CMakeFiles/ptperf_util.dir/bytes.cc.o.d"
+  "CMakeFiles/ptperf_util.dir/encoding.cc.o"
+  "CMakeFiles/ptperf_util.dir/encoding.cc.o.d"
+  "CMakeFiles/ptperf_util.dir/framer.cc.o"
+  "CMakeFiles/ptperf_util.dir/framer.cc.o.d"
+  "CMakeFiles/ptperf_util.dir/strings.cc.o"
+  "CMakeFiles/ptperf_util.dir/strings.cc.o.d"
+  "libptperf_util.a"
+  "libptperf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptperf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

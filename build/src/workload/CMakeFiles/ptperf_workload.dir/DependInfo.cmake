@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/fetcher.cc" "src/workload/CMakeFiles/ptperf_workload.dir/fetcher.cc.o" "gcc" "src/workload/CMakeFiles/ptperf_workload.dir/fetcher.cc.o.d"
+  "/root/repo/src/workload/streaming.cc" "src/workload/CMakeFiles/ptperf_workload.dir/streaming.cc.o" "gcc" "src/workload/CMakeFiles/ptperf_workload.dir/streaming.cc.o.d"
+  "/root/repo/src/workload/webserver.cc" "src/workload/CMakeFiles/ptperf_workload.dir/webserver.cc.o" "gcc" "src/workload/CMakeFiles/ptperf_workload.dir/webserver.cc.o.d"
+  "/root/repo/src/workload/website.cc" "src/workload/CMakeFiles/ptperf_workload.dir/website.cc.o" "gcc" "src/workload/CMakeFiles/ptperf_workload.dir/website.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ptperf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ptperf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ptperf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ptperf_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptperf_workload.dir/fetcher.cc.o"
+  "CMakeFiles/ptperf_workload.dir/fetcher.cc.o.d"
+  "CMakeFiles/ptperf_workload.dir/streaming.cc.o"
+  "CMakeFiles/ptperf_workload.dir/streaming.cc.o.d"
+  "CMakeFiles/ptperf_workload.dir/webserver.cc.o"
+  "CMakeFiles/ptperf_workload.dir/webserver.cc.o.d"
+  "CMakeFiles/ptperf_workload.dir/website.cc.o"
+  "CMakeFiles/ptperf_workload.dir/website.cc.o.d"
+  "libptperf_workload.a"
+  "libptperf_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptperf_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

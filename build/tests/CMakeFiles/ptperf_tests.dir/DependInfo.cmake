@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/behavior_test.cc" "tests/CMakeFiles/ptperf_tests.dir/behavior_test.cc.o" "gcc" "tests/CMakeFiles/ptperf_tests.dir/behavior_test.cc.o.d"
+  "/root/repo/tests/crypto_test.cc" "tests/CMakeFiles/ptperf_tests.dir/crypto_test.cc.o" "gcc" "tests/CMakeFiles/ptperf_tests.dir/crypto_test.cc.o.d"
+  "/root/repo/tests/flow_control_test.cc" "tests/CMakeFiles/ptperf_tests.dir/flow_control_test.cc.o" "gcc" "tests/CMakeFiles/ptperf_tests.dir/flow_control_test.cc.o.d"
+  "/root/repo/tests/massbrowser_test.cc" "tests/CMakeFiles/ptperf_tests.dir/massbrowser_test.cc.o" "gcc" "tests/CMakeFiles/ptperf_tests.dir/massbrowser_test.cc.o.d"
+  "/root/repo/tests/net_test.cc" "tests/CMakeFiles/ptperf_tests.dir/net_test.cc.o" "gcc" "tests/CMakeFiles/ptperf_tests.dir/net_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/ptperf_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/ptperf_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/pt_integration_test.cc" "tests/CMakeFiles/ptperf_tests.dir/pt_integration_test.cc.o" "gcc" "tests/CMakeFiles/ptperf_tests.dir/pt_integration_test.cc.o.d"
+  "/root/repo/tests/pt_protocol_test.cc" "tests/CMakeFiles/ptperf_tests.dir/pt_protocol_test.cc.o" "gcc" "tests/CMakeFiles/ptperf_tests.dir/pt_protocol_test.cc.o.d"
+  "/root/repo/tests/pt_unit_test.cc" "tests/CMakeFiles/ptperf_tests.dir/pt_unit_test.cc.o" "gcc" "tests/CMakeFiles/ptperf_tests.dir/pt_unit_test.cc.o.d"
+  "/root/repo/tests/relay_test.cc" "tests/CMakeFiles/ptperf_tests.dir/relay_test.cc.o" "gcc" "tests/CMakeFiles/ptperf_tests.dir/relay_test.cc.o.d"
+  "/root/repo/tests/scenario_test.cc" "tests/CMakeFiles/ptperf_tests.dir/scenario_test.cc.o" "gcc" "tests/CMakeFiles/ptperf_tests.dir/scenario_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/ptperf_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/ptperf_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/smoke_test.cc" "tests/CMakeFiles/ptperf_tests.dir/smoke_test.cc.o" "gcc" "tests/CMakeFiles/ptperf_tests.dir/smoke_test.cc.o.d"
+  "/root/repo/tests/stats_test.cc" "tests/CMakeFiles/ptperf_tests.dir/stats_test.cc.o" "gcc" "tests/CMakeFiles/ptperf_tests.dir/stats_test.cc.o.d"
+  "/root/repo/tests/ting_streaming_test.cc" "tests/CMakeFiles/ptperf_tests.dir/ting_streaming_test.cc.o" "gcc" "tests/CMakeFiles/ptperf_tests.dir/ting_streaming_test.cc.o.d"
+  "/root/repo/tests/tor_test.cc" "tests/CMakeFiles/ptperf_tests.dir/tor_test.cc.o" "gcc" "tests/CMakeFiles/ptperf_tests.dir/tor_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/ptperf_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/ptperf_tests.dir/util_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/ptperf_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/ptperf_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ptperf/CMakeFiles/ptperf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ptperf_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/pt/CMakeFiles/ptperf_pt.dir/DependInfo.cmake"
+  "/root/repo/build/src/tor/CMakeFiles/ptperf_tor.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ptperf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ptperf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ptperf_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ptperf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ptperf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptperf_cli.dir/ptperf_cli.cc.o"
+  "CMakeFiles/ptperf_cli.dir/ptperf_cli.cc.o.d"
+  "ptperf"
+  "ptperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptperf_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

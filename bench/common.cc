@@ -21,11 +21,17 @@ BenchArgs parse_args(int argc, char** argv) {
       args.scale = std::strtod(next().c_str(), nullptr);
     } else if (a == "--out") {
       args.out_dir = next();
+    } else if (a == "--faults") {
+      args.faults = next();
+    } else if (a == "--retries") {
+      args.retries = static_cast<int>(std::strtol(next().c_str(), nullptr, 10));
     } else if (a == "--verbose" || a == "-v") {
       args.verbose = true;
     } else if (a == "--help" || a == "-h") {
       std::printf(
-          "options: --seed N  --scale X (workload multiplier)  --out DIR\n");
+          "options: --seed N  --scale X (workload multiplier)  --out DIR\n"
+          "         --faults none|paper (injected failures, fig8 only)\n"
+          "         --retries N (retry budget per download in fault mode)\n");
       std::exit(0);
     }
   }

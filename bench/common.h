@@ -23,6 +23,11 @@ struct BenchArgs {
   double scale = 1.0;
   std::string out_dir = ".";
   bool verbose = false;
+  /// Fault-injection profile ("none" or "paper"); consumed by benches
+  /// that support injected failures (fig8_reliability).
+  std::string faults = "none";
+  /// Retries per download in fault mode (RetryPolicy::max_retries).
+  int retries = 0;
 };
 
 BenchArgs parse_args(int argc, char** argv);

@@ -20,6 +20,19 @@ int run(const BenchArgs& args) {
   Scenario scenario(cfg);
   TransportFactory factory(scenario);
 
+  fault::FaultInjector* injector = nullptr;
+  if (args.faults != "none" && !args.faults.empty()) {
+    if (args.faults != "paper") {
+      std::fprintf(stderr, "unknown --faults profile '%s' (none|paper)\n",
+                   args.faults.c_str());
+      return 2;
+    }
+    injector =
+        &scenario.install_fault_plan(fault::FaultPlan::paper_section_4_6());
+    std::printf("   fault profile: paper (§4.6), retries=%d\n\n",
+                args.retries);
+  }
+
   CampaignOptions copts;
   copts.file_reps = scaled_int(4, args.scale, 2);  // paper: 20 per size
   Campaign campaign(scenario, copts);
@@ -31,19 +44,34 @@ int run(const BenchArgs& args) {
 
   auto measure = [&](PtStack stack) {
     if (stack.snowflake) stack.snowflake->set_overloaded(true);
-    auto samples = campaign.run_file_downloads(stack, sizes);
     int complete = 0, partial = 0, failed = 0;
+    std::size_t n_samples = 0;
     std::vector<double> fractions;
-    for (const FileSample& s : samples) {
-      switch (classify(s.result)) {
-        case DownloadOutcome::kComplete: ++complete; break;
-        case DownloadOutcome::kPartial: ++partial; break;
-        case DownloadOutcome::kFailed: ++failed; break;
+    if (injector) {
+      RetryPolicy retry;
+      retry.max_retries = args.retries;
+      auto samples = campaign.run_reliability(stack, sizes, retry);
+      OutcomeCounts counts = count_outcomes(samples);
+      complete = counts.complete;
+      partial = counts.partial;
+      failed = counts.failed;
+      n_samples = samples.size();
+      for (const ReliabilitySample& s : samples)
+        fractions.push_back(s.result.fraction());
+    } else {
+      auto samples = campaign.run_file_downloads(stack, sizes);
+      for (const FileSample& s : samples) {
+        switch (classify(s.result)) {
+          case DownloadOutcome::kComplete: ++complete; break;
+          case DownloadOutcome::kPartial: ++partial; break;
+          case DownloadOutcome::kFailed: ++failed; break;
+        }
+        fractions.push_back(s.result.fraction());
       }
-      fractions.push_back(s.result.fraction());
+      n_samples = samples.size();
     }
-    auto n = static_cast<double>(samples.size());
-    bars.add_row({stack.name(), std::to_string(samples.size()),
+    auto n = static_cast<double>(n_samples);
+    bars.add_row({stack.name(), std::to_string(n_samples),
                   std::to_string(complete), std::to_string(partial),
                   std::to_string(failed), util::fmt_double(complete / n, 2),
                   util::fmt_double(partial / n, 2),
@@ -71,6 +99,18 @@ int run(const BenchArgs& args) {
   std::printf(
       "(paper: snowflake <40%% of the file in ~60%% of attempts; meek and\n"
       " dnstt reach higher fractions but rarely complete)\n");
+
+  if (injector) {
+    std::printf("\n-- Injected faults (deterministic for this seed) --\n");
+    stats::Table injected({"fault", "count"});
+    for (int k = 0; k < static_cast<int>(fault::FaultKind::kCount_); ++k) {
+      auto kind = static_cast<fault::FaultKind>(k);
+      if (injector->injected(kind) == 0) continue;
+      injected.add_row({std::string(fault::fault_kind_name(kind)),
+                        std::to_string(injector->injected(kind))});
+    }
+    emit(injected, args, "fig8_injected_faults");
+  }
   return 0;
 }
 

@@ -1,0 +1,75 @@
+// Runtime interpreter of a FaultPlan. One injector lives per Scenario,
+// owns a dedicated RNG stream forked as "fault-injection" straight from
+// the root seed, and is consulted from the hook points (network pipes,
+// PT servers, the Tor client). All randomness for faults comes from this
+// stream — never from the network's jitter stream — so installing a plan
+// cannot perturb any other component, and an injector with an empty plan
+// never draws at all.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "fault/fault_plan.h"
+#include "sim/rng.h"
+
+namespace ptperf::fault {
+
+/// Faults assigned to one concrete pipe at dial time. Thresholds are
+/// absolute byte counts over both directions; 0 means "never".
+struct PipeFaultProfile {
+  double drop_probability = 0.0;
+  bool refuse = false;
+  std::uint64_t reset_after_bytes = 0;
+  std::uint64_t blackhole_after_bytes = 0;
+  std::uint64_t stall_after_bytes = 0;
+  sim::Duration stall_duration{};
+
+  bool any() const {
+    return drop_probability > 0 || refuse || reset_after_bytes > 0 ||
+           blackhole_after_bytes > 0 || stall_after_bytes > 0;
+  }
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, sim::Rng rng);
+
+  /// False when the plan is empty — hooks must not draw in that case.
+  bool enabled() const { return enabled_; }
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Rolls the per-pipe hazards for a new connection to `service`. Draws
+  /// only for rules matching the service, in plan order.
+  PipeFaultProfile plan_pipe(const std::string& service);
+
+  /// Per-message loss draw for a pipe with drop hazard. Records kDrop on
+  /// a hit.
+  bool should_drop(const PipeFaultProfile& profile);
+
+  /// Bernoulli draw for a transport-level fault. Draw-free (and false)
+  /// when the plan's probability for `kind` is zero; records on a hit.
+  bool fire(FaultKind kind);
+
+  /// Bumps the injected-fault counter (for faults the network layer
+  /// triggers itself once a profile threshold is crossed).
+  void record(FaultKind kind);
+
+  std::uint64_t injected(FaultKind kind) const {
+    return counts_[static_cast<std::size_t>(kind)];
+  }
+  std::uint64_t total_injected() const;
+
+ private:
+  double probability_of(FaultKind kind) const;
+
+  FaultPlan plan_;
+  sim::Rng rng_;
+  bool enabled_ = false;
+  std::array<std::uint64_t, static_cast<std::size_t>(FaultKind::kCount_)>
+      counts_{};
+};
+
+}  // namespace ptperf::fault

@@ -1,0 +1,96 @@
+// Declarative description of the faults a scenario should experience.
+// A FaultPlan is pure data: which pipes may drop / stall / reset, and how
+// often each transport-specific failure mode (broker outage, resolver
+// truncation, CDN 502, TLS rejection, circuit-build failure) fires. The
+// plan is interpreted by FaultInjector against a dedicated seed-derived
+// RNG stream, so the same seed always yields the same fault schedule.
+//
+// An empty plan is the default everywhere: no draws happen, and every
+// existing figure and test replays bit-exactly as if the layer did not
+// exist (the injection layer is strictly opt-in).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ptperf::fault {
+
+/// Every distinct fault the injector can cause. Pipe-level kinds are
+/// triggered by the network layer; the rest map to the per-PT failure
+/// modes of the paper's §4.6.
+enum class FaultKind {
+  kDrop,                // message silently lost in flight
+  kStall,               // mid-transfer pause of a pipe
+  kReset,               // connection reset after N bytes
+  kBlackhole,           // pipe keeps accepting bytes but delivers nothing
+  kRefuse,              // connection refused at dial time
+  kTlsHandshakeReject,  // TLS-family server rejects the ClientHello
+  kBrokerUnavailable,   // snowflake broker answers 503
+  kDnsTruncation,       // dnstt resolver returns ServFail
+  kCdnError,            // meek front answers 502
+  kCircuitBuildFailure, // Tor circuit dies during construction
+  kCount_,
+};
+
+std::string_view fault_kind_name(FaultKind kind);
+
+/// Per-pipe fault hazards. `service` restricts the rule to connections to
+/// that service name ("tor", "https", "meek", ...); empty matches every
+/// pipe. Byte thresholds are drawn uniformly in [min, max] per pipe.
+struct PipeFaultRule {
+  std::string service;
+  /// Per-message loss probability while the pipe lives.
+  double drop_probability = 0.0;
+  /// Probability the dial itself is refused.
+  double refuse_probability = 0.0;
+  /// Probability this pipe resets after carrying some bytes.
+  double reset_probability = 0.0;
+  std::uint64_t reset_after_bytes_min = 0;
+  std::uint64_t reset_after_bytes_max = 0;
+  /// Probability the pipe goes silent (accepts but never delivers).
+  double blackhole_probability = 0.0;
+  std::uint64_t blackhole_after_bytes_min = 0;
+  std::uint64_t blackhole_after_bytes_max = 0;
+  /// Probability of one mid-transfer stall of `stall_duration`.
+  double stall_probability = 0.0;
+  std::uint64_t stall_after_bytes_min = 0;
+  std::uint64_t stall_after_bytes_max = 0;
+  sim::Duration stall_duration = sim::from_seconds(30);
+};
+
+struct FaultPlan {
+  std::vector<PipeFaultRule> pipe_rules;
+
+  /// TLS-family transports (webtunnel, cloak, conjure): the server rejects
+  /// the handshake with a fatal alert.
+  double tls_handshake_reject_probability = 0.0;
+  /// Snowflake: the broker answers 503 instead of matching a proxy.
+  double broker_unavailable_probability = 0.0;
+  /// dnstt: the resolver answers ServFail instead of relaying (per
+  /// response — the tunnel issues many queries, so keep this small).
+  double dns_truncation_probability = 0.0;
+  /// meek: the CDN front answers 502 instead of forwarding a poll.
+  double cdn_error_probability = 0.0;
+  /// Tor: a circuit dies mid-build (DESTROY from a relay).
+  double circuit_build_failure_probability = 0.0;
+
+  bool empty() const {
+    return pipe_rules.empty() && tls_handshake_reject_probability <= 0 &&
+           broker_unavailable_probability <= 0 &&
+           dns_truncation_probability <= 0 && cdn_error_probability <= 0 &&
+           circuit_build_failure_probability <= 0;
+  }
+
+  static FaultPlan none() { return FaultPlan{}; }
+
+  /// A plan shaped like the paper's observed §4.6 failure landscape:
+  /// occasional mid-transfer resets and stalls on Tor links, rare broker /
+  /// resolver / CDN outages, and a small circuit-build hazard.
+  static FaultPlan paper_section_4_6();
+};
+
+}  // namespace ptperf::fault

@@ -100,10 +100,29 @@ void Network::connect(HostId from, HostId to, const std::string& service,
     return;
   }
 
+  fault::PipeFaultProfile profile;
+  if (fault_ && fault_->enabled()) profile = fault_->plan_pipe(service);
+  if (profile.refuse) {
+    fault_->record(fault::FaultKind::kRefuse);
+    if (on_error) {
+      std::string msg =
+          "connection refused (injected fault): " + name_of(to) + "/" + service;
+      // The refusal (RST to the SYN) arrives after a full RTT, like a
+      // real remote reset would.
+      sim::Duration owd = ((from == to)
+                               ? sim::Duration(std::chrono::microseconds(25))
+                               : topo_.one_way(region_of(from), region_of(to))) +
+                          options.extra_one_way;
+      loop_->schedule(2 * owd, [on_error, msg] { on_error(msg); });
+    }
+    return;
+  }
+
   auto state = std::make_shared<Pipe::ConnState>();
   state->net = this;
   state->host[0] = from;
   state->host[1] = to;
+  state->fault = profile;
   // Loopback connections (app -> local Tor client) skip the topology.
   state->one_way = (from == to)
                        ? sim::Duration(std::chrono::microseconds(25))
@@ -137,6 +156,37 @@ void Network::do_send(const std::shared_ptr<Pipe::ConnState>& state,
   const ConnectOptions& opt = state->options;
   const auto bytes = static_cast<double>(std::max<std::size_t>(payload.size(), 1));
   total_bytes_ += payload.size();
+
+  // Injected pipe faults. Thresholds count payload bytes over both
+  // directions, so a download triggers a "reset after N bytes" hazard
+  // even though the request itself was tiny.
+  sim::Duration fault_extra = sim::Duration::zero();
+  if (state->fault.any()) {
+    state->fault_bytes += payload.size();
+    const fault::PipeFaultProfile& fp = state->fault;
+    if (fp.blackhole_after_bytes > 0 &&
+        state->fault_bytes >= fp.blackhole_after_bytes) {
+      // The pipe stays nominally open but nothing arrives anymore — the
+      // sender only notices via its own timeout.
+      if (fault_) fault_->record(fault::FaultKind::kBlackhole);
+      return;
+    }
+    if (fp.reset_after_bytes > 0 &&
+        state->fault_bytes >= fp.reset_after_bytes) {
+      if (fault_) fault_->record(fault::FaultKind::kReset);
+      do_reset(state);
+      return;
+    }
+    if (fault_ && fault_->should_drop(fp)) return;
+    if (fp.stall_after_bytes > 0 && !state->fault_stalled &&
+        state->fault_bytes >= fp.stall_after_bytes) {
+      state->fault_stalled = true;
+      if (fault_) fault_->record(fault::FaultKind::kStall);
+      // One-shot stall: this message is held for the stall duration, and
+      // the per-direction FIFO keeps everything behind it waiting too.
+      fault_extra = fp.stall_duration;
+    }
+  }
 
   sim::TimePoint now = loop_->now();
 
@@ -188,7 +238,7 @@ void Network::do_send(const std::shared_ptr<Pipe::ConnState>& state,
   sim::TimePoint rx_start = std::max(arrival, rcv.down_busy);
   rcv.down_busy = rx_start + rx;
   sim::TimePoint deliver = rx_start + rx + queue_delay(rcv, rx) +
-                           sim::from_millis(rcv.traits.proc_ms);
+                           sim::from_millis(rcv.traits.proc_ms) + fault_extra;
 
   // 6. FIFO per direction.
   deliver = std::max(deliver, dir.last_delivery);
@@ -210,6 +260,22 @@ void Network::do_send(const std::shared_ptr<Pipe::ConnState>& state,
       state->pending[to_side].push_back(std::move(*shared_payload));
     }
   });
+}
+
+void Network::do_reset(const std::shared_ptr<Pipe::ConnState>& state) {
+  state->closed = true;
+  auto fn0 = state->close_handler[0];
+  auto fn1 = state->close_handler[1];
+  // Same cycle-breaking discipline as do_close: drop every stored closure
+  // before the handlers run.
+  state->receiver[0] = nullptr;
+  state->receiver[1] = nullptr;
+  state->close_handler[0] = nullptr;
+  state->close_handler[1] = nullptr;
+  // Handlers fire from the event queue, not inline from do_send: the
+  // sender's send() call must return before its pipe dies under it.
+  if (fn0) loop_->schedule(sim::Duration::zero(), fn0);
+  if (fn1) loop_->schedule(sim::Duration::zero(), fn1);
 }
 
 void Network::do_close(const std::shared_ptr<Pipe::ConnState>& state,

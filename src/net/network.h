@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_injector.h"
 #include "net/topology.h"
 #include "sim/event_loop.h"
 #include "sim/rng.h"
@@ -148,6 +149,15 @@ class Network {
   /// all pipes) — used by overhead accounting in benches.
   std::uint64_t total_bytes_sent() const { return total_bytes_; }
 
+  /// Attaches a fault injector (owned by the Scenario, must outlive the
+  /// network). Null (the default) or an injector with an empty plan keeps
+  /// the network's behavior byte-identical to the fault-free model — not
+  /// a single extra RNG draw happens.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    fault_ = injector;
+  }
+  fault::FaultInjector* fault_injector() const { return fault_; }
+
  private:
   friend class Pipe;
 
@@ -162,6 +172,9 @@ class Network {
   void do_send(const std::shared_ptr<Pipe::ConnState>& state, int from_side,
                util::Bytes payload);
   void do_close(const std::shared_ptr<Pipe::ConnState>& state, int from_side);
+  /// Injected RST: closes immediately and fires BOTH close handlers (a
+  /// reset, unlike a FIN, is an error on each end).
+  void do_reset(const std::shared_ptr<Pipe::ConnState>& state);
   sim::Duration queue_delay(const HostState& h, sim::Duration service_time);
 
   sim::EventLoop* loop_;
@@ -170,6 +183,7 @@ class Network {
   std::vector<HostState> hosts_;
   std::map<std::pair<HostId, std::string>, AcceptHandler> acceptors_;
   std::uint64_t total_bytes_ = 0;
+  fault::FaultInjector* fault_ = nullptr;
 };
 
 /// Shared state of one connection; lives in Network but defined here so
@@ -186,6 +200,11 @@ struct Pipe::ConnState {
   /// kernel-socket-buffer analogue. Drained on on_receive().
   std::vector<util::Bytes> pending[2];
   detail::DirState dir[2];  // dir[i] = traffic sent *by* side i
+  /// Hazards rolled for this pipe at dial time (empty when no injector or
+  /// no matching rule). Thresholds count bytes over both directions.
+  fault::PipeFaultProfile fault;
+  std::uint64_t fault_bytes = 0;
+  bool fault_stalled = false;
 };
 
 }  // namespace ptperf::net

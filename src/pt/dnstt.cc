@@ -4,6 +4,7 @@
 #include <deque>
 #include <map>
 
+#include "fault/fault_injector.h"
 #include "net/dns.h"
 #include "net/tls.h"
 #include "util/framer.h"
@@ -241,9 +242,23 @@ void DnsttTransport::start_resolver() {
                              [auth_side, m] { auth_side->send(std::move(*m)); });
             });
             std::size_t cap = cfg.max_response_bytes;
-            auth_side->set_receiver([client_side, cap](util::Bytes a) {
+            auth_side->set_receiver([net, client_side, cap](util::Bytes a) {
               // The resolver refuses to relay oversized answers.
               if (a.size() > cap) return;
+              fault::FaultInjector* f = net->fault_injector();
+              if (f && f->fire(fault::FaultKind::kDnsTruncation)) {
+                // Injected resolver hiccup: the answer is replaced by a
+                // ServFail, which the tunnel client treats as fatal.
+                auto msg = net::dns::decode(a);
+                if (msg) {
+                  net::dns::Message cut;
+                  cut.id = msg->id;
+                  cut.is_response = true;
+                  cut.rcode = net::dns::RCode::kServFail;
+                  client_side->send(net::dns::encode(cut));
+                }
+                return;
+              }
               client_side->send(std::move(a));
             });
             client_side->set_close_handler([auth_side] { auth_side->close(); });

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <deque>
 
+#include "fault/fault_injector.h"
 #include "net/http.h"
 #include "net/tls.h"
 #include "util/framer.h"
@@ -291,8 +292,22 @@ void MeekTransport::start_front() {
                 auto bridge_side = net::wrap_pipe(std::move(bridge_pipe));
                 sim::EventLoop* loop = &net->loop();
                 sim::Duration proc = cfg.front_processing;
-                client_side->set_receiver([loop, proc,
-                                           bridge_side](util::Bytes msg) {
+                client_side->set_receiver([net, loop, proc, bridge_side,
+                                           client_side](util::Bytes msg) {
+                  fault::FaultInjector* f = net->fault_injector();
+                  if (f && f->fire(fault::FaultKind::kCdnError)) {
+                    // Injected CDN edge failure: the poll bounces with a
+                    // 502 instead of reaching the bridge.
+                    net::http::Response resp;
+                    resp.status = 502;
+                    resp.reason = "Bad Gateway";
+                    auto wire = std::make_shared<util::Bytes>(
+                        net::http::encode_response(resp));
+                    loop->schedule(proc, [client_side, wire] {
+                      client_side->send(std::move(*wire));
+                    });
+                    return;
+                  }
                   auto m = std::make_shared<util::Bytes>(std::move(msg));
                   loop->schedule(proc, [bridge_side, m] {
                     bridge_side->send(std::move(*m));

@@ -1,5 +1,6 @@
 #include "pt/snowflake.h"
 
+#include "fault/fault_injector.h"
 #include "net/http.h"
 #include "net/tls.h"
 
@@ -50,6 +51,14 @@ void SnowflakeTransport::start_broker() {
           net::ChannelPtr ch_copy = ch;
           ch->set_receiver([net, broker_rng, n_proxies, match_mean,
                             ch_copy](util::Bytes) {
+            fault::FaultInjector* f = net->fault_injector();
+            if (f && f->fire(fault::FaultKind::kBrokerUnavailable)) {
+              net::http::Response resp;
+              resp.status = 503;
+              resp.reason = "No Proxies Available";
+              ch_copy->send(net::http::encode_response(resp));
+              return;
+            }
             // Proxy matching takes longer when the pool is oversubscribed.
             sim::Duration delay =
                 sim::from_seconds(broker_rng->exponential(*match_mean));

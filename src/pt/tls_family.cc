@@ -1,6 +1,7 @@
 #include "pt/tls_family.h"
 
 #include "crypto/hmac.h"
+#include "fault/fault_injector.h"
 #include "net/http.h"
 #include "net/tls.h"
 
@@ -49,6 +50,10 @@ void WebTunnelTransport::start_server() {
             serve_upstream(*net, server_host, ch_copy,
                            tor_upstream(*consensus));
           });
+        },
+        [net](const net::ClientHello&) {
+          fault::FaultInjector* f = net->fault_injector();
+          return !(f && f->fire(fault::FaultKind::kTlsHandshakeReject));
         });
   });
 }
@@ -64,7 +69,7 @@ tor::TorClient::FirstHopConnector WebTunnelTransport::connector() {
              std::function<void(std::string)> on_error) {
     net->connect(
         cfg.client_host, server_host, "https",
-        [cfg, rng, on_open](net::Pipe pipe) {
+        [cfg, rng, on_open, on_error](net::Pipe pipe) {
           net::ClientHelloParams hello;
           hello.sni = cfg.front_domain;
           net::tls_connect(
@@ -88,6 +93,9 @@ tor::TorClient::FirstHopConnector WebTunnelTransport::connector() {
                 upgrade.headers["upgrade"] = "websocket";
                 upgrade.headers["connection"] = "Upgrade";
                 ch_copy->send(net::http::encode_request(upgrade));
+              },
+              [on_error](std::string err) {
+                if (on_error) on_error("webtunnel: " + err);
               });
         },
         [on_error](std::string err) {
@@ -133,7 +141,10 @@ void CloakTransport::start_server() {
           serve_upstream(*net, server_host, ch,
                          fixed_upstream(server_host, socks_service));
         },
-        [psk](const net::ClientHello& hello) {
+        [net, psk](const net::ClientHello& hello) {
+          fault::FaultInjector* f = net->fault_injector();
+          if (f && f->fire(fault::FaultKind::kTlsHandshakeReject))
+            return false;
           // Steganographic validation: reject anything whose ticket does
           // not authenticate (a probing censor gets a plain TLS rejection).
           util::Bytes expect = crypto::hmac_sha256(psk, hello.random);
@@ -226,6 +237,11 @@ void ConjureTransport::start_server() {
                       auto ch = net::wrap_tls(std::move(session));
                       serve_upstream(*net, station_host, ch,
                                      tor_upstream(*consensus));
+                    },
+                    [net](const net::ClientHello&) {
+                      fault::FaultInjector* f = net->fault_injector();
+                      return !(f && f->fire(
+                                        fault::FaultKind::kTlsHandshakeReject));
                     });
   });
 }
@@ -251,7 +267,7 @@ tor::TorClient::FirstHopConnector ConjureTransport::connector() {
             // Step 2: dial the phantom address.
             net->connect(
                 cfg.client_host, station_host, "phantom",
-                [cfg, rng, on_open](net::Pipe pipe) {
+                [cfg, rng, on_open, on_error](net::Pipe pipe) {
                   net::ClientHelloParams hello;
                   hello.sni = "phantom-host.example";
                   net::tls_connect(std::move(pipe), hello, *rng,
@@ -259,6 +275,10 @@ tor::TorClient::FirstHopConnector ConjureTransport::connector() {
                                      auto ch = net::wrap_tls(std::move(session));
                                      send_preamble(ch, cfg.bridge);
                                      on_open(ch);
+                                   },
+                                   [on_error](std::string err) {
+                                     if (on_error)
+                                       on_error("conjure phantom: " + err);
                                    });
                 },
                 [on_error](std::string err) {

@@ -173,6 +173,76 @@ std::vector<FileSample> Campaign::run_file_downloads(
   return samples;
 }
 
+std::vector<ReliabilitySample> Campaign::run_reliability(
+    PtStack& stack, const std::vector<std::size_t>& sizes, RetryPolicy retry) {
+  std::vector<ReliabilitySample> samples;
+  std::size_t size_idx = 0;
+  int rep = 0;
+  int attempt = 0;
+  bool running = false;
+  bool finished = sizes.empty();
+  sim::EventLoop& loop = scenario_->loop();
+
+  std::function<void()> start_next = [&]() {
+    if (size_idx >= sizes.size()) {
+      finished = true;
+      return;
+    }
+    // Every attempt — first try or retry — runs over a fresh circuit,
+    // matching the paper's from-scratch retries.
+    if (opts_.rotate_guard_per_site && stack.rotate_guard)
+      stack.rotate_guard();
+    stack.new_identity();
+    running = true;
+    std::size_t size = sizes[size_idx];
+    std::string target = "/" + workload::file_target_name(size);
+    stack.fetcher->fetch(
+        "files.example", target, opts_.file_timeout,
+        [&, size](workload::FetchResult r) {
+          ++attempt;
+          DownloadOutcome outcome = classify(r);
+          bool retryable = outcome == DownloadOutcome::kFailed ||
+                           (retry.retry_on_partial &&
+                            outcome == DownloadOutcome::kPartial);
+          running = false;
+          if (retryable && attempt <= retry.max_retries) {
+            loop.schedule(retry.backoff, [&] { start_next(); });
+            return;
+          }
+          ReliabilitySample s;
+          s.pt = stack.name();
+          s.size_bytes = size;
+          s.rep = rep;
+          s.attempts = attempt;
+          s.outcome = outcome;
+          s.result = std::move(r);
+          samples.push_back(std::move(s));
+          attempt = 0;
+          if (++rep >= opts_.file_reps) {
+            rep = 0;
+            ++size_idx;
+          }
+          loop.schedule(opts_.think_gap, [&] { start_next(); });
+        });
+  };
+
+  start_next();
+  loop.run_until_done([&] { return finished && !running; });
+  return samples;
+}
+
+OutcomeCounts count_outcomes(const std::vector<ReliabilitySample>& xs) {
+  OutcomeCounts c;
+  for (const ReliabilitySample& s : xs) {
+    switch (s.outcome) {
+      case DownloadOutcome::kComplete: ++c.complete; break;
+      case DownloadOutcome::kPartial: ++c.partial; break;
+      case DownloadOutcome::kFailed: ++c.failed; break;
+    }
+  }
+  return c;
+}
+
 std::vector<double> elapsed_seconds(const std::vector<WebsiteSample>& xs) {
   std::vector<double> out;
   for (const auto& s : xs)

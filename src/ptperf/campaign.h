@@ -40,6 +40,37 @@ enum class DownloadOutcome { kComplete, kPartial, kFailed };
 DownloadOutcome classify(const workload::FetchResult& r);
 std::string_view outcome_name(DownloadOutcome o);
 
+/// Retry/timeout policy for reliability runs. The paper retried failed
+/// bulk downloads from scratch; each retry gets a fresh circuit after a
+/// fixed backoff.
+struct RetryPolicy {
+  /// Extra attempts after the first (0 = classify the first attempt).
+  int max_retries = 0;
+  /// Also retry attempts that delivered some bytes (kPartial), not just
+  /// total failures.
+  bool retry_on_partial = false;
+  sim::Duration backoff = sim::from_seconds(2);
+};
+
+/// One reliability measurement: the classified final attempt plus how
+/// many attempts the retry policy consumed.
+struct ReliabilitySample {
+  std::string pt;
+  std::size_t size_bytes = 0;
+  int rep = 0;
+  int attempts = 1;
+  DownloadOutcome outcome = DownloadOutcome::kFailed;
+  workload::FetchResult result;
+};
+
+struct OutcomeCounts {
+  int complete = 0;
+  int partial = 0;
+  int failed = 0;
+  int total() const { return complete + partial + failed; }
+};
+OutcomeCounts count_outcomes(const std::vector<ReliabilitySample>& xs);
+
 struct CampaignOptions {
   int website_reps = 5;   // paper: each website five times
   int file_reps = 10;     // paper: each file ten times
@@ -71,6 +102,14 @@ class Campaign {
   /// Bulk downloads of the given sizes x reps from files.example.
   std::vector<FileSample> run_file_downloads(
       PtStack& stack, const std::vector<std::size_t>& sizes);
+
+  /// Like run_file_downloads, but classifies every attempt into the
+  /// §4.6 taxonomy and applies a retry policy: a failed (and optionally
+  /// partial) attempt is redone over a fresh circuit after the backoff,
+  /// up to max_retries times; the final attempt is the sample.
+  std::vector<ReliabilitySample> run_reliability(
+      PtStack& stack, const std::vector<std::size_t>& sizes,
+      RetryPolicy retry = {});
 
   /// First n sites of a corpus as measurement targets.
   static std::vector<const workload::Website*> take_sites(

@@ -58,6 +58,13 @@ Scenario::Scenario(ScenarioConfig config)
   web_server_->start();
 }
 
+fault::FaultInjector& Scenario::install_fault_plan(fault::FaultPlan plan) {
+  fault_ = std::make_unique<fault::FaultInjector>(
+      std::move(plan), sim::Rng(config_.seed).fork("fault-injection"));
+  net_->set_fault_injector(fault_.get());
+  return *fault_;
+}
+
 std::optional<net::HostId> Scenario::resolve_exit(
     const std::string& hostname) const {
   if (hostname == "files.example" || tranco_.find(hostname) ||

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_injector.h"
 #include "net/network.h"
 #include "sim/event_loop.h"
 #include "tor/client.h"
@@ -81,6 +82,14 @@ class Scenario {
   /// Fresh deterministic RNG stream for a component.
   sim::Rng fork_rng(const std::string& label) { return rng_.fork(label); }
 
+  /// Installs a fault-injection plan for this world. The injector draws
+  /// from its own stream forked directly off the root seed (not off the
+  /// scenario's member RNG), so installing — or later emptying — a plan
+  /// never perturbs any other component's randomness. Returns the
+  /// injector so callers can read injected-fault counters.
+  fault::FaultInjector& install_fault_plan(fault::FaultPlan plan);
+  fault::FaultInjector* fault_injector() { return fault_.get(); }
+
   /// Vanilla-Tor client stack on the main client host.
   ClientStack make_vanilla_stack(const std::string& socks_service = "socks");
 
@@ -113,6 +122,7 @@ class Scenario {
   net::HostId web_host_ = 0;
   std::map<std::string, net::HostId> exit_aliases_;
   std::shared_ptr<workload::WebServer> web_server_;
+  std::unique_ptr<fault::FaultInjector> fault_;
 };
 
 /// Client access-link traits for wired/wireless media.

@@ -2,6 +2,8 @@
 
 #include <deque>
 
+#include "fault/fault_injector.h"
+
 namespace ptperf::tor {
 namespace {
 
@@ -181,6 +183,19 @@ void TorClient::build_circuit_path(const std::vector<RelayIndex>& hops,
   });
 
   auto self = shared_from_this();
+
+  // Injected circuit-build failure: the build makes partial progress and
+  // then dies, delivered asynchronously like a DESTROY from a relay.
+  if (fault::FaultInjector* injector = net_->fault_injector();
+      injector && injector->fire(fault::FaultKind::kCircuitBuildFailure)) {
+    net_->loop().schedule(sim::from_millis(120), [self, circ] {
+      if (circ->building)
+        self->kill_circuit(circ, "injected: circuit build failure");
+    });
+    return;
+  }
+
+
   first_hop_(
       hops.front(),
       [self, circ](net::ChannelPtr ch) {

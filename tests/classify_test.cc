@@ -1,0 +1,99 @@
+// Pins the Fig 8 / §4.6 outcome taxonomy at its boundaries before fault
+// injection feeds it: complete requires success, failed requires zero
+// delivered bytes, everything else — timeouts with progress, resets with
+// progress — is partial.
+#include <gtest/gtest.h>
+
+#include "ptperf/campaign.h"
+
+namespace ptperf {
+namespace {
+
+workload::FetchResult base_result() {
+  workload::FetchResult r;
+  r.target = "files.example/file1mb";
+  r.expected_bytes = 1u << 20;
+  return r;
+}
+
+TEST(Classify, SuccessIsComplete) {
+  workload::FetchResult r = base_result();
+  r.success = true;
+  r.received_bytes = r.expected_bytes;
+  r.complete_s = 4.2;
+  EXPECT_EQ(classify(r), DownloadOutcome::kComplete);
+}
+
+TEST(Classify, ZeroBytesReceivedIsFailed) {
+  workload::FetchResult r = base_result();
+  r.success = false;
+  r.received_bytes = 0;
+  r.error = "socks connect failed";
+  EXPECT_EQ(classify(r), DownloadOutcome::kFailed);
+}
+
+TEST(Classify, TimeoutWithZeroBytesIsFailed) {
+  workload::FetchResult r = base_result();
+  r.success = false;
+  r.timed_out = true;
+  r.received_bytes = 0;
+  EXPECT_EQ(classify(r), DownloadOutcome::kFailed);
+}
+
+TEST(Classify, TimeoutWithProgressIsPartial) {
+  workload::FetchResult r = base_result();
+  r.success = false;
+  r.timed_out = true;
+  r.received_bytes = 123;
+  EXPECT_EQ(classify(r), DownloadOutcome::kPartial);
+}
+
+TEST(Classify, ExactlyAtTimeoutAllBytesButNoSuccessIsPartial) {
+  // The transfer delivered every byte but the timeout fired before the
+  // fetcher marked success: the paper counts such a download as partial
+  // (it did not complete from the measurement tool's point of view).
+  workload::FetchResult r = base_result();
+  r.success = false;
+  r.timed_out = true;
+  r.received_bytes = r.expected_bytes;
+  EXPECT_EQ(classify(r), DownloadOutcome::kPartial);
+}
+
+TEST(Classify, StreamResetWithProgressIsPartial) {
+  workload::FetchResult r = base_result();
+  r.success = false;
+  r.received_bytes = 200 * 1024;
+  r.error = "stream reset";
+  EXPECT_EQ(classify(r), DownloadOutcome::kPartial);
+}
+
+TEST(Classify, StreamResetBeforeFirstByteIsFailed) {
+  workload::FetchResult r = base_result();
+  r.success = false;
+  r.received_bytes = 0;
+  r.error = "stream reset";
+  EXPECT_EQ(classify(r), DownloadOutcome::kFailed);
+}
+
+TEST(Classify, OutcomeNamesMatchPaperVocabulary) {
+  EXPECT_EQ(outcome_name(DownloadOutcome::kComplete), "complete");
+  EXPECT_EQ(outcome_name(DownloadOutcome::kPartial), "partial");
+  EXPECT_EQ(outcome_name(DownloadOutcome::kFailed), "failed");
+}
+
+TEST(Classify, CountOutcomesTallies) {
+  std::vector<ReliabilitySample> samples(5);
+  samples[0].outcome = DownloadOutcome::kComplete;
+  samples[1].outcome = DownloadOutcome::kComplete;
+  samples[2].outcome = DownloadOutcome::kPartial;
+  samples[3].outcome = DownloadOutcome::kFailed;
+  samples[4].outcome = DownloadOutcome::kFailed;
+  OutcomeCounts c = count_outcomes(samples);
+  EXPECT_EQ(c.complete, 2);
+  EXPECT_EQ(c.partial, 1);
+  EXPECT_EQ(c.failed, 2);
+  EXPECT_EQ(c.total(), 5);
+}
+
+}  // namespace
+}  // namespace ptperf

@@ -1,0 +1,420 @@
+// Fault-injection suite: drives transports through injected pipe faults
+// (drop, stall, reset, blackhole, refusal) and per-PT failure modes (TLS
+// rejection, broker outage, resolver truncation, CDN 502s, circuit-build
+// failures), asserting the §4.6 outcome classification, the retry policy,
+// and — the core property — that a fixed seed replays the exact same
+// fault schedule and outcome vector.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "fault/fault_injector.h"
+#include "ptperf/campaign.h"
+
+namespace ptperf {
+namespace {
+
+constexpr std::size_t kOneMiB = 1u << 20;
+
+std::string hex(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+std::string encode(const ReliabilitySample& s) {
+  return s.pt + "|" + std::to_string(s.size_bytes) + "|" +
+         std::to_string(s.rep) + "|" + std::to_string(s.attempts) + "|" +
+         std::string(outcome_name(s.outcome)) + "|" +
+         std::to_string(s.result.received_bytes) + "|" +
+         (s.result.timed_out ? "T" : "t") + "|" + hex(s.result.complete_s) +
+         "|" + s.result.error;
+}
+
+struct FaultRun {
+  std::vector<ReliabilitySample> samples;
+  std::vector<std::string> encoded;
+  std::uint64_t injected[static_cast<std::size_t>(fault::FaultKind::kCount_)];
+};
+
+/// One transport, one scenario, one reliability campaign under `plan`.
+FaultRun run_faulted(std::uint64_t seed, std::optional<PtId> id,
+                     const fault::FaultPlan& plan, RetryPolicy retry = {},
+                     int reps = 2,
+                     sim::Duration timeout = sim::from_seconds(60)) {
+  ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.tranco_sites = 1;
+  cfg.cbl_sites = 0;
+  Scenario scenario(cfg);
+  fault::FaultInjector& injector = scenario.install_fault_plan(plan);
+  TransportFactory factory(scenario);
+  PtStack stack = id ? factory.create(*id) : factory.create_vanilla();
+
+  CampaignOptions copts;
+  copts.file_reps = reps;
+  copts.file_timeout = timeout;
+  Campaign campaign(scenario, copts);
+
+  FaultRun run;
+  run.samples = campaign.run_reliability(stack, {kOneMiB}, retry);
+  for (const ReliabilitySample& s : run.samples)
+    run.encoded.push_back(encode(s));
+  for (std::size_t k = 0;
+       k < static_cast<std::size_t>(fault::FaultKind::kCount_); ++k)
+    run.injected[k] = injector.injected(static_cast<fault::FaultKind>(k));
+  return run;
+}
+
+std::uint64_t injected(const FaultRun& run, fault::FaultKind kind) {
+  return run.injected[static_cast<std::size_t>(kind)];
+}
+
+fault::FaultPlan tor_pipe_plan(
+    const std::function<void(fault::PipeFaultRule&)>& fill) {
+  fault::FaultPlan plan;
+  fault::PipeFaultRule rule;
+  rule.service = "tor";
+  fill(rule);
+  plan.pipe_rules.push_back(rule);
+  return plan;
+}
+
+// ------------------------------------------------- injector unit checks --
+
+TEST(FaultInjector, EmptyPlanIsDisabledAndDrawFree) {
+  fault::FaultInjector injector(fault::FaultPlan::none(), sim::Rng(1));
+  EXPECT_FALSE(injector.enabled());
+  EXPECT_FALSE(injector.fire(fault::FaultKind::kTlsHandshakeReject));
+  EXPECT_FALSE(injector.plan_pipe("tor").any());
+  EXPECT_EQ(injector.total_injected(), 0u);
+}
+
+TEST(FaultInjector, SameSeedYieldsIdenticalDecisionSequences) {
+  fault::FaultPlan plan = fault::FaultPlan::paper_section_4_6();
+  fault::FaultInjector a(plan, sim::Rng(7).fork("fault-injection"));
+  fault::FaultInjector b(plan, sim::Rng(7).fork("fault-injection"));
+  for (int i = 0; i < 200; ++i) {
+    fault::PipeFaultProfile pa = a.plan_pipe("tor");
+    fault::PipeFaultProfile pb = b.plan_pipe("tor");
+    EXPECT_EQ(pa.reset_after_bytes, pb.reset_after_bytes);
+    EXPECT_EQ(pa.stall_after_bytes, pb.stall_after_bytes);
+    EXPECT_EQ(a.fire(fault::FaultKind::kCircuitBuildFailure),
+              b.fire(fault::FaultKind::kCircuitBuildFailure));
+  }
+  EXPECT_EQ(a.total_injected(), b.total_injected());
+}
+
+TEST(FaultInjector, RulesOnlyApplyToMatchingServices) {
+  fault::FaultPlan plan;
+  fault::PipeFaultRule rule;
+  rule.service = "tor";
+  rule.drop_probability = 0.5;
+  plan.pipe_rules.push_back(rule);
+  fault::FaultInjector injector(plan, sim::Rng(2));
+  EXPECT_GT(injector.plan_pipe("tor").drop_probability, 0.0);
+  EXPECT_FALSE(injector.plan_pipe("https").any());
+}
+
+// ----------------------------------------------------- pipe-level faults --
+
+TEST(FaultInjection, ResetMidTransferYieldsPartialDownloads) {
+  fault::FaultPlan plan = tor_pipe_plan([](fault::PipeFaultRule& r) {
+    r.reset_probability = 1.0;
+    r.reset_after_bytes_min = 200 * 1024;
+    r.reset_after_bytes_max = 200 * 1024;
+  });
+  FaultRun run = run_faulted(101, std::nullopt, plan, {}, 3);
+  ASSERT_EQ(run.samples.size(), 3u);
+  EXPECT_GT(injected(run, fault::FaultKind::kReset), 0u);
+  int partial = 0;
+  for (const ReliabilitySample& s : run.samples) {
+    EXPECT_NE(s.outcome, DownloadOutcome::kComplete) << encode(s);
+    if (s.outcome == DownloadOutcome::kPartial) {
+      ++partial;
+      EXPECT_GT(s.result.received_bytes, 0u);
+      EXPECT_LT(s.result.received_bytes, kOneMiB);
+    }
+  }
+  EXPECT_GT(partial, 0);
+}
+
+TEST(FaultInjection, BlackholeGoesSilentAndTimesOut) {
+  fault::FaultPlan plan = tor_pipe_plan([](fault::PipeFaultRule& r) {
+    r.blackhole_probability = 1.0;
+    r.blackhole_after_bytes_min = 150 * 1024;
+    r.blackhole_after_bytes_max = 150 * 1024;
+  });
+  FaultRun run =
+      run_faulted(102, std::nullopt, plan, {}, 2, sim::from_seconds(30));
+  ASSERT_EQ(run.samples.size(), 2u);
+  EXPECT_GT(injected(run, fault::FaultKind::kBlackhole), 0u);
+  for (const ReliabilitySample& s : run.samples) {
+    EXPECT_NE(s.outcome, DownloadOutcome::kComplete) << encode(s);
+    EXPECT_TRUE(s.result.timed_out) << encode(s);
+  }
+}
+
+TEST(FaultInjection, StallDelaysCompletionWithoutKillingIt) {
+  fault::FaultPlan plan = tor_pipe_plan([](fault::PipeFaultRule& r) {
+    r.stall_probability = 1.0;
+    r.stall_after_bytes_min = 100 * 1024;
+    r.stall_after_bytes_max = 100 * 1024;
+    r.stall_duration = sim::from_seconds(20);
+  });
+  // Fault-free baseline for the same seed finishes far quicker.
+  FaultRun baseline = run_faulted(103, std::nullopt, fault::FaultPlan::none(),
+                                  {}, 1, sim::from_seconds(300));
+  FaultRun run =
+      run_faulted(103, std::nullopt, plan, {}, 1, sim::from_seconds(300));
+  ASSERT_EQ(run.samples.size(), 1u);
+  EXPECT_GT(injected(run, fault::FaultKind::kStall), 0u);
+  EXPECT_EQ(run.samples[0].outcome, DownloadOutcome::kComplete)
+      << encode(run.samples[0]);
+  ASSERT_EQ(baseline.samples[0].outcome, DownloadOutcome::kComplete);
+  double slowdown = run.samples[0].result.elapsed() -
+                    baseline.samples[0].result.elapsed();
+  EXPECT_GT(slowdown, 15.0) << "stall should add ~20s per stalled pipe";
+}
+
+TEST(FaultInjection, MessageDropsRuinDownloads) {
+  fault::FaultPlan plan = tor_pipe_plan([](fault::PipeFaultRule& r) {
+    r.drop_probability = 0.05;  // no retransmission layer: any loss is fatal
+  });
+  FaultRun run = run_faulted(104, std::nullopt, plan, {}, 2);
+  ASSERT_EQ(run.samples.size(), 2u);
+  EXPECT_GT(injected(run, fault::FaultKind::kDrop), 0u);
+  for (const ReliabilitySample& s : run.samples)
+    EXPECT_NE(s.outcome, DownloadOutcome::kComplete) << encode(s);
+}
+
+TEST(FaultInjection, DialRefusalFailsWithZeroBytes) {
+  fault::FaultPlan plan = tor_pipe_plan(
+      [](fault::PipeFaultRule& r) { r.refuse_probability = 1.0; });
+  FaultRun run = run_faulted(105, std::nullopt, plan, {}, 2);
+  ASSERT_EQ(run.samples.size(), 2u);
+  EXPECT_GT(injected(run, fault::FaultKind::kRefuse), 0u);
+  for (const ReliabilitySample& s : run.samples) {
+    EXPECT_EQ(s.outcome, DownloadOutcome::kFailed) << encode(s);
+    EXPECT_EQ(s.result.received_bytes, 0u);
+  }
+}
+
+// ------------------------------------------------ per-transport failures --
+
+TEST(FaultInjection, TlsRejectionFailsWebtunnelAndConsumesRetries) {
+  fault::FaultPlan plan;
+  plan.tls_handshake_reject_probability = 1.0;
+  RetryPolicy retry;
+  retry.max_retries = 2;
+  FaultRun run = run_faulted(106, PtId::kWebTunnel, plan, retry, 2);
+  ASSERT_EQ(run.samples.size(), 2u);
+  EXPECT_GE(injected(run, fault::FaultKind::kTlsHandshakeReject), 2u);
+  for (const ReliabilitySample& s : run.samples) {
+    EXPECT_EQ(s.outcome, DownloadOutcome::kFailed) << encode(s);
+    EXPECT_EQ(s.attempts, 1 + retry.max_retries) << encode(s);
+    EXPECT_EQ(s.result.received_bytes, 0u);
+  }
+}
+
+TEST(FaultInjection, TlsRejectionFailsCloakSocksTunnel) {
+  fault::FaultPlan plan;
+  plan.tls_handshake_reject_probability = 1.0;
+  FaultRun run = run_faulted(107, PtId::kCloak, plan, {}, 2);
+  ASSERT_EQ(run.samples.size(), 2u);
+  EXPECT_GT(injected(run, fault::FaultKind::kTlsHandshakeReject), 0u);
+  for (const ReliabilitySample& s : run.samples)
+    EXPECT_EQ(s.outcome, DownloadOutcome::kFailed) << encode(s);
+}
+
+TEST(FaultInjection, SnowflakeBrokerOutageFailsRendezvous) {
+  fault::FaultPlan plan;
+  plan.broker_unavailable_probability = 1.0;
+  FaultRun run = run_faulted(108, PtId::kSnowflake, plan, {}, 2);
+  ASSERT_EQ(run.samples.size(), 2u);
+  EXPECT_GT(injected(run, fault::FaultKind::kBrokerUnavailable), 0u);
+  for (const ReliabilitySample& s : run.samples) {
+    EXPECT_EQ(s.outcome, DownloadOutcome::kFailed) << encode(s);
+    EXPECT_EQ(s.result.received_bytes, 0u);
+  }
+}
+
+TEST(FaultInjection, DnsttResolverTruncationKillsTunnel) {
+  fault::FaultPlan plan;
+  plan.dns_truncation_probability = 1.0;
+  FaultRun run = run_faulted(109, PtId::kDnstt, plan, {}, 2);
+  ASSERT_EQ(run.samples.size(), 2u);
+  EXPECT_GT(injected(run, fault::FaultKind::kDnsTruncation), 0u);
+  for (const ReliabilitySample& s : run.samples)
+    EXPECT_EQ(s.outcome, DownloadOutcome::kFailed) << encode(s);
+}
+
+TEST(FaultInjection, MeekCdnErrorsFailTheSession) {
+  fault::FaultPlan plan;
+  plan.cdn_error_probability = 1.0;
+  FaultRun run = run_faulted(110, PtId::kMeek, plan, {}, 2);
+  ASSERT_EQ(run.samples.size(), 2u);
+  EXPECT_GT(injected(run, fault::FaultKind::kCdnError), 0u);
+  for (const ReliabilitySample& s : run.samples)
+    EXPECT_EQ(s.outcome, DownloadOutcome::kFailed) << encode(s);
+}
+
+TEST(FaultInjection, CircuitBuildFailureExhaustsRetries) {
+  fault::FaultPlan plan;
+  plan.circuit_build_failure_probability = 1.0;
+  RetryPolicy retry;
+  retry.max_retries = 1;
+  FaultRun run = run_faulted(111, std::nullopt, plan, retry, 2);
+  ASSERT_EQ(run.samples.size(), 2u);
+  EXPECT_GT(injected(run, fault::FaultKind::kCircuitBuildFailure), 0u);
+  for (const ReliabilitySample& s : run.samples) {
+    EXPECT_EQ(s.outcome, DownloadOutcome::kFailed) << encode(s);
+    EXPECT_EQ(s.attempts, 1 + retry.max_retries) << encode(s);
+  }
+}
+
+// ------------------------------------------------- determinism + opt-in --
+
+/// Mixed-hazard plan for the cross-transport matrix: every fault family
+/// armed at rates that leave most downloads alive.
+fault::FaultPlan matrix_plan() {
+  fault::FaultPlan plan;
+  fault::PipeFaultRule tor_links;
+  tor_links.service = "tor";
+  tor_links.reset_probability = 0.25;
+  tor_links.reset_after_bytes_min = 100 * 1024;
+  tor_links.reset_after_bytes_max = 400 * 1024;
+  tor_links.stall_probability = 0.2;
+  tor_links.stall_after_bytes_min = 64 * 1024;
+  tor_links.stall_after_bytes_max = 256 * 1024;
+  tor_links.stall_duration = sim::from_seconds(10);
+  tor_links.drop_probability = 0.001;
+  plan.pipe_rules.push_back(tor_links);
+  plan.tls_handshake_reject_probability = 0.25;
+  plan.broker_unavailable_probability = 0.3;
+  plan.dns_truncation_probability = 0.01;
+  plan.cdn_error_probability = 0.05;
+  plan.circuit_build_failure_probability = 0.1;
+  return plan;
+}
+
+/// Runs the full PT matrix under matrix_plan() in one shared scenario and
+/// returns the flattened outcome vector plus injected-fault counters.
+std::vector<std::string> run_matrix(std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.tranco_sites = 1;
+  cfg.cbl_sites = 0;
+  Scenario scenario(cfg);
+  fault::FaultInjector& injector =
+      scenario.install_fault_plan(matrix_plan());
+  TransportFactory factory(scenario);
+
+  CampaignOptions copts;
+  copts.file_reps = 2;
+  copts.file_timeout = sim::from_seconds(60);
+  Campaign campaign(scenario, copts);
+  RetryPolicy retry;
+  retry.max_retries = 1;
+
+  std::vector<std::string> out;
+  const PtId matrix[] = {PtId::kObfs4,     PtId::kWebTunnel, PtId::kMeek,
+                         PtId::kDnstt,     PtId::kSnowflake, PtId::kCloak,
+                         PtId::kConjure};
+  for (PtId id : matrix) {
+    PtStack stack = factory.create(id);
+    for (const ReliabilitySample& s :
+         campaign.run_reliability(stack, {kOneMiB}, retry))
+      out.push_back(encode(s));
+  }
+  for (std::size_t k = 0;
+       k < static_cast<std::size_t>(fault::FaultKind::kCount_); ++k) {
+    auto kind = static_cast<fault::FaultKind>(k);
+    out.push_back("injected:" + std::string(fault::fault_kind_name(kind)) +
+                  "=" + std::to_string(injector.injected(kind)));
+  }
+  return out;
+}
+
+TEST(FaultInjection, MatrixOutcomeVectorIsDeterministicPerSeed) {
+  std::vector<std::string> first = run_matrix(777);
+  std::vector<std::string> second = run_matrix(777);
+  // 7 transports x 2 reps + one counter line per fault kind.
+  ASSERT_EQ(first.size(),
+            14u + static_cast<std::size_t>(fault::FaultKind::kCount_));
+  EXPECT_EQ(first, second);
+  // The schedule is seed-dependent, not hardcoded.
+  EXPECT_NE(first, run_matrix(778));
+}
+
+TEST(FaultInjection, EmptyPlanReplaysFaultFreeBehaviorExactly) {
+  // Installing an empty plan must be indistinguishable from never
+  // installing an injector: zero extra RNG draws anywhere.
+  auto run_with = [](bool install) {
+    ScenarioConfig cfg;
+    cfg.seed = 500;
+    cfg.tranco_sites = 1;
+    cfg.cbl_sites = 0;
+    Scenario scenario(cfg);
+    if (install) scenario.install_fault_plan(fault::FaultPlan::none());
+    TransportFactory factory(scenario);
+    PtStack stack = factory.create(PtId::kObfs4);
+    CampaignOptions copts;
+    copts.file_reps = 2;
+    copts.file_timeout = sim::from_seconds(120);
+    Campaign campaign(scenario, copts);
+    std::vector<std::string> out;
+    for (const ReliabilitySample& s :
+         campaign.run_reliability(stack, {kOneMiB}))
+      out.push_back(encode(s));
+    return out;
+  };
+  std::vector<std::string> with_empty_plan = run_with(true);
+  std::vector<std::string> without_injector = run_with(false);
+  ASSERT_EQ(with_empty_plan.size(), 2u);
+  EXPECT_EQ(with_empty_plan, without_injector);
+}
+
+TEST(FaultInjection, ReliabilityRunMatchesFileDownloadsWhenFaultFree) {
+  // run_reliability with no retries is the classified view of the exact
+  // same schedule run_file_downloads executes.
+  ScenarioConfig cfg;
+  cfg.seed = 501;
+  cfg.tranco_sites = 1;
+  cfg.cbl_sites = 0;
+
+  auto encode_result = [](const workload::FetchResult& r) {
+    return std::to_string(r.received_bytes) + "|" + hex(r.complete_s) + "|" +
+           (r.success ? "ok" : "no");
+  };
+
+  std::vector<std::string> via_files;
+  {
+    Scenario scenario(cfg);
+    TransportFactory factory(scenario);
+    PtStack stack = factory.create(PtId::kObfs4);
+    Campaign campaign(scenario, CampaignOptions{});
+    for (const FileSample& s : campaign.run_file_downloads(stack, {kOneMiB}))
+      via_files.push_back(encode_result(s.result));
+  }
+  std::vector<std::string> via_reliability;
+  {
+    Scenario scenario(cfg);
+    TransportFactory factory(scenario);
+    PtStack stack = factory.create(PtId::kObfs4);
+    Campaign campaign(scenario, CampaignOptions{});
+    for (const ReliabilitySample& s :
+         campaign.run_reliability(stack, {kOneMiB})) {
+      EXPECT_EQ(s.outcome, DownloadOutcome::kComplete);
+      EXPECT_EQ(s.attempts, 1);
+      via_reliability.push_back(encode_result(s.result));
+    }
+  }
+  EXPECT_EQ(via_files, via_reliability);
+}
+
+}  // namespace
+}  // namespace ptperf

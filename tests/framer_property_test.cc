@@ -1,0 +1,83 @@
+// Property tests for the length-prefixed framer every PT's reassembly
+// path depends on: any sequence of messages, framed into one byte stream
+// and re-fed under arbitrary fragmentation/coalescing, must come out
+// intact, in order, with nothing left pending.
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+#include "util/framer.h"
+
+namespace ptperf::util {
+namespace {
+
+TEST(FramerProperty, RoundTripsUnderRandomFragmentation) {
+  sim::Rng rng(20260806);
+  for (int round = 0; round < 200; ++round) {
+    // Random message batch, including empty and multi-KB messages.
+    std::size_t n_messages = 1 + rng.next_below(8);
+    std::vector<Bytes> messages;
+    Bytes stream;
+    for (std::size_t i = 0; i < n_messages; ++i) {
+      std::size_t len = rng.next_below(5000);
+      Bytes msg = rng.bytes(len);
+      Bytes framed = frame_message(msg);
+      stream.insert(stream.end(), framed.begin(), framed.end());
+      messages.push_back(std::move(msg));
+    }
+
+    std::vector<Bytes> received;
+    MessageFramer framer([&](Bytes msg) { received.push_back(std::move(msg)); });
+
+    // Feed in random chunk sizes: single bytes, partial headers, chunks
+    // spanning several frames — whatever the draw produces.
+    std::size_t off = 0;
+    while (off < stream.size()) {
+      std::size_t chunk = 1 + rng.next_below(stream.size() - off);
+      framer.feed(BytesView(stream.data() + off, chunk));
+      off += chunk;
+    }
+
+    ASSERT_EQ(received.size(), messages.size()) << "round " << round;
+    for (std::size_t i = 0; i < messages.size(); ++i)
+      EXPECT_EQ(received[i], messages[i]) << "round " << round << " msg " << i;
+    EXPECT_EQ(framer.pending(), 0u) << "round " << round;
+  }
+}
+
+TEST(FramerProperty, CoalescedSingleFeedMatchesByteWiseFeed) {
+  sim::Rng rng(424242);
+  for (int round = 0; round < 50; ++round) {
+    std::size_t n_messages = 1 + rng.next_below(5);
+    Bytes stream;
+    for (std::size_t i = 0; i < n_messages; ++i) {
+      Bytes framed = frame_message(rng.bytes(rng.next_below(600)));
+      stream.insert(stream.end(), framed.begin(), framed.end());
+    }
+
+    std::vector<Bytes> all_at_once, byte_wise;
+    MessageFramer coalesced([&](Bytes m) { all_at_once.push_back(std::move(m)); });
+    coalesced.feed(stream);
+    MessageFramer trickle([&](Bytes m) { byte_wise.push_back(std::move(m)); });
+    for (std::size_t i = 0; i < stream.size(); ++i)
+      trickle.feed(BytesView(stream.data() + i, 1));
+
+    EXPECT_EQ(all_at_once, byte_wise) << "round " << round;
+    EXPECT_EQ(coalesced.pending(), 0u);
+    EXPECT_EQ(trickle.pending(), 0u);
+  }
+}
+
+TEST(FramerProperty, PartialHeaderStaysPending) {
+  int fired = 0;
+  MessageFramer framer([&](Bytes) { ++fired; });
+  Bytes framed = frame_message(Bytes{1, 2, 3});
+  framer.feed(BytesView(framed.data(), 3));  // less than the u32 header
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(framer.pending(), 3u);
+  framer.feed(BytesView(framed.data() + 3, framed.size() - 3));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(framer.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace ptperf::util

@@ -1,6 +1,16 @@
 #include "net/channel.h"
 
 namespace ptperf::net {
+
+Channel::Channel() {
+  // Monotone process-wide counter. Only the relative order of serials is
+  // ever observed, so replay determinism holds even when several campaigns
+  // share a process. Single-threaded by the event-loop contract (the TSan
+  // CI job guards that assumption).
+  static std::uint64_t next_serial = 0;
+  serial_ = next_serial++;
+}
+
 namespace {
 
 class PipeChannel final : public Channel {

@@ -4,6 +4,7 @@
 // (the paper's "set 3" PTs, §4.1).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 
@@ -17,7 +18,14 @@ class Channel {
   using Receiver = std::function<void(util::Bytes)>;
   using CloseHandler = std::function<void()>;
 
+  Channel();
   virtual ~Channel() = default;
+
+  /// Construction-order serial. Channel construction order is a pure
+  /// function of the simulation seed, so serials give a stable, replayable
+  /// ordering key where comparing Channel* would depend on allocation
+  /// addresses (see docs/STATIC_ANALYSIS.md, pointer-keyed-map rule).
+  std::uint64_t serial() const { return serial_; }
 
   virtual void send(util::Bytes payload) = 0;
   virtual void set_receiver(Receiver fn) = 0;
@@ -25,6 +33,9 @@ class Channel {
   virtual void close() = 0;
   /// Propagation-only round-trip estimate of the underlying path.
   virtual sim::Duration base_rtt() const = 0;
+
+ private:
+  std::uint64_t serial_;
 };
 
 using ChannelPtr = std::shared_ptr<Channel>;

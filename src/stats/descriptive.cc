@@ -5,6 +5,18 @@
 #include <stdexcept>
 
 namespace ptperf::stats {
+namespace {
+
+/// Linear interpolation at quantile q over an already-sorted sample.
+double interpolate_sorted(const std::vector<double>& xs, double q) {
+  double pos = q * static_cast<double>(xs.size() - 1);
+  auto lo = static_cast<std::size_t>(pos);
+  std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1 - frac) + xs[hi] * frac;
+}
+
+}  // namespace
 
 double mean(const std::vector<double>& xs) {
   if (xs.empty()) return 0;
@@ -27,11 +39,7 @@ double quantile(std::vector<double> xs, double q) {
   if (xs.empty()) throw std::invalid_argument("quantile: empty sample");
   q = std::clamp(q, 0.0, 1.0);
   std::sort(xs.begin(), xs.end());
-  double pos = q * static_cast<double>(xs.size() - 1);
-  auto lo = static_cast<std::size_t>(pos);
-  std::size_t hi = std::min(lo + 1, xs.size() - 1);
-  double frac = pos - static_cast<double>(lo);
-  return xs[lo] * (1 - frac) + xs[hi] * frac;
+  return interpolate_sorted(xs, q);
 }
 
 double median(const std::vector<double>& xs) { return quantile(xs, 0.5); }
@@ -43,16 +51,9 @@ BoxStats box_stats(std::vector<double> xs) {
   b.n = xs.size();
   b.min = xs.front();
   b.max = xs.back();
-  auto q = [&xs](double p) {
-    double pos = p * static_cast<double>(xs.size() - 1);
-    auto lo = static_cast<std::size_t>(pos);
-    std::size_t hi = std::min(lo + 1, xs.size() - 1);
-    double frac = pos - static_cast<double>(lo);
-    return xs[lo] * (1 - frac) + xs[hi] * frac;
-  };
-  b.q1 = q(0.25);
-  b.median = q(0.5);
-  b.q3 = q(0.75);
+  b.q1 = interpolate_sorted(xs, 0.25);
+  b.median = interpolate_sorted(xs, 0.5);
+  b.q3 = interpolate_sorted(xs, 0.75);
   b.mean = mean(xs);
   double iqr = b.q3 - b.q1;
   double lo_fence = b.q1 - 1.5 * iqr;

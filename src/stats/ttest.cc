@@ -1,6 +1,8 @@
 #include "stats/ttest.h"
 
+#include <array>
 #include <cmath>
+#include <numbers>
 #include <stdexcept>
 
 #include "stats/descriptive.h"
@@ -10,19 +12,21 @@ namespace ptperf::stats {
 
 double lgamma_approx(double x) {
   // Lanczos approximation, g = 7, n = 9.
-  static const double coeffs[9] = {
+  constexpr double kPi = std::numbers::pi;
+  static constexpr std::array<double, 9> kCoeffs = {
       0.99999999999980993,  676.5203681218851,   -1259.1392167224028,
       771.32342877765313,   -176.61502916214059, 12.507343278686905,
       -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
   if (x < 0.5) {
     // Reflection formula.
-    return std::log(M_PI / std::sin(M_PI * x)) - lgamma_approx(1.0 - x);
+    return std::log(kPi / std::sin(kPi * x)) - lgamma_approx(1.0 - x);
   }
   x -= 1.0;
-  double a = coeffs[0];
+  double a = kCoeffs[0];
   double t = x + 7.5;
-  for (int i = 1; i < 9; ++i) a += coeffs[i] / (x + i);
-  return 0.5 * std::log(2 * M_PI) + (x + 0.5) * std::log(t) - t + std::log(a);
+  for (std::size_t i = 1; i < kCoeffs.size(); ++i)
+    a += kCoeffs[i] / (x + static_cast<double>(i));
+  return 0.5 * std::log(2 * kPi) + (x + 0.5) * std::log(t) - t + std::log(a);
 }
 
 namespace {

@@ -68,7 +68,7 @@ void Relay::on_link_message(const net::ChannelPtr& ch, util::Bytes wire) {
     return;
   }
 
-  auto it = circuits_.find({ch.get(), cell->circ_id});
+  auto it = circuits_.find({ch->serial(), cell->circ_id});
   if (it == circuits_.end()) return;
   CircuitPtr circ = it->second;
 
@@ -88,7 +88,7 @@ void Relay::on_link_closed(const net::ChannelPtr& ch) {
   // Tear down every circuit on this link.
   std::vector<CircuitPtr> doomed;
   for (auto& [key, circ] : circuits_) {
-    if (key.first == ch.get()) doomed.push_back(circ);
+    if (key.first == ch->serial()) doomed.push_back(circ);
   }
   for (auto& circ : doomed) destroy_circuit(circ, /*notify_client=*/false);
 }
@@ -106,7 +106,7 @@ void Relay::handle_create2(const net::ChannelPtr& ch, const Cell& cell) {
   circ->prev = ch;
   circ->prev_id = cell.circ_id;
   circ->layer.emplace(result->keys);
-  circuits_[{ch.get(), cell.circ_id}] = circ;
+  circuits_[{ch->serial(), cell.circ_id}] = circ;
 
   Cell reply;
   reply.circ_id = cell.circ_id;

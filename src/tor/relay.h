@@ -5,6 +5,7 @@
 // 1000 cells, stream window 500, SENDME credits of 100/50).
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
@@ -107,8 +108,10 @@ class Relay : public std::enable_shared_from_this<Relay> {
   net::HostId host_;
   ExitResolver exit_resolver_;
 
-  // Circuits keyed by (link channel, circ id on that link).
-  std::map<std::pair<const net::Channel*, CircId>, CircuitPtr> circuits_;
+  // Circuits keyed by (link channel serial, circ id on that link). The
+  // serial — not the Channel pointer — keeps iteration order (stop(),
+  // on_link_closed() teardown order) identical across same-seed runs.
+  std::map<std::pair<std::uint64_t, CircId>, CircuitPtr> circuits_;
   std::uint64_t cells_relayed_ = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "util/strings.h"
 
 #include <cctype>
+#include <charconv>
 #include <cstdio>
 
 namespace ptperf::util {
@@ -35,13 +36,35 @@ std::string to_lower(std::string_view s) {
 }
 
 bool starts_with(std::string_view s, std::string_view prefix) {
-  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+  return s.starts_with(prefix);
 }
 
 std::string fmt_double(double v, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
   return buf;
+}
+
+namespace {
+
+template <typename T>
+std::optional<T> parse_decimal(std::string_view s) {
+  std::size_t i = 0;
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  T value{};
+  auto [ptr, ec] = std::from_chars(s.data() + i, s.data() + s.size(), value);
+  if (ec != std::errc() || ptr == s.data() + i) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::optional<int> parse_int(std::string_view s) {
+  return parse_decimal<int>(s);
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view s) {
+  return parse_decimal<std::uint64_t>(s);
 }
 
 }  // namespace ptperf::util

@@ -1,6 +1,8 @@
 // Small string helpers shared by report formatting and config parsing.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -15,5 +17,12 @@ bool starts_with(std::string_view s, std::string_view prefix);
 /// Fixed-precision float formatting for report tables ("%.2f" style without
 /// the locale pitfalls of streams).
 std::string fmt_double(double v, int precision);
+
+/// Checked decimal parsing (the atoi/strtoull replacements simlint's
+/// unsafe-c rule points at). Leading whitespace is skipped; parsing stops at
+/// the first non-digit; nullopt if no digits were found or the value
+/// overflows.
+std::optional<int> parse_int(std::string_view s);
+std::optional<std::uint64_t> parse_u64(std::string_view s);
 
 }  // namespace ptperf::util

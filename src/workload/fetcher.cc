@@ -101,9 +101,14 @@ struct Transfer : std::enable_shared_from_this<Transfer> {
         return;
       }
       result.expected_bytes = static_cast<std::size_t>(
-          std::strtoull(text.c_str() + cl_pos + 15, nullptr, 10));
+          util::parse_u64(std::string_view(text).substr(cl_pos + 15))
+              .value_or(0));
       std::size_t status_sp = text.find(' ');
-      int status = std::atoi(text.c_str() + status_sp + 1);
+      int status = status_sp == std::string::npos
+                       ? 0
+                       : util::parse_int(
+                             std::string_view(text).substr(status_sp + 1))
+                             .value_or(0);
       if (status != 200) {
         finish(false, "http status " + std::to_string(status));
         return;

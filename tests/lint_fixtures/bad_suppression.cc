@@ -1,0 +1,13 @@
+// Must trigger bad-suppression three ways: missing reason, unknown rule,
+// and a malformed marker. The banned call on the reason-less line must
+// STILL be reported (an ineffective suppression suppresses nothing).
+#include <cstdlib>
+
+// simlint: allow(unsafe-c)
+int parse_a(const char* s) { return atoi(s); }
+
+// simlint: allow(no-such-rule) -- typo in the rule name
+int parse_b(const char* s) { return static_cast<int>(s[0]); }
+
+// simlint: please ignore this file
+int parse_c(const char* s) { return static_cast<int>(s[1]); }

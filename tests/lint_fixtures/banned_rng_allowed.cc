@@ -1,0 +1,10 @@
+// Must be clean: a multi-rule allow list covering a seeded-but-ambient
+// engine used for a non-simulation purpose.
+// simlint: allow(banned-rng) -- fixture: engine seeded from test constant
+#include <random>
+
+int ambient_draw() {
+  // simlint: allow(banned-rng) -- fixture: engine seeded from test constant
+  std::mt19937 gen(42);
+  return static_cast<int>(gen());
+}

@@ -1,0 +1,8 @@
+// Must trigger banned-rng three times: the <random> include, the ambient
+// engine, and the libc rand() call.
+#include <random>
+
+int ambient_draw() {
+  std::mt19937 gen(42);
+  return static_cast<int>(gen()) + rand();
+}

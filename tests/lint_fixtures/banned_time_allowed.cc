@@ -1,0 +1,12 @@
+// Must be clean: both suppression placements (line above, trailing).
+#include <chrono>
+
+long wall_now() {
+  // simlint: allow(banned-time) -- fixture: deliberate wall-clock read
+  auto t = std::chrono::system_clock::now();
+  return t.time_since_epoch().count();
+}
+
+long c_wall_now() {
+  return static_cast<long>(time(nullptr));  // simlint: allow(banned-time) -- fixture: trailing form
+}

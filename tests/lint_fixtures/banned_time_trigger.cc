@@ -1,0 +1,9 @@
+// Must trigger banned-time: ambient wall-clock read.
+#include <chrono>
+
+long wall_now() {
+  auto t = std::chrono::system_clock::now();
+  return t.time_since_epoch().count();
+}
+
+long c_wall_now() { return static_cast<long>(time(nullptr)); }

@@ -1,0 +1,26 @@
+// Must be clean: ordinary simulation-style code — virtual time arithmetic,
+// ordered containers, checked parsing, strings and comments that merely
+// *mention* time(), rand() and strcpy() without calling them.
+#include <map>
+#include <string>
+
+namespace fixture {
+
+struct TimePoint {
+  long ns = 0;
+};
+
+inline TimePoint advance(TimePoint t, long delta_ns) {
+  return TimePoint{t.ns + delta_ns};
+}
+
+inline std::string describe() {
+  return "uses time() nor rand() nor strcpy()? none of them — only names";
+}
+
+inline int lookup(const std::map<int, int>& m, int k) {
+  auto it = m.find(k);
+  return it == m.end() ? 0 : it->second;
+}
+
+}  // namespace fixture

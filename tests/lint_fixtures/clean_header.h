@@ -1,0 +1,10 @@
+// Must be clean: well-formed header.
+#pragma once
+
+#include <string>
+
+namespace fixture {
+
+inline std::string shout(const std::string& s) { return s + "!"; }
+
+}  // namespace fixture

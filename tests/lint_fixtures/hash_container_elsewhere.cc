@@ -1,0 +1,12 @@
+// Must be clean: hash-container and pointer-keyed-map only apply under the
+// deterministic-core directories; this file lives outside them.
+#include <map>
+#include <unordered_map>
+
+struct Conn {};
+
+int tally() {
+  std::unordered_map<int, int> counts;
+  std::map<const Conn*, int> by_conn;
+  return static_cast<int>(counts.size() + by_conn.size());
+}

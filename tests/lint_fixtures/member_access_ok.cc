@@ -1,0 +1,8 @@
+// Must be clean: member functions that merely share a banned name are
+// reached through member access and are not ambient time/entropy.
+struct Clockish;
+
+template <typename T>
+long sample(const T& t, const T* p) {
+  return t.time() + p->clock() + t.rand();
+}

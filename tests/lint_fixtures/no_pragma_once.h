@@ -1,0 +1,2 @@
+// Must trigger pragma-once: header without the guard.
+inline int forty_two() { return 42; }

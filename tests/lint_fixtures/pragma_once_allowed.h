@@ -1,0 +1,2 @@
+// simlint: allow(pragma-once) -- fixture: generated header, guard omitted
+inline int forty_three() { return 43; }

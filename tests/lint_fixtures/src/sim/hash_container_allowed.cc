@@ -1,0 +1,9 @@
+// Must be clean: suppressed lookup-only table in the deterministic core.
+#include <unordered_map>
+
+int lookup(int k) {
+  // simlint: allow(hash-container) -- fixture: lookup-only, never iterated
+  static std::unordered_map<int, int> table;
+  auto it = table.find(k);
+  return it == table.end() ? -1 : it->second;
+}

@@ -1,0 +1,9 @@
+// Must trigger hash-container: unordered containers are banned in the
+// deterministic core (this fixture's path contains "src/sim/").
+#include <unordered_map>
+
+int count_entries() {
+  std::unordered_map<int, int> m;
+  m[1] = 2;
+  return static_cast<int>(m.size());
+}

@@ -1,0 +1,7 @@
+// Must be clean: suppressed pointer-keyed lookup table.
+#include <map>
+
+struct Conn {};
+
+// simlint: allow(pointer-keyed-map) -- fixture: lookup-only, never iterated
+std::map<const Conn*, int> by_conn;

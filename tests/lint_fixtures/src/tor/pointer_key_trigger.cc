@@ -1,0 +1,9 @@
+// Must trigger pointer-keyed-map twice: directly pointer-keyed, and a
+// pointer buried inside a composite key.
+#include <map>
+#include <utility>
+
+struct Conn {};
+
+std::map<const Conn*, int> by_conn;
+std::map<std::pair<const Conn*, int>, int> by_conn_and_id;

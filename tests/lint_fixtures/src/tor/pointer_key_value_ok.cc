@@ -1,0 +1,9 @@
+// Must be clean: only the *key* matters — pointers in the mapped value do
+// not perturb iteration order.
+#include <map>
+#include <memory>
+
+struct Circuit {};
+
+std::map<int, Circuit*> by_id;
+std::map<int, std::shared_ptr<Circuit>> owned_by_id;

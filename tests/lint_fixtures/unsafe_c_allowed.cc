@@ -1,0 +1,6 @@
+// Must be clean: suppressed use of a banned C function.
+#include <cstdlib>
+
+int parse_port(const char* s) {
+  return atoi(s);  // simlint: allow(unsafe-c) -- fixture: input is a literal
+}

@@ -1,0 +1,7 @@
+// Must trigger unsafe-c twice: unchecked parse and unbounded copy.
+#include <cstdlib>
+#include <cstring>
+
+int parse_port(const char* s) { return atoi(s); }
+
+void copy_name(char* dst, const char* src) { strcpy(dst, src); }

@@ -1,0 +1,8 @@
+// Must trigger using-namespace-header (but not pragma-once).
+#pragma once
+
+#include <string>
+
+using namespace std;
+
+inline string shout(const string& s) { return s + "!"; }

@@ -1,0 +1,162 @@
+// Tests for tools/simlint against the tests/lint_fixtures corpus: every
+// rule must fire on its trigger fixture, every suppression fixture must be
+// silent, and the scanner's negative space (member access, pointer values,
+// path scoping) must not false-positive. The binary and fixture paths are
+// injected by tests/CMakeLists.txt.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace {
+
+struct LintRun {
+  int exit_code = -1;
+  std::string output;
+};
+
+LintRun run_simlint(const std::string& args) {
+  std::string cmd = std::string(SIMLINT_BIN) + " " + args + " 2>&1";
+  LintRun run;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (!pipe) return run;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0) run.output.append(buf, n);
+  int status = pclose(pipe);
+  if (WIFEXITED(status)) run.exit_code = WEXITSTATUS(status);
+  return run;
+}
+
+std::string fixture(const std::string& rel) {
+  return std::string(SIMLINT_FIXTURES) + "/" + rel;
+}
+
+/// True if some output line reports `rule` against a file whose path
+/// contains `file_part`.
+bool has_finding(const std::string& output, const std::string& file_part,
+                 const std::string& rule) {
+  for (const std::string& line : ptperf::util::split(output, '\n')) {
+    if (line.find(file_part) != std::string::npos &&
+        line.find("[" + rule + "]") != std::string::npos)
+      return true;
+  }
+  return false;
+}
+
+int count_findings(const std::string& output, const std::string& file_part) {
+  int n = 0;
+  for (const std::string& line : ptperf::util::split(output, '\n')) {
+    if (line.find(file_part) != std::string::npos &&
+        line.find(": [") != std::string::npos)
+      ++n;
+  }
+  return n;
+}
+
+class SimlintCorpus : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { corpus_ = new LintRun(run_simlint(SIMLINT_FIXTURES)); }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    corpus_ = nullptr;
+  }
+  static const LintRun& corpus() { return *corpus_; }
+
+ private:
+  static LintRun* corpus_;
+};
+
+LintRun* SimlintCorpus::corpus_ = nullptr;
+
+TEST_F(SimlintCorpus, FindingsFailTheRun) {
+  EXPECT_EQ(corpus().exit_code, 1) << corpus().output;
+}
+
+TEST_F(SimlintCorpus, EveryRuleFiresOnItsTriggerFixture) {
+  const auto& out = corpus().output;
+  EXPECT_TRUE(has_finding(out, "banned_time_trigger.cc", "banned-time")) << out;
+  EXPECT_TRUE(has_finding(out, "banned_rng_trigger.cc", "banned-rng")) << out;
+  EXPECT_TRUE(has_finding(out, "src/sim/hash_container_trigger.cc",
+                          "hash-container"))
+      << out;
+  EXPECT_TRUE(has_finding(out, "src/tor/pointer_key_trigger.cc",
+                          "pointer-keyed-map"))
+      << out;
+  EXPECT_TRUE(has_finding(out, "unsafe_c_trigger.cc", "unsafe-c")) << out;
+  EXPECT_TRUE(has_finding(out, "no_pragma_once.h", "pragma-once")) << out;
+  EXPECT_TRUE(has_finding(out, "using_namespace_trigger.h",
+                          "using-namespace-header"))
+      << out;
+  EXPECT_TRUE(has_finding(out, "bad_suppression.cc", "bad-suppression")) << out;
+}
+
+TEST_F(SimlintCorpus, TriggerFixturesReportExpectedCounts) {
+  const auto& out = corpus().output;
+  // system_clock + time(); mt19937 + rand() + the <random> include; atoi +
+  // strcpy; both pointer-keyed declarations.
+  EXPECT_EQ(count_findings(out, "banned_time_trigger.cc"), 2) << out;
+  EXPECT_EQ(count_findings(out, "banned_rng_trigger.cc"), 3) << out;
+  EXPECT_EQ(count_findings(out, "unsafe_c_trigger.cc"), 2) << out;
+  EXPECT_EQ(count_findings(out, "pointer_key_trigger.cc"), 2) << out;
+}
+
+TEST_F(SimlintCorpus, SuppressionFixturesAreSilent) {
+  const auto& out = corpus().output;
+  EXPECT_EQ(count_findings(out, "_allowed."), 0) << out;
+}
+
+TEST_F(SimlintCorpus, IneffectiveSuppressionSuppressesNothing) {
+  // The reason-less suppression in bad_suppression.cc must not silence the
+  // atoi() on the line it covers.
+  EXPECT_TRUE(has_finding(corpus().output, "bad_suppression.cc", "unsafe-c"))
+      << corpus().output;
+}
+
+TEST_F(SimlintCorpus, NoFalsePositivesOnNegativeSpaceFixtures) {
+  const auto& out = corpus().output;
+  EXPECT_EQ(count_findings(out, "clean.cc"), 0) << out;
+  EXPECT_EQ(count_findings(out, "clean_header.h"), 0) << out;
+  EXPECT_EQ(count_findings(out, "member_access_ok.cc"), 0) << out;
+  EXPECT_EQ(count_findings(out, "pointer_key_value_ok.cc"), 0) << out;
+  // Path-scoped rules must stay scoped to the deterministic core.
+  EXPECT_EQ(count_findings(out, "hash_container_elsewhere.cc"), 0) << out;
+}
+
+TEST(Simlint, CleanFileExitsZeroWithNoOutput) {
+  LintRun run = run_simlint(fixture("clean.cc"));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(run.output, "");
+}
+
+TEST(Simlint, JsonOutputCarriesFileLineRule) {
+  LintRun run = run_simlint("--json " + fixture("unsafe_c_trigger.cc"));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("\"rule\": \"unsafe-c\""), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("\"count\": 2"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("unsafe_c_trigger.cc"), std::string::npos)
+      << run.output;
+}
+
+TEST(Simlint, ListRulesNamesEveryRule) {
+  LintRun run = run_simlint("--list-rules");
+  EXPECT_EQ(run.exit_code, 0);
+  for (const char* rule :
+       {"banned-time", "banned-rng", "hash-container", "pointer-keyed-map",
+        "unsafe-c", "pragma-once", "using-namespace-header"}) {
+    EXPECT_NE(run.output.find(rule), std::string::npos) << rule;
+  }
+}
+
+TEST(Simlint, MissingPathIsAUsageError) {
+  LintRun run = run_simlint(fixture("does_not_exist.cc"));
+  EXPECT_EQ(run.exit_code, 2) << run.output;
+}
+
+}  // namespace

@@ -1,0 +1,311 @@
+#include "lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace simlint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// True for the encoding prefixes that may introduce a raw string literal.
+bool raw_string_prefix(const std::string& ident) {
+  return ident == "R" || ident == "u8R" || ident == "uR" || ident == "LR";
+}
+
+/// Parses an allow-suppression (comma-separated rule list, then a reason
+/// after a double dash) out of a comment body. Returns false if the comment
+/// contains no simlint marker at all.
+bool parse_suppression(const std::string& comment, int line, Suppression* out) {
+  std::size_t marker = comment.find("simlint:");
+  if (marker == std::string::npos) return false;
+  out->line = line;
+
+  std::size_t pos = marker + 8;
+  while (pos < comment.size() && comment[pos] == ' ') ++pos;
+  if (comment.compare(pos, 6, "allow(") != 0) return true;  // malformed
+  pos += 6;
+  std::size_t close = comment.find(')', pos);
+  if (close == std::string::npos) return true;  // malformed
+
+  std::string name;
+  for (std::size_t i = pos; i <= close; ++i) {
+    char c = i < close ? comment[i] : ',';
+    if (c == ',' ) {
+      if (!name.empty()) out->rules.push_back(name);
+      name.clear();
+    } else if (c != ' ') {
+      name.push_back(c);
+    }
+  }
+  out->parse_ok = !out->rules.empty();
+  out->has_reason = comment.find("--", close) != std::string::npos &&
+                    comment.find_first_not_of(" -", comment.find("--", close)) !=
+                        std::string::npos;
+  return true;
+}
+
+class Lexer {
+ public:
+  Lexer(const std::string& src, FileScan* out) : src_(src), out_(out) {}
+
+  void run() {
+    while (pos_ < src_.size()) step();
+  }
+
+ private:
+  char cur() const { return src_[pos_]; }
+  char peek(std::size_t n = 1) const {
+    return pos_ + n < src_.size() ? src_[pos_ + n] : '\0';
+  }
+
+  void advance() {
+    if (src_[pos_] == '\n') {
+      ++line_;
+      at_line_start_ = true;
+    }
+    ++pos_;
+  }
+
+  void emit(TokKind kind, std::string text, int line) {
+    out_->tokens.push_back(Token{kind, std::move(text), line});
+  }
+
+  void step() {
+    char c = cur();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\v' ||
+        c == '\f') {
+      advance();
+      return;
+    }
+    if (c == '\\' && peek() == '\n') {  // line continuation
+      advance();
+      advance();
+      return;
+    }
+    if (c == '/' && peek() == '/') {
+      line_comment();
+      return;
+    }
+    if (c == '/' && peek() == '*') {
+      block_comment();
+      return;
+    }
+    if (c == '#' && at_line_start_) {
+      directive();
+      return;
+    }
+    at_line_start_ = false;
+    if (c == '"') {
+      string_literal("\"");
+      return;
+    }
+    if (c == '\'') {
+      string_literal("'");
+      return;
+    }
+    if (ident_start(c)) {
+      identifier();
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek())))) {
+      number();
+      return;
+    }
+    if (c == ':' && peek() == ':') {
+      emit(TokKind::kPunct, "::", line_);
+      advance();
+      advance();
+      return;
+    }
+    emit(TokKind::kPunct, std::string(1, c), line_);
+    advance();
+  }
+
+  void line_comment() {
+    int start_line = line_;
+    std::string text;
+    while (pos_ < src_.size() && cur() != '\n') {
+      text.push_back(cur());
+      advance();
+    }
+    note_comment(text, start_line);
+  }
+
+  void block_comment() {
+    int start_line = line_;
+    std::string text;
+    advance();  // '/'
+    advance();  // '*'
+    while (pos_ < src_.size()) {
+      if (cur() == '*' && peek() == '/') {
+        advance();
+        advance();
+        break;
+      }
+      text.push_back(cur());
+      advance();
+    }
+    note_comment(text, start_line);
+  }
+
+  void note_comment(const std::string& text, int start_line) {
+    Suppression s;
+    if (parse_suppression(text, start_line, &s))
+      out_->suppressions.push_back(std::move(s));
+  }
+
+  /// `#` at the start of a line. Handles `#pragma once` and captures the
+  /// `#include` target; all other directives fall through to normal lexing
+  /// so rules still see tokens inside macro definitions.
+  void directive() {
+    at_line_start_ = false;
+    advance();  // '#'
+    while (pos_ < src_.size() && (cur() == ' ' || cur() == '\t')) advance();
+    std::string name;
+    while (pos_ < src_.size() && ident_char(cur())) {
+      name.push_back(cur());
+      advance();
+    }
+    if (name == "include") {
+      while (pos_ < src_.size() && (cur() == ' ' || cur() == '\t')) advance();
+      if (pos_ < src_.size() && (cur() == '<' || cur() == '"')) {
+        char open = cur();
+        char close = open == '<' ? '>' : '"';
+        std::string target(1, open);
+        advance();
+        while (pos_ < src_.size() && cur() != close && cur() != '\n') {
+          target.push_back(cur());
+          advance();
+        }
+        if (pos_ < src_.size() && cur() == close) {
+          target.push_back(close);
+          advance();
+        }
+        emit(TokKind::kInclude, std::move(target), line_);
+      }
+      return;
+    }
+    if (name == "pragma") {
+      std::size_t save = pos_;
+      while (pos_ < src_.size() && (cur() == ' ' || cur() == '\t')) advance();
+      std::string what;
+      while (pos_ < src_.size() && ident_char(cur())) {
+        what.push_back(cur());
+        advance();
+      }
+      if (what == "once") {
+        out_->has_pragma_once = true;
+        return;
+      }
+      pos_ = save;  // unknown pragma: lex its tokens normally
+    }
+  }
+
+  void string_literal(const char* quote) {
+    int start_line = line_;
+    char q = quote[0];
+    std::string text;
+    advance();  // opening quote
+    while (pos_ < src_.size() && cur() != q && cur() != '\n') {
+      if (cur() == '\\') {
+        text.push_back(cur());
+        advance();
+        if (pos_ >= src_.size()) break;
+      }
+      text.push_back(cur());
+      advance();
+    }
+    if (pos_ < src_.size() && cur() == q) advance();
+    emit(TokKind::kString, std::move(text), start_line);
+  }
+
+  void raw_string() {
+    int start_line = line_;
+    advance();  // opening '"'
+    std::string delim;
+    while (pos_ < src_.size() && cur() != '(') {
+      delim.push_back(cur());
+      advance();
+    }
+    std::string closer = ")" + delim + "\"";
+    std::size_t end = src_.find(closer, pos_);
+    std::string text;
+    if (end == std::string::npos) {
+      end = src_.size();
+      text = src_.substr(pos_, end - pos_);
+    } else {
+      text = src_.substr(pos_ + 1, end - pos_ - 1);
+      end += closer.size();
+    }
+    while (pos_ < end && pos_ < src_.size()) advance();  // keep line count
+    emit(TokKind::kString, std::move(text), start_line);
+  }
+
+  void identifier() {
+    int start_line = line_;
+    std::string text;
+    while (pos_ < src_.size() && ident_char(cur())) {
+      text.push_back(cur());
+      advance();
+    }
+    if (raw_string_prefix(text) && pos_ < src_.size() && cur() == '"') {
+      raw_string();
+      return;
+    }
+    emit(TokKind::kIdent, std::move(text), start_line);
+  }
+
+  void number() {
+    int start_line = line_;
+    std::string text;
+    // pp-number-ish: digits, letters, '.', digit separators, exponent signs.
+    while (pos_ < src_.size()) {
+      char c = cur();
+      if (ident_char(c) || c == '.' || c == '\'') {
+        text.push_back(c);
+        advance();
+      } else if ((c == '+' || c == '-') && !text.empty() &&
+                 (text.back() == 'e' || text.back() == 'E' ||
+                  text.back() == 'p' || text.back() == 'P')) {
+        text.push_back(c);
+        advance();
+      } else {
+        break;
+      }
+    }
+    emit(TokKind::kNumber, std::move(text), start_line);
+  }
+
+  const std::string& src_;
+  FileScan* out_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+};
+
+}  // namespace
+
+FileScan scan_file(const std::string& path, const std::string& contents) {
+  FileScan scan;
+  scan.path = path;
+  scan.norm_path = path;
+  for (char& c : scan.norm_path) {
+    if (c == '\\') c = '/';
+  }
+  std::size_t dot = path.rfind('.');
+  if (dot != std::string::npos) {
+    std::string ext = path.substr(dot);
+    scan.is_header = ext == ".h" || ext == ".hh" || ext == ".hpp";
+  }
+  Lexer(contents, &scan).run();
+  return scan;
+}
+
+}  // namespace simlint

@@ -1,0 +1,54 @@
+// Minimal C++ tokenizer for simlint. It is not a compiler front end: it
+// strips comments, string/char literals and whitespace, keeps identifiers,
+// numbers and punctuation with line numbers, and extracts the two pieces of
+// file-level structure the rules need (preprocessor directives and
+// allow-suppression comments; see docs/STATIC_ANALYSIS.md for the exact
+// syntax). That is enough to enforce
+// determinism invariants without a full parse, and keeps the tool
+// dependency-free.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace simlint {
+
+enum class TokKind {
+  kIdent,    // identifiers and keywords
+  kNumber,   // numeric literals (pp-numbers, loosely)
+  kString,   // string or char literal (text excludes quotes)
+  kPunct,    // punctuation; "::" is fused into one token
+  kInclude,  // the target of an #include, e.g. "<ctime>" or "\"net/tls.h\""
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;
+};
+
+/// One allow-suppression comment: a rule list plus a mandatory reason after
+/// a double dash. A suppression covers findings on its own line and on the
+/// line directly below it, so it works both trailing the offending code and
+/// on a line of its own above it.
+struct Suppression {
+  std::vector<std::string> rules;
+  bool has_reason = false;
+  bool parse_ok = false;  // false: marker present but allow(...) malformed
+  int line = 0;
+};
+
+struct FileScan {
+  std::string path;       // as given on the command line (used in output)
+  std::string norm_path;  // backslashes folded to '/' (used by path filters)
+  bool is_header = false;
+  bool has_pragma_once = false;
+  std::vector<Token> tokens;
+  std::vector<Suppression> suppressions;
+};
+
+/// Tokenizes `contents`; never fails (unterminated constructs are closed at
+/// end of file so rules still see the prefix).
+FileScan scan_file(const std::string& path, const std::string& contents);
+
+}  // namespace simlint

@@ -1,0 +1,161 @@
+// simlint — determinism & simulation-safety linter for the ptperf tree.
+//
+//   simlint [--json] [--list-rules] <file-or-dir>...
+//
+// Scans .h/.cc files (directories are walked recursively), applies every
+// registered rule, and prints findings as `file:line: [rule] message` (or a
+// JSON array with --json, for diffing and CI annotation). Exit status: 0
+// clean, 1 findings, 2 usage or I/O error.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+#include "rules.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool lintable(const fs::path& p) {
+  std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hh" || ext == ".hpp" || ext == ".cc" ||
+         ext == ".cpp" || ext == ".cxx";
+}
+
+/// Expands files/directories into a sorted, de-duplicated file list so
+/// output order never depends on filesystem iteration order.
+std::vector<std::string> collect_files(const std::vector<std::string>& paths,
+                                       bool* io_error) {
+  std::vector<std::string> files;
+  for (const std::string& p : paths) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (auto it = fs::recursive_directory_iterator(p, ec);
+           !ec && it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_regular_file() && lintable(it->path()))
+          files.push_back(it->path().generic_string());
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p);
+    } else {
+      std::cerr << "simlint: cannot read '" << p << "'\n";
+      *io_error = true;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void print_text(const std::vector<simlint::Finding>& findings) {
+  for (const auto& f : findings) {
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  }
+  if (!findings.empty()) {
+    std::cout << "simlint: " << findings.size() << " finding"
+              << (findings.size() == 1 ? "" : "s")
+              << " (see docs/STATIC_ANALYSIS.md; suppress a deliberate case "
+                 "with '// simlint: allow(<rule>) -- <reason>')\n";
+  }
+}
+
+void print_json(const std::vector<simlint::Finding>& findings) {
+  std::cout << "{\n  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const auto& f = findings[i];
+    std::cout << (i ? ",\n    " : "\n    ") << "{\"file\": \""
+              << json_escape(f.file) << "\", \"line\": " << f.line
+              << ", \"rule\": \"" << json_escape(f.rule)
+              << "\", \"message\": \"" << json_escape(f.message) << "\"}";
+  }
+  std::cout << (findings.empty() ? "" : "\n  ") << "],\n  \"count\": "
+            << findings.size() << "\n}\n";
+}
+
+void print_rules() {
+  for (const auto& r : simlint::rules()) {
+    std::cout << r.name << "\n    " << r.summary << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-rules") {
+      print_rules();
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: simlint [--json] [--list-rules] <file-or-dir>...\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "simlint: unknown option '" << arg << "'\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "usage: simlint [--json] [--list-rules] <file-or-dir>...\n";
+    return 2;
+  }
+
+  bool io_error = false;
+  std::vector<simlint::Finding> findings;
+  for (const std::string& file : collect_files(paths, &io_error)) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::cerr << "simlint: cannot open '" << file << "'\n";
+      io_error = true;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    simlint::FileScan scan = simlint::scan_file(file, buf.str());
+    std::vector<simlint::Finding> file_findings = simlint::lint_file(scan);
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+  }
+  std::sort(findings.begin(), findings.end());
+
+  if (json) {
+    print_json(findings);
+  } else {
+    print_text(findings);
+  }
+  if (io_error) return 2;
+  return findings.empty() ? 0 : 1;
+}

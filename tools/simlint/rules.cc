@@ -1,0 +1,308 @@
+#include "rules.h"
+
+#include <algorithm>
+#include <initializer_list>
+#include <string_view>
+
+namespace simlint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+
+/// True if the file lives under any of the given directories (substring
+/// match on the normalized path, so absolute and relative invocations both
+/// work).
+bool path_under(const FileScan& scan,
+                std::initializer_list<std::string_view> dirs) {
+  for (std::string_view d : dirs) {
+    if (scan.norm_path.find(d) != std::string::npos) return true;
+  }
+  return false;
+}
+
+bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+bool ident_in(const Token& t, std::initializer_list<std::string_view> names) {
+  if (t.kind != TokKind::kIdent) return false;
+  for (std::string_view n : names) {
+    if (t.text == n) return true;
+  }
+  return false;
+}
+
+/// True if token i is reached through member access (`x.f`, `p->f`): those
+/// are our own methods that merely share a name with a banned C function.
+bool member_access_before(const std::vector<Token>& toks, std::size_t i) {
+  if (i == 0) return false;
+  if (is_punct(toks[i - 1], ".")) return true;
+  return i >= 2 && is_punct(toks[i - 1], ">") && is_punct(toks[i - 2], "-");
+}
+
+/// True if token i is a call (`name(...)`) that resolves to the global or
+/// std:: function rather than a member or a project-namespace helper.
+bool global_or_std_call(const std::vector<Token>& toks, std::size_t i) {
+  if (i + 1 >= toks.size() || !is_punct(toks[i + 1], "(")) return false;
+  if (member_access_before(toks, i)) return false;
+  if (i >= 2 && is_punct(toks[i - 1], "::")) {
+    // Qualified: only std::name (or chrono::name) is the banned entity; a
+    // project namespace deliberately shadowing the name is fine.
+    return ident_in(toks[i - 2], {"std", "chrono"});
+  }
+  return true;
+}
+
+void flag(std::vector<Finding>& out, const FileScan& scan, int line,
+          const char* rule, std::string message) {
+  out.push_back(Finding{scan.path, line, rule, std::move(message)});
+}
+
+/// Flags every use of the listed type/function identifiers (qualified or
+/// not), skipping member accesses that merely reuse a name.
+void ban_idents(const FileScan& scan, std::vector<Finding>& out,
+                const char* rule, std::initializer_list<std::string_view> names,
+                std::string_view why) {
+  const auto& toks = scan.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!ident_in(toks[i], names) || member_access_before(toks, i)) continue;
+    flag(out, scan, toks[i].line, rule,
+         "'" + toks[i].text + "' " + std::string(why));
+  }
+}
+
+/// Flags calls to the listed free functions (global or std-qualified only).
+void ban_calls(const FileScan& scan, std::vector<Finding>& out,
+               const char* rule, std::initializer_list<std::string_view> names,
+               std::string_view why) {
+  const auto& toks = scan.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!ident_in(toks[i], names) || !global_or_std_call(toks, i)) continue;
+    flag(out, scan, toks[i].line, rule,
+         "'" + toks[i].text + "()' " + std::string(why));
+  }
+}
+
+void ban_includes(const FileScan& scan, std::vector<Finding>& out,
+                  const char* rule,
+                  std::initializer_list<std::string_view> targets,
+                  std::string_view why) {
+  for (const Token& t : scan.tokens) {
+    if (t.kind != TokKind::kInclude) continue;
+    for (std::string_view target : targets) {
+      if (t.text == target)
+        flag(out, scan, t.line, rule,
+             "#include " + t.text + " " + std::string(why));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: banned-time — wall-clock sources corrupt same-seed replay. All
+// simulation time must come from sim::TimePoint / the event loop.
+
+constexpr std::string_view kTimeWhy =
+    "reads wall-clock time; use sim::TimePoint from the event loop "
+    "(src/sim/time.h) so runs replay bit-exactly";
+
+void check_banned_time(const FileScan& scan, std::vector<Finding>& out) {
+  if (path_under(scan, {"src/sim/time."})) return;
+  ban_idents(scan, out, "banned-time",
+             {"system_clock", "steady_clock", "high_resolution_clock",
+              "file_clock", "utc_clock", "gettimeofday", "clock_gettime",
+              "timespec_get", "localtime", "gmtime", "mktime"},
+             kTimeWhy);
+  ban_calls(scan, out, "banned-time", {"time", "clock"}, kTimeWhy);
+  ban_includes(scan, out, "banned-time",
+               {"<ctime>", "<time.h>", "<sys/time.h>"},
+               "pulls in wall-clock APIs; virtual time only (src/sim/time.h)");
+}
+
+// ---------------------------------------------------------------------------
+// Rule: banned-rng — ambient entropy breaks the root-seed contract. Every
+// random draw must come from a stream forked off sim::Rng.
+
+constexpr std::string_view kRngWhy =
+    "is ambient randomness; derive a stream from the campaign's seeded "
+    "sim::Rng (src/sim/rng.h) instead";
+
+void check_banned_rng(const FileScan& scan, std::vector<Finding>& out) {
+  if (path_under(scan, {"src/sim/rng."})) return;
+  ban_idents(scan, out, "banned-rng",
+             {"random_device", "mt19937", "mt19937_64", "minstd_rand",
+              "minstd_rand0", "default_random_engine", "knuth_b", "ranlux24",
+              "ranlux48", "random_shuffle", "shuffle",
+              "uniform_int_distribution", "uniform_real_distribution",
+              "normal_distribution", "lognormal_distribution",
+              "bernoulli_distribution", "exponential_distribution",
+              "poisson_distribution", "discrete_distribution"},
+             kRngWhy);
+  ban_calls(scan, out, "banned-rng", {"rand", "srand", "random", "drand48"},
+            kRngWhy);
+  ban_includes(scan, out, "banned-rng", {"<random>"},
+               "provides ambient engines/distributions; use sim::Rng "
+               "(src/sim/rng.h)");
+}
+
+// ---------------------------------------------------------------------------
+// Rule: hash-container — unordered_{map,set} iteration order is
+// implementation- and size-dependent, which leaks into event ordering and
+// RNG draw order in the deterministic core. Banned outright there because a
+// token scanner cannot prove a given instance is never iterated; suppress
+// with a reason for genuinely lookup-only tables.
+
+bool in_deterministic_core(const FileScan& scan) {
+  return path_under(scan, {"src/sim/", "src/net/", "src/tor/", "src/fault/"});
+}
+
+void check_hash_container(const FileScan& scan, std::vector<Finding>& out) {
+  if (!in_deterministic_core(scan)) return;
+  ban_idents(scan, out, "hash-container",
+             {"unordered_map", "unordered_set", "unordered_multimap",
+              "unordered_multiset"},
+             "has nondeterministic iteration order; use std::map/std::set "
+             "or a sorted vector in the deterministic core");
+}
+
+// ---------------------------------------------------------------------------
+// Rule: pointer-keyed-map — std::map/set ordered by pointer value iterate in
+// allocation-address order, which varies run to run (ASLR, allocator state).
+
+void check_pointer_keyed_map(const FileScan& scan, std::vector<Finding>& out) {
+  if (!in_deterministic_core(scan)) return;
+  const auto& toks = scan.tokens;
+  for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (!ident_in(toks[i], {"map", "set", "multimap", "multiset"})) continue;
+    if (i < 2 || !is_punct(toks[i - 1], "::") ||
+        !ident_in(toks[i - 2], {"std"}))
+      continue;
+    if (!is_punct(toks[i + 1], "<")) continue;
+    // Scan the first template argument (up to a top-level ',' or the
+    // closing '>') for a pointer declarator at any nesting depth.
+    int depth = 1;
+    for (std::size_t j = i + 2; j < toks.size() && depth > 0; ++j) {
+      const Token& t = toks[j];
+      if (is_punct(t, "<")) ++depth;
+      else if (is_punct(t, ">")) --depth;
+      else if (is_punct(t, ",") && depth == 1) break;
+      else if (is_punct(t, ";") || is_punct(t, "{")) break;  // malformed
+      else if (is_punct(t, "*")) {
+        flag(out, scan, toks[i].line, "pointer-keyed-map",
+             "'std::" + toks[i].text +
+                 "' keyed by a pointer iterates in allocation-address "
+                 "order; key by a deterministic id (e.g. Channel::serial)");
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: unsafe-c — unbounded C string/parse functions; src/util has bounded,
+// checked equivalents.
+
+void check_unsafe_c(const FileScan& scan, std::vector<Finding>& out) {
+  ban_calls(scan, out, "unsafe-c",
+            {"strcpy", "strcat", "sprintf", "vsprintf", "gets", "strtok",
+             "atoi", "atol", "atoll", "atof"},
+            "is unbounded/unchecked; use the src/util helpers "
+            "(util::parse_int / util::fmt_double / util::Bytes)");
+}
+
+// ---------------------------------------------------------------------------
+// Rule: pragma-once — every header must have it (include-graph hygiene).
+
+void check_pragma_once(const FileScan& scan, std::vector<Finding>& out) {
+  if (!scan.is_header || scan.has_pragma_once) return;
+  flag(out, scan, 1, "pragma-once", "header is missing '#pragma once'");
+}
+
+// ---------------------------------------------------------------------------
+// Rule: using-namespace-header — a using-directive in a header leaks into
+// every includer and can silently change overload resolution.
+
+void check_using_namespace(const FileScan& scan, std::vector<Finding>& out) {
+  if (!scan.is_header) return;
+  const auto& toks = scan.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (ident_in(toks[i], {"using"}) && ident_in(toks[i + 1], {"namespace"}))
+      flag(out, scan, toks[i].line, "using-namespace-header",
+           "'using namespace' in a header leaks into every includer");
+  }
+}
+
+const std::vector<Rule> kRules = {
+    {"banned-time", "wall-clock time sources outside src/sim/time.*",
+     check_banned_time},
+    {"banned-rng", "ambient randomness outside src/sim/rng.*",
+     check_banned_rng},
+    {"hash-container",
+     "unordered containers in the deterministic core (sim/net/tor/fault)",
+     check_hash_container},
+    {"pointer-keyed-map",
+     "pointer-keyed std::map/std::set in the deterministic core",
+     check_pointer_keyed_map},
+    {"unsafe-c", "unbounded C string/parse functions", check_unsafe_c},
+    {"pragma-once", "headers must contain #pragma once", check_pragma_once},
+    {"using-namespace-header", "no using-directives in headers",
+     check_using_namespace},
+};
+
+}  // namespace
+
+const std::vector<Rule>& rules() { return kRules; }
+
+bool known_rule(const std::string& name) {
+  if (name == "all") return true;
+  return std::any_of(kRules.begin(), kRules.end(),
+                     [&](const Rule& r) { return name == r.name; });
+}
+
+std::vector<Finding> lint_file(const FileScan& scan) {
+  std::vector<Finding> raw;
+  for (const Rule& rule : kRules) rule.check(scan, raw);
+
+  std::vector<Finding> out;
+  for (Finding& f : raw) {
+    bool suppressed = false;
+    for (const Suppression& s : scan.suppressions) {
+      if (!s.parse_ok || !s.has_reason) continue;
+      if (f.line != s.line && f.line != s.line + 1) continue;
+      for (const std::string& r : s.rules) {
+        if (r == "all" || r == f.rule) {
+          suppressed = true;
+          break;
+        }
+      }
+      if (suppressed) break;
+    }
+    if (!suppressed) out.push_back(std::move(f));
+  }
+
+  // A suppression that cannot take effect is itself a defect: it either
+  // failed to parse, lacks the mandatory `-- reason`, or names an unknown
+  // rule. These are never suppressible.
+  for (const Suppression& s : scan.suppressions) {
+    if (!s.parse_ok) {
+      flag(out, scan, s.line, "bad-suppression",
+           "malformed suppression; expected "
+           "'simlint: allow(<rule>[, <rule>]) -- <reason>'");
+      continue;
+    }
+    if (!s.has_reason) {
+      flag(out, scan, s.line, "bad-suppression",
+           "suppression is missing the mandatory '-- <reason>'");
+    }
+    for (const std::string& r : s.rules) {
+      if (!known_rule(r))
+        flag(out, scan, s.line, "bad-suppression",
+             "suppression names unknown rule '" + r + "'");
+    }
+  }
+
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace simlint

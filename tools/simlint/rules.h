@@ -1,0 +1,44 @@
+// simlint rule registry. Each rule is a named check over one tokenized file;
+// adding an invariant means writing one ~20-line check function and one
+// registry entry. Rules report Findings; allow-suppression filtering happens
+// in lint_file so individual checks never have to think about it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace simlint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  friend bool operator<(const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  }
+};
+
+struct Rule {
+  const char* name;
+  const char* summary;
+  void (*check)(const FileScan&, std::vector<Finding>&);
+};
+
+/// All registered rules, in reporting order.
+const std::vector<Rule>& rules();
+
+/// True if `name` names a registered rule.
+bool known_rule(const std::string& name);
+
+/// Runs every rule over `scan` and filters out suppressed findings.
+/// Malformed or reason-less suppressions surface as `bad-suppression`
+/// findings, which are never themselves suppressible.
+std::vector<Finding> lint_file(const FileScan& scan);
+
+}  // namespace simlint

@@ -8,8 +8,13 @@
 
 namespace ptperf::bench {
 
+int BenchArgs::effective_jobs() const {
+  return jobs <= 0 ? ParallelExecutor::hardware_jobs() : jobs;
+}
+
 BenchArgs parse_args(int argc, char** argv) {
   BenchArgs args;
+  args.start_wall_us = sim::wall_now_us();
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
     auto next = [&]() -> std::string {
@@ -25,11 +30,15 @@ BenchArgs parse_args(int argc, char** argv) {
       args.faults = next();
     } else if (a == "--retries") {
       args.retries = static_cast<int>(std::strtol(next().c_str(), nullptr, 10));
+    } else if (a == "--jobs" || a == "-j") {
+      args.jobs = static_cast<int>(std::strtol(next().c_str(), nullptr, 10));
     } else if (a == "--verbose" || a == "-v") {
       args.verbose = true;
     } else if (a == "--help" || a == "-h") {
       std::printf(
           "options: --seed N  --scale X (workload multiplier)  --out DIR\n"
+          "         --jobs N (shard threads; default: hardware concurrency,\n"
+          "                   1 = single-threaded; output is identical)\n"
           "         --faults none|paper (injected failures, fig8 only)\n"
           "         --retries N (retry budget per download in fault mode)\n");
       std::exit(0);
@@ -52,8 +61,35 @@ void banner(const std::string& id, const std::string& what,
             const BenchArgs& args) {
   std::printf("== PTPerf reproduction: %s — %s ==\n", id.c_str(),
               what.c_str());
-  std::printf("   seed=%llu scale=%.2f\n\n",
-              static_cast<unsigned long long>(args.seed), args.scale);
+  std::printf("   seed=%llu scale=%.2f jobs=%d\n\n",
+              static_cast<unsigned long long>(args.seed), args.scale,
+              args.effective_jobs());
+}
+
+ShardedCampaignConfig sharded_config(const BenchArgs& args) {
+  ShardedCampaignConfig cfg;
+  cfg.scenario.seed = args.seed;
+  cfg.jobs = args.effective_jobs();
+  return cfg;
+}
+
+void print_shard_timings(const std::vector<ShardTiming>& timings,
+                         const BenchArgs& args) {
+  if (!args.verbose || timings.empty()) return;
+  stats::Table t({"shard", "pt", "items", "virtual_s", "wall_us"});
+  std::int64_t wall_total = 0;
+  for (const ShardTiming& s : timings) {
+    t.add_row({std::to_string(s.shard), s.pt, std::to_string(s.items),
+               util::fmt_double(s.virtual_seconds, 1),
+               std::to_string(s.wall_us)});
+    wall_total += s.wall_us;
+  }
+  std::printf("-- shard timings (%zu shards, jobs=%d) --\n%s", timings.size(),
+              args.effective_jobs(), t.to_text().c_str());
+  std::printf("   cumulative shard wall %.2fs, end-to-end wall %.2fs\n\n",
+              static_cast<double>(wall_total) / 1e6,
+              static_cast<double>(sim::wall_now_us() - args.start_wall_us) /
+                  1e6);
 }
 
 std::vector<std::string> box_header() {
@@ -113,8 +149,17 @@ stats::Table ecdf_table(
 void emit(const stats::Table& table, const BenchArgs& args,
           const std::string& name, bool print_text) {
   if (print_text) std::printf("%s\n", table.to_text().c_str());
+  stats::Table annotated = table;
+  if (annotated.comment().empty()) {
+    double wall_s =
+        static_cast<double>(sim::wall_now_us() - args.start_wall_us) / 1e6;
+    annotated.set_comment(
+        "seed=" + std::to_string(args.seed) +
+        " jobs=" + std::to_string(args.effective_jobs()) +
+        " wall_s=" + util::fmt_double(wall_s, 2));
+  }
   std::string path = args.out_dir + "/" + name + ".csv";
-  if (!table.write_csv(path)) {
+  if (!annotated.write_csv(path)) {
     std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
   } else if (args.verbose) {
     std::printf("wrote %s\n", path.c_str());
@@ -127,6 +172,10 @@ std::vector<PtId> figure_pt_order() {
           PtId::kSnowflake, PtId::kCamoufler,  PtId::kDnstt,
           PtId::kWebTunnel, PtId::kMarionette, PtId::kStegotorus,
           PtId::kCloak,     PtId::kShadowsocks, PtId::kObfs4};
+}
+
+std::vector<std::optional<PtId>> sweep_pts() {
+  return ShardedCampaign::with_vanilla(figure_pt_order());
 }
 
 }  // namespace ptperf::bench

@@ -1,7 +1,9 @@
 // Shared plumbing for the figure/table reproduction binaries: CLI args
-// (--seed, --scale, --sites, --reps, --out), stack creation, and the table
-// renderers every bench uses. Each bench prints the paper's rows to stdout
-// and mirrors them to CSV files under --out (default: cwd).
+// (--seed, --scale, --sites, --reps, --jobs, --out), stack creation, and
+// the table renderers every bench uses. Each bench prints the paper's rows
+// to stdout and mirrors them to CSV files under --out (default: cwd).
+// Campaign-driven benches run on the sharded engine (ptperf/parallel.h):
+// --jobs N spreads shards over N threads with byte-identical output.
 #pragma once
 
 #include <cstdint>
@@ -9,6 +11,7 @@
 #include <vector>
 
 #include "ptperf/campaign.h"
+#include "ptperf/parallel.h"
 #include "stats/descriptive.h"
 #include "stats/table.h"
 #include "stats/ttest.h"
@@ -28,6 +31,16 @@ struct BenchArgs {
   std::string faults = "none";
   /// Retries per download in fault mode (RetryPolicy::max_retries).
   int retries = 0;
+  /// Shard worker threads. 0 = hardware concurrency (the default);
+  /// 1 = the legacy single-threaded path. Output is byte-identical for
+  /// every value — the shard plan never depends on it.
+  int jobs = 0;
+  /// Wall-clock start of the run (set by parse_args; used for the CSV
+  /// header comment and the --verbose timing summary).
+  std::int64_t start_wall_us = 0;
+
+  /// `jobs` with the hardware default resolved.
+  int effective_jobs() const;
 };
 
 BenchArgs parse_args(int argc, char** argv);
@@ -39,6 +52,16 @@ int scaled_int(int base, double scale, int min_value = 1);
 /// Prints a banner naming the artifact being reproduced.
 void banner(const std::string& id, const std::string& what,
             const BenchArgs& args);
+
+/// Sharded-engine config prefilled from the CLI args: base seed, jobs, and
+/// a scenario template the bench then tweaks (site counts, fault plans).
+ShardedCampaignConfig sharded_config(const BenchArgs& args);
+
+/// Per-shard timing summary (shard id, PT, items, virtual seconds, wall
+/// µs) — printed only under --verbose, so speedup and shard imbalance are
+/// observable without touching default output.
+void print_shard_timings(const std::vector<ShardTiming>& timings,
+                         const BenchArgs& args);
 
 /// "Tukey row" for one distribution.
 std::vector<std::string> box_row(const std::string& label,
@@ -56,11 +79,18 @@ stats::Table ecdf_table(
     const std::vector<std::pair<std::string, std::vector<double>>>& groups,
     const std::vector<double>& probes, const std::string& value_name);
 
-/// Writes table CSV to <out>/<name>.csv and reports on stdout.
+/// Writes table CSV to <out>/<name>.csv and reports on stdout. The CSV
+/// carries a `#` header comment recording seed, jobs and the end-to-end
+/// wall time so far — run metadata, deliberately outside the byte-identity
+/// contract (strip `#` lines before diffing runs).
 void emit(const stats::Table& table, const BenchArgs& args,
           const std::string& name, bool print_text = true);
 
 /// The PT ids evaluated in most figures, paper order (category-grouped).
 std::vector<PtId> figure_pt_order();
+
+/// figure_pt_order() preceded by vanilla Tor — the shard-plan PT list
+/// every full-sweep bench uses.
+std::vector<std::optional<PtId>> sweep_pts();
 
 }  // namespace ptperf::bench

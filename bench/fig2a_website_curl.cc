@@ -1,6 +1,8 @@
 // Reproduces Figure 2a + Appendix Tables 3/4: website access time via curl
 // for vanilla Tor and all 12 PTs over Tranco and CBL sites (paper: 1k+1k
 // sites x 5 accesses; default here: 30+30 sites x 3, grow with --scale).
+// Runs on the sharded engine: one shard per PT, merged in plan order, so
+// --jobs N only changes wall time, never output.
 //
 // Expected shape (paper): fully-encrypted and proxy-layer PTs cluster near
 // vanilla Tor (~2.3 s); dnstt and meek are 2x+ slower; camoufler ~5x;
@@ -14,33 +16,28 @@ int run(const BenchArgs& args) {
   banner("Figure 2a / Tables 3-4",
          "website access time, curl, Tranco + CBL", args);
 
-  ScenarioConfig cfg;
-  cfg.seed = args.seed;
-  cfg.tranco_sites = scaled(30, args.scale, 5);
-  cfg.cbl_sites = scaled(30, args.scale, 5);
-  Scenario scenario(cfg);
-  TransportFactory factory(scenario);
+  ShardedCampaignConfig cfg = sharded_config(args);
+  cfg.scenario.tranco_sites = scaled(30, args.scale, 5);
+  cfg.scenario.cbl_sites = scaled(30, args.scale, 5);
+  cfg.campaign.website_reps = 3;  // paper: 5; sites scale with --scale
+  ShardedCampaign engine(cfg);
 
-  CampaignOptions copts;
-  copts.website_reps = 3;  // paper: 5; sites scale with --scale instead
-  Campaign campaign(scenario, copts);
-
-  auto sites = Campaign::merge(
-      Campaign::take_sites(scenario.tranco(), cfg.tranco_sites),
-      Campaign::take_sites(scenario.cbl(), cfg.cbl_sites));
+  SiteSelection sites{cfg.scenario.tranco_sites, cfg.scenario.cbl_sites};
+  auto samples = engine.run_website_curl(sweep_pts(), sites);
 
   stats::Table boxes(box_header());
   std::vector<std::pair<std::string, std::vector<double>>> per_site;
-
-  auto measure = [&](PtStack stack) {
-    auto samples = campaign.run_website_curl(stack, sites);
-    std::vector<double> means = per_site_means(samples);
-    boxes.add_row(box_row(stack.name(), means));
-    per_site.emplace_back(stack.name(), std::move(means));
-  };
-
-  measure(factory.create_vanilla());
-  for (PtId id : figure_pt_order()) measure(factory.create(id));
+  // Samples arrive merged in plan order: group back by PT, preserving the
+  // sweep order for the tables.
+  for (const auto& pt : sweep_pts()) {
+    std::string name = pt ? std::string(pt_id_name(*pt)) : "tor";
+    std::vector<WebsiteSample> mine;
+    for (const WebsiteSample& s : samples)
+      if (s.pt == name) mine.push_back(s);
+    std::vector<double> means = per_site_means(mine);
+    boxes.add_row(box_row(name, means));
+    per_site.emplace_back(name, std::move(means));
+  }
 
   std::printf("-- Figure 2a: per-site average access time (s) --\n");
   emit(boxes, args, "fig2a_boxes");
@@ -50,6 +47,7 @@ int run(const BenchArgs& args) {
   emit(tests, args, "fig2a_ttests", args.verbose);
   std::printf("(%zu PT pairs; full table in fig2a_ttests.csv)\n",
               tests.rows());
+  print_shard_timings(engine.timings(), args);
   return 0;
 }
 

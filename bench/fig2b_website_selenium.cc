@@ -1,6 +1,7 @@
 // Reproduces Figure 2b + Appendix Tables 5/6: website access time via
 // selenium browser automation (full page + sub-resources, 6 parallel
-// connections). Two paper-critical effects must show:
+// connections), on the sharded engine (one shard per PT). Two
+// paper-critical effects must show:
 //   * obfs4, webtunnel and conjure come out FASTER than vanilla Tor
 //     (§4.2.1 — lightly loaded PT bridges vs volunteer guards);
 //   * snowflake is much slower than in Fig 2a because the selenium runs
@@ -15,41 +16,36 @@ int run(const BenchArgs& args) {
   banner("Figure 2b / Tables 5-6",
          "website access time, selenium (page + resources)", args);
 
-  ScenarioConfig cfg;
-  cfg.seed = args.seed;
-  cfg.tranco_sites = scaled(15, args.scale, 4);
-  cfg.cbl_sites = scaled(15, args.scale, 4);
-  Scenario scenario(cfg);
-  TransportFactory factory(scenario);
+  ShardedCampaignConfig cfg = sharded_config(args);
+  cfg.scenario.tranco_sites = scaled(15, args.scale, 4);
+  cfg.scenario.cbl_sites = scaled(15, args.scale, 4);
+  cfg.campaign.website_reps = 2;
+  // The paper's selenium campaign ran from November 2022 on: snowflake
+  // was overloaded for its duration.
+  cfg.configure_stack = [](Scenario&, PtStack& stack) {
+    if (stack.snowflake) stack.snowflake->set_overloaded(true);
+  };
+  ShardedCampaign engine(cfg);
 
-  CampaignOptions copts;
-  copts.website_reps = 2;
-  Campaign campaign(scenario, copts);
-
-  auto sites = Campaign::merge(
-      Campaign::take_sites(scenario.tranco(), cfg.tranco_sites),
-      Campaign::take_sites(scenario.cbl(), cfg.cbl_sites));
+  SiteSelection sites{cfg.scenario.tranco_sites, cfg.scenario.cbl_sites};
+  auto samples = engine.run_website_selenium(sweep_pts(), sites);
 
   stats::Table boxes(box_header());
   std::vector<std::pair<std::string, std::vector<double>>> groups;
-
-  auto measure = [&](PtStack stack) {
-    // The paper's selenium campaign ran from November 2022 on: snowflake
-    // was overloaded for its duration.
-    if (stack.snowflake) stack.snowflake->set_overloaded(true);
-    auto samples = campaign.run_website_selenium(stack, sites);
-    if (samples.empty()) {
+  for (const auto& pt : sweep_pts()) {
+    std::string name = pt ? std::string(pt_id_name(*pt)) : "tor";
+    std::vector<PageSample> mine;
+    for (const PageSample& s : samples)
+      if (s.pt == name) mine.push_back(s);
+    if (mine.empty()) {
       std::printf("%-12s excluded (no parallel-stream support)\n",
-                  stack.name().c_str());
-      return;
+                  name.c_str());
+      continue;
     }
-    std::vector<double> loads = load_seconds(samples);
-    boxes.add_row(box_row(stack.name(), loads));
-    groups.emplace_back(stack.name(), std::move(loads));
-  };
-
-  measure(factory.create_vanilla());
-  for (PtId id : figure_pt_order()) measure(factory.create(id));
+    std::vector<double> loads = load_seconds(mine);
+    boxes.add_row(box_row(name, loads));
+    groups.emplace_back(name, std::move(loads));
+  }
 
   std::printf("\n-- Figure 2b: page load time (s) --\n");
   emit(boxes, args, "fig2b_boxes");
@@ -78,6 +74,7 @@ int run(const BenchArgs& args) {
       }
     }
   }
+  print_shard_timings(engine.timings(), args);
   return 0;
 }
 

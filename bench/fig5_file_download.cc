@@ -1,9 +1,11 @@
 // Reproduces Figure 5 + Appendix Table 7: file download times for 5..100 MB
 // across all transports (paper: 10 attempts each; default 3, --scale
-// grows). PTs that fail to complete a size at least twice are excluded
-// from the time table, exactly as the paper excludes dnstt, snowflake and
-// meek. Expected shape: obfs4/cloak/psiphon/webtunnel fastest PT cluster;
-// camoufler the slowest completer; marionette pinned at the timeout.
+// grows), on the sharded engine (one shard per PT; --jobs N for the
+// wall-clock speedup, output identical). PTs that fail to complete a size
+// at least twice are excluded from the time table, exactly as the paper
+// excludes dnstt, snowflake and meek. Expected shape:
+// obfs4/cloak/psiphon/webtunnel fastest PT cluster; camoufler the slowest
+// completer; marionette pinned at the timeout.
 #include "common.h"
 
 namespace ptperf::bench {
@@ -12,18 +14,21 @@ namespace {
 int run(const BenchArgs& args) {
   banner("Figure 5 / Table 7", "bulk file download times", args);
 
-  ScenarioConfig cfg;
-  cfg.seed = args.seed;
-  cfg.tranco_sites = 2;
-  cfg.cbl_sites = 0;
-  Scenario scenario(cfg);
-  TransportFactory factory(scenario);
+  ShardedCampaignConfig cfg = sharded_config(args);
+  cfg.scenario.tranco_sites = 2;
+  cfg.scenario.cbl_sites = 0;
+  cfg.campaign.file_reps = scaled_int(3, args.scale, 2);
+  // The paper's file campaign overlapped the snowflake load surge.
+  cfg.configure_stack = [](Scenario&, PtStack& stack) {
+    if (stack.snowflake) stack.snowflake->set_overloaded(true);
+  };
+  ShardedCampaign engine(cfg);
 
-  CampaignOptions copts;
-  copts.file_reps = scaled_int(3, args.scale, 2);
-  Campaign campaign(scenario, copts);
-
+  // --scale < 1 also trims the size list (5..100 MB) from the top, so
+  // smoke runs are not pinned to the 100 MB virtual transfers.
   std::vector<std::size_t> sizes = workload::standard_file_sizes();
+  sizes.resize(scaled(sizes.size(), std::min(args.scale, 1.0), 1));
+  auto samples = engine.run_file_downloads(sweep_pts(), sizes);
 
   std::vector<std::string> headers{"pt"};
   for (std::size_t s : sizes)
@@ -35,45 +40,37 @@ int run(const BenchArgs& args) {
   // pools all sizes, like the paper's Table 7).
   std::vector<std::pair<std::string, std::vector<double>>> all_attempts;
 
-  auto measure = [&](PtStack stack) {
-    // The paper's file campaign overlapped the snowflake load surge.
-    if (stack.snowflake) stack.snowflake->set_overloaded(true);
-    auto samples = campaign.run_file_downloads(stack, sizes);
-
-    std::vector<std::string> row{stack.name()};
+  for (const auto& pt : sweep_pts()) {
+    std::string name = pt ? std::string(pt_id_name(*pt)) : "tor";
+    std::vector<std::string> row{name};
     std::vector<double> pooled;
     for (std::size_t size : sizes) {
       std::vector<double> ok;
       for (const FileSample& s : samples) {
-        if (s.size_bytes != size) continue;
+        if (s.pt != name || s.size_bytes != size) continue;
         if (s.result.success) {
           ok.push_back(s.result.elapsed());
           pooled.push_back(s.result.elapsed());
         } else {
           // Failed attempts enter the pooled comparison at the timeout
           // bound (the downloads effectively cost that long).
-          pooled.push_back(sim::to_seconds(copts.file_timeout));
+          pooled.push_back(sim::to_seconds(cfg.campaign.file_timeout));
         }
       }
       if (ok.size() >= 2) {
         row.push_back(util::fmt_double(stats::mean(ok), 1));
       } else {
         row.push_back("-");
-        excluded.add_row({stack.name(), std::to_string(size >> 20) + "MB",
+        excluded.add_row({name, std::to_string(size >> 20) + "MB",
                           std::to_string(ok.size()),
                           "fewer than two complete downloads"});
       }
     }
     times.add_row(std::move(row));
-    all_attempts.emplace_back(stack.name(), std::move(pooled));
-    std::printf("  measured %s\n", stack.name().c_str());
-    std::fflush(stdout);
-  };
+    all_attempts.emplace_back(name, std::move(pooled));
+  }
 
-  measure(factory.create_vanilla());
-  for (PtId id : figure_pt_order()) measure(factory.create(id));
-
-  std::printf("\n-- Figure 5: mean download time of completed attempts (s) --\n");
+  std::printf("-- Figure 5: mean download time of completed attempts (s) --\n");
   emit(times, args, "fig5_times");
   if (excluded.rows() > 0) {
     std::printf("-- excluded cells (like the paper's dnstt/meek/snowflake) --\n");
@@ -84,6 +81,7 @@ int run(const BenchArgs& args) {
   stats::Table tests = pairwise_t_tests(all_attempts);
   emit(tests, args, "fig5_ttests", args.verbose);
   std::printf("(%zu pairs; full table in fig5_ttests.csv)\n", tests.rows());
+  print_shard_timings(engine.timings(), args);
   return 0;
 }
 

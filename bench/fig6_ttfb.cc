@@ -1,7 +1,8 @@
 // Reproduces Figure 6: ECDF of time-to-first-byte across websites for all
-// transports. Expected: most PTs deliver the first byte within 5 s for
-// >80% of sites; meek sits in a 2.5-7.5 s band, camoufler spreads to
-// ~17.5 s, and marionette has ~40% of sites above 20 s.
+// transports, on the sharded engine. Expected: most PTs deliver the first
+// byte within 5 s for >80% of sites; meek sits in a 2.5-7.5 s band,
+// camoufler spreads to ~17.5 s, and marionette has ~40% of sites above
+// 20 s.
 #include "common.h"
 
 namespace ptperf::bench {
@@ -10,25 +11,23 @@ namespace {
 int run(const BenchArgs& args) {
   banner("Figure 6", "time to first byte (TTFB) ECDF", args);
 
-  ScenarioConfig cfg;
-  cfg.seed = args.seed;
-  cfg.tranco_sites = scaled(40, args.scale, 8);
-  cfg.cbl_sites = 0;
-  Scenario scenario(cfg);
-  TransportFactory factory(scenario);
+  ShardedCampaignConfig cfg = sharded_config(args);
+  cfg.scenario.tranco_sites = scaled(40, args.scale, 8);
+  cfg.scenario.cbl_sites = 0;
+  cfg.campaign.website_reps = 2;
+  ShardedCampaign engine(cfg);
 
-  CampaignOptions copts;
-  copts.website_reps = 2;
-  Campaign campaign(scenario, copts);
-  auto sites = Campaign::take_sites(scenario.tranco(), cfg.tranco_sites);
+  SiteSelection sites{cfg.scenario.tranco_sites, 0};
+  auto samples = engine.run_website_curl(sweep_pts(), sites);
 
   std::vector<std::pair<std::string, std::vector<double>>> groups;
-  auto measure = [&](PtStack stack) {
-    auto samples = campaign.run_website_curl(stack, sites);
-    groups.emplace_back(stack.name(), ttfb_seconds(samples));
-  };
-  measure(factory.create_vanilla());
-  for (PtId id : figure_pt_order()) measure(factory.create(id));
+  for (const auto& pt : sweep_pts()) {
+    std::string name = pt ? std::string(pt_id_name(*pt)) : "tor";
+    std::vector<WebsiteSample> mine;
+    for (const WebsiteSample& s : samples)
+      if (s.pt == name) mine.push_back(s);
+    groups.emplace_back(name, ttfb_seconds(mine));
+  }
 
   std::printf("-- Figure 6: P[TTFB <= t] --\n");
   emit(ecdf_table(groups, {1, 2.5, 5, 7.5, 10, 17.5, 20, 30}, "t"), args,
@@ -42,6 +41,7 @@ int run(const BenchArgs& args) {
                 e(5.0), 1.0 - e(20.0));
   }
   std::printf("(paper: most PTs >0.80 under 5 s; marionette ~0.40 above 20 s)\n");
+  print_shard_timings(engine.timings(), args);
   return 0;
 }
 

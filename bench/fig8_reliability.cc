@@ -1,4 +1,7 @@
-// Reproduces Figure 8a/8b + §4.6: reliability of file downloads.
+// Reproduces Figure 8a/8b + §4.6: reliability of file downloads, on the
+// sharded engine (each shard installs the fault plan in its own world;
+// injected-fault counters merge in plan order, so counts are deterministic
+// for a seed at any --jobs).
 //   8a — fraction of complete / partial / failed attempts per PT.
 //   8b — ECDF of the *fraction of the file* actually downloaded, for the
 //        three unreliable transports (meek, dnstt, snowflake).
@@ -13,76 +16,89 @@ namespace {
 int run(const BenchArgs& args) {
   banner("Figure 8a/8b / §4.6", "download reliability", args);
 
-  ScenarioConfig cfg;
-  cfg.seed = args.seed;
-  cfg.tranco_sites = 2;
-  cfg.cbl_sites = 0;
-  Scenario scenario(cfg);
-  TransportFactory factory(scenario);
-
-  fault::FaultInjector* injector = nullptr;
+  bool inject = false;
   if (args.faults != "none" && !args.faults.empty()) {
     if (args.faults != "paper") {
       std::fprintf(stderr, "unknown --faults profile '%s' (none|paper)\n",
                    args.faults.c_str());
       return 2;
     }
-    injector =
-        &scenario.install_fault_plan(fault::FaultPlan::paper_section_4_6());
+    inject = true;
     std::printf("   fault profile: paper (§4.6), retries=%d\n\n",
                 args.retries);
   }
 
-  CampaignOptions copts;
-  copts.file_reps = scaled_int(4, args.scale, 2);  // paper: 20 per size
-  Campaign campaign(scenario, copts);
+  ShardedCampaignConfig cfg = sharded_config(args);
+  cfg.scenario.tranco_sites = 2;
+  cfg.scenario.cbl_sites = 0;
+  cfg.campaign.file_reps = scaled_int(4, args.scale, 2);  // paper: 20/size
+  if (inject) {
+    cfg.configure_scenario = [](Scenario& scenario) {
+      scenario.install_fault_plan(fault::FaultPlan::paper_section_4_6());
+    };
+  }
+  cfg.configure_stack = [](Scenario&, PtStack& stack) {
+    if (stack.snowflake) stack.snowflake->set_overloaded(true);
+  };
+  ShardedCampaign engine(cfg);
+
+  // As in fig5, --scale < 1 trims the size list from the top so smoke
+  // runs (e.g. the CI TSan job) skip the largest virtual transfers.
   std::vector<std::size_t> sizes = workload::standard_file_sizes();
+  sizes.resize(scaled(sizes.size(), std::min(args.scale, 1.0), 1));
 
   stats::Table bars({"pt", "attempts", "complete", "partial", "failed",
                      "complete_frac", "partial_frac", "failed_frac"});
   std::vector<std::pair<std::string, std::vector<double>>> fraction_groups;
 
-  auto measure = [&](PtStack stack) {
-    if (stack.snowflake) stack.snowflake->set_overloaded(true);
+  // Outcomes per PT, either from the retrying reliability campaign (fault
+  // mode) or from plain downloads classified after the fact.
+  std::vector<ReliabilitySample> reliability;
+  std::vector<FileSample> plain;
+  if (inject) {
+    RetryPolicy retry;
+    retry.max_retries = args.retries;
+    reliability = engine.run_reliability(sweep_pts(), sizes, retry);
+  } else {
+    plain = engine.run_file_downloads(sweep_pts(), sizes);
+  }
+
+  for (const auto& pt : sweep_pts()) {
+    std::string name = pt ? std::string(pt_id_name(*pt)) : "tor";
     int complete = 0, partial = 0, failed = 0;
     std::size_t n_samples = 0;
     std::vector<double> fractions;
-    if (injector) {
-      RetryPolicy retry;
-      retry.max_retries = args.retries;
-      auto samples = campaign.run_reliability(stack, sizes, retry);
-      OutcomeCounts counts = count_outcomes(samples);
-      complete = counts.complete;
-      partial = counts.partial;
-      failed = counts.failed;
-      n_samples = samples.size();
-      for (const ReliabilitySample& s : samples)
+    if (inject) {
+      for (const ReliabilitySample& s : reliability) {
+        if (s.pt != name) continue;
+        switch (s.outcome) {
+          case DownloadOutcome::kComplete: ++complete; break;
+          case DownloadOutcome::kPartial: ++partial; break;
+          case DownloadOutcome::kFailed: ++failed; break;
+        }
         fractions.push_back(s.result.fraction());
+        ++n_samples;
+      }
     } else {
-      auto samples = campaign.run_file_downloads(stack, sizes);
-      for (const FileSample& s : samples) {
+      for (const FileSample& s : plain) {
+        if (s.pt != name) continue;
         switch (classify(s.result)) {
           case DownloadOutcome::kComplete: ++complete; break;
           case DownloadOutcome::kPartial: ++partial; break;
           case DownloadOutcome::kFailed: ++failed; break;
         }
         fractions.push_back(s.result.fraction());
+        ++n_samples;
       }
-      n_samples = samples.size();
     }
     auto n = static_cast<double>(n_samples);
-    bars.add_row({stack.name(), std::to_string(n_samples),
-                  std::to_string(complete), std::to_string(partial),
-                  std::to_string(failed), util::fmt_double(complete / n, 2),
+    bars.add_row({name, std::to_string(n_samples), std::to_string(complete),
+                  std::to_string(partial), std::to_string(failed),
+                  util::fmt_double(complete / n, 2),
                   util::fmt_double(partial / n, 2),
                   util::fmt_double(failed / n, 2)});
-    fraction_groups.emplace_back(stack.name(), std::move(fractions));
-    std::printf("  measured %s\n", stack.name().c_str());
-    std::fflush(stdout);
-  };
-
-  measure(factory.create_vanilla());
-  for (PtId id : figure_pt_order()) measure(factory.create(id));
+    fraction_groups.emplace_back(name, std::move(fractions));
+  }
 
   std::printf("\n-- Figure 8a: outcome fractions per PT --\n");
   emit(bars, args, "fig8a_outcomes");
@@ -100,17 +116,18 @@ int run(const BenchArgs& args) {
       "(paper: snowflake <40%% of the file in ~60%% of attempts; meek and\n"
       " dnstt reach higher fractions but rarely complete)\n");
 
-  if (injector) {
+  if (inject) {
     std::printf("\n-- Injected faults (deterministic for this seed) --\n");
     stats::Table injected({"fault", "count"});
     for (int k = 0; k < static_cast<int>(fault::FaultKind::kCount_); ++k) {
       auto kind = static_cast<fault::FaultKind>(k);
-      if (injector->injected(kind) == 0) continue;
+      if (engine.injected_faults(kind) == 0) continue;
       injected.add_row({std::string(fault::fault_kind_name(kind)),
-                        std::to_string(injector->injected(kind))});
+                        std::to_string(engine.injected_faults(kind))});
     }
     emit(injected, args, "fig8_injected_faults");
   }
+  print_shard_timings(engine.timings(), args);
   return 0;
 }
 

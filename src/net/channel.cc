@@ -1,14 +1,19 @@
 #include "net/channel.h"
 
+#include <atomic>
+
 namespace ptperf::net {
 
 Channel::Channel() {
   // Monotone process-wide counter. Only the relative order of serials is
-  // ever observed, so replay determinism holds even when several campaigns
-  // share a process. Single-threaded by the event-loop contract (the TSan
-  // CI job guards that assumption).
-  static std::uint64_t next_serial = 0;
-  serial_ = next_serial++;
+  // ever observed, and every channel of one Scenario is constructed on the
+  // shard thread driving that Scenario, so each world's serials stay
+  // strictly increasing in construction order no matter how shards
+  // interleave — replay determinism holds even when parallel campaigns
+  // share a process. Atomic because the sharded campaign engine
+  // (src/ptperf/parallel.h) runs scenarios concurrently.
+  static std::atomic<std::uint64_t> next_serial{0};
+  serial_ = next_serial.fetch_add(1, std::memory_order_relaxed);
 }
 
 namespace {

@@ -1,9 +1,14 @@
 // Campaign runner: drives the paper's measurement types (Table 1) against
 // a PtStack inside a Scenario — website access via curl and selenium, bulk
-// file downloads, TTFB capture, reliability classification. Measurements
-// run sequentially in virtual time, each website over a fresh circuit
-// (matching the paper's methodology), with think-time gaps so transport
-// state (polling backoffs, windows) settles between measurements.
+// file downloads, TTFB capture, reliability classification. Within one
+// Scenario, measurements run sequentially in that world's virtual time,
+// each website over a fresh circuit (matching the paper's methodology),
+// with think-time gaps so transport state (polling backoffs, windows)
+// settles between measurements. Campaign is the per-shard worker of the
+// sharded engine (src/ptperf/parallel.h): the engine replicates
+// Scenario+PtStack+Campaign per shard and merges their samples in
+// deterministic plan order, so whole campaigns scale across cores without
+// this class ever seeing a second thread.
 #pragma once
 
 #include <vector>

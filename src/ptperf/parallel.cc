@@ -1,0 +1,244 @@
+#include "ptperf/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace ptperf {
+
+std::uint64_t shard_seed(std::uint64_t base_seed, std::string_view pt_name,
+                         std::size_t chunk_index) {
+  std::string label = "shard/";
+  label += pt_name;
+  label += "/";
+  label += std::to_string(chunk_index);
+  return sim::Rng(base_seed).fork(label).next_u64();
+}
+
+ShardPlan ShardPlan::build(std::uint64_t base_seed,
+                           const std::vector<std::optional<PtId>>& pts,
+                           std::size_t item_count,
+                           std::size_t items_per_shard) {
+  ShardPlan plan;
+  std::size_t chunk = items_per_shard == 0 ? item_count : items_per_shard;
+  for (const std::optional<PtId>& pt : pts) {
+    std::string name = pt ? std::string(pt_id_name(*pt)) : "tor";
+    std::size_t chunk_index = 0;
+    std::size_t begin = 0;
+    do {
+      ShardSpec spec;
+      spec.index = plan.shards_.size();
+      spec.pt = pt;
+      spec.pt_name = name;
+      spec.item_begin = begin;
+      spec.item_end = std::min(item_count, begin + chunk);
+      spec.chunk_index = chunk_index;
+      spec.seed = shard_seed(base_seed, name, chunk_index);
+      plan.shards_.push_back(std::move(spec));
+      ++chunk_index;
+      begin += chunk;
+    } while (begin < item_count);
+  }
+  return plan;
+}
+
+ParallelExecutor::ParallelExecutor(int jobs) : jobs_(jobs < 1 ? 1 : jobs) {}
+
+int ParallelExecutor::hardware_jobs() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ParallelExecutor::for_each(std::size_t n,
+                                const std::function<void(std::size_t)>& task) {
+  if (n == 0) return;
+  if (jobs_ <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) task(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  auto worker = [&] {
+    for (;;) {
+      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        task(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::size_t pool_size =
+      std::min(n, static_cast<std::size_t>(jobs_));
+  std::vector<std::thread> pool;
+  pool.reserve(pool_size);
+  for (std::size_t t = 0; t < pool_size; ++t) pool.emplace_back(worker);
+  for (std::thread& th : pool) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ShardedCampaign::ShardedCampaign(ShardedCampaignConfig cfg)
+    : cfg_(std::move(cfg)) {}
+
+std::vector<std::optional<PtId>> ShardedCampaign::with_vanilla(
+    const std::vector<PtId>& pts) {
+  std::vector<std::optional<PtId>> out;
+  out.reserve(pts.size() + 1);
+  out.emplace_back(std::nullopt);
+  for (PtId id : pts) out.emplace_back(id);
+  return out;
+}
+
+std::uint64_t ShardedCampaign::total_injected_faults() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : fault_counts_) total += c;
+  return total;
+}
+
+/// Runs `body(spec, scenario, campaign, stack)` for every shard of `plan`
+/// across the pool, then merges per-shard samples, timings and fault
+/// counters strictly in plan order. Every mutable slot is indexed by the
+/// shard's plan position and touched by exactly one task; the pool join is
+/// the only synchronization the merge needs.
+template <typename Sample, typename Body>
+std::vector<Sample> ShardedCampaign::run_plan(const ShardPlan& plan,
+                                              const Body& body) {
+  const std::vector<ShardSpec>& shards = plan.shards();
+  constexpr auto kFaultKinds =
+      static_cast<std::size_t>(fault::FaultKind::kCount_);
+  std::vector<std::vector<Sample>> per_shard(shards.size());
+  std::vector<ShardTiming> timings(shards.size());
+  std::vector<std::array<std::uint64_t, kFaultKinds>> faults(
+      shards.size(), std::array<std::uint64_t, kFaultKinds>{});
+
+  ParallelExecutor executor(cfg_.jobs);
+  executor.for_each(shards.size(), [&](std::size_t i) {
+    const ShardSpec& spec = shards[i];
+    std::int64_t wall_start = sim::wall_now_us();
+
+    ScenarioConfig sc = cfg_.scenario;
+    if (sc.corpus_seed == 0) sc.corpus_seed = cfg_.scenario.seed;
+    sc.seed = spec.seed;
+    Scenario scenario(sc);
+    if (cfg_.configure_scenario) cfg_.configure_scenario(scenario);
+    TransportFactory factory(scenario, cfg_.factory);
+    PtStack stack =
+        spec.pt ? factory.create(*spec.pt) : factory.create_vanilla();
+    if (cfg_.configure_stack) cfg_.configure_stack(scenario, stack);
+    Campaign campaign(scenario, cfg_.campaign);
+
+    per_shard[i] = body(spec, scenario, campaign, stack);
+
+    ShardTiming t;
+    t.shard = spec.index;
+    t.pt = spec.pt_name;
+    t.items = spec.item_end - spec.item_begin;
+    t.virtual_seconds = sim::seconds_since_start(scenario.loop().now());
+    t.wall_us = sim::wall_now_us() - wall_start;
+    timings[i] = std::move(t);
+
+    if (fault::FaultInjector* injector = scenario.fault_injector()) {
+      for (std::size_t k = 0; k < kFaultKinds; ++k)
+        faults[i][k] = injector->injected(static_cast<fault::FaultKind>(k));
+    }
+  });
+
+  std::vector<Sample> merged;
+  std::size_t total = 0;
+  for (const std::vector<Sample>& xs : per_shard) total += xs.size();
+  merged.reserve(total);
+  for (std::vector<Sample>& xs : per_shard) {
+    for (Sample& s : xs) merged.push_back(std::move(s));
+  }
+  for (ShardTiming& t : timings) timings_.push_back(std::move(t));
+  for (const auto& shard_counts : faults) {
+    for (std::size_t k = 0; k < kFaultKinds; ++k)
+      fault_counts_[k] += shard_counts[k];
+  }
+  return merged;
+}
+
+namespace {
+
+/// The shard's view of the campaign's site list: selection resolved in the
+/// shard's own world (identical across shards — corpus_seed is pinned),
+/// then sliced to the shard's chunk.
+std::vector<const workload::Website*> shard_sites(const ShardSpec& spec,
+                                                  Scenario& scenario,
+                                                  const SiteSelection& sel) {
+  auto sites =
+      Campaign::merge(Campaign::take_sites(scenario.tranco(), sel.tranco),
+                      Campaign::take_sites(scenario.cbl(), sel.cbl));
+  std::size_t end = std::min(spec.item_end, sites.size());
+  std::size_t begin = std::min(spec.item_begin, end);
+  return {sites.begin() + static_cast<std::ptrdiff_t>(begin),
+          sites.begin() + static_cast<std::ptrdiff_t>(end)};
+}
+
+std::vector<std::size_t> shard_sizes(const ShardSpec& spec,
+                                     const std::vector<std::size_t>& sizes) {
+  std::size_t end = std::min(spec.item_end, sizes.size());
+  std::size_t begin = std::min(spec.item_begin, end);
+  return {sizes.begin() + static_cast<std::ptrdiff_t>(begin),
+          sizes.begin() + static_cast<std::ptrdiff_t>(end)};
+}
+
+}  // namespace
+
+std::vector<WebsiteSample> ShardedCampaign::run_website_curl(
+    const std::vector<std::optional<PtId>>& pts, const SiteSelection& sites) {
+  ShardPlan plan = ShardPlan::build(cfg_.scenario.seed, pts, sites.count(),
+                                    cfg_.items_per_shard);
+  return run_plan<WebsiteSample>(
+      plan, [&sites](const ShardSpec& spec, Scenario& scenario,
+                     Campaign& campaign, PtStack& stack) {
+        return campaign.run_website_curl(stack,
+                                         shard_sites(spec, scenario, sites));
+      });
+}
+
+std::vector<PageSample> ShardedCampaign::run_website_selenium(
+    const std::vector<std::optional<PtId>>& pts, const SiteSelection& sites) {
+  ShardPlan plan = ShardPlan::build(cfg_.scenario.seed, pts, sites.count(),
+                                    cfg_.items_per_shard);
+  return run_plan<PageSample>(
+      plan, [&sites](const ShardSpec& spec, Scenario& scenario,
+                     Campaign& campaign, PtStack& stack) {
+        return campaign.run_website_selenium(
+            stack, shard_sites(spec, scenario, sites));
+      });
+}
+
+std::vector<FileSample> ShardedCampaign::run_file_downloads(
+    const std::vector<std::optional<PtId>>& pts,
+    const std::vector<std::size_t>& sizes) {
+  ShardPlan plan = ShardPlan::build(cfg_.scenario.seed, pts, sizes.size(),
+                                    cfg_.items_per_shard);
+  return run_plan<FileSample>(
+      plan, [&sizes](const ShardSpec& spec, Scenario&, Campaign& campaign,
+                     PtStack& stack) {
+        return campaign.run_file_downloads(stack, shard_sizes(spec, sizes));
+      });
+}
+
+std::vector<ReliabilitySample> ShardedCampaign::run_reliability(
+    const std::vector<std::optional<PtId>>& pts,
+    const std::vector<std::size_t>& sizes, RetryPolicy retry) {
+  ShardPlan plan = ShardPlan::build(cfg_.scenario.seed, pts, sizes.size(),
+                                    cfg_.items_per_shard);
+  return run_plan<ReliabilitySample>(
+      plan, [&sizes, retry](const ShardSpec& spec, Scenario&,
+                            Campaign& campaign, PtStack& stack) {
+        return campaign.run_reliability(stack, shard_sizes(spec, sizes),
+                                        retry);
+      });
+}
+
+}  // namespace ptperf

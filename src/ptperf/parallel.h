@@ -1,0 +1,172 @@
+// Sharded campaign engine. A campaign is split into independent shards —
+// one per (PT, work-item chunk) — and each shard gets a whole private
+// world: its own Scenario (event loop, network, consensus, relays) and
+// PtStack, seeded from Rng::fork("shard/<pt>/<chunk>") off the campaign's
+// base seed. Shards run on a fixed-size thread pool and their samples are
+// merged in plan order, so the output is a pure function of (base seed,
+// plan) — byte-identical whether the shards run on one thread or sixteen,
+// and whatever order they happen to finish in. The single-shard core stays
+// thread-free by construction (simlint's banned-thread rule); all
+// threading in src/ lives in src/ptperf/parallel*. See
+// docs/PARALLEL_EXECUTION.md for the determinism argument.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ptperf/campaign.h"
+
+namespace ptperf {
+
+/// One unit of independent work: a PT (nullopt = vanilla Tor) and a
+/// half-open slice [item_begin, item_end) of the campaign's work-item list
+/// (websites or file sizes), plus the derived seed of the shard's world.
+struct ShardSpec {
+  std::size_t index = 0;        // position in the plan == merge position
+  std::optional<PtId> pt;       // nullopt => vanilla Tor
+  std::string pt_name;          // "tor" or the PT's name
+  std::size_t item_begin = 0;
+  std::size_t item_end = 0;
+  std::size_t chunk_index = 0;  // per-PT chunk ordinal
+  std::uint64_t seed = 0;       // scenario seed for this shard's world
+};
+
+/// Scenario seed for one shard: an independent stream forked off the base
+/// seed, namespaced by PT and chunk so adding PTs or re-chunking one PT
+/// never perturbs another shard's world.
+std::uint64_t shard_seed(std::uint64_t base_seed, std::string_view pt_name,
+                         std::size_t chunk_index);
+
+/// The full, jobs-independent decomposition of a campaign. Building the
+/// plan never looks at thread count — the same (base seed, PT list, item
+/// count, chunking) always yields the same shards with the same seeds,
+/// which is what makes `--jobs 1` and `--jobs N` byte-identical.
+class ShardPlan {
+ public:
+  ShardPlan() = default;
+
+  /// One shard per PT x item-chunk. `items_per_shard` = 0 puts each PT's
+  /// whole item list in a single shard (enough parallelism for the usual
+  /// 13-stack sweep); smaller chunks trade scenario-construction overhead
+  /// for balance.
+  static ShardPlan build(std::uint64_t base_seed,
+                         const std::vector<std::optional<PtId>>& pts,
+                         std::size_t item_count,
+                         std::size_t items_per_shard = 0);
+
+  const std::vector<ShardSpec>& shards() const { return shards_; }
+  std::size_t size() const { return shards_.size(); }
+
+ private:
+  std::vector<ShardSpec> shards_;
+};
+
+/// Where one shard's wall/virtual time went (imbalance + speedup
+/// observability; printed by the bench harness under --verbose).
+struct ShardTiming {
+  std::size_t shard = 0;
+  std::string pt;
+  std::size_t items = 0;
+  double virtual_seconds = 0;  // simulated time the shard's world advanced
+  std::int64_t wall_us = 0;    // real time the shard occupied a pool thread
+};
+
+/// Fixed-size thread pool running index-addressed tasks. Tasks must only
+/// touch state owned by their own index (the engine gives each shard its
+/// own result slot); the pool itself imposes no ordering, which is safe
+/// exactly because merging happens by index afterwards. jobs <= 1 runs
+/// every task inline on the calling thread — the legacy thread-free path.
+class ParallelExecutor {
+ public:
+  explicit ParallelExecutor(int jobs);
+
+  int jobs() const { return jobs_; }
+
+  /// Runs task(0..n-1) across the pool; returns when all completed. The
+  /// first exception a task throws is rethrown here after the pool drains.
+  void for_each(std::size_t n, const std::function<void(std::size_t)>& task);
+
+  /// Hardware concurrency, at least 1 (the `--jobs` default).
+  static int hardware_jobs();
+
+ private:
+  int jobs_ = 1;
+};
+
+/// Shard-engine front end for the paper's campaign types. Owns the
+/// replicable world recipe (base ScenarioConfig + per-shard configure
+/// hooks) and runs plans over it, merging samples in plan order and
+/// accumulating per-shard timings and injected-fault counters.
+struct ShardedCampaignConfig {
+  /// Base world recipe. `scenario.seed` is the campaign's base seed; each
+  /// shard overrides `seed` with its fork and pins `corpus_seed` to the
+  /// base so all shards measure the same synthetic web.
+  ScenarioConfig scenario;
+  CampaignOptions campaign;
+  TransportFactoryOptions factory;
+  int jobs = 1;
+  /// Work items (sites or file sizes) per shard; 0 = one chunk per PT.
+  std::size_t items_per_shard = 0;
+  /// Per-shard world setup (e.g. install a fault plan). Must be a pure
+  /// function of the Scenario it receives — it runs once in every shard.
+  std::function<void(Scenario&)> configure_scenario;
+  /// Per-shard stack setup (e.g. snowflake load regime).
+  std::function<void(Scenario&, PtStack&)> configure_stack;
+};
+
+/// Which sites a website campaign measures: the first `tranco` Tranco
+/// sites merged with the first `cbl` CBL sites, resolved inside each
+/// shard's own scenario (identical across shards via corpus_seed).
+struct SiteSelection {
+  std::size_t tranco = 0;
+  std::size_t cbl = 0;
+  std::size_t count() const { return tranco + cbl; }
+};
+
+class ShardedCampaign {
+ public:
+  explicit ShardedCampaign(ShardedCampaignConfig cfg);
+
+  std::vector<WebsiteSample> run_website_curl(
+      const std::vector<std::optional<PtId>>& pts, const SiteSelection& sites);
+  std::vector<PageSample> run_website_selenium(
+      const std::vector<std::optional<PtId>>& pts, const SiteSelection& sites);
+  std::vector<FileSample> run_file_downloads(
+      const std::vector<std::optional<PtId>>& pts,
+      const std::vector<std::size_t>& sizes);
+  std::vector<ReliabilitySample> run_reliability(
+      const std::vector<std::optional<PtId>>& pts,
+      const std::vector<std::size_t>& sizes, RetryPolicy retry = {});
+
+  const ShardedCampaignConfig& config() const { return cfg_; }
+
+  /// Per-shard timings, accumulated across runs, in plan (merge) order.
+  const std::vector<ShardTiming>& timings() const { return timings_; }
+
+  /// Injected-fault counters summed over every shard's injector, in plan
+  /// order (deterministic for a given seed + plan).
+  std::uint64_t injected_faults(fault::FaultKind kind) const {
+    return fault_counts_[static_cast<std::size_t>(kind)];
+  }
+  std::uint64_t total_injected_faults() const;
+
+  /// The campaign's PT list as plan input: vanilla Tor first, then `pts`
+  /// (the bench convention).
+  static std::vector<std::optional<PtId>> with_vanilla(
+      const std::vector<PtId>& pts);
+
+ private:
+  template <typename Sample, typename Body>
+  std::vector<Sample> run_plan(const ShardPlan& plan, const Body& body);
+
+  ShardedCampaignConfig cfg_;
+  std::vector<ShardTiming> timings_;
+  std::array<std::uint64_t, static_cast<std::size_t>(fault::FaultKind::kCount_)>
+      fault_counts_{};
+};
+
+}  // namespace ptperf

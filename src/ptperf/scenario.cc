@@ -24,12 +24,14 @@ Scenario::Scenario(ScenarioConfig config)
       rng_(config.seed),
       net_(std::make_unique<net::Network>(loop_, sim::Rng(config.seed ^ 0x9e3779b9),
                                           net::Topology())),
-      tranco_(workload::Corpus::generate(workload::CorpusKind::kTranco,
-                                         config.tranco_sites,
-                                         sim::Rng(config.seed).fork("tranco"))),
-      cbl_(workload::Corpus::generate(workload::CorpusKind::kCbl,
-                                      config.cbl_sites,
-                                      sim::Rng(config.seed).fork("cbl"))) {
+      tranco_(workload::Corpus::generate(
+          workload::CorpusKind::kTranco, config.tranco_sites,
+          sim::Rng(config.corpus_seed ? config.corpus_seed : config.seed)
+              .fork("tranco"))),
+      cbl_(workload::Corpus::generate(
+          workload::CorpusKind::kCbl, config.cbl_sites,
+          sim::Rng(config.corpus_seed ? config.corpus_seed : config.seed)
+              .fork("cbl"))) {
   sim::Rng dir_rng = rng_.fork("consensus");
   directory_ = tor::generate_consensus(*net_, dir_rng, config.consensus);
 

@@ -23,6 +23,11 @@ namespace ptperf {
 
 struct ScenarioConfig {
   std::uint64_t seed = 1;
+  /// Seed for website-corpus generation; 0 means "use `seed`" (the legacy
+  /// single-world behaviour). The sharded campaign engine pins this to the
+  /// campaign's base seed so every shard — whose own `seed` is a distinct
+  /// fork — measures the exact same synthetic web.
+  std::uint64_t corpus_seed = 0;
   tor::ConsensusParams consensus;
   net::Region client_region = net::Region::kLondon;
   net::Region web_region = net::Region::kUsEast;

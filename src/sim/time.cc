@@ -4,6 +4,12 @@
 
 namespace ptperf::sim {
 
+std::int64_t wall_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 std::string format_duration(Duration d) {
   double s = to_seconds(d);
   char buf[48];

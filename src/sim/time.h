@@ -42,4 +42,11 @@ inline constexpr double to_millis(Duration d) { return to_seconds(d) * 1e3; }
 
 std::string format_duration(Duration d);
 
+/// Wall-clock microseconds from a monotonic clock. This is the ONLY
+/// sanctioned wall-time source in the tree (the simlint banned-time rule
+/// exempts src/sim/time.* alone): it exists purely so the bench harness can
+/// report shard wall times and speedups. Wall time must never feed back
+/// into simulation state — results would stop replaying.
+std::int64_t wall_now_us();
+
 }  // namespace ptperf::sim

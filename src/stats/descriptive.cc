@@ -2,21 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <stdexcept>
 
 namespace ptperf::stats {
-namespace {
-
-/// Linear interpolation at quantile q over an already-sorted sample.
-double interpolate_sorted(const std::vector<double>& xs, double q) {
-  double pos = q * static_cast<double>(xs.size() - 1);
-  auto lo = static_cast<std::size_t>(pos);
-  std::size_t hi = std::min(lo + 1, xs.size() - 1);
-  double frac = pos - static_cast<double>(lo);
-  return xs[lo] * (1 - frac) + xs[hi] * frac;
-}
-
-}  // namespace
 
 double mean(const std::vector<double>& xs) {
   if (xs.empty()) return 0;
@@ -35,11 +24,19 @@ double variance(const std::vector<double>& xs) {
 
 double stddev(const std::vector<double>& xs) { return std::sqrt(variance(xs)); }
 
-double quantile(std::vector<double> xs, double q) {
+double quantile_sorted(const std::vector<double>& xs, double q) {
   if (xs.empty()) throw std::invalid_argument("quantile: empty sample");
   q = std::clamp(q, 0.0, 1.0);
+  double pos = q * static_cast<double>(xs.size() - 1);
+  auto lo = static_cast<std::size_t>(pos);
+  std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1 - frac) + xs[hi] * frac;
+}
+
+double quantile(std::vector<double> xs, double q) {
   std::sort(xs.begin(), xs.end());
-  return interpolate_sorted(xs, q);
+  return quantile_sorted(xs, q);
 }
 
 double median(const std::vector<double>& xs) { return quantile(xs, 0.5); }
@@ -51,9 +48,9 @@ BoxStats box_stats(std::vector<double> xs) {
   b.n = xs.size();
   b.min = xs.front();
   b.max = xs.back();
-  b.q1 = interpolate_sorted(xs, 0.25);
-  b.median = interpolate_sorted(xs, 0.5);
-  b.q3 = interpolate_sorted(xs, 0.75);
+  b.q1 = quantile_sorted(xs, 0.25);
+  b.median = quantile_sorted(xs, 0.5);
+  b.q3 = quantile_sorted(xs, 0.75);
   b.mean = mean(xs);
   double iqr = b.q3 - b.q1;
   double lo_fence = b.q1 - 1.5 * iqr;
@@ -89,6 +86,20 @@ double Ecdf::operator()(double x) const {
          static_cast<double>(xs_.size());
 }
 
+void Ecdf::merge(const Ecdf& other) {
+  std::vector<double> out;
+  out.reserve(xs_.size() + other.xs_.size());
+  std::merge(xs_.begin(), xs_.end(), other.xs_.begin(), other.xs_.end(),
+             std::back_inserter(out));
+  xs_ = std::move(out);
+}
+
+Ecdf merged(const Ecdf& a, const Ecdf& b) {
+  Ecdf out = a;
+  out.merge(b);
+  return out;
+}
+
 double Ecdf::inverse(double p) const {
   if (xs_.empty()) throw std::logic_error("Ecdf::inverse on empty sample");
   p = std::clamp(p, 0.0, 1.0);
@@ -103,6 +114,21 @@ void Welford::add(double x) {
   double delta = x - mean_;
   mean_ += delta / static_cast<double>(n_);
   m2_ += delta * (x - mean_);
+}
+
+void Welford::merge(const Welford& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  auto na = static_cast<double>(n_);
+  auto nb = static_cast<double>(other.n_);
+  double delta = other.mean_ - mean_;
+  std::size_t n = n_ + other.n_;
+  mean_ += delta * nb / (na + nb);
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  n_ = n;
 }
 
 double Welford::variance() const {

@@ -14,6 +14,10 @@ double stddev(const std::vector<double>& xs);
 
 /// Linear-interpolation quantile, q in [0,1]. Throws on empty input.
 double quantile(std::vector<double> xs, double q);
+/// Same interpolation over an already-sorted sample (no copy, no re-sort);
+/// the primitive both quantile() and the shard-merge paths share. Throws on
+/// empty input.
+double quantile_sorted(const std::vector<double>& xs, double q);
 double median(const std::vector<double>& xs);
 
 /// Tukey box-plot summary.
@@ -35,6 +39,12 @@ class Ecdf {
   double operator()(double x) const;
   /// Smallest sample value with CDF >= p.
   double inverse(double p) const;
+  /// Linear-interpolation quantile over the sorted sample (no re-sort).
+  double quantile(double q) const { return quantile_sorted(xs_, q); }
+  /// Folds another accumulator in via a linear two-way merge of the two
+  /// sorted samples — shard outputs combine in O(n) without re-sorting the
+  /// concatenated vector. Equals Ecdf built over the concatenated samples.
+  void merge(const Ecdf& other);
   const std::vector<double>& sorted() const { return xs_; }
   std::size_t size() const { return xs_.size(); }
 
@@ -42,10 +52,17 @@ class Ecdf {
   std::vector<double> xs_;  // sorted
 };
 
+/// Two-accumulator combine: the ECDF of the union of both samples.
+Ecdf merged(const Ecdf& a, const Ecdf& b);
+
 /// Streaming mean/variance (Welford).
 class Welford {
  public:
   void add(double x);
+  /// Folds another accumulator in (Chan et al. pairwise combine), so
+  /// per-shard accumulators merge to exactly the moments a single pass
+  /// over the concatenated stream would produce (up to fp rounding).
+  void merge(const Welford& other);
   std::size_t count() const { return n_; }
   double mean() const { return mean_; }
   double variance() const;  // sample variance

@@ -55,6 +55,14 @@ std::string Table::to_text() const {
 
 std::string Table::to_csv() const {
   std::string out;
+  if (!comment_.empty()) {
+    out += "# ";
+    for (char c : comment_) {
+      out.push_back(c);
+      if (c == '\n') out += "# ";
+    }
+    out += "\n";
+  }
   auto emit = [&out](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
       if (c) out += ",";

@@ -15,9 +15,17 @@ class Table {
   void add_row(std::vector<std::string> cells);
   std::size_t rows() const { return rows_.size(); }
 
+  /// Free-text annotation emitted as a leading `# ...` CSV comment line
+  /// (run metadata: wall time, jobs). Comments are the only CSV bytes
+  /// allowed to vary between identically-seeded runs; the data rows stay
+  /// byte-identical.
+  void set_comment(std::string comment) { comment_ = std::move(comment); }
+  const std::string& comment() const { return comment_; }
+
   /// Fixed-width text rendering with a header rule.
   std::string to_text() const;
-  /// RFC-4180-ish CSV (quotes cells containing separators).
+  /// RFC-4180-ish CSV (quotes cells containing separators); the comment,
+  /// if set, precedes the header as `# ...` lines.
   std::string to_csv() const;
   /// Writes the CSV; returns false on I/O failure.
   bool write_csv(const std::string& path) const;
@@ -25,6 +33,7 @@ class Table {
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
+  std::string comment_;
 };
 
 }  // namespace ptperf::stats

@@ -1,0 +1,10 @@
+// Must trigger banned-thread: raw threading outside the shard executor.
+#include <mutex>
+#include <thread>
+
+int spin() {
+  std::mutex mu;
+  std::thread worker([&mu] { mu.lock(); });
+  worker.join();
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Must be clean: bench/ harness code may use threads (it drives the shard
+// engine and measures wall-clock speedup); the simulation core may not.
+#include <thread>
+
+int harness() {
+  std::thread t([] {});
+  t.join();
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Must be clean: banned-thread does not apply under src/ptperf/parallel*
+// — the shard executor is the sanctioned home of all threading in src/.
+#include <mutex>
+#include <thread>
+
+void pool() {
+  std::mutex mu;
+  std::thread t([&mu] { std::lock_guard<std::mutex> lock(mu); });
+  t.join();
+}

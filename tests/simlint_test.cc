@@ -82,6 +82,8 @@ TEST_F(SimlintCorpus, EveryRuleFiresOnItsTriggerFixture) {
   const auto& out = corpus().output;
   EXPECT_TRUE(has_finding(out, "banned_time_trigger.cc", "banned-time")) << out;
   EXPECT_TRUE(has_finding(out, "banned_rng_trigger.cc", "banned-rng")) << out;
+  EXPECT_TRUE(has_finding(out, "banned_thread_trigger.cc", "banned-thread"))
+      << out;
   EXPECT_TRUE(has_finding(out, "src/sim/hash_container_trigger.cc",
                           "hash-container"))
       << out;
@@ -102,6 +104,8 @@ TEST_F(SimlintCorpus, TriggerFixturesReportExpectedCounts) {
   // strcpy; both pointer-keyed declarations.
   EXPECT_EQ(count_findings(out, "banned_time_trigger.cc"), 2) << out;
   EXPECT_EQ(count_findings(out, "banned_rng_trigger.cc"), 3) << out;
+  // <mutex> + <thread> includes, std::mutex, std::thread.
+  EXPECT_EQ(count_findings(out, "banned_thread_trigger.cc"), 4) << out;
   EXPECT_EQ(count_findings(out, "unsafe_c_trigger.cc"), 2) << out;
   EXPECT_EQ(count_findings(out, "pointer_key_trigger.cc"), 2) << out;
 }
@@ -148,8 +152,9 @@ TEST(Simlint, ListRulesNamesEveryRule) {
   LintRun run = run_simlint("--list-rules");
   EXPECT_EQ(run.exit_code, 0);
   for (const char* rule :
-       {"banned-time", "banned-rng", "hash-container", "pointer-keyed-map",
-        "unsafe-c", "pragma-once", "using-namespace-header"}) {
+       {"banned-time", "banned-rng", "banned-thread", "hash-container",
+        "pointer-keyed-map", "unsafe-c", "pragma-once",
+        "using-namespace-header"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos) << rule;
   }
 }

@@ -87,6 +87,62 @@ TEST(WelfordAcc, MatchesBatch) {
   EXPECT_NEAR(w.variance(), variance(xs), 1e-6);
 }
 
+TEST(WelfordAcc, MergeMatchesSinglePass) {
+  // Per-shard accumulators folded together must equal one accumulator fed
+  // the concatenated stream — the property the sharded engine relies on.
+  sim::Rng rng(11);
+  Welford whole;
+  std::vector<Welford> shards(4);
+  std::vector<std::size_t> counts{1, 7, 250, 0};  // deliberately unbalanced
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    for (std::size_t i = 0; i < counts[s]; ++i) {
+      double x = rng.lognormal(0.5, 1.0);
+      whole.add(x);
+      shards[s].add(x);
+    }
+  }
+  Welford merged_acc;
+  for (const Welford& s : shards) merged_acc.merge(s);
+  EXPECT_EQ(merged_acc.count(), whole.count());
+  EXPECT_NEAR(merged_acc.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(merged_acc.variance(), whole.variance(), 1e-9);
+  // Merging into an empty accumulator is a copy; merging an empty one in
+  // is a no-op.
+  Welford empty;
+  empty.merge(whole);
+  EXPECT_DOUBLE_EQ(empty.mean(), whole.mean());
+  double before = whole.variance();
+  whole.merge(Welford{});
+  EXPECT_DOUBLE_EQ(whole.variance(), before);
+}
+
+TEST(Ecdf, MergeEqualsConcatenation) {
+  sim::Rng rng(12);
+  std::vector<double> a_xs, b_xs, all;
+  for (int i = 0; i < 200; ++i) a_xs.push_back(rng.normal(0, 1));
+  for (int i = 0; i < 57; ++i) b_xs.push_back(rng.normal(5, 2));
+  all.insert(all.end(), a_xs.begin(), a_xs.end());
+  all.insert(all.end(), b_xs.begin(), b_xs.end());
+
+  Ecdf a(a_xs), b(b_xs), whole(all);
+  Ecdf combined = merged(a, b);
+  a.merge(b);  // in-place form
+
+  ASSERT_EQ(combined.size(), whole.size());
+  EXPECT_EQ(combined.sorted(), whole.sorted());
+  EXPECT_EQ(a.sorted(), whole.sorted());
+  for (double q : {0.0, 0.1, 0.5, 0.9, 1.0})
+    EXPECT_DOUBLE_EQ(combined.quantile(q), whole.quantile(q));
+}
+
+TEST(Descriptive, QuantileSortedSharesInterpolation) {
+  std::vector<double> xs{9, 1, 4, 2};
+  std::vector<double> sorted_xs{1, 2, 4, 9};
+  for (double q : {0.0, 0.25, 0.5, 0.75, 1.0})
+    EXPECT_DOUBLE_EQ(quantile(xs, q), quantile_sorted(sorted_xs, q));
+  EXPECT_THROW(quantile_sorted({}, 0.5), std::invalid_argument);
+}
+
 TEST(SpecialFunctions, LgammaKnownValues) {
   EXPECT_NEAR(lgamma_approx(1.0), 0.0, 1e-10);
   EXPECT_NEAR(lgamma_approx(2.0), 0.0, 1e-10);

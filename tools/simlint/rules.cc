@@ -146,6 +146,36 @@ void check_banned_rng(const FileScan& scan, std::vector<Finding>& out) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: banned-thread — the simulation core must stay single-threaded so a
+// shard's world is a pure function of its seed; threads would let real
+// scheduling order leak into event order. All threading lives in the shard
+// executor (src/ptperf/parallel.*) and the bench harness.
+
+constexpr std::string_view kThreadWhy =
+    "introduces real concurrency into the deterministic core; run work as "
+    "shards via ptperf::ParallelExecutor (src/ptperf/parallel.h) instead";
+
+void check_banned_thread(const FileScan& scan, std::vector<Finding>& out) {
+  if (path_under(scan, {"src/ptperf/parallel", "bench/"})) return;
+  ban_idents(scan, out, "banned-thread",
+             {"thread", "jthread", "mutex", "recursive_mutex", "timed_mutex",
+              "recursive_timed_mutex", "shared_mutex", "shared_timed_mutex",
+              "condition_variable", "condition_variable_any", "lock_guard",
+              "unique_lock", "scoped_lock", "shared_lock", "future", "promise",
+              "shared_future", "packaged_task", "latch", "barrier",
+              "counting_semaphore", "binary_semaphore", "this_thread"},
+             kThreadWhy);
+  ban_calls(scan, out, "banned-thread", {"async", "pthread_create"},
+            kThreadWhy);
+  ban_includes(scan, out, "banned-thread",
+               {"<thread>", "<mutex>", "<future>", "<condition_variable>",
+                "<shared_mutex>", "<latch>", "<barrier>", "<semaphore>",
+                "<pthread.h>"},
+               "pulls in threading primitives; only src/ptperf/parallel.* "
+               "and bench/ may spawn or synchronize threads");
+}
+
+// ---------------------------------------------------------------------------
 // Rule: hash-container — unordered_{map,set} iteration order is
 // implementation- and size-dependent, which leaks into event ordering and
 // RNG draw order in the deterministic core. Banned outright there because a
@@ -237,6 +267,9 @@ const std::vector<Rule> kRules = {
      check_banned_time},
     {"banned-rng", "ambient randomness outside src/sim/rng.*",
      check_banned_rng},
+    {"banned-thread",
+     "threading primitives outside src/ptperf/parallel.* and bench/",
+     check_banned_thread},
     {"hash-container",
      "unordered containers in the deterministic core (sim/net/tor/fault)",
      check_hash_container},

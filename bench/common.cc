@@ -4,12 +4,18 @@
 #include <cstdio>
 #include <cstring>
 
+#include "trace/export.h"
 #include "util/strings.h"
 
 namespace ptperf::bench {
 
 int BenchArgs::effective_jobs() const {
   return jobs <= 0 ? ParallelExecutor::hardware_jobs() : jobs;
+}
+
+unsigned BenchArgs::trace_categories() const {
+  if (trace_out.empty()) return 0;
+  return trace_cells ? trace::kAll : trace::kDefault;
 }
 
 BenchArgs parse_args(int argc, char** argv) {
@@ -32,6 +38,10 @@ BenchArgs parse_args(int argc, char** argv) {
       args.retries = static_cast<int>(std::strtol(next().c_str(), nullptr, 10));
     } else if (a == "--jobs" || a == "-j") {
       args.jobs = static_cast<int>(std::strtol(next().c_str(), nullptr, 10));
+    } else if (a == "--trace") {
+      args.trace_out = next();
+    } else if (a == "--trace-cells") {
+      args.trace_cells = true;
     } else if (a == "--verbose" || a == "-v") {
       args.verbose = true;
     } else if (a == "--help" || a == "-h") {
@@ -40,7 +50,11 @@ BenchArgs parse_args(int argc, char** argv) {
           "         --jobs N (shard threads; default: hardware concurrency,\n"
           "                   1 = single-threaded; output is identical)\n"
           "         --faults none|paper (injected failures, fig8 only)\n"
-          "         --retries N (retry budget per download in fault mode)\n");
+          "         --retries N (retry budget per download in fault mode)\n"
+          "         --trace PATH (flight-recorder capture: Chrome\n"
+          "                   trace_event JSON, or JSONL if PATH ends in\n"
+          "                   .jsonl; never changes the measured samples)\n"
+          "         --trace-cells (add per-cell relay events to --trace)\n");
       std::exit(0);
     }
   }
@@ -70,7 +84,18 @@ ShardedCampaignConfig sharded_config(const BenchArgs& args) {
   ShardedCampaignConfig cfg;
   cfg.scenario.seed = args.seed;
   cfg.jobs = args.effective_jobs();
+  cfg.trace_categories = args.trace_categories();
   return cfg;
+}
+
+void emit_trace(const ShardedCampaign& engine, const BenchArgs& args) {
+  if (args.trace_out.empty()) return;
+  if (!trace::write_trace_file(args.trace_out, engine.traces())) {
+    std::fprintf(stderr, "warning: could not write %s\n",
+                 args.trace_out.c_str());
+  } else if (args.verbose) {
+    std::printf("wrote %s\n", args.trace_out.c_str());
+  }
 }
 
 void print_shard_timings(const std::vector<ShardTiming>& timings,

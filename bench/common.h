@@ -35,6 +35,17 @@ struct BenchArgs {
   /// 1 = the legacy single-threaded path. Output is byte-identical for
   /// every value — the shard plan never depends on it.
   int jobs = 0;
+  /// Flight-recorder output path (--trace). Empty = tracing off. A
+  /// ".jsonl" suffix selects the line-oriented format; anything else gets
+  /// Chrome trace_event JSON (load in chrome://tracing or Perfetto).
+  std::string trace_out;
+  /// Adds per-cell events (trace::kCells) to the capture (--trace-cells);
+  /// high-volume, so off by default.
+  bool trace_cells = false;
+
+  /// Category mask for the recorder: kDefault, plus kCells on request;
+  /// 0 when --trace was not given.
+  unsigned trace_categories() const;
   /// Wall-clock start of the run (set by parse_args; used for the CSV
   /// header comment and the --verbose timing summary).
   std::int64_t start_wall_us = 0;
@@ -62,6 +73,11 @@ ShardedCampaignConfig sharded_config(const BenchArgs& args);
 /// observable without touching default output.
 void print_shard_timings(const std::vector<ShardTiming>& timings,
                          const BenchArgs& args);
+
+/// Writes the campaign's flight-recorder capture to args.trace_out (no-op
+/// when --trace was not given). The file is a pure function of (seed,
+/// plan): byte-identical at any --jobs.
+void emit_trace(const ShardedCampaign& engine, const BenchArgs& args);
 
 /// "Tukey row" for one distribution.
 std::vector<std::string> box_row(const std::string& label,

@@ -47,6 +47,7 @@ int run(const BenchArgs& args) {
   emit(tests, args, "fig2a_ttests", args.verbose);
   std::printf("(%zu PT pairs; full table in fig2a_ttests.csv)\n",
               tests.rows());
+  emit_trace(engine, args);
   print_shard_timings(engine.timings(), args);
   return 0;
 }

@@ -74,6 +74,7 @@ int run(const BenchArgs& args) {
       }
     }
   }
+  emit_trace(engine, args);
   print_shard_timings(engine.timings(), args);
   return 0;
 }

@@ -81,6 +81,7 @@ int run(const BenchArgs& args) {
   stats::Table tests = pairwise_t_tests(all_attempts);
   emit(tests, args, "fig5_ttests", args.verbose);
   std::printf("(%zu pairs; full table in fig5_ttests.csv)\n", tests.rows());
+  emit_trace(engine, args);
   print_shard_timings(engine.timings(), args);
   return 0;
 }

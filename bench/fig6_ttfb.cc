@@ -41,6 +41,7 @@ int run(const BenchArgs& args) {
                 e(5.0), 1.0 - e(20.0));
   }
   std::printf("(paper: most PTs >0.80 under 5 s; marionette ~0.40 above 20 s)\n");
+  emit_trace(engine, args);
   print_shard_timings(engine.timings(), args);
   return 0;
 }

@@ -127,6 +127,7 @@ int run(const BenchArgs& args) {
     }
     emit(injected, args, "fig8_injected_faults");
   }
+  emit_trace(engine, args);
   print_shard_timings(engine.timings(), args);
   return 0;
 }

@@ -1,19 +1,23 @@
-// Companion analysis to §4.2.1: decompose circuit echo RTT hop by hop with
-// pinned 1-/2-/3-hop circuits (the measurement Ting could not do through a
-// PT, done here with the simulator's own client). Shows directly that the
-// first hop contributes the dominant share for vanilla circuits through
-// volunteer guards, and that swapping the guard for a managed PT bridge
-// removes most of it.
-#include "tor/ting.h"
-
+// Companion analysis to §4.2.1: decompose circuit-build time hop by hop
+// from the flight recorder's spans. Every build of a real 3-hop circuit
+// records one "ntor_hop" span per CREATE2/EXTEND2 round trip, so the
+// client's view of the cumulative RTT through hop k comes straight out of
+// the trace — no echo probes or pinned sub-circuits needed. Shows directly
+// that the first hop contributes the dominant share for vanilla circuits
+// through volunteer guards, and that swapping the guard for a managed PT
+// bridge removes most of it.
 #include "common.h"
+#include "trace/decompose.h"
 
 namespace ptperf::bench {
 namespace {
 
-double probe_rtt(Scenario& scenario,
-                 const std::shared_ptr<tor::TorClient>& client,
-                 const std::vector<tor::RelayIndex>& hops) {
+/// Builds one circuit over `hops`, isolates its spans (the recorder is
+/// drained after every build), and returns the per-hop timings.
+std::optional<trace::CircuitHops> traced_build(
+    Scenario& scenario, trace::Recorder& rec,
+    const std::shared_ptr<tor::TorClient>& client,
+    const std::vector<tor::RelayIndex>& hops) {
   std::optional<tor::TorCircuit> circ;
   bool done = false;
   client->build_circuit_path(hops, [&](std::optional<tor::TorCircuit> c,
@@ -22,38 +26,20 @@ double probe_rtt(Scenario& scenario,
     done = true;
   });
   scenario.loop().run_until_done([&] { return done; });
-  if (!circ) return -1;
+  if (circ) circ->close();
+  trace::TraceData data = rec.take();
+  if (!circ) return std::nullopt;
 
-  std::shared_ptr<tor::TorStream> stream;
-  client->open_stream(*circ, "ting.echo:80",
-                      [&](std::shared_ptr<tor::TorStream> s, std::string) {
-                        stream = std::move(s);
-                      });
-  scenario.loop().run_until_done([&] { return stream != nullptr; });
-  if (!stream) {
-    circ->close();
-    return -1;
-  }
-
-  std::vector<double> rtts;
-  double sent_s = 0;
-  bool got = false;
-  stream->set_receiver([&](util::Bytes) {
-    rtts.push_back(sim::seconds_since_start(scenario.loop().now()) - sent_s);
-    got = true;
-  });
-  for (int i = 0; i < 5; ++i) {
-    got = false;
-    sent_s = sim::seconds_since_start(scenario.loop().now());
-    stream->send(util::to_bytes("ping"));
-    scenario.loop().run_until_done([&] { return got; });
-  }
-  circ->close();
-  return stats::median(rtts);
+  std::vector<trace::CircuitHops> builds = trace::circuit_hops(data);
+  if (builds.empty() || builds.front().hop_rtt_ns.size() != hops.size())
+    return std::nullopt;
+  return builds.front();
 }
 
 int run(const BenchArgs& args) {
-  banner("§4.2.1 companion", "per-hop RTT decomposition (volunteer vs bridge first hop)",
+  banner("§4.2.1 companion",
+         "per-hop circuit-build decomposition from trace spans (volunteer vs "
+         "bridge first hop)",
          args);
 
   ScenarioConfig cfg;
@@ -61,35 +47,41 @@ int run(const BenchArgs& args) {
   cfg.tranco_sites = 1;
   cfg.cbl_sites = 0;
   Scenario scenario(cfg);
+  trace::Recorder& rec = scenario.enable_trace(trace::kTor);
 
-  net::HostId echo_host = scenario.add_infra_host(
-      "echo", scenario.config().client_region, 1000, 0);
-  tor::start_echo_server(scenario.network(), echo_host);
-  scenario.add_exit_alias("ting.echo", echo_host);
   tor::RelayIndex bridge = scenario.add_bridge(net::Region::kFrankfurt);
 
   auto client = scenario.make_tor_client(scenario.client_host());
   tor::PathSelector sampler(scenario.consensus(),
                             scenario.fork_rng("decomp"));
 
-  stats::Table t({"first_hop", "guard_load", "rtt_1hop_ms", "rtt_2hop_ms",
-                  "rtt_3hop_ms", "hop1_share"});
+  stats::Table t({"first_hop", "guard_load", "connect_ms", "hop1_rtt_ms",
+                  "hop2_rtt_ms", "hop3_rtt_ms", "hop1_share"});
   std::size_t paths = scaled(5, args.scale, 3);
+
+  auto ms = [](std::int64_t ns) {
+    return util::fmt_double(static_cast<double>(ns) / 1e6, 0);
+  };
 
   auto decompose = [&](tor::RelayIndex entry, const tor::Path& p,
                        const std::string& label) {
-    double t1 = probe_rtt(scenario, client, {entry});
-    double t2 = probe_rtt(scenario, client, {entry, p.middle});
-    double t3 = probe_rtt(scenario, client, {entry, p.middle, p.exit});
-    if (t1 < 0 || t2 < 0 || t3 < 0) return;
-    double share = t3 > 0 ? t1 / t3 : 0;
+    auto hops =
+        traced_build(scenario, rec, client, {entry, p.middle, p.exit});
+    if (!hops) return;
+    // hop_rtt_ns[k] is the ntor round trip through hop k: hop 1's RTT is
+    // its full cumulative contribution, mirroring the old 1-hop echo probe.
+    std::int64_t h1 = hops->hop_rtt_ns[0];
+    std::int64_t h3 = hops->hop_rtt_ns[2];
+    double share = h3 > 0 ? static_cast<double>(h1) / static_cast<double>(h3)
+                          : 0;
     t.add_row({label,
                util::fmt_double(
                    scenario.network().background_load(
                        scenario.consensus().at(entry).host),
                    2),
-               util::fmt_double(t1 * 1000, 0), util::fmt_double(t2 * 1000, 0),
-               util::fmt_double(t3 * 1000, 0), util::fmt_double(share, 2)});
+               ms(hops->first_hop_connect_ns), ms(h1),
+               ms(hops->hop_rtt_ns[1]), ms(h3),
+               util::fmt_double(share, 2)});
   };
 
   for (std::size_t i = 0; i < paths; ++i) {
@@ -99,12 +91,12 @@ int run(const BenchArgs& args) {
     sampler.reset_guard();
   }
 
-  std::printf("-- per-hop echo RTT, volunteer guard vs managed bridge --\n");
+  std::printf("-- per-hop build RTT from ntor_hop spans --\n");
   emit(t, args, "hop_decomposition");
   std::printf(
-      "(the 1-hop RTT is the first hop's full contribution; vanilla Tor's\n"
-      " share is consistently the largest single component, and replacing\n"
-      " the guard with the PT bridge shrinks it — §4.2.1's conclusion)\n");
+      "(hop1_rtt is the first hop's full contribution; vanilla Tor's share\n"
+      " is consistently the largest single component, and replacing the\n"
+      " guard with the PT bridge shrinks it — §4.2.1's conclusion)\n");
   return 0;
 }
 

@@ -1,12 +1,12 @@
 #include "pt/dnstt.h"
 
-#include <cstdio>
 #include <deque>
 #include <map>
 
 #include "fault/fault_injector.h"
 #include "net/dns.h"
 #include "net/tls.h"
+#include "trace/trace.h"
 #include "util/framer.h"
 
 namespace ptperf::pt {
@@ -120,9 +120,7 @@ class DnsttClientChannel final
   }
 
   void issue_query() {
-#ifdef DNSTT_DEBUG
-    std::printf("[dnstt] issue_query inflight=%d up=%zu\n", in_flight_, upstream_.size());
-#endif
+    TRACE_COUNT(loop_->recorder(), "pt/dnstt_queries", 1);
     std::size_t n = std::min(max_chunk_, upstream_.size());
     util::Writer payload(8 + n);
     payload.u64(session_id_);
@@ -140,9 +138,7 @@ class DnsttClientChannel final
   }
 
   void on_response(const util::Bytes& wire) {
-#ifdef DNSTT_DEBUG
-    std::printf("[dnstt] response inflight=%d\n", in_flight_);
-#endif
+    TRACE_COUNT(loop_->recorder(), "pt/dnstt_response_bytes", wire.size());
     if (dead_) return;
     if (in_flight_ > 0) --in_flight_;
     auto msg = net::dns::decode(wire);
@@ -173,9 +169,7 @@ class DnsttClientChannel final
 
   void fail() {
     if (dead_) return;
-#ifdef DNSTT_DEBUG
-    std::printf("[dnstt] client FAIL\n");
-#endif
+    TRACE_INSTANT(loop_->recorder(), trace::kPt, "dnstt_session_fail");
     dead_ = true;
     idle_timer_.cancel();
     tls_.close();
@@ -347,13 +341,19 @@ tor::TorClient::FirstHopConnector DnsttTransport::connector() {
   return [net, cfg, rng](tor::RelayIndex,
                          std::function<void(net::ChannelPtr)> on_open,
                          std::function<void(std::string)> on_error) {
+    // DoH dial + TLS setup: the PT's share of the circuit's first hop.
+    trace::SpanId span = TRACE_SPAN_BEGIN_ARGS(
+        net->loop().recorder(), trace::kPt, "dnstt_doh_setup", 0,
+        {{"transport", "dnstt"}});
     net->connect(
         cfg.client_host, cfg.resolver_host, "doh",
-        [net, cfg, rng, on_open](net::Pipe pipe) {
+        [net, cfg, rng, on_open, span](net::Pipe pipe) {
           net::ClientHelloParams hello;
           hello.sni = "doh.opendns.example";
           net::tls_connect(std::move(pipe), hello, *rng,
-                           [net, cfg, rng, on_open](net::TlsSession session) {
+                           [net, cfg, rng, on_open,
+                            span](net::TlsSession session) {
+                             TRACE_SPAN_END(net->loop().recorder(), span);
                              auto ch = std::make_shared<DnsttClientChannel>(
                                  net->loop(), std::move(session), cfg,
                                  rng->next_u64());
@@ -362,7 +362,9 @@ tor::TorClient::FirstHopConnector DnsttTransport::connector() {
                              on_open(ch);
                            });
         },
-        [on_error](std::string err) {
+        [net, on_error, span](std::string err) {
+          TRACE_SPAN_END_ARGS(net->loop().recorder(), span,
+                              {{"error", err}});
           if (on_error) on_error("dnstt: " + err);
         });
   };

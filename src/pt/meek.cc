@@ -1,11 +1,11 @@
 #include "pt/meek.h"
 
-#include <cstdio>
 #include <deque>
 
 #include "fault/fault_injector.h"
 #include "net/http.h"
 #include "net/tls.h"
+#include "trace/trace.h"
 #include "util/framer.h"
 
 namespace ptperf::pt {
@@ -143,9 +143,7 @@ class MeekClientChannel final
 
   void do_poll() {
     if (dead_ || poll_in_flight_) return;
-#ifdef MEEK_DEBUG
-    std::printf("[meekc %llu] poll up=%zu\n", (unsigned long long)session_id_ % 1000, upstream_.size());
-#endif
+    TRACE_COUNT(loop_->recorder(), "pt/meek_polls", 1);
     poll_scheduled_ = false;
     poll_in_flight_ = true;
     std::size_t n = std::min(cfg_.max_body, upstream_.size());
@@ -161,11 +159,10 @@ class MeekClientChannel final
 
   void on_response(const util::Bytes& wire) {
     poll_in_flight_ = false;
-#ifdef MEEK_DEBUG
-    std::printf("[meekc %llu] response %zu bytes\n", (unsigned long long)session_id_ % 1000, wire.size());
-#endif
+    TRACE_COUNT(loop_->recorder(), "pt/meek_poll_bytes", wire.size());
     auto resp = net::http::decode_response(wire);
     if (!resp || resp->status != 200) {
+      TRACE_INSTANT(loop_->recorder(), trace::kPt, "meek_session_reset");
       fail();
       return;
     }
@@ -251,9 +248,6 @@ void MeekTransport::start_bridge() {
         session = it->second;
       }
       auto body = session->poll(req->body);
-#ifdef MEEK_DEBUG
-      std::printf("[meeks %s] poll req=%zu resp=%zu dead=%d\n", sid.substr(sid.size()>3?sid.size()-3:0).c_str(), req->body.size(), body ? body->size() : 0, (int)!body);
-#endif
       net::http::Response resp;
       if (!body) {
         resp.status = 500;
@@ -339,14 +333,20 @@ tor::TorClient::FirstHopConnector MeekTransport::connector() {
   return [net, cfg, rng](tor::RelayIndex,
                          std::function<void(net::ChannelPtr)> on_open,
                          std::function<void(std::string)> on_error) {
+    // Dial + TLS setup against the CDN front: the PT's share of the first
+    // hop (the "first_hop" span in the Tor client covers the whole dial).
+    trace::SpanId span = TRACE_SPAN_BEGIN_ARGS(
+        net->loop().recorder(), trace::kPt, "meek_tls_setup", 0,
+        {{"transport", "meek"}});
     net->connect(
         cfg.client_host, cfg.front_host, "https",
-        [net, cfg, rng, on_open](net::Pipe pipe) {
+        [net, cfg, rng, on_open, span](net::Pipe pipe) {
           net::ClientHelloParams hello;
           hello.sni = cfg.front_domain;  // the *front* domain is visible
           net::tls_connect(
               std::move(pipe), hello, *rng,
-              [net, cfg, rng, on_open](net::TlsSession session) {
+              [net, cfg, rng, on_open, span](net::TlsSession session) {
+                TRACE_SPAN_END(net->loop().recorder(), span);
                 auto ch = std::make_shared<MeekClientChannel>(
                     net->loop(), std::move(session), cfg, rng->next_u64());
                 ch->start();
@@ -354,7 +354,9 @@ tor::TorClient::FirstHopConnector MeekTransport::connector() {
                 on_open(ch);
               });
         },
-        [on_error](std::string err) {
+        [net, on_error, span](std::string err) {
+          TRACE_SPAN_END_ARGS(net->loop().recorder(), span,
+                              {{"error", err}});
           if (on_error) on_error("meek: " + err);
         });
   };

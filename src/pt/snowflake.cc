@@ -3,6 +3,7 @@
 #include "fault/fault_injector.h"
 #include "net/http.h"
 #include "net/tls.h"
+#include "trace/trace.h"
 
 namespace ptperf::pt {
 
@@ -119,55 +120,77 @@ tor::TorClient::FirstHopConnector SnowflakeTransport::connector() {
   return [net, cfg, rng](tor::RelayIndex entry,
                          std::function<void(net::ChannelPtr)> on_open,
                          std::function<void(std::string)> on_error) {
-    // Step 1: domain-fronted broker rendezvous.
+    // Step 1: domain-fronted broker rendezvous. The two handshake phases
+    // ("broker_rendezvous", then "proxy_connect") are traced separately so
+    // the per-hop decomposition can split snowflake's first-hop cost.
+    trace::SpanId rendezvous = TRACE_SPAN_BEGIN_ARGS(
+        net->loop().recorder(), trace::kPt, "broker_rendezvous", 0,
+        {{"transport", "snowflake"}});
     net::ConnectOptions fronted;
     fronted.extra_one_way = cfg.broker_front_extra;
     net->connect(
         cfg.client_host, cfg.broker_host, "broker",
-        [net, cfg, rng, entry, on_open, on_error](net::Pipe pipe) {
+        [net, cfg, rng, entry, on_open, on_error, rendezvous](net::Pipe pipe) {
           net::ClientHelloParams hello;
           hello.sni = "front.cdn.example";
           net::tls_connect(std::move(pipe), hello, *rng, [net, cfg, rng, entry,
-                                                          on_open, on_error](
+                                                          on_open, on_error,
+                                                          rendezvous](
                                                              net::TlsSession
                                                                  session) {
             auto broker = net::wrap_tls(std::move(session));
             net::ChannelPtr broker_copy = broker;
             broker->set_receiver([net, cfg, rng, entry, on_open, on_error,
-                                  broker_copy](util::Bytes wire) {
+                                  rendezvous, broker_copy](util::Bytes wire) {
+              trace::Recorder* rec = net->loop().recorder();
               auto resp = net::http::decode_response(wire);
               broker_copy->close();
               if (!resp || resp->status != 200) {
+                TRACE_SPAN_END_ARGS(rec, rendezvous,
+                                    {{"error", "broker refused"}});
                 if (on_error) on_error("snowflake: broker refused");
                 return;
               }
               std::size_t pick = static_cast<std::size_t>(
                   std::strtoull(util::to_string(resp->body).c_str(), nullptr, 10));
               if (pick >= cfg.proxy_hosts.size()) {
+                TRACE_SPAN_END_ARGS(rec, rendezvous,
+                                    {{"error", "bad proxy id"}});
                 if (on_error) on_error("snowflake: bad proxy id");
                 return;
               }
+              TRACE_SPAN_END(rec, rendezvous);
+              trace::SpanId pconn = TRACE_SPAN_BEGIN_ARGS(
+                  rec, trace::kPt, "proxy_connect", 0,
+                  {{"transport", "snowflake"},
+                   {"proxy", std::to_string(pick)}});
               // Step 2: WebRTC to the volunteer proxy (ICE adds a
               // relayed-path detour).
               net::ConnectOptions ice;
               ice.extra_one_way = sim::from_millis(15);
               net->connect(
                   cfg.client_host, cfg.proxy_hosts[pick], "snowflake",
-                  [entry, on_open](net::Pipe proxy_pipe) {
+                  [net, entry, on_open, pconn](net::Pipe proxy_pipe) {
                     auto proxy = net::wrap_pipe(std::move(proxy_pipe));
                     net::ChannelPtr proxy_copy = proxy;
-                    proxy->set_receiver([entry, on_open,
+                    proxy->set_receiver([net, entry, on_open, pconn,
                                          proxy_copy](util::Bytes answer) {
+                      trace::Recorder* rec = net->loop().recorder();
                       if (util::to_string(answer) != "sdp-answer") {
+                        TRACE_SPAN_END_ARGS(rec, pconn,
+                                            {{"error", "bad sdp answer"}});
                         proxy_copy->close();
                         return;
                       }
+                      TRACE_SPAN_END(rec, pconn);
                       send_preamble(proxy_copy, entry);
                       on_open(proxy_copy);
                     });
                     proxy_copy->send(util::to_bytes("sdp-offer"));
                   },
-                  [on_error](std::string err) {
+                  [net, on_error, pconn](std::string err) {
+                    TRACE_SPAN_END_ARGS(net->loop().recorder(), pconn,
+                                        {{"error", err}});
                     if (on_error) on_error("snowflake proxy: " + err);
                   },
                   ice);
@@ -179,7 +202,9 @@ tor::TorClient::FirstHopConnector SnowflakeTransport::connector() {
             broker_copy->send(net::http::encode_request(req));
           });
         },
-        [on_error](std::string err) {
+        [net, on_error, rendezvous](std::string err) {
+          TRACE_SPAN_END_ARGS(net->loop().recorder(), rendezvous,
+                              {{"error", err}});
           if (on_error) on_error("snowflake broker: " + err);
         },
         fronted);

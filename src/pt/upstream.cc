@@ -1,5 +1,7 @@
 #include "pt/upstream.h"
 
+#include "trace/trace.h"
+
 namespace ptperf::pt {
 
 UpstreamSelector tor_upstream(const tor::Consensus& consensus) {
@@ -32,6 +34,7 @@ void serve_upstream(net::Network& net, net::HostId server_host,
       }
       tor::RelayIndex entry =
           static_cast<tor::RelayIndex>(msg[0]) << 8 | msg[1];
+      TRACE_COUNT(netp->loop().recorder(), "pt/upstream_tunnels", 1);
       auto [host, service] = select(entry);
       netp->connect(
           server_host, host, service,

@@ -117,6 +117,7 @@ std::vector<Sample> ShardedCampaign::run_plan(const ShardPlan& plan,
   std::vector<ShardTiming> timings(shards.size());
   std::vector<std::array<std::uint64_t, kFaultKinds>> faults(
       shards.size(), std::array<std::uint64_t, kFaultKinds>{});
+  std::vector<trace::ShardTrace> traces(shards.size());
 
   ParallelExecutor executor(cfg_.jobs);
   executor.for_each(shards.size(), [&](std::size_t i) {
@@ -127,6 +128,8 @@ std::vector<Sample> ShardedCampaign::run_plan(const ShardPlan& plan,
     if (sc.corpus_seed == 0) sc.corpus_seed = cfg_.scenario.seed;
     sc.seed = spec.seed;
     Scenario scenario(sc);
+    if (cfg_.trace_categories != 0)
+      scenario.enable_trace(cfg_.trace_categories);
     if (cfg_.configure_scenario) cfg_.configure_scenario(scenario);
     TransportFactory factory(scenario, cfg_.factory);
     PtStack stack =
@@ -148,6 +151,21 @@ std::vector<Sample> ShardedCampaign::run_plan(const ShardPlan& plan,
       for (std::size_t k = 0; k < kFaultKinds; ++k)
         faults[i][k] = injector->injected(static_cast<fault::FaultKind>(k));
     }
+
+    if (trace::Recorder* rec = scenario.trace_recorder()) {
+      // Mirror injected-fault totals into the metrics registry so the
+      // exported trace is self-contained.
+      if (fault::FaultInjector* injector = scenario.fault_injector()) {
+        for (std::size_t k = 0; k < kFaultKinds; ++k) {
+          auto kind = static_cast<fault::FaultKind>(k);
+          if (std::uint64_t c = injector->injected(kind); c > 0)
+            rec->count(std::string("fault/") +
+                           std::string(fault::fault_kind_name(kind)),
+                       c);
+        }
+      }
+      traces[i] = trace::ShardTrace{spec.index, spec.pt_name, rec->take()};
+    }
   });
 
   std::vector<Sample> merged;
@@ -158,6 +176,9 @@ std::vector<Sample> ShardedCampaign::run_plan(const ShardPlan& plan,
     for (Sample& s : xs) merged.push_back(std::move(s));
   }
   for (ShardTiming& t : timings) timings_.push_back(std::move(t));
+  if (cfg_.trace_categories != 0) {
+    for (trace::ShardTrace& tr : traces) traces_.push_back(std::move(tr));
+  }
   for (const auto& shard_counts : faults) {
     for (std::size_t k = 0; k < kFaultKinds; ++k)
       fault_counts_[k] += shard_counts[k];

@@ -111,6 +111,11 @@ struct ShardedCampaignConfig {
   int jobs = 1;
   /// Work items (sites or file sizes) per shard; 0 = one chunk per PT.
   std::size_t items_per_shard = 0;
+  /// Flight-recorder category mask (trace::Category bits). 0 = tracing
+  /// off: no recorder is attached, every TRACE_* site is a no-op, and no
+  /// per-shard trace data is collected. Nonzero masks never change the
+  /// samples — the recorder is a pure observer (see src/trace/trace.h).
+  unsigned trace_categories = 0;
   /// Per-shard world setup (e.g. install a fault plan). Must be a pure
   /// function of the Scenario it receives — it runs once in every shard.
   std::function<void(Scenario&)> configure_scenario;
@@ -147,6 +152,11 @@ class ShardedCampaign {
   /// Per-shard timings, accumulated across runs, in plan (merge) order.
   const std::vector<ShardTiming>& timings() const { return timings_; }
 
+  /// Per-shard flight-recorder captures, accumulated across runs in plan
+  /// (merge) order — byte-identical at any --jobs, exactly like samples.
+  /// Empty unless cfg.trace_categories is nonzero.
+  const std::vector<trace::ShardTrace>& traces() const { return traces_; }
+
   /// Injected-fault counters summed over every shard's injector, in plan
   /// order (deterministic for a given seed + plan).
   std::uint64_t injected_faults(fault::FaultKind kind) const {
@@ -165,6 +175,7 @@ class ShardedCampaign {
 
   ShardedCampaignConfig cfg_;
   std::vector<ShardTiming> timings_;
+  std::vector<trace::ShardTrace> traces_;
   std::array<std::uint64_t, static_cast<std::size_t>(fault::FaultKind::kCount_)>
       fault_counts_{};
 };

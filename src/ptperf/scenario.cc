@@ -60,6 +60,12 @@ Scenario::Scenario(ScenarioConfig config)
   web_server_->start();
 }
 
+trace::Recorder& Scenario::enable_trace(unsigned categories) {
+  trace_.reset();  // detach the old recorder before attaching the new one
+  trace_ = std::make_unique<trace::Recorder>(loop_, categories);
+  return *trace_;
+}
+
 fault::FaultInjector& Scenario::install_fault_plan(fault::FaultPlan plan) {
   fault_ = std::make_unique<fault::FaultInjector>(
       std::move(plan), sim::Rng(config_.seed).fork("fault-injection"));

@@ -12,6 +12,7 @@
 #include "fault/fault_injector.h"
 #include "net/network.h"
 #include "sim/event_loop.h"
+#include "trace/trace.h"
 #include "tor/client.h"
 #include "tor/directory.h"
 #include "tor/relay.h"
@@ -95,6 +96,14 @@ class Scenario {
   fault::FaultInjector& install_fault_plan(fault::FaultPlan plan);
   fault::FaultInjector* fault_injector() { return fault_.get(); }
 
+  /// Attaches a flight recorder for the selected categories (a bitmask of
+  /// trace::Category). The recorder registers itself as loop().recorder(),
+  /// where every instrumented component finds it; without this call all
+  /// TRACE_* sites are null-recorder no-ops. Idempotent: a second call
+  /// re-creates the recorder with the new mask.
+  trace::Recorder& enable_trace(unsigned categories = trace::kDefault);
+  trace::Recorder* trace_recorder() { return trace_.get(); }
+
   /// Vanilla-Tor client stack on the main client host.
   ClientStack make_vanilla_stack(const std::string& socks_service = "socks");
 
@@ -128,6 +137,7 @@ class Scenario {
   std::map<std::string, net::HostId> exit_aliases_;
   std::shared_ptr<workload::WebServer> web_server_;
   std::unique_ptr<fault::FaultInjector> fault_;
+  std::unique_ptr<trace::Recorder> trace_;
 };
 
 /// Client access-link traits for wired/wireless media.

@@ -11,6 +11,10 @@
 
 #include "sim/time.h"
 
+namespace ptperf::trace {
+class Recorder;
+}  // namespace ptperf::trace
+
 namespace ptperf::sim {
 
 class EventLoop;
@@ -63,6 +67,14 @@ class EventLoop {
 
   std::size_t events_executed() const { return executed_; }
 
+  /// The world's flight recorder, or nullptr when tracing is off. The
+  /// loop is the one object every time-dependent component already holds,
+  /// so it doubles as the recorder's well-known location; the recorder
+  /// registers/unregisters itself (trace::Recorder ctor/dtor). Purely an
+  /// observer — the loop never calls into it.
+  trace::Recorder* recorder() const { return recorder_; }
+  void set_recorder(trace::Recorder* r) { recorder_ = r; }
+
  private:
   struct Event {
     TimePoint when;
@@ -80,6 +92,7 @@ class EventLoop {
   TimePoint now_{};
   std::uint64_t next_seq_ = 0;
   std::size_t executed_ = 0;
+  trace::Recorder* recorder_ = nullptr;
 };
 
 }  // namespace ptperf::sim

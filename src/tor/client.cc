@@ -3,6 +3,7 @@
 #include <deque>
 
 #include "fault/fault_injector.h"
+#include "trace/trace.h"
 
 namespace ptperf::tor {
 namespace {
@@ -35,6 +36,7 @@ struct StreamState {
   int cells_since_sendme = 0;
   bool connected = false;
   bool closed = false;
+  trace::SpanId open_span = 0;  // BEGIN -> CONNECTED/END round trip
 };
 
 struct TorCircuit::Impl {
@@ -54,6 +56,14 @@ struct TorCircuit::Impl {
 
   bool alive = true;
   std::function<void()> death_handler;
+
+  // Flight-recorder spans: "circuit_build" covers CREATE2 through the last
+  // EXTENDED2; "first_hop" (its child) is the PT/TCP connect to the entry;
+  // "ntor_hop" children time each handshake round trip. kill_circuit closes
+  // whichever are still open so failed builds leave well-formed traces.
+  trace::SpanId build_span = 0;
+  trace::SpanId first_hop_span = 0;
+  trace::SpanId hop_span = 0;
 
   int circuit_cells_since_sendme = 0;
   StreamId next_stream_id = 1;
@@ -182,6 +192,12 @@ void TorClient::build_circuit_path(const std::vector<RelayIndex>& hops,
     if (circ->building) kill_circuit(circ, "circuit build timeout");
   });
 
+  trace::Recorder* rec = net_->loop().recorder();
+  circ->build_span = TRACE_SPAN_BEGIN_ARGS(
+      rec, trace::kTor, "circuit_build", 0,
+      {{"circ", std::to_string(circ->circ_id)},
+       {"hops", std::to_string(hops.size())}});
+
   auto self = shared_from_this();
 
   // Injected circuit-build failure: the build makes partial progress and
@@ -196,9 +212,14 @@ void TorClient::build_circuit_path(const std::vector<RelayIndex>& hops,
   }
 
 
+  circ->first_hop_span = TRACE_SPAN_BEGIN_UNDER(rec, trace::kTor, "first_hop",
+                                                circ->build_span);
   first_hop_(
       hops.front(),
       [self, circ](net::ChannelPtr ch) {
+        trace::Recorder* rec = self->net_->loop().recorder();
+        TRACE_SPAN_END(rec, circ->first_hop_span);
+        circ->first_hop_span = 0;
         circ->link = std::move(ch);
         circ->link->set_receiver([self, circ](util::Bytes wire) {
           self->on_link_message(circ, std::move(wire));
@@ -208,6 +229,9 @@ void TorClient::build_circuit_path(const std::vector<RelayIndex>& hops,
         // CREATE2 to the entry.
         circ->pending_handshake = ntor_client_start(
             self->rng_, self->consensus_->handshake_mode);
+        circ->hop_span = TRACE_SPAN_BEGIN_ARGS(rec, trace::kTor, "ntor_hop",
+                                               circ->build_span,
+                                               {{"hop", "0"}});
         Cell create;
         create.circ_id = circ->circ_id;
         create.command = CellCommand::kCreate2;
@@ -227,6 +251,8 @@ void TorClient::on_link_message(const std::shared_ptr<TorCircuit::Impl>& circ,
 
   if (cell->command == CellCommand::kCreated2) {
     if (!circ->pending_handshake || !circ->layers.empty()) return;
+    TRACE_SPAN_END(net_->loop().recorder(), circ->hop_span);
+    circ->hop_span = 0;
     util::Bytes reply(cell->payload.begin(), cell->payload.begin() + 48);
     auto keys = ntor_client_finish(
         *circ->pending_handshake, consensus_->identity_of(circ->hops[0]),
@@ -266,10 +292,13 @@ void TorClient::on_link_message(const std::shared_ptr<TorCircuit::Impl>& circ,
 }
 
 void TorClient::continue_build(const std::shared_ptr<TorCircuit::Impl>& circ) {
+  trace::Recorder* rec = net_->loop().recorder();
   std::size_t have = circ->layers.size();
   if (have >= circ->hops.size()) {
     circ->building = false;
     circ->build_timer.cancel();
+    TRACE_SPAN_END_ARGS(rec, circ->build_span, {{"ok", "1"}});
+    circ->build_span = 0;
     if (circ->build_cb) {
       auto cb = std::move(circ->build_cb);
       circ->build_cb = nullptr;
@@ -280,6 +309,9 @@ void TorClient::continue_build(const std::shared_ptr<TorCircuit::Impl>& circ) {
   // EXTEND2 to the next hop, addressed to the current last hop.
   circ->pending_handshake =
       ntor_client_start(rng_, consensus_->handshake_mode);
+  circ->hop_span = TRACE_SPAN_BEGIN_ARGS(rec, trace::kTor, "ntor_hop",
+                                         circ->build_span,
+                                         {{"hop", std::to_string(have)}});
   Extend2 ext;
   ext.target_relay = circ->hops[have];
   ext.handshake = ntor_client_message(*circ->pending_handshake);
@@ -295,6 +327,8 @@ void TorClient::handle_backward(const std::shared_ptr<TorCircuit::Impl>& circ,
     case RelayCommand::kExtended2: {
       if (!circ->pending_handshake) return;
       if (layer_index + 1 != circ->layers.size()) return;
+      TRACE_SPAN_END(net_->loop().recorder(), circ->hop_span);
+      circ->hop_span = 0;
       std::size_t next_hop = circ->layers.size();
       util::Bytes reply(rc.data.begin(), rc.data.begin() + 48);
       auto keys = ntor_client_finish(
@@ -313,6 +347,8 @@ void TorClient::handle_backward(const std::shared_ptr<TorCircuit::Impl>& circ,
       auto it = circ->streams.find(rc.stream_id);
       if (it == circ->streams.end()) return;
       it->second.connected = true;
+      TRACE_SPAN_END(net_->loop().recorder(), it->second.open_span);
+      it->second.open_span = 0;
       if (it->second.open_cb) {
         auto cb = std::move(it->second.open_cb);
         it->second.open_cb = nullptr;
@@ -327,6 +363,7 @@ void TorClient::handle_backward(const std::shared_ptr<TorCircuit::Impl>& circ,
       auto it = circ->streams.find(rc.stream_id);
       if (it == circ->streams.end()) return;
       StreamState& st = it->second;
+      TRACE_COUNT(net_->loop().recorder(), "tor/data_cells", 1);
 
       // Flow control: emit SENDMEs as data is consumed.
       st.cells_since_sendme++;
@@ -353,6 +390,9 @@ void TorClient::handle_backward(const std::shared_ptr<TorCircuit::Impl>& circ,
     case RelayCommand::kEnd: {
       auto it = circ->streams.find(rc.stream_id);
       if (it == circ->streams.end()) return;
+      TRACE_SPAN_END_ARGS(net_->loop().recorder(), it->second.open_span,
+                          {{"refused", "1"}});
+      it->second.open_span = 0;
       if (it->second.open_cb) {
         auto cb = std::move(it->second.open_cb);
         cb(nullptr, "stream refused: " + util::to_string(rc.data));
@@ -382,6 +422,9 @@ void TorClient::open_stream(const TorCircuit& circuit,
   StreamId sid = circ->next_stream_id++;
   StreamState st;
   st.open_cb = std::move(cb);
+  st.open_span = TRACE_SPAN_BEGIN_ARGS(net_->loop().recorder(), trace::kTor,
+                                       "stream_open", 0,
+                                       {{"stream", std::to_string(sid)}});
   circ->streams.emplace(sid, std::move(st));
 
   RelayCell rc;
@@ -416,6 +459,11 @@ void TorClient::kill_circuit(const std::shared_ptr<TorCircuit::Impl>& circ,
   if (!circ->alive) return;
   circ->alive = false;
   circ->build_timer.cancel();
+  trace::Recorder* rec = net_->loop().recorder();
+  TRACE_SPAN_END(rec, circ->hop_span);
+  TRACE_SPAN_END(rec, circ->first_hop_span);
+  TRACE_SPAN_END_ARGS(rec, circ->build_span, {{"error", reason}});
+  circ->hop_span = circ->first_hop_span = circ->build_span = 0;
   if (circ->build_cb) {
     auto cb = std::move(circ->build_cb);
     circ->build_cb = nullptr;
@@ -423,6 +471,8 @@ void TorClient::kill_circuit(const std::shared_ptr<TorCircuit::Impl>& circ,
   }
   // Notify streams.
   for (auto& [sid, st] : circ->streams) {
+    TRACE_SPAN_END_ARGS(rec, st.open_span, {{"error", reason}});
+    st.open_span = 0;
     if (st.open_cb) {
       st.open_cb(nullptr, reason);
     } else if (st.close_handler) {

@@ -1,5 +1,6 @@
 #include "tor/relay.h"
 
+#include "trace/trace.h"
 #include "util/strings.h"
 
 namespace ptperf::tor {
@@ -118,6 +119,10 @@ void Relay::handle_create2(const net::ChannelPtr& ch, const Cell& cell) {
 void Relay::handle_relay_forward(const CircuitPtr& circ, Cell cell) {
   if (circ->destroyed) return;
   ++cells_relayed_;
+  trace::Recorder* rec = net_->loop().recorder();
+  TRACE_COUNT(rec, "tor/cells_relayed", 1);
+  TRACE_INSTANT_ARGS(rec, trace::kCells, "cell_fwd",
+                     {{"relay", std::to_string(index_)}});
   circ->layer->process_forward(cell.payload);
 
   auto rc = RelayCell::decode(cell.payload);
@@ -200,6 +205,7 @@ void Relay::on_next_message(const CircuitPtr& circ, util::Bytes wire) {
   auto cell = Cell::decode(wire);
   if (!cell) return;
   ++cells_relayed_;
+  TRACE_COUNT(net_->loop().recorder(), "tor/cells_relayed", 1);
 
   if (cell->command == CellCommand::kCreated2) {
     RelayCell ext;
@@ -305,6 +311,8 @@ void Relay::handle_end(const CircuitPtr& circ, const RelayCell& rc) {
 
 void Relay::send_backward(const CircuitPtr& circ, RelayCell rc) {
   if (circ->destroyed) return;
+  TRACE_INSTANT_ARGS(net_->loop().recorder(), trace::kCells, "cell_bwd",
+                     {{"relay", std::to_string(index_)}});
   rc.recognized = 0;
   rc.digest = 0;
   util::Bytes payload = rc.encode();
@@ -334,6 +342,15 @@ void Relay::pump_streams(const CircuitPtr& circ) {
       --st.package_window;
       --circ->circuit_package_window;
       send_backward(circ, std::move(data));
+    }
+    if (!st.buffer.empty() &&
+        (st.package_window <= 0 || circ->circuit_package_window <= 0)) {
+      // Exit-side queueing: data waiting on SENDME credit is where the
+      // per-hop queue time accrues (visible as gaps between cell_bwd).
+      TRACE_INSTANT_ARGS(net_->loop().recorder(), trace::kCells,
+                         "exit_queue_stall",
+                         {{"relay", std::to_string(index_)},
+                          {"buffered", std::to_string(st.buffer.size())}});
     }
     if (st.remote_closed && st.buffer.empty() && !st.end_sent) {
       st.end_sent = true;

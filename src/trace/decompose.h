@@ -1,0 +1,52 @@
+// Derives the paper-style breakdowns from raw spans: per-download TTFB
+// phase decomposition (socks / PT handshake / circuit build / first byte —
+// the §4.2-style "where does the time go" view) and per-hop circuit-build
+// timing (the Fig. 7 / §4.2.1 first-hop-dominance view), both computed
+// purely from recorded spans, never from side-channel accounting inside
+// the protocol code.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace ptperf::trace {
+
+/// One download's TTFB split into disjoint phases. By construction
+///   socks_ns + pt_handshake_ns + circuit_build_ns + first_byte_ns
+///     == ttfb_ns
+/// exactly (integer nanoseconds): the socks phase is the client-observed
+/// SOCKS dialogue minus the circuit builds nested inside it, and the
+/// circuit-build phase is the build minus the PT/first-hop connect nested
+/// inside *it*. Downloads that never saw a first byte are skipped.
+struct DownloadPhases {
+  SpanId download = 0;
+  std::string target;
+  std::int64_t start_ns = 0;
+  std::int64_t socks_ns = 0;          // SOCKS dialogue (dial + greeting + connect)
+  std::int64_t pt_handshake_ns = 0;   // first-hop / PT tunnel establishment
+  std::int64_t circuit_build_ns = 0;  // ntor build minus the first-hop connect
+  std::int64_t first_byte_ns = 0;     // request sent -> first body byte
+  std::int64_t ttfb_ns = 0;           // sum of the four phases
+};
+
+/// Phase decomposition of every completed download in one world's trace.
+/// Requires the kDownload category; the PT-handshake and circuit-build
+/// phases are zero when kTor spans were not recorded.
+std::vector<DownloadPhases> decompose_downloads(const TraceData& data);
+
+/// Per-hop build timing of one circuit: hop_rtt_ns[k] is the duration of
+/// the k-th ntor handshake round trip (CREATE2/EXTEND2 -> reply), i.e. the
+/// client's view of the cumulative path RTT + processing through hop k.
+struct CircuitHops {
+  SpanId circuit_build = 0;
+  std::int64_t first_hop_connect_ns = 0;  // link/PT establishment before hop 0
+  std::vector<std::int64_t> hop_rtt_ns;   // one entry per hop, client order
+};
+
+/// Hop timings for every completed circuit build in one world's trace
+/// (kTor category).
+std::vector<CircuitHops> circuit_hops(const TraceData& data);
+
+}  // namespace ptperf::trace

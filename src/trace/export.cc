@@ -1,0 +1,220 @@
+#include "trace/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+namespace ptperf::trace {
+namespace {
+
+/// Virtual-time ns as a microsecond string with ns fraction ("12.345").
+/// Pure integer formatting — no floating point, so the bytes are exact and
+/// platform-independent (the --jobs byte-identity contract extends to
+/// trace files).
+std::string us_str(std::int64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%03" PRId64, ns / 1000,
+                ns % 1000 < 0 ? -(ns % 1000) : ns % 1000);
+  return buf;
+}
+
+void append_args_object(std::string& out, const SpanArgs& args) {
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : args) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(k);
+    out += "\":\"";
+    out += json_escape(v);
+    out += '"';
+  }
+  out += '}';
+}
+
+void append_complete_event(std::string& out, const std::string& name,
+                           const char* cat, std::int64_t start_ns,
+                           std::int64_t dur_ns, std::size_t pid, int tid,
+                           const SpanArgs& args) {
+  out += "{\"name\":\"";
+  out += json_escape(name);
+  out += "\",\"cat\":\"";
+  out += cat;
+  out += "\",\"ph\":\"X\",\"ts\":";
+  out += us_str(start_ns);
+  out += ",\"dur\":";
+  out += us_str(dur_ns);
+  out += ",\"pid\":";
+  out += std::to_string(pid);
+  out += ",\"tid\":";
+  out += std::to_string(tid);
+  out += ",\"args\":";
+  append_args_object(out, args);
+  out += "},\n";
+}
+
+void append_metadata(std::string& out, const char* what, std::size_t pid,
+                     int tid, const std::string& name, bool per_tid) {
+  out += "{\"name\":\"";
+  out += what;
+  out += "\",\"ph\":\"M\",\"pid\":";
+  out += std::to_string(pid);
+  if (per_tid) {
+    out += ",\"tid\":";
+    out += std::to_string(tid);
+  }
+  out += ",\"args\":{\"name\":\"";
+  out += json_escape(name);
+  out += "\"}},\n";
+}
+
+/// Track layout inside each shard process.
+int category_tid(Category c) {
+  switch (c) {
+    case kDownload: return 0;
+    case kTor: return 1;
+    case kPt: return 2;
+    case kCells: return 3;
+    default: return 0;
+  }
+}
+constexpr int kPhasesTid = 4;
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string chrome_trace_json(const std::vector<ShardTrace>& traces) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  for (const ShardTrace& shard : traces) {
+    std::size_t pid = shard.shard;
+    append_metadata(out, "process_name", pid, 0,
+                    "shard " + std::to_string(pid) + " [" + shard.pt + "]",
+                    false);
+    append_metadata(out, "thread_name", pid, category_tid(kDownload),
+                    "downloads", true);
+    append_metadata(out, "thread_name", pid, category_tid(kTor), "tor", true);
+    append_metadata(out, "thread_name", pid, category_tid(kPt), "pt", true);
+    append_metadata(out, "thread_name", pid, category_tid(kCells), "cells",
+                    true);
+    append_metadata(out, "thread_name", pid, kPhasesTid, "ttfb phases", true);
+
+    for (const SpanEvent& ev : shard.data.spans) {
+      SpanArgs args = ev.args;
+      args.emplace_back("span_id", std::to_string(ev.id));
+      if (ev.parent) args.emplace_back("parent", std::to_string(ev.parent));
+      append_complete_event(out, ev.name, category_name(ev.category),
+                            ev.start_ns, ev.duration_ns(), pid,
+                            category_tid(ev.category), args);
+    }
+
+    // Derived TTFB phase track: phases laid back-to-back from the download
+    // start, summing exactly to the TTFB the sample reports.
+    for (const DownloadPhases& p : decompose_downloads(shard.data)) {
+      std::int64_t t = p.start_ns;
+      const std::pair<const char*, std::int64_t> phases[] = {
+          {"phase/socks", p.socks_ns},
+          {"phase/pt_handshake", p.pt_handshake_ns},
+          {"phase/circuit_build", p.circuit_build_ns},
+          {"phase/first_byte", p.first_byte_ns},
+      };
+      for (const auto& [name, dur] : phases) {
+        SpanArgs args{{"download", std::to_string(p.download)},
+                      {"target", p.target},
+                      {"ttfb_us", us_str(p.ttfb_ns)}};
+        append_complete_event(out, name, "phase", t, dur, pid, kPhasesTid,
+                              args);
+        t += dur;
+      }
+    }
+  }
+  out += "{\"name\":\"trace_end\",\"ph\":\"i\",\"ts\":0,\"pid\":0,\"tid\":0,"
+         "\"s\":\"g\"}\n]}\n";
+  return out;
+}
+
+std::string trace_jsonl(const std::vector<ShardTrace>& traces) {
+  std::string out;
+  for (const ShardTrace& shard : traces) {
+    std::string prefix = "{\"shard\":" + std::to_string(shard.shard) +
+                         ",\"pt\":\"" + json_escape(shard.pt) + "\"";
+    for (const SpanEvent& ev : shard.data.spans) {
+      out += prefix;
+      out += ",\"type\":\"span\",\"name\":\"";
+      out += json_escape(ev.name);
+      out += "\",\"cat\":\"";
+      out += category_name(ev.category);
+      out += "\",\"id\":";
+      out += std::to_string(ev.id);
+      if (ev.parent) {
+        out += ",\"parent\":";
+        out += std::to_string(ev.parent);
+      }
+      out += ",\"start_us\":";
+      out += us_str(ev.start_ns);
+      out += ",\"dur_us\":";
+      out += us_str(ev.duration_ns());
+      if (!ev.args.empty()) {
+        out += ",\"args\":";
+        append_args_object(out, ev.args);
+      }
+      out += "}\n";
+    }
+    for (const auto& [name, value] : shard.data.counters) {
+      out += prefix;
+      out += ",\"type\":\"counter\",\"name\":\"";
+      out += json_escape(name);
+      out += "\",\"value\":";
+      out += std::to_string(value);
+      out += "}\n";
+    }
+    for (const auto& [name, values] : shard.data.histograms) {
+      out += prefix;
+      out += ",\"type\":\"histogram\",\"name\":\"";
+      out += json_escape(name);
+      out += "\",\"n\":";
+      out += std::to_string(values.size());
+      out += "}\n";
+    }
+  }
+  return out;
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f << content;
+  return static_cast<bool>(f);
+}
+
+bool write_trace_file(const std::string& path,
+                      const std::vector<ShardTrace>& traces) {
+  bool jsonl = path.size() >= 6 && path.ends_with(".jsonl");
+  return write_text_file(path,
+                         jsonl ? trace_jsonl(traces) : chrome_trace_json(traces));
+}
+
+}  // namespace ptperf::trace

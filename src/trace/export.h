@@ -1,0 +1,38 @@
+// Trace exporters: Chrome trace_event JSON (load in chrome://tracing or
+// Perfetto) and a line-oriented JSONL dump for scripted analysis. Both
+// render the merged per-shard traces in plan order, so output is
+// byte-identical at any --jobs; timestamps are virtual-time microseconds
+// with nanosecond fractions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/decompose.h"
+#include "trace/trace.h"
+
+namespace ptperf::trace {
+
+/// Chrome trace_event JSON. Each shard renders as one process (pid =
+/// plan position, named after its PT); raw spans nest by time on one
+/// thread per category, and every decomposed download additionally gets
+/// its TTFB phases laid back-to-back on a dedicated "ttfb phases" track
+/// (phase durations sum exactly to the download's TTFB).
+std::string chrome_trace_json(const std::vector<ShardTrace>& traces);
+
+/// JSONL: one object per span, counter, and histogram, prefixed by shard.
+std::string trace_jsonl(const std::vector<ShardTrace>& traces);
+
+/// Writes `content` to `path`; false on I/O failure.
+bool write_text_file(const std::string& path, const std::string& content);
+
+/// Convenience: chrome_trace_json / trace_jsonl straight to a file. The
+/// format is picked by extension: ".jsonl" selects JSONL, anything else
+/// the Chrome format.
+bool write_trace_file(const std::string& path,
+                      const std::vector<ShardTrace>& traces);
+
+/// JSON string escaping (exposed for the exporters' tests).
+std::string json_escape(std::string_view s);
+
+}  // namespace ptperf::trace

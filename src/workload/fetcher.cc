@@ -4,6 +4,7 @@
 
 #include "net/http.h"
 #include "net/socks.h"
+#include "trace/trace.h"
 #include "util/strings.h"
 
 namespace ptperf::workload {
@@ -23,6 +24,15 @@ struct Transfer : std::enable_shared_from_this<Transfer> {
   bool head_parsed = false;
   bool finished = false;
 
+  // Flight-recorder spans: "download" covers the whole transfer;
+  // "socks" (dial + SOCKS dialogue, ends at the CONNECT reply) and
+  // "first_byte" (request sent -> first body byte) partition the TTFB as
+  // the client observes it. Circuit-build time nests inside "socks" via
+  // the Tor client's own spans (see trace/decompose.h).
+  trace::SpanId download_span = 0;
+  trace::SpanId socks_span = 0;
+  trace::SpanId first_byte_span = 0;
+
   void finish(bool success, const std::string& error) {
     if (finished) return;
     finished = true;
@@ -30,6 +40,15 @@ struct Transfer : std::enable_shared_from_this<Transfer> {
     result.success = success;
     result.error = error;
     if (success) result.complete_s = sim::seconds_since_start(loop->now());
+    trace::Recorder* rec = loop->recorder();
+    TRACE_SPAN_END(rec, socks_span);
+    TRACE_SPAN_END(rec, first_byte_span);
+    TRACE_SPAN_END_ARGS(
+        rec, download_span,
+        {{"success", success ? "1" : "0"},
+         {"bytes", std::to_string(result.received_bytes)},
+         {"error", error}});
+    socks_span = first_byte_span = download_span = 0;
     if (ch) ch->close();
     if (done) done(result);
   }
@@ -75,6 +94,10 @@ struct Transfer : std::enable_shared_from_this<Transfer> {
       finish(false, "socks connect failed");
       return;
     }
+    trace::Recorder* rec = loop->recorder();
+    TRACE_SPAN_END(rec, socks_span);
+    first_byte_span = TRACE_SPAN_BEGIN_UNDER(rec, trace::kDownload,
+                                             "first_byte", download_span);
     auto self = shared_from_this();
     ch->set_receiver([self](util::Bytes w) { self->on_body(w); });
     net::http::Request req;
@@ -86,8 +109,12 @@ struct Transfer : std::enable_shared_from_this<Transfer> {
 
   void on_body(const util::Bytes& data) {
     if (finished) return;
-    if (result.ttfb_s < 0)
+    trace::Recorder* rec = loop->recorder();
+    if (result.ttfb_s < 0) {
       result.ttfb_s = sim::seconds_since_start(loop->now());
+      TRACE_SPAN_END(rec, first_byte_span);
+    }
+    TRACE_COUNT(rec, "workload/http_bytes", data.size());
     if (!head_parsed) {
       head_buffer.insert(head_buffer.end(), data.begin(), data.end());
       std::string text = util::to_string(head_buffer);
@@ -139,6 +166,16 @@ void Fetcher::fetch(const std::string& host, const std::string& target,
   tr->result.start_s = sim::seconds_since_start(loop_->now());
   tr->done = std::move(done);
   tr->arm_timeout(timeout);
+
+  trace::Recorder* rec = loop_->recorder();
+  tr->download_span = TRACE_SPAN_BEGIN_ARGS(
+      rec, trace::kDownload, "download", 0,
+      {{"target", tr->result.target}});
+  // The SOCKS phase starts with the dial: for set-3 PTs the tunnel itself
+  // is established here, for everyone else it is a loopback connect.
+  tr->socks_span = TRACE_SPAN_BEGIN_UNDER(rec, trace::kDownload, "socks",
+                                          tr->download_span);
+  TRACE_COUNT(rec, "workload/fetches", 1);
 
   dialer_(
       [tr](net::ChannelPtr ch) { tr->start(std::move(ch)); },

@@ -1,0 +1,105 @@
+// Golden-figure regression suite: runs the four headline figure benches at
+// --scale 0.05 --seed 1 --jobs 2 and byte-compares their primary CSV
+// against a checked-in golden copy (tests/golden/). The `#` comment lines
+// (seed/jobs/wall_s) are stripped on both sides — wall-clock is outside
+// the determinism contract; everything else is inside it. Any intentional
+// change to sampling, statistics, or the simulation model shows up as a
+// reviewable golden diff: regenerate with tools/regen_golden.sh and commit
+// the result alongside the change that caused it.
+//
+// The bench binary directory and the golden directory are injected by
+// tests/CMakeLists.txt (BENCH_DIR / GOLDEN_DIR).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+/// One figure under regression: which binary, which extra flags, which of
+/// its CSVs is the golden artifact. Flags here must match
+/// tools/regen_golden.sh exactly.
+struct GoldenCase {
+  const char* bench;
+  const char* extra_args;
+  const char* csv;
+};
+
+constexpr const char* kCommonArgs = "--scale 0.05 --seed 1 --jobs 2";
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Drops `#` comment lines; the remainder is compared byte-for-byte.
+std::string strip_comments(const std::string& text) {
+  std::istringstream in(text);
+  std::string out, line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] == '#') continue;
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+class TempDir {
+ public:
+  TempDir() {
+    std::string tmpl = ::testing::TempDir() + "golden_XXXXXX";
+    dir_ = mkdtemp(tmpl.data());
+  }
+  ~TempDir() {
+    if (dir_.empty()) return;
+    std::string cmd = "rm -rf '" + dir_ + "'";
+    [[maybe_unused]] int rc = std::system(cmd.c_str());
+  }
+  const std::string& path() const { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+void check_golden(const GoldenCase& c) {
+  TempDir tmp;
+  ASSERT_FALSE(tmp.path().empty());
+  std::string cmd = std::string(BENCH_DIR) + "/" + c.bench + " " +
+                    kCommonArgs + " " + c.extra_args + " --out '" +
+                    tmp.path() + "' > /dev/null 2>&1";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+
+  std::string produced = strip_comments(read_file(tmp.path() + "/" + c.csv));
+  std::string golden =
+      strip_comments(read_file(std::string(GOLDEN_DIR) + "/" + c.csv));
+  ASSERT_FALSE(produced.empty()) << c.bench << " wrote an empty " << c.csv;
+  EXPECT_EQ(produced, golden)
+      << c.csv << " drifted from tests/golden/. If the change is intended, "
+      << "regenerate with tools/regen_golden.sh and commit the diff.";
+}
+
+TEST(GoldenFigures, Fig2aWebsiteCurl) {
+  check_golden({"bench_fig2a_website_curl", "", "fig2a_boxes.csv"});
+}
+
+TEST(GoldenFigures, Fig5FileDownload) {
+  check_golden({"bench_fig5_file_download", "", "fig5_times.csv"});
+}
+
+TEST(GoldenFigures, Fig6Ttfb) {
+  check_golden({"bench_fig6_ttfb", "", "fig6_ttfb_ecdf.csv"});
+}
+
+TEST(GoldenFigures, Fig8Reliability) {
+  check_golden({"bench_fig8_reliability", "--faults paper --retries 1",
+                "fig8a_outcomes.csv"});
+}
+
+}  // namespace

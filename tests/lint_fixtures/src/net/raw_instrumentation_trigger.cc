@@ -1,0 +1,14 @@
+// Must trigger raw-instrumentation (path contains "src/" but is outside
+// src/trace/ and src/util/): the <iostream> include, the std::cerr use,
+// and the two printf-family calls. snprintf is bounded/in-memory and must
+// NOT be flagged.
+#include <cstdio>
+#include <iostream>
+
+void debug_dump(int circuits) {
+  std::cerr << "circuits=" << circuits << "\n";
+  std::printf("circuits=%d\n", circuits);
+  fprintf(stderr, "circuits=%d\n", circuits);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%d", circuits);
+}

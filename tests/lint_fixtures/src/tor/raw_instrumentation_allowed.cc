@@ -1,0 +1,11 @@
+// Must be clean: a reasoned suppression covers the one sanctioned print
+// site, and a method named `puts` reached through member access is not the
+// banned free function.
+#include <cstdio>
+
+template <typename Sink>
+void panic_path(Sink& sink) {
+  sink.puts("not the banned free function");
+  // simlint: allow(raw-instrumentation) -- fixture: crash-path last words
+  std::fprintf(stderr, "unrecoverable\n");
+}

@@ -1,0 +1,7 @@
+// Must be clean: raw-instrumentation does not apply under src/trace/ —
+// the exporters are the sanctioned place where traces hit streams.
+#include <cstdio>
+
+void export_warn(const char* path) {
+  std::fprintf(stderr, "warning: could not write %s\n", path);
+}

@@ -1,0 +1,101 @@
+// ShardPlan chunking boundaries. The plan is the jobs-independent
+// decomposition the whole byte-identity argument rests on, so the edge
+// shapes — empty item lists, chunk size one, chunks larger than the list,
+// ragged final chunks — must all produce complete, non-overlapping,
+// in-order slices with stable namespaced seeds.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "ptperf/parallel.h"
+
+namespace ptperf {
+namespace {
+
+std::vector<std::optional<PtId>> two_pts() {
+  return {std::nullopt, PtId::kObfs4};
+}
+
+/// Every PT's chunks must tile [0, item_count) exactly, in order.
+void expect_tiles(const ShardPlan& plan, std::size_t pts,
+                  std::size_t item_count) {
+  std::size_t per_pt = plan.size() / pts;
+  ASSERT_EQ(plan.size() % pts, 0u);
+  for (std::size_t p = 0; p < pts; ++p) {
+    std::size_t expect_begin = 0;
+    for (std::size_t c = 0; c < per_pt; ++c) {
+      const ShardSpec& s = plan.shards()[p * per_pt + c];
+      EXPECT_EQ(s.item_begin, expect_begin);
+      EXPECT_GE(s.item_end, s.item_begin);
+      EXPECT_LE(s.item_end, item_count);
+      EXPECT_EQ(s.chunk_index, c);
+      EXPECT_EQ(s.index, p * per_pt + c);  // plan position == merge position
+      expect_begin = s.item_end;
+    }
+    EXPECT_EQ(expect_begin, item_count) << "chunks do not cover the items";
+  }
+}
+
+TEST(ShardPlan, ZeroItemsStillYieldsOneEmptyShardPerPt) {
+  // A campaign with no work items (e.g. an empty site selection) must not
+  // produce an empty plan: each PT keeps exactly one shard with an empty
+  // slice, so merge order and seed derivation stay well-defined.
+  for (std::size_t items_per_shard : {0u, 3u}) {
+    ShardPlan plan = ShardPlan::build(1, two_pts(), 0, items_per_shard);
+    ASSERT_EQ(plan.size(), 2u);
+    for (const ShardSpec& s : plan.shards()) {
+      EXPECT_EQ(s.item_begin, 0u);
+      EXPECT_EQ(s.item_end, 0u);
+      EXPECT_EQ(s.chunk_index, 0u);
+    }
+  }
+}
+
+TEST(ShardPlan, SingleItemSingleChunk) {
+  ShardPlan plan = ShardPlan::build(1, two_pts(), 1, 0);
+  ASSERT_EQ(plan.size(), 2u);
+  expect_tiles(plan, 2, 1);
+}
+
+TEST(ShardPlan, ChunkOfOneGivesOneShardPerItem) {
+  ShardPlan plan = ShardPlan::build(1, two_pts(), 5, 1);
+  ASSERT_EQ(plan.size(), 2u * 5u);
+  expect_tiles(plan, 2, 5);
+  for (const ShardSpec& s : plan.shards())
+    EXPECT_EQ(s.item_end - s.item_begin, 1u);
+}
+
+TEST(ShardPlan, ChunkLargerThanItemListClampsToOneFullShard) {
+  ShardPlan plan = ShardPlan::build(1, two_pts(), 4, 100);
+  ASSERT_EQ(plan.size(), 2u);
+  expect_tiles(plan, 2, 4);
+  EXPECT_EQ(plan.shards()[0].item_end, 4u);
+}
+
+TEST(ShardPlan, RaggedFinalChunkIsShortNotDropped) {
+  // 7 items in chunks of 3: [0,3) [3,6) [6,7).
+  ShardPlan plan = ShardPlan::build(1, two_pts(), 7, 3);
+  ASSERT_EQ(plan.size(), 2u * 3u);
+  expect_tiles(plan, 2, 7);
+  EXPECT_EQ(plan.shards()[2].item_begin, 6u);
+  EXPECT_EQ(plan.shards()[2].item_end, 7u);
+}
+
+TEST(ShardPlan, SeedsDependOnPtAndChunkNotOnListShape) {
+  // Re-chunking one PT's work must not move any other shard's world seed:
+  // seeds are a function of (base seed, pt name, chunk ordinal) only.
+  ShardPlan coarse = ShardPlan::build(42, two_pts(), 6, 0);
+  ShardPlan fine = ShardPlan::build(42, two_pts(), 6, 2);
+  EXPECT_EQ(coarse.shards()[0].seed, fine.shards()[0].seed);  // tor chunk 0
+  EXPECT_EQ(coarse.shards()[1].seed, fine.shards()[3].seed);  // obfs4 chunk 0
+  EXPECT_EQ(fine.shards()[0].seed, shard_seed(42, "tor", 0));
+  EXPECT_EQ(fine.shards()[4].seed, shard_seed(42, "obfs4", 1));
+  // And a different base seed moves every world.
+  ShardPlan other = ShardPlan::build(43, two_pts(), 6, 2);
+  for (std::size_t i = 0; i < fine.size(); ++i)
+    EXPECT_NE(fine.shards()[i].seed, other.shards()[i].seed);
+}
+
+}  // namespace
+}  // namespace ptperf

@@ -91,6 +91,9 @@ TEST_F(SimlintCorpus, EveryRuleFiresOnItsTriggerFixture) {
                           "pointer-keyed-map"))
       << out;
   EXPECT_TRUE(has_finding(out, "unsafe_c_trigger.cc", "unsafe-c")) << out;
+  EXPECT_TRUE(has_finding(out, "src/net/raw_instrumentation_trigger.cc",
+                          "raw-instrumentation"))
+      << out;
   EXPECT_TRUE(has_finding(out, "no_pragma_once.h", "pragma-once")) << out;
   EXPECT_TRUE(has_finding(out, "using_namespace_trigger.h",
                           "using-namespace-header"))
@@ -108,6 +111,8 @@ TEST_F(SimlintCorpus, TriggerFixturesReportExpectedCounts) {
   EXPECT_EQ(count_findings(out, "banned_thread_trigger.cc"), 4) << out;
   EXPECT_EQ(count_findings(out, "unsafe_c_trigger.cc"), 2) << out;
   EXPECT_EQ(count_findings(out, "pointer_key_trigger.cc"), 2) << out;
+  // <iostream> include, std::cerr, std::printf, fprintf — snprintf is legal.
+  EXPECT_EQ(count_findings(out, "raw_instrumentation_trigger.cc"), 4) << out;
 }
 
 TEST_F(SimlintCorpus, SuppressionFixturesAreSilent) {
@@ -153,7 +158,7 @@ TEST(Simlint, ListRulesNamesEveryRule) {
   EXPECT_EQ(run.exit_code, 0);
   for (const char* rule :
        {"banned-time", "banned-rng", "banned-thread", "hash-container",
-        "pointer-keyed-map", "unsafe-c", "pragma-once",
+        "pointer-keyed-map", "unsafe-c", "raw-instrumentation", "pragma-once",
         "using-namespace-header"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos) << rule;
   }

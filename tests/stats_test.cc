@@ -135,6 +135,54 @@ TEST(Ecdf, MergeEqualsConcatenation) {
     EXPECT_DOUBLE_EQ(combined.quantile(q), whole.quantile(q));
 }
 
+TEST(Ecdf, MergeEdgeCases) {
+  // The shard-merge path hits degenerate accumulators whenever a shard
+  // produced no (or one) sample — e.g. every download in it failed.
+  Ecdf empty_a(std::vector<double>{}), empty_b(std::vector<double>{});
+  empty_a.merge(empty_b);
+  EXPECT_EQ(empty_a.size(), 0u);
+  EXPECT_EQ(empty_a(0.0), 0.0);  // P over an empty sample stays 0
+
+  Ecdf single(std::vector<double>{3.5});
+  Ecdf from_empty(std::vector<double>{});
+  from_empty.merge(single);  // empty ⊕ nonempty = copy
+  ASSERT_EQ(from_empty.size(), 1u);
+  EXPECT_EQ(from_empty(3.5), 1.0);
+  EXPECT_EQ(from_empty(3.4), 0.0);
+  EXPECT_EQ(from_empty.inverse(1.0), 3.5);
+
+  single.merge(Ecdf(std::vector<double>{}));  // nonempty ⊕ empty = no-op
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single.sorted().front(), 3.5);
+
+  // Two singletons arriving in either order merge to the same sample.
+  Ecdf lo(std::vector<double>{1.0}), hi(std::vector<double>{2.0});
+  EXPECT_EQ(merged(lo, hi).sorted(), merged(hi, lo).sorted());
+  EXPECT_DOUBLE_EQ(merged(lo, hi).quantile(0.5), 1.5);
+}
+
+TEST(WelfordAcc, MergeEdgeCases) {
+  Welford a, b;
+  a.merge(b);  // empty ⊕ empty stays empty and well-defined
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+
+  Welford single;
+  single.add(7.0);
+  a.merge(single);  // empty ⊕ single = copy
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);  // sample variance of n=1 is 0
+
+  Welford other_single;
+  other_single.add(9.0);
+  a.merge(other_single);  // single ⊕ single matches the batch result
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 8.0);
+  EXPECT_DOUBLE_EQ(a.variance(), variance({7.0, 9.0}));
+}
+
 TEST(Descriptive, QuantileSortedSharesInterpolation) {
   std::vector<double> xs{9, 1, 4, 2};
   std::vector<double> sorted_xs{1, 2, 4, 9};

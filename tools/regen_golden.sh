@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Regenerates the golden-figure CSVs under tests/golden/ from the current
+# build. Run after an intentional change to sampling, statistics, or the
+# simulation model, then commit the diff alongside the change — the golden
+# suite (tests/golden_figures_test.cc) byte-compares against these files.
+#
+# Usage: tools/regen_golden.sh [build-dir]   (default: build)
+#
+# Flags here must match tests/golden_figures_test.cc exactly. `#` comment
+# lines (seed/jobs/wall_s) are stripped: wall-clock is outside the
+# determinism contract.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-build}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+run() {
+  local bench="$1" csv="$2"
+  shift 2
+  "$ROOT/$BUILD/bench/$bench" --scale 0.05 --seed 1 --jobs 2 \
+    --out "$TMP" "$@" > /dev/null
+  grep -v '^#' "$TMP/$csv" > "$ROOT/tests/golden/$csv"
+  echo "regenerated tests/golden/$csv"
+}
+
+run bench_fig2a_website_curl fig2a_boxes.csv
+run bench_fig5_file_download fig5_times.csv
+run bench_fig6_ttfb fig6_ttfb_ecdf.csv
+run bench_fig8_reliability fig8a_outcomes.csv --faults paper --retries 1

@@ -241,6 +241,36 @@ void check_unsafe_c(const FileScan& scan, std::vector<Finding>& out) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: raw-instrumentation — ad-hoc printf/std::cerr telemetry in the
+// library layer bypasses the flight recorder: it cannot merge across
+// shards, is invisible to the exporters, and pollutes the byte-identical
+// CSV contract. Only src/trace (the exporters themselves) and src/util
+// (formatting helpers) may write to streams; everything else records
+// spans/counters through trace::Recorder. snprintf (bounded, in-memory)
+// stays legal everywhere. bench/ and tools/ are out of scope — they are
+// the presentation layer.
+
+constexpr std::string_view kInstrWhy =
+    "is ad-hoc console instrumentation; record a span/counter through the "
+    "flight recorder (src/trace/trace.h) so it merges deterministically "
+    "across shards";
+
+void check_raw_instrumentation(const FileScan& scan,
+                               std::vector<Finding>& out) {
+  if (!path_under(scan, {"src/"})) return;
+  if (path_under(scan, {"src/trace/", "src/util/"})) return;
+  ban_idents(scan, out, "raw-instrumentation", {"cout", "cerr", "clog"},
+             kInstrWhy);
+  ban_calls(scan, out, "raw-instrumentation",
+            {"printf", "fprintf", "vprintf", "vfprintf", "puts", "fputs",
+             "putchar", "fputc", "perror"},
+            kInstrWhy);
+  ban_includes(scan, out, "raw-instrumentation", {"<iostream>"},
+               "pulls in global stream objects; library code reports "
+               "through the flight recorder (src/trace/trace.h)");
+}
+
+// ---------------------------------------------------------------------------
 // Rule: pragma-once — every header must have it (include-graph hygiene).
 
 void check_pragma_once(const FileScan& scan, std::vector<Finding>& out) {
@@ -277,6 +307,9 @@ const std::vector<Rule> kRules = {
      "pointer-keyed std::map/std::set in the deterministic core",
      check_pointer_keyed_map},
     {"unsafe-c", "unbounded C string/parse functions", check_unsafe_c},
+    {"raw-instrumentation",
+     "printf/stream telemetry in src/ outside src/trace and src/util",
+     check_raw_instrumentation},
     {"pragma-once", "headers must contain #pragma once", check_pragma_once},
     {"using-namespace-header", "no using-directives in headers",
      check_using_namespace},

@@ -52,6 +52,7 @@ void ablate_guard_load(const BenchArgs& args) {
     pt::Obfs4Config ocfg;
     ocfg.client_host = scenario.client_host();
     ocfg.bridge = bridge;
+    // simlint: allow(transport-bypass) -- ablation sweeps bridge grades the registry builder deliberately fixes
     auto transport = std::make_shared<pt::Obfs4Transport>(
         scenario.network(), scenario.consensus(), scenario.fork_rng("ab1"),
         ocfg);
@@ -101,6 +102,7 @@ void ablate_dnstt_cap(const BenchArgs& args) {
     dcfg.resolver_host =
         scenario.add_infra_host("resolver-ab", net::Region::kUsEast, 1000, 0.15);
     dcfg.max_response_bytes = cap;
+    // simlint: allow(transport-bypass) -- ablation sweeps the DNS response budget the registry builder fixes at 512 B
     auto transport = std::make_shared<pt::DnsttTransport>(
         scenario.network(), scenario.consensus(), scenario.fork_rng("ab2"),
         dcfg);
@@ -159,6 +161,7 @@ void ablate_camoufler_rate(const BenchArgs& args) {
     ccfg.peer_host =
         scenario.add_infra_host("peer-ab", net::Region::kFrankfurt);
     ccfg.messages_per_sec = rate;
+    // simlint: allow(transport-bypass) -- ablation sweeps the IM message-rate cap the registry builder fixes
     auto transport = std::make_shared<pt::CamouflerTransport>(
         scenario.network(), scenario.consensus(), scenario.fork_rng("ab3"),
         ccfg);

@@ -3,27 +3,40 @@
 // the scenario's load timeline (the simulation's forcing function); 10b
 // compares website access time across the two regimes. Also §5.3's
 // companion check: 5 MB download attempts mostly fail post-surge.
+//
+// Runs on the sharded engine: each load regime is its own campaign whose
+// configure_stack hook flips the shard's snowflake ecosystem into the
+// pre- or post-surge state before any measurement starts.
 #include "common.h"
 
 namespace ptperf::bench {
 namespace {
 
+/// Sharded website campaign against snowflake pinned to one load regime.
+std::vector<WebsiteSample> run_regime(const ShardedCampaignConfig& base,
+                                      const SiteSelection& sites,
+                                      bool overloaded,
+                                      std::vector<ShardTiming>& timings) {
+  ShardedCampaignConfig cfg = base;
+  cfg.configure_stack = [overloaded](Scenario&, PtStack& stack) {
+    if (stack.snowflake) stack.snowflake->set_overloaded(overloaded);
+  };
+  ShardedCampaign engine(cfg);
+  auto samples = engine.run_website_curl({PtId::kSnowflake}, sites);
+  timings.insert(timings.end(), engine.timings().begin(),
+                 engine.timings().end());
+  return samples;
+}
+
 int run(const BenchArgs& args) {
   banner("Figure 10a/10b / §5.3", "snowflake under the Iran-unrest load",
          args);
 
-  ScenarioConfig cfg;
-  cfg.seed = args.seed;
-  cfg.tranco_sites = scaled(25, args.scale, 6);
-  cfg.cbl_sites = 0;
-  Scenario scenario(cfg);
-  TransportFactory factory(scenario);
-  CampaignOptions copts;
-  copts.website_reps = 3;
-  Campaign campaign(scenario, copts);
-  auto sites = Campaign::take_sites(scenario.tranco(), cfg.tranco_sites);
-
-  PtStack stack = factory.create(PtId::kSnowflake);
+  ShardedCampaignConfig cfg = sharded_config(args);
+  cfg.scenario.tranco_sites = scaled(25, args.scale, 6);
+  cfg.scenario.cbl_sites = 0;
+  cfg.campaign.website_reps = 3;
+  SiteSelection sites{cfg.scenario.tranco_sites, 0};
 
   // -- Figure 10a stand-in: the load forcing function over the timeline.
   stats::Table timeline({"week", "era", "proxy_load", "proxy_lifetime_s",
@@ -38,10 +51,9 @@ int run(const BenchArgs& args) {
   emit(timeline, args, "fig10a_timeline");
 
   // -- Figure 10b: pre vs post access times.
-  stack.snowflake->set_overloaded(false);
-  auto pre = campaign.run_website_curl(stack, sites);
-  stack.snowflake->set_overloaded(true);
-  auto post = campaign.run_website_curl(stack, sites);
+  std::vector<ShardTiming> timings;
+  auto pre = run_regime(cfg, sites, /*overloaded=*/false, timings);
+  auto post = run_regime(cfg, sites, /*overloaded=*/true, timings);
 
   std::vector<double> pre_means = per_site_means(pre);
   std::vector<double> post_means = per_site_means(post);
@@ -61,16 +73,25 @@ int run(const BenchArgs& args) {
   }
 
   // -- §5.3 companion: 5 MB downloads post-surge mostly fail.
-  CampaignOptions fopts;
-  fopts.file_reps = scaled_int(5, args.scale, 3);
-  Campaign file_campaign(scenario, fopts);
-  auto file_samples = file_campaign.run_file_downloads(stack, {5u << 20});
+  ShardedCampaignConfig fcfg = cfg;
+  fcfg.campaign.file_reps = scaled_int(5, args.scale, 3);
+  fcfg.configure_stack = [](Scenario&, PtStack& stack) {
+    if (stack.snowflake) stack.snowflake->set_overloaded(true);
+  };
+  ShardedCampaign file_engine(fcfg);
+  auto file_samples =
+      file_engine.run_file_downloads({PtId::kSnowflake}, {5u << 20});
+  timings.insert(timings.end(), file_engine.timings().begin(),
+                 file_engine.timings().end());
   int complete = 0;
   for (const FileSample& s : file_samples)
     if (s.result.success) ++complete;
   std::printf("-- 5 MB downloads post-surge: %d/%zu complete --\n", complete,
               file_samples.size());
   std::printf("(paper: 8 of 10 attempts failed post-September)\n");
+
+  print_shard_timings(timings, args);
+  emit_trace(file_engine, args);
   return 0;
 }
 

@@ -28,12 +28,14 @@ int run(const BenchArgs& args) {
   pt::Obfs4Config ocfg;
   ocfg.client_host = scenario.client_host();
   ocfg.bridge = shared_bridge;
+  // simlint: allow(transport-bypass) -- ablation pins the PT to a shared guard/bridge host the registry builders don't expose
   auto obfs4 = std::make_shared<pt::Obfs4Transport>(
       scenario.network(), scenario.consensus(), scenario.fork_rng("o4"), ocfg);
 
   pt::WebTunnelConfig wcfg;
   wcfg.client_host = scenario.client_host();
   wcfg.bridge = shared_bridge;
+  // simlint: allow(transport-bypass) -- same fixed shared-bridge setup
   auto webtunnel = std::make_shared<pt::WebTunnelTransport>(
       scenario.network(), scenario.consensus(), scenario.fork_rng("wt"), wcfg);
 

@@ -24,6 +24,7 @@ int run(const BenchArgs& args) {
   pt::Obfs4Config ocfg;
   ocfg.client_host = scenario.client_host();
   ocfg.bridge = shared_bridge;
+  // simlint: allow(transport-bypass) -- ablation pins the PT to a shared guard/bridge host the registry builders don't expose
   auto obfs4 = std::make_shared<pt::Obfs4Transport>(
       scenario.network(), scenario.consensus(), scenario.fork_rng("o4"), ocfg);
 

@@ -3,6 +3,11 @@
 // circuit with and without the PT, with PT client and server co-located to
 // minimise extra propagation. Expected: most PTs add no significant
 // overhead; marionette is the lone outlier (automaton pacing).
+//
+// Runs on the sharded engine (one shard per PT, each with a private world
+// holding both the vanilla and the PT stack), and additionally reports the
+// per-layer byte decomposition exported by each transport's LayerStack:
+// integer columns that sum exactly to the wire-byte total.
 #include "common.h"
 
 namespace ptperf::bench {
@@ -12,17 +17,12 @@ int run(const BenchArgs& args) {
   banner("Figure 9 / §5.2", "PT overhead vs vanilla Tor on a fixed circuit",
          args);
 
-  ScenarioConfig cfg;
-  cfg.seed = args.seed;
-  cfg.tranco_sites = scaled(20, args.scale, 6);
-  cfg.cbl_sites = 0;
-  Scenario scenario(cfg);
-
+  ShardedCampaignConfig cfg = sharded_config(args);
+  cfg.scenario.tranco_sites = scaled(20, args.scale, 6);
+  cfg.scenario.cbl_sites = 0;
   // PT infrastructure co-located with the client (§5.2: "we deployed the
   // PT client and server in the same cloud location").
-  TransportFactoryOptions fopts;
-  fopts.pt_server_region = cfg.client_region;
-  TransportFactory factory(scenario, fopts);
+  cfg.factory.pt_server_region = cfg.scenario.client_region;
 
   // The paper evaluated obfs4, dnstt, webtunnel (inseparable, controlled
   // server) plus the separable PTs; meek/conjure/snowflake servers cannot
@@ -32,56 +32,43 @@ int run(const BenchArgs& args) {
       PtId::kShadowsocks, PtId::kPsiphon,   PtId::kCloak,
       PtId::kCamoufler,  PtId::kStegotorus, PtId::kMarionette};
 
-  PtStack tor = factory.create_vanilla();
-  sim::EventLoop& loop = scenario.loop();
-  tor::PathSelector sampler(scenario.consensus(),
-                            scenario.fork_rng("fig9-sampler"));
-
-  auto fetch_once = [&](PtStack& stack, const std::string& host) {
-    double t = -1;
-    bool done = false;
-    stack.fetcher->fetch(host, "/", sim::from_seconds(120),
-                         [&](workload::FetchResult r) {
-                           if (r.success) t = r.elapsed();
-                           done = true;
-                         });
-    loop.run_until_done([&] { return done; });
-    return t;
-  };
+  ShardedCampaign engine(cfg);
+  SiteSelection sites{cfg.scenario.tranco_sites, 0};
+  std::vector<OverheadSample> samples = engine.run_overhead(pts, sites);
 
   stats::Table table({"pt", "n", "mean_diff_s", "median_diff_s", "q1", "q3"});
+  stats::Table layers({"pt", "n", "payload_bytes", "handshake_bytes",
+                       "framing_bytes", "carrier_bytes", "overhead_bytes",
+                       "wire_bytes", "handshake_rtts"});
   std::vector<std::pair<std::string, std::vector<double>>> diff_groups;
 
   for (PtId id : pts) {
-    PtStack stack = factory.create(id);
+    std::string name(pt_id_name(id));
     std::vector<double> diffs;
-    for (const workload::Website& site : scenario.tranco().sites()) {
-      // Same circuit for Tor and the PT at this site: identical first hop
-      // (the PT's bridge when it has one, else a sampled guard) and the
-      // same middle/exit pair.
-      tor::Path p = sampler.select({});
-      tor::PathConstraints constraints;
-      constraints.entry = stack.transport->fixed_entry()
-                              ? stack.transport->fixed_entry()
-                              : std::optional<tor::RelayIndex>(p.entry);
-      constraints.middle = p.middle;
-      constraints.exit = p.exit;
-      tor.pool->set_constraints(constraints);
-      if (stack.pool) stack.pool->set_constraints(constraints);
-      tor.pool->warm(loop);
-      if (stack.pool) stack.pool->warm(loop);
-
-      double t_tor = fetch_once(tor, site.hostname);
-      double t_pt = fetch_once(stack, site.hostname);
-      if (t_tor >= 0 && t_pt >= 0) diffs.push_back(t_pt - t_tor);
+    std::int64_t payload = 0, handshake = 0, framing = 0, carrier = 0,
+                 wire = 0, rtts = 0;
+    std::size_t measured = 0;
+    for (const OverheadSample& s : samples) {
+      if (s.pt != name) continue;
+      if (s.ok()) diffs.push_back(s.diff());
+      payload += s.payload_bytes;
+      handshake += s.handshake_bytes;
+      framing += s.framing_bytes;
+      carrier += s.carrier_bytes;
+      wire += s.wire_bytes;
+      rtts += s.handshake_rtts;
+      ++measured;
     }
     stats::BoxStats b = stats::box_stats(diffs);
-    table.add_row({stack.name(), std::to_string(b.n),
-                   util::fmt_double(b.mean, 2), util::fmt_double(b.median, 2),
-                   util::fmt_double(b.q1, 2), util::fmt_double(b.q3, 2)});
-    diff_groups.emplace_back(stack.name(), std::move(diffs));
-    std::printf("  measured %s\n", stack.name().c_str());
-    std::fflush(stdout);
+    table.add_row({name, std::to_string(b.n), util::fmt_double(b.mean, 2),
+                   util::fmt_double(b.median, 2), util::fmt_double(b.q1, 2),
+                   util::fmt_double(b.q3, 2)});
+    layers.add_row({name, std::to_string(measured), std::to_string(payload),
+                    std::to_string(handshake), std::to_string(framing),
+                    std::to_string(carrier),
+                    std::to_string(handshake + framing + carrier),
+                    std::to_string(wire), std::to_string(rtts)});
+    diff_groups.emplace_back(std::move(name), std::move(diffs));
   }
 
   std::printf("\n-- Figure 9: PT time minus Tor time, same circuit (s) --\n");
@@ -89,6 +76,15 @@ int run(const BenchArgs& args) {
   std::printf(
       "(paper: all differences small except marionette, whose automaton\n"
       " pushes website access beyond 30 s)\n");
+
+  std::printf("\n-- Figure 9 companion: per-layer wire-byte decomposition --\n");
+  emit(layers, args, "fig9_layer_overhead");
+  std::printf(
+      "(payload + handshake + framing + carrier == wire, exactly —\n"
+      " the LayerStack accounting contract)\n");
+
+  print_shard_timings(engine.timings(), args);
+  emit_trace(engine, args);
   return 0;
 }
 

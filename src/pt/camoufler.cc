@@ -1,6 +1,6 @@
 #include "pt/camoufler.h"
 
-#include "pt/segmenting_channel.h"
+#include "pt/layer/framing.h"
 
 namespace ptperf::pt {
 namespace {
@@ -46,6 +46,13 @@ CamouflerTransport::CamouflerTransport(net::Network& net,
                         HopSet::kSet2SeparateProxy,
                         /*separable_from_tor=*/true,
                         /*supports_parallel_streams=*/false};
+  stack_ = layer::LayerStack(layer::StackSpec{
+      "camoufler",
+      {{layer::LayerKind::kFraming, "im-message",
+        "coalescing, <=" + std::to_string(config_.max_message_bytes) + " B"},
+       {layer::LayerKind::kRateLimit, "im-api-cap",
+        std::to_string(config_.messages_per_sec) + " msg/s per direction"},
+       {layer::LayerKind::kCarrier, "im-relay", "store-and-forward"}}});
   start_im_relay(net, config_);
   start_server();
 }
@@ -54,16 +61,18 @@ void CamouflerTransport::start_server() {
   auto* net = net_;
   const tor::Consensus* consensus = consensus_;
   CamouflerConfig cfg = config_;
+  layer::AccountingPtr acct = stack_.accounting();
 
   // The peer's IM app: receives rate-limited messages, reassembles the
   // tunnel stream, splices to the requested guard.
   auto lifetimes = std::make_shared<sim::Rng>(rng_.fork("im-session-life"));
-  net_->listen(cfg.peer_host, "im-app", [net, consensus, cfg,
+  net_->listen(cfg.peer_host, "im-app", [net, consensus, cfg, acct,
                                          lifetimes](net::Pipe pipe) {
-    SegmentPolicy policy;
+    layer::SegmentPolicy policy;
     policy.max_segment = cfg.max_message_bytes;
     policy.rate_units_per_sec = cfg.messages_per_sec;
-    auto tunnel = SegmentingChannel::create(
+    policy.accounting = acct;
+    auto tunnel = layer::SegmentingChannel::create(
         net->loop(), net::wrap_pipe(std::move(pipe)), policy);
     serve_upstream(*net, cfg.peer_host, tunnel, tor_upstream(*consensus));
     // IM session drop hazard.
@@ -76,17 +85,19 @@ void CamouflerTransport::start_server() {
 tor::TorClient::FirstHopConnector CamouflerTransport::connector() {
   auto* net = net_;
   CamouflerConfig cfg = config_;
+  layer::AccountingPtr acct = stack_.accounting();
 
-  return [net, cfg](tor::RelayIndex entry,
-                    std::function<void(net::ChannelPtr)> on_open,
-                    std::function<void(std::string)> on_error) {
+  return [net, cfg, acct](tor::RelayIndex entry,
+                          std::function<void(net::ChannelPtr)> on_open,
+                          std::function<void(std::string)> on_error) {
     net->connect(
         cfg.client_host, cfg.im_server_host, "im",
-        [net, cfg, entry, on_open](net::Pipe pipe) {
-          SegmentPolicy policy;
+        [net, cfg, acct, entry, on_open](net::Pipe pipe) {
+          layer::SegmentPolicy policy;
           policy.max_segment = cfg.max_message_bytes;
           policy.rate_units_per_sec = cfg.messages_per_sec;
-          auto tunnel = SegmentingChannel::create(
+          policy.accounting = acct;
+          auto tunnel = layer::SegmentingChannel::create(
               net->loop(), net::wrap_pipe(std::move(pipe)), policy);
           send_preamble(tunnel, entry);
           on_open(tunnel);

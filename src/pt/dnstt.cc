@@ -6,6 +6,7 @@
 #include "fault/fault_injector.h"
 #include "net/dns.h"
 #include "net/tls.h"
+#include "pt/layer/carrier.h"
 #include "trace/trace.h"
 #include "util/framer.h"
 
@@ -20,13 +21,18 @@ class DnsttServerSession final
     : public net::Channel,
       public std::enable_shared_from_this<DnsttServerSession> {
  public:
-  DnsttServerSession()
-      : framer_([this](util::Bytes msg) {
+  explicit DnsttServerSession(layer::AccountingPtr acct)
+      : acct_(std::move(acct)),
+        framer_([this](util::Bytes msg) {
           auto fn = receiver_;
           if (fn) fn(std::move(msg));
         }) {}
 
   void feed_upstream(util::BytesView data) { framer_.feed(data); }
+
+  /// Frame-boundary ledger for bytes queued by send(); the authoritative
+  /// server consumes it when an answer commits a cut to the wire.
+  layer::FramedStreamMeter& meter() { return meter_; }
 
   /// Pulls up to `budget` downstream bytes; first byte is the more-flag.
   util::Bytes pull(std::size_t budget) {
@@ -43,6 +49,7 @@ class DnsttServerSession final
   }
 
   void send(util::Bytes payload) override {
+    if (acct_) meter_.push(payload.size());
     util::Bytes framed = util::frame_message(payload);
     downstream_.insert(downstream_.end(), framed.begin(), framed.end());
   }
@@ -59,6 +66,8 @@ class DnsttServerSession final
   sim::Duration base_rtt() const override { return sim::Duration::zero(); }
 
  private:
+  layer::AccountingPtr acct_;
+  layer::FramedStreamMeter meter_;
   util::MessageFramer framer_;
   Receiver receiver_;
   CloseHandler close_handler_;
@@ -72,11 +81,13 @@ class DnsttClientChannel final
       public std::enable_shared_from_this<DnsttClientChannel> {
  public:
   DnsttClientChannel(sim::EventLoop& loop, net::TlsSession tls,
-                     DnsttConfig cfg, std::uint64_t session_id)
+                     DnsttConfig cfg, std::uint64_t session_id,
+                     layer::AccountingPtr acct)
       : loop_(&loop),
         tls_(std::move(tls)),
         cfg_(std::move(cfg)),
         session_id_(session_id),
+        acct_(std::move(acct)),
         framer_([this](util::Bytes msg) {
           auto fn = receiver_;
           if (fn) fn(std::move(msg));
@@ -94,6 +105,7 @@ class DnsttClientChannel final
 
   void send(util::Bytes payload) override {
     if (dead_) return;
+    if (acct_) meter_.push(payload.size());
     util::Bytes framed = util::frame_message(payload);
     upstream_.insert(upstream_.end(), framed.begin(), framed.end());
     pump();
@@ -133,7 +145,14 @@ class DnsttClientChannel final
     q.name = net::dns::encode_data_name(payload.view(), cfg_.zone);
     q.type = net::dns::Type::kTxt;
     query.questions.push_back(std::move(q));
-    tls_.send(net::dns::encode(query));
+    util::Bytes wire = net::dns::encode(query);
+    if (acct_) {
+      // Session id + base32/DNS expansion is carrier overhead; the framed
+      // tunnel bytes split into record headers and payload via the meter.
+      layer::FramedStreamMeter::Cut cut = meter_.consume(n);
+      acct_->on_carrier_unit(wire.size(), cut.header, cut.payload);
+    }
+    tls_.send(std::move(wire));
     ++in_flight_;
   }
 
@@ -169,7 +188,7 @@ class DnsttClientChannel final
 
   void fail() {
     if (dead_) return;
-    TRACE_INSTANT(loop_->recorder(), trace::kPt, "dnstt_session_fail");
+    layer::session_fail(loop_->recorder(), "dnstt", "resolver failure");
     dead_ = true;
     idle_timer_.cancel();
     tls_.close();
@@ -181,6 +200,8 @@ class DnsttClientChannel final
   net::TlsSession tls_;
   DnsttConfig cfg_;
   std::uint64_t session_id_;
+  layer::AccountingPtr acct_;
+  layer::FramedStreamMeter meter_;
   util::MessageFramer framer_;
   Receiver receiver_;
   CloseHandler close_handler_;
@@ -204,6 +225,14 @@ DnsttTransport::DnsttTransport(net::Network& net,
                         HopSet::kSet1BridgeIsGuard,
                         /*separable_from_tor=*/false,
                         /*supports_parallel_streams=*/true};
+  stack_ = layer::LayerStack(layer::StackSpec{
+      "dnstt",
+      {{layer::LayerKind::kFraming, "dns-record",
+        "4 B records in query names / TXT answers"},
+       {layer::LayerKind::kRateLimit, "query-window",
+        "window " + std::to_string(config_.window) + ", " +
+            std::to_string(config_.max_response_bytes) + " B responses"},
+       {layer::LayerKind::kCarrier, "doh", "zone " + config_.zone}}});
   start_server();
   start_resolver();
 }
@@ -276,12 +305,13 @@ void DnsttTransport::start_server() {
   net::HostId auth_host = consensus_->at(config_.bridge).host;
   auto sessions = std::make_shared<
       std::map<std::uint64_t, std::shared_ptr<DnsttServerSession>>>();
+  layer::AccountingPtr acct = stack_.accounting();
 
   net_->listen(auth_host, "dns-auth", [net, consensus, cfg, auth_host,
-                                       sessions](net::Pipe pipe) {
+                                       sessions, acct](net::Pipe pipe) {
     auto ch = net::wrap_pipe(std::move(pipe));
     net::ChannelPtr ch_copy = ch;
-    ch->set_receiver([net, consensus, cfg, auth_host, sessions,
+    ch->set_receiver([net, consensus, cfg, auth_host, sessions, acct,
                       ch_copy](util::Bytes wire) {
       auto query = net::dns::decode(wire);
       if (!query || query->questions.empty()) return;
@@ -294,7 +324,9 @@ void DnsttTransport::start_server() {
       auto data = net::dns::decode_data_name(q.name, cfg.zone);
       if (!data || data->size() < 8) {
         resp.rcode = net::dns::RCode::kNxDomain;
-        ch_copy->send(net::dns::encode(resp));
+        util::Bytes nx = net::dns::encode(resp);
+        if (acct) acct->on_carrier(nx.size());
+        ch_copy->send(std::move(nx));
         return;
       }
       util::Reader r(*data);
@@ -302,7 +334,7 @@ void DnsttTransport::start_server() {
       auto it = sessions->find(sid);
       std::shared_ptr<DnsttServerSession> session;
       if (it == sessions->end()) {
-        session = std::make_shared<DnsttServerSession>();
+        session = std::make_shared<DnsttServerSession>(acct);
         (*sessions)[sid] = session;
         serve_upstream(*net, auth_host, session, tor_upstream(*consensus));
         session->set_close_handler([sessions, sid] { sessions->erase(sid); });
@@ -328,7 +360,15 @@ void DnsttTransport::start_server() {
       answer.rdata = net::dns::txt_rdata(payload);
       resp.questions.push_back(q);
       resp.answers.push_back(std::move(answer));
-      ch_copy->send(net::dns::encode(resp));
+      util::Bytes out = net::dns::encode(resp);
+      if (acct) {
+        // payload[0] is the more-flag; the rest is a cut of the framed
+        // downstream queue.
+        layer::FramedStreamMeter::Cut cut =
+            session->meter().consume(payload.size() - 1);
+        acct->on_carrier_unit(out.size(), cut.header, cut.payload);
+      }
+      ch_copy->send(std::move(out));
     });
   });
 }
@@ -337,34 +377,34 @@ tor::TorClient::FirstHopConnector DnsttTransport::connector() {
   auto* net = net_;
   DnsttConfig cfg = config_;
   auto rng = std::make_shared<sim::Rng>(rng_.fork("dnstt-client"));
+  layer::AccountingPtr acct = stack_.accounting();
 
-  return [net, cfg, rng](tor::RelayIndex,
-                         std::function<void(net::ChannelPtr)> on_open,
-                         std::function<void(std::string)> on_error) {
+  return [net, cfg, rng, acct](tor::RelayIndex,
+                               std::function<void(net::ChannelPtr)> on_open,
+                               std::function<void(std::string)> on_error) {
     // DoH dial + TLS setup: the PT's share of the circuit's first hop.
-    trace::SpanId span = TRACE_SPAN_BEGIN_ARGS(
-        net->loop().recorder(), trace::kPt, "dnstt_doh_setup", 0,
-        {{"transport", "dnstt"}});
+    trace::SpanId span = layer::begin_carrier_setup(
+        net->loop().recorder(), "dnstt", layer::CarrierKind::kDoh, "tls");
     net->connect(
         cfg.client_host, cfg.resolver_host, "doh",
-        [net, cfg, rng, on_open, span](net::Pipe pipe) {
+        [net, cfg, rng, acct, on_open, span](net::Pipe pipe) {
           net::ClientHelloParams hello;
           hello.sni = "doh.opendns.example";
           net::tls_connect(std::move(pipe), hello, *rng,
-                           [net, cfg, rng, on_open,
+                           [net, cfg, rng, acct, on_open,
                             span](net::TlsSession session) {
-                             TRACE_SPAN_END(net->loop().recorder(), span);
+                             layer::end_carrier_setup(net->loop().recorder(),
+                                                      span);
                              auto ch = std::make_shared<DnsttClientChannel>(
                                  net->loop(), std::move(session), cfg,
-                                 rng->next_u64());
+                                 rng->next_u64(), acct);
                              ch->start();
                              send_preamble(ch, cfg.bridge);
                              on_open(ch);
                            });
         },
         [net, on_error, span](std::string err) {
-          TRACE_SPAN_END_ARGS(net->loop().recorder(), span,
-                              {{"error", err}});
+          layer::fail_carrier_setup(net->loop().recorder(), span, err);
           if (on_error) on_error("dnstt: " + err);
         });
   };

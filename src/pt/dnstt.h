@@ -41,6 +41,7 @@ class DnsttTransport final : public Transport {
   std::optional<tor::RelayIndex> fixed_entry() const override {
     return config_.bridge;
   }
+  const layer::LayerStack* layer_stack() const override { return &stack_; }
 
  private:
   void start_resolver();
@@ -51,6 +52,7 @@ class DnsttTransport final : public Transport {
   sim::Rng rng_;
   DnsttConfig config_;
   TransportInfo info_;
+  layer::LayerStack stack_;
 };
 
 }  // namespace ptperf::pt

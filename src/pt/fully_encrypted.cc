@@ -1,7 +1,8 @@
 #include "pt/fully_encrypted.h"
 
 #include "crypto/hmac.h"
-#include "pt/crypto_channel.h"
+#include "pt/layer/framing.h"
+#include "pt/layer/handshake.h"
 #include "tor/ntor.h"
 
 namespace ptperf::pt {
@@ -28,6 +29,15 @@ Obfs4Transport::Obfs4Transport(net::Network& net,
                         HopSet::kSet1BridgeIsGuard,
                         /*separable_from_tor=*/false,
                         /*supports_parallel_streams=*/true};
+  stack_ = layer::LayerStack(layer::StackSpec{
+      "obfs4",
+      {{layer::LayerKind::kHandshake, "ntor-padded",
+        "1 rtt, pad " + std::to_string(config_.min_handshake_pad) + ".." +
+            std::to_string(config_.max_handshake_pad)},
+       {layer::LayerKind::kFraming, "aead-record",
+        "pad block " + std::to_string(config_.frame_pad_block) +
+            ", random pad <=" + std::to_string(config_.max_random_pad)},
+       {layer::LayerKind::kCarrier, "raw", "tcp to co-hosted bridge"}}});
   start_server();
 }
 
@@ -37,11 +47,12 @@ void Obfs4Transport::start_server() {
   auto* net = net_;
   const tor::Consensus* consensus = consensus_;
   Obfs4Config cfg = config_;
+  layer::AccountingPtr acct = stack_.accounting();
 
   net_->listen(server_host, "obfs4", [net, consensus, server_rng, cfg,
-                                      server_host](net::Pipe pipe) {
+                                      server_host, acct](net::Pipe pipe) {
     auto raw = net::wrap_pipe(std::move(pipe));
-    raw->set_receiver([net, consensus, server_rng, cfg, server_host,
+    raw->set_receiver([net, consensus, server_rng, cfg, server_host, acct,
                        raw](util::Bytes msg) {
       // Client handshake: 32-byte ntor message + obfuscation padding.
       if (msg.size() < 32) {
@@ -60,15 +71,16 @@ void Obfs4Transport::start_server() {
       reply.zeros(cfg.min_handshake_pad +
                   server_rng->next_below(cfg.max_handshake_pad -
                                          cfg.min_handshake_pad + 1));
-      raw->send(reply.take());
+      raw->send(layer::count_handshake(acct, reply.take()));
 
-      CryptoChannelConfig cc;
+      layer::CryptoChannelConfig cc;
       cc.send_key = result->keys.backward_key;  // server sends backward
       cc.recv_key = result->keys.forward_key;
       cc.pad_block = cfg.frame_pad_block;
       cc.max_random_pad = cfg.max_random_pad;
-      auto secure =
-          CryptoChannel::create(raw, std::move(cc), server_rng->fork("pad"));
+      cc.accounting = acct;
+      auto secure = layer::CryptoChannel::create(raw, std::move(cc),
+                                                 server_rng->fork("pad"));
       serve_upstream(*net, server_host, secure, tor_upstream(*consensus));
     });
   });
@@ -80,20 +92,25 @@ tor::TorClient::FirstHopConnector Obfs4Transport::connector() {
   Obfs4Config cfg = config_;
   auto rng = std::make_shared<sim::Rng>(rng_.fork("obfs4-client"));
   net::HostId server_host = consensus_->at(config_.bridge).host;
+  layer::AccountingPtr acct = stack_.accounting();
 
-  return [net, consensus, cfg, rng, server_host](
+  return [net, consensus, cfg, rng, server_host, acct](
              tor::RelayIndex /*entry: always the bridge*/,
              std::function<void(net::ChannelPtr)> on_open,
              std::function<void(std::string)> on_error) {
     net->connect(
         cfg.client_host, server_host, "obfs4",
-        [consensus, cfg, rng, on_open](net::Pipe pipe) {
+        [net, consensus, cfg, rng, acct, on_open](net::Pipe pipe) {
           auto raw = net::wrap_pipe(std::move(pipe));
           auto state = std::make_shared<tor::NtorClientState>(
               tor::ntor_client_start(*rng, consensus->handshake_mode));
-          raw->set_receiver([consensus, cfg, rng, on_open, raw,
-                             state](util::Bytes reply_msg) {
+          trace::SpanId rtt = layer::begin_handshake_rtt(
+              net->loop().recorder(), "obfs4", 1);
+          raw->set_receiver([net, consensus, cfg, rng, acct, on_open, raw,
+                             state, rtt](util::Bytes reply_msg) {
             if (reply_msg.size() < 48) {
+              layer::fail_handshake_rtt(net->loop().recorder(), rtt,
+                                        "short ntor reply");
               raw->close();
               return;
             }
@@ -101,16 +118,20 @@ tor::TorClient::FirstHopConnector Obfs4Transport::connector() {
                 *state, consensus->identity_of(cfg.bridge),
                 util::BytesView(reply_msg.data(), 48));
             if (!keys) {
+              layer::fail_handshake_rtt(net->loop().recorder(), rtt,
+                                        "ntor auth failure");
               raw->close();
               return;
             }
-            CryptoChannelConfig cc;
+            layer::end_handshake_rtt(net->loop().recorder(), rtt, acct);
+            layer::CryptoChannelConfig cc;
             cc.send_key = keys->forward_key;
             cc.recv_key = keys->backward_key;
             cc.pad_block = cfg.frame_pad_block;
             cc.max_random_pad = cfg.max_random_pad;
-            auto secure =
-                CryptoChannel::create(raw, std::move(cc), rng->fork("pad"));
+            cc.accounting = acct;
+            auto secure = layer::CryptoChannel::create(raw, std::move(cc),
+                                                       rng->fork("pad"));
             send_preamble(secure, cfg.bridge);
             on_open(secure);
           });
@@ -119,7 +140,7 @@ tor::TorClient::FirstHopConnector Obfs4Transport::connector() {
           hello.zeros(cfg.min_handshake_pad +
                       rng->next_below(cfg.max_handshake_pad -
                                       cfg.min_handshake_pad + 1));
-          raw->send(hello.take());
+          raw->send(layer::count_handshake(acct, hello.take()));
         },
         [on_error](std::string err) {
           if (on_error) on_error("obfs4: " + err);
@@ -139,6 +160,10 @@ ShadowsocksTransport::ShadowsocksTransport(net::Network& net,
                         HopSet::kSet2SeparateProxy,
                         /*separable_from_tor=*/true,
                         /*supports_parallel_streams=*/true};
+  stack_ = layer::LayerStack(layer::StackSpec{
+      "shadowsocks",
+      {{layer::LayerKind::kFraming, "aead-record", "pre-shared key, 0 rtt"},
+       {layer::LayerKind::kCarrier, "raw", "tcp to proxy"}}});
   psk_ = rng_.fork("psk").bytes(32);
   start_server();
 }
@@ -149,16 +174,19 @@ void ShadowsocksTransport::start_server() {
   util::Bytes psk = psk_;
   net::HostId server_host = config_.server_host;
   auto server_rng = std::make_shared<sim::Rng>(rng_.fork("ss-server"));
+  layer::AccountingPtr acct = stack_.accounting();
 
   net_->listen(server_host, "shadowsocks",
-               [net, consensus, psk, server_host, server_rng](net::Pipe pipe) {
+               [net, consensus, psk, server_host, server_rng,
+                acct](net::Pipe pipe) {
                  auto raw = net::wrap_pipe(std::move(pipe));
                  auto [c2s, s2c] = directional_keys(psk, "shadowsocks");
-                 CryptoChannelConfig cc;
+                 layer::CryptoChannelConfig cc;
                  cc.send_key = s2c;
                  cc.recv_key = c2s;
-                 auto secure = CryptoChannel::create(raw, std::move(cc),
-                                                     server_rng->fork("f"));
+                 cc.accounting = acct;
+                 auto secure = layer::CryptoChannel::create(
+                     raw, std::move(cc), server_rng->fork("f"));
                  serve_upstream(*net, server_host, secure,
                                 tor_upstream(*consensus));
                });
@@ -169,20 +197,22 @@ tor::TorClient::FirstHopConnector ShadowsocksTransport::connector() {
   util::Bytes psk = psk_;
   ShadowsocksConfig cfg = config_;
   auto rng = std::make_shared<sim::Rng>(rng_.fork("ss-client"));
+  layer::AccountingPtr acct = stack_.accounting();
 
-  return [net, psk, cfg, rng](tor::RelayIndex entry,
-                              std::function<void(net::ChannelPtr)> on_open,
-                              std::function<void(std::string)> on_error) {
+  return [net, psk, cfg, rng, acct](tor::RelayIndex entry,
+                                    std::function<void(net::ChannelPtr)> on_open,
+                                    std::function<void(std::string)> on_error) {
     net->connect(
         cfg.client_host, cfg.server_host, "shadowsocks",
-        [psk, rng, entry, on_open](net::Pipe pipe) {
+        [psk, rng, acct, entry, on_open](net::Pipe pipe) {
           auto raw = net::wrap_pipe(std::move(pipe));
           auto [c2s, s2c] = directional_keys(psk, "shadowsocks");
-          CryptoChannelConfig cc;
+          layer::CryptoChannelConfig cc;
           cc.send_key = c2s;
           cc.recv_key = s2c;
+          cc.accounting = acct;
           auto secure =
-              CryptoChannel::create(raw, std::move(cc), rng->fork("f"));
+              layer::CryptoChannel::create(raw, std::move(cc), rng->fork("f"));
           send_preamble(secure, entry);
           on_open(secure);
         },
@@ -203,6 +233,11 @@ PsiphonTransport::PsiphonTransport(net::Network& net,
                         HopSet::kSet2SeparateProxy,
                         /*separable_from_tor=*/true,
                         /*supports_parallel_streams=*/true};
+  stack_ = layer::LayerStack(layer::StackSpec{
+      "psiphon",
+      {{layer::LayerKind::kHandshake, "ssh-kex", "2 rtt (kex + auth)"},
+       {layer::LayerKind::kFraming, "aead-record", "ssh packets, 0 pad"},
+       {layer::LayerKind::kCarrier, "raw", "tcp to proxy"}}});
   start_server();
 }
 
@@ -211,12 +246,13 @@ void PsiphonTransport::start_server() {
   const tor::Consensus* consensus = consensus_;
   net::HostId server_host = config_.server_host;
   auto server_rng = std::make_shared<sim::Rng>(rng_.fork("psiphon-server"));
+  layer::AccountingPtr acct = stack_.accounting();
 
-  net_->listen(server_host, "ssh", [net, consensus, server_host,
-                                    server_rng](net::Pipe pipe) {
+  net_->listen(server_host, "ssh", [net, consensus, server_host, server_rng,
+                                    acct](net::Pipe pipe) {
     auto raw = net::wrap_pipe(std::move(pipe));
     auto kex = std::make_shared<util::Bytes>();
-    raw->set_receiver([net, consensus, server_host, server_rng, raw,
+    raw->set_receiver([net, consensus, server_host, server_rng, acct, raw,
                        kex](util::Bytes msg) {
       if (kex->empty()) {
         // KEXINIT from the client: echo our kex reply (~800 B of
@@ -225,7 +261,7 @@ void PsiphonTransport::start_server() {
         util::Writer reply;
         reply.raw(*kex);
         reply.zeros(800 - 32);
-        raw->send(reply.take());
+        raw->send(layer::count_handshake(acct, reply.take()));
         // Stash the client random for key derivation.
         kex->insert(kex->end(), msg.begin(),
                     msg.begin() + std::min<std::size_t>(32, msg.size()));
@@ -235,13 +271,14 @@ void PsiphonTransport::start_server() {
       // switch to the encrypted channel.
       util::Writer ok;
       ok.zeros(100);
-      raw->send(ok.take());
+      raw->send(layer::count_handshake(acct, ok.take()));
       auto [c2s, s2c] = directional_keys(*kex, "psiphon-ssh");
-      CryptoChannelConfig cc;
+      layer::CryptoChannelConfig cc;
       cc.send_key = s2c;
       cc.recv_key = c2s;
-      auto secure =
-          CryptoChannel::create(raw, std::move(cc), server_rng->fork("f"));
+      cc.accounting = acct;
+      auto secure = layer::CryptoChannel::create(raw, std::move(cc),
+                                                 server_rng->fork("f"));
       serve_upstream(*net, server_host, secure, tor_upstream(*consensus));
     });
   });
@@ -251,21 +288,25 @@ tor::TorClient::FirstHopConnector PsiphonTransport::connector() {
   auto* net = net_;
   PsiphonConfig cfg = config_;
   auto rng = std::make_shared<sim::Rng>(rng_.fork("psiphon-client"));
+  layer::AccountingPtr acct = stack_.accounting();
 
-  return [net, cfg, rng](tor::RelayIndex entry,
-                         std::function<void(net::ChannelPtr)> on_open,
-                         std::function<void(std::string)> on_error) {
+  return [net, cfg, rng, acct](tor::RelayIndex entry,
+                               std::function<void(net::ChannelPtr)> on_open,
+                               std::function<void(std::string)> on_error) {
     net->connect(
         cfg.client_host, cfg.server_host, "ssh",
-        [rng, entry, on_open](net::Pipe pipe) {
+        [net, rng, acct, entry, on_open](net::Pipe pipe) {
           auto raw = net::wrap_pipe(std::move(pipe));
           util::Bytes client_random = rng->bytes(32);
           auto phase = std::make_shared<int>(0);
           auto kex = std::make_shared<util::Bytes>();
-          raw->set_receiver([rng, entry, on_open, raw, phase, kex,
-                             client_random](util::Bytes msg) {
+          auto rtt = std::make_shared<trace::SpanId>(layer::begin_handshake_rtt(
+              net->loop().recorder(), "psiphon", 1));
+          raw->set_receiver([net, rng, acct, entry, on_open, raw, phase, kex,
+                             rtt, client_random](util::Bytes msg) {
             if (*phase == 0) {
               *phase = 1;
+              layer::end_handshake_rtt(net->loop().recorder(), *rtt, acct);
               // Server kex reply: derive the transcript the same way the
               // server does (server random || client random).
               kex->assign(msg.begin(),
@@ -273,19 +314,23 @@ tor::TorClient::FirstHopConnector PsiphonTransport::connector() {
               kex->insert(kex->end(), client_random.begin(),
                           client_random.end());
               // NEWKEYS + auth.
+              *rtt = layer::begin_handshake_rtt(net->loop().recorder(),
+                                                "psiphon", 2);
               util::Writer auth;
               auth.zeros(300);
-              raw->send(auth.take());
+              raw->send(layer::count_handshake(acct, auth.take()));
               return;
             }
             if (*phase == 1) {
               *phase = 2;
+              layer::end_handshake_rtt(net->loop().recorder(), *rtt, acct);
               auto [c2s, s2c] = directional_keys(*kex, "psiphon-ssh");
-              CryptoChannelConfig cc;
+              layer::CryptoChannelConfig cc;
               cc.send_key = c2s;
               cc.recv_key = s2c;
-              auto secure =
-                  CryptoChannel::create(raw, std::move(cc), rng->fork("f"));
+              cc.accounting = acct;
+              auto secure = layer::CryptoChannel::create(raw, std::move(cc),
+                                                         rng->fork("f"));
               send_preamble(secure, entry);
               on_open(secure);
             }
@@ -294,7 +339,7 @@ tor::TorClient::FirstHopConnector PsiphonTransport::connector() {
           util::Writer kexinit;
           kexinit.raw(client_random);
           kexinit.zeros(500 - 32);
-          raw->send(kexinit.take());
+          raw->send(layer::count_handshake(acct, kexinit.take()));
         },
         [on_error](std::string err) {
           if (on_error) on_error("psiphon: " + err);

@@ -35,6 +35,7 @@ class Obfs4Transport final : public Transport {
   std::optional<tor::RelayIndex> fixed_entry() const override {
     return config_.bridge;
   }
+  const layer::LayerStack* layer_stack() const override { return &stack_; }
 
  private:
   void start_server();
@@ -44,6 +45,7 @@ class Obfs4Transport final : public Transport {
   sim::Rng rng_;
   Obfs4Config config_;
   TransportInfo info_;
+  layer::LayerStack stack_;
 };
 
 struct ShadowsocksConfig {
@@ -58,6 +60,7 @@ class ShadowsocksTransport final : public Transport {
 
   const TransportInfo& info() const override { return info_; }
   tor::TorClient::FirstHopConnector connector() override;
+  const layer::LayerStack* layer_stack() const override { return &stack_; }
 
  private:
   void start_server();
@@ -68,6 +71,7 @@ class ShadowsocksTransport final : public Transport {
   ShadowsocksConfig config_;
   util::Bytes psk_;
   TransportInfo info_;
+  layer::LayerStack stack_;
 };
 
 struct PsiphonConfig {
@@ -82,6 +86,7 @@ class PsiphonTransport final : public Transport {
 
   const TransportInfo& info() const override { return info_; }
   tor::TorClient::FirstHopConnector connector() override;
+  const layer::LayerStack* layer_stack() const override { return &stack_; }
 
  private:
   void start_server();
@@ -91,6 +96,7 @@ class PsiphonTransport final : public Transport {
   sim::Rng rng_;
   PsiphonConfig config_;
   TransportInfo info_;
+  layer::LayerStack stack_;
 };
 
 }  // namespace ptperf::pt

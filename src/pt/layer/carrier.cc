@@ -1,0 +1,45 @@
+#include "pt/layer/carrier.h"
+
+#include "fault/fault_injector.h"
+
+namespace ptperf::pt::layer {
+
+trace::SpanId begin_carrier_setup(trace::Recorder* rec,
+                                  [[maybe_unused]] std::string_view transport,
+                                  [[maybe_unused]] CarrierKind carrier,
+                                  [[maybe_unused]] std::string_view step) {
+  return TRACE_SPAN_BEGIN_ARGS(rec, trace::kPt, "pt_carrier_setup", 0,
+                               {{"transport", std::string(transport)},
+                                {"carrier", carrier_kind_name(carrier)},
+                                {"step", std::string(step)}});
+}
+
+void end_carrier_setup(trace::Recorder* rec, trace::SpanId id) {
+  TRACE_SPAN_END(rec, id);
+}
+
+void fail_carrier_setup(trace::Recorder* rec, trace::SpanId id,
+                        [[maybe_unused]] std::string error) {
+  TRACE_SPAN_END_ARGS(rec, id, {{"error", std::move(error)}});
+}
+
+void session_fail(trace::Recorder* rec,
+                  [[maybe_unused]] std::string_view transport,
+                  [[maybe_unused]] std::string_view reason) {
+  TRACE_INSTANT_ARGS(rec, trace::kPt, "pt_session_fail",
+                     {{"transport", std::string(transport)},
+                      {"reason", std::string(reason)}});
+}
+
+std::function<bool(const net::ClientHello&)> tls_reject_gate(
+    net::Network& net,
+    std::function<bool(const net::ClientHello&)> validate) {
+  net::Network* n = &net;
+  return [n, validate = std::move(validate)](const net::ClientHello& hello) {
+    fault::FaultInjector* f = n->fault_injector();
+    if (f && f->fire(fault::FaultKind::kTlsHandshakeReject)) return false;
+    return validate ? validate(hello) : true;
+  };
+}
+
+}  // namespace ptperf::pt::layer

@@ -1,0 +1,51 @@
+// CarrierAdapter primitives: the shared trace taxonomy and fault gate for
+// the layer every transport bottoms out in — raw TCP, TLS, DoH, HTTP
+// polling, IM relay, WebRTC-via-broker.
+//
+// Trace taxonomy (docs/TRACING.md): all carrier/rendezvous setup phases
+// emit one span name, `pt_carrier_setup` (args: transport, carrier, step),
+// replacing the old per-connector names (meek_tls_setup, dnstt_doh_setup,
+// broker_rendezvous, proxy_connect); session-level failures emit one
+// instant, `pt_session_fail` (args: transport, reason). The recorder is a
+// pure observer, so unifying names cannot change any sample.
+//
+// Fault gate: tls_reject_gate() is the one TLS-accept inspect hook for
+// fault::FaultKind::kTlsHandshakeReject, preserving the contract that the
+// gate draws (fires) before any transport-specific hello validation.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "net/network.h"
+#include "net/tls.h"
+#include "pt/layer/layer.h"
+#include "trace/trace.h"
+
+namespace ptperf::pt::layer {
+
+/// Opens a `pt_carrier_setup` span for one setup step of a carrier
+/// (args: transport, carrier, step — e.g. "tls", "rendezvous", "ice").
+trace::SpanId begin_carrier_setup(trace::Recorder* rec,
+                                  std::string_view transport,
+                                  CarrierKind carrier, std::string_view step);
+
+void end_carrier_setup(trace::Recorder* rec, trace::SpanId id);
+void fail_carrier_setup(trace::Recorder* rec, trace::SpanId id,
+                        std::string error);
+
+/// `pt_session_fail` instant: an established tunnel died (session reset,
+/// resolver failure, proxy churn noticed by the client).
+void session_fail(trace::Recorder* rec, std::string_view transport,
+                  std::string_view reason);
+
+/// TLS-accept inspect hook that first rolls the kTlsHandshakeReject fault
+/// gate, then delegates to the transport's own hello validation (may be
+/// null = accept). The gate fires *before* validation so an injected
+/// reject draws exactly one fault Bernoulli regardless of hello contents.
+std::function<bool(const net::ClientHello&)> tls_reject_gate(
+    net::Network& net,
+    std::function<bool(const net::ClientHello&)> validate = nullptr);
+
+}  // namespace ptperf::pt::layer

@@ -1,8 +1,90 @@
-#include "pt/segmenting_channel.h"
+#include "pt/layer/framing.h"
 
 #include <algorithm>
 
-namespace ptperf::pt {
+namespace ptperf::pt::layer {
+
+// ---------------------------------------------------------------- crypto
+
+CryptoChannel::CryptoChannel(net::ChannelPtr inner, CryptoChannelConfig config,
+                             sim::Rng rng)
+    : inner_(std::move(inner)),
+      config_(std::move(config)),
+      rng_(std::move(rng)),
+      send_aead_(config_.send_key),
+      recv_aead_(config_.recv_key) {}
+
+std::shared_ptr<CryptoChannel> CryptoChannel::create(
+    net::ChannelPtr inner, CryptoChannelConfig config, sim::Rng rng) {
+  auto ch = std::shared_ptr<CryptoChannel>(
+      new CryptoChannel(std::move(inner), std::move(config), std::move(rng)));
+  ch->attach();
+  return ch;
+}
+
+void CryptoChannel::attach() {
+  auto self = shared_from_this();
+  inner_->set_receiver([self](util::Bytes wire) {
+    auto pt = self->recv_aead_.open(crypto::counter_nonce(self->recv_seq_),
+                                    wire);
+    if (!pt) {
+      // Authentication failure: hang up and tell our consumer (the pipe's
+      // close only notifies the remote peer).
+      self->inner_->close();
+      auto fn = self->close_handler_;
+      if (fn) fn();
+      return;
+    }
+    ++self->recv_seq_;
+    if (pt->size() < 4) return;
+    util::Reader r(*pt);
+    std::uint32_t len = r.u32();
+    if (len > r.remaining()) return;
+    auto fn = self->receiver_;
+    if (fn) fn(r.take_copy(len));
+  });
+  inner_->set_close_handler([self] {
+    auto fn = self->close_handler_;
+    if (fn) fn();
+  });
+}
+
+void CryptoChannel::send(util::Bytes payload) {
+  std::size_t pad = 0;
+  std::size_t body = 4 + payload.size();
+  if (config_.max_random_pad > 0) {
+    pad += rng_.next_below(config_.max_random_pad + 1);
+  }
+  if (config_.pad_block > 1) {
+    std::size_t total = body + pad;
+    std::size_t rem = total % config_.pad_block;
+    if (rem != 0) pad += config_.pad_block - rem;
+  }
+  util::Writer w(body + pad);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.raw(payload);
+  w.zeros(pad);
+  util::Bytes frame = w.take();
+  util::Bytes sealed =
+      send_aead_.seal(crypto::counter_nonce(send_seq_), frame);
+  if (config_.accounting)
+    config_.accounting->on_frame(sealed.size(), payload.size());
+  inner_->send(std::move(sealed));
+  ++send_seq_;
+}
+
+void CryptoChannel::set_receiver(Receiver fn) { receiver_ = std::move(fn); }
+
+void CryptoChannel::set_close_handler(CloseHandler fn) {
+  close_handler_ = std::move(fn);
+}
+
+void CryptoChannel::close() { inner_->close(); }
+
+sim::Duration CryptoChannel::base_rtt() const { return inner_->base_rtt(); }
+
+// ------------------------------------------------------------- segmenting
+
 namespace {
 
 // Wire unit layout: u32 payload length | payload | cover bytes.
@@ -57,6 +139,7 @@ void SegmentingChannel::attach() {
 
 void SegmentingChannel::send(util::Bytes payload) {
   if (closed_) return;
+  if (policy_.accounting) meter_.push(payload.size());
   util::Bytes framed = util::frame_message(payload);
   // Coalesce: bytes queue as a stream and pump() cuts max_segment units,
   // so many small tunnel messages (cells) share one wire unit — the way a
@@ -84,6 +167,11 @@ void SegmentingChannel::pump() {
     self->outbox_.erase(self->outbox_.begin(),
                         self->outbox_.begin() + static_cast<long>(n));
     self->backlog_bytes_ = self->outbox_.size();
+    if (self->policy_.accounting) {
+      FramedStreamMeter::Cut cut = self->meter_.consume(n);
+      self->policy_.accounting->on_frame(
+          4 + n + self->policy_.per_segment_overhead, cut.payload);
+    }
     self->inner_->send(
         encode_unit(payload, self->policy_.per_segment_overhead));
     if (self->policy_.rate_units_per_sec > 0) {
@@ -111,4 +199,4 @@ sim::Duration SegmentingChannel::base_rtt() const {
   return inner_->base_rtt();
 }
 
-}  // namespace ptperf::pt
+}  // namespace ptperf::pt::layer

@@ -1,0 +1,24 @@
+#include "pt/layer/handshake.h"
+
+namespace ptperf::pt::layer {
+
+trace::SpanId begin_handshake_rtt(trace::Recorder* rec,
+                                  [[maybe_unused]] std::string_view transport,
+                                  [[maybe_unused]] int rtt) {
+  return TRACE_SPAN_BEGIN_ARGS(rec, trace::kPt, "pt_handshake_rtt", 0,
+                               {{"transport", std::string(transport)},
+                                {"rtt", std::to_string(rtt)}});
+}
+
+void end_handshake_rtt(trace::Recorder* rec, trace::SpanId id,
+                       const AccountingPtr& acct) {
+  TRACE_SPAN_END(rec, id);
+  if (acct) acct->on_handshake_rtt();
+}
+
+void fail_handshake_rtt(trace::Recorder* rec, trace::SpanId id,
+                        [[maybe_unused]] std::string error) {
+  TRACE_SPAN_END_ARGS(rec, id, {{"error", std::move(error)}});
+}
+
+}  // namespace ptperf::pt::layer

@@ -1,0 +1,41 @@
+// HandshakeLayer primitives: every PT's N-RTT setup is byte-accounted and
+// traced through these helpers instead of ad-hoc per-connector code.
+//
+// Byte accounting: each handshake message (ntor hello/reply, SSH KEXINIT,
+// HTTP upgrade, broker POST, sdp offer, invite match, ...) is committed to
+// the stack ledger at its send site via count_handshake(). RTT tracing:
+// the client side brackets each round trip with begin/end_handshake_rtt(),
+// which emits a `pt_handshake_rtt` span (kPt) and bumps the stack's
+// handshake_rtts counter — the counter is independent of tracing, so the
+// fig9 RTT column is exact with the recorder off.
+#pragma once
+
+#include <string_view>
+
+#include "pt/layer/layer.h"
+#include "trace/trace.h"
+
+namespace ptperf::pt::layer {
+
+/// Ledgers `msg` as handshake bytes and hands it back, so send sites wrap
+/// in place: `ch->send(count_handshake(acct, hello.take()));`.
+inline util::Bytes count_handshake(const AccountingPtr& acct,
+                                   util::Bytes msg) {
+  if (acct) acct->on_handshake(msg.size());
+  return msg;
+}
+
+/// Opens a `pt_handshake_rtt` span (args: transport, rtt index from 1).
+trace::SpanId begin_handshake_rtt(trace::Recorder* rec,
+                                  std::string_view transport, int rtt);
+
+/// Closes the span and counts one completed client handshake RTT.
+void end_handshake_rtt(trace::Recorder* rec, trace::SpanId id,
+                       const AccountingPtr& acct);
+
+/// Closes the span with an error annotation; the RTT never completed, so
+/// the counter is not bumped.
+void fail_handshake_rtt(trace::Recorder* rec, trace::SpanId id,
+                        std::string error);
+
+}  // namespace ptperf::pt::layer

@@ -1,0 +1,172 @@
+#include "pt/layer/layer.h"
+
+#include <algorithm>
+
+namespace ptperf::pt::layer {
+
+const char* layer_kind_name(LayerKind k) {
+  switch (k) {
+    case LayerKind::kHandshake: return "handshake";
+    case LayerKind::kFraming: return "framing";
+    case LayerKind::kRateLimit: return "rate-limit";
+    case LayerKind::kCarrier: return "carrier";
+  }
+  return "?";
+}
+
+const char* carrier_kind_name(CarrierKind k) {
+  switch (k) {
+    case CarrierKind::kRaw: return "raw";
+    case CarrierKind::kTls: return "tls";
+    case CarrierKind::kDoh: return "doh";
+    case CarrierKind::kHttpPoll: return "http-poll";
+    case CarrierKind::kImRelay: return "im-relay";
+    case CarrierKind::kWebRtcBroker: return "webrtc-broker";
+  }
+  return "?";
+}
+
+std::optional<LayerKind> parse_layer_kind(std::string_view s) {
+  for (LayerKind k : {LayerKind::kHandshake, LayerKind::kFraming,
+                      LayerKind::kRateLimit, LayerKind::kCarrier}) {
+    if (s == layer_kind_name(k)) return k;
+  }
+  return std::nullopt;
+}
+
+std::optional<CarrierKind> parse_carrier_kind(std::string_view s) {
+  for (CarrierKind k :
+       {CarrierKind::kRaw, CarrierKind::kTls, CarrierKind::kDoh,
+        CarrierKind::kHttpPoll, CarrierKind::kImRelay,
+        CarrierKind::kWebRtcBroker}) {
+    if (s == carrier_kind_name(k)) return k;
+  }
+  return std::nullopt;
+}
+
+std::string to_string(const StackSpec& spec) {
+  std::string out = spec.transport + ":";
+  bool first = true;
+  for (const LayerSpec& l : spec.layers) {
+    out += first ? " " : " | ";
+    first = false;
+    out += layer_kind_name(l.kind);
+    out += "/";
+    out += l.name;
+    if (!l.detail.empty()) {
+      out += "{";
+      out += l.detail;
+      out += "}";
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && s.front() == ' ') s.remove_prefix(1);
+  while (!s.empty() && s.back() == ' ') s.remove_suffix(1);
+  return s;
+}
+
+}  // namespace
+
+std::optional<StackSpec> parse_stack_spec(std::string_view text) {
+  std::size_t colon = text.find(':');
+  if (colon == std::string_view::npos) return std::nullopt;
+  StackSpec spec;
+  spec.transport = std::string(trim(text.substr(0, colon)));
+  if (spec.transport.empty()) return std::nullopt;
+
+  std::string_view rest = text.substr(colon + 1);
+  while (true) {
+    rest = trim(rest);
+    if (rest.empty()) break;
+    std::size_t bar = rest.find('|');
+    std::string_view item = trim(
+        bar == std::string_view::npos ? rest : rest.substr(0, bar));
+    rest = bar == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(bar + 1);
+
+    std::size_t slash = item.find('/');
+    if (slash == std::string_view::npos) return std::nullopt;
+    auto kind = parse_layer_kind(trim(item.substr(0, slash)));
+    if (!kind) return std::nullopt;
+
+    std::string_view tail = item.substr(slash + 1);
+    LayerSpec layer;
+    layer.kind = *kind;
+    std::size_t brace = tail.find('{');
+    if (brace == std::string_view::npos) {
+      layer.name = std::string(trim(tail));
+    } else {
+      if (tail.back() != '}') return std::nullopt;
+      layer.name = std::string(trim(tail.substr(0, brace)));
+      layer.detail =
+          std::string(tail.substr(brace + 1, tail.size() - brace - 2));
+    }
+    if (layer.name.empty()) return std::nullopt;
+    spec.layers.push_back(std::move(layer));
+  }
+  if (spec.layers.empty()) return std::nullopt;
+  return spec;
+}
+
+FramedStreamMeter::Cut FramedStreamMeter::consume(std::size_t n) {
+  Cut cut;
+  while (n > 0 && !fifo_.empty()) {
+    Rec& front = fifo_.front();
+    if (front.header_left > 0) {
+      std::size_t take = std::min(front.header_left, n);
+      front.header_left -= take;
+      cut.header += take;
+      n -= take;
+    }
+    if (n > 0 && front.payload_left > 0) {
+      std::size_t take = std::min(front.payload_left, n);
+      front.payload_left -= take;
+      cut.payload += take;
+      n -= take;
+    }
+    if (front.header_left == 0 && front.payload_left == 0) fifo_.pop_front();
+  }
+  return cut;
+}
+
+namespace {
+
+/// See meter_payload(). Pure pass-through apart from the ledger update —
+/// no draws, no scheduling, no buffering.
+class PayloadMeterChannel final : public net::Channel {
+ public:
+  PayloadMeterChannel(net::ChannelPtr inner, AccountingPtr acct)
+      : inner_(std::move(inner)), acct_(std::move(acct)) {}
+
+  void send(util::Bytes payload) override {
+    if (acct_) acct_->on_payload(payload.size());
+    inner_->send(std::move(payload));
+  }
+  void set_receiver(Receiver fn) override {
+    inner_->set_receiver(std::move(fn));
+  }
+  void set_close_handler(CloseHandler fn) override {
+    inner_->set_close_handler(std::move(fn));
+  }
+  void close() override { inner_->close(); }
+  sim::Duration base_rtt() const override { return inner_->base_rtt(); }
+
+ private:
+  net::ChannelPtr inner_;
+  AccountingPtr acct_;
+};
+
+}  // namespace
+
+net::ChannelPtr meter_payload(net::ChannelPtr inner, AccountingPtr acct) {
+  if (!acct) return inner;
+  return std::make_shared<PayloadMeterChannel>(std::move(inner),
+                                               std::move(acct));
+}
+
+}  // namespace ptperf::pt::layer

@@ -1,0 +1,172 @@
+// Transport layer-stack vocabulary: the composable primitives every PT in
+// src/pt/ is built from, declared as *data* so the stack a transport runs
+// is inspectable (docs/TRANSPORT_LAYERS.md) and its byte overheads are
+// accounted per layer instead of vanishing into opaque totals.
+//
+// A stack is read top-down:
+//
+//   HandshakeLayer   N-RTT setup messages (ntor, SSH KEX, HTTP upgrade,
+//                    broker rendezvous, invite match)
+//   FramingLayer     record/segment framing around tunnel payload (AEAD
+//                    records, segment units, chop blocks)
+//   RateLimitLayer   MTU caps, unit rates, poll-interval scheduling
+//   CarrierAdapter   the underlying communication primitive (raw TCP,
+//                    TLS, DoH, HTTP polling, IM relay, WebRTC-via-broker)
+//
+// Accounting contract: every byte a transport commits to its carrier is
+// attributed to exactly one bucket at the commitment point (the send call
+// on the bottom channel), so
+//
+//   wire_bytes == payload_bytes + handshake_bytes
+//               + framing_bytes + carrier_bytes
+//
+// holds at every instant (StackAccounting::balanced(), pinned by
+// tests/layer_test.cc). Accounting is pure arithmetic — it never draws
+// randomness, schedules events, or branches protocol logic, so wiring it
+// into a transport cannot change any golden figure byte.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/channel.h"
+
+namespace ptperf::pt::layer {
+
+enum class LayerKind { kHandshake, kFraming, kRateLimit, kCarrier };
+
+/// The underlying communication primitive of a CarrierAdapter — the
+/// paper's §5 causal variable.
+enum class CarrierKind { kRaw, kTls, kDoh, kHttpPoll, kImRelay, kWebRtcBroker };
+
+const char* layer_kind_name(LayerKind k);
+const char* carrier_kind_name(CarrierKind k);
+std::optional<LayerKind> parse_layer_kind(std::string_view s);
+std::optional<CarrierKind> parse_carrier_kind(std::string_view s);
+
+/// One layer of a transport's stack, as data. For kCarrier layers `name`
+/// is the CarrierKind name; `detail` is free-form parameter text
+/// ("pad=512..4096", "rate=5/s", ...) shown in docs and traces.
+struct LayerSpec {
+  LayerKind kind = LayerKind::kCarrier;
+  std::string name;
+  std::string detail;
+
+  bool operator==(const LayerSpec&) const = default;
+};
+
+/// A transport's declared stack, top (handshake) to bottom (carrier).
+struct StackSpec {
+  std::string transport;
+  std::vector<LayerSpec> layers;
+
+  bool operator==(const StackSpec&) const = default;
+};
+
+/// Round-trippable one-line rendering:
+///   "obfs4: handshake/ntor-padded{1-rtt} | framing/aead-record | carrier/raw"
+std::string to_string(const StackSpec& spec);
+std::optional<StackSpec> parse_stack_spec(std::string_view text);
+
+/// Exact byte and round-trip counters for one transport instance. Shared
+/// (one object per transport) between the client connector and the
+/// in-process server so both directions commit to the same ledger.
+struct StackAccounting {
+  std::int64_t wire_bytes = 0;       // everything sent into the carrier
+  std::int64_t payload_bytes = 0;    // tunnel payload (Tor cells, preamble)
+  std::int64_t handshake_bytes = 0;  // HandshakeLayer messages
+  std::int64_t framing_bytes = 0;    // FramingLayer headers/padding/cover
+  std::int64_t carrier_bytes = 0;    // CarrierAdapter encoding overhead
+  std::int64_t handshake_rtts = 0;   // completed client handshake RTTs
+
+  void on_handshake(std::size_t n) {
+    handshake_bytes += static_cast<std::int64_t>(n);
+    wire_bytes += static_cast<std::int64_t>(n);
+  }
+  void on_payload(std::size_t n) {
+    payload_bytes += static_cast<std::int64_t>(n);
+    wire_bytes += static_cast<std::int64_t>(n);
+  }
+  /// A framing layer committed `wire` bytes carrying `payload` tunnel
+  /// bytes; the difference is framing overhead.
+  void on_frame(std::size_t wire, std::size_t payload) {
+    wire_bytes += static_cast<std::int64_t>(wire);
+    payload_bytes += static_cast<std::int64_t>(payload);
+    framing_bytes +=
+        static_cast<std::int64_t>(wire) - static_cast<std::int64_t>(payload);
+  }
+  /// Pure carrier bytes (error bodies, rendezvous plumbing with no tunnel
+  /// content).
+  void on_carrier(std::size_t n) {
+    carrier_bytes += static_cast<std::int64_t>(n);
+    wire_bytes += static_cast<std::int64_t>(n);
+  }
+  /// A carrier unit of `wire` encoded bytes carrying a cut of the framed
+  /// stream that decomposes into `frame_header` + `payload` bytes; the
+  /// rest of the unit is carrier encoding.
+  void on_carrier_unit(std::size_t wire, std::size_t frame_header,
+                       std::size_t payload) {
+    wire_bytes += static_cast<std::int64_t>(wire);
+    framing_bytes += static_cast<std::int64_t>(frame_header);
+    payload_bytes += static_cast<std::int64_t>(payload);
+    carrier_bytes += static_cast<std::int64_t>(wire) -
+                     static_cast<std::int64_t>(frame_header) -
+                     static_cast<std::int64_t>(payload);
+  }
+  void on_handshake_rtt() { ++handshake_rtts; }
+
+  std::int64_t overhead() const { return wire_bytes - payload_bytes; }
+  bool balanced() const {
+    return wire_bytes ==
+           payload_bytes + handshake_bytes + framing_bytes + carrier_bytes;
+  }
+};
+
+using AccountingPtr = std::shared_ptr<StackAccounting>;
+
+/// Decomposes arbitrary byte cuts of a length-framed stream
+/// (util::frame_message: 4-byte header + payload per message) back into
+/// exact header vs payload byte counts. Carriers that buffer the framed
+/// stream and cut it at unit boundaries (meek bodies, dnstt chunks,
+/// segment units, chop blocks) push() each frame as it enters the buffer
+/// and consume() each cut as it leaves; FIFO order makes the split exact.
+class FramedStreamMeter {
+ public:
+  struct Cut {
+    std::size_t header = 0;
+    std::size_t payload = 0;
+  };
+
+  /// A frame carrying `payload` tunnel bytes entered the buffer.
+  void push(std::size_t payload) { fifo_.push_back({kFrameHeader, payload}); }
+
+  /// `n` stream bytes left the buffer; returns their exact decomposition.
+  Cut consume(std::size_t n);
+
+  bool empty() const { return fifo_.empty(); }
+
+ private:
+  static constexpr std::size_t kFrameHeader = 4;  // util::frame_message
+
+  struct Rec {
+    std::size_t header_left;
+    std::size_t payload_left;
+  };
+  std::deque<Rec> fifo_;
+};
+
+/// Wraps a channel so every send() is committed to `acct` as tunnel
+/// payload. Transports whose post-handshake data rides the carrier
+/// unframed (TLS-plaintext tunnels, WebRTC data channels) install this at
+/// both endpoints right before handing the channel to Tor / the upstream
+/// splice. Receive-side bytes are counted by the sending endpoint's
+/// wrapper — both endpoints of a PT session live in the same world and
+/// share the accounting object.
+net::ChannelPtr meter_payload(net::ChannelPtr inner, AccountingPtr acct);
+
+}  // namespace ptperf::pt::layer

@@ -1,0 +1,17 @@
+#include "pt/layer/rate_limit.h"
+
+#include <algorithm>
+
+namespace ptperf::pt::layer {
+
+sim::Duration PollPacer::next(bool had_traffic) {
+  if (had_traffic) {
+    backoff_ = min_;
+    return min_;
+  }
+  sim::Duration delay = backoff_;
+  backoff_ = std::min(2 * backoff_, max_);
+  return delay;
+}
+
+}  // namespace ptperf::pt::layer

@@ -1,0 +1,30 @@
+// RateLimitLayer primitives. Two of the stack's three rate-limiting knobs
+// live in SegmentPolicy (unit MTU via max_segment, token rate via
+// rate_units_per_sec — see pt/layer/framing.h); the third, poll-interval
+// scheduling for request/response carriers, lives here.
+#pragma once
+
+#include "sim/time.h"
+
+namespace ptperf::pt::layer {
+
+/// Poll-interval scheduler for polling carriers (meek's CDN bridge):
+/// exponential backoff while the tunnel is idle, snapping back to the
+/// floor the moment data moves in either direction. Pure state machine —
+/// the caller owns the timer.
+class PollPacer {
+ public:
+  PollPacer(sim::Duration min, sim::Duration max, sim::Duration initial)
+      : min_(min), max_(max), backoff_(initial) {}
+
+  /// Delay before the next poll, given whether the last exchange carried
+  /// data (pending upstream bytes or a non-empty response).
+  sim::Duration next(bool had_traffic);
+
+ private:
+  sim::Duration min_;
+  sim::Duration max_;
+  sim::Duration backoff_;
+};
+
+}  // namespace ptperf::pt::layer

@@ -1,0 +1,45 @@
+#include "pt/layer/stack.h"
+
+namespace ptperf::pt::layer {
+namespace {
+
+int rank(LayerKind k) {
+  switch (k) {
+    case LayerKind::kHandshake: return 0;
+    case LayerKind::kFraming: return 1;
+    case LayerKind::kRateLimit: return 2;
+    case LayerKind::kCarrier: return 3;
+  }
+  return 3;
+}
+
+}  // namespace
+
+std::optional<std::string> LayerStack::validate() const {
+  if (spec_.transport.empty()) return "stack has no transport name";
+  if (spec_.layers.empty()) return "stack has no layers";
+
+  std::size_t carriers = 0;
+  int prev = -1;
+  for (const LayerSpec& l : spec_.layers) {
+    if (l.name.empty())
+      return std::string(layer_kind_name(l.kind)) + " layer has no name";
+    if (l.kind == LayerKind::kCarrier) {
+      ++carriers;
+      if (!parse_carrier_kind(l.name))
+        return "unknown carrier kind '" + l.name + "'";
+    }
+    int r = rank(l.kind);
+    if (r < prev)
+      return std::string(layer_kind_name(l.kind)) + "/" + l.name +
+             " is below a lower-ranked layer (stack must be well-nested: "
+             "handshake, framing, rate-limit, carrier)";
+    prev = r;
+  }
+  if (carriers != 1) return "stack must have exactly one carrier layer";
+  if (spec_.layers.back().kind != LayerKind::kCarrier)
+    return "carrier must be the bottom layer";
+  return std::nullopt;
+}
+
+}  // namespace ptperf::pt::layer

@@ -1,0 +1,37 @@
+// LayerStack: a transport's declared layer composition plus its live
+// byte/RTT ledger. The spec is pure data (validated for well-nestedness);
+// the accounting object is shared by every layer primitive the transport
+// instantiates, so the per-layer columns fig9 reports sum exactly to the
+// wire totals (see docs/TRANSPORT_LAYERS.md).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "pt/layer/layer.h"
+
+namespace ptperf::pt::layer {
+
+class LayerStack {
+ public:
+  LayerStack() : accounting_(std::make_shared<StackAccounting>()) {}
+  explicit LayerStack(StackSpec spec)
+      : spec_(std::move(spec)),
+        accounting_(std::make_shared<StackAccounting>()) {}
+
+  const StackSpec& spec() const { return spec_; }
+  const AccountingPtr& accounting() const { return accounting_; }
+
+  /// Empty on success, else a description of the first violation. A
+  /// well-nested stack has at least one layer, exactly one carrier — at
+  /// the bottom — and its kinds in handshake ≤ framing ≤ rate-limit ≤
+  /// carrier order (setup strictly above transport machinery, machinery
+  /// strictly above the medium).
+  std::optional<std::string> validate() const;
+
+ private:
+  StackSpec spec_;
+  AccountingPtr accounting_;
+};
+
+}  // namespace ptperf::pt::layer

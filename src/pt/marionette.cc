@@ -3,7 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "pt/segmenting_channel.h"
+#include "pt/layer/framing.h"
 
 namespace ptperf::pt {
 
@@ -107,19 +107,28 @@ MarionetteTransport::MarionetteTransport(net::Network& net,
                         HopSet::kSet3TorAtServer,
                         /*separable_from_tor=*/true,
                         /*supports_parallel_streams=*/true};
+  stack_ = layer::LayerStack(layer::StackSpec{
+      "marionette",
+      {{layer::LayerKind::kFraming, "cover-message",
+        config_.spec.format + ", 64 B cover framing"},
+       {layer::LayerKind::kRateLimit, "automaton-dwell",
+        "lognormal dwell per message"},
+       {layer::LayerKind::kCarrier, "raw", "mimicked cover protocol"}}});
   start_server();
 }
 
 namespace {
 
 net::ChannelPtr automaton_channel(sim::EventLoop& loop, net::ChannelPtr inner,
-                                  const MarionetteSpec& spec, sim::Rng rng) {
+                                  const MarionetteSpec& spec, sim::Rng rng,
+                                  layer::AccountingPtr acct) {
   auto walker = std::make_shared<AutomatonWalker>(spec, std::move(rng));
-  SegmentPolicy policy;
+  layer::SegmentPolicy policy;
   policy.max_segment = walker->max_payload();
   policy.per_segment_overhead = 64;  // cover-protocol message framing
   policy.unit_delay = [walker] { return walker->next_dwell(); };
-  return SegmentingChannel::create(loop, std::move(inner), policy);
+  policy.accounting = std::move(acct);
+  return layer::SegmentingChannel::create(loop, std::move(inner), policy);
 }
 
 }  // namespace
@@ -128,10 +137,12 @@ void MarionetteTransport::start_server() {
   auto* net = net_;
   MarionetteConfig cfg = config_;
   auto server_rng = std::make_shared<sim::Rng>(rng_.fork("marionette-server"));
+  layer::AccountingPtr acct = stack_.accounting();
 
-  net_->listen(cfg.server_host, "ftp", [net, cfg, server_rng](net::Pipe pipe) {
+  net_->listen(cfg.server_host, "ftp", [net, cfg, server_rng,
+                                        acct](net::Pipe pipe) {
     auto paced = automaton_channel(net->loop(), net::wrap_pipe(std::move(pipe)),
-                                   cfg.spec, server_rng->fork("walk"));
+                                   cfg.spec, server_rng->fork("walk"), acct);
     serve_upstream(*net, cfg.server_host, paced,
                    fixed_upstream(cfg.server_host, cfg.socks_service));
   });
@@ -143,13 +154,14 @@ void MarionetteTransport::open_socks_tunnel(
   auto* net = net_;
   MarionetteConfig cfg = config_;
   auto rng = std::make_shared<sim::Rng>(rng_.fork("marionette-client"));
+  layer::AccountingPtr acct = stack_.accounting();
 
   net_->connect(
       cfg.client_host, cfg.server_host, "ftp",
-      [net, cfg, rng, ok](net::Pipe pipe) {
+      [net, cfg, rng, acct, ok](net::Pipe pipe) {
         auto paced = automaton_channel(net->loop(),
                                        net::wrap_pipe(std::move(pipe)),
-                                       cfg.spec, rng->fork("walk"));
+                                       cfg.spec, rng->fork("walk"), acct);
         send_preamble(paced, 0);  // set 3: preamble ignored
         ok(paced);
       },

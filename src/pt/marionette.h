@@ -73,6 +73,7 @@ class MarionetteTransport final : public Transport {
   tor::TorClient::FirstHopConnector connector() override;
   void open_socks_tunnel(std::function<void(net::ChannelPtr)> ok,
                          std::function<void(std::string)> err) override;
+  const layer::LayerStack* layer_stack() const override { return &stack_; }
 
  private:
   void start_server();
@@ -82,6 +83,7 @@ class MarionetteTransport final : public Transport {
   sim::Rng rng_;
   MarionetteConfig config_;
   TransportInfo info_;
+  layer::LayerStack stack_;
 };
 
 }  // namespace ptperf::pt

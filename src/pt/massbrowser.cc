@@ -2,6 +2,7 @@
 
 #include "net/http.h"
 #include "net/tls.h"
+#include "pt/layer/handshake.h"
 
 namespace ptperf::pt {
 
@@ -15,6 +16,12 @@ MassbrowserTransport::MassbrowserTransport(net::Network& net,
                         HopSet::kSet2SeparateProxy,
                         /*separable_from_tor=*/true,
                         /*supports_parallel_streams=*/true};
+  stack_ = layer::LayerStack(layer::StackSpec{
+      "massbrowser",
+      {{layer::LayerKind::kHandshake, "operator-match",
+        "1 rtt via cdn-fronted operator, access-code gate"},
+       {layer::LayerKind::kCarrier, "raw",
+        std::to_string(config_.buddy_hosts.size()) + " volunteer buddies"}}});
   start_operator();
   start_buddies();
 }
@@ -24,15 +31,18 @@ void MassbrowserTransport::start_operator() {
   MassbrowserConfig cfg = config_;
   auto op_rng = std::make_shared<sim::Rng>(rng_.fork("mb-operator"));
   std::size_t n_buddies = config_.buddy_hosts.size();
+  layer::AccountingPtr acct = stack_.accounting();
 
-  net_->listen(cfg.operator_host, "mb-signal", [net, cfg, op_rng,
-                                                n_buddies](net::Pipe pipe) {
-    net::tls_accept(std::move(pipe), *op_rng, [net, cfg, op_rng, n_buddies](
+  net_->listen(cfg.operator_host, "mb-signal", [net, cfg, op_rng, n_buddies,
+                                                acct](net::Pipe pipe) {
+    net::tls_accept(std::move(pipe), *op_rng, [net, cfg, op_rng, n_buddies,
+                                               acct](
                                                   net::TlsSession session,
                                                   const net::ClientHello&) {
       auto ch = net::wrap_tls(std::move(session));
       net::ChannelPtr ch_copy = ch;
-      ch->set_receiver([net, cfg, op_rng, n_buddies, ch_copy](util::Bytes msg) {
+      ch->set_receiver([net, cfg, op_rng, n_buddies, acct,
+                        ch_copy](util::Bytes msg) {
         auto req = net::http::decode_request(msg);
         net::http::Response resp;
         // The access-code gate: the operator only matches registered
@@ -41,7 +51,8 @@ void MassbrowserTransport::start_operator() {
             req->headers.at("x-access-code") != cfg.issued_code) {
           resp.status = 403;
           resp.reason = "Invite Required";
-          ch_copy->send(net::http::encode_response(resp));
+          ch_copy->send(layer::count_handshake(
+              acct, net::http::encode_response(resp)));
           ch_copy->close();
           return;
         }
@@ -49,8 +60,9 @@ void MassbrowserTransport::start_operator() {
         resp.status = 200;
         resp.body = util::to_bytes(std::to_string(pick));
         sim::Duration proc = cfg.operator_processing;
-        net->loop().schedule(proc, [ch_copy, resp] {
-          ch_copy->send(net::http::encode_response(resp));
+        net->loop().schedule(proc, [acct, ch_copy, resp] {
+          ch_copy->send(layer::count_handshake(
+              acct, net::http::encode_response(resp)));
         });
       });
     });
@@ -60,12 +72,17 @@ void MassbrowserTransport::start_operator() {
 void MassbrowserTransport::start_buddies() {
   auto* net = net_;
   const tor::Consensus* consensus = consensus_;
+  layer::AccountingPtr acct = stack_.accounting();
   for (std::size_t i = 0; i < config_.buddy_hosts.size(); ++i) {
     net::HostId buddy = config_.buddy_hosts[i];
-    net_->listen(buddy, "mb-buddy", [net, consensus, buddy](net::Pipe pipe) {
-      serve_upstream(*net, buddy, net::wrap_pipe(std::move(pipe)),
-                     tor_upstream(*consensus));
-    });
+    net_->listen(buddy, "mb-buddy",
+                 [net, consensus, buddy, acct](net::Pipe pipe) {
+                   serve_upstream(
+                       *net, buddy,
+                       layer::meter_payload(net::wrap_pipe(std::move(pipe)),
+                                            acct),
+                       tor_upstream(*consensus));
+                 });
   }
 }
 
@@ -73,26 +90,32 @@ tor::TorClient::FirstHopConnector MassbrowserTransport::connector() {
   auto* net = net_;
   MassbrowserConfig cfg = config_;
   auto rng = std::make_shared<sim::Rng>(rng_.fork("mb-client"));
+  layer::AccountingPtr acct = stack_.accounting();
 
-  return [net, cfg, rng](tor::RelayIndex entry,
-                         std::function<void(net::ChannelPtr)> on_open,
-                         std::function<void(std::string)> on_error) {
+  return [net, cfg, rng, acct](tor::RelayIndex entry,
+                               std::function<void(net::ChannelPtr)> on_open,
+                               std::function<void(std::string)> on_error) {
     net->connect(
         cfg.client_host, cfg.operator_host, "mb-signal",
-        [net, cfg, rng, entry, on_open, on_error](net::Pipe pipe) {
+        [net, cfg, rng, acct, entry, on_open, on_error](net::Pipe pipe) {
           net::ClientHelloParams hello;
           hello.sni = "static.cdn-front.example";
-          net::tls_connect(std::move(pipe), hello, *rng, [net, cfg, entry,
-                                                          on_open, on_error](
+          net::tls_connect(std::move(pipe), hello, *rng, [net, cfg, acct,
+                                                          entry, on_open,
+                                                          on_error](
                                                              net::TlsSession
                                                                  session) {
             auto op = net::wrap_tls(std::move(session));
             net::ChannelPtr op_copy = op;
-            op->set_receiver([net, cfg, entry, on_open, on_error,
+            trace::SpanId rtt = layer::begin_handshake_rtt(
+                net->loop().recorder(), "massbrowser", 1);
+            op->set_receiver([net, cfg, acct, entry, on_open, on_error, rtt,
                               op_copy](util::Bytes wire) {
+              trace::Recorder* rec = net->loop().recorder();
               auto resp = net::http::decode_response(wire);
               op_copy->close();
               if (!resp || resp->status != 200) {
+                layer::fail_handshake_rtt(rec, rtt, "operator refused");
                 if (on_error)
                   on_error("massbrowser: operator refused (access code?)");
                 return;
@@ -100,13 +123,16 @@ tor::TorClient::FirstHopConnector MassbrowserTransport::connector() {
               auto pick = static_cast<std::size_t>(std::strtoull(
                   util::to_string(resp->body).c_str(), nullptr, 10));
               if (pick >= cfg.buddy_hosts.size()) {
+                layer::fail_handshake_rtt(rec, rtt, "bad buddy id");
                 if (on_error) on_error("massbrowser: bad buddy id");
                 return;
               }
+              layer::end_handshake_rtt(rec, rtt, acct);
               net->connect(
                   cfg.client_host, cfg.buddy_hosts[pick], "mb-buddy",
-                  [entry, on_open](net::Pipe buddy_pipe) {
-                    auto ch = net::wrap_pipe(std::move(buddy_pipe));
+                  [acct, entry, on_open](net::Pipe buddy_pipe) {
+                    net::ChannelPtr ch = layer::meter_payload(
+                        net::wrap_pipe(std::move(buddy_pipe)), acct);
                     send_preamble(ch, entry);
                     on_open(ch);
                   },
@@ -119,7 +145,8 @@ tor::TorClient::FirstHopConnector MassbrowserTransport::connector() {
             req.target = "/match";
             req.host = "static.cdn-front.example";
             req.headers["x-access-code"] = cfg.access_code;
-            op_copy->send(net::http::encode_request(req));
+            op_copy->send(layer::count_handshake(
+                acct, net::http::encode_request(req)));
           });
         },
         [on_error](std::string err) {

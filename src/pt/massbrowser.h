@@ -35,6 +35,7 @@ class MassbrowserTransport final : public Transport {
 
   const TransportInfo& info() const override { return info_; }
   tor::TorClient::FirstHopConnector connector() override;
+  const layer::LayerStack* layer_stack() const override { return &stack_; }
 
  private:
   void start_operator();
@@ -45,6 +46,7 @@ class MassbrowserTransport final : public Transport {
   sim::Rng rng_;
   MassbrowserConfig config_;
   TransportInfo info_;
+  layer::LayerStack stack_;
 };
 
 }  // namespace ptperf::pt

@@ -5,6 +5,8 @@
 #include "fault/fault_injector.h"
 #include "net/http.h"
 #include "net/tls.h"
+#include "pt/layer/carrier.h"
+#include "pt/layer/rate_limit.h"
 #include "trace/trace.h"
 #include "util/framer.h"
 
@@ -19,9 +21,11 @@ class MeekServerSession final
     : public net::Channel,
       public std::enable_shared_from_this<MeekServerSession> {
  public:
-  MeekServerSession(sim::EventLoop& loop, const MeekConfig& cfg, sim::Rng rng)
+  MeekServerSession(sim::EventLoop& loop, const MeekConfig& cfg, sim::Rng rng,
+                    layer::AccountingPtr acct)
       : loop_(&loop),
         cfg_(cfg),
+        acct_(std::move(acct)),
         framer_([this](util::Bytes msg) {
           auto fn = receiver_;
           if (fn) fn(std::move(msg));
@@ -29,6 +33,10 @@ class MeekServerSession final
     immune_ = rng.next_bool(cfg.immune_fraction);
     reset_after_s_ = rng.exponential(cfg.reset_mean_saturated_s);
   }
+
+  /// Frame-boundary ledger for bytes queued by send(): the bridge consumes
+  /// it when a poll response commits a cut of the queue to the wire.
+  layer::FramedStreamMeter& meter() { return meter_; }
 
   /// Consumes one poll request; returns the response body, or nullopt when
   /// the session has been reset (respond 500 and drop the session).
@@ -67,6 +75,7 @@ class MeekServerSession final
 
   // Channel interface: send() queues bytes for future poll responses.
   void send(util::Bytes payload) override {
+    if (acct_) meter_.push(payload.size());
     util::Bytes framed = util::frame_message(payload);
     downstream_.insert(downstream_.end(), framed.begin(), framed.end());
   }
@@ -80,6 +89,8 @@ class MeekServerSession final
  private:
   sim::EventLoop* loop_;
   MeekConfig cfg_;
+  layer::AccountingPtr acct_;
+  layer::FramedStreamMeter meter_;
   util::MessageFramer framer_;
   Receiver receiver_;
   CloseHandler close_handler_;
@@ -97,11 +108,14 @@ class MeekClientChannel final
       public std::enable_shared_from_this<MeekClientChannel> {
  public:
   MeekClientChannel(sim::EventLoop& loop, net::TlsSession tls,
-                    const MeekConfig& cfg, std::uint64_t session_id)
+                    const MeekConfig& cfg, std::uint64_t session_id,
+                    layer::AccountingPtr acct)
       : loop_(&loop),
         tls_(std::move(tls)),
         cfg_(cfg),
         session_id_(session_id),
+        acct_(std::move(acct)),
+        pacer_(cfg.poll_min, cfg.poll_max, sim::from_millis(100)),
         framer_([this](util::Bytes msg) {
           auto fn = receiver_;
           if (fn) fn(std::move(msg));
@@ -116,6 +130,7 @@ class MeekClientChannel final
 
   void send(util::Bytes payload) override {
     if (dead_) return;
+    if (acct_) meter_.push(payload.size());
     util::Bytes framed = util::frame_message(payload);
     upstream_.insert(upstream_.end(), framed.begin(), framed.end());
     // Data pending: poll now rather than waiting out the backoff.
@@ -154,7 +169,12 @@ class MeekClientChannel final
     req.headers["x-session-id"] = std::to_string(session_id_);
     req.body.assign(upstream_.begin(), upstream_.begin() + static_cast<long>(n));
     upstream_.erase(upstream_.begin(), upstream_.begin() + static_cast<long>(n));
-    tls_.send(net::http::encode_request(req));
+    util::Bytes wire = net::http::encode_request(req);
+    if (acct_) {
+      layer::FramedStreamMeter::Cut cut = meter_.consume(n);
+      acct_->on_carrier_unit(wire.size(), cut.header, cut.payload);
+    }
+    tls_.send(std::move(wire));
   }
 
   void on_response(const util::Bytes& wire) {
@@ -162,19 +182,13 @@ class MeekClientChannel final
     TRACE_COUNT(loop_->recorder(), "pt/meek_poll_bytes", wire.size());
     auto resp = net::http::decode_response(wire);
     if (!resp || resp->status != 200) {
-      TRACE_INSTANT(loop_->recorder(), trace::kPt, "meek_session_reset");
+      layer::session_fail(loop_->recorder(), "meek", "session reset");
       fail();
       return;
     }
     if (!resp->body.empty()) framer_.feed(resp->body);
 
-    if (!upstream_.empty() || !resp->body.empty()) {
-      backoff_ = cfg_.poll_min;
-      schedule_poll(cfg_.poll_min);
-    } else {
-      schedule_poll(backoff_);
-      backoff_ = std::min(2 * backoff_, cfg_.poll_max);
-    }
+    schedule_poll(pacer_.next(!upstream_.empty() || !resp->body.empty()));
   }
 
   void fail() {
@@ -190,6 +204,9 @@ class MeekClientChannel final
   net::TlsSession tls_;
   MeekConfig cfg_;
   std::uint64_t session_id_;
+  layer::AccountingPtr acct_;
+  layer::FramedStreamMeter meter_;
+  layer::PollPacer pacer_;
   util::MessageFramer framer_;
   Receiver receiver_;
   CloseHandler close_handler_;
@@ -197,7 +214,6 @@ class MeekClientChannel final
   bool dead_ = false;
   bool poll_in_flight_ = false;
   bool poll_scheduled_ = false;
-  sim::Duration backoff_ = sim::from_millis(100);
   sim::EventHandle poll_timer_;
 };
 
@@ -211,6 +227,14 @@ MeekTransport::MeekTransport(net::Network& net, const tor::Consensus& consensus,
                         HopSet::kSet1BridgeIsGuard,
                         /*separable_from_tor=*/false,
                         /*supports_parallel_streams=*/true};
+  stack_ = layer::LayerStack(layer::StackSpec{
+      "meek",
+      {{layer::LayerKind::kFraming, "http-body",
+        "4 B records inside poll bodies"},
+       {layer::LayerKind::kRateLimit, "poll-backoff",
+        "poll " + std::to_string(sim::to_millis(config_.poll_min)) + ".." +
+            std::to_string(sim::to_millis(config_.poll_max)) + " ms"},
+       {layer::LayerKind::kCarrier, "http-poll", config_.front_domain}}});
   start_bridge();
   start_front();
 }
@@ -225,13 +249,15 @@ void MeekTransport::start_bridge() {
   auto server_rng = std::make_shared<sim::Rng>(rng_.fork("meek-bridge"));
   auto sessions = std::make_shared<
       std::map<std::string, std::shared_ptr<MeekServerSession>>>();
+  layer::AccountingPtr acct = stack_.accounting();
 
   net_->listen(bridge_host, "meek", [net, consensus, cfg, bridge_host,
-                                     server_rng, sessions](net::Pipe pipe) {
+                                     server_rng, sessions,
+                                     acct](net::Pipe pipe) {
     auto ch = net::wrap_pipe(std::move(pipe));
     net::ChannelPtr ch_copy = ch;
     ch->set_receiver([net, consensus, cfg, bridge_host, server_rng, sessions,
-                      ch_copy](util::Bytes wire) {
+                      acct, ch_copy](util::Bytes wire) {
       auto req = net::http::decode_request(wire);
       if (!req) return;
       std::string sid = req->headers.count("x-session-id")
@@ -241,7 +267,7 @@ void MeekTransport::start_bridge() {
       std::shared_ptr<MeekServerSession> session;
       if (it == sessions->end()) {
         session = std::make_shared<MeekServerSession>(
-            net->loop(), cfg, server_rng->fork(sid));
+            net->loop(), cfg, server_rng->fork(sid), acct);
         (*sessions)[sid] = session;
         serve_upstream(*net, bridge_host, session, tor_upstream(*consensus));
       } else {
@@ -258,7 +284,17 @@ void MeekTransport::start_bridge() {
         resp.status = 200;
         resp.body = std::move(*body);
       }
-      ch_copy->send(net::http::encode_response(resp));
+      util::Bytes out = net::http::encode_response(resp);
+      if (acct) {
+        if (resp.status == 200) {
+          layer::FramedStreamMeter::Cut cut =
+              session->meter().consume(resp.body.size());
+          acct->on_carrier_unit(out.size(), cut.header, cut.payload);
+        } else {
+          acct->on_carrier(out.size());
+        }
+      }
+      ch_copy->send(std::move(out));
     });
   });
 }
@@ -270,23 +306,24 @@ void MeekTransport::start_front() {
   MeekConfig cfg = config_;
   net::HostId bridge_host = consensus_->at(config_.bridge).host;
   auto front_rng = std::make_shared<sim::Rng>(rng_.fork("meek-front"));
+  layer::AccountingPtr acct = stack_.accounting();
 
-  net_->listen(cfg.front_host, "https", [net, cfg, bridge_host,
-                                         front_rng](net::Pipe pipe) {
+  net_->listen(cfg.front_host, "https", [net, cfg, bridge_host, front_rng,
+                                         acct](net::Pipe pipe) {
     net::tls_accept(
         std::move(pipe), *front_rng,
-        [net, cfg, bridge_host](net::TlsSession session,
-                                const net::ClientHello&) {
+        [net, cfg, bridge_host, acct](net::TlsSession session,
+                                      const net::ClientHello&) {
           auto client_side = net::wrap_tls(std::move(session));
           net::ConnectOptions opts;
           opts.rate_cap_bytes_per_sec = cfg.bridge_rate_bytes_per_sec;
           net->connect(
               cfg.front_host, bridge_host, "meek",
-              [net, cfg, client_side](net::Pipe bridge_pipe) {
+              [net, cfg, acct, client_side](net::Pipe bridge_pipe) {
                 auto bridge_side = net::wrap_pipe(std::move(bridge_pipe));
                 sim::EventLoop* loop = &net->loop();
                 sim::Duration proc = cfg.front_processing;
-                client_side->set_receiver([net, loop, proc, bridge_side,
+                client_side->set_receiver([net, loop, proc, acct, bridge_side,
                                            client_side](util::Bytes msg) {
                   fault::FaultInjector* f = net->fault_injector();
                   if (f && f->fire(fault::FaultKind::kCdnError)) {
@@ -297,7 +334,8 @@ void MeekTransport::start_front() {
                     resp.reason = "Bad Gateway";
                     auto wire = std::make_shared<util::Bytes>(
                         net::http::encode_response(resp));
-                    loop->schedule(proc, [client_side, wire] {
+                    loop->schedule(proc, [acct, client_side, wire] {
+                      if (acct) acct->on_carrier(wire->size());
                       client_side->send(std::move(*wire));
                     });
                     return;
@@ -329,34 +367,34 @@ tor::TorClient::FirstHopConnector MeekTransport::connector() {
   auto* net = net_;
   MeekConfig cfg = config_;
   auto rng = std::make_shared<sim::Rng>(rng_.fork("meek-client"));
+  layer::AccountingPtr acct = stack_.accounting();
 
-  return [net, cfg, rng](tor::RelayIndex,
-                         std::function<void(net::ChannelPtr)> on_open,
-                         std::function<void(std::string)> on_error) {
+  return [net, cfg, rng, acct](tor::RelayIndex,
+                               std::function<void(net::ChannelPtr)> on_open,
+                               std::function<void(std::string)> on_error) {
     // Dial + TLS setup against the CDN front: the PT's share of the first
     // hop (the "first_hop" span in the Tor client covers the whole dial).
-    trace::SpanId span = TRACE_SPAN_BEGIN_ARGS(
-        net->loop().recorder(), trace::kPt, "meek_tls_setup", 0,
-        {{"transport", "meek"}});
+    trace::SpanId span = layer::begin_carrier_setup(
+        net->loop().recorder(), "meek", layer::CarrierKind::kHttpPoll, "tls");
     net->connect(
         cfg.client_host, cfg.front_host, "https",
-        [net, cfg, rng, on_open, span](net::Pipe pipe) {
+        [net, cfg, rng, acct, on_open, span](net::Pipe pipe) {
           net::ClientHelloParams hello;
           hello.sni = cfg.front_domain;  // the *front* domain is visible
           net::tls_connect(
               std::move(pipe), hello, *rng,
-              [net, cfg, rng, on_open, span](net::TlsSession session) {
-                TRACE_SPAN_END(net->loop().recorder(), span);
+              [net, cfg, rng, acct, on_open, span](net::TlsSession session) {
+                layer::end_carrier_setup(net->loop().recorder(), span);
                 auto ch = std::make_shared<MeekClientChannel>(
-                    net->loop(), std::move(session), cfg, rng->next_u64());
+                    net->loop(), std::move(session), cfg, rng->next_u64(),
+                    acct);
                 ch->start();
                 send_preamble(ch, cfg.bridge);
                 on_open(ch);
               });
         },
         [net, on_error, span](std::string err) {
-          TRACE_SPAN_END_ARGS(net->loop().recorder(), span,
-                              {{"error", err}});
+          layer::fail_carrier_setup(net->loop().recorder(), span, err);
           if (on_error) on_error("meek: " + err);
         });
   };

@@ -43,6 +43,7 @@ class MeekTransport final : public Transport {
   std::optional<tor::RelayIndex> fixed_entry() const override {
     return config_.bridge;
   }
+  const layer::LayerStack* layer_stack() const override { return &stack_; }
 
  private:
   void start_front();
@@ -53,6 +54,7 @@ class MeekTransport final : public Transport {
   sim::Rng rng_;
   MeekConfig config_;
   TransportInfo info_;
+  layer::LayerStack stack_;
 };
 
 }  // namespace ptperf::pt

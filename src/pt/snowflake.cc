@@ -3,6 +3,8 @@
 #include "fault/fault_injector.h"
 #include "net/http.h"
 #include "net/tls.h"
+#include "pt/layer/carrier.h"
+#include "pt/layer/handshake.h"
 #include "trace/trace.h"
 
 namespace ptperf::pt {
@@ -16,6 +18,12 @@ SnowflakeTransport::SnowflakeTransport(net::Network& net,
                         HopSet::kSet2SeparateProxy,
                         /*separable_from_tor=*/false,
                         /*supports_parallel_streams=*/true};
+  stack_ = layer::LayerStack(layer::StackSpec{
+      "snowflake",
+      {{layer::LayerKind::kHandshake, "broker-sdp",
+        "2 rtt (rendezvous + ice)"},
+       {layer::LayerKind::kCarrier, "webrtc-broker",
+        std::to_string(config_.proxy_hosts.size()) + " volunteer proxies"}}});
   match_mean_s_ = std::make_shared<double>(config_.broker_match_mean_s);
   tunnel_lifetime_mean_s_ =
       std::make_shared<double>(config_.proxy_lifetime_mean_s);
@@ -41,34 +49,38 @@ void SnowflakeTransport::start_broker() {
   auto broker_rng = std::make_shared<sim::Rng>(rng_.fork("broker"));
   std::size_t n_proxies = config_.proxy_hosts.size();
   auto match_mean = match_mean_s_;
+  layer::AccountingPtr acct = stack_.accounting();
 
   net_->listen(config_.broker_host, "broker", [net, broker_rng, n_proxies,
-                                               match_mean](net::Pipe pipe) {
+                                               match_mean,
+                                               acct](net::Pipe pipe) {
     net::tls_accept(
         std::move(pipe), *broker_rng,
-        [net, broker_rng, n_proxies, match_mean](net::TlsSession session,
-                                                 const net::ClientHello&) {
+        [net, broker_rng, n_proxies, match_mean, acct](
+            net::TlsSession session, const net::ClientHello&) {
           auto ch = net::wrap_tls(std::move(session));
           net::ChannelPtr ch_copy = ch;
-          ch->set_receiver([net, broker_rng, n_proxies, match_mean,
+          ch->set_receiver([net, broker_rng, n_proxies, match_mean, acct,
                             ch_copy](util::Bytes) {
             fault::FaultInjector* f = net->fault_injector();
             if (f && f->fire(fault::FaultKind::kBrokerUnavailable)) {
               net::http::Response resp;
               resp.status = 503;
               resp.reason = "No Proxies Available";
-              ch_copy->send(net::http::encode_response(resp));
+              ch_copy->send(layer::count_handshake(
+                  acct, net::http::encode_response(resp)));
               return;
             }
             // Proxy matching takes longer when the pool is oversubscribed.
             sim::Duration delay =
                 sim::from_seconds(broker_rng->exponential(*match_mean));
             std::uint64_t pick = broker_rng->next_below(n_proxies);
-            net->loop().schedule(delay, [ch_copy, pick] {
+            net->loop().schedule(delay, [acct, ch_copy, pick] {
               net::http::Response resp;
               resp.status = 200;
               resp.body = util::to_bytes(std::to_string(pick));
-              ch_copy->send(net::http::encode_response(resp));
+              ch_copy->send(layer::count_handshake(
+                  acct, net::http::encode_response(resp)));
             });
           });
         });
@@ -79,6 +91,7 @@ void SnowflakeTransport::start_proxies() {
   auto* net = net_;
   const tor::Consensus* consensus = consensus_;
   auto lifetime_mean = tunnel_lifetime_mean_s_;
+  layer::AccountingPtr acct = stack_.accounting();
 
   for (std::size_t i = 0; i < config_.proxy_hosts.size(); ++i) {
     net::HostId proxy_host = config_.proxy_hosts[i];
@@ -86,21 +99,23 @@ void SnowflakeTransport::start_proxies() {
         std::make_shared<sim::Rng>(rng_.fork("proxy" + std::to_string(i)));
 
     net_->listen(proxy_host, "snowflake", [net, consensus, proxy_host,
-                                           proxy_rng,
-                                           lifetime_mean](net::Pipe pipe) {
+                                           proxy_rng, lifetime_mean,
+                                           acct](net::Pipe pipe) {
       auto ch = net::wrap_pipe(std::move(pipe));
       net::ChannelPtr ch_copy = ch;
       // ICE answer: one message exchange before data flows.
       ch->set_receiver([net, consensus, proxy_host, proxy_rng, lifetime_mean,
-                        ch_copy](util::Bytes offer) {
+                        acct, ch_copy](util::Bytes offer) {
         if (util::to_string(util::BytesView(offer.data(),
                                             std::min<std::size_t>(3, offer.size()))) !=
             "sdp") {
           ch_copy->close();
           return;
         }
-        ch_copy->send(util::to_bytes("sdp-answer"));
-        serve_upstream(*net, proxy_host, ch_copy, tor_upstream(*consensus));
+        ch_copy->send(
+            layer::count_handshake(acct, util::to_bytes("sdp-answer")));
+        serve_upstream(*net, proxy_host, layer::meter_payload(ch_copy, acct),
+                       tor_upstream(*consensus));
 
         // Volunteer churn: this browser tab closes eventually, taking the
         // tunnel with it.
@@ -116,81 +131,93 @@ tor::TorClient::FirstHopConnector SnowflakeTransport::connector() {
   auto* net = net_;
   SnowflakeConfig cfg = config_;
   auto rng = std::make_shared<sim::Rng>(rng_.fork("sf-client"));
+  layer::AccountingPtr acct = stack_.accounting();
 
-  return [net, cfg, rng](tor::RelayIndex entry,
-                         std::function<void(net::ChannelPtr)> on_open,
-                         std::function<void(std::string)> on_error) {
-    // Step 1: domain-fronted broker rendezvous. The two handshake phases
-    // ("broker_rendezvous", then "proxy_connect") are traced separately so
-    // the per-hop decomposition can split snowflake's first-hop cost.
-    trace::SpanId rendezvous = TRACE_SPAN_BEGIN_ARGS(
-        net->loop().recorder(), trace::kPt, "broker_rendezvous", 0,
-        {{"transport", "snowflake"}});
+  return [net, cfg, rng, acct](tor::RelayIndex entry,
+                               std::function<void(net::ChannelPtr)> on_open,
+                               std::function<void(std::string)> on_error) {
+    // Step 1: domain-fronted broker rendezvous. The two setup phases
+    // (rendezvous, then ice) are traced as separate pt_carrier_setup spans
+    // so the per-hop decomposition can split snowflake's first-hop cost.
+    trace::SpanId rendezvous = layer::begin_carrier_setup(
+        net->loop().recorder(), "snowflake",
+        layer::CarrierKind::kWebRtcBroker, "rendezvous");
     net::ConnectOptions fronted;
     fronted.extra_one_way = cfg.broker_front_extra;
     net->connect(
         cfg.client_host, cfg.broker_host, "broker",
-        [net, cfg, rng, entry, on_open, on_error, rendezvous](net::Pipe pipe) {
+        [net, cfg, rng, acct, entry, on_open, on_error,
+         rendezvous](net::Pipe pipe) {
           net::ClientHelloParams hello;
           hello.sni = "front.cdn.example";
-          net::tls_connect(std::move(pipe), hello, *rng, [net, cfg, rng, entry,
-                                                          on_open, on_error,
+          net::tls_connect(std::move(pipe), hello, *rng, [net, cfg, rng, acct,
+                                                          entry, on_open,
+                                                          on_error,
                                                           rendezvous](
                                                              net::TlsSession
                                                                  session) {
             auto broker = net::wrap_tls(std::move(session));
             net::ChannelPtr broker_copy = broker;
-            broker->set_receiver([net, cfg, rng, entry, on_open, on_error,
-                                  rendezvous, broker_copy](util::Bytes wire) {
+            trace::SpanId rtt1 = layer::begin_handshake_rtt(
+                net->loop().recorder(), "snowflake", 1);
+            broker->set_receiver([net, cfg, rng, acct, entry, on_open,
+                                  on_error, rendezvous, rtt1,
+                                  broker_copy](util::Bytes wire) {
               trace::Recorder* rec = net->loop().recorder();
               auto resp = net::http::decode_response(wire);
               broker_copy->close();
               if (!resp || resp->status != 200) {
-                TRACE_SPAN_END_ARGS(rec, rendezvous,
-                                    {{"error", "broker refused"}});
+                layer::fail_handshake_rtt(rec, rtt1, "broker refused");
+                layer::fail_carrier_setup(rec, rendezvous, "broker refused");
                 if (on_error) on_error("snowflake: broker refused");
                 return;
               }
               std::size_t pick = static_cast<std::size_t>(
                   std::strtoull(util::to_string(resp->body).c_str(), nullptr, 10));
               if (pick >= cfg.proxy_hosts.size()) {
-                TRACE_SPAN_END_ARGS(rec, rendezvous,
-                                    {{"error", "bad proxy id"}});
+                layer::fail_handshake_rtt(rec, rtt1, "bad proxy id");
+                layer::fail_carrier_setup(rec, rendezvous, "bad proxy id");
                 if (on_error) on_error("snowflake: bad proxy id");
                 return;
               }
-              TRACE_SPAN_END(rec, rendezvous);
-              trace::SpanId pconn = TRACE_SPAN_BEGIN_ARGS(
-                  rec, trace::kPt, "proxy_connect", 0,
-                  {{"transport", "snowflake"},
-                   {"proxy", std::to_string(pick)}});
+              layer::end_handshake_rtt(rec, rtt1, acct);
+              layer::end_carrier_setup(rec, rendezvous);
+              trace::SpanId pconn = layer::begin_carrier_setup(
+                  rec, "snowflake", layer::CarrierKind::kWebRtcBroker, "ice");
               // Step 2: WebRTC to the volunteer proxy (ICE adds a
               // relayed-path detour).
               net::ConnectOptions ice;
               ice.extra_one_way = sim::from_millis(15);
               net->connect(
                   cfg.client_host, cfg.proxy_hosts[pick], "snowflake",
-                  [net, entry, on_open, pconn](net::Pipe proxy_pipe) {
+                  [net, acct, entry, on_open, pconn](net::Pipe proxy_pipe) {
                     auto proxy = net::wrap_pipe(std::move(proxy_pipe));
                     net::ChannelPtr proxy_copy = proxy;
-                    proxy->set_receiver([net, entry, on_open, pconn,
-                                         proxy_copy](util::Bytes answer) {
+                    trace::SpanId rtt2 = layer::begin_handshake_rtt(
+                        net->loop().recorder(), "snowflake", 2);
+                    proxy->set_receiver([net, acct, entry, on_open, pconn,
+                                         rtt2, proxy_copy](util::Bytes answer) {
                       trace::Recorder* rec = net->loop().recorder();
                       if (util::to_string(answer) != "sdp-answer") {
-                        TRACE_SPAN_END_ARGS(rec, pconn,
-                                            {{"error", "bad sdp answer"}});
+                        layer::fail_handshake_rtt(rec, rtt2, "bad sdp answer");
+                        layer::fail_carrier_setup(rec, pconn,
+                                                  "bad sdp answer");
                         proxy_copy->close();
                         return;
                       }
-                      TRACE_SPAN_END(rec, pconn);
-                      send_preamble(proxy_copy, entry);
-                      on_open(proxy_copy);
+                      layer::end_handshake_rtt(rec, rtt2, acct);
+                      layer::end_carrier_setup(rec, pconn);
+                      net::ChannelPtr tunnel =
+                          layer::meter_payload(proxy_copy, acct);
+                      send_preamble(tunnel, entry);
+                      on_open(tunnel);
                     });
-                    proxy_copy->send(util::to_bytes("sdp-offer"));
+                    proxy_copy->send(layer::count_handshake(
+                        acct, util::to_bytes("sdp-offer")));
                   },
                   [net, on_error, pconn](std::string err) {
-                    TRACE_SPAN_END_ARGS(net->loop().recorder(), pconn,
-                                        {{"error", err}});
+                    layer::fail_carrier_setup(net->loop().recorder(), pconn,
+                                              err);
                     if (on_error) on_error("snowflake proxy: " + err);
                   },
                   ice);
@@ -199,12 +226,12 @@ tor::TorClient::FirstHopConnector SnowflakeTransport::connector() {
             req.method = "POST";
             req.target = "/client";
             req.host = "front.cdn.example";
-            broker_copy->send(net::http::encode_request(req));
+            broker_copy->send(layer::count_handshake(
+                acct, net::http::encode_request(req)));
           });
         },
         [net, on_error, rendezvous](std::string err) {
-          TRACE_SPAN_END_ARGS(net->loop().recorder(), rendezvous,
-                              {{"error", err}});
+          layer::fail_carrier_setup(net->loop().recorder(), rendezvous, err);
           if (on_error) on_error("snowflake broker: " + err);
         },
         fronted);

@@ -53,6 +53,8 @@ class SnowflakeTransport final : public Transport {
     *tunnel_lifetime_mean_s_ = seconds;
   }
 
+  const layer::LayerStack* layer_stack() const override { return &stack_; }
+
  private:
   void start_broker();
   void start_proxies();
@@ -67,6 +69,7 @@ class SnowflakeTransport final : public Transport {
   SnowflakeConfig config_;
   bool overloaded_ = false;
   TransportInfo info_;
+  layer::LayerStack stack_;
   // Shared with server lambdas so set_overloaded takes effect live.
   std::shared_ptr<double> match_mean_s_;
   std::shared_ptr<double> tunnel_lifetime_mean_s_;

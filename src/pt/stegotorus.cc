@@ -1,5 +1,7 @@
 #include "pt/stegotorus.h"
 
+#include "pt/layer/handshake.h"
+
 namespace ptperf::pt {
 namespace {
 
@@ -62,6 +64,7 @@ void ChopperChannel::add_connection(net::ChannelPtr conn) {
 
 void ChopperChannel::send(util::Bytes payload) {
   if (closed_) return;
+  if (config_.accounting) meter_.push(payload.size());
   util::Bytes framed = util::frame_message(payload);
   outbox_.insert(outbox_.end(), framed.begin(), framed.end());
   flush();
@@ -76,6 +79,10 @@ void ChopperChannel::flush() {
     util::BytesView payload(outbox_.data(), n);
     util::Bytes wire = encode_block(send_seq_++, payload,
                                     config_.cover_overhead);
+    if (config_.accounting) {
+      layer::FramedStreamMeter::Cut cut = meter_.consume(n);
+      config_.accounting->on_frame(wire.size(), cut.payload);
+    }
     conns_[next_conn_]->send(std::move(wire));
     next_conn_ = (next_conn_ + 1) % conns_.size();
     outbox_.erase(outbox_.begin(), outbox_.begin() + static_cast<long>(n));
@@ -126,6 +133,16 @@ StegotorusTransport::StegotorusTransport(net::Network& net,
                         HopSet::kSet2SeparateProxy,
                         /*separable_from_tor=*/false,
                         /*supports_parallel_streams=*/true};
+  stack_ = layer::LayerStack(layer::StackSpec{
+      "stegotorus",
+      {{layer::LayerKind::kHandshake, "steg-hello",
+        std::to_string(config_.connections) + " parallel connections"},
+       {layer::LayerKind::kFraming, "chopper-block",
+        "blocks " + std::to_string(config_.min_block) + ".." +
+            std::to_string(config_.max_block) + " B, cover " +
+            std::to_string(config_.cover_overhead) + " B"},
+       {layer::LayerKind::kCarrier, "raw", "http steg cover"}}});
+  config_.accounting = stack_.accounting();
   start_server();
 }
 
@@ -181,11 +198,12 @@ tor::TorClient::FirstHopConnector StegotorusTransport::connector() {
     for (int i = 0; i < cfg.connections; ++i) {
       net->connect(
           cfg.client_host, cfg.server_host, "steg",
-          [chopper, session, remaining, failed, entry,
+          [cfg, chopper, session, remaining, failed, entry,
            on_open](net::Pipe pipe) {
             if (*failed) return;
             auto conn = net::wrap_pipe(std::move(pipe));
-            conn->send(encode_hello(session));
+            conn->send(layer::count_handshake(cfg.accounting,
+                                              encode_hello(session)));
             chopper->add_connection(conn);
             if (--*remaining == 0) {
               send_preamble(chopper, entry);

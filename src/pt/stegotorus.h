@@ -21,6 +21,8 @@ struct StegotorusConfig {
   std::size_t max_block = 4096;
   /// HTTP steg cover bytes per block (headers + encoding slack).
   std::size_t cover_overhead = 220;
+  /// Per-layer overhead ledger shared by both chopper endpoints.
+  layer::AccountingPtr accounting;
 };
 
 /// Chops a message stream into sequence-numbered blocks spread over
@@ -48,6 +50,7 @@ class ChopperChannel final : public net::Channel,
 
   sim::Rng rng_;
   StegotorusConfig config_;
+  layer::FramedStreamMeter meter_;
   std::vector<net::ChannelPtr> conns_;
   std::size_t next_conn_ = 0;
   std::uint64_t send_seq_ = 0;
@@ -67,6 +70,7 @@ class StegotorusTransport final : public Transport {
 
   const TransportInfo& info() const override { return info_; }
   tor::TorClient::FirstHopConnector connector() override;
+  const layer::LayerStack* layer_stack() const override { return &stack_; }
 
  private:
   void start_server();
@@ -76,6 +80,7 @@ class StegotorusTransport final : public Transport {
   sim::Rng rng_;
   StegotorusConfig config_;
   TransportInfo info_;
+  layer::LayerStack stack_;
 };
 
 }  // namespace ptperf::pt

@@ -1,11 +1,17 @@
 #include "pt/tls_family.h"
 
 #include "crypto/hmac.h"
-#include "fault/fault_injector.h"
 #include "net/http.h"
 #include "net/tls.h"
+#include "pt/layer/carrier.h"
+#include "pt/layer/handshake.h"
 
 namespace ptperf::pt {
+
+// For all three transports the accounting boundary is the TLS plaintext
+// channel: TLS record framing and the TLS handshake itself belong to the
+// carrier infrastructure below the stack, so framing/carrier bytes stay
+// zero and everything above splits into handshake vs payload.
 
 // -------------------------------------------------------------- webtunnel
 
@@ -18,6 +24,10 @@ WebTunnelTransport::WebTunnelTransport(net::Network& net,
                         HopSet::kSet1BridgeIsGuard,
                         /*separable_from_tor=*/false,
                         /*supports_parallel_streams=*/true};
+  stack_ = layer::LayerStack(layer::StackSpec{
+      "webtunnel",
+      {{layer::LayerKind::kHandshake, "http-upgrade", "1 rtt inside tls"},
+       {layer::LayerKind::kCarrier, "tls", config_.front_domain}}});
   start_server();
 }
 
@@ -26,17 +36,18 @@ void WebTunnelTransport::start_server() {
   auto* net = net_;
   const tor::Consensus* consensus = consensus_;
   auto server_rng = std::make_shared<sim::Rng>(rng_.fork("wt-server"));
+  layer::AccountingPtr acct = stack_.accounting();
 
-  net_->listen(server_host, "https", [net, consensus, server_host,
-                                      server_rng](net::Pipe pipe) {
+  net_->listen(server_host, "https", [net, consensus, server_host, server_rng,
+                                      acct](net::Pipe pipe) {
     net::tls_accept(
         std::move(pipe), *server_rng,
-        [net, consensus, server_host](net::TlsSession session,
-                                      const net::ClientHello&) {
+        [net, consensus, server_host, acct](net::TlsSession session,
+                                            const net::ClientHello&) {
           auto ch = net::wrap_tls(std::move(session));
           // First message must be the HTTP Upgrade request.
           net::ChannelPtr ch_copy = ch;
-          ch->set_receiver([net, consensus, server_host,
+          ch->set_receiver([net, consensus, server_host, acct,
                             ch_copy](util::Bytes msg) {
             auto req = net::http::decode_request(msg);
             if (!req || req->headers.count("upgrade") == 0) {
@@ -46,15 +57,14 @@ void WebTunnelTransport::start_server() {
             net::http::Response resp;
             resp.status = 101;
             resp.reason = "Switching Protocols";
-            ch_copy->send(net::http::encode_response(resp));
-            serve_upstream(*net, server_host, ch_copy,
+            ch_copy->send(layer::count_handshake(
+                acct, net::http::encode_response(resp)));
+            serve_upstream(*net, server_host,
+                           layer::meter_payload(ch_copy, acct),
                            tor_upstream(*consensus));
           });
         },
-        [net](const net::ClientHello&) {
-          fault::FaultInjector* f = net->fault_injector();
-          return !(f && f->fire(fault::FaultKind::kTlsHandshakeReject));
-        });
+        layer::tls_reject_gate(*net));
   });
 }
 
@@ -63,28 +73,39 @@ tor::TorClient::FirstHopConnector WebTunnelTransport::connector() {
   WebTunnelConfig cfg = config_;
   net::HostId server_host = consensus_->at(config_.bridge).host;
   auto rng = std::make_shared<sim::Rng>(rng_.fork("wt-client"));
+  layer::AccountingPtr acct = stack_.accounting();
 
-  return [net, cfg, rng, server_host](
+  return [net, cfg, rng, server_host, acct](
              tor::RelayIndex, std::function<void(net::ChannelPtr)> on_open,
              std::function<void(std::string)> on_error) {
+    trace::SpanId setup = layer::begin_carrier_setup(
+        net->loop().recorder(), "webtunnel", layer::CarrierKind::kTls, "tls");
     net->connect(
         cfg.client_host, server_host, "https",
-        [cfg, rng, on_open, on_error](net::Pipe pipe) {
+        [net, cfg, rng, acct, setup, on_open, on_error](net::Pipe pipe) {
           net::ClientHelloParams hello;
           hello.sni = cfg.front_domain;
           net::tls_connect(
               std::move(pipe), hello, *rng,
-              [cfg, on_open](net::TlsSession session) {
+              [net, cfg, acct, setup, on_open](net::TlsSession session) {
+                layer::end_carrier_setup(net->loop().recorder(), setup);
                 auto ch = net::wrap_tls(std::move(session));
                 net::ChannelPtr ch_copy = ch;
-                ch->set_receiver([cfg, on_open, ch_copy](util::Bytes msg) {
+                trace::SpanId rtt = layer::begin_handshake_rtt(
+                    net->loop().recorder(), "webtunnel", 1);
+                ch->set_receiver([net, cfg, acct, rtt, on_open,
+                                  ch_copy](util::Bytes msg) {
                   auto resp = net::http::decode_response(msg);
                   if (!resp || resp->status != 101) {
+                    layer::fail_handshake_rtt(net->loop().recorder(), rtt,
+                                              "upgrade refused");
                     ch_copy->close();
                     return;
                   }
-                  send_preamble(ch_copy, cfg.bridge);
-                  on_open(ch_copy);
+                  layer::end_handshake_rtt(net->loop().recorder(), rtt, acct);
+                  net::ChannelPtr tunnel = layer::meter_payload(ch_copy, acct);
+                  send_preamble(tunnel, cfg.bridge);
+                  on_open(tunnel);
                 });
                 net::http::Request upgrade;
                 upgrade.method = "GET";
@@ -92,13 +113,16 @@ tor::TorClient::FirstHopConnector WebTunnelTransport::connector() {
                 upgrade.host = cfg.front_domain;
                 upgrade.headers["upgrade"] = "websocket";
                 upgrade.headers["connection"] = "Upgrade";
-                ch_copy->send(net::http::encode_request(upgrade));
+                ch_copy->send(layer::count_handshake(
+                    acct, net::http::encode_request(upgrade)));
               },
-              [on_error](std::string err) {
+              [net, setup, on_error](std::string err) {
+                layer::fail_carrier_setup(net->loop().recorder(), setup, err);
                 if (on_error) on_error("webtunnel: " + err);
               });
         },
-        [on_error](std::string err) {
+        [net, setup, on_error](std::string err) {
+          layer::fail_carrier_setup(net->loop().recorder(), setup, err);
           if (on_error) on_error("webtunnel: " + err);
         });
   };
@@ -114,6 +138,11 @@ CloakTransport::CloakTransport(net::Network& net,
   info_ = TransportInfo{"cloak", Category::kMimicry, HopSet::kSet3TorAtServer,
                         /*separable_from_tor=*/true,
                         /*supports_parallel_streams=*/true};
+  stack_ = layer::LayerStack(layer::StackSpec{
+      "cloak",
+      {{layer::LayerKind::kHandshake, "stego-ticket",
+        "0 rtt, hmac in session ticket"},
+       {layer::LayerKind::kCarrier, "tls", config_.decoy_domain}}});
   psk_ = rng_.fork("cloak-psk").bytes(32);
   start_server();
 }
@@ -130,26 +159,24 @@ void CloakTransport::start_server() {
   std::string socks_service = config_.socks_service;
   util::Bytes psk = psk_;
   auto server_rng = std::make_shared<sim::Rng>(rng_.fork("cloak-server"));
+  layer::AccountingPtr acct = stack_.accounting();
 
   net_->listen(server_host, "https", [net, server_host, socks_service, psk,
-                                      server_rng](net::Pipe pipe) {
+                                      server_rng, acct](net::Pipe pipe) {
     net::tls_accept(
         std::move(pipe), *server_rng,
-        [net, server_host, socks_service](net::TlsSession session,
-                                          const net::ClientHello&) {
+        [net, server_host, socks_service, acct](net::TlsSession session,
+                                                const net::ClientHello&) {
           auto ch = net::wrap_tls(std::move(session));
-          serve_upstream(*net, server_host, ch,
+          serve_upstream(*net, server_host, layer::meter_payload(ch, acct),
                          fixed_upstream(server_host, socks_service));
         },
-        [net, psk](const net::ClientHello& hello) {
-          fault::FaultInjector* f = net->fault_injector();
-          if (f && f->fire(fault::FaultKind::kTlsHandshakeReject))
-            return false;
+        layer::tls_reject_gate(*net, [psk](const net::ClientHello& hello) {
           // Steganographic validation: reject anything whose ticket does
           // not authenticate (a probing censor gets a plain TLS rejection).
           util::Bytes expect = crypto::hmac_sha256(psk, hello.random);
           return util::ct_equal(expect, hello.session_ticket);
-        });
+        }));
   });
 }
 
@@ -158,28 +185,35 @@ void CloakTransport::open_socks_tunnel(
     std::function<void(std::string)> err) {
   auto rng = std::make_shared<sim::Rng>(rng_.fork("cloak-client"));
   CloakConfig cfg = config_;
-  util::Bytes psk = psk_;
+  auto* net = net_;
   auto* self = this;
+  layer::AccountingPtr acct = stack_.accounting();
 
+  trace::SpanId setup = layer::begin_carrier_setup(
+      net->loop().recorder(), "cloak", layer::CarrierKind::kTls, "tls");
   net_->connect(
       cfg.client_host, cfg.server_host, "https",
-      [self, cfg, rng, ok, err](net::Pipe pipe) {
+      [net, self, cfg, rng, acct, setup, ok, err](net::Pipe pipe) {
         net::ClientHelloParams hello;
         hello.sni = cfg.decoy_domain;
         hello.random = rng->bytes(32);
         hello.session_ticket = self->make_ticket(*hello.random);
         net::tls_connect(
             std::move(pipe), hello, *rng,
-            [ok](net::TlsSession session) {
-              auto ch = net::wrap_tls(std::move(session));
+            [net, acct, setup, ok](net::TlsSession session) {
+              layer::end_carrier_setup(net->loop().recorder(), setup);
+              auto ch = layer::meter_payload(
+                  net::wrap_tls(std::move(session)), acct);
               send_preamble(ch, 0);  // set 3: preamble is ignored
               ok(ch);
             },
-            [err](std::string e) {
+            [net, setup, err](std::string e) {
+              layer::fail_carrier_setup(net->loop().recorder(), setup, e);
               if (err) err("cloak: " + e);
             });
       },
-      [err](std::string e) {
+      [net, setup, err](std::string e) {
+        layer::fail_carrier_setup(net->loop().recorder(), setup, e);
         if (err) err("cloak: " + e);
       });
 }
@@ -205,6 +239,11 @@ ConjureTransport::ConjureTransport(net::Network& net,
                         HopSet::kSet1BridgeIsGuard,
                         /*separable_from_tor=*/false,
                         /*supports_parallel_streams=*/true};
+  stack_ = layer::LayerStack(layer::StackSpec{
+      "conjure",
+      {{layer::LayerKind::kHandshake, "decoy-registration",
+        "1 rtt + station bookkeeping"},
+       {layer::LayerKind::kCarrier, "tls", "phantom address"}}});
   start_server();
 }
 
@@ -213,15 +252,18 @@ void ConjureTransport::start_server() {
   auto* net = net_;
   const tor::Consensus* consensus = consensus_;
   sim::Duration reg_delay = config_.registration_delay;
+  layer::AccountingPtr acct = stack_.accounting();
 
   // Registration endpoint: the station notes the client and answers after
   // its bookkeeping delay (BPF table updates across the ISP's taps).
-  net_->listen(station_host, "registrar", [net, reg_delay](net::Pipe pipe) {
+  net_->listen(station_host, "registrar", [net, reg_delay,
+                                           acct](net::Pipe pipe) {
     auto ch = net::wrap_pipe(std::move(pipe));
     net::ChannelPtr ch_copy = ch;
-    ch->set_receiver([net, reg_delay, ch_copy](util::Bytes) {
-      net->loop().schedule(reg_delay, [ch_copy] {
-        ch_copy->send(util::to_bytes("registered"));
+    ch->set_receiver([net, reg_delay, acct, ch_copy](util::Bytes) {
+      net->loop().schedule(reg_delay, [acct, ch_copy] {
+        ch_copy->send(
+            layer::count_handshake(acct, util::to_bytes("registered")));
       });
     });
   });
@@ -230,19 +272,16 @@ void ConjureTransport::start_server() {
   // spliced into the co-hosted bridge.
   auto server_rng = std::make_shared<sim::Rng>(rng_.fork("conjure-station"));
   net_->listen(station_host, "phantom", [net, consensus, station_host,
-                                         server_rng](net::Pipe pipe) {
+                                         server_rng, acct](net::Pipe pipe) {
     net::tls_accept(std::move(pipe), *server_rng,
-                    [net, consensus, station_host](net::TlsSession session,
-                                                   const net::ClientHello&) {
+                    [net, consensus, station_host,
+                     acct](net::TlsSession session, const net::ClientHello&) {
                       auto ch = net::wrap_tls(std::move(session));
-                      serve_upstream(*net, station_host, ch,
+                      serve_upstream(*net, station_host,
+                                     layer::meter_payload(ch, acct),
                                      tor_upstream(*consensus));
                     },
-                    [net](const net::ClientHello&) {
-                      fault::FaultInjector* f = net->fault_injector();
-                      return !(f && f->fire(
-                                        fault::FaultKind::kTlsHandshakeReject));
-                    });
+                    layer::tls_reject_gate(*net));
   });
 }
 
@@ -251,43 +290,66 @@ tor::TorClient::FirstHopConnector ConjureTransport::connector() {
   ConjureConfig cfg = config_;
   net::HostId station_host = consensus_->at(config_.bridge).host;
   auto rng = std::make_shared<sim::Rng>(rng_.fork("conjure-client"));
+  layer::AccountingPtr acct = stack_.accounting();
 
-  return [net, cfg, rng, station_host](
+  return [net, cfg, rng, station_host, acct](
              tor::RelayIndex, std::function<void(net::ChannelPtr)> on_open,
              std::function<void(std::string)> on_error) {
     // Step 1: registration.
+    trace::SpanId reg_span = layer::begin_carrier_setup(
+        net->loop().recorder(), "conjure", layer::CarrierKind::kTls,
+        "registration");
     net->connect(
         cfg.client_host, station_host, "registrar",
-        [net, cfg, rng, station_host, on_open, on_error](net::Pipe reg_pipe) {
+        [net, cfg, rng, station_host, acct, reg_span, on_open,
+         on_error](net::Pipe reg_pipe) {
           auto reg = net::wrap_pipe(std::move(reg_pipe));
           net::ChannelPtr reg_copy = reg;
-          reg->set_receiver([net, cfg, rng, station_host, on_open, on_error,
-                             reg_copy](util::Bytes) {
+          trace::SpanId rtt = layer::begin_handshake_rtt(
+              net->loop().recorder(), "conjure", 1);
+          reg->set_receiver([net, cfg, rng, station_host, acct, reg_span, rtt,
+                             on_open, on_error, reg_copy](util::Bytes) {
+            layer::end_handshake_rtt(net->loop().recorder(), rtt, acct);
+            layer::end_carrier_setup(net->loop().recorder(), reg_span);
             reg_copy->close();
             // Step 2: dial the phantom address.
+            trace::SpanId tls_span = layer::begin_carrier_setup(
+                net->loop().recorder(), "conjure", layer::CarrierKind::kTls,
+                "phantom-tls");
             net->connect(
                 cfg.client_host, station_host, "phantom",
-                [cfg, rng, on_open, on_error](net::Pipe pipe) {
+                [net, cfg, rng, acct, tls_span, on_open,
+                 on_error](net::Pipe pipe) {
                   net::ClientHelloParams hello;
                   hello.sni = "phantom-host.example";
-                  net::tls_connect(std::move(pipe), hello, *rng,
-                                   [cfg, on_open](net::TlsSession session) {
-                                     auto ch = net::wrap_tls(std::move(session));
-                                     send_preamble(ch, cfg.bridge);
-                                     on_open(ch);
-                                   },
-                                   [on_error](std::string err) {
-                                     if (on_error)
-                                       on_error("conjure phantom: " + err);
-                                   });
+                  net::tls_connect(
+                      std::move(pipe), hello, *rng,
+                      [net, cfg, acct, tls_span,
+                       on_open](net::TlsSession session) {
+                        layer::end_carrier_setup(net->loop().recorder(),
+                                                 tls_span);
+                        auto ch = layer::meter_payload(
+                            net::wrap_tls(std::move(session)), acct);
+                        send_preamble(ch, cfg.bridge);
+                        on_open(ch);
+                      },
+                      [net, tls_span, on_error](std::string err) {
+                        layer::fail_carrier_setup(net->loop().recorder(),
+                                                  tls_span, err);
+                        if (on_error) on_error("conjure phantom: " + err);
+                      });
                 },
-                [on_error](std::string err) {
+                [net, tls_span, on_error](std::string err) {
+                  layer::fail_carrier_setup(net->loop().recorder(), tls_span,
+                                            err);
                   if (on_error) on_error("conjure phantom: " + err);
                 });
           });
-          reg_copy->send(util::to_bytes("register-me"));
+          reg_copy->send(
+              layer::count_handshake(acct, util::to_bytes("register-me")));
         },
-        [on_error](std::string err) {
+        [net, reg_span, on_error](std::string err) {
+          layer::fail_carrier_setup(net->loop().recorder(), reg_span, err);
           if (on_error) on_error("conjure registrar: " + err);
         });
   };

@@ -32,6 +32,7 @@ class WebTunnelTransport final : public Transport {
   std::optional<tor::RelayIndex> fixed_entry() const override {
     return config_.bridge;
   }
+  const layer::LayerStack* layer_stack() const override { return &stack_; }
 
  private:
   void start_server();
@@ -41,6 +42,7 @@ class WebTunnelTransport final : public Transport {
   sim::Rng rng_;
   WebTunnelConfig config_;
   TransportInfo info_;
+  layer::LayerStack stack_;
 };
 
 struct CloakConfig {
@@ -60,6 +62,7 @@ class CloakTransport final : public Transport {
   tor::TorClient::FirstHopConnector connector() override;
   void open_socks_tunnel(std::function<void(net::ChannelPtr)> ok,
                          std::function<void(std::string)> err) override;
+  const layer::LayerStack* layer_stack() const override { return &stack_; }
 
  private:
   void start_server();
@@ -71,6 +74,7 @@ class CloakTransport final : public Transport {
   CloakConfig config_;
   util::Bytes psk_;
   TransportInfo info_;
+  layer::LayerStack stack_;
 };
 
 struct ConjureConfig {
@@ -90,6 +94,7 @@ class ConjureTransport final : public Transport {
   std::optional<tor::RelayIndex> fixed_entry() const override {
     return config_.bridge;
   }
+  const layer::LayerStack* layer_stack() const override { return &stack_; }
 
  private:
   void start_server();
@@ -99,6 +104,7 @@ class ConjureTransport final : public Transport {
   sim::Rng rng_;
   ConjureConfig config_;
   TransportInfo info_;
+  layer::LayerStack stack_;
 };
 
 }  // namespace ptperf::pt

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "net/channel.h"
+#include "pt/layer/stack.h"
 #include "tor/client.h"
 
 namespace ptperf::pt {
@@ -64,6 +65,12 @@ class Transport {
                                  std::function<void(std::string)> err) {
     if (err) err(info().name + ": not a set-3 transport");
   }
+
+  /// The transport's declared layer composition plus its live per-layer
+  /// byte/RTT ledger (see pt/layer/). Every transport in src/pt/ declares
+  /// one; the default exists only for out-of-tree Transport stubs
+  /// (examples, tests).
+  virtual const layer::LayerStack* layer_stack() const { return nullptr; }
 };
 
 }  // namespace ptperf::pt

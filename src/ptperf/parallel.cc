@@ -249,6 +249,83 @@ std::vector<FileSample> ShardedCampaign::run_file_downloads(
       });
 }
 
+std::vector<OverheadSample> ShardedCampaign::run_overhead(
+    const std::vector<PtId>& pts, const SiteSelection& sites) {
+  std::vector<std::optional<PtId>> plan_pts;
+  plan_pts.reserve(pts.size());
+  for (PtId id : pts) plan_pts.emplace_back(id);
+  ShardPlan plan = ShardPlan::build(cfg_.scenario.seed, plan_pts,
+                                    sites.count(), cfg_.items_per_shard);
+  return run_plan<OverheadSample>(
+      plan, [this, &sites](const ShardSpec& spec, Scenario& scenario,
+                           Campaign&, PtStack& stack) {
+        std::vector<OverheadSample> out;
+        // The vanilla baseline lives in the shard's own world so both
+        // stacks see identical relays, sites, and load.
+        TransportFactory vanilla_factory(scenario, cfg_.factory);
+        PtStack tor = vanilla_factory.create_vanilla();
+        sim::EventLoop& loop = scenario.loop();
+        tor::PathSelector sampler(scenario.consensus(),
+                                  scenario.fork_rng("fig9-sampler"));
+
+        auto fetch_once = [&loop](PtStack& s, const std::string& host) {
+          double t = -1;
+          bool done = false;
+          s.fetcher->fetch(host, "/", sim::from_seconds(120),
+                           [&](workload::FetchResult r) {
+                             if (r.success) t = r.elapsed();
+                             done = true;
+                           });
+          loop.run_until_done([&] { return done; });
+          return t;
+        };
+
+        const pt::layer::LayerStack* layers = stack.transport->layer_stack();
+        const pt::layer::StackAccounting* acct =
+            layers ? layers->accounting().get() : nullptr;
+
+        for (const workload::Website* site :
+             shard_sites(spec, scenario, sites)) {
+          // Same circuit for Tor and the PT at this site: identical first
+          // hop (the PT's bridge when it has one, else a sampled guard)
+          // and the same middle/exit pair.
+          tor::Path p = sampler.select({});
+          tor::PathConstraints constraints;
+          constraints.entry = stack.transport->fixed_entry()
+                                  ? stack.transport->fixed_entry()
+                                  : std::optional<tor::RelayIndex>(p.entry);
+          constraints.middle = p.middle;
+          constraints.exit = p.exit;
+          tor.pool->set_constraints(constraints);
+          if (stack.pool) stack.pool->set_constraints(constraints);
+
+          // Snapshot before the PT warms so the delta covers the site's
+          // full PT share: transport connect, circuit build, and fetch.
+          pt::layer::StackAccounting before;
+          if (acct) before = *acct;
+
+          tor.pool->warm(loop);
+          if (stack.pool) stack.pool->warm(loop);
+
+          OverheadSample s;
+          s.pt = stack.name();
+          s.site = site->hostname;
+          s.tor_s = fetch_once(tor, site->hostname);
+          s.pt_s = fetch_once(stack, site->hostname);
+          if (acct) {
+            s.payload_bytes = acct->payload_bytes - before.payload_bytes;
+            s.handshake_bytes = acct->handshake_bytes - before.handshake_bytes;
+            s.framing_bytes = acct->framing_bytes - before.framing_bytes;
+            s.carrier_bytes = acct->carrier_bytes - before.carrier_bytes;
+            s.wire_bytes = acct->wire_bytes - before.wire_bytes;
+            s.handshake_rtts = acct->handshake_rtts - before.handshake_rtts;
+          }
+          out.push_back(std::move(s));
+        }
+        return out;
+      });
+}
+
 std::vector<ReliabilitySample> ShardedCampaign::run_reliability(
     const std::vector<std::optional<PtId>>& pts,
     const std::vector<std::size_t>& sizes, RetryPolicy retry) {

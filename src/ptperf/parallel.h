@@ -132,6 +132,29 @@ struct SiteSelection {
   std::size_t count() const { return tranco + cbl; }
 };
 
+/// One paired fixed-circuit measurement (fig9 / §5.2): the same site
+/// fetched over vanilla Tor and over the PT on the same circuit in the
+/// same world, plus the PT's per-layer wire-byte deltas for its share of
+/// the work (transport connect, circuit build, fetch). The byte columns
+/// inherit the StackAccounting invariant — wire_bytes == payload_bytes +
+/// handshake_bytes + framing_bytes + carrier_bytes, exactly, per sample —
+/// so any aggregation of them sums exactly too.
+struct OverheadSample {
+  std::string pt;
+  std::string site;
+  double tor_s = -1;  // vanilla fetch seconds; < 0 = failed
+  double pt_s = -1;   // PT fetch seconds; < 0 = failed
+  std::int64_t payload_bytes = 0;
+  std::int64_t handshake_bytes = 0;
+  std::int64_t framing_bytes = 0;
+  std::int64_t carrier_bytes = 0;
+  std::int64_t wire_bytes = 0;
+  std::int64_t handshake_rtts = 0;
+
+  bool ok() const { return tor_s >= 0 && pt_s >= 0; }
+  double diff() const { return pt_s - tor_s; }
+};
+
 class ShardedCampaign {
  public:
   explicit ShardedCampaign(ShardedCampaignConfig cfg);
@@ -146,6 +169,13 @@ class ShardedCampaign {
   std::vector<ReliabilitySample> run_reliability(
       const std::vector<std::optional<PtId>>& pts,
       const std::vector<std::size_t>& sizes, RetryPolicy retry = {});
+  /// Fig-9 paired campaign: every shard's world stands up vanilla Tor AND
+  /// the shard's PT, pins both to the same fixed circuit per site, and
+  /// measures back-to-back fetches plus the PT's per-layer byte ledger
+  /// (`pts` lists PTs only — the vanilla baseline is built inside each
+  /// shard, not as its own shard).
+  std::vector<OverheadSample> run_overhead(const std::vector<PtId>& pts,
+                                           const SiteSelection& sites);
 
   const ShardedCampaignConfig& config() const { return cfg_; }
 

@@ -12,29 +12,43 @@
 
 namespace ptperf {
 
+const std::array<TransportFactory::Registration, 12>&
+TransportFactory::registry() {
+  // Canonical evaluation order (the paper's Table 2 sweep order).
+  static const std::array<Registration, 12> table = {{
+      {PtId::kObfs4, "obfs4", &TransportFactory::build_obfs4},
+      {PtId::kMeek, "meek", &TransportFactory::build_meek},
+      {PtId::kSnowflake, "snowflake", &TransportFactory::build_snowflake},
+      {PtId::kConjure, "conjure", &TransportFactory::build_conjure},
+      {PtId::kPsiphon, "psiphon", &TransportFactory::build_psiphon},
+      {PtId::kDnstt, "dnstt", &TransportFactory::build_dnstt},
+      {PtId::kWebTunnel, "webtunnel", &TransportFactory::build_webtunnel},
+      {PtId::kCamoufler, "camoufler", &TransportFactory::build_camoufler},
+      {PtId::kCloak, "cloak", &TransportFactory::build_cloak},
+      {PtId::kStegotorus, "stegotorus", &TransportFactory::build_stegotorus},
+      {PtId::kMarionette, "marionette", &TransportFactory::build_marionette},
+      {PtId::kShadowsocks, "shadowsocks",
+       &TransportFactory::build_shadowsocks},
+  }};
+  return table;
+}
+
+const TransportFactory::Registration& TransportFactory::registration(PtId id) {
+  for (const Registration& r : registry()) {
+    if (r.id == id) return r;
+  }
+  throw std::invalid_argument("unknown PtId");
+}
+
 std::vector<PtId> all_pt_ids() {
-  return {PtId::kObfs4,     PtId::kMeek,       PtId::kSnowflake,
-          PtId::kConjure,   PtId::kPsiphon,    PtId::kDnstt,
-          PtId::kWebTunnel, PtId::kCamoufler,  PtId::kCloak,
-          PtId::kStegotorus, PtId::kMarionette, PtId::kShadowsocks};
+  std::vector<PtId> ids;
+  ids.reserve(TransportFactory::registry().size());
+  for (const auto& r : TransportFactory::registry()) ids.push_back(r.id);
+  return ids;
 }
 
 std::string_view pt_id_name(PtId id) {
-  switch (id) {
-    case PtId::kObfs4: return "obfs4";
-    case PtId::kMeek: return "meek";
-    case PtId::kSnowflake: return "snowflake";
-    case PtId::kConjure: return "conjure";
-    case PtId::kPsiphon: return "psiphon";
-    case PtId::kDnstt: return "dnstt";
-    case PtId::kWebTunnel: return "webtunnel";
-    case PtId::kCamoufler: return "camoufler";
-    case PtId::kCloak: return "cloak";
-    case PtId::kStegotorus: return "stegotorus";
-    case PtId::kMarionette: return "marionette";
-    case PtId::kShadowsocks: return "shadowsocks";
-  }
-  return "unknown";
+  return TransportFactory::registration(id).name;
 }
 
 // ------------------------------------------------------------ CircuitPool
@@ -168,149 +182,171 @@ PtStack TransportFactory::wrap_socks_tunnel_transport(
 }
 
 PtStack TransportFactory::create(PtId id) {
+  const Registration& reg = registration(id);
+  std::string tag = std::string(reg.name) + std::to_string(counter_++);
+  return (this->*reg.build)(tag);
+}
+
+// --------------------------------------------------- per-PT registry rows
+//
+// Each builder stands up one PT's infrastructure (bridges, fronts,
+// brokers, resolvers, proxy pools, IM relays) and wraps the transport —
+// whose layer composition is declared as a StackSpec in its constructor —
+// into a measurement-ready PtStack.
+
+PtStack TransportFactory::build_obfs4(const std::string& tag) {
+  Scenario& sc = *scenario_;
+  tor::RelayIndex bridge = sc.add_bridge(opts_.pt_server_region);
+  pt::Obfs4Config cfg;
+  cfg.client_host = sc.client_host();
+  cfg.bridge = bridge;
+  auto t = std::make_shared<pt::Obfs4Transport>(
+      sc.network(), sc.consensus(), sc.fork_rng(tag), cfg);
+  return wrap_first_hop_transport(t);
+}
+
+PtStack TransportFactory::build_webtunnel(const std::string& tag) {
+  Scenario& sc = *scenario_;
+  tor::RelayIndex bridge = sc.add_bridge(opts_.pt_server_region);
+  pt::WebTunnelConfig cfg;
+  cfg.client_host = sc.client_host();
+  cfg.bridge = bridge;
+  auto t = std::make_shared<pt::WebTunnelTransport>(
+      sc.network(), sc.consensus(), sc.fork_rng(tag), cfg);
+  return wrap_first_hop_transport(t);
+}
+
+PtStack TransportFactory::build_conjure(const std::string& tag) {
+  Scenario& sc = *scenario_;
+  // ISP station: slightly higher load than a managed bridge (shared
+  // refraction infrastructure).
+  tor::RelayIndex bridge = sc.add_bridge(opts_.pt_server_region, 0.18);
+  pt::ConjureConfig cfg;
+  cfg.client_host = sc.client_host();
+  cfg.bridge = bridge;
+  auto t = std::make_shared<pt::ConjureTransport>(
+      sc.network(), sc.consensus(), sc.fork_rng(tag), cfg);
+  return wrap_first_hop_transport(t);
+}
+
+PtStack TransportFactory::build_meek(const std::string& tag) {
+  Scenario& sc = *scenario_;
+  // The public meek bridge carries many users: moderate load.
+  tor::RelayIndex bridge = sc.add_bridge(net::Region::kUsEast, 0.35, 200);
+  pt::MeekConfig cfg;
+  cfg.client_host = sc.client_host();
+  cfg.bridge = bridge;
+  cfg.front_host =
+      sc.add_infra_host(tag + "-front", net::Region::kEuropeWest, 2000, 0.10);
+  auto t = std::make_shared<pt::MeekTransport>(sc.network(), sc.consensus(),
+                                               sc.fork_rng(tag), cfg);
+  return wrap_first_hop_transport(t);
+}
+
+PtStack TransportFactory::build_dnstt(const std::string& tag) {
+  Scenario& sc = *scenario_;
+  tor::RelayIndex bridge = sc.add_bridge(opts_.pt_server_region);
+  pt::DnsttConfig cfg;
+  cfg.client_host = sc.client_host();
+  cfg.bridge = bridge;
+  cfg.resolver_host =
+      sc.add_infra_host(tag + "-resolver", net::Region::kUsEast, 1000, 0.15);
+  auto t = std::make_shared<pt::DnsttTransport>(sc.network(), sc.consensus(),
+                                                sc.fork_rng(tag), cfg);
+  return wrap_first_hop_transport(t);
+}
+
+PtStack TransportFactory::build_snowflake(const std::string& tag) {
   Scenario& sc = *scenario_;
   net::Network& net = sc.network();
-  const tor::Consensus& consensus = sc.consensus();
-  std::string tag = std::string(pt_id_name(id)) + std::to_string(counter_++);
-
-  switch (id) {
-    case PtId::kObfs4: {
-      tor::RelayIndex bridge = sc.add_bridge(opts_.pt_server_region);
-      pt::Obfs4Config cfg;
-      cfg.client_host = sc.client_host();
-      cfg.bridge = bridge;
-      auto t = std::make_shared<pt::Obfs4Transport>(
-          net, consensus, sc.fork_rng(tag), cfg);
-      return wrap_first_hop_transport(t);
-    }
-    case PtId::kWebTunnel: {
-      tor::RelayIndex bridge = sc.add_bridge(opts_.pt_server_region);
-      pt::WebTunnelConfig cfg;
-      cfg.client_host = sc.client_host();
-      cfg.bridge = bridge;
-      auto t = std::make_shared<pt::WebTunnelTransport>(
-          net, consensus, sc.fork_rng(tag), cfg);
-      return wrap_first_hop_transport(t);
-    }
-    case PtId::kConjure: {
-      // ISP station: slightly higher load than a managed bridge (shared
-      // refraction infrastructure).
-      tor::RelayIndex bridge = sc.add_bridge(opts_.pt_server_region, 0.18);
-      pt::ConjureConfig cfg;
-      cfg.client_host = sc.client_host();
-      cfg.bridge = bridge;
-      auto t = std::make_shared<pt::ConjureTransport>(
-          net, consensus, sc.fork_rng(tag), cfg);
-      return wrap_first_hop_transport(t);
-    }
-    case PtId::kMeek: {
-      // The public meek bridge carries many users: moderate load.
-      tor::RelayIndex bridge = sc.add_bridge(net::Region::kUsEast, 0.35, 200);
-      pt::MeekConfig cfg;
-      cfg.client_host = sc.client_host();
-      cfg.bridge = bridge;
-      cfg.front_host =
-          sc.add_infra_host(tag + "-front", net::Region::kEuropeWest, 2000, 0.10);
-      auto t = std::make_shared<pt::MeekTransport>(net, consensus,
-                                                   sc.fork_rng(tag), cfg);
-      return wrap_first_hop_transport(t);
-    }
-    case PtId::kDnstt: {
-      tor::RelayIndex bridge = sc.add_bridge(opts_.pt_server_region);
-      pt::DnsttConfig cfg;
-      cfg.client_host = sc.client_host();
-      cfg.bridge = bridge;
-      cfg.resolver_host =
-          sc.add_infra_host(tag + "-resolver", net::Region::kUsEast, 1000, 0.15);
-      auto t = std::make_shared<pt::DnsttTransport>(net, consensus,
-                                                    sc.fork_rng(tag), cfg);
-      return wrap_first_hop_transport(t);
-    }
-    case PtId::kSnowflake: {
-      pt::SnowflakeConfig cfg;
-      cfg.client_host = sc.client_host();
-      cfg.broker_host =
-          sc.add_infra_host(tag + "-broker", net::Region::kUsEast, 1000, 0.15);
-      // Volunteer proxies: residential-grade links spread across regions.
-      const net::Region proxy_regions[] = {
-          net::Region::kEuropeWest, net::Region::kEuropeEast,
-          net::Region::kUsEast,     net::Region::kUsWest,
-          net::Region::kFrankfurt,  net::Region::kToronto};
-      for (std::size_t i = 0; i < opts_.snowflake_proxies; ++i) {
-        net::HostTraits traits;
-        traits.up_mbps = 40;
-        traits.down_mbps = 100;
-        traits.jitter_ms = 4.0;
-        cfg.proxy_hosts.push_back(net.add_host(
-            tag + "-proxy" + std::to_string(i),
-            proxy_regions[i % (sizeof(proxy_regions) / sizeof(proxy_regions[0]))],
-            traits));
-      }
-      auto t = std::make_shared<pt::SnowflakeTransport>(
-          net, consensus, sc.fork_rng(tag), cfg);
-      PtStack stack = wrap_first_hop_transport(t);
-      stack.snowflake = t.get();
-      return stack;
-    }
-    case PtId::kPsiphon: {
-      pt::PsiphonConfig cfg;
-      cfg.client_host = sc.client_host();
-      cfg.server_host =
-          sc.add_infra_host(tag + "-server", opts_.pt_server_region);
-      auto t = std::make_shared<pt::PsiphonTransport>(net, consensus,
-                                                      sc.fork_rng(tag), cfg);
-      return wrap_first_hop_transport(t);
-    }
-    case PtId::kShadowsocks: {
-      pt::ShadowsocksConfig cfg;
-      cfg.client_host = sc.client_host();
-      cfg.server_host =
-          sc.add_infra_host(tag + "-server", opts_.pt_server_region);
-      auto t = std::make_shared<pt::ShadowsocksTransport>(
-          net, consensus, sc.fork_rng(tag), cfg);
-      return wrap_first_hop_transport(t);
-    }
-    case PtId::kCamoufler: {
-      pt::CamouflerConfig cfg;
-      cfg.client_host = sc.client_host();
-      cfg.im_server_host =
-          sc.add_infra_host(tag + "-im", net::Region::kEuropeWest, 2000, 0.20);
-      cfg.peer_host = sc.add_infra_host(tag + "-peer", opts_.pt_server_region);
-      auto t = std::make_shared<pt::CamouflerTransport>(
-          net, consensus, sc.fork_rng(tag), cfg);
-      return wrap_first_hop_transport(t);
-    }
-    case PtId::kStegotorus: {
-      pt::StegotorusConfig cfg;
-      cfg.client_host = sc.client_host();
-      cfg.server_host =
-          sc.add_infra_host(tag + "-server", opts_.pt_server_region);
-      auto t = std::make_shared<pt::StegotorusTransport>(
-          net, consensus, sc.fork_rng(tag), cfg);
-      return wrap_first_hop_transport(t);
-    }
-    case PtId::kCloak: {
-      pt::CloakConfig cfg;
-      cfg.client_host = sc.client_host();
-      cfg.server_host =
-          sc.add_infra_host(tag + "-server", opts_.pt_server_region);
-      cfg.socks_service = tag + "-socks";
-      auto t = std::make_shared<pt::CloakTransport>(net, consensus,
-                                                    sc.fork_rng(tag), cfg);
-      return wrap_socks_tunnel_transport(t, cfg.server_host, cfg.socks_service);
-    }
-    case PtId::kMarionette: {
-      pt::MarionetteConfig cfg;
-      cfg.client_host = sc.client_host();
-      cfg.server_host =
-          sc.add_infra_host(tag + "-server", opts_.pt_server_region);
-      cfg.socks_service = tag + "-socks";
-      auto t = std::make_shared<pt::MarionetteTransport>(
-          net, consensus, sc.fork_rng(tag), cfg);
-      return wrap_socks_tunnel_transport(t, cfg.server_host, cfg.socks_service);
-    }
+  pt::SnowflakeConfig cfg;
+  cfg.client_host = sc.client_host();
+  cfg.broker_host =
+      sc.add_infra_host(tag + "-broker", net::Region::kUsEast, 1000, 0.15);
+  // Volunteer proxies: residential-grade links spread across regions.
+  const net::Region proxy_regions[] = {
+      net::Region::kEuropeWest, net::Region::kEuropeEast,
+      net::Region::kUsEast,     net::Region::kUsWest,
+      net::Region::kFrankfurt,  net::Region::kToronto};
+  for (std::size_t i = 0; i < opts_.snowflake_proxies; ++i) {
+    net::HostTraits traits;
+    traits.up_mbps = 40;
+    traits.down_mbps = 100;
+    traits.jitter_ms = 4.0;
+    cfg.proxy_hosts.push_back(net.add_host(
+        tag + "-proxy" + std::to_string(i),
+        proxy_regions[i % (sizeof(proxy_regions) / sizeof(proxy_regions[0]))],
+        traits));
   }
-  throw std::invalid_argument("unknown PtId");
+  auto t = std::make_shared<pt::SnowflakeTransport>(
+      net, sc.consensus(), sc.fork_rng(tag), cfg);
+  PtStack stack = wrap_first_hop_transport(t);
+  stack.snowflake = t.get();
+  return stack;
+}
+
+PtStack TransportFactory::build_psiphon(const std::string& tag) {
+  Scenario& sc = *scenario_;
+  pt::PsiphonConfig cfg;
+  cfg.client_host = sc.client_host();
+  cfg.server_host = sc.add_infra_host(tag + "-server", opts_.pt_server_region);
+  auto t = std::make_shared<pt::PsiphonTransport>(
+      sc.network(), sc.consensus(), sc.fork_rng(tag), cfg);
+  return wrap_first_hop_transport(t);
+}
+
+PtStack TransportFactory::build_shadowsocks(const std::string& tag) {
+  Scenario& sc = *scenario_;
+  pt::ShadowsocksConfig cfg;
+  cfg.client_host = sc.client_host();
+  cfg.server_host = sc.add_infra_host(tag + "-server", opts_.pt_server_region);
+  auto t = std::make_shared<pt::ShadowsocksTransport>(
+      sc.network(), sc.consensus(), sc.fork_rng(tag), cfg);
+  return wrap_first_hop_transport(t);
+}
+
+PtStack TransportFactory::build_camoufler(const std::string& tag) {
+  Scenario& sc = *scenario_;
+  pt::CamouflerConfig cfg;
+  cfg.client_host = sc.client_host();
+  cfg.im_server_host =
+      sc.add_infra_host(tag + "-im", net::Region::kEuropeWest, 2000, 0.20);
+  cfg.peer_host = sc.add_infra_host(tag + "-peer", opts_.pt_server_region);
+  auto t = std::make_shared<pt::CamouflerTransport>(
+      sc.network(), sc.consensus(), sc.fork_rng(tag), cfg);
+  return wrap_first_hop_transport(t);
+}
+
+PtStack TransportFactory::build_stegotorus(const std::string& tag) {
+  Scenario& sc = *scenario_;
+  pt::StegotorusConfig cfg;
+  cfg.client_host = sc.client_host();
+  cfg.server_host = sc.add_infra_host(tag + "-server", opts_.pt_server_region);
+  auto t = std::make_shared<pt::StegotorusTransport>(
+      sc.network(), sc.consensus(), sc.fork_rng(tag), cfg);
+  return wrap_first_hop_transport(t);
+}
+
+PtStack TransportFactory::build_cloak(const std::string& tag) {
+  Scenario& sc = *scenario_;
+  pt::CloakConfig cfg;
+  cfg.client_host = sc.client_host();
+  cfg.server_host = sc.add_infra_host(tag + "-server", opts_.pt_server_region);
+  cfg.socks_service = tag + "-socks";
+  auto t = std::make_shared<pt::CloakTransport>(sc.network(), sc.consensus(),
+                                                sc.fork_rng(tag), cfg);
+  return wrap_socks_tunnel_transport(t, cfg.server_host, cfg.socks_service);
+}
+
+PtStack TransportFactory::build_marionette(const std::string& tag) {
+  Scenario& sc = *scenario_;
+  pt::MarionetteConfig cfg;
+  cfg.client_host = sc.client_host();
+  cfg.server_host = sc.add_infra_host(tag + "-server", opts_.pt_server_region);
+  cfg.socks_service = tag + "-socks";
+  auto t = std::make_shared<pt::MarionetteTransport>(
+      sc.network(), sc.consensus(), sc.fork_rng(tag), cfg);
+  return wrap_socks_tunnel_transport(t, cfg.server_host, cfg.socks_service);
 }
 
 }  // namespace ptperf

@@ -5,6 +5,7 @@
 // the first hop, how the fetcher dials SOCKS).
 #pragma once
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -94,14 +95,43 @@ class TransportFactory {
   explicit TransportFactory(Scenario& scenario,
                             TransportFactoryOptions opts = {});
 
-  /// Creates the transport plus its client stack. Each call creates fresh
-  /// infrastructure (hosts, bridges); create each PT once per scenario.
+  /// Creates the transport plus its client stack by looking the id up in
+  /// the PtId-keyed registry. Each call creates fresh infrastructure
+  /// (hosts, bridges); create each PT once per scenario.
   PtStack create(PtId id);
 
   /// Vanilla Tor stack for baselines.
   PtStack create_vanilla();
 
  private:
+  /// One registry row: canonical name plus the builder that stands up the
+  /// PT's infrastructure and wraps it into a measurement-ready stack.
+  struct Registration {
+    PtId id;
+    const char* name;
+    PtStack (TransportFactory::*build)(const std::string& tag);
+  };
+
+  /// All 12 evaluated PTs in canonical evaluation order. This table is
+  /// the single source of truth for all_pt_ids() and pt_id_name().
+  static const std::array<Registration, 12>& registry();
+  static const Registration& registration(PtId id);
+  friend std::vector<PtId> all_pt_ids();
+  friend std::string_view pt_id_name(PtId id);
+
+  PtStack build_obfs4(const std::string& tag);
+  PtStack build_meek(const std::string& tag);
+  PtStack build_snowflake(const std::string& tag);
+  PtStack build_conjure(const std::string& tag);
+  PtStack build_psiphon(const std::string& tag);
+  PtStack build_dnstt(const std::string& tag);
+  PtStack build_webtunnel(const std::string& tag);
+  PtStack build_camoufler(const std::string& tag);
+  PtStack build_cloak(const std::string& tag);
+  PtStack build_stegotorus(const std::string& tag);
+  PtStack build_marionette(const std::string& tag);
+  PtStack build_shadowsocks(const std::string& tag);
+
   PtStack wrap_first_hop_transport(std::shared_ptr<pt::Transport> transport);
   PtStack wrap_socks_tunnel_transport(
       std::shared_ptr<pt::Transport> transport, net::HostId server_host,

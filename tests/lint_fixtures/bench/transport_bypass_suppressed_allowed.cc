@@ -1,0 +1,9 @@
+// Must be clean: a reasoned suppression covers the one sanctioned direct
+// construction (an ablation that sweeps a knob the registry builder fixes).
+// (Scanned, never compiled.)
+
+void ablation() {
+  // simlint: allow(transport-bypass) -- fixture: ablation sweeps a registry-fixed knob
+  auto* transport = new pt::DnsttTransport();
+  (void)transport;
+}

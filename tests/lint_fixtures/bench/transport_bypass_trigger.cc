@@ -1,0 +1,8 @@
+// Must trigger transport-bypass: direct *Transport construction in bench/
+// skips the PtId registry, so the stack has no declared LayerStack and no
+// per-layer overhead ledger. (Scanned, never compiled.)
+
+void build_stack() {
+  auto* transport = new pt::Obfs4Transport();
+  (void)transport;
+}

@@ -1,0 +1,11 @@
+// Must be clean: this fixture's path contains "src/ptperf/transports" — the
+// registry itself is the one sanctioned construction site for *Transport
+// subclasses (src/pt/ is likewise exempt as the implementation directory).
+// (Scanned, never compiled.)
+
+void registry_builder() {
+  auto* obfs4 = new pt::Obfs4Transport();
+  auto* snowflake = new pt::SnowflakeTransport();
+  (void)obfs4;
+  (void)snowflake;
+}

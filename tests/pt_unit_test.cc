@@ -4,10 +4,9 @@
 #include <gtest/gtest.h>
 
 #include "net/network.h"
-#include "pt/crypto_channel.h"
 #include "pt/inventory.h"
+#include "pt/layer/framing.h"
 #include "pt/marionette.h"
-#include "pt/segmenting_channel.h"
 #include "pt/stegotorus.h"
 #include "pt/transport.h"
 #include "pt/upstream.h"
@@ -15,6 +14,10 @@
 namespace ptperf::pt {
 namespace {
 
+using layer::CryptoChannel;
+using layer::CryptoChannelConfig;
+using layer::SegmentingChannel;
+using layer::SegmentPolicy;
 using util::Bytes;
 using util::to_bytes;
 using util::to_string;

@@ -94,6 +94,9 @@ TEST_F(SimlintCorpus, EveryRuleFiresOnItsTriggerFixture) {
   EXPECT_TRUE(has_finding(out, "src/net/raw_instrumentation_trigger.cc",
                           "raw-instrumentation"))
       << out;
+  EXPECT_TRUE(has_finding(out, "bench/transport_bypass_trigger.cc",
+                          "transport-bypass"))
+      << out;
   EXPECT_TRUE(has_finding(out, "no_pragma_once.h", "pragma-once")) << out;
   EXPECT_TRUE(has_finding(out, "using_namespace_trigger.h",
                           "using-namespace-header"))
@@ -113,6 +116,7 @@ TEST_F(SimlintCorpus, TriggerFixturesReportExpectedCounts) {
   EXPECT_EQ(count_findings(out, "pointer_key_trigger.cc"), 2) << out;
   // <iostream> include, std::cerr, std::printf, fprintf — snprintf is legal.
   EXPECT_EQ(count_findings(out, "raw_instrumentation_trigger.cc"), 4) << out;
+  EXPECT_EQ(count_findings(out, "transport_bypass_trigger.cc"), 1) << out;
 }
 
 TEST_F(SimlintCorpus, SuppressionFixturesAreSilent) {
@@ -158,8 +162,8 @@ TEST(Simlint, ListRulesNamesEveryRule) {
   EXPECT_EQ(run.exit_code, 0);
   for (const char* rule :
        {"banned-time", "banned-rng", "banned-thread", "hash-container",
-        "pointer-keyed-map", "unsafe-c", "raw-instrumentation", "pragma-once",
-        "using-namespace-header"}) {
+        "pointer-keyed-map", "unsafe-c", "raw-instrumentation",
+        "transport-bypass", "pragma-once", "using-namespace-header"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos) << rule;
   }
 }

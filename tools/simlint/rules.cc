@@ -271,6 +271,27 @@ void check_raw_instrumentation(const FileScan& scan,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: transport-bypass — a directly constructed *Transport skips the PtId
+// registry (src/ptperf/transports.cc), so the measured stack has no declared
+// LayerStack, no validated layer composition, and no per-layer overhead
+// ledger behind fig9. src/pt/ (the implementations themselves) and the
+// registry are the only construction sites; tests are out of scope.
+
+void check_transport_bypass(const FileScan& scan, std::vector<Finding>& out) {
+  if (!path_under(scan, {"src/", "bench/"})) return;
+  if (path_under(scan, {"src/pt/", "src/ptperf/transports"})) return;
+  ban_idents(scan, out, "transport-bypass",
+             {"Obfs4Transport", "MeekTransport", "SnowflakeTransport",
+              "ConjureTransport", "PsiphonTransport", "DnsttTransport",
+              "WebTunnelTransport", "CamouflerTransport", "CloakTransport",
+              "StegotorusTransport", "MarionetteTransport",
+              "ShadowsocksTransport", "MassbrowserTransport"},
+             "bypasses the PtId registry; build stacks via "
+             "TransportFactory::create (src/ptperf/transports.cc) so they "
+             "carry a declared, validated LayerStack");
+}
+
+// ---------------------------------------------------------------------------
 // Rule: pragma-once — every header must have it (include-graph hygiene).
 
 void check_pragma_once(const FileScan& scan, std::vector<Finding>& out) {
@@ -310,6 +331,9 @@ const std::vector<Rule> kRules = {
     {"raw-instrumentation",
      "printf/stream telemetry in src/ outside src/trace and src/util",
      check_raw_instrumentation},
+    {"transport-bypass",
+     "direct *Transport construction outside src/pt/ and the PtId registry",
+     check_transport_bypass},
     {"pragma-once", "headers must contain #pragma once", check_pragma_once},
     {"using-namespace-header", "no using-directives in headers",
      check_using_namespace},

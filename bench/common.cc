@@ -38,6 +38,9 @@ BenchArgs parse_args(int argc, char** argv) {
       args.retries = static_cast<int>(std::strtol(next().c_str(), nullptr, 10));
     } else if (a == "--jobs" || a == "-j") {
       args.jobs = static_cast<int>(std::strtol(next().c_str(), nullptr, 10));
+    } else if (a == "--repeats") {
+      args.repeats =
+          static_cast<int>(std::strtol(next().c_str(), nullptr, 10));
     } else if (a == "--trace") {
       args.trace_out = next();
     } else if (a == "--trace-cells") {
@@ -49,6 +52,9 @@ BenchArgs parse_args(int argc, char** argv) {
           "options: --seed N  --scale X (workload multiplier)  --out DIR\n"
           "         --jobs N (shard threads; default: hardware concurrency,\n"
           "                   1 = single-threaded; output is identical)\n"
+          "         --repeats N (independent campaign repetitions; N > 1\n"
+          "                   adds mean/stddev/ci95 ensemble CSVs; 1 is\n"
+          "                   byte-identical to the single-run harness)\n"
           "         --faults none|paper (injected failures, fig8 only)\n"
           "         --retries N (retry budget per download in fault mode)\n"
           "         --trace PATH (flight-recorder capture: Chrome\n"
@@ -59,6 +65,7 @@ BenchArgs parse_args(int argc, char** argv) {
     }
   }
   if (args.scale <= 0) args.scale = 1.0;
+  if (args.repeats < 1) args.repeats = 1;
   return args;
 }
 
@@ -75,9 +82,14 @@ void banner(const std::string& id, const std::string& what,
             const BenchArgs& args) {
   std::printf("== PTPerf reproduction: %s — %s ==\n", id.c_str(),
               what.c_str());
-  std::printf("   seed=%llu scale=%.2f jobs=%d\n\n",
+  std::printf("   seed=%llu scale=%.2f jobs=%d\n",
               static_cast<unsigned long long>(args.seed), args.scale,
               args.effective_jobs());
+  if (args.repeats > 1)
+    std::printf("   repeats=%d (independent worlds; seeds fork as "
+                "repeat/<r>)\n",
+                args.repeats);
+  std::printf("\n");
 }
 
 ShardedCampaignConfig sharded_config(const BenchArgs& args) {
@@ -88,14 +100,34 @@ ShardedCampaignConfig sharded_config(const BenchArgs& args) {
   return cfg;
 }
 
-void emit_trace(const ShardedCampaign& engine, const BenchArgs& args) {
+namespace {
+
+void write_traces(const std::vector<trace::ShardTrace>& traces,
+                  const BenchArgs& args) {
   if (args.trace_out.empty()) return;
-  if (!trace::write_trace_file(args.trace_out, engine.traces())) {
+  if (!trace::write_trace_file(args.trace_out, traces)) {
     std::fprintf(stderr, "warning: could not write %s\n",
                  args.trace_out.c_str());
   } else if (args.verbose) {
     std::printf("wrote %s\n", args.trace_out.c_str());
   }
+}
+
+}  // namespace
+
+void emit_trace(const ShardedCampaign& engine, const BenchArgs& args) {
+  write_traces(engine.traces(), args);
+}
+
+void emit_trace(const EnsembleCampaign& engine, const BenchArgs& args) {
+  write_traces(engine.traces(), args);
+}
+
+EnsembleCampaignConfig ensemble_config(const BenchArgs& args) {
+  EnsembleCampaignConfig cfg;
+  cfg.base = sharded_config(args);
+  cfg.repeats = args.repeats;
+  return cfg;
 }
 
 void print_shard_timings(const std::vector<ShardTiming>& timings,
@@ -188,6 +220,90 @@ void emit(const stats::Table& table, const BenchArgs& args,
     std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
   } else if (args.verbose) {
     std::printf("wrote %s\n", path.c_str());
+  }
+}
+
+namespace {
+
+std::string unit_cell(double value, EnsembleUnit unit) {
+  switch (unit) {
+    case EnsembleUnit::kSeconds: return stats::us_cell(value);
+    case EnsembleUnit::kBytes: return stats::byte_cell(value);
+    case EnsembleUnit::kFraction: return stats::ppm_cell(value);
+  }
+  return stats::us_cell(value);
+}
+
+std::string unit_name(EnsembleUnit unit) {
+  switch (unit) {
+    case EnsembleUnit::kSeconds: return "us";
+    case EnsembleUnit::kBytes: return "bytes";
+    case EnsembleUnit::kFraction: return "ppm";
+  }
+  return "us";
+}
+
+}  // namespace
+
+stats::Table ensemble_table(const std::vector<EnsembleSeries>& series,
+                            const std::string& metric, EnsembleUnit unit) {
+  stats::Table t({"pt", "metric", "unit", "repeats", "mean", "stddev",
+                  "ci95_lo", "ci95_hi", "min", "max"});
+  for (const EnsembleSeries& s : series) {
+    if (s.per_rep.empty()) continue;
+    ensemble::Estimate e = ensemble::summarize(s.per_rep);
+    t.add_row({s.label, metric, unit_name(unit), std::to_string(e.repeats),
+               unit_cell(e.mean, unit), unit_cell(e.stddev, unit),
+               unit_cell(e.ci_lo, unit), unit_cell(e.ci_hi, unit),
+               unit_cell(e.min, unit), unit_cell(e.max, unit)});
+  }
+  return t;
+}
+
+stats::Table ensemble_paired_table(const std::vector<EnsembleSeries>& series,
+                                   const std::string& baseline,
+                                   const std::string& metric,
+                                   EnsembleUnit unit) {
+  stats::Table t({"pair", "metric", "unit", "repeats", "mean_diff",
+                  "ci95_lo", "ci95_hi", "t_value", "p_value", "power"});
+  const EnsembleSeries* base = nullptr;
+  for (const EnsembleSeries& s : series)
+    if (s.label == baseline) base = &s;
+  if (!base) return t;
+  for (const EnsembleSeries& s : series) {
+    if (&s == base || s.per_rep.empty()) continue;
+    // Paired by repetition: both estimators measured the same forked
+    // world in repetition r (paired_t_test pairs the common prefix).
+    stats::PairedTTest r = stats::paired_t_test(s.per_rep, base->per_rep);
+    if (r.n == 0) continue;
+    std::string p = r.p_two_sided < 0.001 ? "<.001"
+                                          : util::fmt_double(r.p_two_sided, 3);
+    t.add_row({s.label + "-" + base->label, metric, unit_name(unit),
+               std::to_string(r.n), unit_cell(r.mean_diff, unit),
+               unit_cell(r.ci_low, unit), unit_cell(r.ci_high, unit),
+               util::fmt_double(r.t, 3), p,
+               util::fmt_double(stats::paired_power(r), 3)});
+  }
+  return t;
+}
+
+void emit_ensemble(const std::vector<EnsembleSeries>& series,
+                   const BenchArgs& args, const std::string& name,
+                   const std::string& metric, EnsembleUnit unit,
+                   const std::string& baseline) {
+  if (args.repeats <= 1) return;
+  std::printf("-- ensemble (%d repetitions): %s --\n", args.repeats,
+              metric.c_str());
+  emit(ensemble_table(series, metric, unit), args, name);
+  if (!baseline.empty()) {
+    stats::Table paired =
+        ensemble_paired_table(series, baseline, metric, unit);
+    if (paired.rows() > 0) {
+      std::printf("-- ensemble paired differences vs %s (power at "
+                  "alpha=.05) --\n",
+                  baseline.c_str());
+      emit(paired, args, name + "_paired", args.verbose);
+    }
   }
 }
 

@@ -7,10 +7,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "ptperf/campaign.h"
+#include "ptperf/ensemble.h"
 #include "ptperf/parallel.h"
 #include "stats/descriptive.h"
 #include "stats/table.h"
@@ -35,6 +37,11 @@ struct BenchArgs {
   /// 1 = the legacy single-threaded path. Output is byte-identical for
   /// every value — the shard plan never depends on it.
   int jobs = 0;
+  /// Independent campaign repetitions (--repeats). 1 = today's single-run
+  /// figures, byte-identical to the pre-ensemble harness; N > 1 reruns the
+  /// whole campaign in N independently seeded worlds and adds
+  /// mean/stddev/ci95 ensemble CSVs next to the point-estimate tables.
+  int repeats = 1;
   /// Flight-recorder output path (--trace). Empty = tracing off. A
   /// ".jsonl" suffix selects the line-oriented format; anything else gets
   /// Chrome trace_event JSON (load in chrome://tracing or Perfetto).
@@ -68,6 +75,13 @@ void banner(const std::string& id, const std::string& what,
 /// a scenario template the bench then tweaks (site counts, fault plans).
 ShardedCampaignConfig sharded_config(const BenchArgs& args);
 
+/// The ensemble-aware campaign entry point every figure goes through
+/// (simlint's ensemble-bypass rule bans direct ShardedCampaign
+/// construction in bench/ outside this harness): sharded_config(args) as
+/// the base world recipe plus --repeats. Figures tweak `.base` exactly as
+/// they used to tweak the sharded config.
+EnsembleCampaignConfig ensemble_config(const BenchArgs& args);
+
 /// Per-shard timing summary (shard id, PT, items, virtual seconds, wall
 /// µs) — printed only under --verbose, so speedup and shard imbalance are
 /// observable without touching default output.
@@ -76,8 +90,70 @@ void print_shard_timings(const std::vector<ShardTiming>& timings,
 
 /// Writes the campaign's flight-recorder capture to args.trace_out (no-op
 /// when --trace was not given). The file is a pure function of (seed,
-/// plan): byte-identical at any --jobs.
+/// plan): byte-identical at any --jobs. The ensemble overload writes
+/// repetition 0's capture — --repeats never changes the trace.
 void emit_trace(const ShardedCampaign& engine, const BenchArgs& args);
+void emit_trace(const EnsembleCampaign& engine, const BenchArgs& args);
+
+/// One labelled estimator measured once per repetition (e.g. a PT's mean
+/// access time in each of the N independently seeded worlds).
+struct EnsembleSeries {
+  std::string label;
+  std::vector<double> per_rep;
+};
+
+/// Unit of an ensemble estimator; selects the deterministic integer cell
+/// format (stats::us_cell / byte_cell / ppm_cell).
+enum class EnsembleUnit { kSeconds, kBytes, kFraction };
+
+/// Per-repetition estimator extraction: `estimator` reduces one
+/// repetition's samples to labelled values (one per group, e.g. per PT);
+/// series are keyed on repetition 0's label order, and a label absent from
+/// a later repetition simply contributes no value to its series.
+template <typename Sample>
+std::vector<EnsembleSeries> ensemble_series(
+    const EnsembleRuns<Sample>& runs,
+    const std::function<std::vector<std::pair<std::string, double>>(
+        const std::vector<Sample>&)>& estimator) {
+  std::vector<EnsembleSeries> series;
+  for (const std::vector<Sample>& rep : runs.reps) {
+    for (const auto& [label, value] : estimator(rep)) {
+      EnsembleSeries* s = nullptr;
+      for (EnsembleSeries& existing : series)
+        if (existing.label == label) s = &existing;
+      if (!s) {
+        if (&rep != &runs.reps.front()) continue;  // keyed on repetition 0
+        series.push_back({label, {}});
+        s = &series.back();
+      }
+      s->per_rep.push_back(value);
+    }
+  }
+  return series;
+}
+
+/// Cross-repetition distribution table: one row per series, columns
+/// repeats/mean/stddev/ci95_lo/ci95_hi/min/max rendered as integer cells
+/// in the series' unit (µs, bytes, or ppm).
+stats::Table ensemble_table(const std::vector<EnsembleSeries>& series,
+                            const std::string& metric, EnsembleUnit unit);
+
+/// Paired-difference tests of every series against `baseline` (paired by
+/// repetition — both estimators saw the same world in repetition r), with
+/// the achieved power at alpha = .05.
+stats::Table ensemble_paired_table(const std::vector<EnsembleSeries>& series,
+                                   const std::string& baseline,
+                                   const std::string& metric,
+                                   EnsembleUnit unit);
+
+/// Emits <name>.csv (ensemble_table) and, when `baseline` names one of the
+/// series, <name>_paired.csv (ensemble_paired_table). No-op when
+/// --repeats 1: single-run output stays byte-identical to the
+/// pre-ensemble harness.
+void emit_ensemble(const std::vector<EnsembleSeries>& series,
+                   const BenchArgs& args, const std::string& name,
+                   const std::string& metric, EnsembleUnit unit,
+                   const std::string& baseline = "");
 
 /// "Tukey row" for one distribution.
 std::vector<std::string> box_row(const std::string& label,

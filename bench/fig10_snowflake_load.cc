@@ -12,27 +12,36 @@
 namespace ptperf::bench {
 namespace {
 
-/// Sharded website campaign against snowflake pinned to one load regime.
-std::vector<WebsiteSample> run_regime(const ShardedCampaignConfig& base,
-                                      const SiteSelection& sites,
-                                      bool overloaded,
-                                      std::vector<ShardTiming>& timings) {
-  ShardedCampaignConfig cfg = base;
-  cfg.configure_stack = [overloaded](Scenario&, PtStack& stack) {
+/// Ensemble website campaign against snowflake pinned to one load regime.
+EnsembleRuns<WebsiteSample> run_regime(const EnsembleCampaignConfig& base,
+                                       const SiteSelection& sites,
+                                       bool overloaded,
+                                       std::vector<ShardTiming>& timings) {
+  EnsembleCampaignConfig cfg = base;
+  cfg.base.configure_stack = [overloaded](Scenario&, PtStack& stack) {
     if (stack.snowflake) stack.snowflake->set_overloaded(overloaded);
   };
-  ShardedCampaign engine(cfg);
-  auto samples = engine.run_website_curl({PtId::kSnowflake}, sites);
+  EnsembleCampaign engine(cfg);
+  auto runs = engine.run_website_curl({PtId::kSnowflake}, sites);
   timings.insert(timings.end(), engine.timings().begin(),
                  engine.timings().end());
-  return samples;
+  return runs;
+}
+
+/// Mean of the per-site mean access times of one repetition.
+std::vector<std::pair<std::string, double>> regime_estimator(
+    const std::string& label, const std::vector<WebsiteSample>& rep) {
+  std::vector<double> means = per_site_means(rep);
+  if (means.empty()) return {};
+  return {{label, stats::mean(means)}};
 }
 
 int run(const BenchArgs& args) {
   banner("Figure 10a/10b / §5.3", "snowflake under the Iran-unrest load",
          args);
 
-  ShardedCampaignConfig cfg = sharded_config(args);
+  EnsembleCampaignConfig ecfg = ensemble_config(args);
+  auto& cfg = ecfg.base;
   cfg.scenario.tranco_sites = scaled(25, args.scale, 6);
   cfg.scenario.cbl_sites = 0;
   cfg.campaign.website_reps = 3;
@@ -52,8 +61,10 @@ int run(const BenchArgs& args) {
 
   // -- Figure 10b: pre vs post access times.
   std::vector<ShardTiming> timings;
-  auto pre = run_regime(cfg, sites, /*overloaded=*/false, timings);
-  auto post = run_regime(cfg, sites, /*overloaded=*/true, timings);
+  auto pre_runs = run_regime(ecfg, sites, /*overloaded=*/false, timings);
+  auto post_runs = run_regime(ecfg, sites, /*overloaded=*/true, timings);
+  const auto& pre = pre_runs.first();
+  const auto& post = post_runs.first();
 
   std::vector<double> pre_means = per_site_means(pre);
   std::vector<double> post_means = per_site_means(post);
@@ -72,15 +83,33 @@ int run(const BenchArgs& args) {
     std::printf("(paper: pre M=3.42 vs post M=4.77, t=-10.76, P<.001)\n\n");
   }
 
+  // Cross-repetition distribution of the two regimes' mean access times,
+  // paired pre-vs-post per repetition (both regimes replay the same
+  // forked worlds).
+  std::vector<EnsembleSeries> regime_series;
+  auto collect = [&regime_series](const std::string& label,
+                                  const EnsembleRuns<WebsiteSample>& runs) {
+    std::vector<EnsembleSeries> s = ensemble_series<WebsiteSample>(
+        runs, [&label](const std::vector<WebsiteSample>& rep) {
+          return regime_estimator(label, rep);
+        });
+    regime_series.insert(regime_series.end(), s.begin(), s.end());
+  };
+  collect("pre-Sept", pre_runs);
+  collect("post-Sept", post_runs);
+  emit_ensemble(regime_series, args, "fig10_ensemble", "mean_access_time",
+                EnsembleUnit::kSeconds, "pre-Sept");
+
   // -- §5.3 companion: 5 MB downloads post-surge mostly fail.
-  ShardedCampaignConfig fcfg = cfg;
-  fcfg.campaign.file_reps = scaled_int(5, args.scale, 3);
-  fcfg.configure_stack = [](Scenario&, PtStack& stack) {
+  EnsembleCampaignConfig fcfg = ecfg;
+  fcfg.base.campaign.file_reps = scaled_int(5, args.scale, 3);
+  fcfg.base.configure_stack = [](Scenario&, PtStack& stack) {
     if (stack.snowflake) stack.snowflake->set_overloaded(true);
   };
-  ShardedCampaign file_engine(fcfg);
-  auto file_samples =
+  EnsembleCampaign file_engine(fcfg);
+  auto file_runs =
       file_engine.run_file_downloads({PtId::kSnowflake}, {5u << 20});
+  const auto& file_samples = file_runs.first();
   timings.insert(timings.end(), file_engine.timings().begin(),
                  file_engine.timings().end());
   int complete = 0;

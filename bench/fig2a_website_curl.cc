@@ -16,14 +16,16 @@ int run(const BenchArgs& args) {
   banner("Figure 2a / Tables 3-4",
          "website access time, curl, Tranco + CBL", args);
 
-  ShardedCampaignConfig cfg = sharded_config(args);
+  EnsembleCampaignConfig ecfg = ensemble_config(args);
+  auto& cfg = ecfg.base;
   cfg.scenario.tranco_sites = scaled(30, args.scale, 5);
   cfg.scenario.cbl_sites = scaled(30, args.scale, 5);
   cfg.campaign.website_reps = 3;  // paper: 5; sites scale with --scale
-  ShardedCampaign engine(cfg);
+  EnsembleCampaign engine(ecfg);
 
   SiteSelection sites{cfg.scenario.tranco_sites, cfg.scenario.cbl_sites};
-  auto samples = engine.run_website_curl(sweep_pts(), sites);
+  auto runs = engine.run_website_curl(sweep_pts(), sites);
+  const auto& samples = runs.first();
 
   stats::Table boxes(box_header());
   std::vector<std::pair<std::string, std::vector<double>>> per_site;
@@ -47,6 +49,27 @@ int run(const BenchArgs& args) {
   emit(tests, args, "fig2a_ttests", args.verbose);
   std::printf("(%zu PT pairs; full table in fig2a_ttests.csv)\n",
               tests.rows());
+
+  // Cross-repetition distribution of each PT's mean access time, with
+  // PT-vs-vanilla paired differences over the ensemble.
+  emit_ensemble(ensemble_series<WebsiteSample>(
+                    runs,
+                    [](const std::vector<WebsiteSample>& rep) {
+                      std::vector<std::pair<std::string, double>> out;
+                      for (const auto& pt : sweep_pts()) {
+                        std::string name =
+                            pt ? std::string(pt_id_name(*pt)) : "tor";
+                        std::vector<WebsiteSample> mine;
+                        for (const WebsiteSample& s : rep)
+                          if (s.pt == name) mine.push_back(s);
+                        std::vector<double> means = per_site_means(mine);
+                        if (!means.empty())
+                          out.emplace_back(name, stats::mean(means));
+                      }
+                      return out;
+                    }),
+                args, "fig2a_ensemble", "mean_access_time",
+                EnsembleUnit::kSeconds, "tor");
   emit_trace(engine, args);
   print_shard_timings(engine.timings(), args);
   return 0;

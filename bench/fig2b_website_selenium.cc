@@ -16,7 +16,8 @@ int run(const BenchArgs& args) {
   banner("Figure 2b / Tables 5-6",
          "website access time, selenium (page + resources)", args);
 
-  ShardedCampaignConfig cfg = sharded_config(args);
+  EnsembleCampaignConfig ecfg = ensemble_config(args);
+  auto& cfg = ecfg.base;
   cfg.scenario.tranco_sites = scaled(15, args.scale, 4);
   cfg.scenario.cbl_sites = scaled(15, args.scale, 4);
   cfg.campaign.website_reps = 2;
@@ -25,10 +26,11 @@ int run(const BenchArgs& args) {
   cfg.configure_stack = [](Scenario&, PtStack& stack) {
     if (stack.snowflake) stack.snowflake->set_overloaded(true);
   };
-  ShardedCampaign engine(cfg);
+  EnsembleCampaign engine(ecfg);
 
   SiteSelection sites{cfg.scenario.tranco_sites, cfg.scenario.cbl_sites};
-  auto samples = engine.run_website_selenium(sweep_pts(), sites);
+  auto runs = engine.run_website_selenium(sweep_pts(), sites);
+  const auto& samples = runs.first();
 
   stats::Table boxes(box_header());
   std::vector<std::pair<std::string, std::vector<double>>> groups;
@@ -74,6 +76,26 @@ int run(const BenchArgs& args) {
       }
     }
   }
+  // Cross-repetition distribution of each PT's mean page-load time.
+  emit_ensemble(ensemble_series<PageSample>(
+                    runs,
+                    [](const std::vector<PageSample>& rep) {
+                      std::vector<std::pair<std::string, double>> out;
+                      for (const auto& pt : sweep_pts()) {
+                        std::string name =
+                            pt ? std::string(pt_id_name(*pt)) : "tor";
+                        std::vector<PageSample> mine;
+                        for (const PageSample& s : rep)
+                          if (s.pt == name) mine.push_back(s);
+                        std::vector<double> loads = load_seconds(mine);
+                        if (!loads.empty())
+                          out.emplace_back(name, stats::mean(loads));
+                      }
+                      return out;
+                    }),
+                args, "fig2b_ensemble", "mean_page_load", EnsembleUnit::kSeconds,
+                "tor");
+
   emit_trace(engine, args);
   print_shard_timings(engine.timings(), args);
   return 0;

@@ -14,7 +14,8 @@ namespace {
 int run(const BenchArgs& args) {
   banner("Figure 5 / Table 7", "bulk file download times", args);
 
-  ShardedCampaignConfig cfg = sharded_config(args);
+  EnsembleCampaignConfig ecfg = ensemble_config(args);
+  auto& cfg = ecfg.base;
   cfg.scenario.tranco_sites = 2;
   cfg.scenario.cbl_sites = 0;
   cfg.campaign.file_reps = scaled_int(3, args.scale, 2);
@@ -22,13 +23,14 @@ int run(const BenchArgs& args) {
   cfg.configure_stack = [](Scenario&, PtStack& stack) {
     if (stack.snowflake) stack.snowflake->set_overloaded(true);
   };
-  ShardedCampaign engine(cfg);
+  EnsembleCampaign engine(ecfg);
 
   // --scale < 1 also trims the size list (5..100 MB) from the top, so
   // smoke runs are not pinned to the 100 MB virtual transfers.
   std::vector<std::size_t> sizes = workload::standard_file_sizes();
   sizes.resize(scaled(sizes.size(), std::min(args.scale, 1.0), 1));
-  auto samples = engine.run_file_downloads(sweep_pts(), sizes);
+  auto runs = engine.run_file_downloads(sweep_pts(), sizes);
+  const auto& samples = runs.first();
 
   std::vector<std::string> headers{"pt"};
   for (std::size_t s : sizes)
@@ -81,6 +83,32 @@ int run(const BenchArgs& args) {
   stats::Table tests = pairwise_t_tests(all_attempts);
   emit(tests, args, "fig5_ttests", args.verbose);
   std::printf("(%zu pairs; full table in fig5_ttests.csv)\n", tests.rows());
+
+  // Cross-repetition distribution of each PT's pooled mean download time
+  // (failed attempts imputed at the timeout, as in the t-test pooling).
+  double timeout_s = sim::to_seconds(cfg.campaign.file_timeout);
+  emit_ensemble(ensemble_series<FileSample>(
+                    runs,
+                    [timeout_s](const std::vector<FileSample>& rep) {
+                      std::vector<std::pair<std::string, double>> out;
+                      for (const auto& pt : sweep_pts()) {
+                        std::string name =
+                            pt ? std::string(pt_id_name(*pt)) : "tor";
+                        std::vector<double> pooled;
+                        for (const FileSample& s : rep) {
+                          if (s.pt != name) continue;
+                          pooled.push_back(s.result.success
+                                               ? s.result.elapsed()
+                                               : timeout_s);
+                        }
+                        if (!pooled.empty())
+                          out.emplace_back(name, stats::mean(pooled));
+                      }
+                      return out;
+                    }),
+                args, "fig5_ensemble", "pooled_mean_download",
+                EnsembleUnit::kSeconds, "tor");
+
   emit_trace(engine, args);
   print_shard_timings(engine.timings(), args);
   return 0;

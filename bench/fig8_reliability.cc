@@ -28,7 +28,8 @@ int run(const BenchArgs& args) {
                 args.retries);
   }
 
-  ShardedCampaignConfig cfg = sharded_config(args);
+  EnsembleCampaignConfig ecfg = ensemble_config(args);
+  auto& cfg = ecfg.base;
   cfg.scenario.tranco_sites = 2;
   cfg.scenario.cbl_sites = 0;
   cfg.campaign.file_reps = scaled_int(4, args.scale, 2);  // paper: 20/size
@@ -40,7 +41,7 @@ int run(const BenchArgs& args) {
   cfg.configure_stack = [](Scenario&, PtStack& stack) {
     if (stack.snowflake) stack.snowflake->set_overloaded(true);
   };
-  ShardedCampaign engine(cfg);
+  EnsembleCampaign engine(ecfg);
 
   // As in fig5, --scale < 1 trims the size list from the top so smoke
   // runs (e.g. the CI TSan job) skip the largest virtual transfers.
@@ -53,15 +54,21 @@ int run(const BenchArgs& args) {
 
   // Outcomes per PT, either from the retrying reliability campaign (fault
   // mode) or from plain downloads classified after the fact.
-  std::vector<ReliabilitySample> reliability;
-  std::vector<FileSample> plain;
+  EnsembleRuns<ReliabilitySample> reliability_runs;
+  EnsembleRuns<FileSample> plain_runs;
   if (inject) {
     RetryPolicy retry;
     retry.max_retries = args.retries;
-    reliability = engine.run_reliability(sweep_pts(), sizes, retry);
+    reliability_runs = engine.run_reliability(sweep_pts(), sizes, retry);
   } else {
-    plain = engine.run_file_downloads(sweep_pts(), sizes);
+    plain_runs = engine.run_file_downloads(sweep_pts(), sizes);
   }
+  static const std::vector<ReliabilitySample> kNoReliability;
+  static const std::vector<FileSample> kNoPlain;
+  const std::vector<ReliabilitySample>& reliability =
+      inject ? reliability_runs.first() : kNoReliability;
+  const std::vector<FileSample>& plain =
+      inject ? kNoPlain : plain_runs.first();
 
   for (const auto& pt : sweep_pts()) {
     std::string name = pt ? std::string(pt_id_name(*pt)) : "tor";
@@ -115,6 +122,52 @@ int run(const BenchArgs& args) {
   std::printf(
       "(paper: snowflake <40%% of the file in ~60%% of attempts; meek and\n"
       " dnstt reach higher fractions but rarely complete)\n");
+
+  // Cross-repetition distribution of each PT's complete fraction.
+  if (inject) {
+    emit_ensemble(
+        ensemble_series<ReliabilitySample>(
+            reliability_runs,
+            [](const std::vector<ReliabilitySample>& rep) {
+              std::vector<std::pair<std::string, double>> out;
+              for (const auto& pt : sweep_pts()) {
+                std::string name = pt ? std::string(pt_id_name(*pt)) : "tor";
+                int complete = 0, total = 0;
+                for (const ReliabilitySample& s : rep) {
+                  if (s.pt != name) continue;
+                  if (s.outcome == DownloadOutcome::kComplete) ++complete;
+                  ++total;
+                }
+                if (total > 0)
+                  out.emplace_back(name, static_cast<double>(complete) / total);
+              }
+              return out;
+            }),
+        args, "fig8_ensemble", "complete_frac", EnsembleUnit::kFraction,
+        "tor");
+  } else {
+    emit_ensemble(
+        ensemble_series<FileSample>(
+            plain_runs,
+            [](const std::vector<FileSample>& rep) {
+              std::vector<std::pair<std::string, double>> out;
+              for (const auto& pt : sweep_pts()) {
+                std::string name = pt ? std::string(pt_id_name(*pt)) : "tor";
+                int complete = 0, total = 0;
+                for (const FileSample& s : rep) {
+                  if (s.pt != name) continue;
+                  if (classify(s.result) == DownloadOutcome::kComplete)
+                    ++complete;
+                  ++total;
+                }
+                if (total > 0)
+                  out.emplace_back(name, static_cast<double>(complete) / total);
+              }
+              return out;
+            }),
+        args, "fig8_ensemble", "complete_frac", EnsembleUnit::kFraction,
+        "tor");
+  }
 
   if (inject) {
     std::printf("\n-- Injected faults (deterministic for this seed) --\n");

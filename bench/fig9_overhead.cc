@@ -17,7 +17,8 @@ int run(const BenchArgs& args) {
   banner("Figure 9 / §5.2", "PT overhead vs vanilla Tor on a fixed circuit",
          args);
 
-  ShardedCampaignConfig cfg = sharded_config(args);
+  EnsembleCampaignConfig ecfg = ensemble_config(args);
+  auto& cfg = ecfg.base;
   cfg.scenario.tranco_sites = scaled(20, args.scale, 6);
   cfg.scenario.cbl_sites = 0;
   // PT infrastructure co-located with the client (§5.2: "we deployed the
@@ -32,9 +33,10 @@ int run(const BenchArgs& args) {
       PtId::kShadowsocks, PtId::kPsiphon,   PtId::kCloak,
       PtId::kCamoufler,  PtId::kStegotorus, PtId::kMarionette};
 
-  ShardedCampaign engine(cfg);
+  EnsembleCampaign engine(ecfg);
   SiteSelection sites{cfg.scenario.tranco_sites, 0};
-  std::vector<OverheadSample> samples = engine.run_overhead(pts, sites);
+  auto runs = engine.run_overhead(pts, sites);
+  const std::vector<OverheadSample>& samples = runs.first();
 
   stats::Table table({"pt", "n", "mean_diff_s", "median_diff_s", "q1", "q3"});
   stats::Table layers({"pt", "n", "payload_bytes", "handshake_bytes",
@@ -82,6 +84,27 @@ int run(const BenchArgs& args) {
   std::printf(
       "(payload + handshake + framing + carrier == wire, exactly —\n"
       " the LayerStack accounting contract)\n");
+
+  // Cross-repetition distribution of each PT's mean overhead. The
+  // estimator is already a PT-minus-Tor difference inside one world, so
+  // no paired baseline applies.
+  emit_ensemble(ensemble_series<OverheadSample>(
+                    runs,
+                    [&pts](const std::vector<OverheadSample>& rep) {
+                      std::vector<std::pair<std::string, double>> out;
+                      for (PtId id : pts) {
+                        std::string name(pt_id_name(id));
+                        std::vector<double> diffs;
+                        for (const OverheadSample& s : rep)
+                          if (s.pt == name && s.ok())
+                            diffs.push_back(s.diff());
+                        if (!diffs.empty())
+                          out.emplace_back(name, stats::mean(diffs));
+                      }
+                      return out;
+                    }),
+                args, "fig9_ensemble", "mean_overhead",
+                EnsembleUnit::kSeconds);
 
   print_shard_timings(engine.timings(), args);
   emit_trace(engine, args);

@@ -1,6 +1,7 @@
 #include "stats/table.h"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 
 namespace ptperf::stats {
@@ -80,6 +81,18 @@ bool Table::write_csv(const std::string& path) const {
   if (!f) return false;
   f << to_csv();
   return static_cast<bool>(f);
+}
+
+std::string us_cell(double seconds) {
+  return std::to_string(std::llround(seconds * 1e6));
+}
+
+std::string byte_cell(double bytes) {
+  return std::to_string(std::llround(bytes));
+}
+
+std::string ppm_cell(double fraction) {
+  return std::to_string(std::llround(fraction * 1e6));
 }
 
 }  // namespace ptperf::stats

@@ -36,4 +36,15 @@ class Table {
   std::string comment_;
 };
 
+/// Deterministic integer cells for ensemble columns: every cross-repetition
+/// statistic is rendered as a whole number (llround, ties away from zero)
+/// so the CSVs stay byte-stable across platforms and libcs — no
+/// locale-/printf-dependent float formatting in the byte-identity contract.
+///   us_cell    seconds        -> whole microseconds
+///   byte_cell  byte counts    -> whole bytes
+///   ppm_cell   dimensionless  -> parts per million (fractions, ratios)
+std::string us_cell(double seconds);
+std::string byte_cell(double bytes);
+std::string ppm_cell(double fraction);
+
 }  // namespace ptperf::stats

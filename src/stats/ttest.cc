@@ -107,16 +107,19 @@ double student_t_critical(double df, double level) {
 
 PairedTTest paired_t_test(const std::vector<double>& x,
                           const std::vector<double>& y) {
-  if (x.size() != y.size())
-    throw std::invalid_argument("paired_t_test: size mismatch");
-  if (x.size() < 2) throw std::invalid_argument("paired_t_test: n >= 2");
-
-  std::vector<double> d(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) d[i] = x[i] - y[i];
-
+  std::size_t n = std::min(x.size(), y.size());
   PairedTTest r;
-  r.n = d.size();
+  r.n = n;
+  if (n == 0) return r;  // inconclusive default: p = 1, everything else 0
+
+  std::vector<double> d(n);
+  for (std::size_t i = 0; i < n; ++i) d[i] = x[i] - y[i];
   r.mean_diff = mean(d);
+  if (n == 1) {
+    // One pair: report the observed difference, claim no evidence.
+    r.ci_low = r.ci_high = r.mean_diff;
+    return r;
+  }
   r.sd_diff = stddev(d);
   r.df = static_cast<double>(r.n - 1);
   double se = r.sd_diff / std::sqrt(static_cast<double>(r.n));
@@ -133,6 +136,19 @@ PairedTTest paired_t_test(const std::vector<double>& x,
   r.ci_low = r.mean_diff - crit * se;
   r.ci_high = r.mean_diff + crit * se;
   return r;
+}
+
+double paired_power(const PairedTTest& r, double alpha) {
+  if (r.n < 2 || alpha <= 0 || alpha >= 1) return 0.0;
+  double se = r.sd_diff / std::sqrt(static_cast<double>(r.n));
+  if (se == 0) return r.mean_diff == 0 ? alpha : 1.0;
+  // Shifted-t approximation: T' ~ t(df) + ncp with ncp the observed
+  // standardized effect; reject when |T'| exceeds the two-sided critical
+  // value.
+  double ncp = r.mean_diff / se;
+  double crit = student_t_critical(r.df, 1.0 - alpha);
+  return 1.0 - student_t_cdf(crit - ncp, r.df) +
+         student_t_cdf(-crit - ncp, r.df);
 }
 
 std::string format_t_test(const PairedTTest& r) {

@@ -34,9 +34,24 @@ struct PairedTTest {
   bool significant(double alpha = 0.05) const { return p_two_sided < alpha; }
 };
 
-/// Paired t-test of x vs y (paired by index). Requires equal sizes, n >= 2.
+/// Paired t-test of x vs y (paired by index). Total on every input — the
+/// degenerate cases return defined, never-NaN values instead of throwing:
+///   * unequal sizes pair the common prefix (n = min(|x|, |y|));
+///   * n == 0 returns the inconclusive default (p = 1, everything else 0);
+///   * n == 1 reports the observed difference with p = 1 and the CI
+///     collapsed to the point (one pair carries no evidence);
+///   * zero-variance differences saturate t (+-1e9) with p = 0 when the
+///     mean difference is nonzero, and report p = 1 when it is zero.
 PairedTTest paired_t_test(const std::vector<double>& x,
                           const std::vector<double>& y);
+
+/// Post-hoc power of the paired design at significance `alpha`: the
+/// probability that an identical replication (same n, true effect =
+/// observed mean_diff, true sd = observed sd_diff) rejects H0, via the
+/// shifted-t approximation to the noncentral t. Degenerate inputs are
+/// defined: n < 2 reports 0 (no test exists), zero variance reports 1 for
+/// a nonzero difference and `alpha` for a zero one. Never NaN.
+double paired_power(const PairedTTest& r, double alpha = 0.05);
 
 /// Pretty "t=..., P<.001, CI [lo, hi]" line matching the paper's style.
 std::string format_t_test(const PairedTTest& r);

@@ -1,0 +1,320 @@
+// Statistical regression suite for the ensemble campaign layer:
+//   - repeat_seed contract: repetition 0 IS the base seed, later
+//     repetitions are distinct, stable, namespaced forks;
+//   - ensemble::summarize math on known inputs and degenerate inputs;
+//   - CI calibration: the 95% t-interval covers a known population mean at
+//     roughly the nominal rate on synthetic normal draws;
+//   - repetition independence: repetition r of an EnsembleCampaign is
+//     byte-identical to a standalone ShardedCampaign at repeat_seed(base, r),
+//     so adding repetitions never perturbs earlier ones;
+//   - the --repeats 1 byte-identity contract and the --jobs independence of
+//     the ensemble CSVs, checked end-to-end through the fig5 bench binary
+//     against tests/golden/ (BENCH_DIR / GOLDEN_DIR injected by CMake).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ptperf/ensemble.h"
+#include "sim/rng.h"
+#include "stats/ttest.h"
+
+namespace ptperf {
+namespace {
+
+// ---------------------------------------------------------------------------
+// repeat_seed
+
+TEST(EnsembleSeed, RepetitionZeroIsTheBaseSeed) {
+  EXPECT_EQ(repeat_seed(1, 0), 1u);
+  EXPECT_EQ(repeat_seed(424242, 0), 424242u);
+  EXPECT_EQ(repeat_seed(0, 0), 0u);
+}
+
+TEST(EnsembleSeed, LaterRepetitionsAreDistinctStableForks) {
+  constexpr std::uint64_t kBase = 1;
+  std::set<std::uint64_t> seen{kBase};
+  for (int r = 1; r <= 16; ++r) {
+    std::uint64_t s = repeat_seed(kBase, r);
+    EXPECT_NE(s, kBase) << "repetition " << r << " reused the base seed";
+    EXPECT_TRUE(seen.insert(s).second)
+        << "repetition " << r << " collided with an earlier repetition";
+    // Deterministic: calling again gives the same fork.
+    EXPECT_EQ(repeat_seed(kBase, r), s);
+    // Namespaced off the base stream exactly as documented.
+    EXPECT_EQ(s, sim::Rng(kBase)
+                     .fork("repeat/" + std::to_string(r))
+                     .next_u64());
+  }
+  // Different base seeds give different repetition streams.
+  EXPECT_NE(repeat_seed(1, 1), repeat_seed(2, 1));
+}
+
+// ---------------------------------------------------------------------------
+// ensemble::summarize
+
+TEST(EnsembleSummary, MatchesHandComputedStats) {
+  ensemble::Estimate e = ensemble::summarize({1, 2, 3, 4, 5});
+  EXPECT_EQ(e.repeats, 5u);
+  EXPECT_DOUBLE_EQ(e.mean, 3.0);
+  EXPECT_NEAR(e.stddev, std::sqrt(2.5), 1e-12);
+  EXPECT_DOUBLE_EQ(e.min, 1.0);
+  EXPECT_DOUBLE_EQ(e.max, 5.0);
+  double half = stats::student_t_critical(4, 0.95) * std::sqrt(2.5 / 5.0);
+  EXPECT_NEAR(e.ci_lo, 3.0 - half, 1e-9);
+  EXPECT_NEAR(e.ci_hi, 3.0 + half, 1e-9);
+  EXPECT_LT(e.ci_lo, e.mean);
+  EXPECT_GT(e.ci_hi, e.mean);
+}
+
+TEST(EnsembleSummary, DegenerateInputsStayDefined) {
+  // n = 0: all zeros, no NaN.
+  ensemble::Estimate empty = ensemble::summarize({});
+  EXPECT_EQ(empty.repeats, 0u);
+  EXPECT_EQ(empty.mean, 0.0);
+  EXPECT_EQ(empty.ci_lo, 0.0);
+  EXPECT_EQ(empty.ci_hi, 0.0);
+
+  // n = 1: the interval collapses onto the single observation.
+  ensemble::Estimate one = ensemble::summarize({7.5});
+  EXPECT_EQ(one.repeats, 1u);
+  EXPECT_DOUBLE_EQ(one.mean, 7.5);
+  EXPECT_DOUBLE_EQ(one.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(one.ci_lo, 7.5);
+  EXPECT_DOUBLE_EQ(one.ci_hi, 7.5);
+  EXPECT_DOUBLE_EQ(one.min, 7.5);
+  EXPECT_DOUBLE_EQ(one.max, 7.5);
+
+  // Zero variance: CI collapses to the mean instead of dividing by zero.
+  ensemble::Estimate flat = ensemble::summarize({2.0, 2.0, 2.0});
+  EXPECT_DOUBLE_EQ(flat.mean, 2.0);
+  EXPECT_DOUBLE_EQ(flat.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(flat.ci_lo, 2.0);
+  EXPECT_DOUBLE_EQ(flat.ci_hi, 2.0);
+
+  for (const ensemble::Estimate& e : {empty, one, flat}) {
+    EXPECT_FALSE(std::isnan(e.mean));
+    EXPECT_FALSE(std::isnan(e.stddev));
+    EXPECT_FALSE(std::isnan(e.ci_lo));
+    EXPECT_FALSE(std::isnan(e.ci_hi));
+  }
+}
+
+TEST(EnsembleSummary, CiCoversKnownMeanAtRoughlyNominalRate) {
+  // 400 ensembles of 5 draws from N(10, 2): the 95% t-interval should
+  // contain the true mean ~95% of the time. The band is wide enough to
+  // never flake (binomial sd at n=400 is ~1.1 points) but tight enough to
+  // catch a broken critical value or a sd/sqrt(n) slip, which push
+  // coverage below 0.90 or pin it at 1.0.
+  sim::Rng rng(20260809);
+  constexpr int kTrials = 400;
+  constexpr int kReps = 5;
+  int covered = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<double> reps;
+    reps.reserve(kReps);
+    for (int r = 0; r < kReps; ++r) reps.push_back(rng.normal(10.0, 2.0));
+    ensemble::Estimate e = ensemble::summarize(reps);
+    if (e.ci_lo <= 10.0 && 10.0 <= e.ci_hi) ++covered;
+  }
+  double coverage = static_cast<double>(covered) / kTrials;
+  EXPECT_GE(coverage, 0.90) << "t-interval too narrow";
+  EXPECT_LE(coverage, 0.99) << "t-interval too wide";
+}
+
+// ---------------------------------------------------------------------------
+// EnsembleCampaign vs standalone ShardedCampaign
+
+std::string encode(const workload::FetchResult& r) {
+  char a[48], b[48], c[48];
+  std::snprintf(a, sizeof a, "%a", r.start_s);
+  std::snprintf(b, sizeof b, "%a", r.ttfb_s);
+  std::snprintf(c, sizeof c, "%a", r.complete_s);
+  return r.target + "|" + a + "|" + b + "|" + c + "|" +
+         std::to_string(r.expected_bytes) + "|" +
+         std::to_string(r.received_bytes) + "|" + (r.success ? "ok" : "no");
+}
+
+std::vector<std::string> encode_files(const std::vector<FileSample>& samples) {
+  std::vector<std::string> out;
+  out.reserve(samples.size());
+  for (const FileSample& s : samples)
+    out.push_back(s.pt + "|" + std::to_string(s.size_bytes) + "|" +
+                  std::to_string(s.rep) + "|" + encode(s.result));
+  return out;
+}
+
+ShardedCampaignConfig small_base(std::uint64_t seed) {
+  ShardedCampaignConfig cfg;
+  cfg.scenario.seed = seed;
+  cfg.scenario.tranco_sites = 2;
+  cfg.scenario.cbl_sites = 0;
+  cfg.campaign.file_reps = 2;
+  cfg.campaign.file_timeout = sim::from_seconds(120);
+  cfg.jobs = 2;
+  return cfg;
+}
+
+std::vector<std::optional<PtId>> small_pts() {
+  return {std::nullopt, PtId::kObfs4};
+}
+
+TEST(EnsembleCampaignTest, RepetitionsMatchStandaloneShardedRuns) {
+  constexpr std::uint64_t kSeed = 4242;
+  EnsembleCampaignConfig cfg{small_base(kSeed), 3};
+  EnsembleCampaign engine(cfg);
+  EnsembleRuns<FileSample> runs =
+      engine.run_file_downloads(small_pts(), {1u << 20});
+  ASSERT_EQ(runs.reps.size(), 3u);
+
+  for (int r = 0; r < 3; ++r) {
+    ShardedCampaignConfig solo = small_base(kSeed);
+    solo.scenario.seed = repeat_seed(kSeed, r);
+    ShardedCampaign standalone(solo);
+    EXPECT_EQ(encode_files(runs.reps[static_cast<std::size_t>(r)]),
+              encode_files(standalone.run_file_downloads(small_pts(),
+                                                         {1u << 20})))
+        << "repetition " << r
+        << " is not reproducible as a standalone sharded campaign";
+  }
+
+  // Repetitions really are different worlds, not copies of repetition 0.
+  EXPECT_NE(encode_files(runs.reps[0]), encode_files(runs.reps[1]));
+  EXPECT_NE(encode_files(runs.reps[1]), encode_files(runs.reps[2]));
+}
+
+TEST(EnsembleCampaignTest, AddingRepetitionsPreservesEarlierOnes) {
+  constexpr std::uint64_t kSeed = 77;
+  EnsembleCampaign two({small_base(kSeed), 2});
+  EnsembleCampaign four({small_base(kSeed), 4});
+  EnsembleRuns<FileSample> a = two.run_file_downloads(small_pts(), {1u << 20});
+  EnsembleRuns<FileSample> b = four.run_file_downloads(small_pts(), {1u << 20});
+  ASSERT_EQ(a.reps.size(), 2u);
+  ASSERT_EQ(b.reps.size(), 4u);
+  for (std::size_t r = 0; r < 2; ++r)
+    EXPECT_EQ(encode_files(a.reps[r]), encode_files(b.reps[r]))
+        << "raising --repeats rewrote repetition " << r;
+}
+
+TEST(EnsembleCampaignTest, JobsDoNotChangeAnyRepetition) {
+  EnsembleCampaignConfig seq{small_base(99), 3};
+  seq.base.jobs = 1;
+  EnsembleCampaignConfig par{small_base(99), 3};
+  par.base.jobs = 4;
+  EnsembleRuns<FileSample> a =
+      EnsembleCampaign(seq).run_file_downloads(small_pts(), {1u << 20});
+  EnsembleRuns<FileSample> b =
+      EnsembleCampaign(par).run_file_downloads(small_pts(), {1u << 20});
+  ASSERT_EQ(a.reps.size(), b.reps.size());
+  for (std::size_t r = 0; r < a.reps.size(); ++r)
+    EXPECT_EQ(encode_files(a.reps[r]), encode_files(b.reps[r]))
+        << "repetition " << r << " depends on --jobs";
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end through the fig5 bench binary (the acceptance-criteria checks)
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string strip_comments(const std::string& text) {
+  std::istringstream in(text);
+  std::string out, line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] == '#') continue;
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+class TempDir {
+ public:
+  TempDir() {
+    std::string tmpl = ::testing::TempDir() + "ensemble_XXXXXX";
+    dir_ = mkdtemp(tmpl.data());
+  }
+  ~TempDir() {
+    if (dir_.empty()) return;
+    std::string cmd = "rm -rf '" + dir_ + "'";
+    [[maybe_unused]] int rc = std::system(cmd.c_str());
+  }
+  const std::string& path() const { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+/// Runs bench_fig5_file_download with the golden-suite base flags plus
+/// `extra`, writing CSVs into `out`.
+void run_fig5(const std::string& extra, const std::string& out) {
+  std::string cmd = std::string(BENCH_DIR) +
+                    "/bench_fig5_file_download --scale 0.05 --seed 1 " +
+                    extra + " --out '" + out + "' > /dev/null 2>&1";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+}
+
+TEST(EnsembleGolden, ExplicitRepeatsOneMatchesBaseGolden) {
+  // Passing --repeats 1 explicitly must be byte-identical to the pre-flag
+  // behaviour captured in tests/golden/fig5_times.csv, and must not emit
+  // any ensemble CSV at all.
+  TempDir tmp;
+  ASSERT_FALSE(tmp.path().empty());
+  run_fig5("--jobs 2 --repeats 1", tmp.path());
+  EXPECT_EQ(strip_comments(read_file(tmp.path() + "/fig5_times.csv")),
+            strip_comments(read_file(std::string(GOLDEN_DIR) +
+                                     "/fig5_times.csv")));
+  std::ifstream ensemble_csv(tmp.path() + "/fig5_ensemble.csv");
+  EXPECT_FALSE(ensemble_csv.good())
+      << "--repeats 1 must not emit ensemble CSVs";
+}
+
+TEST(EnsembleGolden, RepeatsThreeMatchesEnsembleGoldens) {
+  TempDir tmp;
+  ASSERT_FALSE(tmp.path().empty());
+  run_fig5("--jobs 2 --repeats 3", tmp.path());
+  for (const char* csv : {"fig5_ensemble.csv", "fig5_ensemble_paired.csv"}) {
+    std::string produced = strip_comments(read_file(tmp.path() + "/" + csv));
+    std::string golden =
+        strip_comments(read_file(std::string(GOLDEN_DIR) + "/" + csv));
+    ASSERT_FALSE(produced.empty()) << csv << " is empty";
+    EXPECT_EQ(produced, golden)
+        << csv << " drifted from tests/golden/. If intended, regenerate "
+        << "with tools/regen_golden.sh and commit the diff.";
+  }
+  // The single-run table must be untouched by extra repetitions:
+  // repetition 0 is the base campaign.
+  EXPECT_EQ(strip_comments(read_file(tmp.path() + "/fig5_times.csv")),
+            strip_comments(read_file(std::string(GOLDEN_DIR) +
+                                     "/fig5_times.csv")));
+}
+
+TEST(EnsembleGolden, EnsembleCsvIsByteIdenticalAcrossJobCounts) {
+  TempDir seq, par;
+  ASSERT_FALSE(seq.path().empty());
+  ASSERT_FALSE(par.path().empty());
+  run_fig5("--jobs 1 --repeats 3", seq.path());
+  run_fig5("--jobs 4 --repeats 3", par.path());
+  for (const char* csv :
+       {"fig5_times.csv", "fig5_ensemble.csv", "fig5_ensemble_paired.csv"}) {
+    std::string a = strip_comments(read_file(seq.path() + "/" + csv));
+    std::string b = strip_comments(read_file(par.path() + "/" + csv));
+    ASSERT_FALSE(a.empty()) << csv << " is empty";
+    EXPECT_EQ(a, b) << csv << " differs between --jobs 1 and --jobs 4";
+  }
+}
+
+}  // namespace
+}  // namespace ptperf

@@ -1,0 +1,8 @@
+// Must be clean: this path contains "bench/common", the one place in
+// bench/ allowed to name the sharded engine — it is where the ensemble
+// layer itself is wired up. (Scanned, never compiled.)
+
+ptperf::EnsembleCampaignConfig wire(const BenchArgs& args) {
+  ptperf::ShardedCampaignConfig base = sharded_config(args);
+  return {base, args.repeats};
+}

@@ -1,0 +1,9 @@
+// Must be clean: a reasoned suppression covers the one sanctioned direct
+// construction (a diagnostic that probes a single repetition's shard plan
+// and so has no meaningful ensemble). (Scanned, never compiled.)
+
+void probe_plan() {
+  // simlint: allow(ensemble-bypass) -- fixture: single-shard diagnostic, no ensemble semantics
+  ptperf::ShardedCampaignConfig cfg;
+  (void)cfg;
+}

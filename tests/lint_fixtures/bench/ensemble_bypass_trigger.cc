@@ -1,0 +1,9 @@
+// Must trigger ensemble-bypass twice: a figure that names the sharded
+// engine directly (config + campaign) sidesteps the ensemble layer, so
+// --repeats silently stops replicating it. (Scanned, never compiled.)
+
+void run_figure() {
+  ptperf::ShardedCampaignConfig cfg;
+  ptperf::ShardedCampaign engine(cfg);
+  (void)engine;
+}

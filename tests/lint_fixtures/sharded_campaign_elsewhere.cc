@@ -1,0 +1,9 @@
+// Must be clean: ensemble-bypass is scoped to bench/ — the library, tests
+// and tools compose ShardedCampaign / ShardedCampaignConfig directly (the
+// ensemble layer itself is built out of them). (Scanned, never compiled.)
+
+void compose() {
+  ptperf::ShardedCampaignConfig cfg;
+  ptperf::ShardedCampaign engine(cfg);
+  (void)engine;
+}

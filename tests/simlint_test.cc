@@ -97,6 +97,9 @@ TEST_F(SimlintCorpus, EveryRuleFiresOnItsTriggerFixture) {
   EXPECT_TRUE(has_finding(out, "bench/transport_bypass_trigger.cc",
                           "transport-bypass"))
       << out;
+  EXPECT_TRUE(has_finding(out, "bench/ensemble_bypass_trigger.cc",
+                          "ensemble-bypass"))
+      << out;
   EXPECT_TRUE(has_finding(out, "no_pragma_once.h", "pragma-once")) << out;
   EXPECT_TRUE(has_finding(out, "using_namespace_trigger.h",
                           "using-namespace-header"))
@@ -117,6 +120,8 @@ TEST_F(SimlintCorpus, TriggerFixturesReportExpectedCounts) {
   // <iostream> include, std::cerr, std::printf, fprintf — snprintf is legal.
   EXPECT_EQ(count_findings(out, "raw_instrumentation_trigger.cc"), 4) << out;
   EXPECT_EQ(count_findings(out, "transport_bypass_trigger.cc"), 1) << out;
+  // ShardedCampaignConfig + ShardedCampaign, one finding each.
+  EXPECT_EQ(count_findings(out, "ensemble_bypass_trigger.cc"), 2) << out;
 }
 
 TEST_F(SimlintCorpus, SuppressionFixturesAreSilent) {
@@ -139,6 +144,7 @@ TEST_F(SimlintCorpus, NoFalsePositivesOnNegativeSpaceFixtures) {
   EXPECT_EQ(count_findings(out, "pointer_key_value_ok.cc"), 0) << out;
   // Path-scoped rules must stay scoped to the deterministic core.
   EXPECT_EQ(count_findings(out, "hash_container_elsewhere.cc"), 0) << out;
+  EXPECT_EQ(count_findings(out, "sharded_campaign_elsewhere.cc"), 0) << out;
 }
 
 TEST(Simlint, CleanFileExitsZeroWithNoOutput) {
@@ -163,7 +169,8 @@ TEST(Simlint, ListRulesNamesEveryRule) {
   for (const char* rule :
        {"banned-time", "banned-rng", "banned-thread", "hash-container",
         "pointer-keyed-map", "unsafe-c", "raw-instrumentation",
-        "transport-bypass", "pragma-once", "using-namespace-header"}) {
+        "transport-bypass", "ensemble-bypass", "pragma-once",
+        "using-namespace-header"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos) << rule;
   }
 }

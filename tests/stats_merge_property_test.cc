@@ -1,0 +1,179 @@
+// Property tests for the two shard-merge accumulators the parallel and
+// ensemble engines lean on: Welford (Chan et al. combine) and Ecdf (sorted
+// two-way merge). The sharded engine's determinism contract assumes a
+// shard split never changes the merged statistics — these tests check that
+// directly: merge is commutative and associative, and folding any
+// randomized partition of a sample equals a single pass over the whole
+// sample. Ecdf merges must be *exactly* equal (they move doubles, never
+// recompute them); Welford moments are compared under tight relative
+// tolerances because the combine reassociates floating-point sums.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "sim/rng.h"
+#include "stats/descriptive.h"
+
+namespace ptperf::stats {
+namespace {
+
+Welford accumulate(const std::vector<double>& xs) {
+  Welford w;
+  for (double x : xs) w.add(x);
+  return w;
+}
+
+void expect_welford_near(const Welford& a, const Welford& b) {
+  ASSERT_EQ(a.count(), b.count());
+  EXPECT_NEAR(a.mean(), b.mean(), 1e-9 * (1.0 + std::fabs(b.mean())));
+  EXPECT_NEAR(a.variance(), b.variance(),
+              1e-9 * (1.0 + std::fabs(b.variance())));
+}
+
+/// A mixed-scale sample: uniform bulk, heavy Pareto tail, a lognormal hump
+/// — roughly the shapes the campaign estimators actually see.
+std::vector<double> sample(sim::Rng& rng, std::size_t n) {
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (i % 3) {
+      case 0: xs.push_back(rng.uniform(0.0, 30.0)); break;
+      case 1: xs.push_back(rng.pareto(1.0, 1.5)); break;
+      default: xs.push_back(rng.lognormal(0.5, 1.0)); break;
+    }
+  }
+  return xs;
+}
+
+/// Splits xs into `parts` contiguous chunks at random cut points.
+std::vector<std::vector<double>> random_partition(sim::Rng& rng,
+                                                  const std::vector<double>& xs,
+                                                  std::size_t parts) {
+  std::vector<std::size_t> cuts{0, xs.size()};
+  for (std::size_t i = 1; i < parts; ++i)
+    cuts.push_back(rng.next_below(xs.size() + 1));
+  std::sort(cuts.begin(), cuts.end());
+  std::vector<std::vector<double>> out;
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i)
+    out.emplace_back(xs.begin() + static_cast<long>(cuts[i]),
+                     xs.begin() + static_cast<long>(cuts[i + 1]));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Welford
+
+TEST(WelfordMergeProperty, Commutes) {
+  sim::Rng rng(1001);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> xs = sample(rng, 1 + rng.next_below(40));
+    std::vector<double> ys = sample(rng, rng.next_below(40));
+    Welford ab = accumulate(xs);
+    ab.merge(accumulate(ys));
+    Welford ba = accumulate(ys);
+    ba.merge(accumulate(xs));
+    expect_welford_near(ab, ba);
+  }
+}
+
+TEST(WelfordMergeProperty, Associates) {
+  sim::Rng rng(1002);
+  for (int trial = 0; trial < 20; ++trial) {
+    Welford a = accumulate(sample(rng, rng.next_below(30)));
+    Welford b = accumulate(sample(rng, rng.next_below(30)));
+    Welford c = accumulate(sample(rng, 1 + rng.next_below(30)));
+    Welford left = a;  // (a + b) + c
+    left.merge(b);
+    left.merge(c);
+    Welford bc = b;  // a + (b + c)
+    bc.merge(c);
+    Welford right = a;
+    right.merge(bc);
+    expect_welford_near(left, right);
+  }
+}
+
+TEST(WelfordMergeProperty, AnyPartitionEqualsSinglePass) {
+  sim::Rng rng(1003);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<double> xs = sample(rng, 1 + rng.next_below(200));
+    Welford whole = accumulate(xs);
+    std::size_t parts = 2 + rng.next_below(6);
+    Welford merged;
+    for (const auto& chunk : random_partition(rng, xs, parts))
+      merged.merge(accumulate(chunk));
+    expect_welford_near(merged, whole);
+  }
+}
+
+TEST(WelfordMergeProperty, EmptySideIsIdentity) {
+  sim::Rng rng(1004);
+  std::vector<double> xs = sample(rng, 25);
+  Welford w = accumulate(xs);
+  Welford before = w;
+  w.merge(Welford{});  // right identity
+  expect_welford_near(w, before);
+  Welford empty;  // left identity
+  empty.merge(before);
+  expect_welford_near(empty, before);
+}
+
+// ---------------------------------------------------------------------------
+// Ecdf
+
+TEST(EcdfMergeProperty, CommutesExactly) {
+  sim::Rng rng(2001);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> xs = sample(rng, rng.next_below(50));
+    std::vector<double> ys = sample(rng, 1 + rng.next_below(50));
+    EXPECT_EQ(merged(Ecdf(xs), Ecdf(ys)).sorted(),
+              merged(Ecdf(ys), Ecdf(xs)).sorted());
+  }
+}
+
+TEST(EcdfMergeProperty, AssociatesExactly) {
+  sim::Rng rng(2002);
+  for (int trial = 0; trial < 20; ++trial) {
+    Ecdf a(sample(rng, rng.next_below(40)));
+    Ecdf b(sample(rng, rng.next_below(40)));
+    Ecdf c(sample(rng, 1 + rng.next_below(40)));
+    EXPECT_EQ(merged(merged(a, b), c).sorted(),
+              merged(a, merged(b, c)).sorted());
+  }
+}
+
+TEST(EcdfMergeProperty, AnyPartitionEqualsWholeSample) {
+  sim::Rng rng(2003);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<double> xs = sample(rng, 1 + rng.next_below(150));
+    Ecdf whole(xs);
+    std::size_t parts = 2 + rng.next_below(6);
+    Ecdf acc({});
+    for (const auto& chunk : random_partition(rng, xs, parts))
+      acc.merge(Ecdf(chunk));
+    // Exact: merging moves the same doubles, so even ties and duplicated
+    // values must land in identical order.
+    EXPECT_EQ(acc.sorted(), whole.sorted());
+    ASSERT_EQ(acc.size(), whole.size());
+    if (whole.size() > 0) {
+      EXPECT_EQ(acc.quantile(0.5), whole.quantile(0.5));
+      EXPECT_EQ(acc(1.0), whole(1.0));
+    }
+  }
+}
+
+TEST(EcdfMergeProperty, EmptySideIsIdentity) {
+  sim::Rng rng(2004);
+  std::vector<double> xs = sample(rng, 30);
+  Ecdf a(xs);
+  Ecdf b = merged(a, Ecdf({}));
+  EXPECT_EQ(a.sorted(), b.sorted());
+  Ecdf c = merged(Ecdf({}), a);
+  EXPECT_EQ(a.sorted(), c.sorted());
+}
+
+}  // namespace
+}  // namespace ptperf::stats

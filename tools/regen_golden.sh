@@ -2,13 +2,23 @@
 # Regenerates the golden-figure CSVs under tests/golden/ from the current
 # build. Run after an intentional change to sampling, statistics, or the
 # simulation model, then commit the diff alongside the change — the golden
-# suite (tests/golden_figures_test.cc) byte-compares against these files.
+# suites (tests/golden_figures_test.cc, tests/ensemble_test.cc)
+# byte-compare against these files.
 #
 # Usage: tools/regen_golden.sh [build-dir]   (default: build)
 #
-# Flags here must match tests/golden_figures_test.cc exactly. `#` comment
-# lines (seed/jobs/wall_s) are stripped: wall-clock is outside the
-# determinism contract.
+# Two phases:
+#   1. Base goldens at --repeats 1 (the pre-ensemble behaviour). Before
+#      replacing anything, each output is diffed against the checked-in
+#      golden: a drift means the single-run pipeline changed, which the
+#      ensemble layer alone must never do. The script aborts on drift
+#      unless ALLOW_DRIFT=1 acknowledges an intentional model change.
+#   2. Ensemble goldens from --repeats 3 --jobs 2 (fig5), regenerated from
+#      the base-verified build.
+#
+# Flags here must match the test files exactly. `#` comment lines
+# (seed/jobs/wall_s) are stripped: wall-clock is outside the determinism
+# contract.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -16,16 +26,48 @@ BUILD="${1:-build}"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
-run() {
+DRIFTED=0
+
+# Phase 1: base goldens, pinned to --repeats 1. Verify before replacing.
+run_base() {
   local bench="$1" csv="$2"
   shift 2
-  "$ROOT/$BUILD/bench/$bench" --scale 0.05 --seed 1 --jobs 2 \
+  "$ROOT/$BUILD/bench/$bench" --scale 0.05 --seed 1 --jobs 2 --repeats 1 \
     --out "$TMP" "$@" > /dev/null
-  grep -v '^#' "$TMP/$csv" > "$ROOT/tests/golden/$csv"
-  echo "regenerated tests/golden/$csv"
+  grep -v '^#' "$TMP/$csv" > "$TMP/new_$csv"
+  if [ -f "$ROOT/tests/golden/$csv" ] && \
+     ! cmp -s "$TMP/new_$csv" "$ROOT/tests/golden/$csv"; then
+    echo "DRIFT: tests/golden/$csv no longer matches a --repeats 1 run" >&2
+    diff -u "$ROOT/tests/golden/$csv" "$TMP/new_$csv" >&2 || true
+    DRIFTED=1
+  fi
+  cp "$TMP/new_$csv" "$TMP/stage_$csv"
 }
 
-run bench_fig2a_website_curl fig2a_boxes.csv
-run bench_fig5_file_download fig5_times.csv
-run bench_fig6_ttfb fig6_ttfb_ecdf.csv
-run bench_fig8_reliability fig8a_outcomes.csv --faults paper --retries 1
+run_base bench_fig2a_website_curl fig2a_boxes.csv
+run_base bench_fig5_file_download fig5_times.csv
+run_base bench_fig6_ttfb fig6_ttfb_ecdf.csv
+run_base bench_fig8_reliability fig8a_outcomes.csv --faults paper --retries 1
+
+if [ "$DRIFTED" -ne 0 ] && [ "${ALLOW_DRIFT:-0}" != "1" ]; then
+  echo "" >&2
+  echo "Base goldens drifted. If the simulation/statistics change is" >&2
+  echo "intentional, re-run with ALLOW_DRIFT=1 to accept the new base" >&2
+  echo "goldens; otherwise fix the regression first." >&2
+  exit 1
+fi
+
+for csv in fig2a_boxes.csv fig5_times.csv fig6_ttfb_ecdf.csv \
+           fig8a_outcomes.csv; do
+  cp "$TMP/stage_$csv" "$ROOT/tests/golden/$csv"
+  echo "regenerated tests/golden/$csv"
+done
+
+# Phase 2: ensemble goldens (fig5 at --repeats 3, checked by
+# EnsembleGolden.RepeatsThreeMatchesEnsembleGoldens).
+"$ROOT/$BUILD/bench/bench_fig5_file_download" --scale 0.05 --seed 1 \
+  --jobs 2 --repeats 3 --out "$TMP" > /dev/null
+for csv in fig5_ensemble.csv fig5_ensemble_paired.csv; do
+  grep -v '^#' "$TMP/$csv" > "$ROOT/tests/golden/$csv"
+  echo "regenerated tests/golden/$csv"
+done

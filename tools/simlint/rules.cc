@@ -292,6 +292,25 @@ void check_transport_bypass(const FileScan& scan, std::vector<Finding>& out) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: ensemble-bypass — a figure bench that constructs ShardedCampaign
+// directly sidesteps the ensemble layer: --repeats silently stops working
+// for that figure and its conclusions regress to the single-seed trials
+// the ensemble layer exists to retire. Figures go through
+// bench/common (ensemble_config + EnsembleCampaign); bench/common itself
+// and everything outside bench/ (the library, tests, tools) still compose
+// the engines directly.
+
+void check_ensemble_bypass(const FileScan& scan, std::vector<Finding>& out) {
+  if (!path_under(scan, {"bench/"})) return;
+  if (path_under(scan, {"bench/common"})) return;
+  ban_idents(scan, out, "ensemble-bypass",
+             {"ShardedCampaign", "ShardedCampaignConfig"},
+             "bypasses the ensemble layer, so --repeats cannot replicate "
+             "this figure; build the campaign via ensemble_config() and "
+             "EnsembleCampaign (bench/common.h)");
+}
+
+// ---------------------------------------------------------------------------
 // Rule: pragma-once — every header must have it (include-graph hygiene).
 
 void check_pragma_once(const FileScan& scan, std::vector<Finding>& out) {
@@ -334,6 +353,9 @@ const std::vector<Rule> kRules = {
     {"transport-bypass",
      "direct *Transport construction outside src/pt/ and the PtId registry",
      check_transport_bypass},
+    {"ensemble-bypass",
+     "direct ShardedCampaign construction in bench/ outside bench/common",
+     check_ensemble_bypass},
     {"pragma-once", "headers must contain #pragma once", check_pragma_once},
     {"using-namespace-header", "no using-directives in headers",
      check_using_namespace},

@@ -301,6 +301,71 @@ TEST(EnsembleGolden, RepeatsThreeMatchesEnsembleGoldens) {
                                      "/fig5_times.csv")));
 }
 
+/// Runs an arbitrary figure bench with the golden-suite base flags plus
+/// `extra`, writing CSVs into `out`.
+void run_bench(const std::string& bench, const std::string& extra,
+               const std::string& out) {
+  std::string cmd = std::string(BENCH_DIR) + "/" + bench +
+                    " --scale 0.05 --seed 1 " + extra + " --out '" + out +
+                    "' > /dev/null 2>&1";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+}
+
+struct EnsembleFigure {
+  const char* bench;
+  const char* base_csv;
+  const char* ensemble_csv;
+  const char* paired_csv;
+};
+
+class EnsembleGoldenFigures
+    : public ::testing::TestWithParam<EnsembleFigure> {};
+
+TEST_P(EnsembleGoldenFigures, RepeatsThreeMatchesEnsembleGoldens) {
+  const EnsembleFigure& fig = GetParam();
+  TempDir tmp;
+  ASSERT_FALSE(tmp.path().empty());
+  run_bench(fig.bench, "--jobs 2 --repeats 3", tmp.path());
+  for (const char* csv : {fig.ensemble_csv, fig.paired_csv}) {
+    std::string produced = strip_comments(read_file(tmp.path() + "/" + csv));
+    std::string golden =
+        strip_comments(read_file(std::string(GOLDEN_DIR) + "/" + csv));
+    ASSERT_FALSE(produced.empty()) << csv << " is empty";
+    EXPECT_EQ(produced, golden)
+        << csv << " drifted from tests/golden/. If intended, regenerate "
+        << "with tools/regen_golden.sh and commit the diff.";
+  }
+  // Repetition 0 is the base campaign: the single-run table must be
+  // untouched by extra repetitions.
+  EXPECT_EQ(strip_comments(read_file(tmp.path() + "/" + fig.base_csv)),
+            strip_comments(read_file(std::string(GOLDEN_DIR) + "/" +
+                                     fig.base_csv)));
+}
+
+TEST_P(EnsembleGoldenFigures, RepeatsOneMatchesBaseGoldenAndEmitsNoEnsemble) {
+  const EnsembleFigure& fig = GetParam();
+  TempDir tmp;
+  ASSERT_FALSE(tmp.path().empty());
+  run_bench(fig.bench, "--jobs 2 --repeats 1", tmp.path());
+  EXPECT_EQ(strip_comments(read_file(tmp.path() + "/" + fig.base_csv)),
+            strip_comments(read_file(std::string(GOLDEN_DIR) + "/" +
+                                     fig.base_csv)));
+  std::ifstream ensemble_csv(tmp.path() + "/" + fig.ensemble_csv);
+  EXPECT_FALSE(ensemble_csv.good())
+      << "--repeats 1 must not emit ensemble CSVs";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig2aAndFig6, EnsembleGoldenFigures,
+    ::testing::Values(
+        EnsembleFigure{"bench_fig2a_website_curl", "fig2a_boxes.csv",
+                       "fig2a_ensemble.csv", "fig2a_ensemble_paired.csv"},
+        EnsembleFigure{"bench_fig6_ttfb", "fig6_ttfb_ecdf.csv",
+                       "fig6_ensemble.csv", "fig6_ensemble_paired.csv"}),
+    [](const ::testing::TestParamInfo<EnsembleFigure>& info) {
+      return std::string(info.param.bench);
+    });
+
 TEST(EnsembleGolden, EnsembleCsvIsByteIdenticalAcrossJobCounts) {
   TempDir seq, par;
   ASSERT_FALSE(seq.path().empty());

@@ -1,0 +1,13 @@
+// Include-cycle fixture, half 1: a.h -> b.h -> a.h. Same-directory quoted
+// includes so the cycle resolves no matter which root the corpus is linted
+// from.
+#pragma once
+
+#include "b.h"
+
+namespace fixture {
+struct A {
+  int from_b() { return kB; }
+};
+inline constexpr int kA = 1;
+}  // namespace fixture

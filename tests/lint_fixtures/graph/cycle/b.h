@@ -1,0 +1,8 @@
+// Include-cycle fixture, half 2: see a.h.
+#pragma once
+
+#include "a.h"
+
+namespace fixture {
+inline constexpr int kB = 2;
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// Conforming fixture: net may include util per graph/layers.conf.
+#pragma once
+
+#include "util/helper.h"
+
+namespace fixture {
+inline int uses_util() { return helper(); }
+}  // namespace fixture

@@ -1,0 +1,6 @@
+// Undeclared-module fixture: src/stray is not in graph/layers.conf.
+#pragma once
+
+namespace fixture {
+inline int lone() { return 0; }
+}  // namespace fixture

@@ -1,0 +1,6 @@
+// Bottom-layer fixture: depends on nothing.
+#pragma once
+
+namespace fixture {
+inline int helper() { return 1; }
+}  // namespace fixture

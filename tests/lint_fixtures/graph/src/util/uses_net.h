@@ -1,0 +1,8 @@
+// Layer-violation fixture: util reaching up into net.
+#pragma once
+
+#include "net/uses_util.h"
+
+namespace fixture {
+inline int uses_net() { return uses_util(); }
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Negative-space fixture for switch-exhaustive: partial coverage is fine
+// when a default handles the rest.
+#include "switch_enums.h"
+
+namespace fixture {
+
+int cost_with_default(CarrierKind k) {
+  switch (k) {
+    case CarrierKind::kRaw:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace fixture

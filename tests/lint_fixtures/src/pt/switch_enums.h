@@ -1,0 +1,9 @@
+// Fixture enums for switch-exhaustive. CarrierKind is one of the guarded
+// enum names; the rule reads the enumerator list from this definition.
+#pragma once
+
+namespace fixture {
+
+enum class CarrierKind { kRaw, kTls, kDoh };
+
+}  // namespace fixture

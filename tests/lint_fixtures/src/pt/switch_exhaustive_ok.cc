@@ -1,0 +1,20 @@
+// Negative-space fixture for switch-exhaustive: all three enumerators
+// covered, no default needed — adding an enumerator will surface here as a
+// new finding, which is the point of the rule.
+#include "switch_enums.h"
+
+namespace fixture {
+
+int cost_exhaustive(CarrierKind k) {
+  switch (k) {
+    case CarrierKind::kRaw:
+      return 1;
+    case CarrierKind::kTls:
+      return 2;
+    case CarrierKind::kDoh:
+      return 3;
+  }
+  return 0;
+}
+
+}  // namespace fixture

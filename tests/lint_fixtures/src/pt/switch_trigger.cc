@@ -1,0 +1,16 @@
+// Trigger fixture for switch-exhaustive: covers 1 of 3 CarrierKind
+// enumerators and has no default, so new carriers would be silently
+// dropped. Expected: exactly one finding.
+#include "switch_enums.h"
+
+namespace fixture {
+
+int cost(CarrierKind k) {
+  switch (k) {
+    case CarrierKind::kRaw:
+      return 1;
+  }
+  return 0;
+}
+
+}  // namespace fixture

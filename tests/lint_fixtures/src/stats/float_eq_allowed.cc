@@ -1,0 +1,11 @@
+// Suppression fixture for float-eq: the exact comparison is a deliberate
+// degenerate-case guard, waived with a reason.
+namespace fixture {
+
+bool guard(double se) {
+  // simlint: allow(float-eq) -- fixture: exact zero marks the degenerate branch
+  if (se == 0) return true;
+  return false;
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Negative-space fixture for float-eq: tolerance comparisons and integer
+// equality must not fire.
+namespace fixture {
+
+bool close_enough(double a, double b) {
+  double diff = a - b;
+  if (diff < 0) diff = -diff;
+  return diff < 1e-9;
+}
+
+bool same_count(int lhs_n, int rhs_n) { return lhs_n == rhs_n; }
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Trigger fixture for float-eq: exact ==/!= with floating operands inside
+// src/stats. Expected findings: the `se == 0` (declared double), the
+// `x != 0.5` (float literal), and nothing else.
+namespace fixture {
+
+bool degenerate(double se, int n) {
+  double x = se * n;
+  if (se == 0) return true;
+  if (x != 0.5) return false;
+  return n > 0;
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Suppression fixture for unordered-iteration: the iteration feeds an
+// order-insensitive accumulator before anything is emitted, waived with a
+// reason.
+#include "unordered_state.h"
+
+namespace fixture {
+
+struct Table {
+  int rows = 0;
+};
+
+int dump_sum(const SessionState& state) {
+  Table table;
+  // simlint: allow(unordered-iteration) -- fixture: sum is order-insensitive
+  for (const auto& kv : state.sessions) table.rows += kv.second;
+  return table.rows;
+}
+
+}  // namespace fixture

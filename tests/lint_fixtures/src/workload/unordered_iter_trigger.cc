@@ -1,0 +1,26 @@
+// Trigger fixture for unordered-iteration: this TU emits output (Table) and
+// iterates the unordered container declared in unordered_state.h — hash
+// order reaches the bytes. Expected: two findings (range-for and explicit
+// begin()).
+#include "unordered_state.h"
+
+namespace fixture {
+
+struct Table {
+  void add_row(int k, int v) { rows += k + v; }
+  int rows = 0;
+};
+
+int dump(const SessionState& state) {
+  Table table;
+  for (const auto& kv : state.sessions) {
+    table.add_row(kv.first, kv.second);
+  }
+  int n = 0;
+  for (auto it = state.sessions.begin(); it != state.sessions.end(); ++it) {
+    ++n;
+  }
+  return table.rows + n;
+}
+
+}  // namespace fixture

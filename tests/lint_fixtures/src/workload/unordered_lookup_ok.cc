@@ -1,0 +1,19 @@
+// Negative-space fixture for unordered-iteration: this TU emits output but
+// only does point lookups on the unordered container — no iteration, no
+// hash-order leak.
+#include "unordered_state.h"
+
+namespace fixture {
+
+struct Table {
+  int rows = 0;
+};
+
+int lookups(const SessionState& state) {
+  Table table;
+  table.rows = static_cast<int>(state.sessions.count(3));
+  auto it = state.sessions.find(7);
+  return table.rows + (it != state.sessions.end() ? it->second : 0);
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Negative-space fixture for unordered-iteration: iterates the unordered
+// container but this TU emits nothing, so hash order cannot reach any
+// output bytes.
+#include "unordered_state.h"
+
+namespace fixture {
+
+int total(const SessionState& state) {
+  int sum = 0;
+  for (const auto& kv : state.sessions) sum += kv.second;
+  return sum;
+}
+
+}  // namespace fixture

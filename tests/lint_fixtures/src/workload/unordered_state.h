@@ -1,0 +1,14 @@
+// Taint-source fixture for unordered-iteration: the container is declared
+// here, in a header that emits nothing; the violation only exists in a TU
+// that both includes this and writes output.
+#pragma once
+
+#include <unordered_map>
+
+namespace fixture {
+
+struct SessionState {
+  std::unordered_map<int, int> sessions;
+};
+
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Trigger fixture for unused-suppression: a well-formed waiver whose
+// finding was fixed long ago. Expected: one unused-suppression finding on
+// the waiver line.
+namespace fixture {
+
+// simlint: allow(banned-time) -- fixture: the wall-clock call below was removed
+int no_longer_calls_time() { return 42; }
+
+}  // namespace fixture

@@ -80,6 +80,18 @@ TEST_F(SimlintCorpus, FindingsFailTheRun) {
 
 TEST_F(SimlintCorpus, EveryRuleFiresOnItsTriggerFixture) {
   const auto& out = corpus().output;
+  EXPECT_TRUE(has_finding(out, "graph/cycle/a.h", "include-cycle")) << out;
+  EXPECT_TRUE(has_finding(out, "src/stats/float_eq_trigger.cc", "float-eq"))
+      << out;
+  EXPECT_TRUE(has_finding(out, "src/pt/switch_trigger.cc",
+                          "switch-exhaustive"))
+      << out;
+  EXPECT_TRUE(has_finding(out, "src/workload/unordered_iter_trigger.cc",
+                          "unordered-iteration"))
+      << out;
+  EXPECT_TRUE(has_finding(out, "unused_suppression_trigger.cc",
+                          "unused-suppression"))
+      << out;
   EXPECT_TRUE(has_finding(out, "banned_time_trigger.cc", "banned-time")) << out;
   EXPECT_TRUE(has_finding(out, "banned_rng_trigger.cc", "banned-rng")) << out;
   EXPECT_TRUE(has_finding(out, "banned_thread_trigger.cc", "banned-thread"))
@@ -122,6 +134,17 @@ TEST_F(SimlintCorpus, TriggerFixturesReportExpectedCounts) {
   EXPECT_EQ(count_findings(out, "transport_bypass_trigger.cc"), 1) << out;
   // ShardedCampaignConfig + ShardedCampaign, one finding each.
   EXPECT_EQ(count_findings(out, "ensemble_bypass_trigger.cc"), 2) << out;
+  // One == and one != with floating operands.
+  EXPECT_EQ(count_findings(out, "float_eq_trigger.cc"), 2) << out;
+  // The range-for and the explicit .begin() walk.
+  EXPECT_EQ(count_findings(out, "unordered_iter_trigger.cc"), 2) << out;
+  // One cycle, reported once, anchored at the lexicographically first file
+  // (the ":" keeps the match on the file:line prefix — the chain in the
+  // message names both files).
+  EXPECT_EQ(count_findings(out, "graph/cycle/a.h:"), 1) << out;
+  EXPECT_EQ(count_findings(out, "graph/cycle/b.h:"), 0) << out;
+  EXPECT_EQ(count_findings(out, "switch_trigger.cc"), 1) << out;
+  EXPECT_EQ(count_findings(out, "unused_suppression_trigger.cc"), 1) << out;
 }
 
 TEST_F(SimlintCorpus, SuppressionFixturesAreSilent) {
@@ -145,6 +168,102 @@ TEST_F(SimlintCorpus, NoFalsePositivesOnNegativeSpaceFixtures) {
   // Path-scoped rules must stay scoped to the deterministic core.
   EXPECT_EQ(count_findings(out, "hash_container_elsewhere.cc"), 0) << out;
   EXPECT_EQ(count_findings(out, "sharded_campaign_elsewhere.cc"), 0) << out;
+  // Tolerance compares and renamed int equality never fire float-eq.
+  EXPECT_EQ(count_findings(out, "float_eq_tolerance_ok.cc"), 0) << out;
+  // Partial-with-default and fully exhaustive switches are fine.
+  EXPECT_EQ(count_findings(out, "switch_default_ok.cc"), 0) << out;
+  EXPECT_EQ(count_findings(out, "switch_exhaustive_ok.cc"), 0) << out;
+  // Lookups on unordered containers and iteration without emission are fine.
+  EXPECT_EQ(count_findings(out, "unordered_lookup_ok.cc"), 0) << out;
+  EXPECT_EQ(count_findings(out, "unordered_noemit_ok.cc"), 0) << out;
+  // Layer conformance is opt-in: no --layers, no layer-violation findings.
+  EXPECT_FALSE(has_finding(out, "graph/src", "layer-violation")) << out;
+}
+
+TEST(SimlintLayers, UpwardIncludeAndUndeclaredModuleAreFlagged) {
+  LintRun run = run_simlint("--layers " + fixture("graph/layers.conf") + " " +
+                            fixture("graph/src"));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_TRUE(has_finding(run.output, "util/uses_net.h", "layer-violation"))
+      << run.output;
+  EXPECT_TRUE(has_finding(run.output, "stray/lone.h", "layer-violation"))
+      << run.output;
+  // The conforming net -> util edge is silent (":" pins the match to the
+  // file:line prefix; the violation message also names uses_util.h).
+  EXPECT_EQ(count_findings(run.output, "uses_util.h:"), 0) << run.output;
+  EXPECT_EQ(count_findings(run.output, "helper.h:"), 0) << run.output;
+}
+
+TEST(SimlintLayers, MalformedLayersConfigIsAUsageError) {
+  LintRun run =
+      run_simlint("--layers " + fixture("graph/src/util/helper.h") + " " +
+                  fixture("graph/src"));
+  EXPECT_EQ(run.exit_code, 2) << run.output;
+}
+
+TEST(SimlintBaseline, BaselineAbsorbsOldFindingsAndFlagsNewOnes) {
+  // Baseline the trigger file, then lint it again: exit 0, everything
+  // absorbed. Lint a second trigger with the same baseline: its findings
+  // are new and must fail the run.
+  std::string base = std::string(::testing::TempDir()) + "simlint_base.json";
+  LintRun write = run_simlint("--write-baseline " + base + " " +
+                              fixture("src/stats/float_eq_trigger.cc"));
+  EXPECT_EQ(write.exit_code, 1) << write.output;
+
+  LintRun clean = run_simlint("--baseline " + base + " " +
+                              fixture("src/stats/float_eq_trigger.cc"));
+  EXPECT_EQ(clean.exit_code, 0) << clean.output;
+  EXPECT_NE(clean.output.find("2 baselined findings suppressed"),
+            std::string::npos)
+      << clean.output;
+
+  LintRun dirty = run_simlint("--baseline " + base + " " +
+                              fixture("src/stats/float_eq_trigger.cc") + " " +
+                              fixture("unsafe_c_trigger.cc"));
+  EXPECT_EQ(dirty.exit_code, 1) << dirty.output;
+  EXPECT_TRUE(has_finding(dirty.output, "unsafe_c_trigger.cc", "unsafe-c"))
+      << dirty.output;
+  EXPECT_EQ(count_findings(dirty.output, "float_eq_trigger.cc"), 0)
+      << dirty.output;
+  std::remove(base.c_str());
+}
+
+TEST(SimlintBaseline, RetiredEntriesAreReportedForPruning) {
+  std::string base = std::string(::testing::TempDir()) + "simlint_ret.json";
+  LintRun write = run_simlint("--write-baseline " + base + " " +
+                              fixture("src/stats/float_eq_trigger.cc"));
+  EXPECT_EQ(write.exit_code, 1) << write.output;
+  // Lint a clean file against that baseline: nothing matches, so the
+  // baseline entry is retired (reported, but the run stays green).
+  LintRun run = run_simlint("--baseline " + base + " " + fixture("clean.cc"));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("no longer matches (prune it)"),
+            std::string::npos)
+      << run.output;
+  std::remove(base.c_str());
+}
+
+TEST(SimlintBaseline, MalformedBaselineIsAUsageError) {
+  LintRun run = run_simlint("--baseline " + fixture("clean.cc") + " " +
+                            fixture("clean.cc"));
+  EXPECT_EQ(run.exit_code, 2) << run.output;
+}
+
+TEST(SimlintSarif, SarifOnStdoutCarriesRuleAndLocation) {
+  LintRun run =
+      run_simlint("--sarif - " + fixture("src/stats/float_eq_trigger.cc"));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("\"version\": \"2.1.0\""), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("sarif-2.1.0.json"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("\"ruleId\": \"float-eq\""), std::string::npos)
+      << run.output;
+  // Artifact URIs are invocation-stable baseline keys.
+  EXPECT_NE(run.output.find(
+                "\"uri\": \"src/stats/float_eq_trigger.cc\""),
+            std::string::npos)
+      << run.output;
 }
 
 TEST(Simlint, CleanFileExitsZeroWithNoOutput) {
@@ -170,7 +289,9 @@ TEST(Simlint, ListRulesNamesEveryRule) {
        {"banned-time", "banned-rng", "banned-thread", "hash-container",
         "pointer-keyed-map", "unsafe-c", "raw-instrumentation",
         "transport-bypass", "ensemble-bypass", "pragma-once",
-        "using-namespace-header"}) {
+        "using-namespace-header", "include-cycle", "layer-violation",
+        "unordered-iteration", "float-eq", "switch-exhaustive",
+        "unused-suppression", "bad-suppression"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos) << rule;
   }
 }

@@ -1,0 +1,374 @@
+// Unit tests for the simlint v2 analysis core, linked against simlint_lib
+// directly (no subprocess): path normalization and module mapping, include
+// resolution into the project model, layer-DAG parsing and validation,
+// include-cycle detection, baseline load/serialize/match, and structural
+// validation of the SARIF 2.1 emitter through simlint's own JSON parser.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "baseline.h"
+#include "graph.h"
+#include "json.h"
+#include "lexer.h"
+#include "project.h"
+#include "rules.h"
+#include "sarif.h"
+
+namespace {
+
+using simlint::Baseline;
+using simlint::BaselineMatch;
+using simlint::FileScan;
+using simlint::FileSummary;
+using simlint::Finding;
+using simlint::LayerConfig;
+using simlint::Project;
+
+Project make_project(
+    const std::vector<std::pair<std::string, std::string>>& files,
+    std::vector<std::string> roots) {
+  std::vector<FileScan> scans;
+  for (const auto& [path, contents] : files) {
+    scans.push_back(simlint::scan_file(path, contents));
+  }
+  return Project::build(std::move(scans), std::move(roots));
+}
+
+TEST(NormalizePath, FoldsDotsAndDoubleSlashes) {
+  EXPECT_EQ(simlint::normalize_path("a/b/../c"), "a/c");
+  EXPECT_EQ(simlint::normalize_path("./a//b/./x.h"), "a/b/x.h");
+  EXPECT_EQ(simlint::normalize_path("/root/tmp/../repo/src"),
+            "/root/repo/src");
+  EXPECT_EQ(simlint::normalize_path("../x.h"), "../x.h");
+  EXPECT_EQ(simlint::normalize_path("a/../../x.h"), "../x.h");
+}
+
+TEST(ModuleOf, MapsStructuralSegmentsFromTheRight) {
+  EXPECT_EQ(simlint::module_of("src/net/pipe.h"), "src/net");
+  EXPECT_EQ(simlint::module_of("/abs/repo/src/tor/circuit.cc"), "src/tor");
+  EXPECT_EQ(simlint::module_of("bench/fig5.cc"), "bench");
+  EXPECT_EQ(simlint::module_of("tools/simlint/main.cc"), "tools");
+  // Fixture trees embedding an src/ layout map like the real tree.
+  EXPECT_EQ(simlint::module_of("tests/lint_fixtures/src/sim/x.cc"),
+            "src/sim");
+  EXPECT_EQ(simlint::module_of("README.md"), "");
+}
+
+TEST(BaselineKeyPath, IsInvocationStable) {
+  EXPECT_EQ(simlint::baseline_key_path("src/stats/ttest.cc"),
+            "src/stats/ttest.cc");
+  EXPECT_EQ(simlint::baseline_key_path("/root/repo/src/stats/ttest.cc"),
+            "src/stats/ttest.cc");
+  EXPECT_EQ(simlint::baseline_key_path("repo/bench/fig5.cc"),
+            "bench/fig5.cc");
+}
+
+TEST(SummarizeFile, ExtractsFloatsUnorderedEmissionAndEnums) {
+  FileScan scan = simlint::scan_file(
+      "src/x/y.cc",
+      "#include <unordered_map>\n"
+      "enum class PtId { kA = 1, kB, kC };\n"
+      "struct S { std::unordered_map<int, int> members_; };\n"
+      "double se = 0;\n"
+      "void f(double mean, int n) { Table t; (void)t; }\n");
+  FileSummary s = simlint::summarize_file(scan);
+  EXPECT_TRUE(s.emits_output);
+  ASSERT_EQ(s.enums.size(), 1u);
+  EXPECT_EQ(s.enums[0].first, "PtId");
+  EXPECT_EQ(s.enums[0].second,
+            (std::vector<std::string>{"kA", "kB", "kC"}));
+  EXPECT_NE(std::find(s.unordered_idents.begin(), s.unordered_idents.end(),
+                      "members_"),
+            s.unordered_idents.end());
+  EXPECT_NE(std::find(s.float_idents.begin(), s.float_idents.end(), "se"),
+            s.float_idents.end());
+  EXPECT_NE(std::find(s.float_idents.begin(), s.float_idents.end(), "mean"),
+            s.float_idents.end());
+  // The function name itself is not a float operand.
+  EXPECT_EQ(std::find(s.float_idents.begin(), s.float_idents.end(), "f"),
+            s.float_idents.end());
+}
+
+TEST(ProjectModel, ResolvesIncludesAgainstIncluderDirThenRoots) {
+  Project p = make_project(
+      {{"src/net/pipe.h", "#pragma once\n#include \"link.h\"\n"},
+       {"src/net/link.h", "#pragma once\n"},
+       {"src/tor/circuit.cc", "#include \"net/pipe.h\"\n"}},
+      {"src"});
+  int pipe = p.index_of("src/net/pipe.h");
+  int link = p.index_of("src/net/link.h");
+  int circuit = p.index_of("src/tor/circuit.cc");
+  ASSERT_GE(pipe, 0);
+  ASSERT_GE(link, 0);
+  ASSERT_GE(circuit, 0);
+  // pipe.h resolves "link.h" against its own directory.
+  ASSERT_EQ(p.files()[pipe].includes.size(), 1u);
+  EXPECT_EQ(p.files()[pipe].includes[0].first, link);
+  // circuit.cc resolves "net/pipe.h" against the root "src".
+  ASSERT_EQ(p.files()[circuit].includes.size(), 1u);
+  EXPECT_EQ(p.files()[circuit].includes[0].first, pipe);
+  // Closure summary walks the include graph transitively.
+  EXPECT_EQ(p.files()[circuit].module, "src/tor");
+}
+
+TEST(ProjectModel, ClosureSummaryUnionsTransitiveIncludes) {
+  Project p = make_project(
+      {{"src/a/top.cc", "#include \"a/mid.h\"\nint main() { return 0; }\n"},
+       {"src/a/mid.h", "#pragma once\n#include \"a/leaf.h\"\n"},
+       {"src/a/leaf.h",
+        "#pragma once\n#include <unordered_map>\n"
+        "struct L { std::unordered_map<int, int> table_; };\n"}},
+      {"src"});
+  int top = p.index_of("src/a/top.cc");
+  ASSERT_GE(top, 0);
+  FileSummary closure = p.closure_summary(top);
+  EXPECT_NE(std::find(closure.unordered_idents.begin(),
+                      closure.unordered_idents.end(), "table_"),
+            closure.unordered_idents.end());
+}
+
+TEST(ProjectModel, AngleIncludesNeverResolveToProjectFiles) {
+  Project p = make_project(
+      {{"src/a/x.cc", "#include <vector>\n#include <a/y.h>\n"},
+       {"src/a/y.h", "#pragma once\n"}},
+      {"src"});
+  int x = p.index_of("src/a/x.cc");
+  ASSERT_GE(x, 0);
+  EXPECT_TRUE(p.files()[x].includes.empty());
+}
+
+TEST(LayerConfig, ParsesCommentsWildcardsAndAllowLists) {
+  LayerConfig cfg;
+  std::string error;
+  ASSERT_TRUE(LayerConfig::parse("# comment\n"
+                                 "src/util:\n"
+                                 "src/net: src/util  # inline comment\n"
+                                 "bench: *\n",
+                                 &cfg, &error))
+      << error;
+  EXPECT_TRUE(cfg.knows("src/util"));
+  EXPECT_TRUE(cfg.allowed("src/net", "src/util"));
+  EXPECT_FALSE(cfg.allowed("src/util", "src/net"));
+  EXPECT_TRUE(cfg.allowed("src/util", "src/util"));  // self-edges implicit
+  EXPECT_TRUE(cfg.allowed("bench", "src/net"));      // wildcard
+  EXPECT_FALSE(cfg.allowed("unknown", "src/util"));
+}
+
+TEST(LayerConfig, RejectsBadDeclarations) {
+  LayerConfig cfg;
+  std::string error;
+  EXPECT_FALSE(LayerConfig::parse("not-a-declaration\n", &cfg, &error));
+  EXPECT_FALSE(
+      LayerConfig::parse("src/a:\nsrc/a: src/b\n", &cfg, &error));  // dup
+  EXPECT_FALSE(LayerConfig::parse("src/a: src/b\n", &cfg, &error));
+  EXPECT_NE(error.find("undeclared"), std::string::npos) << error;
+  EXPECT_FALSE(LayerConfig::parse("src/a: src/a\n", &cfg, &error));  // self
+  EXPECT_FALSE(LayerConfig::parse("src/a: src/b\nsrc/b: src/a\n", &cfg,
+                                  &error));  // declared cycle
+  EXPECT_NE(error.find("cycle"), std::string::npos) << error;
+}
+
+TEST(IncludeCycles, DetectsAndCanonicalizesOneCyclePerLoop) {
+  Project p = make_project(
+      {{"src/a/one.h", "#pragma once\n#include \"a/two.h\"\n"},
+       {"src/a/two.h", "#pragma once\n#include \"a/one.h\"\n"},
+       {"src/a/acyclic.h", "#pragma once\n#include \"a/one.h\"\n"}},
+      {"src"});
+  std::vector<std::vector<int>> cycles = simlint::find_include_cycles(p);
+  ASSERT_EQ(cycles.size(), 1u);
+  ASSERT_EQ(cycles[0].size(), 2u);
+  // Rotated so the lexicographically smallest path leads.
+  EXPECT_EQ(p.files()[cycles[0][0]].scan.norm_path, "src/a/one.h");
+}
+
+TEST(IncludeCycles, AcyclicGraphYieldsNoCycles) {
+  Project p = make_project(
+      {{"src/a/x.h", "#pragma once\n#include \"a/y.h\"\n"},
+       {"src/a/y.h", "#pragma once\n"},
+       // Diamond: two paths to y.h, still acyclic.
+       {"src/a/z.h", "#pragma once\n#include \"a/x.h\"\n#include \"a/y.h\"\n"}},
+      {"src"});
+  EXPECT_TRUE(simlint::find_include_cycles(p).empty());
+}
+
+TEST(BaselineRoundTrip, SerializeThenLoadThenMatch) {
+  std::vector<Finding> findings = {
+      {"src/stats/ttest.cc", 126, "float-eq", "exact compare"},
+      {"src/stats/ttest.cc", 144, "float-eq", "exact compare"},
+      {"bench/fig5.cc", 10, "unsafe-c", "atoi"},
+  };
+  std::string doc = Baseline::serialize(findings);
+  Baseline base;
+  std::string error;
+  ASSERT_TRUE(Baseline::load(doc, &base, &error)) << error;
+  EXPECT_EQ(base.size(), 2u);  // two signatures, one with count 2
+
+  // Same findings (different invocation prefix): all absorbed.
+  std::vector<Finding> relocated = {
+      {"/abs/src/stats/ttest.cc", 127, "float-eq", "exact compare"},
+      {"/abs/src/stats/ttest.cc", 150, "float-eq", "exact compare"},
+      {"/abs/bench/fig5.cc", 11, "unsafe-c", "atoi"},
+  };
+  BaselineMatch m = base.match(relocated);
+  EXPECT_TRUE(m.fresh.empty());
+  EXPECT_EQ(m.matched, 3);
+  EXPECT_TRUE(m.retired.empty());
+
+  // A third float-eq exceeds the budget of 2 -> fresh; dropping the
+  // unsafe-c signature retires it.
+  std::vector<Finding> grown = {
+      {"src/stats/ttest.cc", 1, "float-eq", "exact compare"},
+      {"src/stats/ttest.cc", 2, "float-eq", "exact compare"},
+      {"src/stats/ttest.cc", 3, "float-eq", "exact compare"},
+  };
+  m = base.match(grown);
+  ASSERT_EQ(m.fresh.size(), 1u);
+  EXPECT_EQ(m.fresh[0].rule, "float-eq");
+  ASSERT_EQ(m.retired.size(), 1u);
+  EXPECT_NE(m.retired[0].find("unsafe-c"), std::string::npos);
+}
+
+TEST(BaselineRoundTrip, LoadRejectsMalformedDocuments) {
+  Baseline base;
+  std::string error;
+  EXPECT_FALSE(Baseline::load("[]", &base, &error));
+  EXPECT_FALSE(Baseline::load("{\"version\": 2, \"findings\": []}", &base,
+                              &error));
+  EXPECT_FALSE(Baseline::load("{\"version\": 1}", &base, &error));
+  EXPECT_FALSE(Baseline::load(
+      "{\"version\": 1, \"findings\": [{\"file\": \"x\"}]}", &base, &error));
+  EXPECT_FALSE(Baseline::load("{", &base, &error));
+}
+
+TEST(JsonParser, ParsesScalarsContainersAndReportsErrors) {
+  simlint::json::Value v;
+  std::string error;
+  ASSERT_TRUE(simlint::json::parse(
+      "{\"a\": [1, 2.5, true, null, \"s\\n\"], \"b\": {\"c\": -3}}", &v,
+      &error))
+      << error;
+  ASSERT_TRUE(v.is_object());
+  const simlint::json::Value* a =
+      v.get("a", simlint::json::Value::Kind::kArray);
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array.size(), 5u);
+  EXPECT_EQ(a->array[1].number, 2.5);
+  EXPECT_TRUE(a->array[2].boolean);
+  EXPECT_TRUE(a->array[3].is_null());
+  EXPECT_EQ(a->array[4].str, "s\n");
+  EXPECT_FALSE(simlint::json::parse("{\"a\": }", &v, &error));
+  EXPECT_FALSE(simlint::json::parse("{} trailing", &v, &error));
+  EXPECT_FALSE(simlint::json::parse("'single'", &v, &error));
+}
+
+TEST(Sarif, EmittedDocumentIsStructurallyValid21) {
+  std::vector<Finding> findings = {
+      {"/abs/src/stats/ttest.cc", 126, "float-eq", "exact \"compare\""},
+      {"src/net/pipe.cc", 7, "hash-container", "unordered"},
+  };
+  std::string doc = simlint::to_sarif(findings);
+
+  simlint::json::Value v;
+  std::string error;
+  ASSERT_TRUE(simlint::json::parse(doc, &v, &error)) << error << "\n" << doc;
+
+  const simlint::json::Value* schema =
+      v.get("$schema", simlint::json::Value::Kind::kString);
+  ASSERT_NE(schema, nullptr);
+  EXPECT_NE(schema->str.find("sarif-2.1.0"), std::string::npos);
+  const simlint::json::Value* version =
+      v.get("version", simlint::json::Value::Kind::kString);
+  ASSERT_NE(version, nullptr);
+  EXPECT_EQ(version->str, "2.1.0");
+
+  const simlint::json::Value* runs =
+      v.get("runs", simlint::json::Value::Kind::kArray);
+  ASSERT_NE(runs, nullptr);
+  ASSERT_EQ(runs->array.size(), 1u);
+  const simlint::json::Value& run = runs->array[0];
+
+  const simlint::json::Value* tool =
+      run.get("tool", simlint::json::Value::Kind::kObject);
+  ASSERT_NE(tool, nullptr);
+  const simlint::json::Value* driver =
+      tool->get("driver", simlint::json::Value::Kind::kObject);
+  ASSERT_NE(driver, nullptr);
+  const simlint::json::Value* name =
+      driver->get("name", simlint::json::Value::Kind::kString);
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(name->str, "simlint");
+  const simlint::json::Value* rule_meta =
+      driver->get("rules", simlint::json::Value::Kind::kArray);
+  ASSERT_NE(rule_meta, nullptr);
+  EXPECT_EQ(rule_meta->array.size(), simlint::rules().size());
+
+  const simlint::json::Value* results =
+      run.get("results", simlint::json::Value::Kind::kArray);
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->array.size(), findings.size());
+  for (std::size_t i = 0; i < results->array.size(); ++i) {
+    const simlint::json::Value& r = results->array[i];
+    const simlint::json::Value* rule_id =
+        r.get("ruleId", simlint::json::Value::Kind::kString);
+    ASSERT_NE(rule_id, nullptr);
+    EXPECT_EQ(rule_id->str, findings[i].rule);
+    // ruleIndex must point at the matching driver rule.
+    const simlint::json::Value* rule_index =
+        r.get("ruleIndex", simlint::json::Value::Kind::kNumber);
+    ASSERT_NE(rule_index, nullptr);
+    const simlint::json::Value* indexed_id =
+        rule_meta->array[static_cast<std::size_t>(rule_index->number)].get(
+            "id", simlint::json::Value::Kind::kString);
+    ASSERT_NE(indexed_id, nullptr);
+    EXPECT_EQ(indexed_id->str, findings[i].rule);
+    const simlint::json::Value* message =
+        r.get("message", simlint::json::Value::Kind::kObject);
+    ASSERT_NE(message, nullptr);
+    EXPECT_NE(message->get("text", simlint::json::Value::Kind::kString),
+              nullptr);
+    const simlint::json::Value* locations =
+        r.get("locations", simlint::json::Value::Kind::kArray);
+    ASSERT_NE(locations, nullptr);
+    ASSERT_EQ(locations->array.size(), 1u);
+    const simlint::json::Value* phys = locations->array[0].get(
+        "physicalLocation", simlint::json::Value::Kind::kObject);
+    ASSERT_NE(phys, nullptr);
+    const simlint::json::Value* artifact = phys->get(
+        "artifactLocation", simlint::json::Value::Kind::kObject);
+    ASSERT_NE(artifact, nullptr);
+    const simlint::json::Value* uri =
+        artifact->get("uri", simlint::json::Value::Kind::kString);
+    ASSERT_NE(uri, nullptr);
+    EXPECT_EQ(uri->str, simlint::baseline_key_path(
+                            simlint::normalize_path(findings[i].file)));
+    const simlint::json::Value* region =
+        phys->get("region", simlint::json::Value::Kind::kObject);
+    ASSERT_NE(region, nullptr);
+    const simlint::json::Value* start =
+        region->get("startLine", simlint::json::Value::Kind::kNumber);
+    ASSERT_NE(start, nullptr);
+    EXPECT_EQ(static_cast<int>(start->number), findings[i].line);
+  }
+}
+
+TEST(LintProject, SuppressionHygieneIsUnsuppressible) {
+  // An unused suppression cannot be waived by another allow() above it.
+  std::vector<FileScan> scans;
+  scans.push_back(simlint::scan_file(
+      "src/x/y.cc",
+      "// simlint: allow(unused-suppression) -- trying to waive the waiver\n"
+      "// simlint: allow(banned-time) -- nothing below uses time\n"
+      "int f() { return 0; }\n"));
+  Project p = Project::build(std::move(scans), {"src"});
+  simlint::ProjectContext ctx;
+  ctx.project = &p;
+  std::vector<Finding> findings = simlint::lint_project(ctx);
+  // Both waivers are unused; both are reported.
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "unused-suppression");
+  EXPECT_EQ(findings[1].rule, "unused-suppression");
+}
+
+}  // namespace

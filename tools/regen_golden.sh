@@ -13,8 +13,8 @@
 #      golden: a drift means the single-run pipeline changed, which the
 #      ensemble layer alone must never do. The script aborts on drift
 #      unless ALLOW_DRIFT=1 acknowledges an intentional model change.
-#   2. Ensemble goldens from --repeats 3 --jobs 2 (fig5), regenerated from
-#      the base-verified build.
+#   2. Ensemble goldens from --repeats 3 --jobs 2 (fig2a, fig5, fig6),
+#      regenerated from the base-verified build.
 #
 # Flags here must match the test files exactly. `#` comment lines
 # (seed/jobs/wall_s) are stripped: wall-clock is outside the determinism
@@ -63,11 +63,23 @@ for csv in fig2a_boxes.csv fig5_times.csv fig6_ttfb_ecdf.csv \
   echo "regenerated tests/golden/$csv"
 done
 
-# Phase 2: ensemble goldens (fig5 at --repeats 3, checked by
-# EnsembleGolden.RepeatsThreeMatchesEnsembleGoldens).
-"$ROOT/$BUILD/bench/bench_fig5_file_download" --scale 0.05 --seed 1 \
-  --jobs 2 --repeats 3 --out "$TMP" > /dev/null
-for csv in fig5_ensemble.csv fig5_ensemble_paired.csv; do
-  grep -v '^#' "$TMP/$csv" > "$ROOT/tests/golden/$csv"
-  echo "regenerated tests/golden/$csv"
-done
+# Phase 2: ensemble goldens at --repeats 3 (checked by the EnsembleGolden
+# suites in tests/ensemble_test.cc). Phase 1 already verified that the
+# --repeats 1 path is byte-identical for these benches, so the ensemble
+# tables regenerate from a base-verified build.
+run_ensemble() {
+  local bench="$1"
+  shift
+  "$ROOT/$BUILD/bench/$bench" --scale 0.05 --seed 1 --jobs 2 --repeats 3 \
+    --out "$TMP" > /dev/null
+  for csv in "$@"; do
+    grep -v '^#' "$TMP/$csv" > "$ROOT/tests/golden/$csv"
+    echo "regenerated tests/golden/$csv"
+  done
+}
+
+run_ensemble bench_fig2a_website_curl fig2a_ensemble.csv \
+  fig2a_ensemble_paired.csv
+run_ensemble bench_fig5_file_download fig5_ensemble.csv \
+  fig5_ensemble_paired.csv
+run_ensemble bench_fig6_ttfb fig6_ensemble.csv fig6_ensemble_paired.csv

@@ -1,0 +1,107 @@
+#include "baseline.h"
+
+#include <algorithm>
+#include <map>
+
+#include "json.h"
+#include "project.h"
+
+namespace simlint {
+
+bool Baseline::load(const std::string& json_text, Baseline* out,
+                    std::string* error) {
+  out->entries_.clear();
+  json::Value doc;
+  if (!json::parse(json_text, &doc, error)) return false;
+  auto fail = [&](const std::string& why) {
+    if (error) *error = "baseline: " + why;
+    return false;
+  };
+  if (!doc.is_object()) return fail("document must be an object");
+  const json::Value* version = doc.get("version", json::Value::Kind::kNumber);
+  if (!version || version->number != 1) {
+    return fail("missing or unsupported \"version\" (expected 1)");
+  }
+  const json::Value* findings =
+      doc.get("findings", json::Value::Kind::kArray);
+  if (!findings) return fail("missing \"findings\" array");
+  for (const json::Value& f : findings->array) {
+    const json::Value* file = f.get("file", json::Value::Kind::kString);
+    const json::Value* rule = f.get("rule", json::Value::Kind::kString);
+    const json::Value* message =
+        f.get("message", json::Value::Kind::kString);
+    const json::Value* count = f.get("count", json::Value::Kind::kNumber);
+    if (!file || !rule || !message) {
+      return fail("each finding needs string \"file\", \"rule\", "
+                  "\"message\"");
+    }
+    Entry e{file->str, rule->str, message->str,
+            count ? static_cast<int>(count->number) : 1};
+    if (e.count < 1) return fail("\"count\" must be >= 1");
+    out->entries_.push_back(std::move(e));
+  }
+  return true;
+}
+
+std::string Baseline::serialize(const std::vector<Finding>& findings) {
+  // signature -> count, sorted by (file, rule, message).
+  std::map<std::string, std::map<std::pair<std::string, std::string>, int>>
+      counts;
+  for (const Finding& f : findings) {
+    ++counts[baseline_key_path(f.file)][{f.rule, f.message}];
+  }
+  std::string out = "{\n  \"version\": 1,\n  \"findings\": [";
+  bool first = true;
+  for (const auto& [file, by_rule] : counts) {
+    for (const auto& [rule_msg, count] : by_rule) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "    {\"file\": \"" + json::escape(file) + "\", \"rule\": \"" +
+             json::escape(rule_msg.first) + "\", \"message\": \"" +
+             json::escape(rule_msg.second) +
+             "\", \"count\": " + std::to_string(count) + "}";
+    }
+  }
+  out += first ? "],\n" : "\n  ],\n";
+  out += "  \"count\": " + std::to_string(findings.size()) + "\n}\n";
+  return out;
+}
+
+BaselineMatch Baseline::match(const std::vector<Finding>& findings) const {
+  BaselineMatch result;
+  // Remaining budget per signature; findings beyond the recorded count are
+  // new (a regression that *adds* a second instance of old debt fails).
+  std::map<std::string, int> budget;
+  auto key = [](const std::string& file, const std::string& rule,
+                const std::string& message) {
+    return file + "\x1f" + rule + "\x1f" + message;
+  };
+  for (const Entry& e : entries_) {
+    budget[key(e.file, e.rule, e.message)] += e.count;
+  }
+  std::map<std::string, int> used;
+  for (const Finding& f : findings) {
+    std::string k = key(baseline_key_path(f.file), f.rule, f.message);
+    auto it = budget.find(k);
+    if (it != budget.end() && it->second > 0) {
+      --it->second;
+      ++used[k];
+      ++result.matched;
+    } else {
+      result.fresh.push_back(f);
+    }
+  }
+  for (const Entry& e : entries_) {
+    std::string k = key(e.file, e.rule, e.message);
+    if (used.find(k) == used.end()) {
+      result.retired.push_back(e.file + ": [" + e.rule + "] " + e.message);
+    }
+  }
+  std::sort(result.retired.begin(), result.retired.end());
+  result.retired.erase(
+      std::unique(result.retired.begin(), result.retired.end()),
+      result.retired.end());
+  return result;
+}
+
+}  // namespace simlint

@@ -1,0 +1,51 @@
+// Baselined findings for diff-aware CI. A baseline records pre-existing
+// findings as (file, rule, message) signatures with a count; `--baseline`
+// mode subtracts them so only *new* findings fail the run, while the
+// checked-in debt can only be burned down (a signature that stops matching
+// is reported as retired and should be dropped from the file).
+//
+// Signatures use baseline_key_path() for the file and deliberately exclude
+// line numbers, so unrelated edits above a finding never churn the
+// baseline; identical findings in one file are absorbed by the count.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rules.h"
+
+namespace simlint {
+
+struct BaselineMatch {
+  std::vector<Finding> fresh;     // findings not covered by the baseline
+  int matched = 0;                // findings absorbed by the baseline
+  std::vector<std::string> retired;  // baseline signatures no longer seen
+};
+
+class Baseline {
+ public:
+  /// Parses baseline JSON ({"version": 1, "findings": [...]}) . Returns
+  /// false and fills `*error` on malformed input.
+  static bool load(const std::string& json_text, Baseline* out,
+                   std::string* error);
+
+  /// Serializes `findings` as a baseline document (signatures aggregated
+  /// into counts, sorted) — the `--write-baseline` output.
+  static std::string serialize(const std::vector<Finding>& findings);
+
+  /// Splits `findings` into new-vs-baselined and reports retired entries.
+  BaselineMatch match(const std::vector<Finding>& findings) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string file;  // baseline_key_path form
+    std::string rule;
+    std::string message;
+    int count = 0;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace simlint

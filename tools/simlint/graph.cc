@@ -1,0 +1,194 @@
+#include "graph.h"
+
+#include <algorithm>
+#include <set>
+
+namespace simlint {
+namespace {
+
+std::vector<std::string> split_ws(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ' ' || c == '\t') {
+      if (!cur.empty()) out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+}  // namespace
+
+bool LayerConfig::parse(const std::string& text, LayerConfig* out,
+                        std::string* error) {
+  out->modules_.clear();
+  auto fail = [&](int line, const std::string& why) {
+    if (error) *error = "layers.conf:" + std::to_string(line) + ": " + why;
+    return false;
+  };
+
+  int line_no = 0;
+  std::string line;
+  for (std::size_t pos = 0; pos <= text.size(); ++pos) {
+    if (pos < text.size() && text[pos] != '\n') {
+      line.push_back(text[pos]);
+      continue;
+    }
+    ++line_no;
+    std::string body = line;
+    line.clear();
+    std::size_t hash = body.find('#');
+    if (hash != std::string::npos) body.resize(hash);
+    std::vector<std::string> words = split_ws(body);
+    if (words.empty()) continue;
+    std::string head = words[0];
+    if (head.empty() || head.back() != ':') {
+      return fail(line_no, "expected '<module>:' declaration");
+    }
+    head.pop_back();
+    if (head.empty()) return fail(line_no, "empty module name");
+    if (out->knows(head)) {
+      return fail(line_no, "module '" + head + "' declared twice");
+    }
+    out->modules_.emplace_back(
+        head, std::vector<std::string>(words.begin() + 1, words.end()));
+  }
+
+  // Allow-lists may only name declared modules (or the wildcard), and the
+  // declared graph must be acyclic.
+  for (const auto& [mod, deps] : out->modules_) {
+    for (const std::string& d : deps) {
+      if (d == "*") {
+        if (deps.size() != 1) {
+          return fail(0, "module '" + mod + "': '*' must stand alone");
+        }
+        continue;
+      }
+      if (d == mod) {
+        return fail(0, "module '" + mod + "' lists itself (self-edges are "
+                       "implicit)");
+      }
+      if (!out->knows(d)) {
+        return fail(0, "module '" + mod + "' depends on undeclared '" + d +
+                       "'");
+      }
+    }
+  }
+
+  // DFS over the declared graph ("*" edges excluded: wildcard layers sit on
+  // top and cannot complete a declared cycle through themselves).
+  enum { kWhite, kGray, kBlack };
+  std::vector<int> color(out->modules_.size(), kWhite);
+  auto index_of = [&](const std::string& name) -> int {
+    for (std::size_t i = 0; i < out->modules_.size(); ++i) {
+      if (out->modules_[i].first == name) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  std::string cycle_at;
+  auto dfs = [&](auto&& self, int u) -> bool {
+    color[static_cast<std::size_t>(u)] = kGray;
+    for (const std::string& d :
+         out->modules_[static_cast<std::size_t>(u)].second) {
+      if (d == "*") continue;
+      int v = index_of(d);
+      if (color[static_cast<std::size_t>(v)] == kGray) {
+        cycle_at = out->modules_[static_cast<std::size_t>(v)].first;
+        return false;
+      }
+      if (color[static_cast<std::size_t>(v)] == kWhite && !self(self, v)) {
+        return false;
+      }
+    }
+    color[static_cast<std::size_t>(u)] = kBlack;
+    return true;
+  };
+  for (std::size_t i = 0; i < out->modules_.size(); ++i) {
+    if (color[i] == kWhite && !dfs(dfs, static_cast<int>(i))) {
+      return fail(0, "declared layer graph has a cycle through '" +
+                     cycle_at + "'");
+    }
+  }
+  return true;
+}
+
+bool LayerConfig::knows(const std::string& module) const {
+  for (const auto& [mod, deps] : modules_) {
+    if (mod == module) return true;
+  }
+  return false;
+}
+
+bool LayerConfig::allowed(const std::string& from,
+                          const std::string& to) const {
+  if (from == to) return true;
+  for (const auto& [mod, deps] : modules_) {
+    if (mod != from) continue;
+    for (const std::string& d : deps) {
+      if (d == "*" || d == to) return true;
+    }
+    return false;
+  }
+  return false;
+}
+
+std::vector<std::vector<int>> find_include_cycles(const Project& project) {
+  const auto& files = project.files();
+  enum { kWhite, kGray, kBlack };
+  std::vector<int> color(files.size(), kWhite);
+  std::vector<int> stack;
+  std::vector<std::vector<int>> cycles;
+  std::set<std::string> seen;
+
+  auto record = [&](int back_to) {
+    auto it = std::find(stack.begin(), stack.end(), back_to);
+    std::vector<int> cycle(it, stack.end());
+    // Canonical rotation: smallest path first, so each cycle is reported
+    // once no matter where the DFS entered it.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < cycle.size(); ++i) {
+      if (files[static_cast<std::size_t>(cycle[i])].scan.norm_path <
+          files[static_cast<std::size_t>(cycle[best])].scan.norm_path) {
+        best = i;
+      }
+    }
+    std::rotate(cycle.begin(), cycle.begin() + static_cast<long>(best),
+                cycle.end());
+    std::string key;
+    for (int id : cycle) {
+      key += files[static_cast<std::size_t>(id)].scan.norm_path;
+      key += '\n';
+    }
+    if (seen.insert(key).second) cycles.push_back(std::move(cycle));
+  };
+
+  auto dfs = [&](auto&& self, int u) -> void {
+    color[static_cast<std::size_t>(u)] = kGray;
+    stack.push_back(u);
+    for (const auto& [v, line] : files[static_cast<std::size_t>(u)].includes) {
+      if (color[static_cast<std::size_t>(v)] == kGray) {
+        record(v);
+      } else if (color[static_cast<std::size_t>(v)] == kWhite) {
+        self(self, v);
+      }
+    }
+    stack.pop_back();
+    color[static_cast<std::size_t>(u)] = kBlack;
+  };
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (color[i] == kWhite) dfs(dfs, static_cast<int>(i));
+  }
+
+  std::sort(cycles.begin(), cycles.end(),
+            [&](const std::vector<int>& a, const std::vector<int>& b) {
+              return files[static_cast<std::size_t>(a[0])].scan.norm_path <
+                     files[static_cast<std::size_t>(b[0])].scan.norm_path;
+            });
+  return cycles;
+}
+
+}  // namespace simlint

@@ -1,0 +1,58 @@
+// Include-graph analyses for simlint v2: the declared layer DAG
+// (tools/simlint/layers.conf) and cycle detection over the project include
+// graph. Both operate on the Project model; neither touches the filesystem.
+//
+// layers.conf grammar (one declaration per line, '#' comments):
+//
+//   <module>:                     # bottom layer, no project dependencies
+//   <module>: <dep> <dep> ...     # may include itself and the listed deps
+//   <module>: *                   # presentation layer, may include anything
+//
+// Modules are the names module_of() produces ("src/net", "bench", ...).
+// The declared graph must itself be a DAG — validate() rejects a config
+// whose allow-lists contain a dependency cycle, so the conformance check
+// can never be satisfied by a circular declaration.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "project.h"
+
+namespace simlint {
+
+class LayerConfig {
+ public:
+  /// Parses the config text. Returns false and fills `*error` on a syntax
+  /// error, a duplicate module, an allow-list naming an undeclared module,
+  /// or a cyclic declaration.
+  static bool parse(const std::string& text, LayerConfig* out,
+                    std::string* error);
+
+  bool empty() const { return modules_.empty(); }
+
+  /// True if `module` is declared.
+  bool knows(const std::string& module) const;
+
+  /// True if a file in `from` may include a file in `to`. Self-edges are
+  /// always allowed; "*" allows everything.
+  bool allowed(const std::string& from, const std::string& to) const;
+
+  const std::vector<std::pair<std::string, std::vector<std::string>>>&
+  modules() const {
+    return modules_;
+  }
+
+ private:
+  // module -> allowed dependency modules ("*" alone means wildcard).
+  std::vector<std::pair<std::string, std::vector<std::string>>> modules_;
+};
+
+/// Elementary cycles found in the project include graph, each reported
+/// once: file ids in walk order, rotated so the lexicographically smallest
+/// path comes first, sorted by that first path. An empty result is the
+/// acyclicity certificate the architecture rules rely on.
+std::vector<std::vector<int>> find_include_cycles(const Project& project);
+
+}  // namespace simlint

@@ -1,0 +1,269 @@
+#include "json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace simlint::json {
+
+const Value* Value::get(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Value* Value::get(const std::string& key, Kind want) const {
+  const Value* v = get(key);
+  return v && v->kind == want ? v : nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error)
+      : src_(text), error_(error) {}
+
+  bool run(Value* out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    if (pos_ != src_.size()) return fail("trailing garbage after document");
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& why) {
+    if (error_ && error_->empty()) {
+      *error_ = "json: line " + std::to_string(line_) + ": " + why;
+    }
+    return false;
+  }
+
+  char cur() const { return pos_ < src_.size() ? src_[pos_] : '\0'; }
+
+  void advance() {
+    if (cur() == '\n') ++line_;
+    ++pos_;
+  }
+
+  void skip_ws() {
+    while (pos_ < src_.size()) {
+      char c = cur();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool literal(const char* word, std::size_t len) {
+    if (src_.compare(pos_, len, word) != 0) return fail("invalid literal");
+    pos_ += len;
+    return true;
+  }
+
+  bool value(Value* out) {
+    switch (cur()) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"':
+        out->kind = Value::Kind::kString;
+        return string(&out->str);
+      case 't':
+        out->kind = Value::Kind::kBool;
+        out->boolean = true;
+        return literal("true", 4);
+      case 'f':
+        out->kind = Value::Kind::kBool;
+        out->boolean = false;
+        return literal("false", 5);
+      case 'n':
+        out->kind = Value::Kind::kNull;
+        return literal("null", 4);
+      default: return number(out);
+    }
+  }
+
+  bool object(Value* out) {
+    out->kind = Value::Kind::kObject;
+    advance();  // '{'
+    skip_ws();
+    if (cur() == '}') {
+      advance();
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (cur() != '"') return fail("expected object key");
+      std::string key;
+      if (!string(&key)) return false;
+      skip_ws();
+      if (cur() != ':') return fail("expected ':' after key");
+      advance();
+      skip_ws();
+      Value v;
+      if (!value(&v)) return false;
+      out->object.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (cur() == ',') {
+        advance();
+        continue;
+      }
+      if (cur() == '}') {
+        advance();
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool array(Value* out) {
+    out->kind = Value::Kind::kArray;
+    advance();  // '['
+    skip_ws();
+    if (cur() == ']') {
+      advance();
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      Value v;
+      if (!value(&v)) return false;
+      out->array.push_back(std::move(v));
+      skip_ws();
+      if (cur() == ',') {
+        advance();
+        continue;
+      }
+      if (cur() == ']') {
+        advance();
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool string(std::string* out) {
+    advance();  // opening quote
+    while (true) {
+      if (pos_ >= src_.size()) return fail("unterminated string");
+      char c = cur();
+      if (c == '"') {
+        advance();
+        return true;
+      }
+      if (c == '\\') {
+        advance();
+        switch (cur()) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              advance();
+              char h = cur();
+              if (!std::isxdigit(static_cast<unsigned char>(h))) {
+                return fail("bad \\u escape");
+              }
+              code = code * 16 +
+                     static_cast<unsigned>(
+                         std::isdigit(static_cast<unsigned char>(h))
+                             ? h - '0'
+                             : std::tolower(static_cast<unsigned char>(h)) -
+                                   'a' + 10);
+            }
+            // UTF-8 encode (surrogate pairs are passed through unpaired;
+            // baseline/SARIF content is ASCII in practice).
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default: return fail("bad escape character");
+        }
+        advance();
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      }
+      out->push_back(c);
+      advance();
+    }
+  }
+
+  bool number(Value* out) {
+    std::size_t start = pos_;
+    if (cur() == '-') advance();
+    if (!std::isdigit(static_cast<unsigned char>(cur()))) {
+      return fail("expected value");
+    }
+    while (std::isdigit(static_cast<unsigned char>(cur()))) advance();
+    if (cur() == '.') {
+      advance();
+      while (std::isdigit(static_cast<unsigned char>(cur()))) advance();
+    }
+    if (cur() == 'e' || cur() == 'E') {
+      advance();
+      if (cur() == '+' || cur() == '-') advance();
+      while (std::isdigit(static_cast<unsigned char>(cur()))) advance();
+    }
+    out->kind = Value::Kind::kNumber;
+    out->number = std::strtod(src_.substr(start, pos_ - start).c_str(),
+                              nullptr);
+    return true;
+  }
+
+  const std::string& src_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+bool parse(const std::string& text, Value* out, std::string* error) {
+  if (error) error->clear();
+  return Parser(text, error).run(out);
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace simlint::json

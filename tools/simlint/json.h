@@ -1,0 +1,49 @@
+// Minimal JSON support for the linter — a strict recursive-descent parser (for
+// --baseline files and for structural validation of our own SARIF output in
+// tests) plus the escape helper every writer shares. Object keys keep
+// insertion order so round-trips and error messages stay deterministic.
+// Dependency-free by design, like the rest of the tool.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace simlint::json {
+
+class Value;
+
+/// JSON value as a closed sum. Arrays/objects own their children.
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member lookup; null if absent or not an object.
+  const Value* get(const std::string& key) const;
+  /// get() that also requires the member to have the given kind.
+  const Value* get(const std::string& key, Kind kind) const;
+};
+
+/// Parses `text` into `*out`. Returns false and fills `*error` (with a
+/// 1-based line number) on malformed input or trailing garbage.
+bool parse(const std::string& text, Value* out, std::string* error);
+
+/// Escapes `s` for embedding inside a JSON string literal (no quotes added).
+std::string escape(const std::string& s);
+
+}  // namespace simlint::json

@@ -23,6 +23,12 @@ bool raw_string_prefix(const std::string& ident) {
 /// contains no simlint marker at all.
 bool parse_suppression(const std::string& comment, int line, Suppression* out) {
   std::size_t marker = comment.find("simlint:");
+  // "simlint::" is the C++ namespace (e.g. a closing-brace comment), not a
+  // suppression marker.
+  while (marker != std::string::npos && marker + 8 < comment.size() &&
+         comment[marker + 8] == ':') {
+    marker = comment.find("simlint:", marker + 9);
+  }
   if (marker == std::string::npos) return false;
   out->line = line;
 

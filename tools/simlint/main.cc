@@ -1,11 +1,24 @@
-// simlint — determinism & simulation-safety linter for the ptperf tree.
+// simlint — determinism & architecture linter for the ptperf tree.
 //
-//   simlint [--json] [--list-rules] <file-or-dir>...
+//   simlint [--json | --sarif <file>] [--layers <layers.conf>]
+//           [--baseline <baseline.json>] [--write-baseline <baseline.json>]
+//           [--list-rules] <file-or-dir>...
 //
-// Scans .h/.cc files (directories are walked recursively), applies every
-// registered rule, and prints findings as `file:line: [rule] message` (or a
-// JSON array with --json, for diffing and CI annotation). Exit status: 0
-// clean, 1 findings, 2 usage or I/O error.
+// v2 builds a whole-project model (file index, include graph, per-file
+// symbol summaries) before running any rule, so cross-file analyses —
+// include cycles, layer conformance against a declared DAG, taint from a
+// header-declared container to the .cc that iterates it — see the project,
+// not one file at a time.
+//
+// Output: `file:line: [rule] message` text by default, a JSON object with
+// --json, and additionally a SARIF 2.1.0 document written to the --sarif
+// path (use `-` for stdout). With --baseline, findings recorded in the
+// baseline are subtracted and only *new* findings fail the run; retired
+// baseline entries are reported so the debt file can be pruned.
+// --write-baseline regenerates the baseline from the current findings.
+//
+// Exit status: 0 clean (or all findings baselined), 1 findings (new
+// findings under --baseline), 2 usage or I/O error.
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -15,8 +28,13 @@
 #include <string>
 #include <vector>
 
+#include "baseline.h"
+#include "graph.h"
+#include "json.h"
 #include "lexer.h"
+#include "project.h"
 #include "rules.h"
+#include "sarif.h"
 
 namespace {
 
@@ -29,13 +47,16 @@ bool lintable(const fs::path& p) {
 }
 
 /// Expands files/directories into a sorted, de-duplicated file list so
-/// output order never depends on filesystem iteration order.
+/// output order never depends on filesystem iteration order. Directory
+/// arguments double as include-resolution roots.
 std::vector<std::string> collect_files(const std::vector<std::string>& paths,
+                                       std::vector<std::string>* roots,
                                        bool* io_error) {
   std::vector<std::string> files;
   for (const std::string& p : paths) {
     std::error_code ec;
     if (fs::is_directory(p, ec)) {
+      roots->push_back(simlint::normalize_path(fs::path(p).generic_string()));
       for (auto it = fs::recursive_directory_iterator(p, ec);
            !ec && it != fs::recursive_directory_iterator(); ++it) {
         if (it->is_regular_file() && lintable(it->path()))
@@ -54,24 +75,7 @@ std::vector<std::string> collect_files(const std::vector<std::string>& paths,
 }
 
 std::string json_escape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  return out;
+  return simlint::json::escape(s);
 }
 
 void print_text(const std::vector<simlint::Finding>& findings) {
@@ -106,20 +110,55 @@ void print_rules() {
   }
 }
 
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+constexpr const char* kUsage =
+    "usage: simlint [--json] [--sarif <file>] [--layers <layers.conf>]\n"
+    "               [--baseline <baseline.json>]\n"
+    "               [--write-baseline <baseline.json>] [--list-rules]\n"
+    "               <file-or-dir>...\n";
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool json = false;
+  std::string sarif_path;
+  std::string layers_path;
+  std::string baseline_path;
+  std::string write_baseline_path;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
+    auto value = [&](std::string* dst) {
+      if (i + 1 >= argc) {
+        std::cerr << "simlint: '" << arg << "' needs a value\n";
+        return false;
+      }
+      *dst = argv[++i];
+      return true;
+    };
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--sarif") {
+      if (!value(&sarif_path)) return 2;
+    } else if (arg == "--layers") {
+      if (!value(&layers_path)) return 2;
+    } else if (arg == "--baseline") {
+      if (!value(&baseline_path)) return 2;
+    } else if (arg == "--write-baseline") {
+      if (!value(&write_baseline_path)) return 2;
     } else if (arg == "--list-rules") {
       print_rules();
       return 0;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: simlint [--json] [--list-rules] <file-or-dir>...\n";
+      std::cout << kUsage;
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "simlint: unknown option '" << arg << "'\n";
@@ -129,33 +168,112 @@ int main(int argc, char** argv) {
     }
   }
   if (paths.empty()) {
-    std::cerr << "usage: simlint [--json] [--list-rules] <file-or-dir>...\n";
+    std::cerr << kUsage;
     return 2;
   }
 
+  simlint::LayerConfig layers;
+  if (!layers_path.empty()) {
+    std::string text;
+    if (!read_file(layers_path, &text)) {
+      std::cerr << "simlint: cannot open layers config '" << layers_path
+                << "'\n";
+      return 2;
+    }
+    std::string error;
+    if (!simlint::LayerConfig::parse(text, &layers, &error)) {
+      std::cerr << "simlint: " << error << "\n";
+      return 2;
+    }
+  }
+
+  simlint::Baseline baseline;
+  bool have_baseline = false;
+  if (!baseline_path.empty()) {
+    std::string text;
+    if (!read_file(baseline_path, &text)) {
+      std::cerr << "simlint: cannot open baseline '" << baseline_path
+                << "'\n";
+      return 2;
+    }
+    std::string error;
+    if (!simlint::Baseline::load(text, &baseline, &error)) {
+      std::cerr << "simlint: " << baseline_path << ": " << error << "\n";
+      return 2;
+    }
+    have_baseline = true;
+  }
+
   bool io_error = false;
-  std::vector<simlint::Finding> findings;
-  for (const std::string& file : collect_files(paths, &io_error)) {
-    std::ifstream in(file, std::ios::binary);
-    if (!in) {
+  std::vector<std::string> roots;
+  std::vector<simlint::FileScan> scans;
+  for (const std::string& file : collect_files(paths, &roots, &io_error)) {
+    std::string contents;
+    if (!read_file(file, &contents)) {
       std::cerr << "simlint: cannot open '" << file << "'\n";
       io_error = true;
       continue;
     }
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    simlint::FileScan scan = simlint::scan_file(file, buf.str());
-    std::vector<simlint::Finding> file_findings = simlint::lint_file(scan);
-    findings.insert(findings.end(), file_findings.begin(),
-                    file_findings.end());
+    scans.push_back(simlint::scan_file(file, contents));
   }
-  std::sort(findings.begin(), findings.end());
+
+  simlint::Project project =
+      simlint::Project::build(std::move(scans), std::move(roots));
+  simlint::ProjectContext ctx;
+  ctx.project = &project;
+  ctx.layers = layers.empty() ? nullptr : &layers;
+  std::vector<simlint::Finding> findings = simlint::lint_project(ctx);
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "simlint: cannot write baseline '" << write_baseline_path
+                << "'\n";
+      return 2;
+    }
+    out << simlint::Baseline::serialize(findings);
+    std::cerr << "simlint: wrote baseline (" << findings.size()
+              << " findings) to " << write_baseline_path << "\n";
+  }
+
+  if (!sarif_path.empty()) {
+    std::string doc = simlint::to_sarif(findings);
+    if (sarif_path == "-") {
+      std::cout << doc;
+    } else {
+      std::ofstream out(sarif_path, std::ios::binary);
+      if (!out) {
+        std::cerr << "simlint: cannot write SARIF to '" << sarif_path
+                  << "'\n";
+        return 2;
+      }
+      out << doc;
+    }
+  }
+
+  // Baseline mode: only findings NOT absorbed by the baseline gate the run.
+  std::vector<simlint::Finding> gating = findings;
+  if (have_baseline) {
+    simlint::BaselineMatch m = baseline.match(findings);
+    gating = m.fresh;
+    if (!json) {
+      if (m.matched > 0) {
+        std::cout << "simlint: " << m.matched << " baselined finding"
+                  << (m.matched == 1 ? "" : "s") << " suppressed ("
+                  << baseline_path << ")\n";
+      }
+      for (const std::string& r : m.retired) {
+        std::cout << "simlint: baseline entry no longer matches (prune it): "
+                  << r << "\n";
+      }
+    }
+  }
 
   if (json) {
-    print_json(findings);
+    print_json(gating);
   } else {
-    print_text(findings);
+    print_text(gating);
   }
   if (io_error) return 2;
-  return findings.empty() ? 0 : 1;
+  return gating.empty() ? 0 : 1;
 }

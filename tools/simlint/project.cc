@@ -1,0 +1,332 @@
+#include "project.h"
+
+#include <algorithm>
+#include <map>
+#include <string_view>
+
+namespace simlint {
+namespace {
+
+std::vector<std::string> split_path(const std::string& path) {
+  std::vector<std::string> segs;
+  std::string cur;
+  for (char c : path) {
+    if (c == '/') {
+      if (!cur.empty()) segs.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) segs.push_back(std::move(cur));
+  return segs;
+}
+
+bool is_top_module_seg(const std::string& seg) {
+  return seg == "bench" || seg == "tools" || seg == "tests";
+}
+
+std::string dirname_of(const std::string& norm_path) {
+  std::size_t slash = norm_path.rfind('/');
+  return slash == std::string::npos ? std::string()
+                                    : norm_path.substr(0, slash);
+}
+
+bool is_ident(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+
+bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+bool is_unordered_name(const std::string& s) {
+  return s == "unordered_map" || s == "unordered_set" ||
+         s == "unordered_multimap" || s == "unordered_multiset";
+}
+
+void add_unique(std::vector<std::string>& v, const std::string& s) {
+  if (std::find(v.begin(), v.end(), s) == v.end()) v.push_back(s);
+}
+
+/// Keywords that can open the *next* declarator in a comma-separated list
+/// (`double se, int n`) — never the declared name itself.
+bool is_type_keyword(const std::string& s) {
+  return s == "int" || s == "long" || s == "short" || s == "char" ||
+         s == "bool" || s == "float" || s == "double" || s == "unsigned" ||
+         s == "signed" || s == "const" || s == "auto" || s == "void" ||
+         s == "std" || s == "size_t";
+}
+
+/// Index just past a balanced template argument list opening at `open`
+/// (which must point at '<'), or open+1 if it never closes.
+std::size_t skip_template_args(const std::vector<Token>& toks,
+                               std::size_t open) {
+  int depth = 0;
+  for (std::size_t j = open; j < toks.size(); ++j) {
+    if (is_punct(toks[j], "<")) ++depth;
+    else if (is_punct(toks[j], ">")) {
+      if (--depth == 0) return j + 1;
+    } else if (is_punct(toks[j], ";") || is_punct(toks[j], "{")) {
+      break;  // malformed / not actually a template argument list
+    }
+  }
+  return open + 1;
+}
+
+}  // namespace
+
+std::string normalize_path(const std::string& path) {
+  bool absolute = !path.empty() && path[0] == '/';
+  std::vector<std::string> out;
+  for (std::string& seg : split_path(path)) {
+    if (seg == ".") continue;
+    if (seg == "..") {
+      if (!out.empty() && out.back() != "..") {
+        out.pop_back();
+      } else if (!absolute) {
+        out.push_back(std::move(seg));
+      }
+      continue;
+    }
+    out.push_back(std::move(seg));
+  }
+  std::string joined = absolute ? "/" : "";
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (i) joined += '/';
+    joined += out[i];
+  }
+  return joined;
+}
+
+std::string module_of(const std::string& norm_path) {
+  std::vector<std::string> segs = split_path(norm_path);
+  if (segs.empty()) return "";
+  // Rightmost structural segment wins, so fixture trees embedding an
+  // src/-shaped layout map onto the same modules as the real tree.
+  for (std::size_t i = segs.size(); i-- > 0;) {
+    if (segs[i] == "src") {
+      // "src/<dir>/..." -> "src/<dir>"; a file directly in src/ is "src".
+      if (i + 2 < segs.size()) return "src/" + segs[i + 1];
+      return "src";
+    }
+    if (is_top_module_seg(segs[i]) && i + 1 < segs.size()) return segs[i];
+  }
+  return "";
+}
+
+std::string baseline_key_path(const std::string& norm_path) {
+  std::vector<std::string> segs = split_path(norm_path);
+  for (std::size_t i = segs.size(); i-- > 0;) {
+    if ((segs[i] == "src" || is_top_module_seg(segs[i])) &&
+        i + 1 < segs.size()) {
+      std::string out;
+      for (std::size_t j = i; j < segs.size(); ++j) {
+        if (j > i) out += '/';
+        out += segs[j];
+      }
+      return out;
+    }
+  }
+  return norm_path;
+}
+
+FileSummary summarize_file(const FileScan& scan) {
+  FileSummary s;
+  const auto& toks = scan.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent) continue;
+
+    // Output emission: stats::Table users, stream/FILE writers.
+    if (t.text == "Table" || t.text == "ofstream" || t.text == "fopen" ||
+        t.text == "fwrite" || t.text == "popen") {
+      s.emits_output = true;
+    }
+
+    // double/float declarations: `double x`, `double x, y`, `double& x`.
+    // A following '(' means a function declarator — skip those so method
+    // names don't pollute the operand set.
+    if (t.text == "double" || t.text == "float") {
+      std::size_t j = i + 1;
+      while (j < toks.size() &&
+             (is_punct(toks[j], "&") || is_punct(toks[j], "*") ||
+              is_ident(toks[j], "const"))) {
+        ++j;
+      }
+      while (j + 1 < toks.size() && toks[j].kind == TokKind::kIdent &&
+             !is_type_keyword(toks[j].text) && !is_punct(toks[j + 1], "(")) {
+        add_unique(s.float_idents, toks[j].text);
+        if (!is_punct(toks[j + 1], ",")) break;
+        j += 2;
+      }
+      continue;
+    }
+
+    // unordered_* declarations: capture the declared name after the
+    // template argument list, e.g. `std::unordered_map<K, V> members_;`.
+    if (is_unordered_name(t.text) && i + 1 < toks.size() &&
+        is_punct(toks[i + 1], "<")) {
+      std::size_t j = skip_template_args(toks, i + 1);
+      while (j < toks.size() &&
+             (is_punct(toks[j], "&") || is_punct(toks[j], "*") ||
+              is_ident(toks[j], "const"))) {
+        ++j;
+      }
+      if (j + 1 < toks.size() && toks[j].kind == TokKind::kIdent &&
+          !is_punct(toks[j + 1], "(")) {
+        add_unique(s.unordered_idents, toks[j].text);
+      }
+      continue;
+    }
+
+    // enum-class definitions with their enumerator lists.
+    if (t.text == "enum") {
+      std::size_t j = i + 1;
+      if (j < toks.size() &&
+          (is_ident(toks[j], "class") || is_ident(toks[j], "struct"))) {
+        ++j;
+      }
+      if (j >= toks.size() || toks[j].kind != TokKind::kIdent) continue;
+      std::string name = toks[j].text;
+      ++j;
+      while (j < toks.size() && !is_punct(toks[j], "{") &&
+             !is_punct(toks[j], ";")) {
+        ++j;  // underlying-type clause
+      }
+      if (j >= toks.size() || !is_punct(toks[j], "{")) continue;
+      std::vector<std::string> members;
+      ++j;
+      while (j < toks.size() && !is_punct(toks[j], "}")) {
+        if (toks[j].kind == TokKind::kIdent) {
+          members.push_back(toks[j].text);
+          // Skip any initializer up to the next ',' or the closing '}'.
+          int depth = 0;
+          while (j < toks.size()) {
+            if (is_punct(toks[j], "(") || is_punct(toks[j], "{")) ++depth;
+            else if (is_punct(toks[j], ")")) --depth;
+            else if (is_punct(toks[j], "}")) {
+              if (depth == 0) break;
+              --depth;
+            } else if (is_punct(toks[j], ",") && depth == 0) {
+              break;
+            }
+            ++j;
+          }
+        }
+        if (j < toks.size() && is_punct(toks[j], ",")) ++j;
+      }
+      if (!members.empty()) s.enums.emplace_back(std::move(name),
+                                                 std::move(members));
+    }
+  }
+  return s;
+}
+
+Project Project::build(std::vector<FileScan> scans,
+                       std::vector<std::string> roots) {
+  Project p;
+  for (std::string& r : roots) {
+    for (char& c : r) {
+      if (c == '\\') c = '/';
+    }
+    p.roots_.push_back(normalize_path(r));
+  }
+
+  std::sort(scans.begin(), scans.end(),
+            [](const FileScan& a, const FileScan& b) {
+              return a.norm_path < b.norm_path;
+            });
+  std::map<std::string, int> index;
+  for (FileScan& scan : scans) {
+    ProjectFile f;
+    f.scan = std::move(scan);
+    f.scan.norm_path = normalize_path(f.scan.norm_path);
+    f.module = module_of(f.scan.norm_path);
+    f.summary = summarize_file(f.scan);
+    index.emplace(f.scan.norm_path, static_cast<int>(p.files_.size()));
+    p.files_.push_back(std::move(f));
+  }
+
+  for (ProjectFile& f : p.files_) {
+    for (const Token& t : f.scan.tokens) {
+      if (t.kind != TokKind::kInclude || t.text.size() < 2 ||
+          t.text.front() != '"') {
+        continue;  // angle includes are system headers
+      }
+      std::string target = t.text.substr(1, t.text.size() - 2);
+      std::vector<std::string> candidates;
+      std::string dir = dirname_of(f.scan.norm_path);
+      candidates.push_back(
+          normalize_path(dir.empty() ? target : dir + "/" + target));
+      for (const std::string& root : p.roots_) {
+        candidates.push_back(normalize_path(root + "/" + target));
+      }
+      for (const std::string& c : candidates) {
+        auto it = index.find(c);
+        if (it != index.end()) {
+          f.includes.emplace_back(it->second, t.line);
+          break;
+        }
+      }
+    }
+    std::sort(f.includes.begin(), f.includes.end());
+    f.includes.erase(std::unique(f.includes.begin(), f.includes.end()),
+                     f.includes.end());
+  }
+
+  for (const ProjectFile& f : p.files_) {
+    for (const auto& [name, members] : f.summary.enums) {
+      bool known = std::any_of(
+          p.enums_.begin(), p.enums_.end(),
+          [&](const auto& e) { return e.first == name; });
+      if (!known) p.enums_.emplace_back(name, members);
+    }
+  }
+  return p;
+}
+
+int Project::index_of(const std::string& norm_path) const {
+  std::string key = normalize_path(norm_path);
+  for (std::size_t i = 0; i < files_.size(); ++i) {
+    if (files_[i].scan.norm_path == key) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+FileSummary Project::closure_summary(int id) const {
+  FileSummary out;
+  if (id < 0 || id >= static_cast<int>(files_.size())) return out;
+  std::vector<char> seen(files_.size(), 0);
+  std::vector<int> stack = {id};
+  seen[static_cast<std::size_t>(id)] = 1;
+  while (!stack.empty()) {
+    int cur = stack.back();
+    stack.pop_back();
+    const FileSummary& s = files_[static_cast<std::size_t>(cur)].summary;
+    for (const std::string& n : s.float_idents) add_unique(out.float_idents, n);
+    for (const std::string& n : s.unordered_idents) {
+      add_unique(out.unordered_idents, n);
+    }
+    out.emits_output = out.emits_output || s.emits_output;
+    for (const auto& [to, line] : files_[static_cast<std::size_t>(cur)].includes) {
+      if (!seen[static_cast<std::size_t>(to)]) {
+        seen[static_cast<std::size_t>(to)] = 1;
+        stack.push_back(to);
+      }
+    }
+  }
+  std::sort(out.float_idents.begin(), out.float_idents.end());
+  std::sort(out.unordered_idents.begin(), out.unordered_idents.end());
+  return out;
+}
+
+const std::vector<std::string>* Project::enum_members(
+    const std::string& name) const {
+  for (const auto& [n, members] : enums_) {
+    if (n == name) return &members;
+  }
+  return nullptr;
+}
+
+}  // namespace simlint

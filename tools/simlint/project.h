@@ -1,0 +1,92 @@
+// Project model for simlint v2: everything the cross-file rules need, built
+// exactly once per run from the token streams the lexer already produces.
+//
+//   * a sorted file index over every scanned file,
+//   * preprocessor-lite include resolution — a quoted #include is resolved
+//     against the includer's directory and then against each root directory
+//     named on the command line (mirroring -I<root> semantics; angle
+//     includes are system headers and never resolve to project files),
+//   * the resulting include graph (adjacency by file id, edges carry the
+//     source line so findings are clickable),
+//   * a per-file symbol/type summary: identifiers declared with a floating
+//     type, identifiers declared as unordered_* containers, whether the
+//     file emits output (Table/CSV/stream writes), and every `enum class`
+//     definition with its enumerator list.
+//
+// The model is resolution-by-index, not by filesystem probing: an include
+// only produces an edge if its target is one of the scanned files, so runs
+// are hermetic and order-independent.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lexer.h"
+
+namespace simlint {
+
+/// What the taint rules need to know about one file in isolation.
+struct FileSummary {
+  std::vector<std::string> float_idents;      // declared double/float names
+  std::vector<std::string> unordered_idents;  // declared unordered_* names
+  bool emits_output = false;                  // Table / ofstream / fopen …
+  /// enum-class definitions: name -> enumerator names, in declaration order.
+  std::vector<std::pair<std::string, std::vector<std::string>>> enums;
+};
+
+struct ProjectFile {
+  FileScan scan;
+  std::string module;          // e.g. "src/net", "bench", "tools"; "" unknown
+  FileSummary summary;
+  /// Resolved project-internal includes: (target file id, include line).
+  std::vector<std::pair<int, int>> includes;
+};
+
+class Project {
+ public:
+  /// Builds the model. `roots` are the directories given on the command
+  /// line (used as include search roots); files are indexed by normalized
+  /// path in sorted order so ids are deterministic.
+  static Project build(std::vector<FileScan> scans,
+                       std::vector<std::string> roots);
+
+  const std::vector<ProjectFile>& files() const { return files_; }
+  const std::vector<std::string>& roots() const { return roots_; }
+
+  /// Index of the file with this normalized path, or -1.
+  int index_of(const std::string& norm_path) const;
+
+  /// Union of FileSummary over `id` and its transitive project includes —
+  /// the translation-unit view the taint rules reason about.
+  FileSummary closure_summary(int id) const;
+
+  /// Project-wide enumerator list for `enum class name`, or null if no
+  /// scanned file defines it. First definition in file-id order wins.
+  const std::vector<std::string>* enum_members(const std::string& name) const;
+
+ private:
+  std::vector<ProjectFile> files_;
+  std::vector<std::string> roots_;
+  std::vector<std::pair<std::string, std::vector<std::string>>> enums_;
+};
+
+/// Lexically normalizes a '/'-separated path: folds "//", "." and ".."
+/// (without touching the filesystem). "a/b/../c" -> "a/c".
+std::string normalize_path(const std::string& path);
+
+/// Module of a normalized path: the last "src/<dir>" component pair, or the
+/// last "bench"/"tools"/"tests" component, or "" if none matches. Matching
+/// from the right makes fixture trees that embed an src/-shaped layout
+/// behave exactly like the real tree.
+std::string module_of(const std::string& norm_path);
+
+/// Stable repo-relative form used by baselines and SARIF: the path suffix
+/// starting at the last "src"/"bench"/"tools"/"tests" component, so absolute
+/// and relative invocations produce identical keys.
+std::string baseline_key_path(const std::string& norm_path);
+
+/// Extracts the per-file summary from a token stream. Exposed for tests.
+FileSummary summarize_file(const FileScan& scan);
+
+}  // namespace simlint

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <initializer_list>
+#include <map>
 #include <string_view>
+
+#include "graph.h"
+#include "project.h"
 
 namespace simlint {
 namespace {
@@ -332,34 +336,344 @@ void check_using_namespace(const FileScan& scan, std::vector<Finding>& out) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Rule: include-cycle (project) — a cycle in the include graph means no
+// layering assignment can exist for the files involved, and usually that a
+// type boundary has dissolved. Reported once per cycle, anchored at the
+// lexicographically first file's offending #include line.
+
+void check_include_cycle(const ProjectContext& ctx,
+                         std::vector<Finding>& out) {
+  const Project& p = *ctx.project;
+  for (const std::vector<int>& cycle : find_include_cycles(p)) {
+    const ProjectFile& first = p.files()[static_cast<std::size_t>(cycle[0])];
+    int next = cycle.size() > 1 ? cycle[1] : cycle[0];
+    int line = 1;
+    for (const auto& [to, inc_line] : first.includes) {
+      if (to == next) {
+        line = inc_line;
+        break;
+      }
+    }
+    std::string chain;
+    for (int id : cycle) {
+      chain += baseline_key_path(
+          p.files()[static_cast<std::size_t>(id)].scan.norm_path);
+      chain += " -> ";
+    }
+    chain += baseline_key_path(first.scan.norm_path);
+    out.push_back(Finding{first.scan.path, line, "include-cycle",
+                          "#include cycle: " + chain +
+                              "; break it with a forward declaration or by "
+                              "moving the shared type down a layer"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: layer-violation (project) — the declared layer DAG in
+// tools/simlint/layers.conf says which module may include which; an edge
+// outside the allow-list is an upward (or sideways) dependency that will
+// calcify into a cycle. Only runs when a --layers config is provided.
+
+void check_layer_violation(const ProjectContext& ctx,
+                           std::vector<Finding>& out) {
+  if (!ctx.layers || ctx.layers->empty()) return;
+  const Project& p = *ctx.project;
+  const LayerConfig& layers = *ctx.layers;
+  for (const ProjectFile& f : p.files()) {
+    if (f.module.empty()) continue;  // outside the modeled tree
+    if (!layers.knows(f.module)) {
+      out.push_back(Finding{f.scan.path, 1, "layer-violation",
+                            "module '" + f.module +
+                                "' is not declared in layers.conf; add it "
+                                "to the layer DAG before adding code here"});
+      continue;
+    }
+    for (const auto& [to, line] : f.includes) {
+      const ProjectFile& g = p.files()[static_cast<std::size_t>(to)];
+      if (g.module.empty() || !layers.allowed(f.module, g.module)) {
+        if (g.module.empty()) continue;
+        out.push_back(Finding{
+            f.scan.path, line, "layer-violation",
+            "include of '" + baseline_key_path(g.scan.norm_path) +
+                "' reaches up the layer DAG (" + f.module + " may not "
+                "depend on " + g.module + "; see tools/simlint/layers.conf)"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: unordered-iteration (project) — iterating an unordered container in
+// a TU that also emits output (Table/CSV/trace writers) feeds hash-order
+// into the byte-identical output contract. The deterministic core bans the
+// containers outright (hash-container); everywhere else under src/ and
+// bench/ they are legal for lookups, but the moment the same TU both
+// iterates one and writes output, the iteration order can reach the bytes.
+// The container may be declared in a header and iterated in the .cc — the
+// taint set is the TU's include closure, which is why this is a project
+// rule.
+
+bool float_scope_stats(const std::string& module) {
+  return module == "src/stats";
+}
+
+void check_unordered_iteration(const ProjectContext& ctx,
+                               std::vector<Finding>& out) {
+  const Project& p = *ctx.project;
+  for (std::size_t id = 0; id < p.files().size(); ++id) {
+    const ProjectFile& f = p.files()[id];
+    if (f.scan.is_header) continue;  // TU view: checks anchor at the .cc
+    bool in_scope = (f.module.rfind("src/", 0) == 0 || f.module == "bench");
+    if (!in_scope || in_deterministic_core(f.scan)) continue;
+    if (!f.summary.emits_output) continue;
+    FileSummary closure = p.closure_summary(static_cast<int>(id));
+    if (closure.unordered_idents.empty()) continue;
+    const auto& tainted = closure.unordered_idents;
+    auto is_tainted = [&](const Token& t) {
+      return t.kind == TokKind::kIdent &&
+             std::binary_search(tainted.begin(), tainted.end(), t.text);
+    };
+    const auto& toks = f.scan.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      // Range-for whose range expression names a tainted container.
+      if (ident_in(toks[i], {"for"}) && is_punct(toks[i + 1], "(")) {
+        int depth = 0;
+        std::size_t colon = 0;
+        for (std::size_t j = i + 1; j < toks.size(); ++j) {
+          if (is_punct(toks[j], "(")) ++depth;
+          else if (is_punct(toks[j], ")")) {
+            if (--depth == 0) break;
+          } else if (is_punct(toks[j], ":") && depth == 1 && !colon) {
+            colon = j;
+          }
+        }
+        if (colon) {
+          int d = 1;
+          for (std::size_t j = colon + 1; j < toks.size() && d > 0; ++j) {
+            if (is_punct(toks[j], "(")) ++d;
+            else if (is_punct(toks[j], ")")) --d;
+            else if (d == 1 && is_tainted(toks[j])) {
+              flag(out, f.scan, toks[i].line, "unordered-iteration",
+                   "iterates '" + toks[j].text +
+                       "' (unordered_*) in a TU that emits output; hash "
+                       "order reaches the byte-identical outputs — use an "
+                       "ordered container or sort before emitting");
+              break;
+            }
+          }
+        }
+        continue;
+      }
+      // Explicit iterator walk: tainted.begin() / cbegin(). Deliberately not
+      // end() — `it != m.end()` after a find() is the lookup idiom.
+      if (is_tainted(toks[i]) && is_punct(toks[i + 1], ".") &&
+          i + 2 < toks.size() && ident_in(toks[i + 2], {"begin", "cbegin"})) {
+        flag(out, f.scan, toks[i].line, "unordered-iteration",
+             "iterates '" + toks[i].text +
+                 "' (unordered_*) in a TU that emits output; hash order "
+                 "reaches the byte-identical outputs — use an ordered "
+                 "container or sort before emitting");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: float-eq (project) — exact floating-point ==/!= in src/stats. The
+// statistics layer is the last stop before CSV bytes; an exact comparison
+// there is sensitive to FMA contraction, excess precision and evaluation
+// order, i.e. to the compiler rather than the seed. Operand typing comes
+// from the TU closure's declared double/float names plus floating literals.
+
+bool float_literal(const Token& t) {
+  if (t.kind != TokKind::kNumber) return false;
+  if (t.text.rfind("0x", 0) == 0 || t.text.rfind("0X", 0) == 0) return false;
+  return t.text.find('.') != std::string::npos ||
+         t.text.find('e') != std::string::npos ||
+         t.text.find('E') != std::string::npos;
+}
+
+void check_float_eq(const ProjectContext& ctx, std::vector<Finding>& out) {
+  const Project& p = *ctx.project;
+  for (std::size_t id = 0; id < p.files().size(); ++id) {
+    const ProjectFile& f = p.files()[id];
+    if (!float_scope_stats(f.module)) continue;
+    FileSummary closure = p.closure_summary(static_cast<int>(id));
+    const auto& floats = closure.float_idents;
+    auto float_operand = [&](const Token& t) {
+      if (float_literal(t)) return true;
+      return t.kind == TokKind::kIdent &&
+             std::binary_search(floats.begin(), floats.end(), t.text);
+    };
+    const auto& toks = f.scan.tokens;
+    for (std::size_t i = 1; i + 2 < toks.size(); ++i) {
+      bool eq = is_punct(toks[i], "=") && is_punct(toks[i + 1], "=");
+      bool ne = is_punct(toks[i], "!") && is_punct(toks[i + 1], "=");
+      if (!eq && !ne) continue;
+      if (i >= 2 && is_punct(toks[i - 1], "=")) continue;  // second '=' of ==
+      const Token& lhs = toks[i - 1];
+      const Token& rhs = toks[i + 2];
+      if (!float_operand(lhs) && !float_operand(rhs)) continue;
+      flag(out, f.scan, toks[i].line, "float-eq",
+           std::string("floating-point '") + (eq ? "==" : "!=") +
+               "' is exact-representation comparison, fragile under FMA "
+               "and excess precision; compare with an explicit tolerance "
+               "or restructure around integers");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: switch-exhaustive (project) — a switch over PtId or CarrierKind
+// that neither covers every enumerator nor has a default silently drops the
+// next transport or carrier someone adds: it compiles, runs, and emits a
+// figure missing a row. The enumerator lists come from the project model
+// (src/ptperf/transports.h, src/pt/layer/layer.h), so the rule tightens
+// itself when an enumerator is added.
+
+constexpr std::string_view kGuardedEnums[] = {"PtId", "CarrierKind"};
+
+bool guarded_enum(const std::string& name) {
+  for (std::string_view e : kGuardedEnums) {
+    if (name == e) return true;
+  }
+  return false;
+}
+
+void check_switch_exhaustive(const ProjectContext& ctx,
+                             std::vector<Finding>& out) {
+  const Project& p = *ctx.project;
+  for (const ProjectFile& f : p.files()) {
+    const auto& toks = f.scan.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (!ident_in(toks[i], {"switch"}) || !is_punct(toks[i + 1], "(")) {
+        continue;
+      }
+      // Find the body braces.
+      int depth = 0;
+      std::size_t body = 0;
+      for (std::size_t j = i + 1; j < toks.size(); ++j) {
+        if (is_punct(toks[j], "(")) ++depth;
+        else if (is_punct(toks[j], ")")) {
+          if (--depth == 0) {
+            if (j + 1 < toks.size() && is_punct(toks[j + 1], "{")) {
+              body = j + 1;
+            }
+            break;
+          }
+        }
+      }
+      if (!body) continue;
+      // Walk the body, collecting `case Enum::member` labels and `default`.
+      std::map<std::string, std::vector<std::string>> cases;
+      bool has_default = false;
+      depth = 0;
+      std::size_t j = body;
+      for (; j < toks.size(); ++j) {
+        if (is_punct(toks[j], "{")) ++depth;
+        else if (is_punct(toks[j], "}")) {
+          if (--depth == 0) break;
+        } else if (ident_in(toks[j], {"default"}) && j + 1 < toks.size() &&
+                   is_punct(toks[j + 1], ":")) {
+          has_default = true;
+        } else if (ident_in(toks[j], {"case"})) {
+          // Scan the label up to its ':' for a `<Enum> :: <member>` pair.
+          for (std::size_t k = j + 1; k + 2 < toks.size(); ++k) {
+            if (is_punct(toks[k], ":")) break;
+            if (toks[k].kind == TokKind::kIdent &&
+                guarded_enum(toks[k].text) &&
+                is_punct(toks[k + 1], "::") &&
+                toks[k + 2].kind == TokKind::kIdent) {
+              auto& seen = cases[toks[k].text];
+              if (std::find(seen.begin(), seen.end(), toks[k + 2].text) ==
+                  seen.end()) {
+                seen.push_back(toks[k + 2].text);
+              }
+            }
+          }
+        }
+      }
+      if (has_default) continue;
+      for (const auto& [enum_name, covered] : cases) {
+        const std::vector<std::string>* members = p.enum_members(enum_name);
+        if (!members) continue;  // enum not defined in the scanned set
+        std::vector<std::string> missing;
+        for (const std::string& m : *members) {
+          if (std::find(covered.begin(), covered.end(), m) == covered.end()) {
+            missing.push_back(m);
+          }
+        }
+        if (missing.empty()) continue;
+        std::string names;
+        for (std::size_t m = 0; m < missing.size(); ++m) {
+          if (m) names += ", ";
+          names += missing[m];
+        }
+        flag(out, f.scan, toks[i].line, "switch-exhaustive",
+             "switch over " + enum_name + " covers " +
+                 std::to_string(covered.size()) + " of " +
+                 std::to_string(members->size()) +
+                 " enumerators and has no default (missing: " + names +
+                 "); new variants would be silently dropped");
+      }
+    }
+  }
+}
+
 const std::vector<Rule> kRules = {
     {"banned-time", "wall-clock time sources outside src/sim/time.*",
-     check_banned_time},
+     check_banned_time, nullptr},
     {"banned-rng", "ambient randomness outside src/sim/rng.*",
-     check_banned_rng},
+     check_banned_rng, nullptr},
     {"banned-thread",
      "threading primitives outside src/ptperf/parallel.* and bench/",
-     check_banned_thread},
+     check_banned_thread, nullptr},
     {"hash-container",
      "unordered containers in the deterministic core (sim/net/tor/fault)",
-     check_hash_container},
+     check_hash_container, nullptr},
     {"pointer-keyed-map",
      "pointer-keyed std::map/std::set in the deterministic core",
-     check_pointer_keyed_map},
-    {"unsafe-c", "unbounded C string/parse functions", check_unsafe_c},
+     check_pointer_keyed_map, nullptr},
+    {"unsafe-c", "unbounded C string/parse functions", check_unsafe_c,
+     nullptr},
     {"raw-instrumentation",
      "printf/stream telemetry in src/ outside src/trace and src/util",
-     check_raw_instrumentation},
+     check_raw_instrumentation, nullptr},
     {"transport-bypass",
      "direct *Transport construction outside src/pt/ and the PtId registry",
-     check_transport_bypass},
+     check_transport_bypass, nullptr},
     {"ensemble-bypass",
      "direct ShardedCampaign construction in bench/ outside bench/common",
-     check_ensemble_bypass},
-    {"pragma-once", "headers must contain #pragma once", check_pragma_once},
+     check_ensemble_bypass, nullptr},
+    {"pragma-once", "headers must contain #pragma once", check_pragma_once,
+     nullptr},
     {"using-namespace-header", "no using-directives in headers",
-     check_using_namespace},
+     check_using_namespace, nullptr},
+    {"include-cycle", "cycles in the project include graph", nullptr,
+     check_include_cycle},
+    {"layer-violation",
+     "include edges outside the declared layer DAG (layers.conf)", nullptr,
+     check_layer_violation},
+    {"unordered-iteration",
+     "unordered container iteration in a TU that emits output", nullptr,
+     check_unordered_iteration},
+    {"float-eq", "exact floating-point ==/!= in src/stats", nullptr,
+     check_float_eq},
+    {"switch-exhaustive",
+     "non-exhaustive switch over PtId/CarrierKind without default", nullptr,
+     check_switch_exhaustive},
+    {"unused-suppression",
+     "allow-suppressions that no longer match any finding", nullptr, nullptr},
+    {"bad-suppression", "malformed or reason-less allow-suppressions",
+     nullptr, nullptr},
 };
+
+/// Rules whose findings are never themselves suppressible: the suppression
+/// hygiene rules (a waiver cannot waive waiver defects).
+bool suppressible(const std::string& rule) {
+  return rule != "bad-suppression" && rule != "unused-suppression";
+}
 
 }  // namespace
 
@@ -371,49 +685,96 @@ bool known_rule(const std::string& name) {
                      [&](const Rule& r) { return name == r.name; });
 }
 
-std::vector<Finding> lint_file(const FileScan& scan) {
+std::vector<Finding> lint_project(const ProjectContext& ctx) {
+  const Project& p = *ctx.project;
+
   std::vector<Finding> raw;
-  for (const Rule& rule : kRules) rule.check(scan, raw);
+  for (const ProjectFile& f : p.files()) {
+    for (const Rule& rule : kRules) {
+      if (rule.check) rule.check(f.scan, raw);
+    }
+  }
+  for (const Rule& rule : kRules) {
+    if (rule.project_check) rule.project_check(ctx, raw);
+  }
+
+  // Suppression filtering, per owning file. A suppression is "used" once it
+  // absorbs at least one finding; the rest become unused-suppression
+  // findings below, so the waiver set can only shrink.
+  std::map<std::string, const ProjectFile*> by_path;
+  for (const ProjectFile& f : p.files()) by_path[f.scan.path] = &f;
+  std::map<std::pair<std::string, int>, bool> suppression_used;
 
   std::vector<Finding> out;
   for (Finding& f : raw) {
     bool suppressed = false;
-    for (const Suppression& s : scan.suppressions) {
-      if (!s.parse_ok || !s.has_reason) continue;
-      if (f.line != s.line && f.line != s.line + 1) continue;
-      for (const std::string& r : s.rules) {
-        if (r == "all" || r == f.rule) {
-          suppressed = true;
-          break;
+    auto it = by_path.find(f.file);
+    if (it != by_path.end() && suppressible(f.rule)) {
+      for (const Suppression& s : it->second->scan.suppressions) {
+        if (!s.parse_ok || !s.has_reason) continue;
+        if (f.line != s.line && f.line != s.line + 1) continue;
+        for (const std::string& r : s.rules) {
+          if (r == "all" || r == f.rule) {
+            suppressed = true;
+            suppression_used[{f.file, s.line}] = true;
+            break;
+          }
         }
+        if (suppressed) break;
       }
-      if (suppressed) break;
     }
     if (!suppressed) out.push_back(std::move(f));
   }
 
-  // A suppression that cannot take effect is itself a defect: it either
-  // failed to parse, lacks the mandatory `-- reason`, or names an unknown
-  // rule. These are never suppressible.
-  for (const Suppression& s : scan.suppressions) {
-    if (!s.parse_ok) {
-      flag(out, scan, s.line, "bad-suppression",
-           "malformed suppression; expected "
-           "'simlint: allow(<rule>[, <rule>]) -- <reason>'");
-      continue;
-    }
-    if (!s.has_reason) {
-      flag(out, scan, s.line, "bad-suppression",
-           "suppression is missing the mandatory '-- <reason>'");
-    }
-    for (const std::string& r : s.rules) {
-      if (!known_rule(r))
+  for (const ProjectFile& pf : p.files()) {
+    const FileScan& scan = pf.scan;
+    for (const Suppression& s : scan.suppressions) {
+      // A suppression that cannot take effect is itself a defect: it either
+      // failed to parse, lacks the mandatory `-- reason`, or names an
+      // unknown rule.
+      if (!s.parse_ok) {
         flag(out, scan, s.line, "bad-suppression",
-             "suppression names unknown rule '" + r + "'");
+             "malformed suppression; expected "
+             "'simlint: allow(<rule>[, <rule>]) -- <reason>'");
+        continue;
+      }
+      bool well_formed = s.has_reason;
+      if (!s.has_reason) {
+        flag(out, scan, s.line, "bad-suppression",
+             "suppression is missing the mandatory '-- <reason>'");
+      }
+      for (const std::string& r : s.rules) {
+        if (!known_rule(r)) {
+          well_formed = false;
+          flag(out, scan, s.line, "bad-suppression",
+               "suppression names unknown rule '" + r + "'");
+        }
+      }
+      // A well-formed suppression that matched nothing is stale: the code
+      // it waived was fixed or moved, so the waiver must be deleted.
+      if (well_formed && !suppression_used[{scan.path, s.line}]) {
+        std::string names;
+        for (std::size_t i = 0; i < s.rules.size(); ++i) {
+          if (i) names += ", ";
+          names += s.rules[i];
+        }
+        flag(out, scan, s.line, "unused-suppression",
+             "suppression for (" + names +
+                 ") no longer matches any finding; delete it — the waiver "
+                 "set may only shrink");
+      }
     }
   }
 
   std::sort(out.begin(), out.end());
+  // Identical (file, line, rule, message) findings collapse to one report:
+  // `a.begin()`/`a.end()` in one loop header are one defect, not two.
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const Finding& a, const Finding& b) {
+                          return a.file == b.file && a.line == b.line &&
+                                 a.rule == b.rule && a.message == b.message;
+                        }),
+            out.end());
   return out;
 }
 

@@ -1,7 +1,15 @@
-// simlint rule registry. Each rule is a named check over one tokenized file;
-// adding an invariant means writing one ~20-line check function and one
-// registry entry. Rules report Findings; allow-suppression filtering happens
-// in lint_file so individual checks never have to think about it.
+// simlint rule registry. v2 distinguishes two rule shapes:
+//
+//   * per-file checks — one pass over a tokenized file, as in v1;
+//   * project checks — run once over the whole Project model (include
+//     graph, layer config, cross-file symbol summaries), so a rule can see
+//     an #include cycle, an upward dependency, or an unordered container
+//     declared in a header and iterated in a .cc.
+//
+// Both report Findings. Suppression filtering and the suppression-hygiene
+// rules (bad-suppression, unused-suppression) live in lint_project so
+// individual checks never think about waivers — and so a waiver that stops
+// matching anything becomes an error itself, keeping the set shrink-only.
 #pragma once
 
 #include <string>
@@ -10,6 +18,9 @@
 #include "lexer.h"
 
 namespace simlint {
+
+class Project;
+class LayerConfig;
 
 struct Finding {
   std::string file;
@@ -20,14 +31,26 @@ struct Finding {
   friend bool operator<(const Finding& a, const Finding& b) {
     if (a.file != b.file) return a.file < b.file;
     if (a.line != b.line) return a.line < b.line;
-    return a.rule < b.rule;
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.message < b.message;
   }
+};
+
+/// Everything a project-level rule may consult. `layers` is null when no
+/// --layers config was given (architecture conformance is then skipped;
+/// cycle detection still runs — a cycle is wrong under every layering).
+struct ProjectContext {
+  const Project* project = nullptr;
+  const LayerConfig* layers = nullptr;
 };
 
 struct Rule {
   const char* name;
   const char* summary;
+  /// Per-file check; null for project-only rules.
   void (*check)(const FileScan&, std::vector<Finding>&);
+  /// Whole-project check; null for file-only rules.
+  void (*project_check)(const ProjectContext&, std::vector<Finding>&);
 };
 
 /// All registered rules, in reporting order.
@@ -36,9 +59,8 @@ const std::vector<Rule>& rules();
 /// True if `name` names a registered rule.
 bool known_rule(const std::string& name);
 
-/// Runs every rule over `scan` and filters out suppressed findings.
-/// Malformed or reason-less suppressions surface as `bad-suppression`
-/// findings, which are never themselves suppressible.
-std::vector<Finding> lint_file(const FileScan& scan);
+/// Runs every rule over the whole project, applies allow-suppressions,
+/// surfaces suppression hygiene defects, and returns the sorted findings.
+std::vector<Finding> lint_project(const ProjectContext& ctx);
 
 }  // namespace simlint

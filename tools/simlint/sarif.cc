@@ -1,0 +1,73 @@
+#include "sarif.h"
+
+#include <map>
+
+#include "json.h"
+#include "project.h"
+
+namespace simlint {
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  const std::vector<Rule>& all = rules();
+  std::map<std::string, int> rule_index;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    rule_index[all[i].name] = static_cast<int>(i);
+  }
+
+  std::string out;
+  out += "{\n";
+  out +=
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  out += "  \"version\": \"2.1.0\",\n";
+  out += "  \"runs\": [\n";
+  out += "    {\n";
+  out += "      \"tool\": {\n";
+  out += "        \"driver\": {\n";
+  out += "          \"name\": \"simlint\",\n";
+  out +=
+      "          \"informationUri\": "
+      "\"https://example.invalid/ptperf/tools/simlint\",\n";
+  out += "          \"rules\": [\n";
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    out += "            {\"id\": \"" + json::escape(all[i].name) +
+           "\", \"shortDescription\": {\"text\": \"" +
+           json::escape(all[i].summary) + "\"}}";
+    out += i + 1 < all.size() ? ",\n" : "\n";
+  }
+  out += "          ]\n";
+  out += "        }\n";
+  out += "      },\n";
+  out += "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += "        {\n";
+    out += "          \"ruleId\": \"" + json::escape(f.rule) + "\",\n";
+    out += "          \"ruleIndex\": " +
+           std::to_string(rule_index.count(f.rule) ? rule_index[f.rule] : 0) +
+           ",\n";
+    out += "          \"level\": \"error\",\n";
+    out += "          \"message\": {\"text\": \"" + json::escape(f.message) +
+           "\"},\n";
+    out += "          \"locations\": [\n";
+    out += "            {\n";
+    out += "              \"physicalLocation\": {\n";
+    out += "                \"artifactLocation\": {\"uri\": \"" +
+           json::escape(baseline_key_path(normalize_path(f.file))) +
+           "\"},\n";
+    out += "                \"region\": {\"startLine\": " +
+           std::to_string(f.line > 0 ? f.line : 1) + "}\n";
+    out += "              }\n";
+    out += "            }\n";
+    out += "          ]\n";
+    out += "        }";
+    out += i + 1 < findings.size() ? ",\n" : "\n";
+  }
+  out += "      ]\n";
+  out += "    }\n";
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace simlint

@@ -1,0 +1,18 @@
+// SARIF 2.1.0 output for simlint findings, so CI can upload results to code
+// scanning (github/codeql-action/upload-sarif) and editors can ingest them.
+// One run, one driver ("simlint"), every registered rule listed in
+// tool.driver.rules with results referencing them by ruleId + ruleIndex.
+// Artifact URIs use baseline_key_path() so the document is invocation-stable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rules.h"
+
+namespace simlint {
+
+/// Serializes `findings` as a SARIF 2.1.0 document (pretty-printed JSON).
+std::string to_sarif(const std::vector<Finding>& findings);
+
+}  // namespace simlint

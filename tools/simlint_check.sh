@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Shared simlint entry point for CI and local runs: builds the linter from
+# source (no dependencies beyond a C++20 compiler), then lints src/ bench/
+# tools/ with the declared layer DAG and the checked-in baseline. Only NEW
+# findings fail; pre-existing debt lives in tools/simlint/baseline.json.
+#
+#   tools/simlint_check.sh [--sarif <out.sarif>] [--write-baseline]
+#
+# --sarif additionally writes a SARIF 2.1 document (for code-scanning
+# upload); --write-baseline regenerates the baseline after deliberate rule
+# or debt changes — review the diff before committing it.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+sarif_out=""
+write_baseline=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --sarif)
+      sarif_out="$2"
+      shift 2
+      ;;
+    --write-baseline)
+      write_baseline=1
+      shift
+      ;;
+    *)
+      echo "usage: tools/simlint_check.sh [--sarif <out.sarif>] [--write-baseline]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+bin="${SIMLINT_BIN:-}"
+if [ -z "$bin" ]; then
+  bin="$(mktemp -d)/simlint"
+  "${CXX:-g++}" -std=c++20 -O2 -Wall -Wextra -o "$bin" \
+    tools/simlint/lexer.cc tools/simlint/json.cc tools/simlint/project.cc \
+    tools/simlint/graph.cc tools/simlint/baseline.cc tools/simlint/sarif.cc \
+    tools/simlint/rules.cc tools/simlint/main.cc
+fi
+
+args=(--layers tools/simlint/layers.conf)
+if [ "$write_baseline" = 1 ]; then
+  args+=(--write-baseline tools/simlint/baseline.json)
+else
+  args+=(--baseline tools/simlint/baseline.json)
+fi
+if [ -n "$sarif_out" ]; then
+  args+=(--sarif "$sarif_out")
+fi
+
+"$bin" "${args[@]}" src bench tools

@@ -2,7 +2,17 @@
 // the crypto suite, cell codec, onion layer processing, DNS codec, the
 // event loop, and the statistics kernels. These bound how fast measurement
 // campaigns replay.
+//
+// The suite doubles as the repo's perf gate: tools/bench_check.sh runs it
+// with --benchmark_format=json, condenses the output into BENCH_micro.json
+// and compares against bench/baseline.json (see docs/PERFORMANCE.md).
+// Legacy-API benchmarks (BM_CellRoundTrip, BM_AeadSealOpen) are kept
+// alongside their zero-copy counterparts (BM_CellPipeline,
+// BM_AeadSealOpenInPlace) so the trajectory records what the buffer
+// discipline bought.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
 
 #include "crypto/aead.h"
 #include "crypto/chacha20.h"
@@ -17,6 +27,7 @@
 #include "tor/cell.h"
 #include "tor/ntor.h"
 #include "tor/onion.h"
+#include "util/buf.h"
 
 namespace {
 
@@ -122,6 +133,104 @@ void BM_OnionLayer3Hop(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * tor::kCellPayloadSize * 3);
 }
 BENCHMARK(BM_OnionLayer3Hop);
+
+// --------------------------------------------- zero-copy cell pipeline --
+
+/// The refactored hot path end to end: lease a pooled wire buffer, encode
+/// the relay cell and cell header straight into it, then parse both back
+/// as borrowed views. Compare against BM_CellRoundTrip, which allocates
+/// three vectors per cell for the same bytes.
+void BM_CellPipeline(benchmark::State& state) {
+  sim::Rng rng(5);
+  util::Bytes data = rng.bytes(tor::kRelayDataMax);
+  util::BufPool pool;
+  for (auto _ : state) {
+    util::Buf wire = pool.acquire(tor::kCellSize);
+    tor::encode_relay_cell_into(
+        wire.span().subspan(tor::kCellHeaderSize), tor::RelayCommand::kData,
+        7, 0, data);
+    tor::patch_circ_id(wire.span(), 99);
+    wire[4] = static_cast<std::uint8_t>(tor::CellCommand::kRelay);
+    auto cell = tor::parse_cell(wire.view());
+    auto relay = tor::parse_relay_cell(cell->payload);
+    benchmark::DoNotOptimize(relay);
+  }
+  state.SetBytesProcessed(state.iterations() * tor::kCellSize);
+}
+BENCHMARK(BM_CellPipeline);
+
+/// In-place AEAD over one pooled buffer with a stack nonce — the framing
+/// layers' record path. Compare against BM_AeadSealOpen (fresh vectors and
+/// heap nonces per record).
+void BM_AeadSealOpenInPlace(benchmark::State& state) {
+  sim::Rng rng(3);
+  crypto::ChaCha20Poly1305 aead(rng.bytes(32));
+  auto n = static_cast<std::size_t>(state.range(0));
+  util::BufPool pool;
+  util::Buf buf = pool.acquire(n + crypto::ChaCha20Poly1305::kTagSize);
+  std::fill(buf.begin(), buf.end(), 0x42);
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    auto nonce = crypto::counter_nonce_arr(seq);
+    util::BytesView nv(nonce.data(), nonce.size());
+    aead.seal_in_place(nv, buf.span(), n);
+    auto len = aead.open_in_place(nv, buf.span());
+    benchmark::DoNotOptimize(len);
+    ++seq;
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AeadSealOpenInPlace)->Arg(498)->Arg(8192);
+
+/// Pool lease/release churn at cell size: the steady-state allocation
+/// pattern of a busy circuit (LIFO free list, no malloc after warm-up).
+void BM_BufPoolAcquireRelease(benchmark::State& state) {
+  util::BufPool pool;
+  for (auto _ : state) {
+    util::Buf a = pool.acquire(tor::kCellSize);
+    util::Buf b = pool.acquire(tor::kCellSize);
+    a[0] = 1;
+    b[0] = 2;
+    benchmark::DoNotOptimize(a.data());
+    benchmark::DoNotOptimize(b.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_BufPoolAcquireRelease);
+
+/// Arena bump-allocation with periodic reset — per-turn scratch churn.
+void BM_ArenaAllocReset(benchmark::State& state) {
+  util::Arena arena;
+  for (auto _ : state) {
+    for (int i = 0; i < 16; ++i) {
+      auto s = arena.alloc(tor::kCellPayloadSize);
+      s[0] = static_cast<std::uint8_t>(i);
+      benchmark::DoNotOptimize(s.data());
+    }
+    arena.reset();
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_ArenaAllocReset);
+
+/// The relay splice: strip the cell header off a received wire buffer and
+/// hand the same storage on (drop_front + move), versus copying the
+/// payload out. This is what Channel::send(Buf) buys at every middle hop.
+void BM_SpliceDropFrontForward(benchmark::State& state) {
+  sim::Rng rng(11);
+  util::Bytes cell = rng.bytes(tor::kCellSize);
+  util::BufPool pool;
+  std::size_t forwarded = 0;
+  for (auto _ : state) {
+    util::Buf wire = util::Buf::copy_of(cell, pool);
+    wire.drop_front(tor::kCellHeaderSize);
+    util::Buf handed = std::move(wire);  // the move-only channel handoff
+    forwarded += handed.size();
+    benchmark::DoNotOptimize(handed.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(forwarded));
+}
+BENCHMARK(BM_SpliceDropFrontForward);
 
 void BM_DnsEncodeDecode(benchmark::State& state) {
   sim::Rng rng(7);

@@ -29,8 +29,8 @@ class Rot13Channel final : public net::Channel,
     return ch;
   }
 
-  void send(util::Bytes payload) override {
-    transform(payload);
+  void send(util::Buf payload) override {
+    transform(payload.span());
     inner_->send(std::move(payload));
   }
   void set_receiver(Receiver fn) override { receiver_ = std::move(fn); }
@@ -43,14 +43,14 @@ class Rot13Channel final : public net::Channel,
  private:
   explicit Rot13Channel(net::ChannelPtr inner) : inner_(std::move(inner)) {}
 
-  static void transform(util::Bytes& data) {
+  static void transform(std::span<std::uint8_t> data) {
     for (auto& b : data) b = static_cast<std::uint8_t>(b ^ 0x42);
   }
 
   void attach() {
     auto self = shared_from_this();
-    inner_->set_receiver([self](util::Bytes data) {
-      transform(data);
+    inner_->set_receiver([self](util::Buf data) {
+      transform(data.span());
       auto fn = self->receiver_;
       if (fn) fn(std::move(data));
     });

@@ -1,8 +1,16 @@
 // ChaCha20-Poly1305 AEAD (RFC 8439 §2.8). Record protection for the
 // shadowsocks / obfs4 / cloak framings in src/pt.
+//
+// The in-place entry points (seal_in_place / open_in_place) are the hot
+// path: they encrypt or decrypt a caller-owned span without allocating,
+// so a framing layer can seal a record directly inside a pooled wire
+// buffer. The allocating seal/open remain as thin wrappers for cold call
+// sites and produce byte-identical output.
 #pragma once
 
+#include <array>
 #include <optional>
+#include <span>
 
 #include "util/bytes.h"
 
@@ -16,6 +24,20 @@ class ChaCha20Poly1305 {
 
   explicit ChaCha20Poly1305(util::BytesView key);
 
+  /// Encrypts buf[0, plaintext_len) in place and writes the 16-byte tag at
+  /// buf[plaintext_len, plaintext_len + kTagSize). buf must span at least
+  /// plaintext_len + kTagSize bytes.
+  void seal_in_place(util::BytesView nonce, std::span<std::uint8_t> buf,
+                     std::size_t plaintext_len, util::BytesView aad = {}) const;
+
+  /// Verifies the trailing tag of ct_and_tag, decrypts the ciphertext in
+  /// place, and returns the plaintext length (= ct_and_tag.size() -
+  /// kTagSize). On authentication failure returns nullopt and leaves the
+  /// buffer untouched.
+  std::optional<std::size_t> open_in_place(util::BytesView nonce,
+                                           std::span<std::uint8_t> ct_and_tag,
+                                           util::BytesView aad = {}) const;
+
   /// Returns ciphertext || 16-byte tag.
   util::Bytes seal(util::BytesView nonce, util::BytesView plaintext,
                    util::BytesView aad = {}) const;
@@ -28,6 +50,11 @@ class ChaCha20Poly1305 {
  private:
   util::Bytes key_;
 };
+
+/// 96-bit little-endian counter nonce written into a stack array — the
+/// allocation-free form for per-record nonces on the hot path.
+std::array<std::uint8_t, ChaCha20Poly1305::kNonceSize> counter_nonce_arr(
+    std::uint64_t counter);
 
 /// 96-bit little-endian counter nonce, as used by shadowsocks AEAD chunks.
 util::Bytes counter_nonce(std::uint64_t counter);

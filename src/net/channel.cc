@@ -22,7 +22,7 @@ class PipeChannel final : public Channel {
  public:
   explicit PipeChannel(Pipe pipe) : pipe_(std::move(pipe)) {}
 
-  void send(util::Bytes payload) override { pipe_.send(std::move(payload)); }
+  void send(util::Buf payload) override { pipe_.send(std::move(payload)); }
   void set_receiver(Receiver fn) override { pipe_.on_receive(std::move(fn)); }
   void set_close_handler(CloseHandler fn) override {
     pipe_.on_close(std::move(fn));
@@ -38,7 +38,7 @@ class TlsChannel final : public Channel {
  public:
   explicit TlsChannel(TlsSession session) : session_(std::move(session)) {}
 
-  void send(util::Bytes payload) override {
+  void send(util::Buf payload) override {
     session_.send(std::move(payload));
   }
   void set_receiver(Receiver fn) override {
@@ -65,8 +65,8 @@ ChannelPtr wrap_tls(TlsSession session) {
 }
 
 void splice(ChannelPtr a, ChannelPtr b) {
-  a->set_receiver([b](util::Bytes data) { b->send(std::move(data)); });
-  b->set_receiver([a](util::Bytes data) { a->send(std::move(data)); });
+  a->set_receiver([b](util::Buf data) { b->send(std::move(data)); });
+  b->set_receiver([a](util::Buf data) { a->send(std::move(data)); });
   a->set_close_handler([b] { b->close(); });
   b->set_close_handler([a] { a->close(); });
 }

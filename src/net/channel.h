@@ -15,7 +15,7 @@ namespace ptperf::net {
 
 class Channel {
  public:
-  using Receiver = std::function<void(util::Bytes)>;
+  using Receiver = std::function<void(util::Buf)>;
   using CloseHandler = std::function<void()>;
 
   Channel();
@@ -27,7 +27,10 @@ class Channel {
   /// addresses (see docs/STATIC_ANALYSIS.md, pointer-keyed-map rule).
   std::uint64_t serial() const { return serial_; }
 
-  virtual void send(util::Bytes payload) = 0;
+  /// Consumes the buffer (move-only handoff down the stack). util::Bytes
+  /// rvalues convert implicitly; passing an lvalue Bytes fails to compile,
+  /// making any copy at a send boundary explicit.
+  virtual void send(util::Buf payload) = 0;
   virtual void set_receiver(Receiver fn) = 0;
   virtual void set_close_handler(CloseHandler fn) = 0;
   virtual void close() = 0;

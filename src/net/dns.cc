@@ -123,6 +123,8 @@ std::optional<Message> decode(util::BytesView wire) {
       if (r.u16() != 1) return std::nullopt;
       a.ttl = r.u32();
       std::uint16_t rdlen = r.u16();
+      // Record owns its rdata: Message is a value type whose decoded form
+      // may outlive the wire buffer (dnstt queues answers across polls).
       a.rdata = r.take_copy(rdlen);
       m.answers.push_back(std::move(a));
     }

@@ -19,7 +19,7 @@ double effective_rate(double mbps, double background_load) {
 
 bool Pipe::open() const { return state_ && !state_->closed; }
 
-void Pipe::send(util::Bytes payload) {
+void Pipe::send(util::Buf payload) {
   if (!open()) return;  // sends on a closed pipe are silently dropped (RST)
   state_->net->do_send(state_, side_, std::move(payload));
 }
@@ -29,7 +29,7 @@ void Pipe::on_receive(Receiver fn) {
   state_->receiver[side_] = std::move(fn);
   // Deliver anything that arrived before the receiver existed.
   while (!state_->pending[side_].empty() && state_->receiver[side_]) {
-    util::Bytes msg = std::move(state_->pending[side_].front());
+    util::Buf msg = std::move(state_->pending[side_].front());
     state_->pending[side_].erase(state_->pending[side_].begin());
     auto handler = state_->receiver[side_];
     handler(std::move(msg));
@@ -149,7 +149,7 @@ sim::Duration Network::queue_delay(const HostState& h,
 }
 
 void Network::do_send(const std::shared_ptr<Pipe::ConnState>& state,
-                      int from_side, util::Bytes payload) {
+                      int from_side, util::Buf payload) {
   HostState& snd = hosts_.at(state->host[from_side]);
   HostState& rcv = hosts_.at(state->host[1 - from_side]);
   detail::DirState& dir = state->dir[from_side];
@@ -245,8 +245,9 @@ void Network::do_send(const std::shared_ptr<Pipe::ConnState>& state,
   dir.last_delivery = deliver;
 
   int to_side = 1 - from_side;
-  auto shared_payload =
-      std::make_shared<util::Bytes>(std::move(payload));
+  // shared_ptr wrapper because std::function closures must be copyable;
+  // the buffer itself still moves end to end without a byte copied.
+  auto shared_payload = std::make_shared<util::Buf>(std::move(payload));
   loop_->schedule_at(deliver, [state, to_side, shared_payload] {
     if (state->closed) return;
     // Copy the handler first: receivers may install a replacement from

@@ -26,6 +26,7 @@
 #include "net/topology.h"
 #include "sim/event_loop.h"
 #include "sim/rng.h"
+#include "util/buf.h"
 #include "util/bytes.h"
 
 namespace ptperf::net {
@@ -77,7 +78,7 @@ struct DirState {
 /// both endpoints share state inside the Network.
 class Pipe {
  public:
-  using Receiver = std::function<void(util::Bytes)>;
+  using Receiver = std::function<void(util::Buf)>;
   using CloseHandler = std::function<void()>;
 
   Pipe() = default;
@@ -85,8 +86,11 @@ class Pipe {
   bool valid() const { return state_ != nullptr; }
   bool open() const;
 
-  /// Queues bytes to the peer; receiver callback fires at delivery time.
-  void send(util::Bytes payload);
+  /// Queues a buffer to the peer; the receiver callback fires at delivery
+  /// time with the same buffer (move-only handoff — no copy in transit).
+  /// util::Bytes rvalues convert implicitly, so `send(writer.take())`
+  /// works; sending an lvalue Bytes (a hidden copy) fails to compile.
+  void send(util::Buf payload);
 
   /// Registers the receive callback for this endpoint.
   void on_receive(Receiver fn);
@@ -170,7 +174,7 @@ class Network {
   };
 
   void do_send(const std::shared_ptr<Pipe::ConnState>& state, int from_side,
-               util::Bytes payload);
+               util::Buf payload);
   void do_close(const std::shared_ptr<Pipe::ConnState>& state, int from_side);
   /// Injected RST: closes immediately and fires BOTH close handlers (a
   /// reset, unlike a FIN, is an error on each end).
@@ -198,7 +202,7 @@ struct Pipe::ConnState {
   CloseHandler close_handler[2];
   /// Messages that arrived before the side installed a receiver — the
   /// kernel-socket-buffer analogue. Drained on on_receive().
-  std::vector<util::Bytes> pending[2];
+  std::vector<util::Buf> pending[2];
   detail::DirState dir[2];  // dir[i] = traffic sent *by* side i
   /// Hazards rolled for this pipe at dial time (empty when no injector or
   /// no matching rule). Thresholds count bytes over both directions.

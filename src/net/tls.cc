@@ -82,7 +82,7 @@ struct TlsSession::State {
   std::uint64_t recv_seq = 0;
   Receiver receiver;
   CloseHandler close_handler;
-  std::vector<util::Bytes> pending;  // messages before a receiver exists
+  std::vector<util::Buf> pending;  // messages before a receiver exists
   /// Reassembles messages split across 16 KiB records.
   util::MessageFramer reassembler;
 
@@ -101,17 +101,19 @@ struct TlsSession::State {
         }) {}
 
   void install_pipe_handlers(const std::shared_ptr<State>& self) {
-    pipe.on_receive([self](util::Bytes wire) {
+    pipe.on_receive([self](util::Buf wire) {
       auto rec = parse_record(wire);
       if (!rec || rec->type != kTypeApplicationData) return;  // ignore junk
-      auto pt = self->recv_aead.open(crypto::counter_nonce(self->recv_seq),
-                                     rec->body);
-      if (!pt) {
+      // Decrypt the record body in place inside the delivered buffer.
+      auto body = wire.span().subspan(5, rec->body.size());
+      auto nonce = crypto::counter_nonce_arr(self->recv_seq);
+      auto pt_len = self->recv_aead.open_in_place(nonce, body);
+      if (!pt_len) {
         self->pipe.close();
         return;
       }
       ++self->recv_seq;
-      self->reassembler.feed(*pt);
+      self->reassembler.feed(util::BytesView(body.data(), *pt_len));
     });
     pipe.on_close([self] {
       auto fn = self->close_handler;
@@ -120,7 +122,7 @@ struct TlsSession::State {
   }
 };
 
-void TlsSession::send(util::Bytes plaintext) {
+void TlsSession::send(util::Buf plaintext) {
   if (!state_) return;
   // Message boundaries survive record chunking via a length prefix; the
   // stream is cut into <=16 KiB records as real TLS does.
@@ -129,11 +131,20 @@ void TlsSession::send(util::Bytes plaintext) {
   std::size_t off = 0;
   do {
     std::size_t n = std::min(kMaxRecordPlaintext, framed.size() - off);
-    util::BytesView chunk(framed.data() + off, n);
-    auto ct = state_->send_aead.seal(crypto::counter_nonce(state_->send_seq),
-                                     chunk);
+    // Build the record directly in a (pooled) buffer: header, plaintext,
+    // then seal in place — no intermediate ciphertext vector.
+    std::size_t body_len = n + crypto::ChaCha20Poly1305::kTagSize;
+    util::Buf rec = util::local_pool().acquire(5 + body_len);
+    rec[0] = kTypeApplicationData;
+    rec[1] = static_cast<std::uint8_t>(kVersionTls13 >> 8);
+    rec[2] = static_cast<std::uint8_t>(kVersionTls13);
+    rec[3] = static_cast<std::uint8_t>(body_len >> 8);
+    rec[4] = static_cast<std::uint8_t>(body_len);
+    std::memcpy(rec.data() + 5, framed.data() + off, n);
+    auto nonce = crypto::counter_nonce_arr(state_->send_seq);
+    state_->send_aead.seal_in_place(nonce, rec.span().subspan(5), n);
     ++state_->send_seq;
-    state_->pipe.send(wrap_record(kTypeApplicationData, ct));
+    state_->pipe.send(std::move(rec));
     off += n;
   } while (off < framed.size());
 }
@@ -142,7 +153,7 @@ void TlsSession::on_receive(Receiver fn) {
   if (!state_) return;
   state_->receiver = std::move(fn);
   while (!state_->pending.empty() && state_->receiver) {
-    util::Bytes msg = std::move(state_->pending.front());
+    util::Buf msg = std::move(state_->pending.front());
     state_->pending.erase(state_->pending.begin());
     auto handler = state_->receiver;
     handler(std::move(msg));
@@ -192,7 +203,7 @@ void tls_connect(Pipe pipe, ClientHelloParams params, sim::Rng& rng,
   auto client_random = std::make_shared<util::Bytes>(ch.random);
 
   pipe_holder->on_receive([pipe_holder, client_random, on_ready,
-                           on_error](util::Bytes wire) {
+                           on_error](util::Buf wire) {
     auto rec = parse_record(wire);
     if (!rec) return;
     if (rec->type == kTypeAlert) {
@@ -221,7 +232,7 @@ void tls_accept(Pipe pipe, sim::Rng& rng,
   util::Bytes server_random = rng.bytes(32);
 
   pipe_holder->on_receive(
-      [pipe_holder, server_random, on_ready, inspect](util::Bytes wire) {
+      [pipe_holder, server_random, on_ready, inspect](util::Buf wire) {
         auto rec = parse_record(wire);
         if (!rec || rec->type != kTypeHandshake) return;
         auto ch = decode_client_hello(rec->body);

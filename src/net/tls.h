@@ -39,13 +39,13 @@ std::optional<ClientHello> decode_client_hello(util::BytesView wire);
 /// An established TLS session; move-only handle over shared state.
 class TlsSession {
  public:
-  using Receiver = std::function<void(util::Bytes)>;
+  using Receiver = std::function<void(util::Buf)>;
   using CloseHandler = std::function<void()>;
 
   TlsSession() = default;
 
   bool valid() const { return state_ != nullptr; }
-  void send(util::Bytes plaintext);
+  void send(util::Buf plaintext);
   void on_receive(Receiver fn);
   void on_close(CloseHandler fn);
   void close();

@@ -19,12 +19,12 @@ void start_im_relay(net::Network& net, const CamouflerConfig& cfg) {
           sim::Duration delay = cfg.im_processing;
           sim::EventLoop* loop = &net.loop();
           // Store-and-forward in both directions.
-          down->set_receiver([loop, delay, up](util::Bytes msg) {
-            auto shared = std::make_shared<util::Bytes>(std::move(msg));
+          down->set_receiver([loop, delay, up](util::Buf msg) {
+            auto shared = std::make_shared<util::Buf>(std::move(msg));
             loop->schedule(delay, [up, shared] { up->send(std::move(*shared)); });
           });
-          up->set_receiver([loop, delay, down](util::Bytes msg) {
-            auto shared = std::make_shared<util::Bytes>(std::move(msg));
+          up->set_receiver([loop, delay, down](util::Buf msg) {
+            auto shared = std::make_shared<util::Buf>(std::move(msg));
             loop->schedule(delay,
                            [down, shared] { down->send(std::move(*shared)); });
           });

@@ -48,7 +48,7 @@ class DnsttServerSession final
     return out;
   }
 
-  void send(util::Bytes payload) override {
+  void send(util::Buf payload) override {
     if (acct_) meter_.push(payload.size());
     util::Bytes framed = util::frame_message(payload);
     downstream_.insert(downstream_.end(), framed.begin(), framed.end());
@@ -98,12 +98,12 @@ class DnsttClientChannel final
 
   void start() {
     auto self = shared_from_this();
-    tls_.on_receive([self](util::Bytes wire) { self->on_response(wire); });
+    tls_.on_receive([self](util::Buf wire) { self->on_response(wire); });
     tls_.on_close([self] { self->fail(); });
     pump();
   }
 
-  void send(util::Bytes payload) override {
+  void send(util::Buf payload) override {
     if (dead_) return;
     if (acct_) meter_.push(payload.size());
     util::Bytes framed = util::frame_message(payload);
@@ -156,7 +156,7 @@ class DnsttClientChannel final
     ++in_flight_;
   }
 
-  void on_response(const util::Bytes& wire) {
+  void on_response(util::BytesView wire) {
     TRACE_COUNT(loop_->recorder(), "pt/dnstt_response_bytes", wire.size());
     if (dead_) return;
     if (in_flight_ > 0) --in_flight_;
@@ -259,13 +259,13 @@ void DnsttTransport::start_resolver() {
             auto auth_side = net::wrap_pipe(std::move(auth_pipe));
             sim::EventLoop* loop = &net->loop();
             sim::Duration proc = cfg.resolver_processing;
-            client_side->set_receiver([loop, proc, auth_side](util::Bytes q) {
-              auto m = std::make_shared<util::Bytes>(std::move(q));
+            client_side->set_receiver([loop, proc, auth_side](util::Buf q) {
+              auto m = std::make_shared<util::Buf>(std::move(q));
               loop->schedule(proc,
                              [auth_side, m] { auth_side->send(std::move(*m)); });
             });
             std::size_t cap = cfg.max_response_bytes;
-            auth_side->set_receiver([net, client_side, cap](util::Bytes a) {
+            auth_side->set_receiver([net, client_side, cap](util::Buf a) {
               // The resolver refuses to relay oversized answers.
               if (a.size() > cap) return;
               fault::FaultInjector* f = net->fault_injector();
@@ -312,7 +312,7 @@ void DnsttTransport::start_server() {
     auto ch = net::wrap_pipe(std::move(pipe));
     net::ChannelPtr ch_copy = ch;
     ch->set_receiver([net, consensus, cfg, auth_host, sessions, acct,
-                      ch_copy](util::Bytes wire) {
+                      ch_copy](util::Buf wire) {
       auto query = net::dns::decode(wire);
       if (!query || query->questions.empty()) return;
       const net::dns::Question& q = query->questions[0];
@@ -341,7 +341,7 @@ void DnsttTransport::start_server() {
       } else {
         session = it->second;
       }
-      session->feed_upstream(r.take(r.remaining()));
+      session->feed_upstream(r.rest_view());
 
       // Budget: whatever fits under the resolver's response cap after the
       // echoed question (the answer name is a compression pointer) and the

@@ -53,7 +53,7 @@ void Obfs4Transport::start_server() {
                                       server_host, acct](net::Pipe pipe) {
     auto raw = net::wrap_pipe(std::move(pipe));
     raw->set_receiver([net, consensus, server_rng, cfg, server_host, acct,
-                       raw](util::Bytes msg) {
+                       raw](util::Buf msg) {
       // Client handshake: 32-byte ntor message + obfuscation padding.
       if (msg.size() < 32) {
         raw->close();
@@ -107,7 +107,7 @@ tor::TorClient::FirstHopConnector Obfs4Transport::connector() {
           trace::SpanId rtt = layer::begin_handshake_rtt(
               net->loop().recorder(), "obfs4", 1);
           raw->set_receiver([net, consensus, cfg, rng, acct, on_open, raw,
-                             state, rtt](util::Bytes reply_msg) {
+                             state, rtt](util::Buf reply_msg) {
             if (reply_msg.size() < 48) {
               layer::fail_handshake_rtt(net->loop().recorder(), rtt,
                                         "short ntor reply");
@@ -253,7 +253,7 @@ void PsiphonTransport::start_server() {
     auto raw = net::wrap_pipe(std::move(pipe));
     auto kex = std::make_shared<util::Bytes>();
     raw->set_receiver([net, consensus, server_host, server_rng, acct, raw,
-                       kex](util::Bytes msg) {
+                       kex](util::Buf msg) {
       if (kex->empty()) {
         // KEXINIT from the client: echo our kex reply (~800 B of
         // algorithm lists + host key + DH reply).
@@ -263,8 +263,8 @@ void PsiphonTransport::start_server() {
         reply.zeros(800 - 32);
         raw->send(layer::count_handshake(acct, reply.take()));
         // Stash the client random for key derivation.
-        kex->insert(kex->end(), msg.begin(),
-                    msg.begin() + std::min<std::size_t>(32, msg.size()));
+        kex->insert(kex->end(), msg.data(),
+                    msg.data() + std::min<std::size_t>(32, msg.size()));
         return;
       }
       // Second client message: NEWKEYS + pre-shared-key auth. Accept and
@@ -303,14 +303,14 @@ tor::TorClient::FirstHopConnector PsiphonTransport::connector() {
           auto rtt = std::make_shared<trace::SpanId>(layer::begin_handshake_rtt(
               net->loop().recorder(), "psiphon", 1));
           raw->set_receiver([net, rng, acct, entry, on_open, raw, phase, kex,
-                             rtt, client_random](util::Bytes msg) {
+                             rtt, client_random](util::Buf msg) {
             if (*phase == 0) {
               *phase = 1;
               layer::end_handshake_rtt(net->loop().recorder(), *rtt, acct);
               // Server kex reply: derive the transcript the same way the
               // server does (server random || client random).
-              kex->assign(msg.begin(),
-                          msg.begin() + std::min<std::size_t>(32, msg.size()));
+              kex->assign(msg.data(),
+                          msg.data() + std::min<std::size_t>(32, msg.size()));
               kex->insert(kex->end(), client_random.begin(),
                           client_random.end());
               // NEWKEYS + auth.

@@ -24,10 +24,10 @@ std::shared_ptr<CryptoChannel> CryptoChannel::create(
 
 void CryptoChannel::attach() {
   auto self = shared_from_this();
-  inner_->set_receiver([self](util::Bytes wire) {
-    auto pt = self->recv_aead_.open(crypto::counter_nonce(self->recv_seq_),
-                                    wire);
-    if (!pt) {
+  inner_->set_receiver([self](util::Buf wire) {
+    auto nonce = crypto::counter_nonce_arr(self->recv_seq_);
+    auto pt_len = self->recv_aead_.open_in_place(nonce, wire.span());
+    if (!pt_len) {
       // Authentication failure: hang up and tell our consumer (the pipe's
       // close only notifies the remote peer).
       self->inner_->close();
@@ -36,12 +36,18 @@ void CryptoChannel::attach() {
       return;
     }
     ++self->recv_seq_;
-    if (pt->size() < 4) return;
-    util::Reader r(*pt);
-    std::uint32_t len = r.u32();
-    if (len > r.remaining()) return;
+    if (*pt_len < 4) return;
+    std::uint32_t len = static_cast<std::uint32_t>(wire[0]) << 24 |
+                        static_cast<std::uint32_t>(wire[1]) << 16 |
+                        static_cast<std::uint32_t>(wire[2]) << 8 | wire[3];
+    if (len > *pt_len - 4) return;
     auto fn = self->receiver_;
-    if (fn) fn(r.take_copy(len));
+    if (fn) {
+      // Deliver the decrypted payload as a window into the same buffer.
+      wire.drop_front(4);
+      wire.resize(len);
+      fn(std::move(wire));
+    }
   });
   inner_->set_close_handler([self] {
     auto fn = self->close_handler_;
@@ -49,7 +55,7 @@ void CryptoChannel::attach() {
   });
 }
 
-void CryptoChannel::send(util::Bytes payload) {
+void CryptoChannel::send(util::Buf payload) {
   std::size_t pad = 0;
   std::size_t body = 4 + payload.size();
   if (config_.max_random_pad > 0) {
@@ -60,13 +66,20 @@ void CryptoChannel::send(util::Bytes payload) {
     std::size_t rem = total % config_.pad_block;
     if (rem != 0) pad += config_.pad_block - rem;
   }
-  util::Writer w(body + pad);
-  w.u32(static_cast<std::uint32_t>(payload.size()));
-  w.raw(payload);
-  w.zeros(pad);
-  util::Bytes frame = w.take();
-  util::Bytes sealed =
-      send_aead_.seal(crypto::counter_nonce(send_seq_), frame);
+  // Build the frame directly in a (pooled) buffer and seal it in place:
+  // u32 length | payload | zero pad | AEAD tag.
+  std::size_t frame_len = body + pad;
+  util::Buf sealed = util::local_pool().acquire(
+      frame_len + crypto::ChaCha20Poly1305::kTagSize);
+  sealed[0] = static_cast<std::uint8_t>(payload.size() >> 24);
+  sealed[1] = static_cast<std::uint8_t>(payload.size() >> 16);
+  sealed[2] = static_cast<std::uint8_t>(payload.size() >> 8);
+  sealed[3] = static_cast<std::uint8_t>(payload.size());
+  if (!payload.empty())
+    std::memcpy(sealed.data() + 4, payload.data(), payload.size());
+  std::memset(sealed.data() + body, 0, pad);
+  auto nonce = crypto::counter_nonce_arr(send_seq_);
+  send_aead_.seal_in_place(nonce, sealed.span(), frame_len);
   if (config_.accounting)
     config_.accounting->on_frame(sealed.size(), payload.size());
   inner_->send(std::move(sealed));
@@ -121,11 +134,11 @@ std::shared_ptr<SegmentingChannel> SegmentingChannel::create(
 
 void SegmentingChannel::attach() {
   auto self = shared_from_this();
-  inner_->set_receiver([self](util::Bytes unit) {
+  inner_->set_receiver([self](util::Buf unit) {
     // Strip the unit header and cover, feed the payload to the reassembly
     // framer which restores original message boundaries.
     if (unit.size() < 4) return;
-    util::Reader r(unit);
+    util::Reader r(unit.view());
     std::uint32_t len = r.u32();
     if (len > r.remaining()) return;  // malformed unit
     self->framer_.feed(r.take(len));
@@ -137,7 +150,7 @@ void SegmentingChannel::attach() {
   });
 }
 
-void SegmentingChannel::send(util::Bytes payload) {
+void SegmentingChannel::send(util::Buf payload) {
   if (closed_) return;
   if (policy_.accounting) meter_.push(payload.size());
   util::Bytes framed = util::frame_message(payload);

@@ -57,7 +57,7 @@ class CryptoChannel final : public net::Channel,
                                                CryptoChannelConfig config,
                                                sim::Rng rng);
 
-  void send(util::Bytes payload) override;
+  void send(util::Buf payload) override;
   void set_receiver(Receiver fn) override;
   void set_close_handler(CloseHandler fn) override;
   void close() override;
@@ -103,7 +103,7 @@ class SegmentingChannel final
                                                    net::ChannelPtr inner,
                                                    SegmentPolicy policy);
 
-  void send(util::Bytes payload) override;
+  void send(util::Buf payload) override;
   void set_receiver(Receiver fn) override;
   void set_close_handler(CloseHandler fn) override;
   void close() override;

@@ -143,7 +143,7 @@ class PayloadMeterChannel final : public net::Channel {
   PayloadMeterChannel(net::ChannelPtr inner, AccountingPtr acct)
       : inner_(std::move(inner)), acct_(std::move(acct)) {}
 
-  void send(util::Bytes payload) override {
+  void send(util::Buf payload) override {
     if (acct_) acct_->on_payload(payload.size());
     inner_->send(std::move(payload));
   }

@@ -42,7 +42,7 @@ void MassbrowserTransport::start_operator() {
       auto ch = net::wrap_tls(std::move(session));
       net::ChannelPtr ch_copy = ch;
       ch->set_receiver([net, cfg, op_rng, n_buddies, acct,
-                        ch_copy](util::Bytes msg) {
+                        ch_copy](util::Buf msg) {
         auto req = net::http::decode_request(msg);
         net::http::Response resp;
         // The access-code gate: the operator only matches registered
@@ -110,7 +110,7 @@ tor::TorClient::FirstHopConnector MassbrowserTransport::connector() {
             trace::SpanId rtt = layer::begin_handshake_rtt(
                 net->loop().recorder(), "massbrowser", 1);
             op->set_receiver([net, cfg, acct, entry, on_open, on_error, rtt,
-                              op_copy](util::Bytes wire) {
+                              op_copy](util::Buf wire) {
               trace::Recorder* rec = net->loop().recorder();
               auto resp = net::http::decode_response(wire);
               op_copy->close();

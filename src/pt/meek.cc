@@ -74,7 +74,7 @@ class MeekServerSession final
   }
 
   // Channel interface: send() queues bytes for future poll responses.
-  void send(util::Bytes payload) override {
+  void send(util::Buf payload) override {
     if (acct_) meter_.push(payload.size());
     util::Bytes framed = util::frame_message(payload);
     downstream_.insert(downstream_.end(), framed.begin(), framed.end());
@@ -123,12 +123,12 @@ class MeekClientChannel final
 
   void start() {
     auto self = shared_from_this();
-    tls_.on_receive([self](util::Bytes wire) { self->on_response(wire); });
+    tls_.on_receive([self](util::Buf wire) { self->on_response(wire); });
     tls_.on_close([self] { self->fail(); });
     schedule_poll(sim::Duration::zero());
   }
 
-  void send(util::Bytes payload) override {
+  void send(util::Buf payload) override {
     if (dead_) return;
     if (acct_) meter_.push(payload.size());
     util::Bytes framed = util::frame_message(payload);
@@ -177,7 +177,7 @@ class MeekClientChannel final
     tls_.send(std::move(wire));
   }
 
-  void on_response(const util::Bytes& wire) {
+  void on_response(util::BytesView wire) {
     poll_in_flight_ = false;
     TRACE_COUNT(loop_->recorder(), "pt/meek_poll_bytes", wire.size());
     auto resp = net::http::decode_response(wire);
@@ -257,7 +257,7 @@ void MeekTransport::start_bridge() {
     auto ch = net::wrap_pipe(std::move(pipe));
     net::ChannelPtr ch_copy = ch;
     ch->set_receiver([net, consensus, cfg, bridge_host, server_rng, sessions,
-                      acct, ch_copy](util::Bytes wire) {
+                      acct, ch_copy](util::Buf wire) {
       auto req = net::http::decode_request(wire);
       if (!req) return;
       std::string sid = req->headers.count("x-session-id")
@@ -324,7 +324,7 @@ void MeekTransport::start_front() {
                 sim::EventLoop* loop = &net->loop();
                 sim::Duration proc = cfg.front_processing;
                 client_side->set_receiver([net, loop, proc, acct, bridge_side,
-                                           client_side](util::Bytes msg) {
+                                           client_side](util::Buf msg) {
                   fault::FaultInjector* f = net->fault_injector();
                   if (f && f->fire(fault::FaultKind::kCdnError)) {
                     // Injected CDN edge failure: the poll bounces with a
@@ -340,14 +340,14 @@ void MeekTransport::start_front() {
                     });
                     return;
                   }
-                  auto m = std::make_shared<util::Bytes>(std::move(msg));
+                  auto m = std::make_shared<util::Buf>(std::move(msg));
                   loop->schedule(proc, [bridge_side, m] {
                     bridge_side->send(std::move(*m));
                   });
                 });
                 bridge_side->set_receiver([loop, proc,
-                                           client_side](util::Bytes msg) {
-                  auto m = std::make_shared<util::Bytes>(std::move(msg));
+                                           client_side](util::Buf msg) {
+                  auto m = std::make_shared<util::Buf>(std::move(msg));
                   loop->schedule(proc, [client_side, m] {
                     client_side->send(std::move(*m));
                   });

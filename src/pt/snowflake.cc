@@ -61,7 +61,7 @@ void SnowflakeTransport::start_broker() {
           auto ch = net::wrap_tls(std::move(session));
           net::ChannelPtr ch_copy = ch;
           ch->set_receiver([net, broker_rng, n_proxies, match_mean, acct,
-                            ch_copy](util::Bytes) {
+                            ch_copy](util::Buf) {
             fault::FaultInjector* f = net->fault_injector();
             if (f && f->fire(fault::FaultKind::kBrokerUnavailable)) {
               net::http::Response resp;
@@ -105,7 +105,7 @@ void SnowflakeTransport::start_proxies() {
       net::ChannelPtr ch_copy = ch;
       // ICE answer: one message exchange before data flows.
       ch->set_receiver([net, consensus, proxy_host, proxy_rng, lifetime_mean,
-                        acct, ch_copy](util::Bytes offer) {
+                        acct, ch_copy](util::Buf offer) {
         if (util::to_string(util::BytesView(offer.data(),
                                             std::min<std::size_t>(3, offer.size()))) !=
             "sdp") {
@@ -162,7 +162,7 @@ tor::TorClient::FirstHopConnector SnowflakeTransport::connector() {
                 net->loop().recorder(), "snowflake", 1);
             broker->set_receiver([net, cfg, rng, acct, entry, on_open,
                                   on_error, rendezvous, rtt1,
-                                  broker_copy](util::Bytes wire) {
+                                  broker_copy](util::Buf wire) {
               trace::Recorder* rec = net->loop().recorder();
               auto resp = net::http::decode_response(wire);
               broker_copy->close();
@@ -196,7 +196,7 @@ tor::TorClient::FirstHopConnector SnowflakeTransport::connector() {
                     trace::SpanId rtt2 = layer::begin_handshake_rtt(
                         net->loop().recorder(), "snowflake", 2);
                     proxy->set_receiver([net, acct, entry, on_open, pconn,
-                                         rtt2, proxy_copy](util::Bytes answer) {
+                                         rtt2, proxy_copy](util::Buf answer) {
                       trace::Recorder* rec = net->loop().recorder();
                       if (util::to_string(answer) != "sdp-answer") {
                         layer::fail_handshake_rtt(rec, rtt2, "bad sdp answer");

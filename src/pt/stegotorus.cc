@@ -50,7 +50,7 @@ std::shared_ptr<ChopperChannel> ChopperChannel::create(
 void ChopperChannel::add_connection(net::ChannelPtr conn) {
   auto self = shared_from_this();
   conn->set_receiver(
-      [self](util::Bytes block) { self->on_block(std::move(block)); });
+      [self](util::Buf block) { self->on_block(std::move(block)); });
   conn->set_close_handler([self] {
     if (self->closed_) return;
     self->closed_ = true;
@@ -62,7 +62,7 @@ void ChopperChannel::add_connection(net::ChannelPtr conn) {
   flush();
 }
 
-void ChopperChannel::send(util::Bytes payload) {
+void ChopperChannel::send(util::Buf payload) {
   if (closed_) return;
   if (config_.accounting) meter_.push(payload.size());
   util::Bytes framed = util::frame_message(payload);
@@ -89,9 +89,9 @@ void ChopperChannel::flush() {
   }
 }
 
-void ChopperChannel::on_block(util::Bytes block) {
+void ChopperChannel::on_block(util::Buf block) {
   if (block.size() < 12) return;
-  util::Reader r(block);
+  util::Reader r(block.view());
   std::uint64_t seq = r.u64();
   std::uint32_t len = r.u32();
   if (len > r.remaining()) return;
@@ -159,7 +159,7 @@ void StegotorusTransport::start_server() {
     auto conn = net::wrap_pipe(std::move(pipe));
     net::ChannelPtr conn_copy = conn;
     conn->set_receiver([net, consensus, cfg, sessions, server_rng,
-                        conn_copy](util::Bytes first) {
+                        conn_copy](util::Buf first) {
       auto session_id = decode_hello(first);
       if (!session_id) {
         conn_copy->close();

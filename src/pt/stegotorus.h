@@ -37,7 +37,7 @@ class ChopperChannel final : public net::Channel,
   /// connections of a session arrive).
   void add_connection(net::ChannelPtr conn);
 
-  void send(util::Bytes payload) override;
+  void send(util::Buf payload) override;
   void set_receiver(Receiver fn) override;
   void set_close_handler(CloseHandler fn) override;
   void close() override;
@@ -46,7 +46,7 @@ class ChopperChannel final : public net::Channel,
  private:
   ChopperChannel(sim::Rng rng, StegotorusConfig config);
   void flush();
-  void on_block(util::Bytes block);
+  void on_block(util::Buf block);
 
   sim::Rng rng_;
   StegotorusConfig config_;

@@ -48,7 +48,7 @@ void WebTunnelTransport::start_server() {
           // First message must be the HTTP Upgrade request.
           net::ChannelPtr ch_copy = ch;
           ch->set_receiver([net, consensus, server_host, acct,
-                            ch_copy](util::Bytes msg) {
+                            ch_copy](util::Buf msg) {
             auto req = net::http::decode_request(msg);
             if (!req || req->headers.count("upgrade") == 0) {
               ch_copy->close();
@@ -94,7 +94,7 @@ tor::TorClient::FirstHopConnector WebTunnelTransport::connector() {
                 trace::SpanId rtt = layer::begin_handshake_rtt(
                     net->loop().recorder(), "webtunnel", 1);
                 ch->set_receiver([net, cfg, acct, rtt, on_open,
-                                  ch_copy](util::Bytes msg) {
+                                  ch_copy](util::Buf msg) {
                   auto resp = net::http::decode_response(msg);
                   if (!resp || resp->status != 101) {
                     layer::fail_handshake_rtt(net->loop().recorder(), rtt,
@@ -260,7 +260,7 @@ void ConjureTransport::start_server() {
                                            acct](net::Pipe pipe) {
     auto ch = net::wrap_pipe(std::move(pipe));
     net::ChannelPtr ch_copy = ch;
-    ch->set_receiver([net, reg_delay, acct, ch_copy](util::Bytes) {
+    ch->set_receiver([net, reg_delay, acct, ch_copy](util::Buf) {
       net->loop().schedule(reg_delay, [acct, ch_copy] {
         ch_copy->send(
             layer::count_handshake(acct, util::to_bytes("registered")));
@@ -308,7 +308,7 @@ tor::TorClient::FirstHopConnector ConjureTransport::connector() {
           trace::SpanId rtt = layer::begin_handshake_rtt(
               net->loop().recorder(), "conjure", 1);
           reg->set_receiver([net, cfg, rng, station_host, acct, reg_span, rtt,
-                             on_open, on_error, reg_copy](util::Bytes) {
+                             on_open, on_error, reg_copy](util::Buf) {
             layer::end_handshake_rtt(net->loop().recorder(), rtt, acct);
             layer::end_carrier_setup(net->loop().recorder(), reg_span);
             reg_copy->close();

@@ -20,12 +20,12 @@ UpstreamSelector fixed_upstream(net::HostId host, std::string service) {
 void serve_upstream(net::Network& net, net::HostId server_host,
                     net::ChannelPtr ch, UpstreamSelector select) {
   // First message = preamble; anything before upstream opens is buffered.
-  auto pending = std::make_shared<std::vector<util::Bytes>>();
+  auto pending = std::make_shared<std::vector<util::Buf>>();
   auto got_preamble = std::make_shared<bool>(false);
   net::Network* netp = &net;
 
   ch->set_receiver([netp, server_host, ch, select, pending,
-                    got_preamble](util::Bytes msg) {
+                    got_preamble](util::Buf msg) {
     if (!*got_preamble) {
       *got_preamble = true;
       if (msg.size() != 2) {

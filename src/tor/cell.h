@@ -2,19 +2,33 @@
 // 4-byte circuit id, and the 11-byte relay header inside onion-encrypted
 // RELAY payloads. Sizes match the real protocol so byte overheads in the
 // benches are faithful.
+//
+// Two codec surfaces share the format:
+//   * CellView / RelayCellView + parse_* + encode_*_into — the zero-copy
+//     hot path. Views borrow the wire buffer; encode-into writers fill a
+//     caller-provided span (typically a pooled util::Buf slot) without
+//     allocating.
+//   * Cell / RelayCell with encode()/decode() — owning structs for cold
+//     paths and tests, implemented on top of the view codecs so both
+//     surfaces stay byte-for-byte identical.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <span>
 
 #include "util/bytes.h"
 
 namespace ptperf::tor {
 
 inline constexpr std::size_t kCellSize = 514;
+inline constexpr std::size_t kCellHeaderSize = 5;  // circ_id(4) + command(1)
 inline constexpr std::size_t kCellPayloadSize = 509;  // 514 - 4 - 1
 inline constexpr std::size_t kRelayHeaderSize = 11;
 inline constexpr std::size_t kRelayDataMax = kCellPayloadSize - kRelayHeaderSize;  // 498
+/// Digest field position inside a relay payload: cmd(1) + recognized(2) +
+/// stream(2).
+inline constexpr std::size_t kRelayDigestOffset = 5;
 
 // Tor flow-control protocol constants (tor-spec §7.3/§7.4).
 inline constexpr int kCircuitWindowInit = 1000;
@@ -44,6 +58,89 @@ enum class RelayCommand : std::uint8_t {
   kExtend2 = 14,
   kExtended2 = 15,
 };
+
+// ------------------------------------------------------------ hot path --
+
+/// Borrowed view of a decoded cell. `payload` aliases the wire buffer
+/// (always exactly kCellPayloadSize) and is valid only as long as it.
+struct CellView {
+  CircId circ_id = 0;
+  CellCommand command = CellCommand::kPadding;
+  util::BytesView payload;
+};
+
+/// Borrowed view of the relay header + data inside a cell payload.
+struct RelayCellView {
+  RelayCommand command = RelayCommand::kData;
+  std::uint16_t recognized = 0;
+  StreamId stream_id = 0;
+  std::uint32_t digest = 0;
+  util::BytesView data;  // `length` bytes, aliasing the payload
+};
+
+/// Parses a wire cell without copying. nullopt when wire isn't kCellSize.
+std::optional<CellView> parse_cell(util::BytesView wire);
+
+/// Parses a relay payload without copying. nullopt on size/length errors.
+std::optional<RelayCellView> parse_relay_cell(util::BytesView payload);
+
+/// Serializes a cell into `out` (exactly kCellSize bytes, zero padding).
+/// Returns false (leaving `out` unspecified) when payload is oversized or
+/// `out` has the wrong size.
+bool encode_cell_into(std::span<std::uint8_t> out, CircId circ_id,
+                      CellCommand command, util::BytesView payload);
+
+/// Serializes a relay cell into `out` (exactly kCellPayloadSize bytes,
+/// zero padding) with the digest field as given.
+bool encode_relay_cell_into(std::span<std::uint8_t> out, RelayCommand command,
+                            StreamId stream_id, std::uint32_t digest,
+                            util::BytesView data);
+
+/// Rewrites the circuit id of an encoded wire cell in place.
+inline void patch_circ_id(std::span<std::uint8_t> wire, CircId id) {
+  wire[0] = static_cast<std::uint8_t>(id >> 24);
+  wire[1] = static_cast<std::uint8_t>(id >> 16);
+  wire[2] = static_cast<std::uint8_t>(id >> 8);
+  wire[3] = static_cast<std::uint8_t>(id);
+}
+
+/// Rewrites the digest field of an encoded relay payload in place.
+inline void patch_relay_digest(std::span<std::uint8_t> payload,
+                               std::uint32_t digest) {
+  payload[kRelayDigestOffset] = static_cast<std::uint8_t>(digest >> 24);
+  payload[kRelayDigestOffset + 1] = static_cast<std::uint8_t>(digest >> 16);
+  payload[kRelayDigestOffset + 2] = static_cast<std::uint8_t>(digest >> 8);
+  payload[kRelayDigestOffset + 3] = static_cast<std::uint8_t>(digest);
+}
+
+/// Zeroes a relay payload's digest field for the rolling-digest check and
+/// restores the original bytes on destruction — the in-place replacement
+/// for copying the whole 509-byte payload just to blank four bytes.
+class ScopedDigestZero {
+ public:
+  explicit ScopedDigestZero(std::span<std::uint8_t> payload)
+      : payload_(payload) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      saved_[i] = payload_[kRelayDigestOffset + i];
+      payload_[kRelayDigestOffset + i] = 0;
+    }
+  }
+  ScopedDigestZero(const ScopedDigestZero&) = delete;
+  ScopedDigestZero& operator=(const ScopedDigestZero&) = delete;
+  ~ScopedDigestZero() {
+    for (std::size_t i = 0; i < 4; ++i)
+      payload_[kRelayDigestOffset + i] = saved_[i];
+  }
+
+  /// The payload with the digest field zeroed (digest/check input).
+  util::BytesView zeroed() const { return {payload_.data(), payload_.size()}; }
+
+ private:
+  std::span<std::uint8_t> payload_;
+  std::uint8_t saved_[4];
+};
+
+// ----------------------------------------------------------- cold path --
 
 struct Cell {
   CircId circ_id = 0;

@@ -1,0 +1,67 @@
+// Per-turn cell send batching. Multi-cell bursts (an exit pumping a
+// window of DATA cells, a client chopping a large write) enqueue their
+// fully-encoded wire buffers here and flush once at the end of the
+// generating scope instead of diving into the network layer per cell.
+//
+// Determinism contract: Network::do_send draws RNG per message (jitter,
+// queue delay), so the global ORDER of sends fixes the RNG stream. A batch
+// therefore only ever defers sends within one synchronous scope and
+// flushes them in exact append order before that scope returns — never
+// across other callbacks, timers, or net::connect calls (which also draw).
+// Under that rule the do_send sequence is identical to unbatched code and
+// replay output stays byte-for-byte the same.
+//
+// Onion/digest state is mutated at append time (encoding happens before
+// enqueue), so rolling-hash order is independent of the flush.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "net/channel.h"
+#include "util/buf.h"
+
+namespace ptperf::tor {
+
+class CellBatch {
+ public:
+  /// RAII batching scope; nests. The outermost scope's exit flushes.
+  class Scope {
+   public:
+    explicit Scope(CellBatch& b) : b_(b) { ++b_.depth_; }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() {
+      if (--b_.depth_ == 0) b_.flush();
+    }
+
+   private:
+    CellBatch& b_;
+  };
+
+  /// Sends immediately when no scope is open; otherwise enqueues for the
+  /// outermost scope's flush.
+  void send(const net::ChannelPtr& ch, util::Buf wire) {
+    if (depth_ == 0) {
+      ch->send(std::move(wire));
+      return;
+    }
+    queue_.emplace_back(ch, std::move(wire));
+  }
+
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  void flush() {
+    // Swap out first: a send() can re-enter (receiver delivered inline on
+    // a loopback fast path could queue more cells).
+    std::vector<std::pair<net::ChannelPtr, util::Buf>> q;
+    q.swap(queue_);
+    for (auto& [ch, wire] : q) ch->send(std::move(wire));
+  }
+
+  std::vector<std::pair<net::ChannelPtr, util::Buf>> queue_;
+  int depth_ = 0;
+};
+
+}  // namespace ptperf::tor

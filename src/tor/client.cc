@@ -6,24 +6,6 @@
 #include "trace/trace.h"
 
 namespace ptperf::tor {
-namespace {
-
-constexpr std::size_t kDigestOffset = 5;
-
-void patch_digest(util::Bytes& payload, std::uint32_t digest) {
-  payload[kDigestOffset] = static_cast<std::uint8_t>(digest >> 24);
-  payload[kDigestOffset + 1] = static_cast<std::uint8_t>(digest >> 16);
-  payload[kDigestOffset + 2] = static_cast<std::uint8_t>(digest >> 8);
-  payload[kDigestOffset + 3] = static_cast<std::uint8_t>(digest);
-}
-
-util::Bytes zero_digest_copy(util::BytesView payload) {
-  util::Bytes copy(payload.begin(), payload.end());
-  for (std::size_t i = 0; i < 4; ++i) copy[kDigestOffset + i] = 0;
-  return copy;
-}
-
-}  // namespace
 
 // ---------------------------------------------------------------- state --
 
@@ -77,23 +59,23 @@ struct TorStream::Impl {
 
 // ------------------------------------------------------------ TorStream --
 
-void TorStream::send(util::Bytes payload) {
+void TorStream::send(util::Buf payload) {
   auto& circ = impl_->circ;
   if (!circ->alive) return;
   auto it = circ->streams.find(impl_->stream_id);
   if (it == circ->streams.end() || it->second.closed) return;
-  // Chop into DATA cells addressed to the exit hop.
+  // Chop into DATA cells addressed to the exit hop, batching the burst so
+  // a large write flushes its cells together at the end of this call.
+  CellBatch::Scope batch(circ->client->batch_);
+  util::BytesView view = payload.view();
   std::size_t off = 0;
   do {
-    std::size_t n = std::min(payload.size() - off, kRelayDataMax);
-    RelayCell rc;
-    rc.command = RelayCommand::kData;
-    rc.stream_id = impl_->stream_id;
-    rc.data.assign(payload.begin() + static_cast<long>(off),
-                   payload.begin() + static_cast<long>(off + n));
-    circ->client->send_relay(circ, circ->layers.size() - 1, std::move(rc));
+    std::size_t n = std::min(view.size() - off, kRelayDataMax);
+    circ->client->send_relay(circ, circ->layers.size() - 1,
+                             RelayCommand::kData, impl_->stream_id,
+                             view.subspan(off, n));
     off += n;
-  } while (off < payload.size());
+  } while (off < view.size());
 }
 
 void TorStream::set_receiver(Receiver fn) {
@@ -113,10 +95,8 @@ void TorStream::close() {
   if (it == circ->streams.end() || it->second.closed) return;
   it->second.closed = true;
   if (circ->alive) {
-    RelayCell rc;
-    rc.command = RelayCommand::kEnd;
-    rc.stream_id = impl_->stream_id;
-    circ->client->send_relay(circ, circ->layers.size() - 1, std::move(rc));
+    circ->client->send_relay(circ, circ->layers.size() - 1,
+                             RelayCommand::kEnd, impl_->stream_id, {});
   }
   circ->streams.erase(impl_->stream_id);
 }
@@ -221,7 +201,7 @@ void TorClient::build_circuit_path(const std::vector<RelayIndex>& hops,
         TRACE_SPAN_END(rec, circ->first_hop_span);
         circ->first_hop_span = 0;
         circ->link = std::move(ch);
-        circ->link->set_receiver([self, circ](util::Bytes wire) {
+        circ->link->set_receiver([self, circ](util::Buf wire) {
           self->on_link_message(circ, std::move(wire));
         });
         circ->link->set_close_handler(
@@ -232,11 +212,10 @@ void TorClient::build_circuit_path(const std::vector<RelayIndex>& hops,
         circ->hop_span = TRACE_SPAN_BEGIN_ARGS(rec, trace::kTor, "ntor_hop",
                                                circ->build_span,
                                                {{"hop", "0"}});
-        Cell create;
-        create.circ_id = circ->circ_id;
-        create.command = CellCommand::kCreate2;
-        create.payload = ntor_client_message(*circ->pending_handshake);
-        circ->link->send(create.encode());
+        util::Buf create = util::local_pool().acquire(kCellSize);
+        encode_cell_into(create.span(), circ->circ_id, CellCommand::kCreate2,
+                         ntor_client_message(*circ->pending_handshake));
+        circ->link->send(std::move(create));
       },
       [self, circ](std::string err) {
         self->kill_circuit(circ, "first hop: " + err);
@@ -244,16 +223,16 @@ void TorClient::build_circuit_path(const std::vector<RelayIndex>& hops,
 }
 
 void TorClient::on_link_message(const std::shared_ptr<TorCircuit::Impl>& circ,
-                                util::Bytes wire) {
+                                util::Buf wire) {
   if (!circ->alive) return;
-  auto cell = Cell::decode(wire);
+  auto cell = parse_cell(wire);
   if (!cell || cell->circ_id != circ->circ_id) return;
 
   if (cell->command == CellCommand::kCreated2) {
     if (!circ->pending_handshake || !circ->layers.empty()) return;
     TRACE_SPAN_END(net_->loop().recorder(), circ->hop_span);
     circ->hop_span = 0;
-    util::Bytes reply(cell->payload.begin(), cell->payload.begin() + 48);
+    util::BytesView reply = cell->payload.first(48);
     auto keys = ntor_client_finish(
         *circ->pending_handshake, consensus_->identity_of(circ->hops[0]),
         reply);
@@ -274,15 +253,22 @@ void TorClient::on_link_message(const std::shared_ptr<TorCircuit::Impl>& circ,
 
   if (cell->command != CellCommand::kRelay) return;
 
-  // Peel backward layers until some hop's digest recognizes the cell.
-  util::Bytes payload = std::move(cell->payload);
+  // Peel backward layers in place until some hop's digest recognizes the
+  // cell — the payload never leaves the delivered wire buffer.
+  auto payload = wire.span().subspan(kCellHeaderSize);
   for (std::size_t i = 0; i < circ->layers.size(); ++i) {
     circ->layers[i].process_backward(payload);
-    auto rc = RelayCell::decode(payload);
+    auto rc =
+        parse_relay_cell(util::BytesView(payload.data(), payload.size()));
     if (rc && rc->recognized == 0) {
-      util::Bytes zeroed = zero_digest_copy(payload);
-      if (circ->layers[i].check_backward_digest(zeroed, rc->digest)) {
-        handle_backward(circ, i, *rc);
+      bool ours = false;
+      {
+        ScopedDigestZero zeroed(payload);
+        ours = circ->layers[i].check_backward_digest(zeroed.zeroed(),
+                                                     rc->digest);
+      }
+      if (ours) {
+        handle_backward(circ, i, *rc, std::move(wire));
         return;
       }
     }
@@ -315,14 +301,13 @@ void TorClient::continue_build(const std::shared_ptr<TorCircuit::Impl>& circ) {
   Extend2 ext;
   ext.target_relay = circ->hops[have];
   ext.handshake = ntor_client_message(*circ->pending_handshake);
-  RelayCell rc;
-  rc.command = RelayCommand::kExtend2;
-  rc.data = ext.encode();
-  send_relay(circ, have - 1, std::move(rc));
+  util::Bytes body = ext.encode();
+  send_relay(circ, have - 1, RelayCommand::kExtend2, 0, body);
 }
 
 void TorClient::handle_backward(const std::shared_ptr<TorCircuit::Impl>& circ,
-                                std::size_t layer_index, const RelayCell& rc) {
+                                std::size_t layer_index,
+                                const RelayCellView& rc, util::Buf wire) {
   switch (rc.command) {
     case RelayCommand::kExtended2: {
       if (!circ->pending_handshake) return;
@@ -330,7 +315,7 @@ void TorClient::handle_backward(const std::shared_ptr<TorCircuit::Impl>& circ,
       TRACE_SPAN_END(net_->loop().recorder(), circ->hop_span);
       circ->hop_span = 0;
       std::size_t next_hop = circ->layers.size();
-      util::Bytes reply(rc.data.begin(), rc.data.begin() + 48);
+      util::BytesView reply = rc.data.first(48);
       auto keys = ntor_client_finish(
           *circ->pending_handshake,
           consensus_->identity_of(circ->hops[next_hop]), reply);
@@ -370,20 +355,22 @@ void TorClient::handle_backward(const std::shared_ptr<TorCircuit::Impl>& circ,
       circ->circuit_cells_since_sendme++;
       if (st.cells_since_sendme >= kStreamSendmeIncrement) {
         st.cells_since_sendme = 0;
-        RelayCell sendme;
-        sendme.command = RelayCommand::kSendmeStream;
-        sendme.stream_id = rc.stream_id;
-        send_relay(circ, circ->layers.size() - 1, std::move(sendme));
+        send_relay(circ, circ->layers.size() - 1, RelayCommand::kSendmeStream,
+                   rc.stream_id, {});
       }
       if (circ->circuit_cells_since_sendme >= kCircuitSendmeIncrement) {
         circ->circuit_cells_since_sendme = 0;
-        RelayCell sendme;
-        sendme.command = RelayCommand::kSendmeCircuit;
-        send_relay(circ, circ->layers.size() - 1, std::move(sendme));
+        send_relay(circ, circ->layers.size() - 1, RelayCommand::kSendmeCircuit,
+                   0, {});
       }
       if (st.receiver) {
         auto fn = st.receiver;
-        fn(rc.data);
+        // Zero-copy delivery: shrink the wire buffer's window to the DATA
+        // bytes and hand the same storage up to the stream consumer.
+        std::size_t len = rc.data.size();
+        wire.drop_front(kCellHeaderSize + kRelayHeaderSize);
+        wire.resize(len);
+        fn(std::move(wire));
       }
       break;
     }
@@ -427,31 +414,29 @@ void TorClient::open_stream(const TorCircuit& circuit,
                                        {{"stream", std::to_string(sid)}});
   circ->streams.emplace(sid, std::move(st));
 
-  RelayCell rc;
-  rc.command = RelayCommand::kBegin;
-  rc.stream_id = sid;
-  rc.data = util::to_bytes(target);
-  send_relay(circ, circ->layers.size() - 1, std::move(rc));
+  send_relay(circ, circ->layers.size() - 1, RelayCommand::kBegin, sid,
+             util::to_bytes(target));
 }
 
 void TorClient::send_relay(const std::shared_ptr<TorCircuit::Impl>& circ,
-                           std::size_t hop, RelayCell rc) {
+                           std::size_t hop, RelayCommand command,
+                           StreamId stream_id, util::BytesView data) {
   if (!circ->alive || hop >= circ->layers.size()) return;
-  rc.recognized = 0;
-  rc.digest = 0;
-  util::Bytes payload = rc.encode();
-  std::uint32_t digest = circ->layers[hop].commit_forward_digest(payload);
-  patch_digest(payload, digest);
+  // Encode straight into a pooled wire buffer with a zero digest, stamp
+  // the real digest, then layer the onion crypto over it in place.
+  util::Buf wire = util::local_pool().acquire(kCellSize);
+  encode_cell_into(wire.span(), circ->circ_id, CellCommand::kRelay, {});
+  auto payload = wire.span().subspan(kCellHeaderSize);
+  encode_relay_cell_into(payload, command, stream_id, 0, data);
+  std::uint32_t digest = circ->layers[hop].commit_forward_digest(
+      util::BytesView(payload.data(), payload.size()));
+  patch_relay_digest(payload, digest);
   // Apply layers inside-out: the destination hop first, the entry last,
   // so each relay strips exactly one layer.
   for (std::size_t i = hop + 1; i-- > 0;) {
     circ->layers[i].process_forward(payload);
   }
-  Cell cell;
-  cell.circ_id = circ->circ_id;
-  cell.command = CellCommand::kRelay;
-  cell.payload = std::move(payload);
-  circ->link->send(cell.encode());
+  batch_.send(circ->link, std::move(wire));
 }
 
 void TorClient::kill_circuit(const std::shared_ptr<TorCircuit::Impl>& circ,

@@ -17,9 +17,11 @@
 
 #include "net/channel.h"
 #include "tor/cell.h"
+#include "tor/cell_batch.h"
 #include "tor/directory.h"
 #include "tor/onion.h"
 #include "tor/path.h"
+#include "util/buf.h"
 
 namespace ptperf::tor {
 
@@ -28,7 +30,7 @@ class TorClient;
 /// A stream attached to a circuit, usable as a generic byte channel.
 class TorStream final : public net::Channel {
  public:
-  void send(util::Bytes payload) override;
+  void send(util::Buf payload) override;
   void set_receiver(Receiver fn) override;
   void set_close_handler(CloseHandler fn) override;
   void close() override;
@@ -103,12 +105,17 @@ class TorClient : public std::enable_shared_from_this<TorClient> {
 
  private:
   void on_link_message(const std::shared_ptr<TorCircuit::Impl>& circ,
-                       util::Bytes wire);
+                       util::Buf wire);
   void continue_build(const std::shared_ptr<TorCircuit::Impl>& circ);
   void handle_backward(const std::shared_ptr<TorCircuit::Impl>& circ,
-                       std::size_t layer_index, const RelayCell& rc);
+                       std::size_t layer_index, const RelayCellView& rc,
+                       util::Buf wire);
+  /// Originates a relay cell addressed to `hop`: encodes into a pooled
+  /// wire buffer, stamps the digest, applies onion layers inside-out in
+  /// place, and sends on the link.
   void send_relay(const std::shared_ptr<TorCircuit::Impl>& circ,
-                  std::size_t hop, RelayCell rc);
+                  std::size_t hop, RelayCommand command, StreamId stream_id,
+                  util::BytesView data);
   void kill_circuit(const std::shared_ptr<TorCircuit::Impl>& circ,
                     const std::string& reason);
 
@@ -120,6 +127,8 @@ class TorClient : public std::enable_shared_from_this<TorClient> {
   PathSelector selector_;
   FirstHopConnector first_hop_;
   CircId next_circ_id_ = 1;
+  /// Per-turn send batch (see cell_batch.h for the determinism contract).
+  CellBatch batch_;
 
   friend class TorStream;
   friend class TorCircuit;

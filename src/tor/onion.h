@@ -16,13 +16,20 @@ class RelayLayer {
  public:
   explicit RelayLayer(const CircuitKeys& keys);
 
-  /// XORs the forward-direction keystream (client -> exit).
-  void process_forward(util::Bytes& payload) {
+  /// XORs the forward-direction keystream (client -> exit) in place —
+  /// usable directly on the payload region of a pooled wire buffer.
+  void process_forward(std::span<std::uint8_t> payload) {
     fwd_.process(payload.data(), payload.size());
   }
-  /// XORs the backward-direction keystream (exit -> client).
-  void process_backward(util::Bytes& payload) {
+  /// XORs the backward-direction keystream (exit -> client) in place.
+  void process_backward(std::span<std::uint8_t> payload) {
     bwd_.process(payload.data(), payload.size());
+  }
+  void process_forward(util::Bytes& payload) {
+    process_forward(std::span<std::uint8_t>(payload));
+  }
+  void process_backward(util::Bytes& payload) {
+    process_backward(std::span<std::uint8_t>(payload));
   }
 
   /// Computes the digest a sender stamps into a relay cell destined for /

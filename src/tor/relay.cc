@@ -4,24 +4,6 @@
 #include "util/strings.h"
 
 namespace ptperf::tor {
-namespace {
-
-constexpr std::size_t kDigestOffset = 5;  // cmd(1) + recognized(2) + stream(2)
-
-void patch_digest(util::Bytes& payload, std::uint32_t digest) {
-  payload[kDigestOffset] = static_cast<std::uint8_t>(digest >> 24);
-  payload[kDigestOffset + 1] = static_cast<std::uint8_t>(digest >> 16);
-  payload[kDigestOffset + 2] = static_cast<std::uint8_t>(digest >> 8);
-  payload[kDigestOffset + 3] = static_cast<std::uint8_t>(digest);
-}
-
-util::Bytes zero_digest_copy(util::BytesView payload) {
-  util::Bytes copy(payload.begin(), payload.end());
-  for (std::size_t i = 0; i < 4; ++i) copy[kDigestOffset + i] = 0;
-  return copy;
-}
-
-}  // namespace
 
 Relay::Relay(net::Network& net, const Consensus& consensus, RelayIndex index,
              crypto::X25519Key onion_private, sim::Rng rng, RelayOptions opts)
@@ -54,14 +36,14 @@ void Relay::stop() {
 void Relay::accept_channel(net::ChannelPtr ch) {
   auto self = shared_from_this();
   net::ChannelPtr ch_copy = ch;
-  ch->set_receiver([self, ch_copy](util::Bytes wire) {
+  ch->set_receiver([self, ch_copy](util::Buf wire) {
     self->on_link_message(ch_copy, std::move(wire));
   });
   ch->set_close_handler([self, ch_copy] { self->on_link_closed(ch_copy); });
 }
 
-void Relay::on_link_message(const net::ChannelPtr& ch, util::Bytes wire) {
-  auto cell = Cell::decode(wire);
+void Relay::on_link_message(const net::ChannelPtr& ch, util::Buf wire) {
+  auto cell = parse_cell(wire);
   if (!cell) return;  // garbage on the link; a real relay would hang up
 
   if (cell->command == CellCommand::kCreate2) {
@@ -75,7 +57,7 @@ void Relay::on_link_message(const net::ChannelPtr& ch, util::Bytes wire) {
 
   switch (cell->command) {
     case CellCommand::kRelay:
-      handle_relay_forward(circ, std::move(*cell));
+      handle_relay_forward(circ, std::move(wire));
       break;
     case CellCommand::kDestroy:
       destroy_circuit(circ, /*notify_client=*/false);
@@ -94,10 +76,10 @@ void Relay::on_link_closed(const net::ChannelPtr& ch) {
   for (auto& circ : doomed) destroy_circuit(circ, /*notify_client=*/false);
 }
 
-void Relay::handle_create2(const net::ChannelPtr& ch, const Cell& cell) {
+void Relay::handle_create2(const net::ChannelPtr& ch, const CellView& cell) {
   // Handshake bytes: first 32 of the payload (the payload is padded).
   if (cell.payload.size() < 32) return;
-  util::BytesView hs(cell.payload.data(), 32);
+  util::BytesView hs = cell.payload.first(32);
   auto result =
       ntor_server_respond(hs, consensus_->identity_of(index_), onion_private_,
                           rng_, consensus_->handshake_mode);
@@ -109,41 +91,47 @@ void Relay::handle_create2(const net::ChannelPtr& ch, const Cell& cell) {
   circ->layer.emplace(result->keys);
   circuits_[{ch->serial(), cell.circ_id}] = circ;
 
-  Cell reply;
-  reply.circ_id = cell.circ_id;
-  reply.command = CellCommand::kCreated2;
-  reply.payload = result->reply;
-  ch->send(reply.encode());
+  util::Buf reply = util::local_pool().acquire(kCellSize);
+  encode_cell_into(reply.span(), cell.circ_id, CellCommand::kCreated2,
+                   result->reply);
+  ch->send(std::move(reply));
 }
 
-void Relay::handle_relay_forward(const CircuitPtr& circ, Cell cell) {
+void Relay::handle_relay_forward(const CircuitPtr& circ, util::Buf wire) {
   if (circ->destroyed) return;
   ++cells_relayed_;
   trace::Recorder* rec = net_->loop().recorder();
   TRACE_COUNT(rec, "tor/cells_relayed", 1);
   TRACE_INSTANT_ARGS(rec, trace::kCells, "cell_fwd",
                      {{"relay", std::to_string(index_)}});
-  circ->layer->process_forward(cell.payload);
+  // Strip this hop's onion layer in place inside the wire buffer.
+  auto payload = wire.span().subspan(kCellHeaderSize);
+  circ->layer->process_forward(payload);
 
-  auto rc = RelayCell::decode(cell.payload);
+  auto rc = parse_relay_cell(util::BytesView(payload.data(), payload.size()));
   if (rc && rc->recognized == 0) {
-    util::Bytes zeroed = zero_digest_copy(cell.payload);
-    if (circ->layer->check_forward_digest(zeroed, rc->digest)) {
-      handle_recognized(circ, *rc);
+    bool ours = false;
+    {
+      ScopedDigestZero zeroed(payload);
+      ours = circ->layer->check_forward_digest(zeroed.zeroed(), rc->digest);
+    }
+    if (ours) {
+      handle_recognized(circ, *rc, std::move(wire));
       return;
     }
   }
-  // Not ours: forward one hop closer to the exit.
+  // Not ours: forward the same buffer one hop closer to the exit.
   if (circ->next) {
-    cell.circ_id = circ->next_id;
-    circ->next->send(cell.encode());
+    patch_circ_id(wire.span(), circ->next_id);
+    batch_.send(circ->next, std::move(wire));
   } else {
     // Unrecognized cell at the last hop: protocol violation.
     destroy_circuit(circ, /*notify_client=*/true);
   }
 }
 
-void Relay::handle_recognized(const CircuitPtr& circ, const RelayCell& rc) {
+void Relay::handle_recognized(const CircuitPtr& circ, const RelayCellView& rc,
+                              util::Buf wire) {
   switch (rc.command) {
     case RelayCommand::kExtend2:
       handle_extend2(circ, rc);
@@ -152,7 +140,7 @@ void Relay::handle_recognized(const CircuitPtr& circ, const RelayCell& rc) {
       handle_begin(circ, rc);
       break;
     case RelayCommand::kData:
-      handle_stream_data(circ, rc);
+      handle_stream_data(circ, rc, std::move(wire));
       break;
     case RelayCommand::kSendmeStream:
     case RelayCommand::kSendmeCircuit:
@@ -166,7 +154,7 @@ void Relay::handle_recognized(const CircuitPtr& circ, const RelayCell& rc) {
   }
 }
 
-void Relay::handle_extend2(const CircuitPtr& circ, const RelayCell& rc) {
+void Relay::handle_extend2(const CircuitPtr& circ, const RelayCellView& rc) {
   auto ext = Extend2::decode(rc.data);
   if (!ext || circ->next) {
     destroy_circuit(circ, true);
@@ -179,6 +167,7 @@ void Relay::handle_extend2(const CircuitPtr& circ, const RelayCell& rc) {
   const RelayDescriptor& target = consensus_->at(ext->target_relay);
 
   auto self = shared_from_this();
+  // simlint: allow(hot-path-copy) -- handshake body outlives the wire cell
   util::Bytes handshake = ext->handshake;
   net_->connect(
       host_, target.host, opts_.tor_service,
@@ -186,35 +175,30 @@ void Relay::handle_extend2(const CircuitPtr& circ, const RelayCell& rc) {
         if (circ->destroyed) return;
         circ->next = net::wrap_pipe(std::move(pipe));
         circ->next_id = 1;  // one circuit per inter-relay link
-        circ->next->set_receiver([self, circ](util::Bytes wire) {
+        circ->next->set_receiver([self, circ](util::Buf wire) {
           self->on_next_message(circ, std::move(wire));
         });
         circ->next->set_close_handler(
             [self, circ] { self->destroy_circuit(circ, true); });
-        Cell create;
-        create.circ_id = circ->next_id;
-        create.command = CellCommand::kCreate2;
-        create.payload = handshake;
-        circ->next->send(create.encode());
+        util::Buf create = util::local_pool().acquire(kCellSize);
+        encode_cell_into(create.span(), circ->next_id, CellCommand::kCreate2,
+                         handshake);
+        circ->next->send(std::move(create));
       },
       [self, circ](std::string) { self->destroy_circuit(circ, true); });
 }
 
-void Relay::on_next_message(const CircuitPtr& circ, util::Bytes wire) {
+void Relay::on_next_message(const CircuitPtr& circ, util::Buf wire) {
   if (circ->destroyed) return;
-  auto cell = Cell::decode(wire);
+  auto cell = parse_cell(wire);
   if (!cell) return;
   ++cells_relayed_;
   TRACE_COUNT(net_->loop().recorder(), "tor/cells_relayed", 1);
 
   if (cell->command == CellCommand::kCreated2) {
-    RelayCell ext;
-    ext.command = RelayCommand::kExtended2;
-    ext.data = cell->payload;
     // CREATED2 replies are 48 bytes; the padded payload must be trimmed so
     // the EXTENDED2 body fits the relay data limit exactly.
-    ext.data.resize(48);
-    send_backward(circ, std::move(ext));
+    send_backward(circ, RelayCommand::kExtended2, 0, cell->payload.first(48));
     return;
   }
   if (cell->command == CellCommand::kDestroy) {
@@ -222,17 +206,15 @@ void Relay::on_next_message(const CircuitPtr& circ, util::Bytes wire) {
     return;
   }
   if (cell->command == CellCommand::kRelay) {
-    // Add our backward layer and pass toward the client.
-    circ->layer->process_backward(cell->payload);
-    Cell out;
-    out.circ_id = circ->prev_id;
-    out.command = CellCommand::kRelay;
-    out.payload = std::move(cell->payload);
-    circ->prev->send(out.encode());
+    // Add our backward layer in place and pass the buffer toward the
+    // client unchanged otherwise.
+    circ->layer->process_backward(wire.span().subspan(kCellHeaderSize));
+    patch_circ_id(wire.span(), circ->prev_id);
+    batch_.send(circ->prev, std::move(wire));
   }
 }
 
-void Relay::handle_begin(const CircuitPtr& circ, const RelayCell& rc) {
+void Relay::handle_begin(const CircuitPtr& circ, const RelayCellView& rc) {
   std::string target = util::to_string(rc.data);
   StreamId sid = rc.stream_id;
 
@@ -242,11 +224,8 @@ void Relay::handle_begin(const CircuitPtr& circ, const RelayCell& rc) {
     dest = exit_resolver_(host_port.empty() ? target : host_port[0]);
   }
   if (!dest) {
-    RelayCell end;
-    end.command = RelayCommand::kEnd;
-    end.stream_id = sid;
-    end.data = util::to_bytes("resolve-failed");
-    send_backward(circ, std::move(end));
+    send_backward(circ, RelayCommand::kEnd, sid,
+                  util::to_bytes("resolve-failed"));
     return;
   }
 
@@ -258,7 +237,7 @@ void Relay::handle_begin(const CircuitPtr& circ, const RelayCell& rc) {
         ExitStream& st = circ->streams[sid];
         st.channel = net::wrap_pipe(std::move(pipe));
         st.connected = true;
-        st.channel->set_receiver([self, circ, sid](util::Bytes data) {
+        st.channel->set_receiver([self, circ, sid](util::Buf data) {
           auto it = circ->streams.find(sid);
           if (it == circ->streams.end()) return;
           it->second.buffer.insert(it->second.buffer.end(), data.begin(),
@@ -271,27 +250,27 @@ void Relay::handle_begin(const CircuitPtr& circ, const RelayCell& rc) {
           it->second.remote_closed = true;
           self->pump_streams(circ);
         });
-        RelayCell connected;
-        connected.command = RelayCommand::kConnected;
-        connected.stream_id = sid;
-        self->send_backward(circ, std::move(connected));
+        self->send_backward(circ, RelayCommand::kConnected, sid);
       },
       [self, circ, sid](std::string) {
-        RelayCell end;
-        end.command = RelayCommand::kEnd;
-        end.stream_id = sid;
-        end.data = util::to_bytes("connect-refused");
-        self->send_backward(circ, std::move(end));
+        self->send_backward(circ, RelayCommand::kEnd, sid,
+                            util::to_bytes("connect-refused"));
       });
 }
 
-void Relay::handle_stream_data(const CircuitPtr& circ, const RelayCell& rc) {
+void Relay::handle_stream_data(const CircuitPtr& circ, const RelayCellView& rc,
+                               util::Buf wire) {
   auto it = circ->streams.find(rc.stream_id);
   if (it == circ->streams.end() || !it->second.connected) return;
-  it->second.channel->send(rc.data);
+  // Zero-copy delivery: shrink the wire buffer's window to the DATA bytes
+  // and hand the same storage to the destination channel.
+  std::size_t len = rc.data.size();
+  wire.drop_front(kCellHeaderSize + kRelayHeaderSize);
+  wire.resize(len);
+  it->second.channel->send(std::move(wire));
 }
 
-void Relay::handle_sendme(const CircuitPtr& circ, const RelayCell& rc) {
+void Relay::handle_sendme(const CircuitPtr& circ, const RelayCellView& rc) {
   if (rc.command == RelayCommand::kSendmeCircuit) {
     circ->circuit_package_window += kCircuitSendmeIncrement;
   } else {
@@ -302,46 +281,47 @@ void Relay::handle_sendme(const CircuitPtr& circ, const RelayCell& rc) {
   pump_streams(circ);
 }
 
-void Relay::handle_end(const CircuitPtr& circ, const RelayCell& rc) {
+void Relay::handle_end(const CircuitPtr& circ, const RelayCellView& rc) {
   auto it = circ->streams.find(rc.stream_id);
   if (it == circ->streams.end()) return;
   if (it->second.channel) it->second.channel->close();
   circ->streams.erase(it);
 }
 
-void Relay::send_backward(const CircuitPtr& circ, RelayCell rc) {
+void Relay::send_backward(const CircuitPtr& circ, RelayCommand command,
+                          StreamId stream_id, util::BytesView data) {
   if (circ->destroyed) return;
   TRACE_INSTANT_ARGS(net_->loop().recorder(), trace::kCells, "cell_bwd",
                      {{"relay", std::to_string(index_)}});
-  rc.recognized = 0;
-  rc.digest = 0;
-  util::Bytes payload = rc.encode();
-  std::uint32_t digest = circ->layer->commit_backward_digest(payload);
-  patch_digest(payload, digest);
+  // Encode straight into a pooled wire buffer: cell header, relay cell
+  // with a zero digest, then digest + onion layer patched in place.
+  util::Buf wire = util::local_pool().acquire(kCellSize);
+  encode_cell_into(wire.span(), circ->prev_id, CellCommand::kRelay, {});
+  auto payload = wire.span().subspan(kCellHeaderSize);
+  encode_relay_cell_into(payload, command, stream_id, 0, data);
+  std::uint32_t digest = circ->layer->commit_backward_digest(
+      util::BytesView(payload.data(), payload.size()));
+  patch_relay_digest(payload, digest);
   circ->layer->process_backward(payload);
-
-  Cell cell;
-  cell.circ_id = circ->prev_id;
-  cell.command = CellCommand::kRelay;
-  cell.payload = std::move(payload);
-  circ->prev->send(cell.encode());
+  batch_.send(circ->prev, std::move(wire));
 }
 
 void Relay::pump_streams(const CircuitPtr& circ) {
   if (circ->destroyed) return;
+  // One batch per pump: every DATA cell of this turn is encoded (digest
+  // and onion state advance per cell, in order) and the sends flush
+  // together at scope exit in the same order.
+  CellBatch::Scope batch(batch_);
   for (auto& [sid, st] : circ->streams) {
     while (!st.buffer.empty() && st.package_window > 0 &&
            circ->circuit_package_window > 0) {
       std::size_t n = std::min<std::size_t>(st.buffer.size(), kRelayDataMax);
-      RelayCell data;
-      data.command = RelayCommand::kData;
-      data.stream_id = sid;
-      data.data.assign(st.buffer.begin(),
-                       st.buffer.begin() + static_cast<long>(n));
+      package_scratch_.assign(st.buffer.begin(),
+                              st.buffer.begin() + static_cast<long>(n));
       st.buffer.erase(st.buffer.begin(), st.buffer.begin() + static_cast<long>(n));
       --st.package_window;
       --circ->circuit_package_window;
-      send_backward(circ, std::move(data));
+      send_backward(circ, RelayCommand::kData, sid, package_scratch_);
     }
     if (!st.buffer.empty() &&
         (st.package_window <= 0 || circ->circuit_package_window <= 0)) {
@@ -354,10 +334,7 @@ void Relay::pump_streams(const CircuitPtr& circ) {
     }
     if (st.remote_closed && st.buffer.empty() && !st.end_sent) {
       st.end_sent = true;
-      RelayCell end;
-      end.command = RelayCommand::kEnd;
-      end.stream_id = sid;
-      send_backward(circ, std::move(end));
+      send_backward(circ, RelayCommand::kEnd, sid);
     }
   }
 }
@@ -366,11 +343,9 @@ void Relay::destroy_circuit(const CircuitPtr& circ, bool notify_client) {
   if (circ->destroyed) return;
   circ->destroyed = true;
   if (notify_client && circ->prev) {
-    RelayCell trunc;
-    trunc.command = RelayCommand::kTruncated;
     // Bypass the destroyed flag we just set: build + send manually.
     circ->destroyed = false;
-    send_backward(circ, std::move(trunc));
+    send_backward(circ, RelayCommand::kTruncated, 0);
     circ->destroyed = true;
   }
   if (circ->next) circ->next->close();

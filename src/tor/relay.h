@@ -15,8 +15,10 @@
 
 #include "net/channel.h"
 #include "tor/cell.h"
+#include "tor/cell_batch.h"
 #include "tor/directory.h"
 #include "tor/onion.h"
+#include "util/buf.h"
 
 namespace ptperf::tor {
 
@@ -79,22 +81,28 @@ class Relay : public std::enable_shared_from_this<Relay> {
   };
   using CircuitPtr = std::shared_ptr<Circuit>;
 
-  void on_link_message(const net::ChannelPtr& ch, util::Bytes wire);
+  void on_link_message(const net::ChannelPtr& ch, util::Buf wire);
   void on_link_closed(const net::ChannelPtr& ch);
 
-  void handle_create2(const net::ChannelPtr& ch, const Cell& cell);
-  void handle_relay_forward(const CircuitPtr& circ, Cell cell);
-  void handle_recognized(const CircuitPtr& circ, const RelayCell& rc);
-  void handle_extend2(const CircuitPtr& circ, const RelayCell& rc);
-  void handle_begin(const CircuitPtr& circ, const RelayCell& rc);
-  void handle_stream_data(const CircuitPtr& circ, const RelayCell& rc);
-  void handle_sendme(const CircuitPtr& circ, const RelayCell& rc);
-  void handle_end(const CircuitPtr& circ, const RelayCell& rc);
+  void handle_create2(const net::ChannelPtr& ch, const CellView& cell);
+  /// Peels this hop's onion layer in place inside `wire` and either
+  /// consumes the cell (recognized) or forwards the same buffer onward.
+  void handle_relay_forward(const CircuitPtr& circ, util::Buf wire);
+  void handle_recognized(const CircuitPtr& circ, const RelayCellView& rc,
+                         util::Buf wire);
+  void handle_extend2(const CircuitPtr& circ, const RelayCellView& rc);
+  void handle_begin(const CircuitPtr& circ, const RelayCellView& rc);
+  void handle_stream_data(const CircuitPtr& circ, const RelayCellView& rc,
+                          util::Buf wire);
+  void handle_sendme(const CircuitPtr& circ, const RelayCellView& rc);
+  void handle_end(const CircuitPtr& circ, const RelayCellView& rc);
 
-  void on_next_message(const CircuitPtr& circ, util::Bytes wire);
+  void on_next_message(const CircuitPtr& circ, util::Buf wire);
 
-  /// Originates a relay cell toward the client (digest + own layer).
-  void send_backward(const CircuitPtr& circ, RelayCell rc);
+  /// Originates a relay cell toward the client (digest + own layer),
+  /// encoded directly into a pooled wire buffer.
+  void send_backward(const CircuitPtr& circ, RelayCommand command,
+                     StreamId stream_id, util::BytesView data = {});
   /// Pumps buffered exit-stream bytes into DATA cells within the windows.
   void pump_streams(const CircuitPtr& circ);
   void destroy_circuit(const CircuitPtr& circ, bool notify_client);
@@ -113,6 +121,10 @@ class Relay : public std::enable_shared_from_this<Relay> {
   // on_link_closed() teardown order) identical across same-seed runs.
   std::map<std::pair<std::uint64_t, CircId>, CircuitPtr> circuits_;
   std::uint64_t cells_relayed_ = 0;
+  /// Per-turn send batch (see cell_batch.h for the determinism contract).
+  CellBatch batch_;
+  /// Scratch for packaging exit-stream bytes (deques aren't contiguous).
+  util::Bytes package_scratch_;
 };
 
 }  // namespace ptperf::tor

@@ -41,7 +41,7 @@ void TorSocksServer::start() {
 void TorSocksServer::serve_channel(net::ChannelPtr ch) {
   auto self = shared_from_this();
   // Phase 1: greeting.
-  ch->set_receiver([self, ch](util::Bytes wire) {
+  ch->set_receiver([self, ch](util::Buf wire) {
     if (!net::socks::decode_greeting(wire)) {
       ch->close();
       return;
@@ -49,7 +49,7 @@ void TorSocksServer::serve_channel(net::ChannelPtr ch) {
     ch->send(net::socks::encode_method_select(net::socks::kMethodNoAuth));
 
     // Phase 2: connect request.
-    ch->set_receiver([self, ch](util::Bytes wire2) {
+    ch->set_receiver([self, ch](util::Buf wire2) {
       auto req = net::socks::decode_connect(wire2);
       if (!req) {
         ch->close();

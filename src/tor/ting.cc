@@ -40,7 +40,7 @@ struct CircuitProbe : std::enable_shared_from_this<CircuitProbe> {
                             return;
                           }
                           self->stream = std::move(s);
-                          self->stream->set_receiver([self](util::Bytes) {
+                          self->stream->set_receiver([self](util::Buf) {
                             self->on_pong();
                           });
                           self->ping();
@@ -148,7 +148,7 @@ void start_echo_server(net::Network& net, net::HostId host) {
   net.listen(host, "http", [](net::Pipe pipe) {
     auto ch = net::wrap_pipe(std::move(pipe));
     net::ChannelPtr ch_copy = ch;
-    ch->set_receiver([ch_copy](util::Bytes data) {
+    ch->set_receiver([ch_copy](util::Buf data) {
       ch_copy->send(std::move(data));
     });
   });

@@ -82,6 +82,11 @@ class Reader {
   /// Consumes the rest of the buffer.
   Bytes rest() { return take_copy(remaining()); }
 
+  /// Consumes the rest of the buffer as a view into the underlying
+  /// storage — the zero-copy sibling of rest(). The view is only valid as
+  /// long as the buffer the Reader was constructed over.
+  BytesView rest_view() { return take(remaining()); }
+
   void skip(std::size_t n) { take(n); }
 
  private:

@@ -70,25 +70,25 @@ struct Transfer : std::enable_shared_from_this<Transfer> {
                    "connection closed");
     });
     // SOCKS greeting.
-    ch->set_receiver([self](util::Bytes wire) { self->on_method(wire); });
+    ch->set_receiver([self](util::Buf wire) { self->on_method(wire); });
     ch->send(net::socks::encode_greeting({}));
   }
 
-  void on_method(const util::Bytes& wire) {
+  void on_method(util::BytesView wire) {
     auto method = net::socks::decode_method_select(wire);
     if (!method || *method != net::socks::kMethodNoAuth) {
       finish(false, "socks method rejected");
       return;
     }
     auto self = shared_from_this();
-    ch->set_receiver([self](util::Bytes w) { self->on_reply(w); });
+    ch->set_receiver([self](util::Buf w) { self->on_reply(w); });
     net::socks::ConnectRequest req;
     req.host = host;
     req.port = 80;
     ch->send(net::socks::encode_connect(req));
   }
 
-  void on_reply(const util::Bytes& wire) {
+  void on_reply(util::BytesView wire) {
     auto rep = net::socks::decode_reply(wire);
     if (!rep || rep->reply != net::socks::Reply::kSucceeded) {
       finish(false, "socks connect failed");
@@ -99,7 +99,7 @@ struct Transfer : std::enable_shared_from_this<Transfer> {
     first_byte_span = TRACE_SPAN_BEGIN_UNDER(rec, trace::kDownload,
                                              "first_byte", download_span);
     auto self = shared_from_this();
-    ch->set_receiver([self](util::Bytes w) { self->on_body(w); });
+    ch->set_receiver([self](util::Buf w) { self->on_body(w); });
     net::http::Request req;
     req.method = "GET";
     req.target = target;
@@ -107,7 +107,7 @@ struct Transfer : std::enable_shared_from_this<Transfer> {
     ch->send(net::http::encode_request(req));
   }
 
-  void on_body(const util::Bytes& data) {
+  void on_body(util::BytesView data) {
     if (finished) return;
     trace::Recorder* rec = loop->recorder();
     if (result.ttfb_s < 0) {

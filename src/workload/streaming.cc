@@ -78,31 +78,31 @@ struct Session : std::enable_shared_from_this<Session> {
                        self->expected_bytes > 0,
                    "connection closed");
     });
-    ch->set_receiver([self](util::Bytes m) { self->on_socks_method(m); });
+    ch->set_receiver([self](util::Buf m) { self->on_socks_method(m); });
     ch->send(net::socks::encode_greeting({}));
   }
 
-  void on_socks_method(const util::Bytes& wire) {
+  void on_socks_method(util::BytesView wire) {
     if (!net::socks::decode_method_select(wire)) {
       finish(false, "socks method");
       return;
     }
     auto self = shared_from_this();
-    ch->set_receiver([self](util::Bytes m) { self->on_socks_reply(m); });
+    ch->set_receiver([self](util::Buf m) { self->on_socks_reply(m); });
     net::socks::ConnectRequest req;
     req.host = "files.example";
     req.port = 80;
     ch->send(net::socks::encode_connect(req));
   }
 
-  void on_socks_reply(const util::Bytes& wire) {
+  void on_socks_reply(util::BytesView wire) {
     auto rep = net::socks::decode_reply(wire);
     if (!rep || rep->reply != net::socks::Reply::kSucceeded) {
       finish(false, "socks connect");
       return;
     }
     auto self = shared_from_this();
-    ch->set_receiver([self](util::Bytes m) { self->on_data(m); });
+    ch->set_receiver([self](util::Buf m) { self->on_data(m); });
     net::http::Request req;
     req.method = "GET";
     req.target = stream_target(spec);
@@ -110,7 +110,7 @@ struct Session : std::enable_shared_from_this<Session> {
     ch->send(net::http::encode_request(req));
   }
 
-  void on_data(const util::Bytes& data) {
+  void on_data(util::BytesView data) {
     if (finished) return;
     if (!head_parsed) {
       head_buffer.insert(head_buffer.end(), data.begin(), data.end());

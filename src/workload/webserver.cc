@@ -55,10 +55,10 @@ void WebServer::serve(net::ChannelPtr ch) {
   auto self = shared_from_this();
   auto buffer = std::make_shared<util::Bytes>();
   net::ChannelPtr ch_copy = ch;
-  ch->set_receiver([self, ch_copy, buffer](util::Bytes data) {
+  ch->set_receiver([self, ch_copy, buffer](util::Buf data) {
     // Requests can arrive cell-fragmented through a Tor exit: accumulate
     // until a full HTTP head parses.
-    buffer->insert(buffer->end(), data.begin(), data.end());
+    buffer->insert(buffer->end(), data.data(), data.data() + data.size());
     auto req = net::http::decode_request(*buffer);
     if (!req) return;
     buffer->clear();
@@ -96,14 +96,9 @@ void WebServer::respond(const net::ChannelPtr& ch,
   }
 
   std::size_t remaining = size;
-  util::Bytes chunk(opts_.chunk_bytes, 0);
   while (remaining > 0) {
     std::size_t n = std::min(remaining, opts_.chunk_bytes);
-    if (n == opts_.chunk_bytes) {
-      ch->send(chunk);
-    } else {
-      ch->send(util::Bytes(n, 0));
-    }
+    ch->send(util::Bytes(n, 0));
     remaining -= n;
   }
 }

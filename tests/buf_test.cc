@@ -1,0 +1,264 @@
+// Property tests for the zero-copy buffer layer (src/util/buf.h): pool
+// reuse without aliasing, arena reset safety, move-only handoff, and
+// byte-identity of the encode-into codecs against the legacy owning
+// encoders they replaced on the hot path.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "crypto/aead.h"
+#include "tor/cell.h"
+#include "util/buf.h"
+#include "util/bytes.h"
+
+namespace ptperf::util {
+namespace {
+
+// Deterministic byte pattern; keyed so distinct buffers get distinct fills.
+void fill_pattern(std::span<std::uint8_t> s, std::uint8_t key) {
+  for (std::size_t i = 0; i < s.size(); ++i)
+    s[i] = static_cast<std::uint8_t>(key + i * 13);
+}
+
+bool has_pattern(BytesView s, std::uint8_t key) {
+  for (std::size_t i = 0; i < s.size(); ++i)
+    if (s[i] != static_cast<std::uint8_t>(key + i * 13)) return false;
+  return true;
+}
+
+TEST(BufPool, LeasesAreDisjointWhileLive) {
+  BufPool pool(64);
+  std::vector<Buf> live;
+  for (int i = 0; i < 200; ++i) {
+    Buf b = pool.acquire(64);
+    fill_pattern(b.span(), static_cast<std::uint8_t>(i));
+    live.push_back(std::move(b));
+  }
+  ASSERT_EQ(pool.in_use(), 200u);
+  // Every buffer still holds its own pattern: no two live leases alias.
+  for (int i = 0; i < 200; ++i)
+    EXPECT_TRUE(has_pattern(live[i].view(), static_cast<std::uint8_t>(i)))
+        << "lease " << i << " was clobbered by another lease";
+}
+
+TEST(BufPool, ReleaseThenReacquireReusesSlotWithFreshSerial) {
+  BufPool pool(128);
+  std::uint8_t* slot_base = nullptr;
+  std::uint64_t first_serial = 0;
+  {
+    Buf a = pool.acquire(100);
+    slot_base = a.data();
+    first_serial = a.serial();
+    fill_pattern(a.span(), 0x5A);
+  }
+  EXPECT_EQ(pool.in_use(), 0u);
+  // LIFO free list: the hot slot comes straight back...
+  Buf b = pool.acquire(100);
+  EXPECT_EQ(b.data(), slot_base);
+  // ...but under a new lease identity, so stale references are detectable.
+  EXPECT_GT(b.serial(), first_serial);
+  EXPECT_EQ(pool.total_acquired(), 2u);
+}
+
+TEST(BufPool, OccupancyBitmapTracksEveryLease) {
+  BufPool pool(32);
+  Buf a = pool.acquire(32);
+  Buf b = pool.acquire(32);
+  // Bitmap agrees with the lease set, before and after each release.
+  EXPECT_TRUE(pool.slot_in_use(0));
+  EXPECT_TRUE(pool.slot_in_use(1));
+  EXPECT_FALSE(pool.slot_in_use(2));
+  a = Buf();  // release slot 0
+  EXPECT_FALSE(pool.slot_in_use(0));
+  EXPECT_TRUE(pool.slot_in_use(1));
+  EXPECT_EQ(pool.in_use(), 1u);
+  EXPECT_FALSE(pool.slot_in_use(BufPool::kSlotsPerSlab * 8));  // off the end
+}
+
+TEST(BufPool, OversizeRequestFallsBackToOwnedHeap) {
+  BufPool pool(64);
+  Buf big = pool.acquire(65);
+  EXPECT_EQ(big.pool(), nullptr);
+  EXPECT_EQ(big.size(), 65u);
+  EXPECT_EQ(pool.fallbacks(), 1u);
+  EXPECT_EQ(pool.in_use(), 0u);  // no slot consumed
+  fill_pattern(big.span(), 0x21);
+  EXPECT_TRUE(has_pattern(big.view(), 0x21));
+}
+
+TEST(BufPool, GrowsSlabBySlabUnderPressure) {
+  BufPool pool(16);
+  std::vector<Buf> live;
+  for (std::size_t i = 0; i < BufPool::kSlotsPerSlab + 1; ++i)
+    live.push_back(pool.acquire(16));
+  EXPECT_EQ(pool.slabs(), 2u);
+  EXPECT_EQ(pool.high_water(), BufPool::kSlotsPerSlab + 1);
+  live.clear();
+  EXPECT_EQ(pool.in_use(), 0u);
+  EXPECT_EQ(pool.slabs(), 2u);  // slabs are retained for reuse
+}
+
+TEST(Buf, MoveHandoffTransfersTheLease) {
+  BufPool pool(256);
+  Buf a = pool.acquire(10);
+  fill_pattern(a.span(), 7);
+  std::uint64_t serial = a.serial();
+
+  Buf b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): moved-from probe
+  EXPECT_EQ(a.serial(), 0u);
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(b.serial(), serial);
+  EXPECT_TRUE(has_pattern(b.view(), 7));
+  EXPECT_EQ(pool.in_use(), 1u);  // exactly one lease throughout
+
+  b = Buf();
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+TEST(Buf, DropFrontAndResizeKeepTheWindowInsideStorage) {
+  Buf b{Bytes{0, 1, 2, 3, 4, 5, 6, 7}};
+  b.drop_front(3);
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_EQ(b[0], 3);
+  b.resize(2);
+  EXPECT_EQ(b.size(), 2u);
+  b.resize(5);  // regrow within capacity() — bytes 3..7 still there
+  EXPECT_EQ(b[4], 7);
+  EXPECT_THROW(b.resize(6), ShortRead);
+  EXPECT_THROW(b.drop_front(6), ShortRead);
+}
+
+TEST(Buf, TakeBytesMovesWhenWindowIntactCopiesOtherwise) {
+  Bytes src{10, 11, 12, 13};
+  const std::uint8_t* storage = src.data();
+  Buf intact{std::move(src)};
+  Bytes out = std::move(intact).take_bytes();
+  EXPECT_EQ(out.data(), storage);  // moved, not copied
+
+  Buf shrunk{Bytes{10, 11, 12, 13}};
+  shrunk.drop_front(1);
+  Bytes tail = std::move(shrunk).take_bytes();
+  EXPECT_EQ(tail, (Bytes{11, 12, 13}));  // window changed → copy of the window
+}
+
+TEST(Arena, ResetRecyclesChunksWithoutInvalidatingTheAccounting) {
+  Arena arena(64);
+  auto a = arena.alloc(40);
+  auto b = arena.alloc(40);  // spills to a second chunk
+  EXPECT_EQ(arena.chunks(), 2u);
+  EXPECT_EQ(arena.used(), 80u);
+  // Live spans never alias each other.
+  fill_pattern(a, 1);
+  fill_pattern(b, 2);
+  EXPECT_TRUE(has_pattern({a.data(), a.size()}, 1));
+
+  arena.reset();
+  EXPECT_EQ(arena.used(), 0u);
+  EXPECT_EQ(arena.high_water(), 80u);
+  EXPECT_EQ(arena.chunks(), 2u);  // chunks kept, not freed
+  // Post-reset allocations bump from the start of the retained chunks.
+  auto c = arena.alloc(40);
+  EXPECT_EQ(c.data(), a.data());
+}
+
+TEST(Arena, OversizeAllocationGetsADedicatedChunk)  {
+  Arena arena(64);
+  auto big = arena.alloc(1000);
+  EXPECT_EQ(big.size(), 1000u);
+  EXPECT_EQ(arena.chunks(), 1u);
+  auto zeroed = arena.alloc_zeroed(16);
+  for (std::uint8_t byte : zeroed) EXPECT_EQ(byte, 0);
+}
+
+// --- encode-into == legacy encode, byte for byte -------------------------
+
+TEST(ZeroCopyCodec, EncodeCellIntoMatchesLegacyEncode) {
+  Bytes payload(200);
+  fill_pattern({payload.data(), payload.size()}, 0x33);
+
+  tor::Cell cell;
+  cell.circ_id = 0xDEADBEEF;
+  cell.command = tor::CellCommand::kRelay;
+  cell.payload = payload;
+  Bytes legacy = cell.encode();
+
+  BufPool pool;
+  Buf wire = pool.acquire(tor::kCellSize);
+  ASSERT_TRUE(tor::encode_cell_into(wire.span(), cell.circ_id, cell.command,
+                                    payload));
+  ASSERT_EQ(legacy.size(), wire.size());
+  EXPECT_EQ(0, std::memcmp(legacy.data(), wire.data(), legacy.size()));
+}
+
+TEST(ZeroCopyCodec, EncodeRelayCellIntoMatchesLegacyEncode) {
+  Bytes data(tor::kRelayDataMax);
+  fill_pattern({data.data(), data.size()}, 0x44);
+
+  tor::RelayCell rc;
+  rc.command = tor::RelayCommand::kData;
+  rc.recognized = 0;
+  rc.stream_id = 42;
+  rc.digest = 0xA1B2C3D4;
+  rc.data = data;
+  Bytes legacy = rc.encode();
+
+  BufPool pool;
+  Buf payload = pool.acquire(tor::kCellPayloadSize);
+  ASSERT_TRUE(tor::encode_relay_cell_into(payload.span(), rc.command,
+                                          rc.stream_id, rc.digest, data));
+  ASSERT_EQ(legacy.size(), payload.size());
+  EXPECT_EQ(0, std::memcmp(legacy.data(), payload.data(), legacy.size()));
+
+  // And the view parser round-trips what the owning decoder sees.
+  auto view = tor::parse_relay_cell(payload.view());
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->stream_id, rc.stream_id);
+  EXPECT_EQ(view->digest, rc.digest);
+  EXPECT_EQ(view->data.size(), data.size());
+}
+
+TEST(ZeroCopyCodec, SealInPlaceMatchesAllocatingSeal) {
+  Bytes key(crypto::ChaCha20Poly1305::kKeySize, 0x0F);
+  crypto::ChaCha20Poly1305 aead(key);
+  Bytes aad{9, 8, 7};
+
+  Bytes plaintext(tor::kRelayDataMax);
+  fill_pattern({plaintext.data(), plaintext.size()}, 0x55);
+
+  for (std::uint64_t counter : {std::uint64_t{0}, std::uint64_t{77}}) {
+    Bytes legacy =
+        aead.seal(crypto::counter_nonce(counter), plaintext, aad);
+
+    BufPool pool;
+    Buf buf =
+        pool.acquire(plaintext.size() + crypto::ChaCha20Poly1305::kTagSize);
+    std::memcpy(buf.data(), plaintext.data(), plaintext.size());
+    auto nonce = crypto::counter_nonce_arr(counter);
+    aead.seal_in_place({nonce.data(), nonce.size()}, buf.span(),
+                       plaintext.size(), aad);
+
+    ASSERT_EQ(legacy.size(), buf.size());
+    EXPECT_EQ(0, std::memcmp(legacy.data(), buf.data(), legacy.size()))
+        << "counter " << counter;
+
+    // open_in_place recovers the plaintext and reports its length.
+    auto len = aead.open_in_place({nonce.data(), nonce.size()}, buf.span(),
+                                  aad);
+    ASSERT_TRUE(len.has_value());
+    EXPECT_EQ(*len, plaintext.size());
+    EXPECT_EQ(0, std::memcmp(plaintext.data(), buf.data(), *len));
+
+    // A flipped bit must fail authentication and leave the buffer alone.
+    Buf tampered = Buf::copy_of(legacy, pool);
+    tampered[0] ^= 1;
+    EXPECT_FALSE(aead.open_in_place({nonce.data(), nonce.size()},
+                                    tampered.span(), aad)
+                     .has_value());
+  }
+}
+
+}  // namespace
+}  // namespace ptperf::util

@@ -316,6 +316,7 @@ struct EnsembleFigure {
   const char* base_csv;
   const char* ensemble_csv;
   const char* paired_csv;
+  const char* extra = "";  // per-figure flags (e.g. fig8's fault profile)
 };
 
 class EnsembleGoldenFigures
@@ -325,7 +326,8 @@ TEST_P(EnsembleGoldenFigures, RepeatsThreeMatchesEnsembleGoldens) {
   const EnsembleFigure& fig = GetParam();
   TempDir tmp;
   ASSERT_FALSE(tmp.path().empty());
-  run_bench(fig.bench, "--jobs 2 --repeats 3", tmp.path());
+  run_bench(fig.bench, std::string("--jobs 2 --repeats 3 ") + fig.extra,
+            tmp.path());
   for (const char* csv : {fig.ensemble_csv, fig.paired_csv}) {
     std::string produced = strip_comments(read_file(tmp.path() + "/" + csv));
     std::string golden =
@@ -346,7 +348,8 @@ TEST_P(EnsembleGoldenFigures, RepeatsOneMatchesBaseGoldenAndEmitsNoEnsemble) {
   const EnsembleFigure& fig = GetParam();
   TempDir tmp;
   ASSERT_FALSE(tmp.path().empty());
-  run_bench(fig.bench, "--jobs 2 --repeats 1", tmp.path());
+  run_bench(fig.bench, std::string("--jobs 2 --repeats 1 ") + fig.extra,
+            tmp.path());
   EXPECT_EQ(strip_comments(read_file(tmp.path() + "/" + fig.base_csv)),
             strip_comments(read_file(std::string(GOLDEN_DIR) + "/" +
                                      fig.base_csv)));
@@ -356,12 +359,17 @@ TEST_P(EnsembleGoldenFigures, RepeatsOneMatchesBaseGoldenAndEmitsNoEnsemble) {
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    Fig2aAndFig6, EnsembleGoldenFigures,
+    GoldenFigures, EnsembleGoldenFigures,
     ::testing::Values(
         EnsembleFigure{"bench_fig2a_website_curl", "fig2a_boxes.csv",
                        "fig2a_ensemble.csv", "fig2a_ensemble_paired.csv"},
         EnsembleFigure{"bench_fig6_ttfb", "fig6_ttfb_ecdf.csv",
-                       "fig6_ensemble.csv", "fig6_ensemble_paired.csv"}),
+                       "fig6_ensemble.csv", "fig6_ensemble_paired.csv"},
+        EnsembleFigure{"bench_fig8_reliability", "fig8a_outcomes.csv",
+                       "fig8_ensemble.csv", "fig8_ensemble_paired.csv",
+                       "--faults paper --retries 1"},
+        EnsembleFigure{"bench_fig9_overhead", "fig9_overhead.csv",
+                       "fig9_ensemble.csv", "fig9_ensemble_paired.csv"}),
     [](const ::testing::TestParamInfo<EnsembleFigure>& info) {
       return std::string(info.param.bench);
     });

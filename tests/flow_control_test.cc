@@ -57,7 +57,7 @@ TEST_F(FlowFixture, BulkThroughputBoundedByWindowOverRtt) {
   req.host = "files.example";
   std::size_t received = 0;
   double first_s = -1, last_s = -1;
-  stream->set_receiver([&](util::Bytes data) {
+  stream->set_receiver([&](util::Buf data) {
     if (first_s < 0)
       first_s = sim::seconds_since_start(scenario->loop().now());
     last_s = sim::seconds_since_start(scenario->loop().now());
@@ -139,7 +139,7 @@ TEST_F(FlowFixture, SocksServerFullDialogue) {
       scenario->client_host(), scenario->client_host(), "socks-raw",
       [&](net::Pipe pipe) {
         ch = net::wrap_pipe(std::move(pipe));
-        ch->set_receiver([&](util::Bytes wire) {
+        ch->set_receiver([&](util::Buf wire) {
           switch (phase) {
             case kGreeting: {
               auto m = net::socks::decode_method_select(wire);
@@ -190,7 +190,7 @@ TEST_F(FlowFixture, SocksServerRejectsUnknownHost) {
       [&](net::Pipe pipe) {
         ch = net::wrap_pipe(std::move(pipe));
         auto phase = std::make_shared<int>(0);
-        ch->set_receiver([&, phase](util::Bytes wire) {
+        ch->set_receiver([&, phase](util::Buf wire) {
           if (*phase == 0) {
             *phase = 1;
             net::socks::ConnectRequest req;
@@ -254,7 +254,7 @@ TEST_F(FlowFixture, UploadTraffic) {
   req.host = site.hostname;
   req.body = util::Bytes(20 * 1024, 0x61);
   bool got_response = false;
-  stream->set_receiver([&](util::Bytes data) {
+  stream->set_receiver([&](util::Buf data) {
     std::string text = util::to_string(data);
     if (text.find("404") != std::string::npos) got_response = true;
   });

@@ -1,0 +1,9 @@
+// hot-path-copy is scoped to src/crypto/ and the tor cell/onion/relay
+// codecs; the same owning constructs anywhere else are cold-path and fine.
+#include "util/bytes.h"
+
+namespace ptperf::workload {
+
+inline util::Bytes page_body(util::Reader& r) { return r.rest(); }
+
+}  // namespace ptperf::workload

@@ -1,0 +1,15 @@
+// Sanctioned owning copies on the hot path: each construct carries a
+// reviewed waiver, so this file must be silent.
+#include "util/bytes.h"
+
+namespace ptperf::crypto {
+
+inline std::size_t cold(util::Reader& r) {
+  // simlint: allow(hot-path-copy) -- handshake-time key material, not per cell
+  util::Bytes key = r.take_copy(32);
+  // simlint: allow(hot-path-copy) -- cold-path wrapper retained for tests
+  util::Bytes trailer = r.rest();
+  return key.size() + trailer.size();
+}
+
+}  // namespace ptperf::crypto

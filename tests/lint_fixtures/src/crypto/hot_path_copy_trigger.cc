@@ -1,0 +1,15 @@
+// Trigger fixture for hot-path-copy (path-scoped to src/crypto/ and the
+// tor cell/onion/relay codecs). Four findings: two owning Bytes
+// constructions, one take_copy() and one rest().
+#include "util/bytes.h"
+
+namespace ptperf::crypto {
+
+inline std::size_t hot(util::Reader& r, util::BytesView key) {
+  util::Bytes seed(key.begin(), key.end());
+  util::Bytes head = r.take_copy(4);
+  auto tail = r.rest();
+  return seed.size() + head.size() + tail.size();
+}
+
+}  // namespace ptperf::crypto

@@ -1,0 +1,13 @@
+// Negative space for hot-path-copy: views and references are the intended
+// idiom on the hot path and must not fire.
+#include "util/bytes.h"
+
+namespace ptperf::crypto {
+
+inline std::size_t views(util::Reader& r, const util::Bytes& owned) {
+  util::BytesView head = r.take(4);
+  util::BytesView tail = r.rest_view();
+  return owned.size() + head.size() + tail.size();
+}
+
+}  // namespace ptperf::crypto

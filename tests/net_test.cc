@@ -44,7 +44,7 @@ TEST_F(NetFixture, ConnectDeliversBothDirections) {
   std::string got_at_b, got_at_a;
   net.listen(b, "echo", [&](Pipe pipe) {
     auto shared = std::make_shared<Pipe>(std::move(pipe));
-    shared->on_receive([shared, &got_at_b](Bytes data) {
+    shared->on_receive([shared, &got_at_b](util::Buf data) {
       got_at_b = to_string(data);
       shared->send(to_bytes("pong"));
     });
@@ -54,7 +54,7 @@ TEST_F(NetFixture, ConnectDeliversBothDirections) {
     opened = true;
     auto shared = std::make_shared<Pipe>(std::move(pipe));
     shared->on_receive(
-        [&got_at_a](Bytes data) { got_at_a = to_string(data); });
+        [&got_at_a](util::Buf data) { got_at_a = to_string(data); });
     shared->send(to_bytes("ping"));
   });
   loop.run();
@@ -75,7 +75,7 @@ TEST_F(NetFixture, FifoOrderingPerDirection) {
   std::vector<int> got;
   net.listen(b, "svc", [&](Pipe pipe) {
     auto shared = std::make_shared<Pipe>(std::move(pipe));
-    shared->on_receive([shared, &got](Bytes data) { got.push_back(data[0]); });
+    shared->on_receive([shared, &got](util::Buf data) { got.push_back(data[0]); });
   });
   net.connect(a, b, "svc", [&](Pipe pipe) {
     auto shared = std::make_shared<Pipe>(std::move(pipe));
@@ -100,7 +100,7 @@ TEST_F(NetFixture, BuffersMessagesUntilReceiverInstalled) {
   loop.run();
 
   std::vector<std::string> got;
-  server_pipe->on_receive([&](Bytes data) { got.push_back(to_string(data)); });
+  server_pipe->on_receive([&](util::Buf data) { got.push_back(to_string(data)); });
   ASSERT_EQ(got.size(), 2u);
   EXPECT_EQ(got[0], "early1");
   EXPECT_EQ(got[1], "early2");
@@ -117,7 +117,7 @@ TEST_F(NetFixture, LargerPayloadsTakeLonger) {
     double at = -1;
     net.listen(b, "probe", [&](Pipe pipe) {
       auto shared = std::make_shared<Pipe>(std::move(pipe));
-      shared->on_receive([&at, this](Bytes) {
+      shared->on_receive([&at, this](util::Buf) {
         at = sim::seconds_since_start(loop.now());
       });
     });
@@ -141,7 +141,7 @@ TEST_F(NetFixture, RateCapThrottlesThroughput) {
   capped.rate_cap_bytes_per_sec = 10e3;  // 10 KB/s
   net.listen(b, "svc", [&](Pipe pipe) {
     auto shared = std::make_shared<Pipe>(std::move(pipe));
-    shared->on_receive([](Bytes) {});
+    shared->on_receive([](util::Buf) {});
   });
   double done_at = -1;
   std::size_t received = 0;
@@ -158,7 +158,7 @@ TEST_F(NetFixture, RateCapThrottlesThroughput) {
   // Re-listen with counting: replace the service before connecting again.
   net.listen(b, "svc", [&](Pipe pipe) {
     auto shared = std::make_shared<Pipe>(std::move(pipe));
-    shared->on_receive([&](Bytes data) {
+    shared->on_receive([&](util::Buf data) {
       received += data.size();
       done_at = sim::seconds_since_start(loop.now());
     });
@@ -209,9 +209,10 @@ TEST_F(NetFixture, TlsHandshakeAndEcho) {
                [&](TlsSession session, const ClientHello& hello) {
                  server_sni = hello.sni;
                  auto shared = std::make_shared<TlsSession>(std::move(session));
-                 shared->on_receive([shared](Bytes data) {
-                   data.push_back('!');
-                   shared->send(std::move(data));
+                 shared->on_receive([shared](util::Buf data) {
+                   Bytes echoed = std::move(data).take_bytes();
+                   echoed.push_back('!');
+                   shared->send(std::move(echoed));
                  });
                });
   });
@@ -223,7 +224,7 @@ TEST_F(NetFixture, TlsHandshakeAndEcho) {
     params.sni = "front.example";
     tls_connect(std::move(pipe), params, *client_rng, [&](TlsSession session) {
       auto shared = std::make_shared<TlsSession>(std::move(session));
-      shared->on_receive([&reply](Bytes data) { reply = to_string(data); });
+      shared->on_receive([&reply](util::Buf data) { reply = to_string(data); });
       shared->send(to_bytes("hello"));
     });
   });
@@ -264,7 +265,7 @@ TEST_F(NetFixture, TlsCarriesLargeMessages) {
     tls_accept(std::move(pipe), *server_rng,
                [&](TlsSession session, const ClientHello&) {
                  auto shared = std::make_shared<TlsSession>(std::move(session));
-                 shared->on_receive([&](Bytes data) {
+                 shared->on_receive([&](util::Buf data) {
                    got += data.size();
                    ++messages;
                  });
@@ -295,9 +296,10 @@ TEST(Channel, SpliceForwardsBothWays) {
   net.listen(h2, "left", [&](Pipe pipe) { left_server = wrap_pipe(std::move(pipe)); });
   net.listen(h3, "right", [&](Pipe pipe) {
     auto ch = wrap_pipe(std::move(pipe));
-    ch->set_receiver([ch](Bytes data) {
-      data.push_back('X');
-      ch->send(std::move(data));
+    ch->set_receiver([ch](util::Buf data) {
+      Bytes echoed = std::move(data).take_bytes();
+      echoed.push_back('X');
+      ch->send(std::move(echoed));
     });
     static ChannelPtr keeper;
     keeper = ch;
@@ -313,7 +315,7 @@ TEST(Channel, SpliceForwardsBothWays) {
   loop.run();
   ASSERT_TRUE(left_server && right_client && left_client);
   splice(left_server, right_client);
-  left_client->set_receiver([&](Bytes data) { reply = to_string(data); });
+  left_client->set_receiver([&](util::Buf data) { reply = to_string(data); });
   left_client->send(to_bytes("abc"));
   loop.run();
   EXPECT_EQ(reply, "abcX");

@@ -173,8 +173,8 @@ TEST_P(TlsMessageSizes, BoundaryPreservedAtAnySize) {
                     [&](net::TlsSession session, const net::ClientHello&) {
                       auto s = std::make_shared<net::TlsSession>(
                           std::move(session));
-                      s->on_receive([&](util::Bytes m) {
-                        got = std::move(m);
+                      s->on_receive([&](util::Buf m) {
+                        got = std::move(m).take_bytes();
                         ++messages;
                       });
                     });
@@ -184,7 +184,7 @@ TEST_P(TlsMessageSizes, BoundaryPreservedAtAnySize) {
                      [&](net::TlsSession session) {
                        auto s = std::make_shared<net::TlsSession>(
                            std::move(session));
-                       s->send(sent);
+                       s->send(util::Bytes(sent));
                      });
   });
   loop.run();

@@ -164,7 +164,7 @@ TEST_F(ProtoFixture, DnsttMultiplexesSessions) {
   // expect matching CREATED2 responses (distinct circuits).
   int created = 0;
   auto expect_created = [&](net::ChannelPtr& t, tor::CircId id) {
-    t->set_receiver([&created, id](util::Bytes wire) {
+    t->set_receiver([&created, id](util::Buf wire) {
       auto cell = tor::Cell::decode(wire);
       if (cell && cell->command == tor::CellCommand::kCreated2 &&
           cell->circ_id == id) {

@@ -50,7 +50,7 @@ TEST_F(RelayFixture, IgnoresGarbageOnLink) {
   create.command = CellCommand::kCreate2;
   create.payload = ntor_client_message(st);
   bool created = false;
-  link->set_receiver([&](util::Bytes wire) {
+  link->set_receiver([&](util::Buf wire) {
     auto cell = Cell::decode(wire);
     if (cell && cell->command == CellCommand::kCreated2) created = true;
   });
@@ -63,7 +63,7 @@ TEST_F(RelayFixture, DropsRelayCellsForUnknownCircuit) {
   auto link = dial_relay(0);
   ASSERT_TRUE(link);
   bool got_anything = false;
-  link->set_receiver([&](util::Bytes) { got_anything = true; });
+  link->set_receiver([&](util::Buf) { got_anything = true; });
   Cell cell;
   cell.circ_id = 12345;  // never created
   cell.command = CellCommand::kRelay;
@@ -78,7 +78,7 @@ TEST_F(RelayFixture, MultipleCircuitsPerLink) {
   ASSERT_TRUE(link);
   sim::Rng rng(2);
   int created = 0;
-  link->set_receiver([&](util::Bytes wire) {
+  link->set_receiver([&](util::Buf wire) {
     auto cell = Cell::decode(wire);
     if (cell && cell->command == CellCommand::kCreated2) ++created;
   });
@@ -103,7 +103,7 @@ TEST_F(RelayFixture, UnrecognizedCellAtLastHopTearsCircuitDown) {
   auto st = ntor_client_start(rng, scenario->consensus().handshake_mode);
   std::optional<CircuitKeys> keys;
   bool truncated_or_destroyed = false;
-  link->set_receiver([&](util::Bytes wire) {
+  link->set_receiver([&](util::Buf wire) {
     auto cell = Cell::decode(wire);
     if (!cell) return;
     if (cell->command == CellCommand::kCreated2) {
@@ -154,7 +154,7 @@ TEST_F(RelayFixture, AcceptChannelServesPtTunnels) {
   sim::Rng rng(4);
   auto st = ntor_client_start(rng, scenario->consensus().handshake_mode);
   bool created = false;
-  client_end->set_receiver([&](util::Bytes wire) {
+  client_end->set_receiver([&](util::Buf wire) {
     auto cell = Cell::decode(wire);
     if (cell && cell->command == CellCommand::kCreated2) {
       auto keys = ntor_client_finish(
@@ -194,7 +194,7 @@ TEST_F(RelayFixture, RelayDeathMidTransferBreaksStream) {
   std::size_t received = 0;
   bool circuit_died = false;
   circ->on_death([&] { circuit_died = true; });
-  stream->set_receiver([&](util::Bytes data) { received += data.size(); });
+  stream->set_receiver([&](util::Buf data) { received += data.size(); });
   net::http::Request req;
   req.target = "/file5mb";
   req.host = "files.example";

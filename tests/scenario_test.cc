@@ -146,7 +146,7 @@ TEST(NetworkLoad, BackgroundLoadSlowsDelivery) {
     std::size_t received = 0;
     net.listen(b, "svc", [&](net::Pipe pipe) {
       auto ch = net::wrap_pipe(std::move(pipe));
-      ch->set_receiver([&, ch](util::Bytes data) {
+      ch->set_receiver([&, ch](util::Buf data) {
         received += data.size();
         if (received >= 2u << 20)
           done_at = sim::seconds_since_start(loop.now());
@@ -181,7 +181,7 @@ TEST(NetworkLoad, ProcessingDelayAddsLatencyNotThroughputLoss) {
     int messages = 0;
     net.listen(b, "svc", [&](net::Pipe pipe) {
       auto ch = net::wrap_pipe(std::move(pipe));
-      ch->set_receiver([&, ch](util::Bytes) {
+      ch->set_receiver([&, ch](util::Buf) {
         double now = sim::seconds_since_start(loop.now());
         if (first < 0) first = now;
         last = now;

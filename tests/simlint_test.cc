@@ -103,6 +103,9 @@ TEST_F(SimlintCorpus, EveryRuleFiresOnItsTriggerFixture) {
                           "pointer-keyed-map"))
       << out;
   EXPECT_TRUE(has_finding(out, "unsafe_c_trigger.cc", "unsafe-c")) << out;
+  EXPECT_TRUE(has_finding(out, "src/crypto/hot_path_copy_trigger.cc",
+                          "hot-path-copy"))
+      << out;
   EXPECT_TRUE(has_finding(out, "src/net/raw_instrumentation_trigger.cc",
                           "raw-instrumentation"))
       << out;
@@ -128,6 +131,8 @@ TEST_F(SimlintCorpus, TriggerFixturesReportExpectedCounts) {
   // <mutex> + <thread> includes, std::mutex, std::thread.
   EXPECT_EQ(count_findings(out, "banned_thread_trigger.cc"), 4) << out;
   EXPECT_EQ(count_findings(out, "unsafe_c_trigger.cc"), 2) << out;
+  // Two owning Bytes constructions + take_copy() + rest().
+  EXPECT_EQ(count_findings(out, "hot_path_copy_trigger.cc"), 4) << out;
   EXPECT_EQ(count_findings(out, "pointer_key_trigger.cc"), 2) << out;
   // <iostream> include, std::cerr, std::printf, fprintf — snprintf is legal.
   EXPECT_EQ(count_findings(out, "raw_instrumentation_trigger.cc"), 4) << out;
@@ -168,6 +173,9 @@ TEST_F(SimlintCorpus, NoFalsePositivesOnNegativeSpaceFixtures) {
   // Path-scoped rules must stay scoped to the deterministic core.
   EXPECT_EQ(count_findings(out, "hash_container_elsewhere.cc"), 0) << out;
   EXPECT_EQ(count_findings(out, "sharded_campaign_elsewhere.cc"), 0) << out;
+  // Owning copies off the cell hot path, and views/references on it.
+  EXPECT_EQ(count_findings(out, "hot_path_copy_elsewhere.cc"), 0) << out;
+  EXPECT_EQ(count_findings(out, "hot_path_copy_views_ok.cc"), 0) << out;
   // Tolerance compares and renamed int equality never fire float-eq.
   EXPECT_EQ(count_findings(out, "float_eq_tolerance_ok.cc"), 0) << out;
   // Partial-with-default and fully exhaustive switches are fine.
@@ -291,7 +299,7 @@ TEST(Simlint, ListRulesNamesEveryRule) {
         "transport-bypass", "ensemble-bypass", "pragma-once",
         "using-namespace-header", "include-cycle", "layer-violation",
         "unordered-iteration", "float-eq", "switch-exhaustive",
-        "unused-suppression", "bad-suppression"}) {
+        "hot-path-copy", "unused-suppression", "bad-suppression"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos) << rule;
   }
 }

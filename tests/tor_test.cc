@@ -360,7 +360,7 @@ TEST_F(CircuitFixture, StreamCarriesDataBothWays) {
   req.target = "/";
   req.host = site.hostname;
   std::size_t received = 0;
-  stream->set_receiver([&](util::Bytes data) { received += data.size(); });
+  stream->set_receiver([&](util::Buf data) { received += data.size(); });
   stream->send(net::http::encode_request(req));
   scenario->loop().run_until_done(
       [&] { return received > site.default_page_bytes; });

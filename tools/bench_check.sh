@@ -1,0 +1,173 @@
+#!/usr/bin/env bash
+# Micro-benchmark gate for the zero-copy cell pipeline: runs bench_micro,
+# condenses the google-benchmark JSON to per-benchmark medians, and diffs
+# them against the checked-in bench/baseline.json. A benchmark that got
+# slower than baseline by more than the tolerance band fails the run; a
+# benchmark absent from the baseline is recorded, not gated (new
+# benchmarks enter the baseline deliberately, via --write-baseline).
+#
+#   tools/bench_check.sh [--record] [--out <file>] [--repetitions N]
+#                        [--require-speedup PCT] [--write-baseline]
+#
+# --record writes the condensed run to bench/BENCH_micro.json (the
+# checked-in perf trajectory; see docs/PERFORMANCE.md) instead of the
+# default ./BENCH_micro.json CI artifact. --require-speedup additionally
+# asserts that every zero-copy/legacy trajectory pair improved on the
+# baseline by at least PCT percent. --write-baseline regenerates
+# bench/baseline.json from this run — review the diff before committing.
+#
+# Environment: BENCH_BIN (default ./build/bench/bench_micro),
+# BENCH_TOLERANCE (regression band as a fraction, default 0.5 — wide on
+# purpose: shared CI runners jitter, and the gate exists to catch the
+# 2x-copy-crept-back class of regression, not 5% noise).
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+out="BENCH_micro.json"
+repetitions=3
+require_speedup=""
+write_baseline=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --record) out="bench/BENCH_micro.json"; shift ;;
+    --out) out="$2"; shift 2 ;;
+    --repetitions) repetitions="$2"; shift 2 ;;
+    --require-speedup) require_speedup="$2"; shift 2 ;;
+    --write-baseline) write_baseline=1; shift ;;
+    *)
+      echo "usage: tools/bench_check.sh [--record] [--out <file>]" \
+           "[--repetitions N] [--require-speedup PCT] [--write-baseline]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+bin="${BENCH_BIN:-./build/bench/bench_micro}"
+if [ ! -x "$bin" ]; then
+  echo "bench_check: $bin not built (cmake --build build --target bench_micro)" >&2
+  exit 2
+fi
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+"$bin" --benchmark_format=json --benchmark_repetitions="$repetitions" \
+  --benchmark_out="$raw" --benchmark_out_format=json >/dev/null
+
+OUT="$out" RAW="$raw" TOL="${BENCH_TOLERANCE:-0.5}" \
+REQUIRE="${require_speedup}" WRITE_BASELINE="$write_baseline" \
+python3 - <<'PY'
+import json, os, sys
+
+raw = json.load(open(os.environ["RAW"]))
+tol = float(os.environ["TOL"])
+require = os.environ["REQUIRE"]
+out_path = os.environ["OUT"]
+
+# Median real_time per benchmark family (repetitions=1 emits no aggregates,
+# so fall back to the single sample).
+run = {}
+for b in raw["benchmarks"]:
+    name, kind = b["name"], b.get("aggregate_name", "")
+    if kind == "median":
+        base = name[: -len("_median")]
+    elif kind == "" and b.get("run_type", "iteration") == "iteration":
+        base = name
+        if base in run:
+            continue  # keep the first sample only when no aggregates exist
+    else:
+        continue
+    entry = {"ns": round(b["real_time"], 1)}
+    if "bytes_per_second" in b:
+        entry["bytes_per_second"] = round(b["bytes_per_second"])
+    run[base] = entry
+# Aggregates win over first-sample fallbacks.
+for b in raw["benchmarks"]:
+    if b.get("aggregate_name") == "median":
+        base = b["name"][: -len("_median")]
+        entry = {"ns": round(b["real_time"], 1)}
+        if "bytes_per_second" in b:
+            entry["bytes_per_second"] = round(b["bytes_per_second"])
+        run[base] = entry
+
+baseline_doc = json.load(open("bench/baseline.json"))
+baseline = baseline_doc["benchmarks"]
+
+# The perf trajectory this refactor claims: zero-copy entry points against
+# the legacy (allocating) baseline benchmarks they displace on the hot
+# path. Onion pairs with itself: the 3-hop layer crypt went in-place under
+# the same benchmark name.
+PAIRS = [
+    ("cell-encode", "BM_CellPipeline", "BM_CellRoundTrip"),
+    ("aead-498", "BM_AeadSealOpenInPlace/498", "BM_AeadSealOpen/498"),
+    ("aead-8192", "BM_AeadSealOpenInPlace/8192", "BM_AeadSealOpen/8192"),
+    ("onion-3hop", "BM_OnionLayer3Hop", "BM_OnionLayer3Hop"),
+]
+
+failures = []
+regressed = []
+for name, entry in sorted(run.items()):
+    base = baseline.get(name)
+    if base is None:
+        print(f"  NEW       {name:42s} {entry['ns']:>12.1f} ns (recorded, not gated)")
+        continue
+    ratio = entry["ns"] / base["ns"]
+    status = "ok"
+    if ratio > 1.0 + tol:
+        status = "REGRESSED"
+        regressed.append((name, base["ns"], entry["ns"], ratio))
+    print(f"  {status:9s} {name:42s} {base['ns']:>12.1f} -> {entry['ns']:>12.1f} ns ({(ratio - 1) * 100:+6.1f}%)")
+for name in sorted(set(baseline) - set(run)):
+    print(f"  GONE      {name:42s} (in baseline, not in this run — prune deliberately)")
+
+trajectory = []
+print("\nzero-copy trajectory vs pre-refactor baseline:")
+for label, new_name, legacy_name in PAIRS:
+    new, legacy = run.get(new_name), baseline.get(legacy_name)
+    if new is None or legacy is None:
+        print(f"  {label:12s} missing ({new_name} / {legacy_name})")
+        failures.append(f"trajectory pair {label} missing")
+        continue
+    improvement = (1.0 - new["ns"] / legacy["ns"]) * 100.0
+    trajectory.append({
+        "pair": label,
+        "zero_copy": new_name,
+        "legacy_baseline": legacy_name,
+        "baseline_ns": legacy["ns"],
+        "ns": new["ns"],
+        "improvement_pct": round(improvement, 1),
+    })
+    print(f"  {label:12s} {legacy['ns']:>10.1f} -> {new['ns']:>10.1f} ns  ({improvement:+.1f}%)")
+    if require and improvement < float(require):
+        failures.append(
+            f"trajectory pair {label}: {improvement:.1f}% < required {require}%")
+
+doc = {
+    "schema": "ptperf-bench-run-v1",
+    "source": "tools/bench_check.sh: bench_micro median real_time per repetition set",
+    "benchmarks": run,
+    "trajectory": trajectory,
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"\nwrote {out_path} ({len(run)} benchmarks)")
+
+if os.environ["WRITE_BASELINE"] == "1":
+    baseline_doc["benchmarks"] = run
+    baseline_doc["source"] = "tools/bench_check.sh --write-baseline"
+    with open("bench/baseline.json", "w") as f:
+        json.dump(baseline_doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print("rewrote bench/baseline.json — review the diff")
+
+for name, base_ns, ns, ratio in regressed:
+    failures.append(f"{name}: {base_ns:.1f} -> {ns:.1f} ns (x{ratio:.2f} > 1+{tol})")
+if failures:
+    print("\nbench_check FAILED:", file=sys.stderr)
+    for f_ in failures:
+        print(f"  {f_}", file=sys.stderr)
+    sys.exit(1)
+print("bench_check: ok")
+PY

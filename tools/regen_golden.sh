@@ -13,8 +13,8 @@
 #      golden: a drift means the single-run pipeline changed, which the
 #      ensemble layer alone must never do. The script aborts on drift
 #      unless ALLOW_DRIFT=1 acknowledges an intentional model change.
-#   2. Ensemble goldens from --repeats 3 --jobs 2 (fig2a, fig5, fig6),
-#      regenerated from the base-verified build.
+#   2. Ensemble goldens from --repeats 3 --jobs 2 (fig2a, fig5, fig6,
+#      fig8, fig9), regenerated from the base-verified build.
 #
 # Flags here must match the test files exactly. `#` comment lines
 # (seed/jobs/wall_s) are stripped: wall-clock is outside the determinism
@@ -48,6 +48,7 @@ run_base bench_fig2a_website_curl fig2a_boxes.csv
 run_base bench_fig5_file_download fig5_times.csv
 run_base bench_fig6_ttfb fig6_ttfb_ecdf.csv
 run_base bench_fig8_reliability fig8a_outcomes.csv --faults paper --retries 1
+run_base bench_fig9_overhead fig9_overhead.csv
 
 if [ "$DRIFTED" -ne 0 ] && [ "${ALLOW_DRIFT:-0}" != "1" ]; then
   echo "" >&2
@@ -58,7 +59,7 @@ if [ "$DRIFTED" -ne 0 ] && [ "${ALLOW_DRIFT:-0}" != "1" ]; then
 fi
 
 for csv in fig2a_boxes.csv fig5_times.csv fig6_ttfb_ecdf.csv \
-           fig8a_outcomes.csv; do
+           fig8a_outcomes.csv fig9_overhead.csv; do
   cp "$TMP/stage_$csv" "$ROOT/tests/golden/$csv"
   echo "regenerated tests/golden/$csv"
 done
@@ -70,9 +71,18 @@ done
 run_ensemble() {
   local bench="$1"
   shift
+  # Arguments starting with -- are extra bench flags (consumed with their
+  # value); everything else is a CSV to regenerate.
+  local flags=() csvs=()
+  while [ "$#" -gt 0 ]; do
+    case "$1" in
+      --*) flags+=("$1" "$2"); shift 2 ;;
+      *) csvs+=("$1"); shift ;;
+    esac
+  done
   "$ROOT/$BUILD/bench/$bench" --scale 0.05 --seed 1 --jobs 2 --repeats 3 \
-    --out "$TMP" > /dev/null
-  for csv in "$@"; do
+    --out "$TMP" "${flags[@]}" > /dev/null
+  for csv in "${csvs[@]}"; do
     grep -v '^#' "$TMP/$csv" > "$ROOT/tests/golden/$csv"
     echo "regenerated tests/golden/$csv"
   done
@@ -83,3 +93,6 @@ run_ensemble bench_fig2a_website_curl fig2a_ensemble.csv \
 run_ensemble bench_fig5_file_download fig5_ensemble.csv \
   fig5_ensemble_paired.csv
 run_ensemble bench_fig6_ttfb fig6_ensemble.csv fig6_ensemble_paired.csv
+run_ensemble bench_fig8_reliability --faults paper --retries 1 \
+  fig8_ensemble.csv fig8_ensemble_paired.csv
+run_ensemble bench_fig9_overhead fig9_ensemble.csv fig9_ensemble_paired.csv

@@ -245,6 +245,45 @@ void check_unsafe_c(const FileScan& scan, std::vector<Finding>& out) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: hot-path-copy — the cell pipeline (the cell/onion/relay codecs and
+// the crypto beneath them) moves every tunnel byte, so an owning
+// util::Bytes allocation or a Reader copy there is a per-cell heap round
+// trip the zero-copy buffer layer exists to remove. Views (BytesView /
+// rest_view), pooled util::Buf and in-place spans are the sanctioned
+// currencies; the copying surfaces that legitimately remain (legacy golden
+// codecs, per-handshake key derivation) carry explicit allow-suppressions
+// so a new copy cannot slip in silently.
+
+bool in_cell_hot_path(const FileScan& scan) {
+  return path_under(scan, {"src/tor/cell.cc", "src/tor/onion.cc",
+                           "src/tor/relay.cc", "src/crypto/"});
+}
+
+void check_hot_path_copy(const FileScan& scan, std::vector<Finding>& out) {
+  if (!in_cell_hot_path(scan) || scan.is_header) return;
+  const auto& toks = scan.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (ident_in(toks[i], {"take_copy", "rest"}) &&
+        member_access_before(toks, i) && i + 1 < toks.size() &&
+        is_punct(toks[i + 1], "(")) {
+      flag(out, scan, toks[i].line, "hot-path-copy",
+           "'" + toks[i].text +
+               "()' copies the remaining bytes on the cell hot path; read "
+               "through take()/rest_view() views (src/util/bytes.h) instead");
+      continue;
+    }
+    if (ident_in(toks[i], {"Bytes"}) && !member_access_before(toks, i)) {
+      // A reference to an existing buffer is not a construction.
+      if (i + 1 < toks.size() && is_punct(toks[i + 1], "&")) continue;
+      flag(out, scan, toks[i].line, "hot-path-copy",
+           "'util::Bytes' on the cell hot path allocates an owning copy per "
+           "cell; use util::BytesView / std::span views or a pooled "
+           "util::Buf (src/util/buf.h)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: raw-instrumentation — ad-hoc printf/std::cerr telemetry in the
 // library layer bypasses the flight recorder: it cannot merge across
 // shards, is invisible to the exporters, and pollutes the byte-identical
@@ -637,6 +676,10 @@ const std::vector<Rule> kRules = {
      check_pointer_keyed_map, nullptr},
     {"unsafe-c", "unbounded C string/parse functions", check_unsafe_c,
      nullptr},
+    {"hot-path-copy",
+     "owning byte copies on the cell hot path (tor cell/onion/relay codecs "
+     "and src/crypto)",
+     check_hot_path_copy, nullptr},
     {"raw-instrumentation",
      "printf/stream telemetry in src/ outside src/trace and src/util",
      check_raw_instrumentation, nullptr},

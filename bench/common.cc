@@ -45,6 +45,19 @@ BenchArgs parse_args(int argc, char** argv) {
       args.trace_out = next();
     } else if (a == "--trace-cells") {
       args.trace_cells = true;
+    } else if (a == "--checkpoint") {
+      args.checkpoint_dir = next();
+    } else if (a == "--checkpoint-every") {
+      args.checkpoint_every =
+          static_cast<int>(std::strtol(next().c_str(), nullptr, 10));
+    } else if (a == "--resume") {
+      args.resume = true;
+    } else if (a == "--monitor") {
+      args.monitor = true;
+    } else if (a == "--interval-hours") {
+      args.interval_hours = std::strtod(next().c_str(), nullptr);
+    } else if (a == "--windows") {
+      args.windows = static_cast<int>(std::strtol(next().c_str(), nullptr, 10));
     } else if (a == "--verbose" || a == "-v") {
       args.verbose = true;
     } else if (a == "--help" || a == "-h") {
@@ -60,12 +73,37 @@ BenchArgs parse_args(int argc, char** argv) {
           "         --trace PATH (flight-recorder capture: Chrome\n"
           "                   trace_event JSON, or JSONL if PATH ends in\n"
           "                   .jsonl; never changes the measured samples)\n"
-          "         --trace-cells (add per-cell relay events to --trace)\n");
+          "         --trace-cells (add per-cell relay events to --trace)\n"
+          "         --checkpoint DIR (snapshot completed shards to\n"
+          "                   DIR/snapshot.ptck; engine figures only)\n"
+          "         --checkpoint-every N (snapshot write cadence in\n"
+          "                   completed shards; default 1)\n"
+          "         --resume (continue from the --checkpoint snapshot;\n"
+          "                   fingerprint-validated, byte-identical output)\n"
+          "         --monitor (fig12: continuous windowed monitor mode)\n"
+          "         --interval-hours H (virtual hours between monitor\n"
+          "                   windows; default 168)\n"
+          "         --windows N (monitor windows to run; a resumed run\n"
+          "                   may raise this to extend the series)\n");
       std::exit(0);
     }
   }
   if (args.scale <= 0) args.scale = 1.0;
   if (args.repeats < 1) args.repeats = 1;
+  if (args.checkpoint_every < 1) args.checkpoint_every = 1;
+  if (args.windows < 1) args.windows = 1;
+  if (args.resume && args.checkpoint_dir.empty()) {
+    std::fprintf(stderr, "error: --resume requires --checkpoint DIR\n");
+    std::exit(2);
+  }
+  if (!args.checkpoint_dir.empty() && !args.trace_out.empty()) {
+    // A resumed shard replays recorded samples, not a recorded capture, so
+    // a checkpointed run cannot promise a complete trace. Refuse up front
+    // rather than emit a silently partial file.
+    std::fprintf(stderr, "error: --checkpoint and --trace are mutually "
+                         "exclusive\n");
+    std::exit(2);
+  }
   return args;
 }
 
@@ -124,9 +162,62 @@ void emit_trace(const EnsembleCampaign& engine, const BenchArgs& args) {
 }
 
 EnsembleCampaignConfig ensemble_config(const BenchArgs& args) {
+  if (!args.checkpoint_dir.empty()) {
+    std::fprintf(stderr, "error: this bench does not support --checkpoint\n");
+    std::exit(2);
+  }
   EnsembleCampaignConfig cfg;
   cfg.base = sharded_config(args);
   cfg.repeats = args.repeats;
+  return cfg;
+}
+
+checkpoint::Fingerprint run_fingerprint(const BenchArgs& args,
+                                        const std::string& figure) {
+  checkpoint::Fingerprint fp;
+  fp.figure = figure;
+  fp.seed = args.seed;
+  fp.scale = args.scale;
+  fp.jobs = args.effective_jobs();
+  fp.repeats = args.repeats;
+  fp.flags = "faults=" + args.faults + ";retries=" + std::to_string(args.retries);
+  if (args.monitor) {
+    // --windows is deliberately absent: a resumed monitor may extend the
+    // series, but changing the interval would rewrite completed windows'
+    // timestamps.
+    fp.flags += ";monitor;interval_hours=" +
+                util::fmt_double(args.interval_hours, 3);
+  }
+  return fp;
+}
+
+std::shared_ptr<checkpoint::Store> checkpoint_store(const BenchArgs& args,
+                                                    const std::string& figure) {
+  if (args.checkpoint_dir.empty()) return nullptr;
+  checkpoint::Options opts;
+  opts.dir = args.checkpoint_dir;
+  opts.every = static_cast<std::size_t>(args.checkpoint_every);
+  opts.resume = args.resume;
+  try {
+    auto store =
+        std::make_shared<checkpoint::Store>(opts, run_fingerprint(args, figure));
+    if (args.verbose && store->resumed()) {
+      std::printf("resuming from %s (%zu completed shards)\n",
+                  store->path().c_str(), store->unit_count());
+    }
+    return store;
+  } catch (const checkpoint::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    std::exit(2);
+  }
+}
+
+EnsembleCampaignConfig ensemble_config(const BenchArgs& args,
+                                       const std::string& figure) {
+  EnsembleCampaignConfig cfg;
+  cfg.base = sharded_config(args);
+  cfg.repeats = args.repeats;
+  cfg.base.checkpoint = checkpoint_store(args, figure);
   return cfg;
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "ptperf/campaign.h"
+#include "ptperf/checkpoint.h"
 #include "ptperf/ensemble.h"
 #include "ptperf/parallel.h"
 #include "stats/descriptive.h"
@@ -49,6 +50,28 @@ struct BenchArgs {
   /// Adds per-cell events (trace::kCells) to the capture (--trace-cells);
   /// high-volume, so off by default.
   bool trace_cells = false;
+  /// Checkpoint directory (--checkpoint). Empty = checkpointing off.
+  /// Engine figures snapshot completed shards there (atomically, every
+  /// --checkpoint-every units) so a killed run can be resumed. Mutually
+  /// exclusive with --trace (a resumed shard has no capture to replay).
+  std::string checkpoint_dir;
+  /// Snapshot write cadence in completed shard units (--checkpoint-every).
+  int checkpoint_every = 1;
+  /// Resume from the snapshot under --checkpoint (--resume). The snapshot
+  /// fingerprint (figure, seed, scale, repeats, flags) must match this
+  /// run exactly; completed shards/repetitions are skipped and the final
+  /// CSVs are byte-identical to an uninterrupted run at any --jobs.
+  bool resume = false;
+  /// Continuous monitor mode (--monitor; fig12). Runs windowed campaigns
+  /// on the sharded engine, appending one CSV row per completed window
+  /// and checkpointing between windows.
+  bool monitor = false;
+  /// Virtual hours between monitor windows (--interval-hours).
+  double interval_hours = 168;
+  /// Monitor windows this invocation runs (--windows). A resumed monitor
+  /// may raise this to extend the series — completed windows replay from
+  /// the snapshot, new ones append.
+  int windows = 6;
 
   /// Category mask for the recorder: kDefault, plus kCells on request;
   /// 0 when --trace was not given.
@@ -81,6 +104,29 @@ ShardedCampaignConfig sharded_config(const BenchArgs& args);
 /// the base world recipe plus --repeats. Figures tweak `.base` exactly as
 /// they used to tweak the sharded config.
 EnsembleCampaignConfig ensemble_config(const BenchArgs& args);
+
+/// The checkpoint-aware entry point: same config, with the snapshot store
+/// for `figure` attached when --checkpoint was given (nullptr otherwise).
+/// Building the store validates any resumed snapshot against
+/// run_fingerprint(args, figure); a mismatch prints the offending field
+/// and exits 2. The legacy overload above instead rejects --checkpoint —
+/// a bench either declares its figure id or has no checkpoint support.
+EnsembleCampaignConfig ensemble_config(const BenchArgs& args,
+                                       const std::string& figure);
+
+/// The run identity a snapshot of `figure` is pinned to: figure id, seed,
+/// scale, repeats, and the figure-visible flags (faults/retries, monitor
+/// interval). `jobs` is recorded for provenance but not validated —
+/// output is jobs-independent, so resuming at a different pool width is
+/// supported (docs/CHECKPOINTING.md).
+checkpoint::Fingerprint run_fingerprint(const BenchArgs& args,
+                                        const std::string& figure);
+
+/// The --checkpoint store for this run, or nullptr when --checkpoint was
+/// not given. Exits 2 with a clear message when a resumed snapshot is
+/// corrupt or fingerprint-mismatched.
+std::shared_ptr<checkpoint::Store> checkpoint_store(const BenchArgs& args,
+                                                    const std::string& figure);
 
 /// Per-shard timing summary (shard id, PT, items, virtual seconds, wall
 /// µs) — printed only under --verbose, so speedup and shard imbalance are

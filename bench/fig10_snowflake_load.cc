@@ -40,7 +40,7 @@ int run(const BenchArgs& args) {
   banner("Figure 10a/10b / §5.3", "snowflake under the Iran-unrest load",
          args);
 
-  EnsembleCampaignConfig ecfg = ensemble_config(args);
+  EnsembleCampaignConfig ecfg = ensemble_config(args, "fig10");
   auto& cfg = ecfg.base;
   cfg.scenario.tranco_sites = scaled(25, args.scale, 6);
   cfg.scenario.cbl_sites = 0;

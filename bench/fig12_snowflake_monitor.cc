@@ -3,12 +3,106 @@
 // (paper: March 2023 weeks, 100 random Tranco sites x 5 accesses each).
 // Expected: every post week sits above the pre baseline; the load never
 // recovered.
+//
+// --monitor generalizes the fixed five-week loop into a continuous
+// monitor service on the sharded engine: each --interval-hours window is
+// one checkpointed campaign over the same pinned site list (window 0 is
+// the pre-unrest baseline, later windows run overloaded), and
+// fig12_monitor.csv grows one row per completed window — rewritten
+// incrementally, so a reader always sees every finished window. With
+// --checkpoint, completed windows snapshot between campaigns; a killed
+// monitor resumed with --resume replays them from the snapshot and
+// continues appending, byte-identically. Raising --windows on a resumed
+// run extends the series. See docs/CHECKPOINTING.md.
 #include "common.h"
 
 namespace ptperf::bench {
 namespace {
 
+/// Scenario seed of window w: the base seed for the pre-unrest baseline,
+/// an independent fork per later window — the same scheme repetitions use,
+/// under a "window/" namespace so the streams never collide.
+std::uint64_t window_seed(std::uint64_t base_seed, int window) {
+  if (window == 0) return base_seed;
+  return sim::Rng(base_seed)
+      .fork("window/" + std::to_string(window))
+      .next_u64();
+}
+
+int run_monitor(const BenchArgs& args) {
+  banner("Figure 12 / monitor mode",
+         "continuous snowflake health monitor (windowed, checkpointed)",
+         args);
+
+  EnsembleCampaignConfig ecfg = ensemble_config(args, "fig12");
+  std::shared_ptr<checkpoint::Store> store = ecfg.base.checkpoint;
+  std::size_t tranco = scaled(15, args.scale, 5);
+  ecfg.base.scenario.tranco_sites = tranco;
+  ecfg.base.scenario.cbl_sites = 0;
+  // A monitor tracks the same site list across windows; pin the corpus to
+  // the base seed so only the network world resamples per window.
+  ecfg.base.scenario.corpus_seed = args.seed;
+  ecfg.base.campaign.website_reps = 3;  // paper: 5
+
+  stats::Table series({"window", "t_hours", "regime", "pt", "n_sites",
+                       "mean_us", "p50_us", "p95_us", "fail_ppm"});
+  for (int w = 0; w < args.windows; ++w) {
+    EnsembleCampaignConfig wcfg = ecfg;
+    wcfg.base.scenario.seed = window_seed(args.seed, w);
+    bool overloaded = w > 0;  // window 0 = pre-unrest baseline
+    wcfg.base.configure_stack = [overloaded](Scenario&, PtStack& stack) {
+      if (stack.snowflake) stack.snowflake->set_overloaded(overloaded);
+    };
+
+    EnsembleCampaign engine(wcfg);
+    auto runs =
+        engine.run_website_curl({PtId::kSnowflake}, {tranco, 0});
+    // Window rows summarize repetition 0 (the base world); extra
+    // --repeats widen the checkpointed ensemble without changing rows.
+    const std::vector<WebsiteSample>& samples = runs.first();
+    std::vector<double> per_site = per_site_means(samples);
+    std::size_t failed = 0;
+    for (const WebsiteSample& s : samples)
+      if (!s.result.success) ++failed;
+    double fail_frac =
+        samples.empty() ? 0
+                        : static_cast<double>(failed) /
+                              static_cast<double>(samples.size());
+    double mean_s = per_site.empty() ? 0 : stats::mean(per_site);
+    double p50_s = per_site.empty() ? 0 : stats::quantile(per_site, 0.5);
+    double p95_s = per_site.empty() ? 0 : stats::quantile(per_site, 0.95);
+    series.add_row({std::to_string(w),
+                    util::fmt_double(static_cast<double>(w) *
+                                         args.interval_hours, 1),
+                    overloaded ? "post" : "pre", "snowflake",
+                    std::to_string(per_site.size()), stats::us_cell(mean_s),
+                    stats::us_cell(p50_s), stats::us_cell(p95_s),
+                    stats::ppm_cell(fail_frac)});
+
+    // Streaming incremental output: every completed window lands on disk
+    // before the next one starts, and the snapshot (if any) catches up.
+    emit(series, args, "fig12_monitor", /*print_text=*/false);
+    if (store) store->flush();
+    std::printf("  window %d (t=%.1fh, %s) done\n", w,
+                static_cast<double>(w) * args.interval_hours,
+                overloaded ? "post" : "pre");
+    std::fflush(stdout);
+  }
+
+  std::printf("\n-- Figure 12 monitor: %d windows -> fig12_monitor.csv --\n",
+              args.windows);
+  std::printf("%s\n", series.to_text().c_str());
+  return 0;
+}
+
 int run(const BenchArgs& args) {
+  if (args.monitor) return run_monitor(args);
+  if (!args.checkpoint_dir.empty()) {
+    std::fprintf(stderr,
+                 "error: fig12 supports --checkpoint only with --monitor\n");
+    return 2;
+  }
+
   banner("Figure 12 / Appendix A.2", "snowflake post-unrest monitoring",
          args);
 

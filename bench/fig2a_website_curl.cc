@@ -16,7 +16,7 @@ int run(const BenchArgs& args) {
   banner("Figure 2a / Tables 3-4",
          "website access time, curl, Tranco + CBL", args);
 
-  EnsembleCampaignConfig ecfg = ensemble_config(args);
+  EnsembleCampaignConfig ecfg = ensemble_config(args, "fig2a");
   auto& cfg = ecfg.base;
   cfg.scenario.tranco_sites = scaled(30, args.scale, 5);
   cfg.scenario.cbl_sites = scaled(30, args.scale, 5);

@@ -16,7 +16,7 @@ int run(const BenchArgs& args) {
   banner("Figure 2b / Tables 5-6",
          "website access time, selenium (page + resources)", args);
 
-  EnsembleCampaignConfig ecfg = ensemble_config(args);
+  EnsembleCampaignConfig ecfg = ensemble_config(args, "fig2b");
   auto& cfg = ecfg.base;
   cfg.scenario.tranco_sites = scaled(15, args.scale, 4);
   cfg.scenario.cbl_sites = scaled(15, args.scale, 4);

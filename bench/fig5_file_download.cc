@@ -14,7 +14,7 @@ namespace {
 int run(const BenchArgs& args) {
   banner("Figure 5 / Table 7", "bulk file download times", args);
 
-  EnsembleCampaignConfig ecfg = ensemble_config(args);
+  EnsembleCampaignConfig ecfg = ensemble_config(args, "fig5");
   auto& cfg = ecfg.base;
   cfg.scenario.tranco_sites = 2;
   cfg.scenario.cbl_sites = 0;

@@ -11,7 +11,7 @@ namespace {
 int run(const BenchArgs& args) {
   banner("Figure 6", "time to first byte (TTFB) ECDF", args);
 
-  EnsembleCampaignConfig ecfg = ensemble_config(args);
+  EnsembleCampaignConfig ecfg = ensemble_config(args, "fig6");
   auto& cfg = ecfg.base;
   cfg.scenario.tranco_sites = scaled(40, args.scale, 8);
   cfg.scenario.cbl_sites = 0;

@@ -28,7 +28,7 @@ int run(const BenchArgs& args) {
                 args.retries);
   }
 
-  EnsembleCampaignConfig ecfg = ensemble_config(args);
+  EnsembleCampaignConfig ecfg = ensemble_config(args, "fig8");
   auto& cfg = ecfg.base;
   cfg.scenario.tranco_sites = 2;
   cfg.scenario.cbl_sites = 0;

@@ -17,7 +17,7 @@ int run(const BenchArgs& args) {
   banner("Figure 9 / §5.2", "PT overhead vs vanilla Tor on a fixed circuit",
          args);
 
-  EnsembleCampaignConfig ecfg = ensemble_config(args);
+  EnsembleCampaignConfig ecfg = ensemble_config(args, "fig9");
   auto& cfg = ecfg.base;
   cfg.scenario.tranco_sites = scaled(20, args.scale, 6);
   cfg.scenario.cbl_sites = 0;

@@ -169,4 +169,28 @@ net::ChannelPtr meter_payload(net::ChannelPtr inner, AccountingPtr acct) {
                                                std::move(acct));
 }
 
+void StackAccounting::serialize(util::CodecWriter& w) const {
+  w.i64(wire_bytes)
+      .i64(payload_bytes)
+      .i64(handshake_bytes)
+      .i64(framing_bytes)
+      .i64(carrier_bytes)
+      .i64(handshake_rtts);
+}
+
+StackAccounting StackAccounting::deserialize(util::CodecReader& r) {
+  StackAccounting out;
+  out.wire_bytes = r.i64("StackAccounting.wire_bytes");
+  out.payload_bytes = r.i64("StackAccounting.payload_bytes");
+  out.handshake_bytes = r.i64("StackAccounting.handshake_bytes");
+  out.framing_bytes = r.i64("StackAccounting.framing_bytes");
+  out.carrier_bytes = r.i64("StackAccounting.carrier_bytes");
+  out.handshake_rtts = r.i64("StackAccounting.handshake_rtts");
+  if (!out.balanced() || out.handshake_rtts < 0) {
+    throw util::CodecError(
+        "corrupt StackAccounting: ledger does not balance");
+  }
+  return out;
+}
+
 }  // namespace ptperf::pt::layer

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "net/channel.h"
+#include "util/codec.h"
 
 namespace ptperf::pt::layer {
 
@@ -125,6 +126,12 @@ struct StackAccounting {
     return wire_bytes ==
            payload_bytes + handshake_bytes + framing_bytes + carrier_bytes;
   }
+
+  /// Checkpoint codec: the six counters verbatim. deserialize() rejects
+  /// (util::CodecError) a ledger that fails balanced() — corruption cannot
+  /// reintroduce the accounting drift the layer stack was built to ban.
+  void serialize(util::CodecWriter& w) const;
+  static StackAccounting deserialize(util::CodecReader& r);
 };
 
 using AccountingPtr = std::shared_ptr<StackAccounting>;

@@ -1,0 +1,196 @@
+// Checkpoint/resume for long-running campaigns. A Store owns one snapshot
+// file under a checkpoint directory and accumulates completed *shard
+// units* — the serialized samples, timing, and fault counters of one shard
+// of one campaign — keyed by (campaign index, shard index). The sharded
+// engine records a unit whenever a shard completes and skips any unit the
+// snapshot already holds, so a killed run resumed from its snapshot
+// replays only the missing shards and merges to byte-identical output
+// (the merge is by plan position, never by completion order).
+//
+// Snapshot layout (docs/CHECKPOINTING.md):
+//
+//   u32 magic "PTCK" | u32 version
+//   fingerprint: figure id, seed, scale, jobs, repeats, flags
+//   campaign cursor: per-campaign ShardPlan hashes, in begin order
+//   units: (campaign, shard, payload blob), sorted by key
+//   u64 FNV-1a checksum over everything above
+//
+// The fingerprint pins what a resume is allowed to continue: figure,
+// seed, scale, repeats, and figure-specific flags must match exactly
+// (mismatch is a hard Error — resuming a --seed 2 run from a --seed 1
+// snapshot would silently mix worlds). `jobs` is recorded for provenance
+// but deliberately NOT validated: output is jobs-independent by the
+// engine's core contract, so resuming on a different machine width is
+// safe and supported. The campaign cursor doubles as the ensemble
+// repetition cursor — every repetition is one campaign whose plan hash
+// covers its forked shard seeds, so a stale or reordered repetition can
+// never satisfy begin_campaign().
+//
+// Writes are atomic (temp file + rename) and happen at shard-completion
+// boundaries, every `every` completed units; a crash leaves either the
+// previous snapshot or the new one, never a torn file. Loads are fully
+// validated — magic, version, checksum, bounds-checked parse — so a
+// truncated or bit-flipped snapshot is rejected with a clear Error,
+// never UB.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ptperf/parallel.h"
+#include "util/codec.h"
+
+namespace ptperf::checkpoint {
+
+/// Any checkpoint failure: unreadable/corrupt/truncated snapshot,
+/// fingerprint or plan mismatch on resume, short write.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Identity of the run a snapshot belongs to. All fields except `jobs`
+/// must match exactly on resume (see file comment).
+struct Fingerprint {
+  std::string figure;      // e.g. "fig5"
+  std::uint64_t seed = 0;  // campaign base seed
+  double scale = 1;        // workload scale factor (bit-exact compare)
+  int jobs = 1;            // recorded for provenance only, not validated
+  int repeats = 1;         // ensemble repetition count
+  std::string flags;       // figure-specific knobs, e.g. "faults=paper"
+};
+
+struct Options {
+  std::string dir;         // checkpoint directory (created if missing)
+  std::size_t every = 1;   // snapshot write cadence, in completed units
+  bool resume = false;     // load + validate an existing snapshot
+};
+
+/// Stable hash of a ShardPlan's full decomposition (PT names, item
+/// slices, chunk ordinals, forked seeds). Recorded per campaign so a
+/// resume against a differently-planned run is refused even when the
+/// coarse fingerprint fields happen to match.
+std::uint64_t plan_hash(const ShardPlan& plan);
+
+class Store {
+ public:
+  /// Creates the checkpoint directory if needed. With opts.resume, loads
+  /// and validates the existing snapshot (Error if missing or invalid);
+  /// without it, starts empty and overwrites any stale snapshot on the
+  /// first write.
+  Store(Options opts, Fingerprint fp);
+
+  const Fingerprint& fingerprint() const { return fp_; }
+  bool resumed() const { return resumed_; }
+  std::string path() const;
+  std::size_t unit_count() const;
+
+  /// Registers the next campaign in run order and returns its index. On a
+  /// resumed store the plan hash must match the recorded one for that
+  /// position (Error otherwise) — this is the repetition cursor check.
+  int begin_campaign(std::uint64_t plan);
+
+  /// The recorded payload for a completed unit, or nullopt if the shard
+  /// still has to run.
+  std::optional<util::Bytes> completed(int campaign, std::size_t shard) const;
+
+  /// Records a completed unit. Thread-safe — shards complete on pool
+  /// threads. Persists a snapshot every `opts.every` new units.
+  void record(int campaign, std::size_t shard, util::Bytes payload);
+
+  /// Persists a snapshot now (end-of-campaign / end-of-window barrier).
+  void flush();
+
+  /// Test hook for the crash-equivalence suite: exactly `units` more
+  /// record() calls are persisted, then the store behaves as if the
+  /// process died — every later record() and flush() is dropped. The
+  /// in-process run completes normally while the snapshot is frozen at
+  /// the kill point, which is indistinguishable, for resume purposes,
+  /// from a SIGKILL between shard boundaries.
+  void simulate_crash_after(std::size_t units);
+
+  static constexpr std::string_view kSnapshotFile = "snapshot.ptck";
+
+ private:
+  util::Bytes serialize_locked() const;
+  void write_snapshot_locked();
+  void load_snapshot();
+
+  Options opts_;
+  Fingerprint fp_;
+  bool resumed_ = false;
+  std::size_t next_campaign_ = 0;
+  std::vector<std::uint64_t> plan_hashes_;
+  std::map<std::pair<std::uint32_t, std::uint64_t>, util::Bytes> units_;
+  std::size_t since_write_ = 0;
+  bool crash_armed_ = false;
+  std::size_t crash_budget_ = 0;  // records left before the simulated kill
+  bool dead_ = false;
+  mutable std::mutex mu_;
+};
+
+/// --- shard-unit payload codec ---------------------------------------
+/// One overload pair per campaign sample type; encode_unit/decode_unit
+/// wrap a whole shard result (samples + timing + fault counters). All
+/// decoders validate range invariants and reject trailing bytes.
+
+using FaultCounts =
+    std::array<std::uint64_t, static_cast<std::size_t>(fault::FaultKind::kCount_)>;
+
+void write_sample(util::CodecWriter& w, const workload::FetchResult& r);
+void read_sample(util::CodecReader& r, workload::FetchResult& out);
+void write_sample(util::CodecWriter& w, const WebsiteSample& s);
+void read_sample(util::CodecReader& r, WebsiteSample& out);
+void write_sample(util::CodecWriter& w, const PageSample& s);
+void read_sample(util::CodecReader& r, PageSample& out);
+void write_sample(util::CodecWriter& w, const FileSample& s);
+void read_sample(util::CodecReader& r, FileSample& out);
+void write_sample(util::CodecWriter& w, const ReliabilitySample& s);
+void read_sample(util::CodecReader& r, ReliabilitySample& out);
+void write_sample(util::CodecWriter& w, const OverheadSample& s);
+void read_sample(util::CodecReader& r, OverheadSample& out);
+
+void write_timing(util::CodecWriter& w, const ShardTiming& t);
+void read_timing(util::CodecReader& r, ShardTiming& out);
+
+template <typename Sample>
+void encode_unit(util::CodecWriter& w, const std::vector<Sample>& samples,
+                 const ShardTiming& timing, const FaultCounts& faults) {
+  w.u32(static_cast<std::uint32_t>(samples.size()));
+  for (const Sample& s : samples) write_sample(w, s);
+  write_timing(w, timing);
+  w.u32(static_cast<std::uint32_t>(faults.size()));
+  for (std::uint64_t c : faults) w.u64(c);
+}
+
+template <typename Sample>
+void decode_unit(util::CodecReader& r, std::vector<Sample>& samples,
+                 ShardTiming& timing, FaultCounts& faults) {
+  std::uint32_t n = r.u32("unit.sample_count");
+  samples.clear();
+  samples.reserve(std::min<std::uint32_t>(n, 4096));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Sample s{};
+    read_sample(r, s);
+    samples.push_back(std::move(s));
+  }
+  read_timing(r, timing);
+  std::uint32_t kinds = r.u32("unit.fault_kinds");
+  if (kinds != faults.size()) {
+    throw util::CodecError("corrupt unit: fault-kind count " +
+                           std::to_string(kinds) + " != " +
+                           std::to_string(faults.size()));
+  }
+  for (std::uint64_t& c : faults) c = r.u64("unit.fault_count");
+  r.expect_end("shard unit");
+}
+
+}  // namespace ptperf::checkpoint

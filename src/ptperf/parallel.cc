@@ -6,6 +6,8 @@
 #include <mutex>
 #include <thread>
 
+#include "ptperf/checkpoint.h"
+
 namespace ptperf {
 
 std::uint64_t shard_seed(std::uint64_t base_seed, std::string_view pt_name,
@@ -107,6 +109,11 @@ std::uint64_t ShardedCampaign::total_injected_faults() const {
 /// counters strictly in plan order. Every mutable slot is indexed by the
 /// shard's plan position and touched by exactly one task; the pool join is
 /// the only synchronization the merge needs.
+///
+/// With a checkpoint store attached, shards the snapshot already holds are
+/// decoded straight into their merge slots and never re-run; freshly
+/// completed shards are recorded back. Because both paths fill the same
+/// plan-position slots, a resumed run merges to byte-identical output.
 template <typename Sample, typename Body>
 std::vector<Sample> ShardedCampaign::run_plan(const ShardPlan& plan,
                                               const Body& body) {
@@ -119,8 +126,25 @@ std::vector<Sample> ShardedCampaign::run_plan(const ShardPlan& plan,
       shards.size(), std::array<std::uint64_t, kFaultKinds>{});
   std::vector<trace::ShardTrace> traces(shards.size());
 
+  checkpoint::Store* store = cfg_.checkpoint.get();
+  int campaign_index =
+      store ? store->begin_campaign(checkpoint::plan_hash(plan)) : -1;
+  std::vector<std::size_t> pending;
+  pending.reserve(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (store) {
+      if (std::optional<util::Bytes> unit = store->completed(campaign_index, i)) {
+        util::CodecReader r(*unit);
+        checkpoint::decode_unit(r, per_shard[i], timings[i], faults[i]);
+        continue;
+      }
+    }
+    pending.push_back(i);
+  }
+
   ParallelExecutor executor(cfg_.jobs);
-  executor.for_each(shards.size(), [&](std::size_t i) {
+  executor.for_each(pending.size(), [&](std::size_t slot) {
+    std::size_t i = pending[slot];
     const ShardSpec& spec = shards[i];
     std::int64_t wall_start = sim::wall_now_us();
 
@@ -165,6 +189,12 @@ std::vector<Sample> ShardedCampaign::run_plan(const ShardPlan& plan,
         }
       }
       traces[i] = trace::ShardTrace{spec.index, spec.pt_name, rec->take()};
+    }
+
+    if (store) {
+      util::CodecWriter w;
+      checkpoint::encode_unit(w, per_shard[i], timings[i], faults[i]);
+      store->record(campaign_index, i, w.take());
     }
   });
 

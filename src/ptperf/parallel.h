@@ -14,6 +14,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -21,6 +22,10 @@
 #include "ptperf/campaign.h"
 
 namespace ptperf {
+
+namespace checkpoint {
+class Store;
+}  // namespace checkpoint
 
 /// One unit of independent work: a PT (nullopt = vanilla Tor) and a
 /// half-open slice [item_begin, item_end) of the campaign's work-item list
@@ -121,6 +126,14 @@ struct ShardedCampaignConfig {
   std::function<void(Scenario&)> configure_scenario;
   /// Per-shard stack setup (e.g. snowflake load regime).
   std::function<void(Scenario&, PtStack&)> configure_stack;
+  /// Optional checkpoint store (src/ptperf/checkpoint.h). When set, every
+  /// run registers its plan with the store, skips shards the snapshot
+  /// already holds (decoding their recorded samples/timing/faults into the
+  /// merge slots), and records each freshly-completed shard — so a killed
+  /// run resumed from its snapshot merges to byte-identical output.
+  /// Shared, not owned: the ensemble layer copies this config per
+  /// repetition and every repetition must append to the same snapshot.
+  std::shared_ptr<checkpoint::Store> checkpoint;
 };
 
 /// Which sites a website campaign measures: the first `tranco` Tranco

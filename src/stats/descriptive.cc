@@ -137,4 +137,45 @@ double Welford::variance() const {
 
 double Welford::stddev() const { return std::sqrt(variance()); }
 
+void Ecdf::serialize(util::CodecWriter& w) const {
+  w.u64(xs_.size());
+  for (double x : xs_) w.f64(x);
+}
+
+Ecdf Ecdf::deserialize(util::CodecReader& r) {
+  std::uint64_t n = r.u64("Ecdf.n");
+  Ecdf out({});
+  out.xs_.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(n, 4096)));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    double x = r.f64("Ecdf.sample");
+    if (!std::isfinite(x)) {
+      throw util::CodecError("corrupt Ecdf: non-finite sample");
+    }
+    if (!out.xs_.empty() && x < out.xs_.back()) {
+      throw util::CodecError("corrupt Ecdf: samples out of order");
+    }
+    out.xs_.push_back(x);
+  }
+  return out;
+}
+
+void Welford::serialize(util::CodecWriter& w) const {
+  w.u64(n_).f64(mean_).f64(m2_);
+}
+
+Welford Welford::deserialize(util::CodecReader& r) {
+  Welford out;
+  out.n_ = static_cast<std::size_t>(r.u64("Welford.n"));
+  out.mean_ = r.f64("Welford.mean");
+  out.m2_ = r.f64("Welford.m2");
+  if (!std::isfinite(out.mean_) || !std::isfinite(out.m2_) || out.m2_ < 0) {
+    throw util::CodecError("corrupt Welford: non-finite or negative moments");
+  }
+  // simlint: allow(float-eq) -- empty accumulator decodes to exact zeros
+  if (out.n_ == 0 && (out.mean_ != 0 || out.m2_ != 0)) {
+    throw util::CodecError("corrupt Welford: nonzero moments with n == 0");
+  }
+  return out;
+}
+
 }  // namespace ptperf::stats

@@ -5,6 +5,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/codec.h"
+
 namespace ptperf::stats {
 
 double mean(const std::vector<double>& xs);
@@ -48,6 +50,13 @@ class Ecdf {
   const std::vector<double>& sorted() const { return xs_; }
   std::size_t size() const { return xs_.size(); }
 
+  /// Checkpoint codec: the sorted sample, bit-exact. deserialize()
+  /// rejects (util::CodecError) a sample whose order invariant is broken
+  /// or that contains non-finite values — a bit flip cannot smuggle an
+  /// out-of-order or NaN sample past a resume.
+  void serialize(util::CodecWriter& w) const;
+  static Ecdf deserialize(util::CodecReader& r);
+
  private:
   std::vector<double> xs_;  // sorted
 };
@@ -67,6 +76,12 @@ class Welford {
   double mean() const { return mean_; }
   double variance() const;  // sample variance
   double stddev() const;
+
+  /// Checkpoint codec: (n, mean, m2) with exact double bit patterns, so a
+  /// resumed accumulator is indistinguishable from the original.
+  /// deserialize() rejects non-finite moments and negative m2.
+  void serialize(util::CodecWriter& w) const;
+  static Welford deserialize(util::CodecReader& r);
 
  private:
   std::size_t n_ = 0;

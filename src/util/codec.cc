@@ -1,0 +1,92 @@
+#include "util/codec.h"
+
+namespace ptperf::util {
+
+std::uint64_t fnv1a(BytesView data, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (std::uint8_t byte : data) {
+    h ^= byte;
+    h *= 0x00000100000001b3ULL;
+  }
+  return h;
+}
+
+CodecWriter& CodecWriter::str(std::string_view s) {
+  w_.u32(static_cast<std::uint32_t>(s.size()));
+  w_.raw(s);
+  return *this;
+}
+
+CodecWriter& CodecWriter::blob(BytesView bs) {
+  w_.u32(static_cast<std::uint32_t>(bs.size()));
+  w_.raw(bs);
+  return *this;
+}
+
+namespace {
+[[noreturn]] void truncated(const char* field, const ShortRead& e) {
+  throw CodecError(std::string("snapshot truncated while reading ") + field +
+                   " (" + e.what() + ")");
+}
+}  // namespace
+
+std::uint8_t CodecReader::u8(const char* field) {
+  try {
+    return r_.u8();
+  } catch (const ShortRead& e) {
+    truncated(field, e);
+  }
+}
+
+std::uint32_t CodecReader::u32(const char* field) {
+  try {
+    return r_.u32();
+  } catch (const ShortRead& e) {
+    truncated(field, e);
+  }
+}
+
+std::uint64_t CodecReader::u64(const char* field) {
+  try {
+    return r_.u64();
+  } catch (const ShortRead& e) {
+    truncated(field, e);
+  }
+}
+
+bool CodecReader::b(const char* field) {
+  std::uint8_t v = u8(field);
+  if (v > 1) {
+    throw CodecError(std::string("corrupt bool while reading ") + field +
+                     ": byte value " + std::to_string(v));
+  }
+  return v == 1;
+}
+
+std::string CodecReader::str(const char* field) {
+  std::uint32_t n = u32(field);
+  try {
+    auto v = r_.take(n);
+    return std::string(reinterpret_cast<const char*>(v.data()), v.size());
+  } catch (const ShortRead& e) {
+    truncated(field, e);
+  }
+}
+
+Bytes CodecReader::blob(const char* field) {
+  std::uint32_t n = u32(field);
+  try {
+    return r_.take_copy(n);
+  } catch (const ShortRead& e) {
+    truncated(field, e);
+  }
+}
+
+void CodecReader::expect_end(const char* what) {
+  if (r_.remaining() != 0) {
+    throw CodecError(std::string("trailing bytes after ") + what + ": " +
+                     std::to_string(r_.remaining()) + " unread");
+  }
+}
+
+}  // namespace ptperf::util

@@ -1,0 +1,99 @@
+// Snapshot codec: a small self-describing binary layer on top of the
+// bounds-checked util::Writer/Reader cursors. Checkpoint payloads
+// (src/ptperf/checkpoint.*) are built exclusively from these primitives so
+// that a truncated or corrupted file always surfaces as a CodecError —
+// never as UB or silently wrong state.
+//
+// Conventions:
+//  - integers are big-endian, matching the wire-format cursors;
+//  - doubles travel as their IEEE-754 bit pattern (bit_cast), so a
+//    serialize/deserialize round trip is exact, not "close";
+//  - strings and blobs are u32-length-prefixed;
+//  - every multi-byte read is bounds-checked, so garbage length fields
+//    fail fast instead of over-reading.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+
+namespace ptperf::util {
+
+/// Thrown on any malformed snapshot input: truncation, a length field
+/// running past the buffer, a value that violates the decoded type's
+/// invariants. Carries a human-readable reason.
+class CodecError : public std::runtime_error {
+ public:
+  explicit CodecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// FNV-1a 64-bit over a byte range; the snapshot trailer checksum.
+/// Deterministic, dependency-free, and good enough to catch bit flips —
+/// this is corruption detection, not cryptographic integrity.
+std::uint64_t fnv1a(BytesView data,
+                    std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+/// Append-only serializer for snapshot payloads.
+class CodecWriter {
+ public:
+  CodecWriter() = default;
+  explicit CodecWriter(std::size_t reserve) : w_(reserve) {}
+
+  CodecWriter& u8(std::uint8_t v) { w_.u8(v); return *this; }
+  CodecWriter& u32(std::uint32_t v) { w_.u32(v); return *this; }
+  CodecWriter& u64(std::uint64_t v) { w_.u64(v); return *this; }
+  CodecWriter& i64(std::int64_t v) {
+    w_.u64(static_cast<std::uint64_t>(v));
+    return *this;
+  }
+  CodecWriter& b(bool v) { w_.u8(v ? 1 : 0); return *this; }
+  /// Exact IEEE-754 bit pattern; round-trips NaN payloads and -0.0.
+  CodecWriter& f64(double v) {
+    w_.u64(std::bit_cast<std::uint64_t>(v));
+    return *this;
+  }
+  CodecWriter& str(std::string_view s);
+  CodecWriter& blob(BytesView bs);
+
+  std::size_t size() const { return w_.size(); }
+  const Bytes& view() const { return w_.view(); }
+  Bytes take() { return w_.take(); }
+
+ private:
+  Writer w_;
+};
+
+/// Bounds-checked deserializer. Rethrows the underlying ShortRead as a
+/// CodecError naming the field being decoded, so snapshot load failures
+/// read as "snapshot truncated while reading <field>".
+class CodecReader {
+ public:
+  explicit CodecReader(BytesView data) : r_(data) {}
+
+  std::uint8_t u8(const char* field = "u8");
+  std::uint32_t u32(const char* field = "u32");
+  std::uint64_t u64(const char* field = "u64");
+  std::int64_t i64(const char* field = "i64") {
+    return static_cast<std::int64_t>(u64(field));
+  }
+  bool b(const char* field = "bool");
+  double f64(const char* field = "f64") {
+    return std::bit_cast<double>(u64(field));
+  }
+  std::string str(const char* field = "string");
+  Bytes blob(const char* field = "blob");
+
+  std::size_t remaining() const { return r_.remaining(); }
+  /// Decoding a fixed-layout record must consume it exactly; trailing
+  /// bytes mean the reader and writer disagree about the format.
+  void expect_end(const char* what = "record");
+
+ private:
+  Reader r_;
+};
+
+}  // namespace ptperf::util

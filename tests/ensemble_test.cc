@@ -363,13 +363,17 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(
         EnsembleFigure{"bench_fig2a_website_curl", "fig2a_boxes.csv",
                        "fig2a_ensemble.csv", "fig2a_ensemble_paired.csv"},
+        EnsembleFigure{"bench_fig2b_website_selenium", "fig2b_boxes.csv",
+                       "fig2b_ensemble.csv", "fig2b_ensemble_paired.csv"},
         EnsembleFigure{"bench_fig6_ttfb", "fig6_ttfb_ecdf.csv",
                        "fig6_ensemble.csv", "fig6_ensemble_paired.csv"},
         EnsembleFigure{"bench_fig8_reliability", "fig8a_outcomes.csv",
                        "fig8_ensemble.csv", "fig8_ensemble_paired.csv",
                        "--faults paper --retries 1"},
         EnsembleFigure{"bench_fig9_overhead", "fig9_overhead.csv",
-                       "fig9_ensemble.csv", "fig9_ensemble_paired.csv"}),
+                       "fig9_ensemble.csv", "fig9_ensemble_paired.csv"},
+        EnsembleFigure{"bench_fig10_snowflake_load", "fig10b_boxes.csv",
+                       "fig10_ensemble.csv", "fig10_ensemble_paired.csv"}),
     [](const ::testing::TestParamInfo<EnsembleFigure>& info) {
       return std::string(info.param.bench);
     });

@@ -1,0 +1,9 @@
+// Must be clean: checkpoint-io is scoped to src/ptperf/ — file IO in the
+// presentation layer (tools, bench harness internals) is out of scope.
+#include <cstdio>
+
+int dump(const char* path) {
+  FILE* f = fopen(path, "wb");
+  if (f) fwrite("ok", 1, 2, f);
+  return 0;
+}

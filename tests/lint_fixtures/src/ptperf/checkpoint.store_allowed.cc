@@ -1,0 +1,14 @@
+// Must be clean: neither checkpoint-io nor banned-thread applies under
+// src/ptperf/checkpoint* — the snapshot store is the one sanctioned raw
+// file writer in the engine layer, and it guards its unit map with a
+// mutex so the shard pool can record() concurrently.
+#include <cstdio>
+#include <mutex>
+
+int snapshot(const char* path) {
+  std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  FILE* f = fopen(path, "wb");
+  if (f) fwrite("PTCK", 1, 4, f);
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Must trigger checkpoint-io: raw file IO in the campaign engine outside
+// the snapshot store's atomic temp+rename path.
+#include <cstdio>
+#include <fstream>
+
+int persist(const char* path) {
+  FILE* f = fopen(path, "wb");
+  if (f) {
+    fwrite("x", 1, 1, f);
+  }
+  std::ofstream side(path);
+  side << "torn on crash";
+  return 0;
+}

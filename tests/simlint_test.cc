@@ -109,6 +109,9 @@ TEST_F(SimlintCorpus, EveryRuleFiresOnItsTriggerFixture) {
   EXPECT_TRUE(has_finding(out, "src/net/raw_instrumentation_trigger.cc",
                           "raw-instrumentation"))
       << out;
+  EXPECT_TRUE(has_finding(out, "src/ptperf/checkpoint_io_trigger.cc",
+                          "checkpoint-io"))
+      << out;
   EXPECT_TRUE(has_finding(out, "bench/transport_bypass_trigger.cc",
                           "transport-bypass"))
       << out;
@@ -137,6 +140,8 @@ TEST_F(SimlintCorpus, TriggerFixturesReportExpectedCounts) {
   // <iostream> include, std::cerr, std::printf, fprintf — snprintf is legal.
   EXPECT_EQ(count_findings(out, "raw_instrumentation_trigger.cc"), 4) << out;
   EXPECT_EQ(count_findings(out, "transport_bypass_trigger.cc"), 1) << out;
+  // <cstdio> + <fstream> includes, FILE, fopen(), fwrite(), ofstream.
+  EXPECT_EQ(count_findings(out, "checkpoint_io_trigger.cc"), 6) << out;
   // ShardedCampaignConfig + ShardedCampaign, one finding each.
   EXPECT_EQ(count_findings(out, "ensemble_bypass_trigger.cc"), 2) << out;
   // One == and one != with floating operands.
@@ -173,6 +178,7 @@ TEST_F(SimlintCorpus, NoFalsePositivesOnNegativeSpaceFixtures) {
   // Path-scoped rules must stay scoped to the deterministic core.
   EXPECT_EQ(count_findings(out, "hash_container_elsewhere.cc"), 0) << out;
   EXPECT_EQ(count_findings(out, "sharded_campaign_elsewhere.cc"), 0) << out;
+  EXPECT_EQ(count_findings(out, "checkpoint_io_elsewhere.cc"), 0) << out;
   // Owning copies off the cell hot path, and views/references on it.
   EXPECT_EQ(count_findings(out, "hot_path_copy_elsewhere.cc"), 0) << out;
   EXPECT_EQ(count_findings(out, "hot_path_copy_views_ok.cc"), 0) << out;
@@ -296,7 +302,7 @@ TEST(Simlint, ListRulesNamesEveryRule) {
   for (const char* rule :
        {"banned-time", "banned-rng", "banned-thread", "hash-container",
         "pointer-keyed-map", "unsafe-c", "raw-instrumentation",
-        "transport-bypass", "ensemble-bypass", "pragma-once",
+        "checkpoint-io", "transport-bypass", "ensemble-bypass", "pragma-once",
         "using-namespace-header", "include-cycle", "layer-violation",
         "unordered-iteration", "float-eq", "switch-exhaustive",
         "hot-path-copy", "unused-suppression", "bad-suppression"}) {

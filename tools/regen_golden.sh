@@ -13,8 +13,8 @@
 #      golden: a drift means the single-run pipeline changed, which the
 #      ensemble layer alone must never do. The script aborts on drift
 #      unless ALLOW_DRIFT=1 acknowledges an intentional model change.
-#   2. Ensemble goldens from --repeats 3 --jobs 2 (fig2a, fig5, fig6,
-#      fig8, fig9), regenerated from the base-verified build.
+#   2. Ensemble goldens from --repeats 3 --jobs 2 (fig2a, fig2b, fig5,
+#      fig6, fig8, fig9, fig10), regenerated from the base-verified build.
 #
 # Flags here must match the test files exactly. `#` comment lines
 # (seed/jobs/wall_s) are stripped: wall-clock is outside the determinism
@@ -45,10 +45,12 @@ run_base() {
 }
 
 run_base bench_fig2a_website_curl fig2a_boxes.csv
+run_base bench_fig2b_website_selenium fig2b_boxes.csv
 run_base bench_fig5_file_download fig5_times.csv
 run_base bench_fig6_ttfb fig6_ttfb_ecdf.csv
 run_base bench_fig8_reliability fig8a_outcomes.csv --faults paper --retries 1
 run_base bench_fig9_overhead fig9_overhead.csv
+run_base bench_fig10_snowflake_load fig10b_boxes.csv
 
 if [ "$DRIFTED" -ne 0 ] && [ "${ALLOW_DRIFT:-0}" != "1" ]; then
   echo "" >&2
@@ -58,8 +60,9 @@ if [ "$DRIFTED" -ne 0 ] && [ "${ALLOW_DRIFT:-0}" != "1" ]; then
   exit 1
 fi
 
-for csv in fig2a_boxes.csv fig5_times.csv fig6_ttfb_ecdf.csv \
-           fig8a_outcomes.csv fig9_overhead.csv; do
+for csv in fig2a_boxes.csv fig2b_boxes.csv fig5_times.csv \
+           fig6_ttfb_ecdf.csv fig8a_outcomes.csv fig9_overhead.csv \
+           fig10b_boxes.csv; do
   cp "$TMP/stage_$csv" "$ROOT/tests/golden/$csv"
   echo "regenerated tests/golden/$csv"
 done
@@ -90,9 +93,13 @@ run_ensemble() {
 
 run_ensemble bench_fig2a_website_curl fig2a_ensemble.csv \
   fig2a_ensemble_paired.csv
+run_ensemble bench_fig2b_website_selenium fig2b_ensemble.csv \
+  fig2b_ensemble_paired.csv
 run_ensemble bench_fig5_file_download fig5_ensemble.csv \
   fig5_ensemble_paired.csv
 run_ensemble bench_fig6_ttfb fig6_ensemble.csv fig6_ensemble_paired.csv
 run_ensemble bench_fig8_reliability --faults paper --retries 1 \
   fig8_ensemble.csv fig8_ensemble_paired.csv
 run_ensemble bench_fig9_overhead fig9_ensemble.csv fig9_ensemble_paired.csv
+run_ensemble bench_fig10_snowflake_load fig10_ensemble.csv \
+  fig10_ensemble_paired.csv

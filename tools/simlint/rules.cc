@@ -160,7 +160,9 @@ constexpr std::string_view kThreadWhy =
     "shards via ptperf::ParallelExecutor (src/ptperf/parallel.h) instead";
 
 void check_banned_thread(const FileScan& scan, std::vector<Finding>& out) {
-  if (path_under(scan, {"src/ptperf/parallel", "bench/"})) return;
+  if (path_under(scan,
+                 {"src/ptperf/parallel", "src/ptperf/checkpoint.", "bench/"}))
+    return;
   ban_idents(scan, out, "banned-thread",
              {"thread", "jthread", "mutex", "recursive_mutex", "timed_mutex",
               "recursive_timed_mutex", "shared_mutex", "shared_timed_mutex",
@@ -175,8 +177,9 @@ void check_banned_thread(const FileScan& scan, std::vector<Finding>& out) {
                {"<thread>", "<mutex>", "<future>", "<condition_variable>",
                 "<shared_mutex>", "<latch>", "<barrier>", "<semaphore>",
                 "<pthread.h>"},
-               "pulls in threading primitives; only src/ptperf/parallel.* "
-               "and bench/ may spawn or synchronize threads");
+               "pulls in threading primitives; only src/ptperf/parallel.*, "
+               "src/ptperf/checkpoint.* and bench/ may spawn or synchronize "
+               "threads");
 }
 
 // ---------------------------------------------------------------------------
@@ -311,6 +314,36 @@ void check_raw_instrumentation(const FileScan& scan,
   ban_includes(scan, out, "raw-instrumentation", {"<iostream>"},
                "pulls in global stream objects; library code reports "
                "through the flight recorder (src/trace/trace.h)");
+}
+
+// ---------------------------------------------------------------------------
+// Rule: checkpoint-io — raw file writes in src/ptperf/ outside the snapshot
+// store bypass its atomic temp+rename discipline: a crash mid-write would
+// leave a torn file that --resume then trusts, and the byte-identity
+// contract (docs/CHECKPOINTING.md) only holds for state that went through
+// the versioned, checksummed snapshot codec. checkpoint.cc's
+// atomic_write_file is the one sanctioned raw-file path in the engine
+// layer; everything else persists state by handing bytes to the Store.
+
+constexpr std::string_view kCheckpointIoWhy =
+    "is raw file IO in the campaign engine; persist state through "
+    "checkpoint::Store (src/ptperf/checkpoint.h) so writes stay atomic, "
+    "checksummed and resumable";
+
+void check_checkpoint_io(const FileScan& scan, std::vector<Finding>& out) {
+  if (!path_under(scan, {"src/ptperf/"})) return;
+  // Trailing dot: exactly checkpoint.{h,cc}, not e.g. checkpoint_io_*.
+  if (path_under(scan, {"src/ptperf/checkpoint."})) return;
+  ban_idents(scan, out, "checkpoint-io", {"ofstream", "fstream", "FILE"},
+             kCheckpointIoWhy);
+  ban_calls(scan, out, "checkpoint-io",
+            {"fopen", "freopen", "fwrite", "open", "creat"},
+            kCheckpointIoWhy);
+  ban_includes(scan, out, "checkpoint-io",
+               {"<fstream>", "<cstdio>", "<stdio.h>", "<fcntl.h>"},
+               "pulls in raw file IO; only src/ptperf/checkpoint.* touches "
+               "the filesystem in the engine layer (atomic temp+rename "
+               "snapshot writes)");
 }
 
 // ---------------------------------------------------------------------------
@@ -683,6 +716,9 @@ const std::vector<Rule> kRules = {
     {"raw-instrumentation",
      "printf/stream telemetry in src/ outside src/trace and src/util",
      check_raw_instrumentation, nullptr},
+    {"checkpoint-io",
+     "raw file IO in src/ptperf outside the checkpoint.* snapshot store",
+     check_checkpoint_io, nullptr},
     {"transport-bypass",
      "direct *Transport construction outside src/pt/ and the PtId registry",
      check_transport_bypass, nullptr},

@@ -14,6 +14,8 @@
 #include "pt/dnstt.h"
 #include "pt/fully_encrypted.h"
 
+#include "population/contention.h"
+
 #include "common.h"
 
 namespace ptperf::bench {
@@ -220,7 +222,7 @@ void ablate_snowflake_churn(const BenchArgs& args) {
     TransportFactory factory(scenario);
     PtStack stack = factory.create(PtId::kSnowflake);
     // Overloaded proxy pool, but with the churn rate under sweep control.
-    stack.snowflake->set_overloaded(true);
+    population::apply_regime(*stack.snowflake, true);
     stack.snowflake->set_proxy_lifetime_mean(lifetime);
     CampaignOptions copts;
     copts.file_reps = scaled_int(4, args.scale, 3);

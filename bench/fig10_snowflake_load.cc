@@ -1,25 +1,34 @@
 // Reproduces Figure 10a/10b + §5.3: snowflake before and after the
-// September-2022 Iran unrest. 10a's Tor-Metrics user series is replaced by
-// the scenario's load timeline (the simulation's forcing function); 10b
-// compares website access time across the two regimes. Also §5.3's
-// companion check: 5 MB download attempts mostly fail post-surge.
+// September-2022 Iran unrest. 10a's Tor-Metrics user series is the
+// population engine's emergent trajectory: five simulated country cohorts
+// (two Iranian fleets surge-affected) produce active-session demand that
+// saturates the volunteer-proxy pool, and the pre/post operating points
+// fall out of the contention curves instead of being hand-set. 10b
+// compares website access time across the two emergent regimes; §5.3's
+// companion check (5 MB downloads mostly fail post-surge) runs at the
+// post-surge utilization.
 //
-// Runs on the sharded engine: each load regime is its own campaign whose
-// configure_stack hook flips the shard's snowflake ecosystem into the
-// pre- or post-surge state before any measurement starts.
+// Runs on the sharded engine: cohorts shard across the pool (jobs-
+// independent, merged in plan order), and each load regime is its own
+// campaign whose configure_stack hook applies the emergent utilization
+// through population::apply_snowflake before any measurement starts.
+#include "population/contention.h"
+
 #include "common.h"
 
 namespace ptperf::bench {
 namespace {
 
-/// Ensemble website campaign against snowflake pinned to one load regime.
+/// Ensemble website campaign against snowflake pinned to one emergent
+/// pool utilization.
 EnsembleRuns<WebsiteSample> run_regime(const EnsembleCampaignConfig& base,
                                        const SiteSelection& sites,
-                                       bool overloaded,
+                                       double utilization,
                                        std::vector<ShardTiming>& timings) {
   EnsembleCampaignConfig cfg = base;
-  cfg.base.configure_stack = [overloaded](Scenario&, PtStack& stack) {
-    if (stack.snowflake) stack.snowflake->set_overloaded(overloaded);
+  cfg.base.configure_stack = [utilization](Scenario&, PtStack& stack) {
+    if (stack.snowflake) population::apply_snowflake(*stack.snowflake,
+                                                     utilization);
   };
   EnsembleCampaign engine(cfg);
   auto runs = engine.run_website_curl({PtId::kSnowflake}, sites);
@@ -47,22 +56,46 @@ int run(const BenchArgs& args) {
   cfg.campaign.website_reps = 3;
   SiteSelection sites{cfg.scenario.tranco_sites, 0};
 
-  // -- Figure 10a stand-in: the load forcing function over the timeline.
-  stats::Table timeline({"week", "era", "proxy_load", "proxy_lifetime_s",
+  // -- Population engine: simulate the user fleets, cohorts sharded over
+  // --jobs and merged in plan order. Repetition 0 rides the base seed.
+  population::IranSurge surge = population::iran_surge(12);
+  EnsembleCampaign pop_engine(ecfg);
+  std::vector<population::Trajectory> trajectories =
+      pop_engine.run_population(surge.pop);
+  const population::Trajectory& traj = trajectories.front();
+
+  // -- Figure 10a: the emergent load timeline, weekly aggregates of the
+  // trajectory run through the contention curves (anchor constants from
+  // the snowflake defaults — the same curves apply_snowflake uses).
+  pt::SnowflakeConfig anchors;
+  std::vector<population::WeekSummary> weeks =
+      population::weekly_view(surge, traj, anchors);
+  stats::Table timeline({"week", "era", "active_sessions", "utilization",
+                         "proxy_lifetime_s", "broker_match_s",
                          "relative_users"});
-  for (int week = 1; week <= 12; ++week) {
-    bool post = week >= 9;  // surge at the end of September
-    timeline.add_row({std::to_string(week), post ? "post-unrest" : "pre",
-                      post ? "0.88" : "0.25", post ? "60" : "600",
-                      post ? "8.0" : "1.0"});
+  for (const population::WeekSummary& w : weeks) {
+    timeline.add_row({std::to_string(w.week), w.post ? "post-unrest" : "pre",
+                      util::fmt_double(w.mean_active, 0),
+                      util::fmt_double(w.utilization, 3),
+                      util::fmt_double(w.proxy_lifetime_s, 1),
+                      util::fmt_double(w.broker_match_s, 3),
+                      util::fmt_double(w.relative_users, 2)});
   }
-  std::printf("-- Figure 10a (stand-in): simulated snowflake load timeline --\n");
+  std::printf("-- Figure 10a: emergent snowflake load timeline --\n");
   emit(timeline, args, "fig10a_timeline");
 
-  // -- Figure 10b: pre vs post access times.
+  // The two regimes' operating points, from the trajectory itself.
+  double split_hours = 24.0 * 7 * (surge.surge_week - 1);
+  double u_pre = surge.utilization_at(traj.mean_active(0, split_hours));
+  double u_post = surge.utilization_at(
+      traj.mean_active(split_hours, surge.pop.horizon_hours));
+  std::printf("emergent pool utilization: pre %.3f post %.3f\n", u_pre,
+              u_post);
+
+  // -- Figure 10b: pre vs post access times at the emergent utilizations.
   std::vector<ShardTiming> timings;
-  auto pre_runs = run_regime(ecfg, sites, /*overloaded=*/false, timings);
-  auto post_runs = run_regime(ecfg, sites, /*overloaded=*/true, timings);
+  auto pre_runs = run_regime(ecfg, sites, u_pre, timings);
+  auto post_runs = run_regime(ecfg, sites, u_post, timings);
   const auto& pre = pre_runs.first();
   const auto& post = post_runs.first();
 
@@ -100,11 +133,12 @@ int run(const BenchArgs& args) {
   emit_ensemble(regime_series, args, "fig10_ensemble", "mean_access_time",
                 EnsembleUnit::kSeconds, "pre-Sept");
 
-  // -- §5.3 companion: 5 MB downloads post-surge mostly fail.
+  // -- §5.3 companion: 5 MB downloads at the post-surge utilization.
   EnsembleCampaignConfig fcfg = ecfg;
   fcfg.base.campaign.file_reps = scaled_int(5, args.scale, 3);
-  fcfg.base.configure_stack = [](Scenario&, PtStack& stack) {
-    if (stack.snowflake) stack.snowflake->set_overloaded(true);
+  fcfg.base.configure_stack = [u_post](Scenario&, PtStack& stack) {
+    if (stack.snowflake) population::apply_snowflake(*stack.snowflake,
+                                                     u_post);
   };
   EnsembleCampaign file_engine(fcfg);
   auto file_runs =

@@ -3,6 +3,8 @@
 // load times (meek worst proxy-layer, marionette worst mimicry), while
 // the speed index sits well below the full load time because it weighs
 // early-painting visual elements.
+#include "population/contention.h"
+
 #include "common.h"
 
 namespace ptperf::bench {
@@ -28,7 +30,7 @@ int run(const BenchArgs& args) {
   std::vector<std::pair<std::string, std::vector<double>>> groups;
 
   auto measure = [&](PtStack stack) {
-    if (stack.snowflake) stack.snowflake->set_overloaded(true);
+    if (stack.snowflake) population::apply_regime(*stack.snowflake, true);
     auto samples = campaign.run_website_selenium(stack, sites);
     if (samples.empty()) {
       std::printf("%-12s excluded (no parallel streams)\n",

@@ -4,16 +4,28 @@
 // Expected: every post week sits above the pre baseline; the load never
 // recovered.
 //
+// Both paths are anchored on the population engine's emergent trajectory
+// (src/population/): each window's snowflake operating point is the pool
+// utilization produced by the simulated user fleets over that window's
+// slice of the surge timeline, applied through population::apply_snowflake
+// — not a hand-set overload flag. The trajectory marches forward step by
+// step per cohort, so extending the horizon (more --windows on a resumed
+// run) only appends steps: earlier windows' utilizations are byte-stable.
+//
 // --monitor generalizes the fixed five-week loop into a continuous
 // monitor service on the sharded engine: each --interval-hours window is
 // one checkpointed campaign over the same pinned site list (window 0 is
-// the pre-unrest baseline, later windows run overloaded), and
-// fig12_monitor.csv grows one row per completed window — rewritten
-// incrementally, so a reader always sees every finished window. With
-// --checkpoint, completed windows snapshot between campaigns; a killed
-// monitor resumed with --resume replays them from the snapshot and
+// the pre-unrest baseline, later windows run at their emergent post-surge
+// utilization), and fig12_monitor.csv grows one row per completed window —
+// rewritten incrementally, so a reader always sees every finished window.
+// With --checkpoint, completed windows snapshot between campaigns; a
+// killed monitor resumed with --resume replays them from the snapshot and
 // continues appending, byte-identically. Raising --windows on a resumed
 // run extends the series. See docs/CHECKPOINTING.md.
+#include <cmath>
+
+#include "population/contention.h"
+
 #include "common.h"
 
 namespace ptperf::bench {
@@ -27,6 +39,26 @@ std::uint64_t window_seed(std::uint64_t base_seed, int window) {
   return sim::Rng(base_seed)
       .fork("window/" + std::to_string(window))
       .next_u64();
+}
+
+/// The surge scenario sized to cover `hours_needed` of timeline (never
+/// less than the canonical 12 weeks). Extending the horizon only appends
+/// trajectory steps — the covered prefix is byte-stable.
+population::IranSurge surge_covering(double hours_needed) {
+  int weeks = static_cast<int>(std::ceil(hours_needed / (24.0 * 7)));
+  return population::iran_surge(weeks < 12 ? 12 : weeks);
+}
+
+/// Window w's emergent pool utilization: the pre-surge mean for the
+/// baseline window, the mean over the window's own post-surge slice
+/// otherwise.
+double window_utilization(const population::IranSurge& surge,
+                          const population::Trajectory& traj, int window,
+                          double interval_hours) {
+  double split = 24.0 * 7 * (surge.surge_week - 1);
+  if (window == 0) return surge.utilization_at(traj.mean_active(0, split));
+  double h0 = split + (window - 1) * interval_hours;
+  return surge.utilization_at(traj.mean_active(h0, h0 + interval_hours));
 }
 
 int run_monitor(const BenchArgs& args) {
@@ -44,14 +76,23 @@ int run_monitor(const BenchArgs& args) {
   ecfg.base.scenario.corpus_seed = args.seed;
   ecfg.base.campaign.website_reps = 3;  // paper: 5
 
-  stats::Table series({"window", "t_hours", "regime", "pt", "n_sites",
-                       "mean_us", "p50_us", "p95_us", "fail_ppm"});
+  // The demand side: one fleet trajectory on the monitor's base seed,
+  // covering every window's slice of the surge timeline.
+  population::IranSurge surge = surge_covering(
+      24.0 * 7 * 8 + args.windows * args.interval_hours);
+  population::PopulationConfig pcfg = surge.pop;
+  pcfg.seed = args.seed;
+  population::Trajectory traj = population::PopulationModel(pcfg).simulate();
+
+  stats::Table series({"window", "t_hours", "regime", "utilization", "pt",
+                       "n_sites", "mean_us", "p50_us", "p95_us", "fail_ppm"});
   for (int w = 0; w < args.windows; ++w) {
     EnsembleCampaignConfig wcfg = ecfg;
     wcfg.base.scenario.seed = window_seed(args.seed, w);
-    bool overloaded = w > 0;  // window 0 = pre-unrest baseline
-    wcfg.base.configure_stack = [overloaded](Scenario&, PtStack& stack) {
-      if (stack.snowflake) stack.snowflake->set_overloaded(overloaded);
+    bool post = w > 0;  // window 0 = pre-unrest baseline
+    double u = window_utilization(surge, traj, w, args.interval_hours);
+    wcfg.base.configure_stack = [u](Scenario&, PtStack& stack) {
+      if (stack.snowflake) population::apply_snowflake(*stack.snowflake, u);
     };
 
     EnsembleCampaign engine(wcfg);
@@ -74,7 +115,8 @@ int run_monitor(const BenchArgs& args) {
     series.add_row({std::to_string(w),
                     util::fmt_double(static_cast<double>(w) *
                                          args.interval_hours, 1),
-                    overloaded ? "post" : "pre", "snowflake",
+                    post ? "post" : "pre", util::fmt_double(u, 3),
+                    "snowflake",
                     std::to_string(per_site.size()), stats::us_cell(mean_s),
                     stats::us_cell(p50_s), stats::us_cell(p95_s),
                     stats::ppm_cell(fail_frac)});
@@ -83,9 +125,9 @@ int run_monitor(const BenchArgs& args) {
     // before the next one starts, and the snapshot (if any) catches up.
     emit(series, args, "fig12_monitor", /*print_text=*/false);
     if (store) store->flush();
-    std::printf("  window %d (t=%.1fh, %s) done\n", w,
+    std::printf("  window %d (t=%.1fh, %s, u=%.3f) done\n", w,
                 static_cast<double>(w) * args.interval_hours,
-                overloaded ? "post" : "pre");
+                post ? "post" : "pre", u);
     std::fflush(stdout);
   }
 
@@ -117,15 +159,25 @@ int run(const BenchArgs& args) {
   Campaign campaign(scenario, copts);
   auto sites = Campaign::take_sites(scenario.tranco(), cfg.tranco_sites);
 
+  // Five post-surge weeks after the pre baseline: the canonical 12-week
+  // surge timeline has exactly that shape (surge at week 9, weeks 9-12
+  // post) plus one extra week of horizon for week 5.
+  population::IranSurge surge = surge_covering(24.0 * 7 * 13);
+  population::PopulationConfig pcfg = surge.pop;
+  pcfg.seed = args.seed;
+  population::Trajectory traj = population::PopulationModel(pcfg).simulate();
+
   PtStack stack = factory.create(PtId::kSnowflake);
   stats::Table boxes(box_header());
 
-  stack.snowflake->set_overloaded(false);
+  population::apply_snowflake(
+      *stack.snowflake, window_utilization(surge, traj, 0, 24.0 * 7));
   auto pre = campaign.run_website_curl(stack, sites);
   boxes.add_row(box_row("pre-unrest", per_site_means(pre)));
 
-  stack.snowflake->set_overloaded(true);
   for (int week = 1; week <= 5; ++week) {
+    population::apply_snowflake(
+        *stack.snowflake, window_utilization(surge, traj, week, 24.0 * 7));
     auto samples = campaign.run_website_curl(stack, sites);
     boxes.add_row(box_row("week" + std::to_string(week),
                           per_site_means(samples)));

@@ -7,6 +7,8 @@
 //   * snowflake is much slower than in Fig 2a because the selenium runs
 //     happened during the post-September-2022 user surge (§5.3);
 //   * camoufler is absent (no parallel-stream support).
+#include "population/contention.h"
+
 #include "common.h"
 
 namespace ptperf::bench {
@@ -24,7 +26,7 @@ int run(const BenchArgs& args) {
   // The paper's selenium campaign ran from November 2022 on: snowflake
   // was overloaded for its duration.
   cfg.configure_stack = [](Scenario&, PtStack& stack) {
-    if (stack.snowflake) stack.snowflake->set_overloaded(true);
+    if (stack.snowflake) population::apply_regime(*stack.snowflake, true);
   };
   EnsembleCampaign engine(ecfg);
 

@@ -6,6 +6,8 @@
 // excludes dnstt, snowflake and meek. Expected shape:
 // obfs4/cloak/psiphon/webtunnel fastest PT cluster; camoufler the slowest
 // completer; marionette pinned at the timeout.
+#include "population/contention.h"
+
 #include "common.h"
 
 namespace ptperf::bench {
@@ -21,7 +23,7 @@ int run(const BenchArgs& args) {
   cfg.campaign.file_reps = scaled_int(3, args.scale, 2);
   // The paper's file campaign overlapped the snowflake load surge.
   cfg.configure_stack = [](Scenario&, PtStack& stack) {
-    if (stack.snowflake) stack.snowflake->set_overloaded(true);
+    if (stack.snowflake) population::apply_regime(*stack.snowflake, true);
   };
   EnsembleCampaign engine(ecfg);
 

@@ -8,6 +8,8 @@
 // Expected: meek/dnstt/snowflake mostly partial (>80%); camoufler and meek
 // show a slice of total failures; the reliable cluster (obfs4, cloak,
 // psiphon, webtunnel, shadowsocks) completes essentially everything.
+#include "population/contention.h"
+
 #include "common.h"
 
 namespace ptperf::bench {
@@ -39,7 +41,7 @@ int run(const BenchArgs& args) {
     };
   }
   cfg.configure_stack = [](Scenario&, PtStack& stack) {
-    if (stack.snowflake) stack.snowflake->set_overloaded(true);
+    if (stack.snowflake) population::apply_regime(*stack.snowflake, true);
   };
   EnsembleCampaign engine(ecfg);
 

@@ -21,6 +21,7 @@
 #include "crypto/sha256.h"
 #include "crypto/x25519.h"
 #include "net/dns.h"
+#include "population/contention.h"
 #include "sim/event_loop.h"
 #include "sim/rng.h"
 #include "stats/ttest.h"
@@ -261,6 +262,25 @@ void BM_EventLoopSchedule(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_EventLoopSchedule);
+
+/// One fleet step of the population engine over the canonical fig10
+/// cohort mix: per-cohort survivor thinning + Poisson arrivals + exposure
+/// thinning (src/population/population.cc). The reported rate is
+/// cohort-steps/s; fig10's 12-week, 5-cohort trajectory is ~10k of these,
+/// so this bounds how cheap the emergent-load mode keeps the benches.
+void BM_PopulationStep(benchmark::State& state) {
+  population::IranSurge surge = population::iran_surge(12);
+  const std::size_t cohort_steps =
+      surge.pop.steps() * surge.pop.cohorts.size();
+  for (auto _ : state) {
+    population::Trajectory traj =
+        population::PopulationModel(surge.pop).simulate();
+    benchmark::DoNotOptimize(traj.active.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(cohort_steps));
+}
+BENCHMARK(BM_PopulationStep);
 
 void BM_PairedTTest(benchmark::State& state) {
   sim::Rng rng(8);

@@ -7,6 +7,8 @@
 // sessions; marionette cannot sustain the bitrate at all.
 #include "workload/streaming.h"
 
+#include "population/contention.h"
+
 #include "common.h"
 
 namespace ptperf::bench {
@@ -31,7 +33,7 @@ int run(const BenchArgs& args) {
   int reps = scaled_int(3, 1.0, 2);
 
   auto measure = [&](PtStack stack) {
-    if (stack.snowflake) stack.snowflake->set_overloaded(true);
+    if (stack.snowflake) population::apply_regime(*stack.snowflake, true);
     int started = 0, completed = 0, rebuffers = 0;
     double startup_sum = 0, stall_sum = 0, goodput_sum = 0;
     int startup_n = 0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "net/resource.h"
+
 namespace ptperf::net {
 namespace {
 

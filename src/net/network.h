@@ -20,6 +20,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "fault/fault_injector.h"
@@ -64,6 +65,8 @@ struct ConnectOptions {
 };
 
 class Network;
+class ContendedResource;
+struct ContendedResourceSpec;
 
 namespace detail {
 /// Per-direction transmission bookkeeping for one connection.
@@ -123,16 +126,29 @@ class Network {
   using ErrorHandler = std::function<void(std::string)>;
 
   Network(sim::EventLoop& loop, sim::Rng rng, Topology topology = Topology());
+  ~Network();
 
   HostId add_host(std::string name, Region region, HostTraits traits = {});
 
   Region region_of(HostId h) const;
   const std::string& name_of(HostId h) const;
 
-  /// Adjusts background load at runtime (scenario changes, e.g. the Iran
-  /// surge flipping snowflake proxies from 0.2 to 0.85 load).
+  /// Adjusts background load at runtime. This is the population engine's
+  /// private sink: demand lands here through a registered
+  /// ContendedResource (net/resource.h), driven from src/population.
+  /// Direct pokes from benches or scenario code are banned by simlint's
+  /// load-bypass rule — hand-set load is exactly the unmodeled-contention
+  /// trap the population engine retires.
   void set_background_load(HostId h, double load);
   double background_load(HostId h) const;
+
+  /// Registers a shared pool (volunteer proxies, CDN front, bridge link)
+  /// for demand-driven utilization. Registration is inert — no host trait
+  /// changes until the resource is driven. The reference stays valid for
+  /// the Network's lifetime.
+  ContendedResource& add_resource(ContendedResourceSpec spec);
+  ContendedResource* find_resource(std::string_view name);
+  const std::vector<std::unique_ptr<ContendedResource>>& resources() const;
 
   /// Registers a service acceptor on a host. One acceptor per
   /// (host, service).
@@ -185,6 +201,7 @@ class Network {
   sim::Rng rng_;
   Topology topo_;
   std::vector<HostState> hosts_;
+  std::vector<std::unique_ptr<ContendedResource>> resources_;
   std::map<std::pair<HostId, std::string>, AcceptHandler> acceptors_;
   std::uint64_t total_bytes_ = 0;
   fault::FaultInjector* fault_ = nullptr;

@@ -1,0 +1,67 @@
+#include "net/resource.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "trace/trace.h"
+
+namespace ptperf::net {
+
+ContendedResource::ContendedResource(Network& net, ContendedResourceSpec spec)
+    : net_(&net), spec_(std::move(spec)) {}
+
+double ContendedResource::utilization_for(double demand_sessions,
+                                          const ContendedResourceSpec& spec) {
+  if (demand_sessions <= 0 || spec.capacity_sessions <= 0) return 0;
+  double u =
+      spec.max_utilization *
+      (1.0 - std::exp(-demand_sessions / spec.capacity_sessions));
+  return std::clamp(u, 0.0, spec.max_utilization);
+}
+
+void ContendedResource::set_demand(double active_sessions) {
+  demand_ = std::max(0.0, active_sessions);
+  utilization_ = utilization_for(demand_, spec_);
+  apply();
+}
+
+void ContendedResource::set_utilization(double utilization) {
+  utilization_ = std::clamp(utilization, 0.0, spec_.max_utilization);
+  // Invert the curve so demand() stays consistent with what set_demand
+  // would have needed to land here (max_utilization pins to infinity;
+  // report the capacity scale as a sentinel-free stand-in).
+  double frac = utilization_ / spec_.max_utilization;
+  demand_ = frac >= 1.0 ? spec_.capacity_sessions
+                        : -spec_.capacity_sessions * std::log(1.0 - frac);
+  apply();
+}
+
+void ContendedResource::apply() {
+  for (HostId h : spec_.hosts) net_->set_background_load(h, utilization_);
+  if (trace::Recorder* rec = net_->loop().recorder()) {
+    rec->count("population/" + spec_.name + "/applied", 1);
+    rec->observe("population/" + spec_.name + "/utilization", utilization_);
+  }
+}
+
+Network::~Network() = default;
+
+ContendedResource& Network::add_resource(ContendedResourceSpec spec) {
+  resources_.push_back(
+      std::make_unique<ContendedResource>(*this, std::move(spec)));
+  return *resources_.back();
+}
+
+ContendedResource* Network::find_resource(std::string_view name) {
+  for (const std::unique_ptr<ContendedResource>& r : resources_) {
+    if (r->spec().name == name) return r.get();
+  }
+  return nullptr;
+}
+
+const std::vector<std::unique_ptr<ContendedResource>>& Network::resources()
+    const {
+  return resources_;
+}
+
+}  // namespace ptperf::net

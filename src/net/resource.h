@@ -1,0 +1,75 @@
+// Contended shared infrastructure. A ContendedResource is a pool of hosts
+// (the snowflake volunteer-proxy fleet, a meek CDN front, a bridge's
+// access link) whose service quality degrades as the sessions demanding it
+// approach its capacity. Transports and scenario setup *register* their
+// pools here; the population engine (src/population) *drives* them by
+// setting demand, and the resulting utilization lands on the member
+// hosts' background load — the engine's private sink. Hand-poking
+// Network::set_background_load from benches or scenario code is banned by
+// simlint's load-bypass rule; registration itself is inert and changes no
+// host trait until demand or utilization is applied.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+
+namespace ptperf::net {
+
+/// Static description of one shared pool.
+struct ContendedResourceSpec {
+  /// Stable lookup key ("snowflake/proxies", "meek-front/cdn",
+  /// "bridge/bridge12", ...). Also the trace counter namespace:
+  /// applications record under "population/<name>/...".
+  std::string name;
+  /// Member hosts the pool's utilization is applied to.
+  std::vector<HostId> hosts;
+  /// Demand scale of the saturation curve: the active-session count at
+  /// which the pool reaches 1 - 1/e (~63%) of max utilization.
+  double capacity_sessions = 1.0;
+  /// Utilization asymptote — a saturated pool queues ever harder, it
+  /// never reaches load 1.0 and bricks the M/M/1 delay model.
+  double max_utilization = 0.97;
+};
+
+/// One registered pool. Stable identity for the lifetime of the Network
+/// that owns it (Network::add_resource returns a reference that never
+/// moves).
+class ContendedResource {
+ public:
+  ContendedResource(Network& net, ContendedResourceSpec spec);
+
+  const ContendedResourceSpec& spec() const { return spec_; }
+  /// Last applied demand (active sessions); 0 until driven.
+  double demand() const { return demand_; }
+  /// Last applied utilization; 0 until driven.
+  double utilization() const { return utilization_; }
+
+  /// The saturation curve: u(D) = max_u * (1 - exp(-D / capacity)).
+  /// Concave and asymptotic — doubling an already-stressed pool's demand
+  /// moves it a little closer to max_u instead of past 1.0, which is how
+  /// an 8x user surge lands on ~0.88 utilization rather than 2.0
+  /// (docs/POPULATION.md derives the fig10 anchors).
+  static double utilization_for(double demand_sessions,
+                                const ContendedResourceSpec& spec);
+
+  /// Drives the pool from an active-session count through the saturation
+  /// curve onto every member host's background load.
+  void set_demand(double active_sessions);
+
+  /// Pins utilization directly (the legacy two-regime switch: snowflake's
+  /// set_overloaded applies its measured 0.25 / 0.88 anchors exactly,
+  /// bypassing the curve so pre-population figures stay byte-identical).
+  void set_utilization(double utilization);
+
+ private:
+  void apply();
+
+  Network* net_;
+  ContendedResourceSpec spec_;
+  double demand_ = 0;
+  double utilization_ = 0;
+};
+
+}  // namespace ptperf::net

@@ -1,0 +1,80 @@
+// Contention curves: from emergent user demand to transport operating
+// points. The population engine produces active-session trajectories
+// (population.h); this header maps them onto the snowflake ecosystem by
+// (1) running demand through the ContendedResource saturation curve and
+// (2) interpolating the churn/matching anchors measured in the paper's two
+// eras (§5.3) exponentially in pool utilization. The interpolation is
+// pinned so that the pre-era utilization reproduces the config's normal
+// constants exactly and the post-era utilization reproduces the overload
+// constants — the legacy regimes are two points on the emergent curve.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/resource.h"
+#include "population/population.h"
+#include "pt/snowflake.h"
+
+namespace ptperf::population {
+
+/// Churn/matching operating point at pool utilization `u`, interpolating
+/// exponentially through the config's two measured anchors:
+///   lifetime(u) = L0 * exp(-kL * (u - u0)),  lifetime(u1) = L1
+///   match(u)    = M0 * exp(+kM * (u - u0)),  match(u1)    = M1
+/// At u == cfg.proxy_load the result is the normal-era constants verbatim;
+/// at u == cfg.overload_proxy_load, the overload constants.
+pt::SnowflakeLoad snowflake_load_at(double utilization,
+                                    const pt::SnowflakeConfig& cfg);
+
+/// Applies the contention curves at `utilization` to a live transport.
+void apply_snowflake(pt::SnowflakeTransport& sf, double utilization);
+
+/// Applies a legacy two-regime anchor point. Behaviourally identical to
+/// sf.set_overloaded(overloaded); exists so benches route regime flips
+/// through the population layer (the simlint load-bypass rule bans direct
+/// set_overloaded calls in bench/).
+void apply_regime(pt::SnowflakeTransport& sf, bool overloaded);
+
+/// The September-2022 Iran surge as a population scenario: cohort mix,
+/// surge episode, and the volunteer-pool saturation parameters that map
+/// the fleet's active sessions onto snowflake pool utilization.
+struct IranSurge {
+  PopulationConfig pop;
+  double pool_capacity_sessions = 3.0e6;
+  double max_utilization = 0.97;
+  int weeks = 12;
+  /// First surge week (1-based), i.e. the paper's pre/post split point.
+  int surge_week = 9;
+
+  double utilization_at(double active_sessions) const {
+    net::ContendedResourceSpec spec;
+    spec.capacity_sessions = pool_capacity_sessions;
+    spec.max_utilization = max_utilization;
+    return net::ContendedResource::utilization_for(active_sessions, spec);
+  }
+};
+
+/// The canonical fig10/fig12 scenario: five country cohorts (two of them
+/// surge-affected Iranian fleets) whose merged stationary demand sits at
+/// ~0.9M active sessions pre-surge and ~8x that after onset, reproducing
+/// the pre/post utilization split the paper measured.
+IranSurge iran_surge(int horizon_weeks = 12);
+
+/// One row of fig10a's timeline: weekly aggregates of the trajectory run
+/// through the contention curves.
+struct WeekSummary {
+  int week = 0;             // 1-based
+  bool post = false;        // at/after the surge week
+  double mean_active = 0;   // mean active sessions over the week
+  double utilization = 0;   // pool utilization at mean_active
+  double proxy_lifetime_s = 0;
+  double broker_match_s = 0;
+  double relative_users = 0;  // mean_active / week-1 mean_active
+};
+
+std::vector<WeekSummary> weekly_view(const IranSurge& surge,
+                                     const Trajectory& traj,
+                                     const pt::SnowflakeConfig& cfg);
+
+}  // namespace ptperf::population

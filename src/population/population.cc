@@ -1,0 +1,167 @@
+#include "population/population.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ptperf::population {
+namespace detail {
+
+std::uint64_t poisson(sim::Rng& rng, double lambda) {
+  if (!(lambda > 0.0)) return 0;
+  if (lambda < 64.0) {
+    // Knuth: count uniforms until their product drops below exp(-lambda).
+    double limit = std::exp(-lambda);
+    double prod = 1.0;
+    std::uint64_t k = 0;
+    while (true) {
+      prod *= rng.next_double();
+      if (prod <= limit) return k;
+      ++k;
+    }
+  }
+  // Normal approximation; one draw regardless of lambda, clamped at zero.
+  double x = std::round(lambda + std::sqrt(lambda) * rng.normal(0.0, 1.0));
+  return x <= 0.0 ? 0 : static_cast<std::uint64_t>(x);
+}
+
+std::uint64_t binomial(sim::Rng& rng, std::uint64_t n, double p) {
+  if (n == 0 || !(p > 0.0)) return 0;
+  if (p >= 1.0) return n;
+  if (n <= 64) {
+    std::uint64_t k = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (rng.next_bool(p)) ++k;
+    }
+    return k;
+  }
+  double nd = static_cast<double>(n);
+  double var = nd * p * (1.0 - p);
+  if (var >= 25.0) {
+    // Normal approximation is sound once sigma >= 5.
+    double x = std::round(nd * p + std::sqrt(var) * rng.normal(0.0, 1.0));
+    if (x <= 0.0) return 0;
+    std::uint64_t k = static_cast<std::uint64_t>(x);
+    return std::min(k, n);
+  }
+  // Large n, tiny p (or tiny q): Poisson thinning of the rarer side.
+  if (p <= 0.5) return std::min(poisson(rng, nd * p), n);
+  return n - std::min(poisson(rng, nd * (1.0 - p)), n);
+}
+
+}  // namespace detail
+
+std::size_t PopulationConfig::steps() const {
+  if (!(step_minutes > 0.0) || !(horizon_hours > 0.0)) return 0;
+  return static_cast<std::size_t>(
+      std::ceil(horizon_hours * 60.0 / step_minutes - 1e-9));
+}
+
+double Trajectory::mean_active(double h0, double h1) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    double t = hours_at(i);
+    if (t >= h0 && t < h1) {
+      sum += static_cast<double>(active[i]);
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+PopulationModel::PopulationModel(PopulationConfig config)
+    : cfg_(std::move(config)) {
+  if (!(cfg_.step_minutes > 0.0)) {
+    throw std::invalid_argument("population: step_minutes must be positive");
+  }
+}
+
+double PopulationModel::surge_multiplier(double t_hours) const {
+  double mult = 1.0;
+  for (const SurgeEpisode& s : cfg_.surges) {
+    if (t_hours < s.start_hour) continue;
+    if (s.ramp_hours <= 0.0 || t_hours >= s.start_hour + s.ramp_hours) {
+      mult *= s.peak_multiplier;
+    } else {
+      double frac = (t_hours - s.start_hour) / s.ramp_hours;
+      mult *= 1.0 + frac * (s.peak_multiplier - 1.0);
+    }
+  }
+  return mult;
+}
+
+double PopulationModel::rate_per_hour(const Cohort& c, double t_hours) const {
+  constexpr double kTwoPi = 6.283185307179586;
+  double diurnal =
+      1.0 + c.diurnal_amplitude *
+                std::cos(kTwoPi * (t_hours - c.peak_hour_utc) / 24.0);
+  double rate = c.arrivals_per_hour * c.adoption_weight * diurnal;
+  if (c.surge_affected) rate *= surge_multiplier(t_hours);
+  return std::max(0.0, rate);
+}
+
+CohortTrajectory PopulationModel::simulate_cohort(std::size_t index) const {
+  const Cohort& c = cfg_.cohorts.at(index);
+  CohortTrajectory out;
+  out.cohort = c.name;
+  std::size_t n = cfg_.steps();
+  out.arrivals.reserve(n);
+  out.active.reserve(n);
+
+  sim::Rng rng = sim::Rng(cfg_.seed).fork("population/" + c.name);
+  double step_hours = cfg_.step_minutes / 60.0;
+  // P(session still alive after one whole step) under exponential
+  // durations, and P(a session arriving uniformly within the step is still
+  // alive at step end) = (1 - e^{-d/tau}) * tau/d. The latter makes the
+  // stationary active count exactly lambda*tau (the continuous M/M/inf
+  // mean) for ANY step size — without it, coarse steps overestimate
+  // occupancy by d/tau / (1 - e^{-d/tau}).
+  double ratio = c.mean_session_minutes > 0.0
+                     ? cfg_.step_minutes / c.mean_session_minutes
+                     : 0.0;
+  double survive = ratio > 0.0 ? std::exp(-ratio) : 0.0;
+  double arrival_survive = ratio > 0.0 ? (1.0 - survive) / ratio : 0.0;
+
+  std::uint64_t active = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double t = static_cast<double>(i) * step_hours;
+    // Sample order is part of the determinism contract: departures of the
+    // carried-over sessions first, then this step's arrivals, then the
+    // within-step thinning of those arrivals.
+    active = detail::binomial(rng, active, survive);
+    std::uint64_t arrivals =
+        detail::poisson(rng, rate_per_hour(c, t) * step_hours);
+    active += detail::binomial(rng, arrivals, arrival_survive);
+    out.arrivals.push_back(arrivals);
+    out.active.push_back(active);
+  }
+  return out;
+}
+
+Trajectory PopulationModel::merge(const PopulationConfig& cfg,
+                                  const std::vector<CohortTrajectory>& cohorts) {
+  Trajectory out;
+  out.step_minutes = cfg.step_minutes;
+  std::size_t n = cfg.steps();
+  out.arrivals.assign(n, 0);
+  out.active.assign(n, 0);
+  for (const CohortTrajectory& c : cohorts) {
+    for (std::size_t i = 0; i < n && i < c.active.size(); ++i) {
+      out.arrivals[i] += c.arrivals[i];
+      out.active[i] += c.active[i];
+    }
+  }
+  return out;
+}
+
+Trajectory PopulationModel::simulate() const {
+  std::vector<CohortTrajectory> cohorts;
+  cohorts.reserve(cfg_.cohorts.size());
+  for (std::size_t i = 0; i < cfg_.cohorts.size(); ++i) {
+    cohorts.push_back(simulate_cohort(i));
+  }
+  return merge(cfg_, cohorts);
+}
+
+}  // namespace ptperf::population

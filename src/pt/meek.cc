@@ -4,6 +4,7 @@
 
 #include "fault/fault_injector.h"
 #include "net/http.h"
+#include "net/resource.h"
 #include "net/tls.h"
 #include "pt/layer/carrier.h"
 #include "pt/layer/rate_limit.h"
@@ -235,6 +236,12 @@ MeekTransport::MeekTransport(net::Network& net, const tor::Consensus& consensus,
         "poll " + std::to_string(sim::to_millis(config_.poll_min)) + ".." +
             std::to_string(sim::to_millis(config_.poll_max)) + " ms"},
        {layer::LayerKind::kCarrier, "http-poll", config_.front_domain}}});
+  // CDN capacity registers as a contended pool (inert until a population
+  // scenario drives it — meek's CDN quality is demand-dependent too).
+  net_->add_resource(net::ContendedResourceSpec{
+      config_.pool_name + "/cdn",
+      std::vector<net::HostId>{config_.front_host},
+      config_.cdn_capacity_sessions});
   start_bridge();
   start_front();
 }

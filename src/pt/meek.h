@@ -21,6 +21,13 @@ struct MeekConfig {
   tor::RelayIndex bridge = 0;       // meek server co-hosted with this bridge
   std::string front_domain = "ajax.cloudfront.example";
 
+  /// Names the transport's registered CDN resource "<pool_name>/cdn"
+  /// (net/resource.h); demand-driven scenarios saturate the front edge.
+  std::string pool_name = "meek";
+  /// Saturation-curve demand scale of the CDN edge: fronts are built for
+  /// whole-internet tenants, so PT demand moves them slowly.
+  double cdn_capacity_sessions = 50.0e6;
+
   std::size_t max_body = 64 * 1024;      // per poll response
   double bridge_rate_bytes_per_sec = 64e3;  // maintainer's rate limit
   sim::Duration front_processing = sim::from_millis(60);

@@ -2,6 +2,7 @@
 
 #include "fault/fault_injector.h"
 #include "net/http.h"
+#include "net/resource.h"
 #include "net/tls.h"
 #include "pt/layer/carrier.h"
 #include "pt/layer/handshake.h"
@@ -27,6 +28,15 @@ SnowflakeTransport::SnowflakeTransport(net::Network& net,
   match_mean_s_ = std::make_shared<double>(config_.broker_match_mean_s);
   tunnel_lifetime_mean_s_ =
       std::make_shared<double>(config_.proxy_lifetime_mean_s);
+  // Registration is inert; the regime switch below applies the initial
+  // operating point through the pool.
+  proxy_pool_ = &net_->add_resource(net::ContendedResourceSpec{
+      config_.pool_name + "/proxies", config_.proxy_hosts,
+      config_.pool_capacity_sessions});
+  broker_pool_ = &net_->add_resource(net::ContendedResourceSpec{
+      config_.pool_name + "/broker",
+      std::vector<net::HostId>{config_.broker_host},
+      config_.broker_capacity_sessions});
   set_overloaded(false);
   start_broker();
   start_proxies();
@@ -34,14 +44,26 @@ SnowflakeTransport::SnowflakeTransport(net::Network& net,
 
 void SnowflakeTransport::set_overloaded(bool overloaded) {
   overloaded_ = overloaded;
-  double load = overloaded ? config_.overload_proxy_load : config_.proxy_load;
-  for (net::HostId proxy : config_.proxy_hosts) {
-    net_->set_background_load(proxy, load);
+  apply_load(regime_load(overloaded));
+}
+
+SnowflakeLoad SnowflakeTransport::regime_load(bool overloaded) const {
+  if (overloaded) {
+    return SnowflakeLoad{config_.overload_proxy_load,
+                         config_.overload_lifetime_mean_s,
+                         config_.overload_broker_match_mean_s};
   }
-  *match_mean_s_ = overloaded ? config_.overload_broker_match_mean_s
-                              : config_.broker_match_mean_s;
-  *tunnel_lifetime_mean_s_ = overloaded ? config_.overload_lifetime_mean_s
-                                        : config_.proxy_lifetime_mean_s;
+  return SnowflakeLoad{config_.proxy_load, config_.proxy_lifetime_mean_s,
+                       config_.broker_match_mean_s};
+}
+
+void SnowflakeTransport::apply_load(const SnowflakeLoad& load) {
+  // The broker's matching delay models its queueing; its host resource is
+  // registered for demand-driven scenarios but not pinned here, so the
+  // legacy regime switch touches exactly the traits it always has.
+  proxy_pool_->set_utilization(load.proxy_load);
+  *match_mean_s_ = load.match_mean_s;
+  *tunnel_lifetime_mean_s_ = load.lifetime_mean_s;
 }
 
 void SnowflakeTransport::start_broker() {

@@ -5,9 +5,12 @@
 // exponential lifetime and dies mid-transfer — short website fetches
 // rarely notice, bulk downloads usually do (Fig 8).
 //
-// set_overloaded() flips the ecosystem into its post-September-2022 state
-// (§5.3): proxies saturated with users, slower broker matching, faster
-// churn.
+// The ecosystem's operating point is a SnowflakeLoad applied through
+// apply_load(): pool utilization, churn rate, broker matching delay.
+// set_overloaded() flips between the two measured anchors (pre- and
+// post-September-2022, §5.3) exactly; the population engine
+// (src/population/contention.h) interpolates between them from emergent
+// user demand.
 #pragma once
 
 #include <vector>
@@ -25,6 +28,15 @@ struct SnowflakeConfig {
   /// Domain-fronting detour to the broker.
   sim::Duration broker_front_extra = sim::from_millis(30);
 
+  /// Names the transport's registered ContendedResources:
+  /// "<pool_name>/proxies" and "<pool_name>/broker" (net/resource.h).
+  std::string pool_name = "snowflake";
+  /// Saturation-curve demand scale of the volunteer pool the simulated
+  /// proxies stand in for (sessions; matches population::iran_surge()).
+  double pool_capacity_sessions = 3.0e6;
+  /// Broker matching capacity (sessions in rendezvous per unit quality).
+  double broker_capacity_sessions = 1.5e6;
+
   // Normal-era parameters.
   double proxy_load = 0.25;
   double proxy_lifetime_mean_s = 600;
@@ -36,6 +48,16 @@ struct SnowflakeConfig {
   double overload_broker_match_mean_s = 2.5;
 };
 
+/// One operating point of the snowflake ecosystem. Produced either by the
+/// legacy two-regime switch (the SnowflakeConfig anchor constants,
+/// verbatim) or by the population engine's contention curves interpolating
+/// between those anchors (src/population/contention.h).
+struct SnowflakeLoad {
+  double proxy_load = 0.25;      // volunteer-pool utilization
+  double lifetime_mean_s = 600;  // tunnel churn (exponential mean)
+  double match_mean_s = 0.35;    // broker matching delay (exponential mean)
+};
+
 class SnowflakeTransport final : public Transport {
  public:
   SnowflakeTransport(net::Network& net, const tor::Consensus& consensus,
@@ -44,9 +66,26 @@ class SnowflakeTransport final : public Transport {
   const TransportInfo& info() const override { return info_; }
   tor::TorClient::FirstHopConnector connector() override;
 
-  /// Switches between the pre- and post-September-2022 user-load regimes.
+  /// Switches between the pre- and post-September-2022 user-load regimes,
+  /// applying the config's anchor constants exactly (byte-identity
+  /// contract for the pre-population figures).
   void set_overloaded(bool overloaded);
   bool overloaded() const { return overloaded_; }
+
+  /// Applies an arbitrary operating point — the population engine's
+  /// pathway (population::apply_snowflake maps emergent pool utilization
+  /// through the anchored contention curves onto this call).
+  void apply_load(const SnowflakeLoad& load);
+
+  /// The two legacy anchor operating points, from the config constants.
+  SnowflakeLoad regime_load(bool overloaded) const;
+
+  const SnowflakeConfig& config() const { return config_; }
+
+  /// The registered volunteer-pool resource (never null after
+  /// construction; stable for the Network's lifetime).
+  net::ContendedResource* proxy_pool() const { return proxy_pool_; }
+  net::ContendedResource* broker_pool() const { return broker_pool_; }
 
   /// Direct override of the proxy/tunnel lifetime (churn ablations).
   void set_proxy_lifetime_mean(double seconds) {
@@ -67,6 +106,8 @@ class SnowflakeTransport final : public Transport {
   const tor::Consensus* consensus_;
   sim::Rng rng_;
   SnowflakeConfig config_;
+  net::ContendedResource* proxy_pool_ = nullptr;
+  net::ContendedResource* broker_pool_ = nullptr;
   bool overloaded_ = false;
   TransportInfo info_;
   layer::LayerStack stack_;

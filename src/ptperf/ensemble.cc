@@ -113,6 +113,22 @@ EnsembleRuns<ReliabilitySample> EnsembleCampaign::run_reliability(
   });
 }
 
+std::vector<population::Trajectory> EnsembleCampaign::run_population(
+    const population::PopulationConfig& pcfg) {
+  std::vector<population::Trajectory> out;
+  int n = repeats();
+  out.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    ShardedCampaignConfig sc = cfg_.base;
+    sc.scenario.seed = repeat_seed(cfg_.base.scenario.seed, r);
+    if (r > 0) sc.trace_categories = 0;
+    ShardedCampaign engine(sc);
+    out.push_back(engine.run_population(pcfg));
+    for (const ShardTiming& t : engine.timings()) timings_.push_back(t);
+  }
+  return out;
+}
+
 EnsembleRuns<OverheadSample> EnsembleCampaign::run_overhead(
     const std::vector<PtId>& pts, const SiteSelection& sites) {
   return run_reps<OverheadSample>([&](ShardedCampaign& engine) {

@@ -94,6 +94,13 @@ class EnsembleCampaign {
   EnsembleRuns<OverheadSample> run_overhead(const std::vector<PtId>& pts,
                                             const SiteSelection& sites);
 
+  /// Population-driven mode: one fleet trajectory per repetition, each on
+  /// the repetition's forked seed (repetition 0 = the base seed, the
+  /// --repeats 1 byte-identity contract). reps[r] is jobs-independent —
+  /// cohort shards merge in plan order inside each repetition.
+  std::vector<population::Trajectory> run_population(
+      const population::PopulationConfig& pcfg);
+
   const EnsembleCampaignConfig& config() const { return cfg_; }
   int repeats() const { return cfg_.repeats < 1 ? 1 : cfg_.repeats; }
 

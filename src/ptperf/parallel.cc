@@ -356,6 +356,35 @@ std::vector<OverheadSample> ShardedCampaign::run_overhead(
       });
 }
 
+population::Trajectory ShardedCampaign::run_population(
+    population::PopulationConfig pcfg) {
+  // The fleet rides the campaign's seed tree: the same --seed that drives
+  // the measured worlds drives the demand that loads them.
+  pcfg.seed = cfg_.scenario.seed;
+  population::PopulationModel model(std::move(pcfg));
+
+  std::size_t n = model.cohort_count();
+  std::vector<population::CohortTrajectory> per_cohort(n);
+  std::vector<ShardTiming> timings(n);
+
+  ParallelExecutor executor(cfg_.jobs);
+  executor.for_each(n, [&](std::size_t i) {
+    std::int64_t wall_start = sim::wall_now_us();
+    per_cohort[i] = model.simulate_cohort(i);
+
+    ShardTiming t;
+    t.shard = i;
+    t.pt = "population/" + per_cohort[i].cohort;
+    t.items = per_cohort[i].active.size();
+    t.virtual_seconds = model.config().horizon_hours * 3600.0;
+    t.wall_us = sim::wall_now_us() - wall_start;
+    timings[i] = std::move(t);
+  });
+
+  for (ShardTiming& t : timings) timings_.push_back(std::move(t));
+  return population::PopulationModel::merge(model.config(), per_cohort);
+}
+
 std::vector<ReliabilitySample> ShardedCampaign::run_reliability(
     const std::vector<std::optional<PtId>>& pts,
     const std::vector<std::size_t>& sizes, RetryPolicy retry) {

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "population/population.h"
 #include "ptperf/campaign.h"
 
 namespace ptperf {
@@ -189,6 +190,17 @@ class ShardedCampaign {
   /// shard, not as its own shard).
   std::vector<OverheadSample> run_overhead(const std::vector<PtId>& pts,
                                            const SiteSelection& sites);
+
+  /// Population-driven mode: shards BY USER COHORT instead of by PT — each
+  /// cohort's arrival/departure series is a pure function of
+  /// (campaign seed, cohort name) via Rng::fork("population/<cohort>"), so
+  /// cohorts run across the pool and merge in plan (cohort-index) order to
+  /// a Trajectory that is byte-identical at any --jobs. The config's
+  /// `seed` field is overridden with the campaign's scenario seed so the
+  /// fleet rides the same seed tree as the measured worlds. Cohort shards
+  /// report ShardTiming rows (pt = "population/<cohort>") but do not touch
+  /// the checkpoint store — campaign snapshot indices are unchanged.
+  population::Trajectory run_population(population::PopulationConfig pcfg);
 
   const ShardedCampaignConfig& config() const { return cfg_; }
 

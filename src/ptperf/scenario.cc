@@ -1,5 +1,7 @@
 #include "ptperf/scenario.h"
 
+#include "net/resource.h"
+
 namespace ptperf {
 
 net::HostTraits client_traits(bool wireless) {
@@ -104,6 +106,12 @@ tor::RelayIndex Scenario::add_bridge(net::Region region,
   traits.jitter_ms = 1.0;
   traits.proc_ms = proc_ms;
   d.host = net_->add_host(d.nickname, region, traits);
+  // Bridge saturation registers as a contended pool (inert until a
+  // population scenario drives it; the static background_load above is
+  // the bridge's non-PT tenancy).
+  net_->add_resource(net::ContendedResourceSpec{
+      "bridge/" + d.nickname, std::vector<net::HostId>{d.host},
+      /*capacity_sessions=*/25.0e3});
 
   sim::Rng key_rng = rng_.fork("bridge-key" + std::to_string(index));
   crypto::X25519Key raw;

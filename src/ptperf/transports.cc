@@ -235,6 +235,7 @@ PtStack TransportFactory::build_meek(const std::string& tag) {
   tor::RelayIndex bridge = sc.add_bridge(net::Region::kUsEast, 0.35, 200);
   pt::MeekConfig cfg;
   cfg.client_host = sc.client_host();
+  cfg.pool_name = tag;  // "<tag>/cdn"
   cfg.bridge = bridge;
   cfg.front_host =
       sc.add_infra_host(tag + "-front", net::Region::kEuropeWest, 2000, 0.10);
@@ -261,6 +262,9 @@ PtStack TransportFactory::build_snowflake(const std::string& tag) {
   net::Network& net = sc.network();
   pt::SnowflakeConfig cfg;
   cfg.client_host = sc.client_host();
+  // Tag-unique resource names ("<tag>/proxies", "<tag>/broker") so worlds
+  // with several snowflake stacks register distinct contended pools.
+  cfg.pool_name = tag;
   cfg.broker_host =
       sc.add_infra_host(tag + "-broker", net::Region::kUsEast, 1000, 0.15);
   // Volunteer proxies: residential-grade links spread across regions.

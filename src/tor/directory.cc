@@ -54,6 +54,7 @@ GeneratedConsensus generate_consensus(net::Network& net, sim::Rng& rng,
     if (d.flags & kFlagGuard) {
       traits.background_load = std::min(
           0.95, traits.background_load + params.guard_extra_load);
+      // simlint: allow(load-bypass) -- legacy scenario setup: static guard tenancy rolled at consensus generation, not modeled PT demand
       net.set_background_load(d.host, traits.background_load);
     }
 

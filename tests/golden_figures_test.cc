@@ -102,4 +102,17 @@ TEST(GoldenFigures, Fig8Reliability) {
                 "fig8a_outcomes.csv"});
 }
 
+// fig10a's timeline is emitted by the population engine (weekly aggregates
+// of the emergent Iran-surge trajectory, docs/POPULATION.md), not written
+// as literals — this golden pins the model's output, anchors included.
+TEST(GoldenFigures, Fig10aPopulationTimeline) {
+  check_golden({"bench_fig10_snowflake_load", "", "fig10a_timeline.csv"});
+}
+
+// fig12's weekly boxes sample the same population trajectory at weekly
+// windows; the golden pins the emergent utilization pathway end to end.
+TEST(GoldenFigures, Fig12WeeklyBoxes) {
+  check_golden({"bench_fig12_snowflake_monitor", "", "fig12_weekly.csv"});
+}
+
 }  // namespace

@@ -1,0 +1,8 @@
+// Must be clean: a reasoned suppression covers the one sanctioned
+// legacy-scenario call site (static non-PT tenancy rolled at world
+// construction, not modeled transport demand). (Scanned, never compiled.)
+
+void legacy_setup(ptperf::net::Network& net) {
+  // simlint: allow(load-bypass) -- fixture: static non-PT tenancy at world construction
+  net.set_background_load(3, 0.2);
+}

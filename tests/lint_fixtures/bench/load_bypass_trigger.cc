@@ -1,0 +1,11 @@
+// Must trigger load-bypass twice: a bench that hand-pokes the network's
+// background load and flips the snowflake overload switch pins operating
+// points the population engine is supposed to derive from simulated user
+// demand — the figure silently stops responding to the demand model.
+// Member access counts: the calls ARE the bypass. (Scanned, never
+// compiled.)
+
+void pin_load(ptperf::net::Network& net, Stack& stack) {
+  net.set_background_load(7, 0.88);
+  stack.snowflake->set_overloaded(true);
+}

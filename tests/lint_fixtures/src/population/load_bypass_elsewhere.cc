@@ -1,0 +1,9 @@
+// Must be clean: load-bypass (and transport-bypass) are scoped out of
+// src/population/ — the engine is the sanctioned caller of the load sinks
+// it drives, and it names transport types only to apply operating points
+// to already-built stacks. (Scanned, never compiled.)
+
+void drive(ptperf::net::Network& net, ptperf::pt::SnowflakeTransport& sf) {
+  net.set_background_load(1, 0.5);
+  sf.set_overloaded(true);
+}

@@ -115,6 +115,9 @@ TEST_F(SimlintCorpus, EveryRuleFiresOnItsTriggerFixture) {
   EXPECT_TRUE(has_finding(out, "bench/transport_bypass_trigger.cc",
                           "transport-bypass"))
       << out;
+  EXPECT_TRUE(has_finding(out, "bench/load_bypass_trigger.cc",
+                          "load-bypass"))
+      << out;
   EXPECT_TRUE(has_finding(out, "bench/ensemble_bypass_trigger.cc",
                           "ensemble-bypass"))
       << out;
@@ -144,6 +147,7 @@ TEST_F(SimlintCorpus, TriggerFixturesReportExpectedCounts) {
   EXPECT_EQ(count_findings(out, "checkpoint_io_trigger.cc"), 6) << out;
   // ShardedCampaignConfig + ShardedCampaign, one finding each.
   EXPECT_EQ(count_findings(out, "ensemble_bypass_trigger.cc"), 2) << out;
+  EXPECT_EQ(count_findings(out, "load_bypass_trigger.cc"), 2) << out;
   // One == and one != with floating operands.
   EXPECT_EQ(count_findings(out, "float_eq_trigger.cc"), 2) << out;
   // The range-for and the explicit .begin() walk.
@@ -178,6 +182,7 @@ TEST_F(SimlintCorpus, NoFalsePositivesOnNegativeSpaceFixtures) {
   // Path-scoped rules must stay scoped to the deterministic core.
   EXPECT_EQ(count_findings(out, "hash_container_elsewhere.cc"), 0) << out;
   EXPECT_EQ(count_findings(out, "sharded_campaign_elsewhere.cc"), 0) << out;
+  EXPECT_EQ(count_findings(out, "load_bypass_elsewhere.cc"), 0) << out;
   EXPECT_EQ(count_findings(out, "checkpoint_io_elsewhere.cc"), 0) << out;
   // Owning copies off the cell hot path, and views/references on it.
   EXPECT_EQ(count_findings(out, "hot_path_copy_elsewhere.cc"), 0) << out;
@@ -302,7 +307,8 @@ TEST(Simlint, ListRulesNamesEveryRule) {
   for (const char* rule :
        {"banned-time", "banned-rng", "banned-thread", "hash-container",
         "pointer-keyed-map", "unsafe-c", "raw-instrumentation",
-        "checkpoint-io", "transport-bypass", "ensemble-bypass", "pragma-once",
+        "checkpoint-io", "transport-bypass", "load-bypass", "ensemble-bypass",
+        "pragma-once",
         "using-namespace-header", "include-cycle", "layer-violation",
         "unordered-iteration", "float-eq", "switch-exhaustive",
         "hot-path-copy", "unused-suppression", "bad-suppression"}) {

@@ -9,9 +9,12 @@
 #   tools/bench_check.sh [--record] [--out <file>] [--repetitions N]
 #                        [--require-speedup PCT] [--write-baseline]
 #
-# --record writes the condensed run to bench/BENCH_micro.json (the
-# checked-in perf trajectory; see docs/PERFORMANCE.md) instead of the
-# default ./BENCH_micro.json CI artifact. --require-speedup additionally
+# --record appends the condensed run to bench/BENCH_micro.json (the
+# checked-in perf trajectory; see docs/PERFORMANCE.md) instead of writing
+# the default ./BENCH_micro.json CI artifact. The checked-in file is a
+# per-PR series ("ptperf-bench-series-v1"): one entry per recorded run,
+# labelled by commit, oldest first — a legacy single-run file is wrapped
+# as the series' first entry on the next --record. --require-speedup additionally
 # asserts that every zero-copy/legacy trajectory pair improved on the
 # baseline by at least PCT percent. --write-baseline regenerates
 # bench/baseline.json from this run — review the diff before committing.
@@ -26,12 +29,13 @@ repo="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo"
 
 out="BENCH_micro.json"
+series=0
 repetitions=3
 require_speedup=""
 write_baseline=0
 while [ $# -gt 0 ]; do
   case "$1" in
-    --record) out="bench/BENCH_micro.json"; shift ;;
+    --record) out="bench/BENCH_micro.json"; series=1; shift ;;
     --out) out="$2"; shift 2 ;;
     --repetitions) repetitions="$2"; shift 2 ;;
     --require-speedup) require_speedup="$2"; shift 2 ;;
@@ -55,8 +59,11 @@ trap 'rm -f "$raw"' EXIT
 "$bin" --benchmark_format=json --benchmark_repetitions="$repetitions" \
   --benchmark_out="$raw" --benchmark_out_format=json >/dev/null
 
+label="$(git rev-parse --short HEAD 2>/dev/null || echo unversioned)"
+
 OUT="$out" RAW="$raw" TOL="${BENCH_TOLERANCE:-0.5}" \
 REQUIRE="${require_speedup}" WRITE_BASELINE="$write_baseline" \
+SERIES="$series" LABEL="$label" \
 python3 - <<'PY'
 import json, os, sys
 
@@ -149,10 +156,42 @@ doc = {
     "benchmarks": run,
     "trajectory": trajectory,
 }
+if os.environ["SERIES"] == "1":
+    # The checked-in trajectory is a per-PR series: one condensed entry per
+    # recorded run, oldest first. A pre-series single-run file becomes the
+    # series' first entry (labelled "pre-series" — its commit is unknown).
+    entry = {
+        "label": os.environ["LABEL"],
+        "benchmarks": run,
+        "trajectory": trajectory,
+    }
+    runs = []
+    if os.path.exists(out_path):
+        prior = json.load(open(out_path))
+        if prior.get("schema") == "ptperf-bench-series-v1":
+            runs = prior["runs"]
+        elif "benchmarks" in prior:
+            runs = [{
+                "label": "pre-series",
+                "benchmarks": prior["benchmarks"],
+                "trajectory": prior.get("trajectory", []),
+            }]
+    if runs and runs[-1]["label"] == entry["label"]:
+        runs[-1] = entry  # re-recording the same commit updates in place
+    else:
+        runs.append(entry)
+    doc = {
+        "schema": "ptperf-bench-series-v1",
+        "source": "tools/bench_check.sh --record: one entry per recorded run, oldest first",
+        "runs": runs,
+    }
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=True)
     f.write("\n")
-print(f"\nwrote {out_path} ({len(run)} benchmarks)")
+if os.environ["SERIES"] == "1":
+    print(f"\nwrote {out_path} ({len(doc['runs'])} series entries; this run: {len(run)} benchmarks)")
+else:
+    print(f"\nwrote {out_path} ({len(run)} benchmarks)")
 
 if os.environ["WRITE_BASELINE"] == "1":
     baseline_doc["benchmarks"] = run

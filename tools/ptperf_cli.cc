@@ -11,6 +11,7 @@
 #include <cstring>
 #include <map>
 
+#include "population/contention.h"
 #include "pt/inventory.h"
 #include "ptperf/campaign.h"
 #include "stats/descriptive.h"
@@ -152,7 +153,8 @@ int cmd_files(const CliArgs& args) {
   }
 
   auto run_one = [&](PtStack stack) {
-    if (stack.snowflake) stack.snowflake->set_overloaded(args.has("overload"));
+    if (stack.snowflake)
+      ptperf::population::apply_regime(*stack.snowflake, args.has("overload"));
     auto samples = campaign.run_file_downloads(stack, sizes);
     stats::Table t({"size", "rep", "outcome", "time_s", "fraction"});
     for (const FileSample& s : samples) {

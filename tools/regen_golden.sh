@@ -8,7 +8,8 @@
 # Usage: tools/regen_golden.sh [build-dir]   (default: build)
 #
 # Two phases:
-#   1. Base goldens at --repeats 1 (the pre-ensemble behaviour). Before
+#   1. Base goldens at --repeats 1 (the pre-ensemble behaviour), including
+#      fig10a's population-emitted timeline and fig12's weekly boxes. Before
 #      replacing anything, each output is diffed against the checked-in
 #      golden: a drift means the single-run pipeline changed, which the
 #      ensemble layer alone must never do. The script aborts on drift
@@ -29,19 +30,34 @@ trap 'rm -rf "$TMP"' EXIT
 DRIFTED=0
 
 # Phase 1: base goldens, pinned to --repeats 1. Verify before replacing.
+# One bench invocation can own several goldens: arguments starting with
+# `--` are bench flags (consumed with their value), everything else is a
+# CSV the run produced.
+BASE_CSVS=()
 run_base() {
-  local bench="$1" csv="$2"
-  shift 2
+  local bench="$1"
+  shift
+  local flags=() csvs=()
+  while [ "$#" -gt 0 ]; do
+    case "$1" in
+      --*) flags+=("$1" "$2"); shift 2 ;;
+      *) csvs+=("$1"); shift ;;
+    esac
+  done
   "$ROOT/$BUILD/bench/$bench" --scale 0.05 --seed 1 --jobs 2 --repeats 1 \
-    --out "$TMP" "$@" > /dev/null
-  grep -v '^#' "$TMP/$csv" > "$TMP/new_$csv"
-  if [ -f "$ROOT/tests/golden/$csv" ] && \
-     ! cmp -s "$TMP/new_$csv" "$ROOT/tests/golden/$csv"; then
-    echo "DRIFT: tests/golden/$csv no longer matches a --repeats 1 run" >&2
-    diff -u "$ROOT/tests/golden/$csv" "$TMP/new_$csv" >&2 || true
-    DRIFTED=1
-  fi
-  cp "$TMP/new_$csv" "$TMP/stage_$csv"
+    --out "$TMP" "${flags[@]}" > /dev/null
+  local csv
+  for csv in "${csvs[@]}"; do
+    grep -v '^#' "$TMP/$csv" > "$TMP/new_$csv"
+    if [ -f "$ROOT/tests/golden/$csv" ] && \
+       ! cmp -s "$TMP/new_$csv" "$ROOT/tests/golden/$csv"; then
+      echo "DRIFT: tests/golden/$csv no longer matches a --repeats 1 run" >&2
+      diff -u "$ROOT/tests/golden/$csv" "$TMP/new_$csv" >&2 || true
+      DRIFTED=1
+    fi
+    cp "$TMP/new_$csv" "$TMP/stage_$csv"
+    BASE_CSVS+=("$csv")
+  done
 }
 
 run_base bench_fig2a_website_curl fig2a_boxes.csv
@@ -50,7 +66,8 @@ run_base bench_fig5_file_download fig5_times.csv
 run_base bench_fig6_ttfb fig6_ttfb_ecdf.csv
 run_base bench_fig8_reliability fig8a_outcomes.csv --faults paper --retries 1
 run_base bench_fig9_overhead fig9_overhead.csv
-run_base bench_fig10_snowflake_load fig10b_boxes.csv
+run_base bench_fig10_snowflake_load fig10a_timeline.csv fig10b_boxes.csv
+run_base bench_fig12_snowflake_monitor fig12_weekly.csv
 
 if [ "$DRIFTED" -ne 0 ] && [ "${ALLOW_DRIFT:-0}" != "1" ]; then
   echo "" >&2
@@ -60,9 +77,7 @@ if [ "$DRIFTED" -ne 0 ] && [ "${ALLOW_DRIFT:-0}" != "1" ]; then
   exit 1
 fi
 
-for csv in fig2a_boxes.csv fig2b_boxes.csv fig5_times.csv \
-           fig6_ttfb_ecdf.csv fig8a_outcomes.csv fig9_overhead.csv \
-           fig10b_boxes.csv; do
+for csv in "${BASE_CSVS[@]}"; do
   cp "$TMP/stage_$csv" "$ROOT/tests/golden/$csv"
   echo "regenerated tests/golden/$csv"
 done

@@ -355,7 +355,11 @@ void check_checkpoint_io(const FileScan& scan, std::vector<Finding>& out) {
 
 void check_transport_bypass(const FileScan& scan, std::vector<Finding>& out) {
   if (!path_under(scan, {"src/", "bench/"})) return;
-  if (path_under(scan, {"src/pt/", "src/ptperf/transports"})) return;
+  // src/population/ names transport types only to apply operating points to
+  // already-constructed stacks (population::apply_snowflake); it owns no
+  // construction site.
+  if (path_under(scan, {"src/pt/", "src/ptperf/transports", "src/population/"}))
+    return;
   ban_idents(scan, out, "transport-bypass",
              {"Obfs4Transport", "MeekTransport", "SnowflakeTransport",
               "ConjureTransport", "PsiphonTransport", "DnsttTransport",
@@ -365,6 +369,37 @@ void check_transport_bypass(const FileScan& scan, std::vector<Finding>& out) {
              "bypasses the PtId registry; build stacks via "
              "TransportFactory::create (src/ptperf/transports.cc) so they "
              "carry a declared, validated LayerStack");
+}
+
+// ---------------------------------------------------------------------------
+// Rule: load-bypass — a hand-set load knob (Network::set_background_load,
+// SnowflakeTransport::set_overloaded) in bench/ or library code pins an
+// operating point that the population engine is supposed to derive from
+// simulated user demand: the figure silently stops responding to the
+// demand model and regresses to the hard-coded constants the engine exists
+// to retire. Load flows demand -> ContendedResource -> transport via
+// src/population/ (apply_regime / apply_snowflake); the engine itself and
+// the declaring classes are the only sanctioned callers, and legacy
+// scenario-setup sites (static non-PT tenancy) carry reasoned
+// suppressions. Unlike most ident bans, member accesses count here —
+// `net.set_background_load(...)` IS the bypass.
+
+void check_load_bypass(const FileScan& scan, std::vector<Finding>& out) {
+  if (!path_under(scan, {"src/", "bench/"})) return;
+  if (path_under(scan, {"src/population/", "src/net/resource.",
+                        "src/net/network.", "src/pt/snowflake."}))
+    return;
+  const auto& toks = scan.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!ident_in(toks[i], {"set_background_load", "set_overloaded"}))
+      continue;
+    flag(out, scan, toks[i].line, "load-bypass",
+         "'" + toks[i].text +
+             "' hand-sets a load knob the population engine owns; drive "
+             "load through population::apply_regime / the demand model "
+             "(src/population/contention.h) so figures stay anchored on "
+             "emergent utilization");
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -722,6 +757,10 @@ const std::vector<Rule> kRules = {
     {"transport-bypass",
      "direct *Transport construction outside src/pt/ and the PtId registry",
      check_transport_bypass, nullptr},
+    {"load-bypass",
+     "hand-set load knobs (set_background_load/set_overloaded) outside the "
+     "population engine",
+     check_load_bypass, nullptr},
     {"ensemble-bypass",
      "direct ShardedCampaign construction in bench/ outside bench/common",
      check_ensemble_bypass, nullptr},
